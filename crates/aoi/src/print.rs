@@ -1,0 +1,208 @@
+//! Canonical pretty-printing of AOI contracts.
+//!
+//! The printer renders a contract in a stable, IDL-neutral notation.
+//! Because it depends only on the *structure* of the contract, two
+//! front ends that translate equivalent IDL programs produce identical
+//! output — the property the integration tests use to demonstrate the
+//! paper's claim that "front ends produce similar AOI representations
+//! for equivalent constructs across different IDLs".
+
+use std::fmt::Write as _;
+
+use crate::types::{Type, TypeId};
+use crate::{Aoi, ParamDir, UnionLabel};
+
+/// Renders `aoi` in canonical form.
+#[must_use]
+pub fn print(aoi: &Aoi) -> String {
+    let mut out = String::new();
+    for exc in &aoi.exceptions {
+        let _ = writeln!(out, "exception {} {{", exc.name);
+        for f in &exc.fields {
+            let _ = writeln!(out, "  {}: {};", f.name, type_str(aoi, f.ty));
+        }
+        out.push_str("}\n");
+    }
+    for iface in &aoi.interfaces {
+        let _ = write!(out, "interface {}", iface.name);
+        if !iface.parents.is_empty() {
+            let _ = write!(out, " : {}", iface.parents.join(", "));
+        }
+        out.push_str(" {\n");
+        for attr in &iface.attrs {
+            let _ = writeln!(
+                out,
+                "  {}attribute {}: {};",
+                if attr.readonly { "readonly " } else { "" },
+                attr.name,
+                type_str(aoi, attr.ty)
+            );
+        }
+        for op in &iface.ops {
+            let _ = write!(
+                out,
+                "  {}{}(",
+                if op.oneway { "oneway " } else { "" },
+                op.name
+            );
+            let params: Vec<String> = op
+                .params
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{} {}: {}",
+                        match p.dir {
+                            ParamDir::In => "in",
+                            ParamDir::Out => "out",
+                            ParamDir::InOut => "inout",
+                        },
+                        p.name,
+                        type_str(aoi, p.ty)
+                    )
+                })
+                .collect();
+            let _ = write!(out, "{}) -> {}", params.join(", "), type_str(aoi, op.ret));
+            if !op.raises.is_empty() {
+                let names: Vec<&str> = op
+                    .raises
+                    .iter()
+                    .map(|&e| aoi.exception_by_id(e).name.as_str())
+                    .collect();
+                let _ = write!(out, " raises ({})", names.join(", "));
+            }
+            out.push_str(";\n");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders the type for `id` structurally (aggregates by name where
+/// named, expanded where anonymous).
+#[must_use]
+pub fn type_str(aoi: &Aoi, id: TypeId) -> String {
+    type_str_inner(aoi, id, &mut Vec::new())
+}
+
+fn type_str_inner(aoi: &Aoi, id: TypeId, on_path: &mut Vec<TypeId>) -> String {
+    if on_path.contains(&id) {
+        // Recursive reference: print the name rather than looping.
+        return aoi
+            .types
+            .get(id)
+            .name()
+            .map_or_else(|| format!("{id:?}"), str::to_string);
+    }
+    on_path.push(id);
+    let s = match aoi.types.get(id) {
+        Type::Prim(p) => p.name().to_string(),
+        Type::String { bound: None } => "string".to_string(),
+        Type::String { bound: Some(b) } => format!("string<{b}>"),
+        Type::Array { elem, len } => {
+            format!("{}[{len}]", type_str_inner(aoi, *elem, on_path))
+        }
+        Type::Sequence { elem, bound } => {
+            let e = type_str_inner(aoi, *elem, on_path);
+            match bound {
+                Some(b) => format!("sequence<{e}, {b}>"),
+                None => format!("sequence<{e}>"),
+            }
+        }
+        Type::Opaque { fixed_len: Some(n), .. } => format!("opaque[{n}]"),
+        Type::Opaque { bound: Some(b), .. } => format!("opaque<{b}>"),
+        Type::Opaque { .. } => "opaque<>".to_string(),
+        Type::Struct { name, fields } => {
+            let body: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, type_str_inner(aoi, f.ty, on_path)))
+                .collect();
+            format!("struct {name} {{{}}}", body.join("; "))
+        }
+        Type::Union { name, discriminator, cases } => {
+            let disc = type_str_inner(aoi, *discriminator, on_path);
+            let body: Vec<String> = cases
+                .iter()
+                .map(|c| {
+                    let labels: Vec<String> = c
+                        .labels
+                        .iter()
+                        .map(|l| match l {
+                            UnionLabel::Value(v) => v.to_string(),
+                            UnionLabel::Default => "default".to_string(),
+                        })
+                        .collect();
+                    let ty = c
+                        .ty
+                        .map_or_else(|| "void".to_string(), |t| type_str_inner(aoi, t, on_path));
+                    format!("case {}: {}: {}", labels.join(","), c.name, ty)
+                })
+                .collect();
+            format!("union {name} switch({disc}) {{{}}}", body.join("; "))
+        }
+        Type::Enum { name, items } => {
+            let body: Vec<String> = items.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            format!("enum {name} {{{}}}", body.join(", "))
+        }
+        Type::Alias { target, .. } => type_str_inner(aoi, *target, on_path),
+        Type::Optional { elem } => format!("optional<{}>", type_str_inner(aoi, *elem, on_path)),
+        Type::ObjRef { interface } => format!("objref<{interface}>"),
+    };
+    on_path.pop();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::{Interface, Operation, Param};
+    use crate::types::{Field, PrimType};
+
+    #[test]
+    fn prints_mail_interface() {
+        // The paper's running example: interface Mail { void send(in string msg); };
+        let mut aoi = Aoi::new("corba");
+        let void = aoi.types.prim(PrimType::Void);
+        let string = aoi.types.add(Type::String { bound: None });
+        let mut mail = Interface::new("Mail");
+        mail.ops.push(Operation {
+            name: "send".into(),
+            oneway: false,
+            ret: void,
+            params: vec![Param { name: "msg".into(), dir: ParamDir::In, ty: string }],
+            raises: vec![],
+            request_code: 1,
+        });
+        aoi.add_interface(mail);
+        let p = aoi.to_pretty();
+        assert_eq!(p, "interface Mail {\n  send(in msg: string) -> void;\n}\n");
+    }
+
+    #[test]
+    fn recursive_type_prints_by_name() {
+        let mut aoi = Aoi::new("onc");
+        let long = aoi.types.prim(PrimType::Long);
+        let fwd = aoi.types.add(Type::Alias { name: "node".into(), target: long });
+        let opt = aoi.types.add(Type::Optional { elem: fwd });
+        let node = aoi.types.add(Type::Struct {
+            name: "node".into(),
+            fields: vec![
+                Field { name: "v".into(), ty: long },
+                Field { name: "next".into(), ty: opt },
+            ],
+        });
+        *aoi.types.get_mut(fwd) = Type::Alias { name: "node".into(), target: node };
+        let s = type_str(&aoi, node);
+        assert_eq!(s, "struct node {v: int32; next: optional<node>}");
+    }
+
+    #[test]
+    fn sequences_arrays_strings() {
+        let mut aoi = Aoi::new("t");
+        let long = aoi.types.prim(PrimType::Long);
+        let arr = aoi.types.add(Type::Array { elem: long, len: 4 });
+        let seq = aoi.types.add(Type::Sequence { elem: arr, bound: Some(10) });
+        assert_eq!(type_str(&aoi, seq), "sequence<int32[4], 10>");
+        let bs = aoi.types.add(Type::String { bound: Some(64) });
+        assert_eq!(type_str(&aoi, bs), "string<64>");
+    }
+}

@@ -1,0 +1,230 @@
+//! The self-contained C runtime header generated stubs compile
+//! against (`flick_runtime.h`).
+//!
+//! The paper's stubs link a marshal support library; shipping its
+//! interface as a header of `static inline` functions keeps every
+//! generated `.c` file a complete, independently compilable
+//! translation unit — which the golden tests verify with a real C
+//! compiler when one is available.
+
+/// The complete text of `flick_runtime.h`.
+pub const C_RUNTIME_HEADER: &str = r#"/* flick_runtime.h — support runtime for Flick-generated C stubs.
+ * Generated alongside the stubs; do not edit. */
+#ifndef FLICK_RUNTIME_H
+#define FLICK_RUNTIME_H
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* The marshal buffer: dynamically allocated, reused between stub
+ * invocations (paper footnote 4). */
+typedef struct FLICK_BUF {
+    char *data;
+    size_t len;
+    size_t cap;
+} FLICK_BUF;
+
+static FLICK_BUF flick_global_buf;
+
+static FLICK_BUF *flick_client_buf(void)
+{
+    return &flick_global_buf;
+}
+
+static void flick_buf_clear(FLICK_BUF *b)
+{
+    b->len = 0;
+}
+
+/* The marshal-space check (Flick hoists these; §3.1). */
+static void flick_ensure(FLICK_BUF *b, size_t more)
+{
+    if (b->cap - b->len < more) {
+        size_t want = b->len + more;
+        size_t cap = b->cap ? b->cap * 2 : 256;
+        while (cap < want) {
+            cap *= 2;
+        }
+        b->data = (char *) realloc(b->data, cap);
+        b->cap = cap;
+    }
+}
+
+/* Opens a fixed-layout chunk: one growth decision, then the caller
+ * stores at constant offsets from the returned chunk pointer (§3.2). */
+static char *flick_chunk(FLICK_BUF *b, size_t n)
+{
+    char *p;
+    flick_ensure(b, n);
+    p = b->data + b->len;
+    memset(p, 0, n);
+    b->len += n;
+    return p;
+}
+
+static void flick_put_bytes(FLICK_BUF *b, const void *src, size_t n)
+{
+    flick_ensure(b, n);
+    memcpy(b->data + b->len, src, n);
+    b->len += n;
+}
+
+static void flick_pad(FLICK_BUF *b, size_t unit)
+{
+    static const char zeros[8];
+    size_t rem = b->len % unit;
+    if (rem != 0) {
+        flick_put_bytes(b, zeros, unit - rem);
+    }
+}
+
+/* ---- byte-order helpers ---- */
+
+static uint16_t flick_swap16(uint16_t v) { return (uint16_t) ((v >> 8) | (v << 8)); }
+static uint32_t flick_swap32(uint32_t v)
+{
+    return ((v >> 24) & 0xffu) | ((v >> 8) & 0xff00u) |
+           ((v << 8) & 0xff0000u) | ((uint32_t) (v << 24));
+}
+static uint64_t flick_swap64(uint64_t v)
+{
+    return ((uint64_t) flick_swap32((uint32_t) v) << 32) | flick_swap32((uint32_t) (v >> 32));
+}
+
+static int flick_host_is_le(void)
+{
+    const uint16_t one = 1;
+    return *(const unsigned char *) &one == 1;
+}
+
+#define FLICK_TO_BE16(v) (flick_host_is_le() ? flick_swap16(v) : (v))
+#define FLICK_TO_LE16(v) (flick_host_is_le() ? (v) : flick_swap16(v))
+#define FLICK_TO_BE32(v) (flick_host_is_le() ? flick_swap32(v) : (v))
+#define FLICK_TO_LE32(v) (flick_host_is_le() ? (v) : flick_swap32(v))
+#define FLICK_TO_BE64(v) (flick_host_is_le() ? flick_swap64(v) : (v))
+#define FLICK_TO_LE64(v) (flick_host_is_le() ? (v) : flick_swap64(v))
+
+/* ---- appending puts (cursor at buffer end) ---- */
+
+static void flick_put_u8(FLICK_BUF *b, unsigned v)
+{
+    flick_ensure(b, 1);
+    b->data[b->len++] = (char) v;
+}
+
+#define FLICK_DEF_PUT(name, ty, conv)                      \
+    static void name(FLICK_BUF *b, ty v)                   \
+    {                                                      \
+        ty w = conv(v);                                    \
+        flick_put_bytes(b, &w, sizeof w);                  \
+    }
+
+FLICK_DEF_PUT(flick_put_u16_be, uint16_t, FLICK_TO_BE16)
+FLICK_DEF_PUT(flick_put_u16_le, uint16_t, FLICK_TO_LE16)
+FLICK_DEF_PUT(flick_put_u32_be, uint32_t, FLICK_TO_BE32)
+FLICK_DEF_PUT(flick_put_u32_le, uint32_t, FLICK_TO_LE32)
+FLICK_DEF_PUT(flick_put_u64_be, uint64_t, FLICK_TO_BE64)
+FLICK_DEF_PUT(flick_put_u64_le, uint64_t, FLICK_TO_LE64)
+
+static void flick_put_f32_be(FLICK_BUF *b, float v)
+{
+    uint32_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_put_u32_be(b, bits);
+}
+static void flick_put_f32_le(FLICK_BUF *b, float v)
+{
+    uint32_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_put_u32_le(b, bits);
+}
+static void flick_put_f64_be(FLICK_BUF *b, double v)
+{
+    uint64_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_put_u64_be(b, bits);
+}
+static void flick_put_f64_le(FLICK_BUF *b, double v)
+{
+    uint64_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_put_u64_le(b, bits);
+}
+
+/* ---- chunked stores (constant offsets off a chunk pointer) ---- */
+
+static void flick_chunk_put_u8(char *at, unsigned v) { *at = (char) v; }
+
+#define FLICK_DEF_CHUNK_PUT(name, ty, conv)                \
+    static void name(char *at, ty v)                       \
+    {                                                      \
+        ty w = conv(v);                                    \
+        memcpy(at, &w, sizeof w);                          \
+    }
+
+FLICK_DEF_CHUNK_PUT(flick_chunk_put_u16_be, uint16_t, FLICK_TO_BE16)
+FLICK_DEF_CHUNK_PUT(flick_chunk_put_u16_le, uint16_t, FLICK_TO_LE16)
+FLICK_DEF_CHUNK_PUT(flick_chunk_put_u32_be, uint32_t, FLICK_TO_BE32)
+FLICK_DEF_CHUNK_PUT(flick_chunk_put_u32_le, uint32_t, FLICK_TO_LE32)
+FLICK_DEF_CHUNK_PUT(flick_chunk_put_u64_be, uint64_t, FLICK_TO_BE64)
+FLICK_DEF_CHUNK_PUT(flick_chunk_put_u64_le, uint64_t, FLICK_TO_LE64)
+
+static void flick_chunk_put_f32_be(char *at, float v)
+{
+    uint32_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_chunk_put_u32_be(at, bits);
+}
+static void flick_chunk_put_f32_le(char *at, float v)
+{
+    uint32_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_chunk_put_u32_le(at, bits);
+}
+static void flick_chunk_put_f64_be(char *at, double v)
+{
+    uint64_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_chunk_put_u64_be(at, bits);
+}
+static void flick_chunk_put_f64_le(char *at, double v)
+{
+    uint64_t bits;
+    memcpy(&bits, &v, sizeof bits);
+    flick_chunk_put_u64_le(at, bits);
+}
+
+/* ---- transport hooks (bound by the linking program) ---- */
+
+/* Sends the marshaled request and swaps in the reply; provided by the
+ * transport library the application links (TCP, UDP, Mach, Fluke). */
+extern void flick_call(FLICK_BUF *request, unsigned request_code, const char *wire_name);
+
+/* Decodes the next reply/request slot into `out`; provided by the
+ * decode half of the runtime. */
+extern void flick_decode_slot(FLICK_BUF *message, void *out);
+
+#endif /* FLICK_RUNTIME_H */
+"#;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn header_has_guards_and_core_helpers() {
+        let h = super::C_RUNTIME_HEADER;
+        assert!(h.contains("#ifndef FLICK_RUNTIME_H"));
+        for f in [
+            "flick_ensure",
+            "flick_chunk",
+            "flick_put_u32_be",
+            "flick_chunk_put_u64_le",
+            "flick_put_bytes",
+            "flick_pad",
+            "flick_call",
+            "flick_decode_slot",
+        ] {
+            assert!(h.contains(f), "missing {f}");
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! §3.1 storage classification and fixed-region packing.
+//!
+//! Flick analyzes the storage requirements of every message by
+//! traversing its MINT/PRES representation, classifying each region as
+//! *fixed*, *variable but bounded*, or *variable and unbounded*
+//! ([`SizeClass`]).  For fixed regions it computes a *packed layout* —
+//! exact offsets for every atomic component ([`Packed`]) — which is
+//! what both the single hoisted space check and the §3.2 chunk pointer
+//! are built from.
+
+use flick_pres::{PresC, PresId, PresNode};
+
+use crate::encoding::{Encoding, WirePrim};
+
+/// A language-neutral path to a value inside a stub (the bridge from
+/// packed offsets back to C lvalues / Rust expressions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValPath {
+    /// The root value a plan node describes.
+    Root,
+    /// A struct member of the inner path.
+    Field(Box<ValPath>, String),
+    /// A constant-index element of a fixed array.
+    Index(Box<ValPath>, u64),
+}
+
+impl ValPath {
+    /// `self.field`
+    #[must_use]
+    pub fn field(self, name: &str) -> ValPath {
+        ValPath::Field(Box::new(self), name.to_string())
+    }
+
+    /// `self[i]`
+    #[must_use]
+    pub fn index(self, i: u64) -> ValPath {
+        ValPath::Index(Box::new(self), i)
+    }
+}
+
+/// How big a message region is (§3.1's three storage classes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Exactly this many encoded bytes.
+    Fixed(u64),
+    /// Variable, but never more than this many bytes.
+    Bounded(u64),
+    /// No static bound.
+    Unbounded,
+}
+
+impl SizeClass {
+    /// Sequential composition of two regions.
+    #[must_use]
+    pub fn then(self, other: SizeClass) -> SizeClass {
+        use SizeClass::{Bounded, Fixed, Unbounded};
+        match (self, other) {
+            (Unbounded, _) | (_, Unbounded) => Unbounded,
+            (Fixed(a), Fixed(b)) => Fixed(a + b),
+            (Fixed(a) | Bounded(a), Fixed(b) | Bounded(b)) => Bounded(a + b),
+        }
+    }
+
+    /// The static upper bound, if any.
+    #[must_use]
+    pub fn bound(self) -> Option<u64> {
+        match self {
+            SizeClass::Fixed(n) | SizeClass::Bounded(n) => Some(n),
+            SizeClass::Unbounded => None,
+        }
+    }
+}
+
+/// One atomic component of a packed region.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PackedItem {
+    /// A single scalar at a constant offset.
+    Prim {
+        /// Offset from the chunk base.
+        offset: u64,
+        /// Wire form.
+        prim: WirePrim,
+        /// Where the value lives.
+        path: ValPath,
+    },
+    /// A run of `count` layout-identical scalars — block-copied when
+    /// the `memcpy` optimization is on, or loop-stored when off.
+    PrimRun {
+        /// Offset from the chunk base.
+        offset: u64,
+        /// Wire form of one element.
+        prim: WirePrim,
+        /// Element count.
+        count: u64,
+        /// The array value.
+        path: ValPath,
+        /// Trailing pad bytes after the run (XDR opaque padding).
+        pad: u64,
+    },
+}
+
+impl PackedItem {
+    /// Offset of the item's first byte.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        match self {
+            PackedItem::Prim { offset, .. } | PackedItem::PrimRun { offset, .. } => *offset,
+        }
+    }
+}
+
+/// A fixed-layout region: exact size plus every component's offset.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Packed {
+    /// Total encoded size in bytes (including internal padding).
+    pub size: u64,
+    /// Largest alignment of any component.
+    pub align: u64,
+    /// Components in marshal order.
+    pub items: Vec<PackedItem>,
+}
+
+/// Attempts to pack the subtree at `pres` into a fixed layout starting
+/// at a `base`-aligned offset.  Returns `None` when the region is
+/// variable-size (or when the encoding interleaves type descriptors,
+/// which defeat cross-field chunking).
+#[must_use]
+pub fn pack(presc: &PresC, enc: &Encoding, pres: PresId) -> Option<Packed> {
+    if enc.typed_descriptors {
+        // Mach-style encodings put a descriptor before every item;
+        // only a single primitive run can be chunked, handled by the
+        // planner directly.
+        return None;
+    }
+    let mut p = Packed::default();
+    pack_into(presc, enc, pres, ValPath::Root, &mut p)?;
+    Some(p)
+}
+
+fn pack_into(
+    presc: &PresC,
+    enc: &Encoding,
+    pres: PresId,
+    path: ValPath,
+    out: &mut Packed,
+) -> Option<()> {
+    match presc.pres.get(pres) {
+        PresNode::Void => Some(()),
+        PresNode::Direct { mint, .. } => {
+            let prim = enc.prim(&presc.mint, *mint);
+            push_prim(out, prim, path);
+            Some(())
+        }
+        PresNode::EnumMap { .. } => {
+            let prim = enc.prim_for_size(4, false);
+            push_prim(out, prim, path);
+            Some(())
+        }
+        PresNode::FixedArray { elem, len, .. } => {
+            // A fixed array of directly-mapped scalars becomes one run;
+            // anything else unrolls element by element.
+            if let PresNode::Direct { mint, .. } = presc.pres.get(*elem) {
+                let prim = enc.elem_prim(&presc.mint, *mint);
+                push_run(out, prim, *len, path, enc);
+                Some(())
+            } else {
+                for i in 0..*len {
+                    pack_into(presc, enc, *elem, path.clone().index(i), out)?;
+                }
+                Some(())
+            }
+        }
+        PresNode::StructMap { fields, .. } => {
+            for (name, f) in fields {
+                pack_into(presc, enc, *f, path.clone().field(name), out)?;
+            }
+            Some(())
+        }
+        // Everything else is variable-size.
+        PresNode::OptPtr { .. }
+        | PresNode::TerminatedString { .. }
+        | PresNode::CountedSeq { .. }
+        | PresNode::UnionMap { .. }
+        | PresNode::OptionalPtr { .. } => None,
+    }
+}
+
+/// Offset bookkeeping shared by [`pack`] and the emitters' decode
+/// walks, so both sides compute identical layouts by construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LayoutCursor {
+    /// Bytes consumed so far (next free offset before alignment).
+    pub size: u64,
+    /// Largest alignment seen.
+    pub align: u64,
+}
+
+impl LayoutCursor {
+    /// Places one scalar slot; returns its offset.
+    pub fn place_prim(&mut self, prim: WirePrim) -> u64 {
+        let align = u64::from(prim.align);
+        let offset = align_up(self.size, align);
+        self.size = offset + u64::from(prim.slot);
+        self.align = self.align.max(align.max(1));
+        offset
+    }
+
+    /// Places a contiguous run of `count` scalars (requires
+    /// `slot == size`); returns `(offset, trailing_pad)`.
+    pub fn place_run(&mut self, prim: WirePrim, count: u64, enc: &Encoding) -> (u64, u64) {
+        debug_assert_eq!(prim.slot, prim.size, "runs must tile exactly");
+        let align = u64::from(prim.align);
+        let offset = align_up(self.size, align);
+        let data = count * u64::from(prim.size);
+        let pad = match enc.pad_unit {
+            Some(u) => align_up(data, u64::from(u)) - data,
+            None => 0,
+        };
+        self.size = offset + data + pad;
+        self.align = self.align.max(align.max(1));
+        (offset, pad)
+    }
+}
+
+fn push_prim(out: &mut Packed, prim: WirePrim, path: ValPath) {
+    let mut cur = LayoutCursor { size: out.size, align: out.align };
+    let offset = cur.place_prim(prim);
+    out.items.push(PackedItem::Prim { offset, prim, path });
+    out.size = cur.size;
+    out.align = cur.align;
+}
+
+fn push_run(out: &mut Packed, prim: WirePrim, count: u64, path: ValPath, enc: &Encoding) {
+    // A run only works when elements tile without per-element padding
+    // (slot == size); otherwise unroll into slots.
+    if prim.slot == prim.size {
+        let mut cur = LayoutCursor { size: out.size, align: out.align };
+        let (offset, pad) = cur.place_run(prim, count, enc);
+        out.items.push(PackedItem::PrimRun { offset, prim, count, path, pad });
+        out.size = cur.size;
+        out.align = cur.align;
+    } else {
+        for i in 0..count {
+            push_prim(out, prim, path.clone().index(i));
+        }
+    }
+}
+
+/// Rounds `n` up to a multiple of `align`.
+#[must_use]
+pub fn align_up(n: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+/// Classifies the encoded size of the subtree at `pres` (§3.1).
+///
+/// Cycles (recursive types) classify as [`SizeClass::Unbounded`].
+#[must_use]
+pub fn size_class(presc: &PresC, enc: &Encoding, pres: PresId) -> SizeClass {
+    size_class_inner(presc, enc, pres, &mut Vec::new())
+}
+
+fn size_class_inner(
+    presc: &PresC,
+    enc: &Encoding,
+    pres: PresId,
+    on_path: &mut Vec<PresId>,
+) -> SizeClass {
+    if on_path.contains(&pres) {
+        return SizeClass::Unbounded;
+    }
+    on_path.push(pres);
+    let r = match presc.pres.get(pres) {
+        PresNode::Void => SizeClass::Fixed(0),
+        PresNode::Direct { mint, .. } => {
+            let p = enc.prim(&presc.mint, *mint);
+            SizeClass::Fixed(u64::from(p.slot) + enc.descriptor_bytes(1))
+        }
+        PresNode::EnumMap { .. } => SizeClass::Fixed(4 + enc.descriptor_bytes(1)),
+        PresNode::FixedArray { elem, len, .. }
+            if matches!(presc.pres.get(*elem), PresNode::Direct { .. }) =>
+        {
+            let PresNode::Direct { mint, .. } = presc.pres.get(*elem) else {
+                unreachable!()
+            };
+            let p = enc.elem_prim(&presc.mint, *mint);
+            let data = u64::from(p.slot) * len;
+            let pad = match enc.pad_unit {
+                Some(u) => align_up(data, u64::from(u)) - data,
+                None => 0,
+            };
+            SizeClass::Fixed(data + pad + enc.descriptor_bytes(*len))
+        }
+        PresNode::FixedArray { elem, len, .. } => {
+            match size_class_inner(presc, enc, *elem, on_path) {
+                SizeClass::Fixed(n) => {
+                    // Descriptor counted once per array, not per element.
+                    let elem_data = n - enc.descriptor_bytes(1);
+                    let data = elem_data * len;
+                    let pad = match enc.pad_unit {
+                        Some(u) => align_up(data, u64::from(u)) - data,
+                        None => 0,
+                    };
+                    SizeClass::Fixed(data + pad + enc.descriptor_bytes(*len))
+                }
+                SizeClass::Bounded(n) => SizeClass::Bounded(n * len),
+                SizeClass::Unbounded => SizeClass::Unbounded,
+            }
+        }
+        PresNode::TerminatedString { mint, .. } => {
+            let bound = match presc.mint.get(*mint) {
+                flick_mint::MintNode::Array { len, .. } => len.max,
+                _ => None,
+            };
+            match bound {
+                Some(b) => {
+                    // Count prefix + bytes (+ NUL) + padding, worst case.
+                    let body = b + u64::from(matches!(enc.string_wire, crate::encoding::StringWire::CountedNul));
+                    let padded = match enc.pad_unit {
+                        Some(u) => align_up(body, u64::from(u)),
+                        None => body,
+                    };
+                    SizeClass::Bounded(4 + padded + enc.descriptor_bytes(b))
+                }
+                None => SizeClass::Unbounded,
+            }
+        }
+        PresNode::OptPtr { mint, elem, .. } | PresNode::CountedSeq { mint, elem, .. } => {
+            let bound = match presc.mint.get(*mint) {
+                flick_mint::MintNode::Array { len, .. } => len.max,
+                _ => None,
+            };
+            let elem_class = if let PresNode::Direct { mint: em, .. } = presc.pres.get(*elem) {
+                SizeClass::Fixed(u64::from(enc.elem_prim(&presc.mint, *em).slot))
+            } else {
+                size_class_inner(presc, enc, *elem, on_path)
+            };
+            match (bound, elem_class) {
+                (Some(b), SizeClass::Fixed(n) | SizeClass::Bounded(n)) => {
+                    SizeClass::Bounded(4 + n * b + enc.descriptor_bytes(b))
+                }
+                _ => SizeClass::Unbounded,
+            }
+        }
+        PresNode::StructMap { fields, .. } => {
+            let mut acc = SizeClass::Fixed(0);
+            for (_, f) in fields {
+                acc = acc.then(size_class_inner(presc, enc, *f, on_path));
+            }
+            // Struct-internal alignment padding: bound by a pack() when
+            // the struct is fully fixed.
+            if let SizeClass::Fixed(_) = acc {
+                if let Some(p) = pack(presc, enc, pres) {
+                    acc = SizeClass::Fixed(p.size);
+                }
+            }
+            acc
+        }
+        PresNode::UnionMap { discrim, cases, default, .. } => {
+            let mut worst: u64 = 0;
+            let mut any_unbounded = false;
+            for (_, _, c) in cases {
+                match size_class_inner(presc, enc, *c, on_path) {
+                    SizeClass::Fixed(n) | SizeClass::Bounded(n) => worst = worst.max(n),
+                    SizeClass::Unbounded => any_unbounded = true,
+                }
+            }
+            if let Some((_, d)) = default {
+                match size_class_inner(presc, enc, *d, on_path) {
+                    SizeClass::Fixed(n) | SizeClass::Bounded(n) => worst = worst.max(n),
+                    SizeClass::Unbounded => any_unbounded = true,
+                }
+            }
+            let d = size_class_inner(presc, enc, *discrim, on_path);
+            if any_unbounded {
+                SizeClass::Unbounded
+            } else {
+                match d {
+                    SizeClass::Fixed(n) | SizeClass::Bounded(n) => SizeClass::Bounded(n + worst),
+                    SizeClass::Unbounded => SizeClass::Unbounded,
+                }
+            }
+        }
+        PresNode::OptionalPtr { elem, .. } => {
+            match size_class_inner(presc, enc, *elem, on_path) {
+                SizeClass::Fixed(n) | SizeClass::Bounded(n) => SizeClass::Bounded(4 + n),
+                SizeClass::Unbounded => SizeClass::Unbounded,
+            }
+        }
+    };
+    on_path.pop();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_idl::diag::Diagnostics;
+    use flick_pres::Side;
+
+    fn presc_for(idl: &str, iface: &str) -> PresC {
+        let aoi = flick_frontend_corba::parse_str("t.idl", idl);
+        let mut d = Diagnostics::new();
+        flick_presgen::corba_c(&aoi, iface, Side::Client, &mut d).expect("presentation")
+    }
+
+    /// The rectangle structure from §4: two points of two longs.
+    const RECT_IDL: &str = r"
+        struct Point { long x; long y; };
+        struct Rect { Point min; Point max; };
+        interface I { void put(in Rect r); };
+    ";
+
+    #[test]
+    fn rect_packs_to_16_bytes() {
+        let p = presc_for(RECT_IDL, "I");
+        let stub = &p.stubs[0];
+        let enc = Encoding::xdr();
+        let packed = pack(&p, &enc, stub.request.slots[0].pres).expect("rect is fixed");
+        assert_eq!(packed.size, 16);
+        assert_eq!(packed.items.len(), 4);
+        let offsets: Vec<u64> = packed.items.iter().map(PackedItem::offset).collect();
+        assert_eq!(offsets, [0, 4, 8, 12]);
+        // Paths dig through the nested structs.
+        match &packed.items[3] {
+            PackedItem::Prim { path, .. } => {
+                assert_eq!(
+                    *path,
+                    ValPath::Root.field("max").field("y")
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_char_array_becomes_run() {
+        // The 16-byte tag inside the paper's stat-like struct.
+        let p = presc_for(
+            r"
+            struct Stat { long fields[30]; char tag[16]; };
+            interface I { void put(in Stat s); };
+            ",
+            "I",
+        );
+        let enc = Encoding::cdr_be();
+        let packed = pack(&p, &enc, p.stubs[0].request.slots[0].pres).expect("fixed");
+        // 30 longs (one run) + 16 chars (one run) = 2 items, 136 bytes.
+        assert_eq!(packed.items.len(), 2);
+        assert_eq!(packed.size, 136);
+        match &packed.items[1] {
+            PackedItem::PrimRun { offset, count, .. } => {
+                assert_eq!(*offset, 120);
+                assert_eq!(*count, 16);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xdr_char_array_packs_as_bytes() {
+        // XDR packs byte-wide array elements contiguously (opaque
+        // convention), padding the run to a 4-byte boundary: char[5]
+        // occupies 8 bytes as one run.
+        let p = presc_for(
+            "struct T { char tag[5]; }; interface I { void put(in T t); };",
+            "I",
+        );
+        let enc = Encoding::xdr();
+        let packed = pack(&p, &enc, p.stubs[0].request.slots[0].pres).expect("fixed");
+        assert_eq!(packed.items.len(), 1);
+        assert_eq!(packed.size, 8);
+        match &packed.items[0] {
+            PackedItem::PrimRun { count: 5, pad: 3, .. } => {}
+            other => panic!("expected padded byte run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_dirent_stat_is_136_bytes_under_xdr() {
+        // §4: 30 4-byte integers + one 16-byte character array = 136
+        // bytes of encoded data.
+        let p = presc_for(
+            "struct Stat { long fields[30]; char tag[16]; }; interface I { void put(in Stat s); };",
+            "I",
+        );
+        let packed = pack(&p, &Encoding::xdr(), p.stubs[0].request.slots[0].pres).unwrap();
+        assert_eq!(packed.size, 136);
+        assert_eq!(packed.items.len(), 2);
+    }
+
+    #[test]
+    fn string_defeats_packing() {
+        let p = presc_for(
+            "struct D { string name; long n; }; interface I { void put(in D d); };",
+            "I",
+        );
+        assert!(pack(&p, &Encoding::xdr(), p.stubs[0].request.slots[0].pres).is_none());
+    }
+
+    #[test]
+    fn cdr_alignment_padding_counted() {
+        // char + double: CDR aligns the double to 8 → size 16.
+        let p = presc_for(
+            "struct M { char c; double d; }; interface I { void put(in M m); };",
+            "I",
+        );
+        let packed = pack(&p, &Encoding::cdr_be(), p.stubs[0].request.slots[0].pres).unwrap();
+        assert_eq!(packed.size, 16);
+        assert_eq!(packed.items[1].offset(), 8);
+        assert_eq!(packed.align, 8);
+        // XDR widens the char instead: 4 + pad4 + 8 = 12? No: XDR
+        // aligns the 8-byte slot to 4 only.
+        let packed_xdr = pack(&p, &Encoding::xdr(), p.stubs[0].request.slots[0].pres).unwrap();
+        assert_eq!(packed_xdr.size, 12);
+    }
+
+    #[test]
+    fn size_classes() {
+        let p = presc_for(
+            r"
+            struct Fixed { long a; long b; };
+            typedef sequence<long, 16> Bounded;
+            typedef sequence<long> Unbounded;
+            interface I {
+                void f(in Fixed x);
+                void g(in Bounded x);
+                void h(in Unbounded x);
+                void s(in string<10> x);
+                void u(in string x);
+            };
+            ",
+            "I",
+        );
+        let enc = Encoding::xdr();
+        let class_of = |op: &str| {
+            let stub = p
+                .stubs
+                .iter()
+                .find(|s| s.op.name == op)
+                .unwrap_or_else(|| panic!("stub {op}"));
+            size_class(&p, &enc, stub.request.slots[0].pres)
+        };
+        assert_eq!(class_of("f"), SizeClass::Fixed(8));
+        assert_eq!(class_of("g"), SizeClass::Bounded(4 + 16 * 4));
+        assert_eq!(class_of("h"), SizeClass::Unbounded);
+        // string<10>: 4 + 12 (10 padded to 12) = 16.
+        assert_eq!(class_of("s"), SizeClass::Bounded(16));
+        assert_eq!(class_of("u"), SizeClass::Unbounded);
+    }
+
+    #[test]
+    fn recursive_type_is_unbounded() {
+        let aoi = flick_frontend_onc::parse_str(
+            "l.x",
+            r"
+            struct node { int v; node *next; };
+            program L { version V { void put(node n) = 1; } = 1; } = 9;
+            ",
+        );
+        let mut d = Diagnostics::new();
+        let p = flick_presgen::rpcgen_c(&aoi, "L", Side::Client, &mut d).unwrap();
+        let enc = Encoding::xdr();
+        assert_eq!(
+            size_class(&p, &enc, p.stubs[0].request.slots[0].pres),
+            SizeClass::Unbounded
+        );
+    }
+
+    #[test]
+    fn size_class_composition() {
+        use SizeClass::{Bounded, Fixed, Unbounded};
+        assert_eq!(Fixed(4).then(Fixed(8)), Fixed(12));
+        assert_eq!(Fixed(4).then(Bounded(8)), Bounded(12));
+        assert_eq!(Bounded(4).then(Fixed(8)), Bounded(12));
+        assert_eq!(Fixed(4).then(Unbounded), Unbounded);
+        assert_eq!(Unbounded.then(Fixed(1)), Unbounded);
+        assert_eq!(Fixed(9).bound(), Some(9));
+        assert_eq!(Unbounded.bound(), None);
+    }
+
+    #[test]
+    fn mach_descriptors_defeat_packing() {
+        let p = presc_for(RECT_IDL, "I");
+        assert!(pack(&p, &Encoding::mach3(), p.stubs[0].request.slots[0].pres).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Flick's optimizing back ends: PRES-C → stub implementations
+//! (paper §2.3 and §3).
+//!
+//! A back end is specific to a message encoding and transport but
+//! independent of the IDL and presentation rules that produced its
+//! input.  All back ends here share one large optimization library —
+//! exactly the structure the paper's Table 1 reports — organized as:
+//!
+//! * [`encoding`] — wire-format descriptions (XDR, CDR big/little
+//!   endian, Mach 3 typed, Fluke IPC): primitive sizes, alignment,
+//!   byte order, count prefixes, string conventions;
+//! * [`layout`] — §3.1 storage classification: every message region is
+//!   *fixed*, *variable but bounded*, or *unbounded*;
+//! * [`plan`] — the marshal plan, the IR on which the optimizations
+//!   run: buffer-check hoisting, chunk formation, `memcpy` run
+//!   coalescing, marshal-code inlining, and the word-wise
+//!   discriminator switches of §3.3;
+//! * [`emit_c`] — plan → CAST → C source (the paper's actual output);
+//! * [`emit_rust`] — plan → Rust source against `flick-runtime`,
+//!   which the benchmark harness compiles and *executes*;
+//! * [`opts`] — [`OptFlags`], individual toggles for each optimization
+//!   so the ablation benchmarks can reproduce the paper's §3 claims.
+//!
+//! The entry point is [`BackEnd::compile`].
+
+pub mod c_header;
+pub mod emit_c;
+pub mod emit_rust;
+pub mod encoding;
+pub mod layout;
+pub mod opts;
+pub mod plan;
+
+pub use c_header::C_RUNTIME_HEADER;
+pub use encoding::{Encoding, WirePrim};
+pub use opts::OptFlags;
+
+use flick_pres::PresC;
+
+/// Which transport family a back end serves (paper: CORBA IIOP/TCP,
+/// ONC/XDR over TCP or UDP, Mach 3 typed messages, Fluke kernel IPC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// CORBA IIOP over TCP.
+    IiopTcp,
+    /// ONC RPC over TCP (record-marked).
+    OncTcp,
+    /// ONC RPC over UDP (datagrams).
+    OncUdp,
+    /// Mach 3 IPC between ports.
+    Mach3,
+    /// Fluke kernel IPC (register window).
+    Fluke,
+}
+
+impl Transport {
+    /// The natural encoding for this transport.
+    #[must_use]
+    pub fn default_encoding(self) -> Encoding {
+        match self {
+            Transport::IiopTcp => Encoding::cdr_native(),
+            Transport::OncTcp | Transport::OncUdp => Encoding::xdr(),
+            Transport::Mach3 => Encoding::mach3(),
+            Transport::Fluke => Encoding::fluke(),
+        }
+    }
+
+    /// Stable name used in generated-code banners and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::IiopTcp => "iiop-tcp",
+            Transport::OncTcp => "onc-tcp",
+            Transport::OncUdp => "onc-udp",
+            Transport::Mach3 => "mach3",
+            Transport::Fluke => "fluke",
+        }
+    }
+}
+
+/// A configured back end: encoding + transport + optimization flags.
+#[derive(Clone, Debug)]
+pub struct BackEnd {
+    /// Transport the stubs will speak.
+    pub transport: Transport,
+    /// Wire encoding (usually `transport.default_encoding()`).
+    pub encoding: Encoding,
+    /// Optimization toggles.
+    pub opts: OptFlags,
+}
+
+impl BackEnd {
+    /// A back end for `transport` with its natural encoding and all
+    /// optimizations enabled.
+    #[must_use]
+    pub fn new(transport: Transport) -> Self {
+        BackEnd {
+            transport,
+            encoding: transport.default_encoding(),
+            opts: OptFlags::all(),
+        }
+    }
+
+    /// Replaces the optimization flags.
+    #[must_use]
+    pub fn with_opts(mut self, opts: OptFlags) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Compiles a presentation into stub implementations.
+    ///
+    /// # Errors
+    /// Returns a message when the presentation uses a construct this
+    /// back end cannot lower (see `emit_rust` for the Rust subset).
+    pub fn compile(&self, presc: &PresC) -> Result<Compiled, String> {
+        let plans = plan::plan_presc(presc, &self.encoding, &self.opts)?;
+        let c_unit = emit_c::emit(presc, &plans, self);
+        let c_source = flick_cast::Printer::new().unit(&c_unit);
+        let rust_source = emit_rust::emit(presc, &plans, self)?;
+        Ok(Compiled { c_unit, c_source, rust_source, plans })
+    }
+}
+
+/// The artifacts a back end produces for one presentation.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The generated C declarations and stub definitions.
+    pub c_unit: flick_cast::CUnit,
+    /// Pretty-printed C source.
+    pub c_source: String,
+    /// Rust stub source against `flick-runtime`.
+    pub rust_source: String,
+    /// The per-stub marshal plans (exposed for tests and the
+    /// code-size accounting of Table 2).
+    pub plans: Vec<plan::StubPlan>,
+}

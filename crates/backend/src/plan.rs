@@ -1,0 +1,686 @@
+//! The marshal plan: the IR on which Flick's optimizations run.
+//!
+//! Planning turns each stub's PRES trees into [`PlanNode`] trees whose
+//! *shape records the optimization decisions*:
+//!
+//! * a fixed-layout region that packs becomes one [`PlanNode::Packed`]
+//!   chunk (§3.2 chunking — constant-offset accesses, one space
+//!   decision);
+//! * an atomic array whose wire and memory layouts coincide becomes a
+//!   [`PlanNode::MemcpyArray`] (§3.2 data copying);
+//! * whole-message and per-region space requirements are classified
+//!   (§3.1) so emitters hoist their buffer checks;
+//! * recursion — and, when inlining is disabled, every named aggregate
+//!   — is routed through an out-of-line function ([`PlanNode::Outline`],
+//!   §3.3).
+//!
+//! Emitters walk these trees twice per stub, once in the encode
+//! direction and once in decode.
+
+use std::collections::BTreeMap;
+
+use flick_mint::MintNode;
+use flick_pres::{OpInfo, PresC, PresId, PresNode, StubKind};
+
+use crate::encoding::{Encoding, StringWire, WirePrim};
+use crate::layout::{pack, size_class, Packed, SizeClass};
+use crate::opts::OptFlags;
+
+/// A planned conversion for one value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanNode {
+    /// Nothing to marshal.
+    Void,
+    /// A single scalar.
+    Prim {
+        /// Wire form.
+        prim: WirePrim,
+        /// Mach-style descriptor to emit first, if the encoding is typed.
+        descriptor: Option<u32>,
+    },
+    /// An enum, wire-encoded as u32.
+    Enum {
+        /// Wire form of the discriminating integer.
+        prim: WirePrim,
+    },
+    /// A packed fixed-layout region accessed through a chunk pointer.
+    Packed {
+        /// The computed layout.
+        layout: Packed,
+        /// Name of the presented aggregate type (for emitters).
+        type_name: Option<String>,
+        /// The PRES node the layout was packed from (emitters walk it
+        /// to reconstruct values on the decode side).
+        pres: flick_pres::PresId,
+    },
+    /// A counted array of layout-identical scalars: block copy.
+    MemcpyArray {
+        /// Element wire form.
+        prim: WirePrim,
+        /// Static element count for fixed arrays; `None` for counted.
+        fixed_len: Option<u64>,
+        /// Declared bound for counted arrays.
+        bound: Option<u64>,
+        /// Whether a count prefix travels before the data.
+        counted: bool,
+        /// Trailing padding unit, if the encoding pads.
+        pad_unit: Option<u8>,
+        /// Mach-style descriptor name, if the encoding is typed.
+        descriptor: Option<u8>,
+    },
+    /// A string (counted char data).
+    String {
+        /// Declared bound, if any.
+        bound: Option<u64>,
+        /// Wire convention.
+        style: StringWire,
+        /// Padding unit, if any.
+        pad_unit: Option<u8>,
+        /// Whether the receive side may borrow from the buffer (§3.1
+        /// parameter management; set only for server `in` data with
+        /// `param_mgmt` on).
+        borrow_ok: bool,
+        /// Mach-style descriptor name, if the encoding is typed.
+        descriptor: Option<u8>,
+    },
+    /// A counted array marshaled element by element.
+    CountedArray {
+        /// Declared bound, if any.
+        bound: Option<u64>,
+        /// Per-element plan.
+        elem: Box<PlanNode>,
+        /// Size class of one element (drives check hoisting: a fixed
+        /// element lets the emitter `ensure(count * size)` once).
+        elem_class: SizeClass,
+        /// Rust/C element type name.
+        elem_type: String,
+        /// Presented sequence type name.
+        type_name: String,
+        /// Field names of the counted representation (C emission).
+        fields: (String, String, String),
+    },
+    /// A fixed array marshaled element by element (used when the
+    /// element is variable-size, or when chunking is disabled).
+    FixedArray {
+        /// Element count.
+        len: u64,
+        /// Per-element plan.
+        elem: Box<PlanNode>,
+        /// Element type name.
+        elem_type: String,
+    },
+    /// A struct marshaled member by member (variable-size members, or
+    /// chunking disabled).
+    Struct {
+        /// Presented type name.
+        type_name: String,
+        /// `(member name, plan)` in order.
+        fields: Vec<(String, PlanNode)>,
+    },
+    /// A discriminated union.
+    Union {
+        /// Presented type name.
+        type_name: String,
+        /// Discriminator wire form.
+        disc_prim: WirePrim,
+        /// `(label, member name, plan)` arms.
+        cases: Vec<(i64, String, PlanNode)>,
+        /// Default arm.
+        default: Option<(String, Box<PlanNode>)>,
+    },
+    /// ONC optional data: a presence flag then the value.
+    Optional {
+        /// Pointee plan.
+        elem: Box<PlanNode>,
+        /// Pointee type name.
+        elem_type: String,
+    },
+    /// Marshal via an out-of-line function (recursion, or inlining
+    /// disabled).
+    Outline {
+        /// Key into [`StubPlans::outlines`].
+        key: String,
+    },
+}
+
+/// Plan for one message direction of one stub.
+#[derive(Clone, Debug)]
+pub struct MsgPlan {
+    /// Whole-message size class (§3.1) — includes the operation
+    /// discriminator and every slot, excludes transport headers.
+    pub class: SizeClass,
+    /// Per-slot plans, in marshal order.
+    pub slots: Vec<SlotPlan>,
+}
+
+/// Plan for one bound value of a message.
+#[derive(Clone, Debug)]
+pub struct SlotPlan {
+    /// The C/Rust-level name the slot binds to.
+    pub name: String,
+    /// Whether the C stub receives it through a pointer.
+    pub by_ref: bool,
+    /// The conversion tree.
+    pub node: PlanNode,
+}
+
+/// The full plan for one stub.
+#[derive(Clone, Debug)]
+pub struct StubPlan {
+    /// Stub (function) name.
+    pub name: String,
+    /// Stub role.
+    pub kind: StubKind,
+    /// Operation metadata (request code, wire name, oneway).
+    pub op: OpInfo,
+    /// Request-direction plan.
+    pub request: MsgPlan,
+    /// Reply-direction plan.
+    pub reply: MsgPlan,
+}
+
+/// Plans for every stub of a presentation, plus shared out-of-line
+/// marshal functions.
+#[derive(Clone, Debug)]
+pub struct StubPlans {
+    /// Per-stub plans in presentation order.
+    pub stubs: Vec<StubPlan>,
+    /// Out-of-line marshal bodies by key (type name).
+    pub outlines: BTreeMap<String, PlanNode>,
+}
+
+pub(crate) type PlanResult<T> = Result<T, String>;
+
+struct Planner<'a> {
+    presc: &'a PresC,
+    enc: &'a Encoding,
+    opts: &'a OptFlags,
+    outlines: BTreeMap<String, PlanNode>,
+    in_progress: Vec<(PresId, String)>,
+}
+
+/// Builds plans for every stub in `presc`.
+///
+/// # Errors
+/// Returns a message if the presentation contains a conversion this
+/// planner cannot lower.
+pub fn plan_presc(
+    presc: &PresC,
+    enc: &Encoding,
+    opts: &OptFlags,
+) -> PlanResult<Vec<StubPlan>> {
+    Ok(plan_presc_full(presc, enc, opts)?.stubs)
+}
+
+/// Like [`plan_presc`] but also returns shared outline bodies.
+///
+/// # Errors
+/// Returns a message if the presentation contains a conversion this
+/// planner cannot lower.
+pub fn plan_presc_full(
+    presc: &PresC,
+    enc: &Encoding,
+    opts: &OptFlags,
+) -> PlanResult<StubPlans> {
+    let mut planner = Planner {
+        presc,
+        enc,
+        opts,
+        outlines: BTreeMap::new(),
+        in_progress: Vec::new(),
+    };
+    let mut stubs = Vec::new();
+    for stub in &presc.stubs {
+        let request = planner.plan_message(&stub.request)?;
+        let reply = planner.plan_message(&stub.reply)?;
+        stubs.push(StubPlan {
+            name: stub.name.clone(),
+            kind: stub.kind,
+            op: stub.op.clone(),
+            request,
+            reply,
+        });
+    }
+    Ok(StubPlans { stubs, outlines: planner.outlines })
+}
+
+impl<'a> Planner<'a> {
+    fn plan_message(&mut self, msg: &flick_pres::MessagePres) -> PlanResult<MsgPlan> {
+        let mut class = SizeClass::Fixed(u64::from(self.enc.len_prefix().slot)); // op discriminator
+        let mut slots = Vec::new();
+        for slot in &msg.slots {
+            class = class.then(size_class(self.presc, self.enc, slot.pres));
+            slots.push(SlotPlan {
+                name: slot.c_name.clone(),
+                by_ref: slot.by_ref,
+                node: self.plan_node(slot.pres)?,
+            });
+        }
+        Ok(MsgPlan { class, slots })
+    }
+
+    fn type_name_of(&self, pres: PresId) -> Option<String> {
+        match self.presc.pres.get(pres).ctype() {
+            Some(flick_cast::CType::Named(n)) => Some(n.clone()),
+            _ => None,
+        }
+    }
+
+    fn plan_node(&mut self, pres: PresId) -> PlanResult<PlanNode> {
+        // Recursion check: a pres node already being planned must go
+        // out of line regardless of the inlining flag.
+        if let Some((_, key)) = self.in_progress.iter().find(|(p, _)| *p == pres) {
+            let key = key.clone();
+            return Ok(PlanNode::Outline { key });
+        }
+
+        let node = self.presc.pres.get(pres).clone();
+
+        // Named aggregates go out of line when inlining is disabled —
+        // the call-per-datum shape of traditional IDL compilers.
+        let outline_key = match &node {
+            PresNode::StructMap { .. } | PresNode::UnionMap { .. } | PresNode::OptionalPtr { .. } => {
+                self.type_name_of(pres)
+            }
+            _ => None,
+        };
+        let force_outline = !self.opts.inline_marshal && outline_key.is_some();
+        let is_recursive_candidate = matches!(
+            node,
+            PresNode::StructMap { .. } | PresNode::UnionMap { .. } | PresNode::OptionalPtr { .. }
+        );
+
+        if is_recursive_candidate {
+            let key = outline_key.clone().unwrap_or_else(|| format!("anon_{}", pres.index()));
+            self.in_progress.push((pres, key));
+        }
+        let planned = self.plan_node_inner(&node, pres);
+        let popped = if is_recursive_candidate {
+            self.in_progress.pop()
+        } else {
+            None
+        };
+        let planned = planned?;
+
+        // If anything inside referenced us as an outline, or inlining
+        // is off, register the body and return a call.
+        let key = popped.map(|(_, k)| k);
+        if let Some(key) = key {
+            let was_referenced = plan_references_outline(&planned, &key);
+            if force_outline || was_referenced {
+                self.outlines.insert(key.clone(), planned);
+                return Ok(PlanNode::Outline { key });
+            }
+        }
+        Ok(planned)
+    }
+
+    fn plan_node_inner(&mut self, node: &PresNode, pres: PresId) -> PlanResult<PlanNode> {
+        Ok(match node {
+            PresNode::Void => PlanNode::Void,
+            PresNode::Direct { mint, .. } => PlanNode::Prim {
+                prim: self.enc.prim(&self.presc.mint, *mint),
+                descriptor: None,
+            },
+            PresNode::EnumMap { .. } => PlanNode::Enum { prim: self.enc.prim_for_size(4, false) },
+            PresNode::StructMap { .. } | PresNode::FixedArray { .. }
+                if self.opts.chunking && pack(self.presc, self.enc, pres).is_some() =>
+            {
+                let layout = pack(self.presc, self.enc, pres).expect("checked above");
+                PlanNode::Packed { layout, type_name: self.type_name_of(pres), pres }
+            }
+            PresNode::StructMap { fields, .. } => {
+                let mut fs = Vec::new();
+                for (name, f) in fields {
+                    fs.push((name.clone(), self.plan_node(*f)?));
+                }
+                PlanNode::Struct {
+                    type_name: self
+                        .type_name_of(pres)
+                        .unwrap_or_else(|| format!("anon_{}", pres.index())),
+                    fields: fs,
+                }
+            }
+            PresNode::FixedArray { elem, len, .. } => {
+                // Chunking off or variable elements: try a memcpy run
+                // for scalar elements first.
+                if let PresNode::Direct { mint, .. } = self.presc.pres.get(*elem) {
+                    let prim = self.enc.elem_prim(&self.presc.mint, *mint);
+                    if self.opts.memcpy && prim.memcpy_compatible(prim.size) {
+                        return Ok(PlanNode::MemcpyArray {
+                            prim,
+                            fixed_len: Some(*len),
+                            bound: None,
+                            counted: false,
+                            pad_unit: self.enc.pad_unit,
+                            descriptor: self.descriptor_for(prim),
+                        });
+                    }
+                }
+                PlanNode::FixedArray {
+                    len: *len,
+                    elem: Box::new(self.plan_node(*elem)?),
+                    elem_type: self.elem_type_name(*elem),
+                }
+            }
+            PresNode::TerminatedString { mint, alloc, .. } => {
+                let bound = match self.presc.mint.get(*mint) {
+                    MintNode::Array { len, .. } => len.max,
+                    _ => None,
+                };
+                PlanNode::String {
+                    bound,
+                    style: self.enc.string_wire,
+                    pad_unit: self.enc.pad_unit,
+                    borrow_ok: self.opts.param_mgmt && alloc.may_use_buffer,
+                    descriptor: if self.enc.typed_descriptors { Some(8) } else { None },
+                }
+            }
+            PresNode::OptPtr { mint, elem, .. } | PresNode::CountedSeq { mint, elem, .. } => {
+                let bound = match self.presc.mint.get(*mint) {
+                    MintNode::Array { len, .. } => len.max,
+                    _ => None,
+                };
+                // memcpy run for layout-identical scalar elements.
+                if let PresNode::Direct { mint: em, .. } = self.presc.pres.get(*elem) {
+                    let prim = self.enc.elem_prim(&self.presc.mint, *em);
+                    if self.opts.memcpy && prim.memcpy_compatible(prim.size) {
+                        return Ok(PlanNode::MemcpyArray {
+                            prim,
+                            fixed_len: None,
+                            bound,
+                            counted: true,
+                            pad_unit: self.enc.pad_unit,
+                            descriptor: self.descriptor_for(prim),
+                        });
+                    }
+                }
+                let elem_class = size_class(self.presc, self.enc, *elem);
+                let (fields, type_name) = match node {
+                    PresNode::CountedSeq {
+                        length_field, maximum_field, buffer_field, ctype, ..
+                    } => (
+                        (length_field.clone(), maximum_field.clone(), buffer_field.clone()),
+                        match ctype {
+                            flick_cast::CType::Named(n) => n.clone(),
+                            _ => format!("seq_{}", pres.index()),
+                        },
+                    ),
+                    _ => (
+                        ("_length".into(), "_maximum".into(), "_buffer".into()),
+                        format!("seq_{}", pres.index()),
+                    ),
+                };
+                PlanNode::CountedArray {
+                    bound,
+                    elem: Box::new(self.plan_node(*elem)?),
+                    elem_class,
+                    elem_type: self.elem_type_name(*elem),
+                    type_name,
+                    fields,
+                }
+            }
+            PresNode::UnionMap { discrim, cases, default, .. } => {
+                let disc_prim = match self.presc.pres.get(*discrim) {
+                    PresNode::Direct { mint, .. } => self.enc.prim(&self.presc.mint, *mint),
+                    PresNode::EnumMap { .. } => self.enc.prim_for_size(4, false),
+                    other => return Err(format!("unsupported union discriminator {other:?}")),
+                };
+                let mut arms = Vec::new();
+                for (v, name, c) in cases {
+                    arms.push((*v, name.clone(), self.plan_node(*c)?));
+                }
+                let default = match default {
+                    Some((name, d)) => Some((name.clone(), Box::new(self.plan_node(*d)?))),
+                    None => None,
+                };
+                PlanNode::Union {
+                    type_name: self
+                        .type_name_of(pres)
+                        .unwrap_or_else(|| format!("anon_{}", pres.index())),
+                    disc_prim,
+                    cases: arms,
+                    default,
+                }
+            }
+            PresNode::OptionalPtr { elem, .. } => PlanNode::Optional {
+                elem: Box::new(self.plan_node(*elem)?),
+                elem_type: self.elem_type_name(*elem),
+            },
+        })
+    }
+
+    fn descriptor_for(&self, prim: WirePrim) -> Option<u8> {
+        if !self.enc.typed_descriptors {
+            return None;
+        }
+        Some(match (prim.size, prim.signed) {
+            (1, _) => 9,  // BYTE
+            (4, true) => 2, // INTEGER_32
+            (4, false) => 2,
+            (8, _) => 11, // INTEGER_64
+            (2, _) => 2,
+            _ => 9,
+        })
+    }
+
+    fn elem_type_name(&self, elem: PresId) -> String {
+        match self.presc.pres.get(elem).ctype() {
+            Some(flick_cast::CType::Named(n)) => n.clone(),
+            Some(c) => rust_prim_name(c).to_string(),
+            None => "u8".to_string(),
+        }
+    }
+}
+
+/// True if `plan` contains an `Outline` referencing `key` (detects
+/// recursive self-references that force the out-of-line form).
+fn plan_references_outline(plan: &PlanNode, key: &str) -> bool {
+    match plan {
+        PlanNode::Outline { key: k } => k == key,
+        PlanNode::Struct { fields, .. } => {
+            fields.iter().any(|(_, f)| plan_references_outline(f, key))
+        }
+        PlanNode::Union { cases, default, .. } => {
+            cases.iter().any(|(_, _, c)| plan_references_outline(c, key))
+                || default
+                    .as_ref()
+                    .is_some_and(|(_, d)| plan_references_outline(d, key))
+        }
+        PlanNode::CountedArray { elem, .. }
+        | PlanNode::FixedArray { elem, .. }
+        | PlanNode::Optional { elem, .. } => plan_references_outline(elem, key),
+        _ => false,
+    }
+}
+
+/// The Rust spelling of a presented scalar C type (shared between the
+/// planner and the Rust emitter).
+#[must_use]
+pub fn rust_prim_name(c: &flick_cast::CType) -> &'static str {
+    use flick_cast::CType;
+    match c {
+        CType::Char => "u8",
+        CType::SChar => "i8",
+        CType::UChar => "u8",
+        CType::Short => "i16",
+        CType::UShort => "u16",
+        CType::Int => "i32",
+        CType::UInt => "u32",
+        CType::Long => "i64",
+        CType::ULong => "u64",
+        CType::LongLong => "i64",
+        CType::ULongLong => "u64",
+        CType::Float => "f32",
+        CType::Double => "f64",
+        _ => "u8",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_idl::diag::Diagnostics;
+    use flick_pres::Side;
+
+    fn plan_for(idl: &str, iface: &str, enc: &Encoding, opts: &OptFlags) -> Vec<StubPlan> {
+        let aoi = flick_frontend_corba::parse_str("t.idl", idl);
+        let mut d = Diagnostics::new();
+        let p = flick_presgen::corba_c(&aoi, iface, Side::Client, &mut d).expect("presentation");
+        plan_presc(&p, enc, opts).expect("plan")
+    }
+
+    const RECTS_IDL: &str = r"
+        struct Point { long x; long y; };
+        struct Rect { Point min; Point max; };
+        typedef sequence<Rect> RectSeq;
+        interface I { void put(in RectSeq rs); };
+    ";
+
+    #[test]
+    fn rect_sequence_plans_as_loop_of_chunks() {
+        let plans = plan_for(RECTS_IDL, "I", &Encoding::xdr(), &OptFlags::all());
+        let slot = &plans[0].request.slots[0];
+        let PlanNode::CountedArray { elem, elem_class, .. } = &slot.node else {
+            panic!("expected counted array, got {:?}", slot.node);
+        };
+        assert_eq!(*elem_class, SizeClass::Fixed(16));
+        assert!(
+            matches!(**elem, PlanNode::Packed { ref layout, .. } if layout.size == 16),
+            "rect element packs into a 16-byte chunk: {elem:?}"
+        );
+    }
+
+    #[test]
+    fn chunking_off_yields_per_datum_structs() {
+        let mut opts = OptFlags::all();
+        opts.chunking = false;
+        let plans = plan_for(RECTS_IDL, "I", &Encoding::xdr(), &opts);
+        let PlanNode::CountedArray { elem, .. } = &plans[0].request.slots[0].node else {
+            panic!("counted array");
+        };
+        assert!(matches!(**elem, PlanNode::Struct { .. }), "{elem:?}");
+    }
+
+    #[test]
+    fn int_array_memcpy_depends_on_order() {
+        let idl = "typedef sequence<long> Ints; interface I { void put(in Ints v); };";
+        // Native-order CDR: memcpy run.
+        let plans = plan_for(idl, "I", &Encoding::cdr_native(), &OptFlags::all());
+        assert!(
+            matches!(plans[0].request.slots[0].node, PlanNode::MemcpyArray { .. }),
+            "{:?}",
+            plans[0].request.slots[0].node
+        );
+        // Foreign-order CDR on this host: element loop instead.
+        let foreign = if cfg!(target_endian = "little") {
+            Encoding::cdr_be()
+        } else {
+            Encoding::cdr_le()
+        };
+        let plans = plan_for(idl, "I", &foreign, &OptFlags::all());
+        assert!(matches!(
+            plans[0].request.slots[0].node,
+            PlanNode::CountedArray { .. }
+        ));
+        // memcpy disabled: element loop even in native order.
+        let mut opts = OptFlags::all();
+        opts.memcpy = false;
+        let plans = plan_for(idl, "I", &Encoding::cdr_native(), &opts);
+        assert!(matches!(
+            plans[0].request.slots[0].node,
+            PlanNode::CountedArray { .. }
+        ));
+    }
+
+    #[test]
+    fn octet_arrays_always_memcpy() {
+        // Byte-wide elements block-copy under any byte order (CDR keeps
+        // them packed; XDR pads only at the end of the run).
+        let idl = "typedef sequence<octet> Blob; interface I { void put(in Blob b); };";
+        for enc in [Encoding::xdr(), Encoding::cdr_be(), Encoding::cdr_le()] {
+            let plans = plan_for(idl, "I", &enc, &OptFlags::all());
+            assert!(
+                matches!(plans[0].request.slots[0].node, PlanNode::MemcpyArray { .. }),
+                "{} should memcpy bytes",
+                enc.name
+            );
+        }
+    }
+
+    #[test]
+    fn string_plan_styles() {
+        let idl = "interface I { void put(in string s); };";
+        let plans = plan_for(idl, "I", &Encoding::xdr(), &OptFlags::all());
+        let PlanNode::String { style, pad_unit, .. } = &plans[0].request.slots[0].node else {
+            panic!("string plan");
+        };
+        assert_eq!(*style, StringWire::CountedPadded);
+        assert_eq!(*pad_unit, Some(4));
+        let plans = plan_for(idl, "I", &Encoding::cdr_be(), &OptFlags::all());
+        let PlanNode::String { style, .. } = &plans[0].request.slots[0].node else {
+            panic!("string plan");
+        };
+        assert_eq!(*style, StringWire::CountedNul);
+    }
+
+    #[test]
+    fn message_class_covers_discriminator_and_slots() {
+        let idl = "struct P { long a; long b; }; interface I { void put(in P p); };";
+        let plans = plan_for(idl, "I", &Encoding::xdr(), &OptFlags::all());
+        // 4 (op code) + 8 (two longs) = 12 fixed bytes.
+        assert_eq!(plans[0].request.class, SizeClass::Fixed(12));
+        // Reply: just the status-free empty body.
+        assert_eq!(plans[0].reply.class, SizeClass::Fixed(4));
+    }
+
+    #[test]
+    fn inlining_off_outlines_named_structs() {
+        let aoi = flick_frontend_corba::parse_str("t.idl", RECTS_IDL);
+        let mut d = Diagnostics::new();
+        let p = flick_presgen::corba_c(&aoi, "I", Side::Client, &mut d).unwrap();
+        let mut opts = OptFlags::all();
+        opts.inline_marshal = false;
+        opts.chunking = false; // the traditional call-per-aggregate shape
+        let full = plan_presc_full(&p, &Encoding::xdr(), &opts).unwrap();
+        let PlanNode::CountedArray { elem, .. } = &full.stubs[0].request.slots[0].node else {
+            panic!("counted array");
+        };
+        assert!(
+            matches!(**elem, PlanNode::Outline { ref key } if key == "Rect"),
+            "{elem:?}"
+        );
+        assert!(full.outlines.contains_key("Rect"));
+        assert!(full.outlines.contains_key("Point"), "nested aggregate outlined too");
+    }
+
+    #[test]
+    fn recursion_always_outlines() {
+        let aoi = flick_frontend_onc::parse_str(
+            "l.x",
+            r"
+            struct node { int v; node *next; };
+            program L { version V { void put(node n) = 1; } = 1; } = 9;
+            ",
+        );
+        let mut d = Diagnostics::new();
+        let p = flick_presgen::rpcgen_c(&aoi, "L", Side::Client, &mut d).unwrap();
+        // Even with inlining ON, the self-reference goes out of line.
+        let full = plan_presc_full(&p, &Encoding::xdr(), &OptFlags::all()).unwrap();
+        assert!(
+            full.outlines.contains_key("node"),
+            "recursive struct must have an outline body: {:?}",
+            full.outlines.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mach_encoding_plans_descriptored_array() {
+        let idl = "typedef sequence<long> Ints; interface I { void put(in Ints v); };";
+        let plans = plan_for(idl, "I", &Encoding::mach3(), &OptFlags::all());
+        let PlanNode::MemcpyArray { descriptor, .. } = &plans[0].request.slots[0].node else {
+            panic!("mach ints plan: {:?}", plans[0].request.slots[0].node);
+        };
+        assert_eq!(*descriptor, Some(2), "INTEGER_32 descriptor");
+    }
+}

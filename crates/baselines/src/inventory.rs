@@ -1,0 +1,102 @@
+//! Table 3: the tested IDL compilers and their attributes.
+
+/// One row of the paper's Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompilerInfo {
+    /// Compiler name.
+    pub compiler: &'static str,
+    /// Originating organization.
+    pub origin: &'static str,
+    /// Accepted IDL.
+    pub idl: &'static str,
+    /// Wire encoding.
+    pub encoding: &'static str,
+    /// Transport.
+    pub transport: &'static str,
+    /// Whether this configuration is Flick itself.
+    pub is_flick: bool,
+}
+
+/// The paper's Table 3, row for row.
+#[must_use]
+pub fn inventory() -> Vec<CompilerInfo> {
+    vec![
+        CompilerInfo {
+            compiler: "rpcgen",
+            origin: "Sun",
+            idl: "ONC",
+            encoding: "XDR",
+            transport: "ONC/TCP",
+            is_flick: false,
+        },
+        CompilerInfo {
+            compiler: "PowerRPC",
+            origin: "Netbula",
+            idl: "~CORBA",
+            encoding: "XDR",
+            transport: "ONC/TCP",
+            is_flick: false,
+        },
+        CompilerInfo {
+            compiler: "Flick",
+            origin: "Utah",
+            idl: "ONC",
+            encoding: "XDR",
+            transport: "ONC/TCP",
+            is_flick: true,
+        },
+        CompilerInfo {
+            compiler: "ORBeline",
+            origin: "Visigenic",
+            idl: "CORBA",
+            encoding: "IIOP",
+            transport: "TCP",
+            is_flick: false,
+        },
+        CompilerInfo {
+            compiler: "ILU",
+            origin: "Xerox PARC",
+            idl: "CORBA",
+            encoding: "IIOP",
+            transport: "TCP",
+            is_flick: false,
+        },
+        CompilerInfo {
+            compiler: "Flick",
+            origin: "Utah",
+            idl: "CORBA",
+            encoding: "IIOP",
+            transport: "TCP",
+            is_flick: true,
+        },
+        CompilerInfo {
+            compiler: "MIG",
+            origin: "CMU",
+            idl: "MIG",
+            encoding: "Mach 3",
+            transport: "Mach 3",
+            is_flick: false,
+        },
+        CompilerInfo {
+            compiler: "Flick",
+            origin: "Utah",
+            idl: "ONC",
+            encoding: "Mach 3",
+            transport: "Mach 3",
+            is_flick: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_like_the_paper() {
+        let inv = inventory();
+        assert_eq!(inv.len(), 8);
+        assert_eq!(inv.iter().filter(|c| c.is_flick).count(), 3);
+        assert!(inv.iter().any(|c| c.compiler == "ORBeline"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The ORBeline baseline.
+//!
+//! ORBeline was Visigenic's commercial CORBA C++ ORB.  Its stubs run
+//! every datum through the ORB's `CORBA::MarshalBuffer`-style virtual
+//! interface (C++ virtual calls), allocate a fresh message buffer per
+//! request (general ORBs cannot reuse: interceptors may retain it),
+//! and pay runtime-layer work per message (thread-safety locks —
+//! footnote 7).  For integer arrays its stubs instead queue
+//! scatter/gather descriptors, so — exactly as in Figure 3 — there is
+//! no marshal-throughput number for that workload.
+
+use parking_lot::Mutex;
+
+use crate::types::{Dirent, Rect, Stat};
+use crate::Marshaler;
+
+/// The virtual marshal interface every datum passes through.
+trait MarshalBuffer {
+    fn put_ulong(&mut self, v: u32);
+    fn put_long(&mut self, v: i32);
+    fn put_octet(&mut self, v: u8);
+    fn get_ulong(&mut self) -> u32;
+    fn get_long(&mut self) -> i32;
+    fn get_octet(&mut self) -> u8;
+}
+
+/// The concrete CDR buffer behind the virtual interface.
+struct CdrBuffer {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl MarshalBuffer for CdrBuffer {
+    fn put_ulong(&mut self, v: u32) {
+        let target = (self.data.len() + 3) & !3;
+        self.data.resize(target, 0);
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_long(&mut self, v: i32) {
+        self.put_ulong(v as u32);
+    }
+
+    fn put_octet(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn get_ulong(&mut self) -> u32 {
+        self.pos = (self.pos + 3) & !3;
+        let v = u32::from_be_bytes(self.data[self.pos..self.pos + 4].try_into().expect("len 4"));
+        self.pos += 4;
+        v
+    }
+
+    fn get_long(&mut self) -> i32 {
+        self.get_ulong() as i32
+    }
+
+    fn get_octet(&mut self) -> u8 {
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+}
+
+/// ORBeline-style marshaler state.
+pub struct OrbelineStyle {
+    /// Kept message bytes (so unmarshal sees what marshal produced).
+    last: Vec<u8>,
+    /// The ORB-wide lock taken per message (multi-thread support).
+    orb_lock: Mutex<()>,
+}
+
+impl OrbelineStyle {
+    /// A fresh marshaler.
+    #[must_use]
+    pub fn new() -> Self {
+        OrbelineStyle { last: Vec::new(), orb_lock: Mutex::new(()) }
+    }
+
+    /// Direct access to the wire bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.last
+    }
+
+    /// Per-message ORB entry: lock + *fresh* buffer allocation (the
+    /// boxing models the ORB's heap-allocated message object).
+    #[allow(clippy::unnecessary_box_returns)]
+    fn enter(&self) -> Box<CdrBuffer> {
+        let _g = self.orb_lock.lock();
+        Box::new(CdrBuffer { data: Vec::new(), pos: 0 })
+    }
+
+    fn reopen(&self) -> Box<CdrBuffer> {
+        let _g = self.orb_lock.lock();
+        Box::new(CdrBuffer { data: self.last.clone(), pos: 0 })
+    }
+
+    fn put_rect(buf: &mut dyn MarshalBuffer, r: &Rect) {
+        buf.put_long(r.min.x);
+        buf.put_long(r.min.y);
+        buf.put_long(r.max.x);
+        buf.put_long(r.max.y);
+    }
+
+    fn get_rect(buf: &mut dyn MarshalBuffer) -> Rect {
+        Rect {
+            min: crate::types::Point { x: buf.get_long(), y: buf.get_long() },
+            max: crate::types::Point { x: buf.get_long(), y: buf.get_long() },
+        }
+    }
+
+    fn put_string(buf: &mut dyn MarshalBuffer, s: &str) {
+        buf.put_ulong(s.len() as u32 + 1);
+        for &b in s.as_bytes() {
+            buf.put_octet(b);
+        }
+        buf.put_octet(0);
+    }
+
+    fn get_string(buf: &mut dyn MarshalBuffer) -> String {
+        let n = buf.get_ulong() as usize;
+        let mut out = Vec::with_capacity(n - 1);
+        for _ in 0..n - 1 {
+            out.push(buf.get_octet());
+        }
+        let _ = buf.get_octet();
+        String::from_utf8(out).expect("test data is UTF-8")
+    }
+
+    fn put_stat(buf: &mut dyn MarshalBuffer, s: &Stat) {
+        for &f in &s.fields {
+            buf.put_long(f);
+        }
+        for &b in &s.tag {
+            buf.put_octet(b);
+        }
+    }
+
+    fn get_stat(buf: &mut dyn MarshalBuffer) -> Stat {
+        let mut out = Stat::default();
+        for f in &mut out.fields {
+            *f = buf.get_long();
+        }
+        for b in &mut out.tag {
+            *b = buf.get_octet();
+        }
+        out
+    }
+
+    #[allow(clippy::boxed_local)] // the box is the modeled allocation
+    fn finish(&mut self, buf: Box<CdrBuffer>) -> usize {
+        // The point where the real ORB hands the message to the
+        // transport.
+        self.last = buf.data;
+        self.last.len()
+    }
+}
+
+impl Default for OrbelineStyle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Marshaler for OrbelineStyle {
+    fn name(&self) -> &'static str {
+        "ORBeline"
+    }
+
+    fn marshal_ints(&mut self, _v: &[i32]) -> Option<usize> {
+        // Scatter/gather path — no conventional marshaling happens, so
+        // there is no comparable marshal-throughput number (Figure 3).
+        None
+    }
+
+    fn unmarshal_ints(&mut self) -> Vec<i32> {
+        Vec::new()
+    }
+
+    fn marshal_rects(&mut self, v: &[Rect]) -> usize {
+        let mut concrete = self.enter();
+        {
+            // Every datum travels through the virtual interface.
+            let buf: &mut dyn MarshalBuffer = concrete.as_mut();
+            buf.put_ulong(v.len() as u32);
+            for r in v {
+                Self::put_rect(buf, r);
+            }
+        }
+        self.finish(concrete)
+    }
+
+    fn unmarshal_rects(&mut self) -> Vec<Rect> {
+        let mut concrete = self.reopen();
+        let buf: &mut dyn MarshalBuffer = concrete.as_mut();
+        let n = buf.get_ulong() as usize;
+        (0..n).map(|_| Self::get_rect(buf)).collect()
+    }
+
+    fn marshal_dirents(&mut self, v: &[Dirent]) -> usize {
+        let mut concrete = self.enter();
+        {
+            let buf: &mut dyn MarshalBuffer = concrete.as_mut();
+            buf.put_ulong(v.len() as u32);
+            for d in v {
+                Self::put_string(buf, &d.name);
+                Self::put_stat(buf, &d.info);
+            }
+        }
+        self.finish(concrete)
+    }
+
+    fn unmarshal_dirents(&mut self) -> Vec<Dirent> {
+        let mut concrete = self.reopen();
+        let buf: &mut dyn MarshalBuffer = concrete.as_mut();
+        let n = buf.get_ulong() as usize;
+        (0..n)
+            .map(|_| {
+                let name = Self::get_string(buf);
+                let info = Self::get_stat(buf);
+                Dirent { name, info }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::workload;
+
+    #[test]
+    fn rects_roundtrip_through_virtual_interface() {
+        let mut m = OrbelineStyle::new();
+        let v = workload::rects(10);
+        let n = m.marshal_rects(&v);
+        assert_eq!(n, 4 + 10 * 16);
+        assert_eq!(m.unmarshal_rects(), v);
+    }
+
+    #[test]
+    fn fresh_buffer_every_message() {
+        // The style point: no buffer reuse across messages.
+        let mut m = OrbelineStyle::new();
+        m.marshal_rects(&workload::rects(100));
+        let big = m.bytes().len();
+        m.marshal_rects(&workload::rects(1));
+        assert!(m.bytes().len() < big, "second message did not inherit capacity");
+    }
+}

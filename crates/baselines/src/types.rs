@@ -1,0 +1,133 @@
+//! The §4 benchmark workload types, shared by every baseline style.
+//!
+//! These mirror the paper's three method signatures: integer arrays,
+//! rectangle structures (two coordinate pairs), and directory entries
+//! (a variable-length name plus a fixed 136-byte `stat`-like record of
+//! 30 4-byte integers and one 16-byte character array).
+
+/// A coordinate pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: i32,
+    /// Y coordinate.
+    pub y: i32,
+}
+
+/// The rectangle structure: two substructures of two integers each.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+/// The fixed, UNIX-`stat`-like part of a directory entry: 30 4-byte
+/// integers and one 16-byte character array — 136 bytes encoded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stat {
+    /// The 30 integer fields.
+    pub fields: [i32; 30],
+    /// The 16-byte tag array.
+    pub tag: [u8; 16],
+}
+
+
+/// A directory entry: variable-length name plus fixed stat record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Dirent {
+    /// File name.
+    pub name: String,
+    /// Fixed-size file information.
+    pub info: Stat,
+}
+
+/// Deterministic workload generators (no RNG: reproducible across
+/// runs, and the values exercise sign/byte-order handling).
+pub mod workload {
+    use super::{Dirent, Point, Rect, Stat};
+
+    /// `n` integers with alternating signs and growing magnitude.
+    #[must_use]
+    pub fn ints(n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| {
+                let v = (i as i32).wrapping_mul(0x0101_0101);
+                if i % 2 == 0 {
+                    v
+                } else {
+                    -v
+                }
+            })
+            .collect()
+    }
+
+    /// `n` rectangles.
+    #[must_use]
+    pub fn rects(n: usize) -> Vec<Rect> {
+        (0..n as i32)
+            .map(|i| Rect {
+                min: Point { x: i, y: -i },
+                max: Point { x: i + 100, y: i + 200 },
+            })
+            .collect()
+    }
+
+    /// `n` directory entries whose encoded size is exactly 256 bytes
+    /// each under XDR, as in the paper ("we always sent directory
+    /// entries containing exactly 256 bytes of encoded data"): a
+    /// 116-byte name (4-byte count + 116 bytes, already word-aligned)
+    /// plus the 136-byte stat record = 256.
+    #[must_use]
+    pub fn dirents(n: usize) -> Vec<Dirent> {
+        (0..n)
+            .map(|i| {
+                let mut name = format!("file_{i:06}_");
+                while name.len() < 116 {
+                    name.push((b'a' + (name.len() % 26) as u8) as char);
+                }
+                let mut fields = [0i32; 30];
+                for (j, f) in fields.iter_mut().enumerate() {
+                    *f = (i as i32) * 31 + j as i32;
+                }
+                let mut tag = [0u8; 16];
+                for (j, t) in tag.iter_mut().enumerate() {
+                    *t = b'A' + ((i + j) % 26) as u8;
+                }
+                Dirent { name, info: Stat { fields, tag } }
+            })
+            .collect()
+    }
+
+    /// XDR-encoded size of one of our dirents (name is 116 bytes, a
+    /// multiple of 4, so no padding): 4 + 116 + 120 + 16 = 256.
+    pub const DIRENT_XDR_BYTES: usize = 256;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::workload;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(workload::ints(8), workload::ints(8));
+        assert_eq!(workload::rects(8), workload::rects(8));
+        assert_eq!(workload::dirents(3), workload::dirents(3));
+    }
+
+    #[test]
+    fn dirent_name_is_116_bytes() {
+        let d = workload::dirents(2);
+        assert!(d.iter().all(|e| e.name.len() == 116));
+        // 4 (len) + 116 (name) + 120 (ints) + 16 (tag) = 256 encoded.
+        assert_eq!(4 + 116 + 120 + 16, workload::DIRENT_XDR_BYTES);
+    }
+
+    #[test]
+    fn ints_exercise_signs() {
+        let v = workload::ints(4);
+        assert!(v.iter().any(|&x| x < 0));
+        assert!(v.iter().any(|&x| x > 0));
+    }
+}

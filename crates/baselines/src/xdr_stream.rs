@@ -1,0 +1,320 @@
+//! The `rpcgen`-shaped XDR stream: one exported `xdr_*` routine per
+//! primitive, each doing its own space check and cursor bump.
+//!
+//! This is deliberately the *opposite* of `flick-runtime`'s chunked
+//! buffers: every routine is `#[inline(never)]` (they were separate
+//! library functions in `libnsl`), every routine re-checks space, and
+//! arrays go through an indirect `xdrproc_t` call per element —
+//! `xdr_array(3N)`'s actual contract.  The paper's §3.3 identifies
+//! precisely these call chains as the expense Flick's inlining removes.
+
+use crate::types::{Dirent, Point, Rect, Stat};
+
+/// Direction of an XDR stream, like the C library's `xdr_op`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XdrOp {
+    /// Host → wire.
+    Encode,
+    /// Wire → host.
+    Decode,
+}
+
+/// An XDR stream with an explicit cursor, like `XDR` in ONC RPC.
+pub struct XdrStream {
+    /// Underlying bytes (owned in both directions).
+    pub data: Vec<u8>,
+    /// Read cursor (decode direction).
+    pub pos: usize,
+    /// Current direction.
+    pub op: XdrOp,
+}
+
+/// The per-element marshal routine type — `xdrproc_t`.  The indirect
+/// call through this pointer for every array element is authentic
+/// `xdr_array` behavior.
+pub type XdrProc<T> = fn(&mut XdrStream, &mut T) -> bool;
+
+impl XdrStream {
+    /// A fresh encode-direction stream (reuses its allocation if the
+    /// caller keeps it around, as `rpcgen` stubs kept their `XDR`).
+    #[must_use]
+    pub fn encoding() -> Self {
+        XdrStream { data: Vec::new(), pos: 0, op: XdrOp::Encode }
+    }
+
+    /// Resets for a new encode pass, keeping the allocation.
+    pub fn reset_encode(&mut self) {
+        self.data.clear();
+        self.pos = 0;
+        self.op = XdrOp::Encode;
+    }
+
+    /// Switches to decoding the bytes currently in the stream.
+    pub fn rewind_decode(&mut self) {
+        self.pos = 0;
+        self.op = XdrOp::Decode;
+    }
+
+    /// The encoded bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    #[inline(never)]
+    fn getbytes(&mut self, n: usize) -> Option<usize> {
+        // The per-datum space check rpcgen stubs perform.
+        if self.data.len() - self.pos < n {
+            return None;
+        }
+        let at = self.pos;
+        self.pos += n;
+        Some(at)
+    }
+}
+
+/// `xdr_long` — a 32-bit signed integer, one word.
+#[inline(never)]
+pub fn xdr_long(xdrs: &mut XdrStream, v: &mut i32) -> bool {
+    match xdrs.op {
+        XdrOp::Encode => {
+            xdrs.data.extend_from_slice(&(*v as u32).to_be_bytes());
+            true
+        }
+        XdrOp::Decode => match xdrs.getbytes(4) {
+            Some(at) => {
+                *v = u32::from_be_bytes(xdrs.data[at..at + 4].try_into().expect("len 4")) as i32;
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// `xdr_u_long` — a 32-bit unsigned integer.
+#[inline(never)]
+pub fn xdr_u_long(xdrs: &mut XdrStream, v: &mut u32) -> bool {
+    match xdrs.op {
+        XdrOp::Encode => {
+            xdrs.data.extend_from_slice(&v.to_be_bytes());
+            true
+        }
+        XdrOp::Decode => match xdrs.getbytes(4) {
+            Some(at) => {
+                *v = u32::from_be_bytes(xdrs.data[at..at + 4].try_into().expect("len 4"));
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// `xdr_opaque` — fixed-length bytes plus padding.
+#[inline(never)]
+pub fn xdr_opaque(xdrs: &mut XdrStream, v: &mut [u8]) -> bool {
+    let pad = (4 - v.len() % 4) % 4;
+    match xdrs.op {
+        XdrOp::Encode => {
+            xdrs.data.extend_from_slice(v);
+            xdrs.data.resize(xdrs.data.len() + pad, 0);
+            true
+        }
+        XdrOp::Decode => match xdrs.getbytes(v.len() + pad) {
+            Some(at) => {
+                v.copy_from_slice(&xdrs.data[at..at + v.len()]);
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// `xdr_string` — counted bytes with padding (decode allocates).
+#[inline(never)]
+pub fn xdr_string(xdrs: &mut XdrStream, v: &mut String) -> bool {
+    match xdrs.op {
+        XdrOp::Encode => {
+            let mut len = v.len() as u32;
+            if !xdr_u_long(xdrs, &mut len) {
+                return false;
+            }
+            let mut bytes = v.clone().into_bytes();
+            xdr_opaque(xdrs, &mut bytes)
+        }
+        XdrOp::Decode => {
+            let mut len = 0u32;
+            if !xdr_u_long(xdrs, &mut len) {
+                return false;
+            }
+            let mut bytes = vec![0u8; len as usize];
+            if !xdr_opaque(xdrs, &mut bytes) {
+                return false;
+            }
+            match String::from_utf8(bytes) {
+                Ok(s) => {
+                    *v = s;
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+    }
+}
+
+/// `xdr_array` — counted array via an indirect per-element call.
+#[inline(never)]
+pub fn xdr_array<T: Default + Clone>(
+    xdrs: &mut XdrStream,
+    v: &mut Vec<T>,
+    elproc: XdrProc<T>,
+) -> bool {
+    match xdrs.op {
+        XdrOp::Encode => {
+            let mut len = v.len() as u32;
+            if !xdr_u_long(xdrs, &mut len) {
+                return false;
+            }
+            for e in v.iter_mut() {
+                if !elproc(xdrs, e) {
+                    return false;
+                }
+            }
+            true
+        }
+        XdrOp::Decode => {
+            let mut len = 0u32;
+            if !xdr_u_long(xdrs, &mut len) {
+                return false;
+            }
+            let mut out = vec![T::default(); len as usize];
+            for e in &mut out {
+                if !elproc(xdrs, e) {
+                    return false;
+                }
+            }
+            *v = out;
+            true
+        }
+    }
+}
+
+/// `xdr_vector` — fixed-length array via an indirect per-element call.
+#[inline(never)]
+pub fn xdr_vector<T>(xdrs: &mut XdrStream, v: &mut [T], elproc: XdrProc<T>) -> bool {
+    for e in v.iter_mut() {
+        if !elproc(xdrs, e) {
+            return false;
+        }
+    }
+    true
+}
+
+// ---- generated-shape type routines for the workloads ----
+// rpcgen emits one xdr_<type> function per declared type; each member
+// is another function call (the §3.3 "chains of function calls").
+
+/// `xdr_point`, as rpcgen would generate it.
+#[inline(never)]
+pub fn xdr_point(xdrs: &mut XdrStream, v: &mut Point) -> bool {
+    if !xdr_long(xdrs, &mut v.x) {
+        return false;
+    }
+    xdr_long(xdrs, &mut v.y)
+}
+
+/// `xdr_rect`.
+#[inline(never)]
+pub fn xdr_rect(xdrs: &mut XdrStream, v: &mut Rect) -> bool {
+    if !xdr_point(xdrs, &mut v.min) {
+        return false;
+    }
+    xdr_point(xdrs, &mut v.max)
+}
+
+/// `xdr_stat` — 30 integers through `xdr_vector` (an indirect call per
+/// integer) plus the 16-byte opaque tag.
+#[inline(never)]
+pub fn xdr_stat(xdrs: &mut XdrStream, v: &mut Stat) -> bool {
+    if !xdr_vector(xdrs, &mut v.fields, xdr_long as XdrProc<i32>) {
+        return false;
+    }
+    xdr_opaque(xdrs, &mut v.tag)
+}
+
+/// `xdr_dirent`.
+#[inline(never)]
+pub fn xdr_dirent(xdrs: &mut XdrStream, v: &mut Dirent) -> bool {
+    if !xdr_string(xdrs, &mut v.name) {
+        return false;
+    }
+    xdr_stat(xdrs, &mut v.info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::workload;
+
+    #[test]
+    fn long_roundtrip() {
+        let mut s = XdrStream::encoding();
+        let mut v = -7i32;
+        assert!(xdr_long(&mut s, &mut v));
+        assert_eq!(s.bytes(), &[0xff, 0xff, 0xff, 0xf9]);
+        s.rewind_decode();
+        let mut back = 0i32;
+        assert!(xdr_long(&mut s, &mut back));
+        assert_eq!(back, -7);
+    }
+
+    #[test]
+    fn array_roundtrip_via_indirect_calls() {
+        let mut s = XdrStream::encoding();
+        let mut v = workload::ints(10);
+        assert!(xdr_array(&mut s, &mut v, xdr_long as XdrProc<i32>));
+        assert_eq!(s.bytes().len(), 4 + 40);
+        s.rewind_decode();
+        let mut back = Vec::new();
+        assert!(xdr_array(&mut s, &mut back, xdr_long as XdrProc<i32>));
+        assert_eq!(back, workload::ints(10));
+    }
+
+    #[test]
+    fn dirent_roundtrip_and_size() {
+        let mut s = XdrStream::encoding();
+        let mut v = workload::dirents(1);
+        assert!(xdr_dirent(&mut s, &mut v[0]));
+        assert_eq!(
+            s.bytes().len(),
+            workload::DIRENT_XDR_BYTES,
+            "paper: 256 encoded bytes per entry"
+        );
+        s.rewind_decode();
+        let mut back = Dirent::default();
+        assert!(xdr_dirent(&mut s, &mut back));
+        assert_eq!(back, v[0]);
+    }
+
+    #[test]
+    fn truncated_decode_fails_cleanly() {
+        let mut s = XdrStream::encoding();
+        let mut v = 42i32;
+        assert!(xdr_long(&mut s, &mut v));
+        s.data.truncate(2);
+        s.rewind_decode();
+        let mut back = 0i32;
+        assert!(!xdr_long(&mut s, &mut back));
+    }
+
+    #[test]
+    fn string_roundtrip_with_padding() {
+        let mut s = XdrStream::encoding();
+        let mut v = String::from("hello");
+        assert!(xdr_string(&mut s, &mut v));
+        assert_eq!(s.bytes().len(), 12);
+        s.rewind_decode();
+        let mut back = String::new();
+        assert!(xdr_string(&mut s, &mut back));
+        assert_eq!(back, "hello");
+    }
+}

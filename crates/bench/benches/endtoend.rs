@@ -1,0 +1,135 @@
+//! Criterion end-to-end benchmark: complete request/reply exchanges
+//! over the in-process transports (real message framing, real
+//! dispatch), plus the word-wise vs linear demultiplexing comparison.
+//!
+//! Run with `cargo bench -p flick-bench --bench endtoend`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flick_bench::data;
+use flick_bench::generated::onc_bench;
+use flick_runtime::oncrpc::{self, CallHeader};
+use flick_runtime::{MarshalBuf, MsgReader};
+
+struct NullServer;
+
+impl onc_bench::Server for NullServer {
+    fn send_ints(&mut self, vals: Vec<i32>) {
+        std::hint::black_box(vals.len());
+    }
+    fn send_rects(&mut self, rects: Vec<onc_bench::Rect>) {
+        std::hint::black_box(rects.len());
+    }
+    fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
+        std::hint::black_box(entries.len());
+    }
+}
+
+/// One full ONC RPC round trip, in-process: marshal call header +
+/// body, frame the record, deframe it, parse the header, dispatch
+/// (unmarshal + work call), marshal the reply, parse it back.
+fn full_rpc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend_rpc");
+    for &n in &[64usize, 4096] {
+        let bytes = n * 4;
+        g.throughput(Throughput::Bytes(bytes as u64));
+        let vals = data::onc::ints(n);
+        let mut call_buf = MarshalBuf::new();
+        let mut reply_buf = MarshalBuf::new();
+        let mut srv = NullServer;
+        g.bench_function(format!("onc_ints_{bytes}B"), |b| {
+            b.iter(|| {
+                // Client side: header + body + record marking.
+                call_buf.clear();
+                CallHeader { xid: 7, prog: 0x2000_0042, vers: 1, proc: 1 }.write(&mut call_buf);
+                onc_bench::encode_send_ints_request(&mut call_buf, &vals);
+                let framed = oncrpc::frame_record(call_buf.as_slice());
+
+                // Server side: deframe, parse header, dispatch.
+                let (record, _) = oncrpc::deframe_record(&framed).expect("framed");
+                let mut r = MsgReader::new(&record);
+                let h = CallHeader::read(&mut r).expect("header");
+                reply_buf.clear();
+                oncrpc::write_reply(&mut reply_buf, h.xid, oncrpc::ReplyOutcome::Success);
+                onc_bench::dispatch(h.proc, &record[r.pos()..], &mut reply_buf, &mut srv)
+                    .expect("dispatch");
+
+                // Client side: parse the reply.
+                let mut rr = MsgReader::new(reply_buf.as_slice());
+                std::hint::black_box(oncrpc::read_reply(&mut rr).expect("reply"));
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §3.3 demultiplexing: the generated word-wise switch against a
+/// straightforward linear string comparison, across the Bench
+/// interface's three same-prefix operation names.
+fn demux(c: &mut Criterion) {
+    use flick_bench::generated::iiop_bench;
+
+    struct Srv;
+    impl iiop_bench::Server for Srv {
+        fn send_ints(&mut self, v: Vec<i32>) {
+            std::hint::black_box(v.len());
+        }
+        fn send_rects(&mut self, v: Vec<iiop_bench::Rect>) {
+            std::hint::black_box(v.len());
+        }
+        fn send_dirents(&mut self, v: Vec<iiop_bench::Dirent>) {
+            std::hint::black_box(v.len());
+        }
+    }
+
+    let mut body = MarshalBuf::new();
+    iiop_bench::encode_send_ints_request(&mut body, &data::iiop::ints(4));
+    let body = body.as_slice().to_vec();
+    let names: [&[u8]; 3] = [b"send_ints", b"send_rects", b"send_dirents"];
+
+    let mut g = c.benchmark_group("demux");
+    let mut srv = Srv;
+    let mut reply = MarshalBuf::new();
+    g.bench_function("word_wise_switch", |b| {
+        b.iter(|| {
+            reply.clear();
+            // Only the ints body is valid; the others fail decode fast,
+            // which is fine — we are timing the name demultiplex.
+            let _ = iiop_bench::dispatch_by_name(names[0], &body, &mut reply, &mut srv);
+            std::hint::black_box(&reply);
+        });
+    });
+    g.bench_function("linear_strcmp", |b| {
+        b.iter(|| {
+            reply.clear();
+            // The traditional shape: strcmp against each name in turn.
+            let op: &[u8] = names[0];
+            let hit = if op == b"send_dirents" {
+                3
+            } else if op == b"send_rects" {
+                2
+            } else if op == b"send_ints" {
+                1
+            } else {
+                0
+            };
+            let _ = flick_bench::generated::onc_bench::dispatch(
+                hit,
+                &body,
+                &mut reply,
+                &mut NullServer,
+            );
+            std::hint::black_box(&reply);
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = e2e;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = full_rpc, demux
+}
+criterion_main!(e2e);

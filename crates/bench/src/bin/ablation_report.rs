@@ -1,0 +1,143 @@
+//! Ablation report: the §3 optimization claims, measured one flag at
+//! a time against stub variants generated with that optimization
+//! disabled (the `onc_no*` / `iiop_nomemcpy` modules).
+//!
+//! Paper claims reproduced here:
+//! * §3.1 buffer management: "reduces marshaling times by up to 12%
+//!   for large messages containing complex structures";
+//! * §3.2 chunking: "can reduce some data marshaling times by 14%";
+//! * §3.2 memcpy: "can reduce character string processing times by
+//!   60-70%" (measured on dirent names) and is the integer-array win;
+//! * §3.3 inlining: "stubs with inlined code can process complex data
+//!   up to 60% faster".
+//!
+//! Usage: `cargo run --release -p flick-bench --bin ablation_report`
+
+use flick_bench::data;
+use flick_bench::endtoend::time_one;
+use flick_bench::generated::{iiop_bench, iiop_nomemcpy, onc_bench, onc_nochunk, onc_nohoist, onc_noinline, onc_noopt};
+use flick_runtime::MarshalBuf;
+
+fn report(name: &str, claim: &str, on: std::time::Duration, off: std::time::Duration) {
+    let gain = 100.0 * (off.as_secs_f64() - on.as_secs_f64()) / off.as_secs_f64();
+    println!(
+        "{name:<22} on {:>9.1?}  off {:>9.1?}  improvement {gain:>5.1}%   (paper: {claim})",
+        on, off
+    );
+}
+
+macro_rules! time_encode {
+    ($m:ident :: $f:ident, $data:expr) => {{
+        let vals = $data;
+        let mut buf = MarshalBuf::new();
+        time_one(|| {
+            buf.clear();
+            $m::$f(&mut buf, &vals);
+            std::hint::black_box(buf.len());
+        })
+    }};
+}
+
+/// §3.1 is about reserving the whole message's space up front instead
+/// of discovering it piecewise.  With a warm, reused buffer the effect
+/// vanishes (capacity is already there), so this ablation measures the
+/// cold-buffer path: a fresh buffer per message, as a stub's first
+/// invocation (or a non-reusing runtime) would see.
+fn measure_cold_rects(hoisted: bool) -> std::time::Duration {
+    // Rect arrays have fixed-size elements, so the hoisted form
+    // reserves the entire message in one step before the loop (the
+    // §3.1 "work backward from nodes with known requirements"); the
+    // unhoisted form discovers the size through ~17 buffer growths.
+    let on_data = data::onc::rects(65_536);
+    let off_data = data::onc_nohoist::rects(65_536);
+    time_one(|| {
+        let mut buf = MarshalBuf::new();
+        if hoisted {
+            onc_bench::encode_send_rects_request(&mut buf, &on_data);
+        } else {
+            onc_nohoist::encode_send_rects_request(&mut buf, &off_data);
+        }
+        std::hint::black_box(buf.len());
+    })
+}
+
+fn main() {
+    println!("Ablations — each §3 optimization toggled in the generated stubs\n");
+
+    // §3.1 check hoisting: large message of complex structures,
+    // cold-buffer path (see measure_cold_dirents).
+    // The unhoisted variant checks free space before every atomic
+    // datum — the paper's description of traditional stubs; the
+    // hoisted one covers whole regions with single checks.
+    let on = time_encode!(onc_bench::encode_send_dirents_request, data::onc::dirents(2048));
+    let off = time_encode!(onc_nohoist::encode_send_dirents_request, data::onc_nohoist::dirents(2048));
+    report("buffer mgmt (§3.1)", "up to 12% on large complex messages", on, off);
+
+    // §3.2 chunking: rect structures (fixed-layout regions).
+    let on = time_encode!(onc_bench::encode_send_rects_request, data::onc::rects(4096));
+    let off = time_encode!(onc_nochunk::encode_send_rects_request, data::onc_nochunk::rects(4096));
+    report("chunking (§3.2)", "up to 14% on fixed-layout data", on, off);
+
+    // §3.2 memcpy: integer arrays under the native-order encoding.
+    let on = time_encode!(iiop_bench::encode_send_ints_request, data::iiop::ints(262_144));
+    let off = time_encode!(iiop_nomemcpy::encode_send_ints_request, data::iiop_nomemcpy::ints(262_144));
+    report("memcpy ints (§3.2)", "the large-array win of Figure 3", on, off);
+
+    // §3.2 memcpy on character data: dirent names (strings).
+    let on = time_encode!(iiop_bench::encode_send_dirents_request, data::iiop::dirents(1024));
+    let off = time_encode!(iiop_nomemcpy::encode_send_dirents_request, data::iiop_nomemcpy::dirents(1024));
+    report("memcpy strings (§3.2)", "60-70% of string processing time", on, off);
+
+    // §3.3 inlining: complex data through out-of-line per-type calls.
+    let on = time_encode!(onc_bench::encode_send_dirents_request, data::onc::dirents(1024));
+    let off = time_encode!(onc_noinline::encode_send_dirents_request, data::onc_noinline::dirents(1024));
+    report("inlining (§3.3)", "up to 60% on complex data", on, off);
+
+    // §3.1 parameter management: the server work function receives
+    // dirent names as borrows of the receive buffer (in-buffer
+    // presentation) vs owned copies.  Measured through the dispatch
+    // path, which is where the presentation decision lives.
+    {
+        use flick_bench::generated::{mail_onc, mail_onc_noparam};
+        use flick_bench::endtoend::time_one;
+        let text: String = std::iter::repeat_n('m', 1024).collect();
+        let mut req = MarshalBuf::new();
+        mail_onc::encode_send_request(&mut req, &text);
+        let body = req.as_slice().to_vec();
+        struct Borrowing(usize);
+        impl mail_onc::Server for Borrowing {
+            fn send(&mut self, msg: &str) {
+                self.0 += msg.len();
+            }
+        }
+        struct Owning(usize);
+        impl mail_onc_noparam::Server for Owning {
+            fn send(&mut self, msg: String) {
+                self.0 += msg.len();
+            }
+        }
+        let mut reply = MarshalBuf::new();
+        let mut b = Borrowing(0);
+        let on = time_one(|| {
+            reply.clear();
+            mail_onc::dispatch(1, &body, &mut reply, &mut b).expect("dispatch");
+        });
+        let mut o = Owning(0);
+        let off = time_one(|| {
+            reply.clear();
+            mail_onc_noparam::dispatch(1, &body, &mut reply, &mut o).expect("dispatch");
+        });
+        report("param mgmt (§3.1)", "up to 14% less unmarshal time", on, off);
+    }
+
+    // Cold-buffer variant of §3.1: fresh buffer per message, where the
+    // single up-front reservation also saves the growth reallocations.
+    let on = measure_cold_rects(true);
+    let off = measure_cold_rects(false);
+    report("buffer mgmt (cold)", "first-invocation path", on, off);
+
+    // Everything together vs everything off.
+    let on = time_encode!(onc_bench::encode_send_dirents_request, data::onc::dirents(1024));
+    let off = time_encode!(onc_noopt::encode_send_dirents_request, data::onc_noopt::dirents(1024));
+    report("all optimizations", "the combined Figure 3 gap", on, off);
+}

@@ -1,0 +1,70 @@
+//! Figure 3: marshal throughput, independent of transport.
+//!
+//! Reproduces the paper's comparison of Flick-generated marshal code
+//! against rpcgen, PowerRPC, ILU, and ORBeline on the three §4
+//! workloads, over the paper's message-size sweep (64 B–4 MB for
+//! ints/rects, 256 B–512 KB for dirents).  The paper's claim: Flick is
+//! 2–5× faster for small messages and 5–17× faster for large ones.
+//!
+//! Usage: `cargo run --release -p flick-bench --bin fig3_marshal_throughput`
+
+use flick_baselines::{ilu, orbeline, powerrpc, rpcgen};
+use flick_bench::figures::{
+    fmt_size, marshal_bps, measure_baseline, measure_flick_iiop, measure_flick_onc, Workload,
+};
+use flick_bench::{paper_sizes_dirents, paper_sizes_ints};
+
+fn main() {
+    println!("Figure 3 — Marshal Throughput (MB/s), measured on this host");
+    println!("paper: Flick 2-5x faster (small), 5-17x (large) than the others\n");
+
+    for w in [Workload::Ints, Workload::Rects, Workload::Dirents] {
+        let sizes = match w {
+            Workload::Dirents => paper_sizes_dirents(),
+            _ => paper_sizes_ints(),
+        };
+        println!("== {} ==", w.name());
+        println!(
+            "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "size", "Flick/ONC", "Flick/IIOP", "rpcgen", "PowerRPC", "ILU", "ORBeline", "best x"
+        );
+        for &bytes in &sizes {
+            let f_onc = measure_flick_onc(w, bytes);
+            let f_iiop = measure_flick_iiop(w, bytes);
+            let mut rp = rpcgen::RpcgenStyle::new();
+            let mut pw = powerrpc::PowerRpcStyle::new();
+            let mut il = ilu::IluStyle::new();
+            let mut orb = orbeline::OrbelineStyle::new();
+            let base: Vec<Option<f64>> = vec![
+                measure_baseline(&mut rp, w, bytes).map(|m| marshal_bps(bytes, &m)),
+                measure_baseline(&mut pw, w, bytes).map(|m| marshal_bps(bytes, &m)),
+                measure_baseline(&mut il, w, bytes).map(|m| marshal_bps(bytes, &m)),
+                measure_baseline(&mut orb, w, bytes).map(|m| marshal_bps(bytes, &m)),
+            ];
+            let flick_best = marshal_bps(bytes, &f_onc).max(marshal_bps(bytes, &f_iiop));
+            let base_best = base
+                .iter()
+                .flatten()
+                .copied()
+                .fold(f64::MIN, f64::max);
+            let col = |v: Option<f64>| match v {
+                Some(b) => format!("{:>10.1}", b / 1e6),
+                None => format!("{:>10}", "-"),
+            };
+            println!(
+                "{:>8} {:>12.1} {:>12.1} {} {} {} {} {:>7.1}x",
+                fmt_size(bytes),
+                marshal_bps(bytes, &f_onc) / 1e6,
+                marshal_bps(bytes, &f_iiop) / 1e6,
+                col(base[0]),
+                col(base[1]),
+                col(base[2]),
+                col(base[3]),
+                flick_best / base_best,
+            );
+        }
+        println!();
+    }
+    println!("(`-` = no conventional marshal path: ORBeline moves integer");
+    println!(" arrays by scatter/gather, as the paper notes for Figure 3)");
+}

@@ -1,0 +1,18 @@
+//! Figure 4: end-to-end throughput across 10 Mbps Ethernet.
+//!
+//! The paper's point for this figure is *negative*: on a slow link,
+//! every compiler's stubs top out at roughly the same 6–7.5 Mbps —
+//! the wire is the bottleneck and Flick's optimizations have
+//! relatively little impact on overall throughput.
+//!
+//! Usage: `cargo run --release -p flick-bench --bin fig4_ethernet10`
+
+use flick_transport::NetModel;
+
+fn main() {
+    flick_bench::bin_common::end_to_end_figure(
+        "Figure 4 — End-to-End Throughput, 10 Mbps Ethernet",
+        "paper: all three compilers saturate at ~6-7.5 Mbps; Flick's wins are small here",
+        NetModel::ethernet_10(),
+    );
+}

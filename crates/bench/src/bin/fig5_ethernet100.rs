@@ -1,0 +1,18 @@
+//! Figure 5: end-to-end throughput across 100 Mbps Ethernet.
+//!
+//! On the faster link the wire stops hiding marshal cost: the paper
+//! reports Flick 2–3× faster for medium messages and 3.2× for large
+//! ones, with rpcgen/PowerRPC limited by "poor marshaling and
+//! unmarshaling behavior".
+//!
+//! Usage: `cargo run --release -p flick-bench --bin fig5_ethernet100`
+
+use flick_transport::NetModel;
+
+fn main() {
+    flick_bench::bin_common::end_to_end_figure(
+        "Figure 5 — End-to-End Throughput, 100 Mbps Ethernet",
+        "paper: Flick 2-3x faster for medium messages, 3.2x for large",
+        NetModel::ethernet_100(),
+    );
+}

@@ -1,0 +1,19 @@
+//! Figure 6: end-to-end throughput across 640 Mbps Myrinet.
+//!
+//! The paper: Flick stubs gain again on Myrinet (up to 3.7× for large
+//! messages) while "PowerRPC and rpcgen stubs did not benefit from the
+//! faster Myrinet link: their throughput was essentially unchanged
+//! across the two fast networks" — the bottleneck is their marshaling,
+//! not the wire.  Compare this figure's rpcgen column with Figure 5's.
+//!
+//! Usage: `cargo run --release -p flick-bench --bin fig6_myrinet`
+
+use flick_transport::NetModel;
+
+fn main() {
+    flick_bench::bin_common::end_to_end_figure(
+        "Figure 6 — End-to-End Throughput, 640 Mbps Myrinet",
+        "paper: Flick up to 3.7x; rpcgen/PowerRPC flat vs 100 Mbps Ethernet",
+        NetModel::myrinet_640(),
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates the checked-in stub modules under
+//! `crates/bench/src/generated/` by running the Flick compiler.
+//!
+//! The benchmark harness executes *compiler-generated* code, not
+//! hand-written mimicry; this binary is the generation step, and the
+//! `generated_in_sync` test fails if the committed files drift from
+//! what the compiler currently emits.
+//!
+//! Usage: `cargo run -p flick-bench --bin regen_stubs [--check]`
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let dir = flick_bench::regen::generated_dir();
+    std::fs::create_dir_all(&dir).expect("create generated dir");
+    let mut drift = false;
+    for (name, source) in flick_bench::regen::generate_all() {
+        let path = dir.join(name);
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        if existing == source {
+            println!("unchanged {}", path.display());
+            continue;
+        }
+        if check {
+            eprintln!("OUT OF SYNC: {}", path.display());
+            drift = true;
+        } else {
+            std::fs::write(&path, &source).expect("write generated module");
+            println!("wrote     {}", path.display());
+        }
+    }
+    if drift {
+        eprintln!("run `cargo run -p flick-bench --bin regen_stubs` to refresh");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Shared measurement machinery for the figure harnesses.
+//!
+//! Every number printed by the `fig*` binaries comes from *executing*
+//! marshal/unmarshal code — Flick's generated stubs and the baseline
+//! styles — via [`crate::endtoend::time_one`]; the network figures
+//! then combine those measurements with the scaled link models.
+
+use std::time::Duration;
+
+use flick_baselines::types::workload;
+use flick_baselines::Marshaler;
+use flick_runtime::{MarshalBuf, MsgReader};
+
+use crate::data;
+use crate::endtoend::{time_one, MeasuredStub};
+use crate::generated::{iiop_bench, mach_bench, onc_bench};
+
+/// The three §4 workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// `send_ints` — array of 32-bit integers.
+    Ints,
+    /// `send_rects` — array of 16-byte rectangle structs.
+    Rects,
+    /// `send_dirents` — array of 256-encoded-byte directory entries.
+    Dirents,
+}
+
+impl Workload {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Ints => "ints",
+            Workload::Rects => "rects",
+            Workload::Dirents => "dirents",
+        }
+    }
+
+    /// Element count for a target payload size in bytes.
+    #[must_use]
+    pub fn count_for(self, payload_bytes: usize) -> usize {
+        match self {
+            Workload::Ints => payload_bytes / 4,
+            Workload::Rects => payload_bytes / 16,
+            Workload::Dirents => payload_bytes / 256,
+        }
+    }
+}
+
+/// Measures the Flick ONC/XDR stubs on one workload/size.
+#[must_use]
+pub fn measure_flick_onc(w: Workload, payload_bytes: usize) -> MeasuredStub {
+    let n = w.count_for(payload_bytes).max(1);
+    let mut buf = MarshalBuf::new();
+    match w {
+        Workload::Ints => {
+            let vals = data::onc::ints(n);
+            let marshal = time_one(|| {
+                buf.clear();
+                onc_bench::encode_send_ints_request(&mut buf, &vals);
+                std::hint::black_box(buf.len());
+            });
+            let wire = buf.as_slice().to_vec();
+            let unmarshal = time_one(|| {
+                let mut r = MsgReader::new(&wire);
+                std::hint::black_box(
+                    onc_bench::decode_send_ints_request(&mut r).expect("decodes"),
+                );
+            });
+            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+        }
+        Workload::Rects => {
+            let vals = data::onc::rects(n);
+            let marshal = time_one(|| {
+                buf.clear();
+                onc_bench::encode_send_rects_request(&mut buf, &vals);
+                std::hint::black_box(buf.len());
+            });
+            let wire = buf.as_slice().to_vec();
+            let unmarshal = time_one(|| {
+                let mut r = MsgReader::new(&wire);
+                std::hint::black_box(
+                    onc_bench::decode_send_rects_request(&mut r).expect("decodes"),
+                );
+            });
+            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+        }
+        Workload::Dirents => {
+            let vals = data::onc::dirents(n);
+            let marshal = time_one(|| {
+                buf.clear();
+                onc_bench::encode_send_dirents_request(&mut buf, &vals);
+                std::hint::black_box(buf.len());
+            });
+            let wire = buf.as_slice().to_vec();
+            let unmarshal = time_one(|| {
+                let mut r = MsgReader::new(&wire);
+                std::hint::black_box(
+                    onc_bench::decode_send_dirents_request(&mut r).expect("decodes"),
+                );
+            });
+            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+        }
+    }
+}
+
+/// Measures the Flick IIOP/CDR (native order) stubs.
+#[must_use]
+pub fn measure_flick_iiop(w: Workload, payload_bytes: usize) -> MeasuredStub {
+    let n = w.count_for(payload_bytes).max(1);
+    let mut buf = MarshalBuf::new();
+    match w {
+        Workload::Ints => {
+            let vals = data::iiop::ints(n);
+            let marshal = time_one(|| {
+                buf.clear();
+                iiop_bench::encode_send_ints_request(&mut buf, &vals);
+                std::hint::black_box(buf.len());
+            });
+            let wire = buf.as_slice().to_vec();
+            let unmarshal = time_one(|| {
+                let mut r = MsgReader::new(&wire);
+                std::hint::black_box(
+                    iiop_bench::decode_send_ints_request(&mut r).expect("decodes"),
+                );
+            });
+            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+        }
+        Workload::Rects => {
+            let vals = data::iiop::rects(n);
+            let marshal = time_one(|| {
+                buf.clear();
+                iiop_bench::encode_send_rects_request(&mut buf, &vals);
+                std::hint::black_box(buf.len());
+            });
+            let wire = buf.as_slice().to_vec();
+            let unmarshal = time_one(|| {
+                let mut r = MsgReader::new(&wire);
+                std::hint::black_box(
+                    iiop_bench::decode_send_rects_request(&mut r).expect("decodes"),
+                );
+            });
+            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+        }
+        Workload::Dirents => {
+            let vals = data::iiop::dirents(n);
+            let marshal = time_one(|| {
+                buf.clear();
+                iiop_bench::encode_send_dirents_request(&mut buf, &vals);
+                std::hint::black_box(buf.len());
+            });
+            let wire = buf.as_slice().to_vec();
+            let unmarshal = time_one(|| {
+                let mut r = MsgReader::new(&wire);
+                std::hint::black_box(
+                    iiop_bench::decode_send_dirents_request(&mut r).expect("decodes"),
+                );
+            });
+            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+        }
+    }
+}
+
+/// Measures the Flick Mach 3 stubs (header + typed body), ints only —
+/// matching Figure 7's workload.
+#[must_use]
+pub fn measure_flick_mach_ints(payload_bytes: usize) -> MeasuredStub {
+    let n = (payload_bytes / 4).max(1);
+    let vals = data::mach::ints(n);
+    let mut buf = MarshalBuf::new();
+    let marshal = time_one(|| {
+        buf.clear();
+        let hdr = flick_runtime::mach::MachHeader {
+            size: 0,
+            remote_port: 1,
+            local_port: 2,
+            id: 2401,
+        };
+        hdr.write(&mut buf);
+        mach_bench::encode_send_ints_request(&mut buf, &vals);
+        let size = buf.len() as u32;
+        buf.patch_u32_le(4, size);
+        std::hint::black_box(buf.len());
+    });
+    let wire = buf.as_slice().to_vec();
+    let unmarshal = time_one(|| {
+        let mut r = MsgReader::new(&wire);
+        let _h = flick_runtime::mach::MachHeader::read(&mut r).expect("header");
+        std::hint::black_box(mach_bench::decode_send_ints_request(&mut r).expect("decodes"));
+    });
+    MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+}
+
+/// Measures one baseline style on one workload/size.
+/// Returns `None` where the style has no marshal path (ORBeline ints).
+#[must_use]
+pub fn measure_baseline(
+    m: &mut dyn Marshaler,
+    w: Workload,
+    payload_bytes: usize,
+) -> Option<MeasuredStub> {
+    let n = w.count_for(payload_bytes).max(1);
+    match w {
+        Workload::Ints => {
+            let vals = workload::ints(n);
+            m.marshal_ints(&vals)?;
+            let marshal = time_one(|| {
+                std::hint::black_box(m.marshal_ints(&vals));
+            });
+            let wire_bytes = m.marshal_ints(&vals).expect("checked above");
+            let unmarshal = time_one(|| {
+                std::hint::black_box(m.unmarshal_ints());
+            });
+            Some(MeasuredStub { marshal, unmarshal, wire_bytes })
+        }
+        Workload::Rects => {
+            let vals = workload::rects(n);
+            let marshal = time_one(|| {
+                std::hint::black_box(m.marshal_rects(&vals));
+            });
+            let wire_bytes = m.marshal_rects(&vals);
+            let unmarshal = time_one(|| {
+                std::hint::black_box(m.unmarshal_rects());
+            });
+            Some(MeasuredStub { marshal, unmarshal, wire_bytes })
+        }
+        Workload::Dirents => {
+            let vals = workload::dirents(n);
+            let marshal = time_one(|| {
+                std::hint::black_box(m.marshal_dirents(&vals));
+            });
+            let wire_bytes = m.marshal_dirents(&vals);
+            let unmarshal = time_one(|| {
+                std::hint::black_box(m.unmarshal_dirents());
+            });
+            Some(MeasuredStub { marshal, unmarshal, wire_bytes })
+        }
+    }
+}
+
+/// Marshal throughput in bytes/second for a measured stub.
+#[must_use]
+pub fn marshal_bps(payload_bytes: usize, m: &MeasuredStub) -> f64 {
+    payload_bytes as f64 / m.marshal.as_secs_f64()
+}
+
+/// Human-readable payload size (64B, 4KB, 1MB...).
+#[must_use]
+pub fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Measures one stub by closures (used by the ablation harness).
+#[must_use]
+pub fn measure_pair(
+    mut encode: impl FnMut(&mut MarshalBuf),
+    mut decode: impl FnMut(&[u8]),
+) -> (Duration, Duration, usize) {
+    let mut buf = MarshalBuf::new();
+    let marshal = time_one(|| {
+        buf.clear();
+        encode(&mut buf);
+        std::hint::black_box(buf.len());
+    });
+    let wire = buf.as_slice().to_vec();
+    let unmarshal = time_one(|| decode(&wire));
+    (marshal, unmarshal, wire.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_payloads() {
+        assert_eq!(Workload::Ints.count_for(64), 16);
+        assert_eq!(Workload::Rects.count_for(64), 4);
+        assert_eq!(Workload::Dirents.count_for(512), 2);
+    }
+
+    #[test]
+    fn fmt_sizes() {
+        assert_eq!(fmt_size(64), "64B");
+        assert_eq!(fmt_size(8 << 10), "8KB");
+        assert_eq!(fmt_size(4 << 20), "4MB");
+    }
+
+    #[test]
+    fn flick_measurement_produces_sane_numbers() {
+        let m = measure_flick_onc(Workload::Rects, 4096);
+        assert_eq!(m.wire_bytes, 4 + 4096);
+        assert!(m.marshal > Duration::ZERO);
+        assert!(m.unmarshal > Duration::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! Host memory-bandwidth calibration.
+//!
+//! The paper calibrates its analysis against `lmbench`-measured memory
+//! copy bandwidth (35 MB/s on the SPARC test hosts).  We measure the
+//! same quantity on the current host — a large, cache-defeating copy —
+//! and use it to scale the network models so the 1997 network-to-memory
+//! speed ratio is preserved (see
+//! `flick_transport::netmodel::NetModel::scaled_to_host`).
+
+use std::time::Instant;
+
+/// Measures sustained memory-copy bandwidth in bytes/second.
+///
+/// Uses a 64 MiB buffer (far beyond L3) copied several times; returns
+/// the best observed rate to reduce scheduling noise.
+#[must_use]
+pub fn measure_memcpy_bps() -> f64 {
+    const BYTES: usize = 64 << 20;
+    const ROUNDS: usize = 4;
+    let src = vec![0xa5u8; BYTES];
+    let mut dst = vec![0u8; BYTES];
+    let mut best = 0.0f64;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&mut dst);
+        let dt = t.elapsed().as_secs_f64();
+        best = best.max(BYTES as f64 / dt);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bandwidth_is_plausible() {
+        let bps = super::measure_memcpy_bps();
+        // Anything from an ancient VM to a modern workstation.
+        assert!(bps > 100e6, "measured {bps:.3e} B/s");
+        assert!(bps < 1e12, "measured {bps:.3e} B/s");
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared generation logic for the checked-in stub modules — used by
+//! the `regen_stubs` binary and by the `generated_in_sync` test.
+
+use flick::{Compiler, Frontend, OptFlags, Style, Transport};
+use flick_pres::Side;
+
+/// One module to generate.
+pub struct Job {
+    /// Output file name under `crates/bench/src/generated/`.
+    pub out_name: &'static str,
+    /// IDL source text.
+    pub source: &'static str,
+    /// Display file name for diagnostics.
+    pub file: &'static str,
+    /// Interface to compile.
+    pub iface: &'static str,
+    /// Front end.
+    pub frontend: Frontend,
+    /// Presentation style.
+    pub style: Style,
+    /// Back end transport.
+    pub transport: Transport,
+    /// Optimization flags (ablation variants toggle one each).
+    pub opts: OptFlags,
+}
+
+/// The full generation plan.
+#[must_use]
+pub fn jobs() -> Vec<Job> {
+    vec![
+        Job {
+            out_name: "onc_bench.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "iiop_bench.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::CorbaC,
+            transport: Transport::IiopTcp,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "mach_bench.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::CorbaC,
+            transport: Transport::Mach3,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "fluke_bench.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::FlukeC,
+            transport: Transport::Fluke,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "mail_onc.rs",
+            source: include_str!("../../../testdata/mail.x"),
+            file: "mail.x",
+            iface: "Mail",
+            frontend: Frontend::Onc,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "mail_iiop.rs",
+            source: include_str!("../../../testdata/mail.idl"),
+            file: "mail.idl",
+            iface: "Mail",
+            frontend: Frontend::Corba,
+            style: Style::CorbaC,
+            transport: Transport::IiopTcp,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "varied_onc.rs",
+            source: include_str!("../../../testdata/varied.idl"),
+            file: "varied.idl",
+            iface: "Varied",
+            frontend: Frontend::Corba,
+            style: Style::CorbaC,
+            transport: Transport::OncTcp,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "varied_iiop.rs",
+            source: include_str!("../../../testdata/varied.idl"),
+            file: "varied.idl",
+            iface: "Varied",
+            frontend: Frontend::Corba,
+            style: Style::CorbaC,
+            transport: Transport::IiopTcp,
+            opts: OptFlags::all(),
+        },
+        Job {
+            out_name: "list_onc.rs",
+            source: include_str!("../../../testdata/list.x"),
+            file: "list.x",
+            iface: "ListProg",
+            frontend: Frontend::Onc,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags::all(),
+        },
+        // ---- ablation variants (§3 claims): one optimization off each ----
+        Job {
+            out_name: "onc_noopt.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags::none(),
+        },
+        Job {
+            out_name: "onc_nohoist.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags { hoist_checks: false, ..OptFlags::all() },
+        },
+        Job {
+            out_name: "onc_nochunk.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags { chunking: false, ..OptFlags::all() },
+        },
+        Job {
+            out_name: "onc_noinline.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags { inline_marshal: false, chunking: false, ..OptFlags::all() },
+        },
+        Job {
+            out_name: "onc_noparam.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags { param_mgmt: false, ..OptFlags::all() },
+        },
+        Job {
+            out_name: "mail_onc_noparam.rs",
+            source: include_str!("../../../testdata/mail.x"),
+            file: "mail.x",
+            iface: "Mail",
+            frontend: Frontend::Onc,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags { param_mgmt: false, ..OptFlags::all() },
+        },
+        Job {
+            out_name: "iiop_nomemcpy.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::CorbaC,
+            transport: Transport::IiopTcp,
+            opts: OptFlags { memcpy: false, ..OptFlags::all() },
+        },
+    ]
+}
+
+/// Generates all modules, returning `(name, rust_source)` pairs.
+///
+/// # Panics
+/// Panics if any compilation fails (the committed IDL is expected to
+/// compile).
+#[must_use]
+pub fn generate_all() -> Vec<(&'static str, String)> {
+    jobs()
+        .into_iter()
+        .map(|j| {
+            let out = Compiler::new(j.frontend, j.style, j.transport)
+                .with_opts(j.opts)
+                // Server side so in-buffer presentation (zero-copy
+                // strings) is planned where the paper allows it.
+                .compile_source(j.file, j.source, j.iface, Side::Server)
+                .unwrap_or_else(|e| panic!("{}: {e}", j.out_name));
+            (j.out_name, out.rust_source)
+        })
+        .collect()
+}
+
+/// Path of the generated-modules directory in the source tree.
+#[must_use]
+pub fn generated_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/generated")
+}

@@ -1,0 +1,257 @@
+//! Correctness of the compiler-generated stubs: every workload
+//! round-trips through every back end, and where two systems share a
+//! wire format their bytes are identical.
+
+use flick_bench::data;
+use flick_bench::generated::{fluke_bench, iiop_bench, mach_bench, onc_bench};
+use flick_baselines::types::workload;
+use flick_baselines::Marshaler;
+use flick_runtime::{MarshalBuf, MsgReader};
+
+#[test]
+fn onc_ints_roundtrip() {
+    let vals = data::onc::ints(1000);
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_ints_request(&mut buf, &vals);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = onc_bench::decode_send_ints_request(&mut r).expect("decodes");
+    assert_eq!(back, vals);
+    assert!(r.is_exhausted());
+}
+
+#[test]
+fn onc_rects_roundtrip() {
+    let rects = data::onc::rects(333);
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_rects_request(&mut buf, &rects);
+    assert_eq!(buf.len(), 4 + 333 * 16);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = onc_bench::decode_send_rects_request(&mut r).expect("decodes");
+    assert_eq!(back, rects);
+}
+
+#[test]
+fn onc_dirents_roundtrip_at_256_bytes_each() {
+    let dirents = data::onc::dirents(64);
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_dirents_request(&mut buf, &dirents);
+    // The paper: each directory entry encodes to exactly 256 bytes.
+    assert_eq!(buf.len(), 4 + 64 * 256);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = onc_bench::decode_send_dirents_request(&mut r).expect("decodes");
+    assert_eq!(back, dirents);
+}
+
+#[test]
+fn flick_onc_wire_matches_rpcgen_wire() {
+    // Flick's ONC back end and rpcgen's stubs speak the same XDR, so
+    // the same data must produce byte-identical messages — this is
+    // the interoperability the paper's Table 3 implies.
+    let mut base = flick_baselines::rpcgen::RpcgenStyle::new();
+
+    let ints = workload::ints(77);
+    base.marshal_ints(&ints).unwrap();
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_ints_request(&mut buf, &data::onc::ints(77));
+    assert_eq!(buf.as_slice(), base.bytes(), "ints wire");
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_rects_request(&mut buf, &data::onc::rects(19));
+    base.marshal_rects(&workload::rects(19));
+    assert_eq!(buf.as_slice(), base.bytes(), "rects wire");
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_dirents_request(&mut buf, &data::onc::dirents(7));
+    base.marshal_dirents(&workload::dirents(7));
+    assert_eq!(buf.as_slice(), base.bytes(), "dirents wire");
+}
+
+#[test]
+fn iiop_roundtrips() {
+    let vals = data::iiop::ints(513);
+    let mut buf = MarshalBuf::new();
+    iiop_bench::encode_send_ints_request(&mut buf, &vals);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = iiop_bench::decode_send_ints_request(&mut r).expect("decodes");
+    assert_eq!(back, vals);
+
+    let rects = data::iiop::rects(100);
+    let mut buf = MarshalBuf::new();
+    iiop_bench::encode_send_rects_request(&mut buf, &rects);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = iiop_bench::decode_send_rects_request(&mut r).expect("decodes");
+    assert_eq!(back, rects);
+
+    let dirents = data::iiop::dirents(9);
+    let mut buf = MarshalBuf::new();
+    iiop_bench::encode_send_dirents_request(&mut buf, &dirents);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = iiop_bench::decode_send_dirents_request(&mut r).expect("decodes");
+    assert_eq!(back, dirents);
+}
+
+#[test]
+fn iiop_int_arrays_use_native_order() {
+    // GIOP lets the sender choose byte order; the IIOP back end picks
+    // native so integer runs block-copy (the memcpy optimization).
+    let vals = vec![0x0102_0304i32];
+    let mut buf = MarshalBuf::new();
+    iiop_bench::encode_send_ints_request(&mut buf, &vals);
+    let expect: &[u8] = if cfg!(target_endian = "little") {
+        &[1, 0, 0, 0, 4, 3, 2, 1]
+    } else {
+        &[0, 0, 0, 1, 1, 2, 3, 4]
+    };
+    assert_eq!(buf.as_slice(), expect);
+}
+
+#[test]
+fn mach_roundtrips() {
+    let vals = data::mach::ints(257);
+    let mut buf = MarshalBuf::new();
+    mach_bench::encode_send_ints_request(&mut buf, &vals);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = mach_bench::decode_send_ints_request(&mut r).expect("decodes");
+    assert_eq!(back, vals);
+
+    let dirents = data::mach::dirents(5);
+    let mut buf = MarshalBuf::new();
+    mach_bench::encode_send_dirents_request(&mut buf, &dirents);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = mach_bench::decode_send_dirents_request(&mut r).expect("decodes");
+    assert_eq!(back, dirents);
+}
+
+#[test]
+fn fluke_roundtrips() {
+    let rects = data::fluke::rects(40);
+    let mut buf = MarshalBuf::new();
+    fluke_bench::encode_send_rects_request(&mut buf, &rects);
+    let mut r = MsgReader::new(buf.as_slice());
+    let (back,) = fluke_bench::decode_send_rects_request(&mut r).expect("decodes");
+    assert_eq!(back, rects);
+}
+
+#[test]
+fn truncated_messages_error_not_panic() {
+    let vals = data::onc::ints(100);
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_ints_request(&mut buf, &vals);
+    for cut in [0usize, 1, 3, 4, 7, 100] {
+        let mut r = MsgReader::new(&buf.as_slice()[..cut]);
+        assert!(onc_bench::decode_send_ints_request(&mut r).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn hostile_count_does_not_overallocate() {
+    // A message claiming 2^31 elements but holding 4 bytes must fail
+    // without first reserving gigabytes.
+    let mut buf = MarshalBuf::new();
+    buf.put_u32_be(0x7fff_ffff);
+    buf.put_u32_be(1);
+    let mut r = MsgReader::new(buf.as_slice());
+    assert!(onc_bench::decode_send_ints_request(&mut r).is_err());
+}
+
+struct CountingServer {
+    ints: usize,
+    rects: usize,
+    dirents: usize,
+}
+
+impl onc_bench::Server for CountingServer {
+    fn send_ints(&mut self, vals: Vec<i32>) {
+        self.ints += vals.len();
+    }
+    fn send_rects(&mut self, rects: Vec<onc_bench::Rect>) {
+        self.rects += rects.len();
+    }
+    fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
+        self.dirents += entries.len();
+    }
+}
+
+#[test]
+fn numeric_dispatch_routes_by_procedure() {
+    let mut srv = CountingServer { ints: 0, rects: 0, dirents: 0 };
+    let mut reply = MarshalBuf::new();
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_ints_request(&mut buf, &data::onc::ints(10));
+    onc_bench::dispatch(1, buf.as_slice(), &mut reply, &mut srv).expect("ints");
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_rects_request(&mut buf, &data::onc::rects(20));
+    onc_bench::dispatch(2, buf.as_slice(), &mut reply, &mut srv).expect("rects");
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_dirents_request(&mut buf, &data::onc::dirents(3));
+    onc_bench::dispatch(3, buf.as_slice(), &mut reply, &mut srv).expect("dirents");
+
+    assert_eq!((srv.ints, srv.rects, srv.dirents), (10, 20, 3));
+    // Unknown procedure rejected.
+    assert!(onc_bench::dispatch(99, &[], &mut reply, &mut srv).is_err());
+}
+
+struct NameServer {
+    hits: Vec<&'static str>,
+}
+
+impl iiop_bench::Server for NameServer {
+    fn send_ints(&mut self, _vals: Vec<i32>) {
+        self.hits.push("ints");
+    }
+    fn send_rects(&mut self, _rects: Vec<iiop_bench::Rect>) {
+        self.hits.push("rects");
+    }
+    fn send_dirents(&mut self, _entries: Vec<iiop_bench::Dirent>) {
+        self.hits.push("dirents");
+    }
+}
+
+#[test]
+fn word_wise_name_dispatch_routes_by_operation() {
+    // §3.3: the IIOP dispatch demultiplexes the operation-name string
+    // in machine-word chunks; `send_ints`/`send_rects`/`send_dirents`
+    // share their first word, exercising the nested switch.
+    let mut srv = NameServer { hits: vec![] };
+    let mut reply = MarshalBuf::new();
+
+    let mut buf = MarshalBuf::new();
+    iiop_bench::encode_send_ints_request(&mut buf, &data::iiop::ints(1));
+    iiop_bench::dispatch_by_name(b"send_ints", buf.as_slice(), &mut reply, &mut srv)
+        .expect("ints");
+
+    let mut buf = MarshalBuf::new();
+    iiop_bench::encode_send_rects_request(&mut buf, &data::iiop::rects(1));
+    iiop_bench::dispatch_by_name(b"send_rects", buf.as_slice(), &mut reply, &mut srv)
+        .expect("rects");
+
+    let mut buf = MarshalBuf::new();
+    iiop_bench::encode_send_dirents_request(&mut buf, &data::iiop::dirents(1));
+    iiop_bench::dispatch_by_name(b"send_dirents", buf.as_slice(), &mut reply, &mut srv)
+        .expect("dirents");
+
+    assert_eq!(srv.hits, ["ints", "rects", "dirents"]);
+    // Near-miss names (same first word) are rejected.
+    assert!(iiop_bench::dispatch_by_name(b"send_intz", &[], &mut reply, &mut srv).is_err());
+    assert!(iiop_bench::dispatch_by_name(b"send_ints_more", &[], &mut reply, &mut srv).is_err());
+    assert!(iiop_bench::dispatch_by_name(b"send", &[], &mut reply, &mut srv).is_err());
+}
+
+#[test]
+fn generated_in_sync() {
+    // The committed generated modules must match what the compiler
+    // emits today; regenerate with `cargo run -p flick-bench --bin
+    // regen_stubs` after compiler changes.
+    let dir = flick_bench::regen::generated_dir();
+    for (name, fresh) in flick_bench::regen::generate_all() {
+        let committed =
+            std::fs::read_to_string(dir.join(name)).unwrap_or_else(|_| String::new());
+        assert_eq!(
+            committed, fresh,
+            "{name} is stale — run `cargo run -p flick-bench --bin regen_stubs`"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! C type representations.
+
+/// A C type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CType {
+    /// `void`
+    Void,
+    /// `char`
+    Char,
+    /// `signed char`
+    SChar,
+    /// `unsigned char`
+    UChar,
+    /// `short`
+    Short,
+    /// `unsigned short`
+    UShort,
+    /// `int`
+    Int,
+    /// `unsigned int`
+    UInt,
+    /// `long`
+    Long,
+    /// `unsigned long`
+    ULong,
+    /// `long long`
+    LongLong,
+    /// `unsigned long long`
+    ULongLong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// A typedef or tag reference by name (e.g. `Mail`, `CORBA_long`).
+    Named(String),
+    /// `struct <tag>` reference without definition.
+    StructRef(String),
+    /// `T *`
+    Pointer(Box<CType>),
+    /// `T [n]` / `T []`
+    Array(Box<CType>, Option<u64>),
+    /// An inline (anonymous or tagged) struct definition.
+    StructDef {
+        /// Optional tag.
+        tag: Option<String>,
+        /// Members in order.
+        fields: Vec<CField>,
+    },
+    /// A function type (used for pointers to functions).
+    Function {
+        /// Return type.
+        ret: Box<CType>,
+        /// Parameter types.
+        params: Vec<CType>,
+    },
+}
+
+impl CType {
+    /// `T *`
+    #[must_use]
+    pub fn ptr(inner: CType) -> CType {
+        CType::Pointer(Box::new(inner))
+    }
+
+    /// A named (typedef) type.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> CType {
+        CType::Named(name.into())
+    }
+
+    /// `T [len]`
+    #[must_use]
+    pub fn array(elem: CType, len: u64) -> CType {
+        CType::Array(Box::new(elem), Some(len))
+    }
+
+    /// True for arithmetic scalar types (candidates for `memcpy` runs).
+    #[must_use]
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            CType::Char
+                | CType::SChar
+                | CType::UChar
+                | CType::Short
+                | CType::UShort
+                | CType::Int
+                | CType::UInt
+                | CType::Long
+                | CType::ULong
+                | CType::LongLong
+                | CType::ULongLong
+                | CType::Float
+                | CType::Double
+        )
+    }
+}
+
+/// A struct member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CField {
+    /// Member name.
+    pub name: String,
+    /// Member type.
+    pub ty: CType,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CParam {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: CType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(CType::ptr(CType::Char), CType::Pointer(Box::new(CType::Char)));
+        assert_eq!(
+            CType::array(CType::Int, 4),
+            CType::Array(Box::new(CType::Int), Some(4))
+        );
+        assert_eq!(CType::named("Mail"), CType::Named("Mail".into()));
+    }
+
+    #[test]
+    fn scalar_predicate() {
+        assert!(CType::Int.is_scalar());
+        assert!(CType::Double.is_scalar());
+        assert!(!CType::Void.is_scalar());
+        assert!(!CType::ptr(CType::Int).is_scalar());
+        assert!(!CType::named("X").is_scalar());
+    }
+}

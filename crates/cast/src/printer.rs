@@ -1,0 +1,570 @@
+//! The CAST pretty printer: CAST → compilable C source text.
+//!
+//! Declarator syntax is handled properly: `char *argv[4]` and
+//! `int (*fp)(void)` print as C expects, with the name woven into the
+//! type.  Expressions are parenthesized by precedence, conservatively
+//! adding parentheses where C's grammar is subtle (casts, unaries).
+
+use std::fmt::Write as _;
+
+use crate::ctype::CType;
+use crate::decl::{CDecl, CFunction, CUnit};
+use crate::expr::{CExpr, UnOp};
+use crate::stmt::{CStmt, SwitchCase};
+
+/// A C pretty printer.  Construct one per unit; printing is pure.
+#[derive(Clone, Debug, Default)]
+pub struct Printer {
+    /// Indent width in spaces.
+    pub indent: usize,
+}
+
+impl Printer {
+    /// A printer with 4-space indentation.
+    #[must_use]
+    pub fn new() -> Self {
+        Printer { indent: 4 }
+    }
+
+    /// Prints a full translation unit.
+    #[must_use]
+    pub fn unit(&self, unit: &CUnit) -> String {
+        let mut out = String::new();
+        for d in &unit.decls {
+            self.decl(&mut out, d);
+        }
+        out
+    }
+
+    /// Prints a single declaration (with trailing newline).
+    pub fn decl(&self, out: &mut String, d: &CDecl) {
+        match d {
+            CDecl::Include(what) => {
+                let _ = writeln!(out, "#include {what}");
+            }
+            CDecl::Define { name, value } => {
+                let _ = writeln!(out, "#define {name} {value}");
+            }
+            CDecl::Comment(text) => {
+                let _ = writeln!(out, "/* {text} */");
+            }
+            CDecl::Typedef { name, ty } => {
+                let _ = writeln!(out, "typedef {};", declarator(ty, name));
+            }
+            CDecl::Struct { tag, fields } => {
+                let _ = writeln!(out, "struct {tag} {{");
+                for f in fields {
+                    let _ = writeln!(out, "{}{};", " ".repeat(self.indent), declarator(&f.ty, &f.name));
+                }
+                out.push_str("};\n");
+            }
+            CDecl::Enum { tag, items } => {
+                let _ = writeln!(out, "enum {tag} {{");
+                for (name, value) in items {
+                    let _ = writeln!(out, "{}{name} = {value},", " ".repeat(self.indent));
+                }
+                out.push_str("};\n");
+            }
+            CDecl::Var { name, ty, init, is_static } => {
+                if *is_static {
+                    out.push_str("static ");
+                }
+                out.push_str(&declarator(ty, name));
+                if let Some(e) = init {
+                    out.push_str(" = ");
+                    out.push_str(&expr(e));
+                }
+                out.push_str(";\n");
+            }
+            CDecl::Function(f) => self.function(out, f),
+        }
+    }
+
+    fn function(&self, out: &mut String, f: &CFunction) {
+        let params = if f.params.is_empty() {
+            "void".to_string()
+        } else {
+            f.params
+                .iter()
+                .map(|p| declarator(&p.ty, &p.name))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let head = format!("{}({})", f.name, params);
+        out.push_str(&declarator_raw(&f.ret, &head));
+        match &f.body {
+            None => out.push_str(";\n"),
+            Some(body) => {
+                out.push_str("\n{\n");
+                for s in body {
+                    self.stmt(out, s, 1);
+                }
+                out.push_str("}\n");
+            }
+        }
+    }
+
+    /// Prints a statement at `depth` indentation levels.
+    pub fn stmt(&self, out: &mut String, s: &CStmt, depth: usize) {
+        let pad = " ".repeat(self.indent * depth);
+        match s {
+            CStmt::Expr(e) => {
+                let _ = writeln!(out, "{pad}{};", expr(e));
+            }
+            CStmt::Decl { name, ty, init } => {
+                let _ = write!(out, "{pad}{}", declarator(ty, name));
+                if let Some(e) = init {
+                    let _ = write!(out, " = {}", expr(e));
+                }
+                out.push_str(";\n");
+            }
+            CStmt::If { cond, then, els } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", expr(cond));
+                for t in then {
+                    self.stmt(out, t, depth + 1);
+                }
+                match els {
+                    None => {
+                        let _ = writeln!(out, "{pad}}}");
+                    }
+                    Some(e) => {
+                        let _ = writeln!(out, "{pad}}} else {{");
+                        for t in e {
+                            self.stmt(out, t, depth + 1);
+                        }
+                        let _ = writeln!(out, "{pad}}}");
+                    }
+                }
+            }
+            CStmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while ({}) {{", expr(cond));
+                for t in body {
+                    self.stmt(out, t, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            CStmt::For { init, cond, step, body } => {
+                let part = |e: &Option<CExpr>| e.as_ref().map(expr).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{pad}for ({}; {}; {}) {{",
+                    part(init),
+                    part(cond),
+                    part(step)
+                );
+                for t in body {
+                    self.stmt(out, t, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            CStmt::Switch { scrutinee, cases } => {
+                let _ = writeln!(out, "{pad}switch ({}) {{", expr(scrutinee));
+                for c in cases {
+                    self.case(out, c, depth);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            CStmt::Return(None) => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+            CStmt::Return(Some(e)) => {
+                let _ = writeln!(out, "{pad}return {};", expr(e));
+            }
+            CStmt::Break => {
+                let _ = writeln!(out, "{pad}break;");
+            }
+            CStmt::Goto(l) => {
+                let _ = writeln!(out, "{pad}goto {l};");
+            }
+            CStmt::Label(l) => {
+                let _ = writeln!(out, "{l}:");
+            }
+            CStmt::Block(body) => {
+                let _ = writeln!(out, "{pad}{{");
+                for t in body {
+                    self.stmt(out, t, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            CStmt::Comment(text) => {
+                let _ = writeln!(out, "{pad}/* {text} */");
+            }
+        }
+    }
+
+    fn case(&self, out: &mut String, c: &SwitchCase, depth: usize) {
+        let pad = " ".repeat(self.indent * depth);
+        if c.values.is_empty() {
+            let _ = writeln!(out, "{pad}default:");
+        } else {
+            for v in &c.values {
+                let _ = writeln!(out, "{pad}case {v}:");
+            }
+        }
+        for s in &c.body {
+            self.stmt(out, s, depth + 1);
+        }
+        let ends_in_jump = matches!(
+            c.body.last(),
+            Some(CStmt::Return(_) | CStmt::Goto(_) | CStmt::Break)
+        );
+        if !ends_in_jump {
+            let _ = writeln!(out, "{}break;", " ".repeat(self.indent * (depth + 1)));
+        }
+    }
+}
+
+/// Renders `ty name` with C declarator syntax.
+#[must_use]
+pub fn declarator(ty: &CType, name: &str) -> String {
+    declarator_raw(ty, name)
+}
+
+fn declarator_raw(ty: &CType, inner: &str) -> String {
+    match ty {
+        CType::Pointer(t) => {
+            let star = format!("*{inner}");
+            match **t {
+                // Pointers to arrays/functions need parens: (*name)[n]
+                CType::Array(..) | CType::Function { .. } => {
+                    declarator_raw(t, &format!("({star})"))
+                }
+                _ => declarator_raw(t, &star),
+            }
+        }
+        CType::Array(t, len) => {
+            let dims = match len {
+                Some(n) => format!("{inner}[{n}]"),
+                None => format!("{inner}[]"),
+            };
+            declarator_raw(t, &dims)
+        }
+        CType::Function { ret, params } => {
+            let ps = if params.is_empty() {
+                "void".to_string()
+            } else {
+                params
+                    .iter()
+                    .map(|p| declarator_raw(p, ""))
+                    .map(|s| s.trim_end().to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            declarator_raw(ret, &format!("{inner}({ps})"))
+        }
+        base => {
+            let b = base_type_str(base);
+            if inner.is_empty() {
+                b
+            } else {
+                format!("{b} {inner}")
+            }
+        }
+    }
+}
+
+fn base_type_str(ty: &CType) -> String {
+    match ty {
+        CType::Void => "void".into(),
+        CType::Char => "char".into(),
+        CType::SChar => "signed char".into(),
+        CType::UChar => "unsigned char".into(),
+        CType::Short => "short".into(),
+        CType::UShort => "unsigned short".into(),
+        CType::Int => "int".into(),
+        CType::UInt => "unsigned int".into(),
+        CType::Long => "long".into(),
+        CType::ULong => "unsigned long".into(),
+        CType::LongLong => "long long".into(),
+        CType::ULongLong => "unsigned long long".into(),
+        CType::Float => "float".into(),
+        CType::Double => "double".into(),
+        CType::Named(n) => n.clone(),
+        CType::StructRef(tag) => format!("struct {tag}"),
+        CType::StructDef { tag, fields } => {
+            let mut s = String::from("struct");
+            if let Some(t) = tag {
+                let _ = write!(s, " {t}");
+            }
+            s.push_str(" { ");
+            for f in fields {
+                let _ = write!(s, "{}; ", declarator(&f.ty, &f.name));
+            }
+            s.push('}');
+            s
+        }
+        CType::Pointer(..) | CType::Array(..) | CType::Function { .. } => {
+            unreachable!("handled by declarator_raw")
+        }
+    }
+}
+
+/// Renders an expression.
+#[must_use]
+pub fn expr(e: &CExpr) -> String {
+    expr_prec(e, 0)
+}
+
+// Precedence: 0 = top (comma-free context), assignment = 1,
+// ternary = 2, binary ops = 3..=12 (BinOp::precedence() + 2),
+// unary/cast = 13, postfix = 14, primary = 15.
+fn expr_prec(e: &CExpr, min: u8) -> String {
+    let (s, prec) = match e {
+        CExpr::Ident(n) => (n.clone(), 15),
+        CExpr::Int(v) => (v.to_string(), 15),
+        CExpr::UInt(v) => (format!("{v}u"), 15),
+        CExpr::Float(v) => (format!("{v:?}"), 15),
+        CExpr::Str(s) => (format!("\"{}\"", escape_c(s)), 15),
+        CExpr::Char(c) => (format!("'{}'", escape_c(&c.to_string())), 15),
+        CExpr::Call { func, args } => {
+            let a = args
+                .iter()
+                .map(|x| expr_prec(x, 1))
+                .collect::<Vec<_>>()
+                .join(", ");
+            (format!("{}({})", expr_prec(func, 14), a), 14)
+        }
+        CExpr::Member(b, f) => (format!("{}.{f}", expr_prec(b, 14)), 14),
+        CExpr::Arrow(b, f) => (format!("{}->{f}", expr_prec(b, 14)), 14),
+        CExpr::Index(b, i) => (format!("{}[{}]", expr_prec(b, 14), expr_prec(i, 0)), 14),
+        CExpr::PostInc(b) => (format!("{}++", expr_prec(b, 14)), 14),
+        CExpr::Unary(op, x) => {
+            // Avoid `--x` from Neg(Neg(x)) and `&*` fusions reading badly.
+            let inner = expr_prec(x, 13);
+            let adjacent_minus = *op == UnOp::Neg
+                && (matches!(x.as_ref(), CExpr::Unary(UnOp::Neg, _))
+                    || matches!(x.as_ref(), CExpr::Int(i) if *i < 0));
+            let sep = if adjacent_minus { " " } else { "" };
+            (format!("{}{sep}{inner}", op.token()), 13)
+        }
+        CExpr::Cast(t, x) => (format!("({}){}", declarator(t, ""), expr_prec(x, 13)), 13),
+        CExpr::SizeOfType(t) => (format!("sizeof({})", declarator(t, "")), 15),
+        CExpr::Binary(op, l, r) => {
+            let p = op.precedence() + 2;
+            (
+                format!(
+                    "{} {} {}",
+                    expr_prec(l, p),
+                    op.token(),
+                    expr_prec(r, p + 1)
+                ),
+                p,
+            )
+        }
+        CExpr::Ternary(c, t, f) => (
+            format!(
+                "{} ? {} : {}",
+                expr_prec(c, 3),
+                expr_prec(t, 2),
+                expr_prec(f, 2)
+            ),
+            2,
+        ),
+        CExpr::Assign(l, r) => (
+            format!("{} = {}", expr_prec(l, 14), expr_prec(r, 1)),
+            1,
+        ),
+        CExpr::AssignOp(op, l, r) => (
+            format!("{} {}= {}", expr_prec(l, 14), op.token(), expr_prec(r, 1)),
+            1,
+        ),
+    };
+    if prec < min {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn escape_c(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\'' => out.push_str("\\'"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\0' => out.push_str("\\0"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\x{:02x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctype::{CField, CParam};
+    use crate::expr::BinOp;
+
+    #[test]
+    fn declarators() {
+        assert_eq!(declarator(&CType::Int, "x"), "int x");
+        assert_eq!(declarator(&CType::ptr(CType::Char), "s"), "char *s");
+        assert_eq!(
+            declarator(&CType::array(CType::ptr(CType::Char), 4), "argv"),
+            "char *argv[4]"
+        );
+        assert_eq!(
+            declarator(&CType::ptr(CType::array(CType::Int, 8)), "p"),
+            "int (*p)[8]"
+        );
+        assert_eq!(
+            declarator(
+                &CType::ptr(CType::Function { ret: Box::new(CType::Int), params: vec![CType::Void] }),
+                "fp"
+            ),
+            "int (*fp)(void)"
+        );
+        assert_eq!(declarator(&CType::StructRef("stat".into()), "st"), "struct stat st");
+    }
+
+    #[test]
+    fn expr_precedence_parens() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let add = CExpr::ident("a").bin(BinOp::Add, CExpr::ident("b"));
+        let e = add.clone().bin(BinOp::Mul, CExpr::ident("c"));
+        assert_eq!(expr(&e), "(a + b) * c");
+        let e2 = CExpr::ident("a").bin(
+            BinOp::Add,
+            CExpr::ident("b").bin(BinOp::Mul, CExpr::ident("c")),
+        );
+        assert_eq!(expr(&e2), "a + b * c");
+    }
+
+    #[test]
+    fn left_assoc_no_extra_parens() {
+        let e = CExpr::ident("a")
+            .bin(BinOp::Sub, CExpr::ident("b"))
+            .bin(BinOp::Sub, CExpr::ident("c"));
+        assert_eq!(expr(&e), "a - b - c");
+        // but right-nesting of - must parenthesize
+        let e2 = CExpr::ident("a").bin(
+            BinOp::Sub,
+            CExpr::ident("b").bin(BinOp::Sub, CExpr::ident("c")),
+        );
+        assert_eq!(expr(&e2), "a - (b - c)");
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let e = CExpr::ident("p").arrow("data").index(CExpr::Int(0)).member("x");
+        assert_eq!(expr(&e), "p->data[0].x");
+        let e = CExpr::ident("ptr").deref().member("f");
+        assert_eq!(expr(&e), "(*ptr).f");
+    }
+
+    #[test]
+    fn calls_and_casts() {
+        let e = CExpr::call(
+            "memcpy",
+            vec![
+                CExpr::ident("dst"),
+                CExpr::ident("src"),
+                CExpr::Int(64).bin(BinOp::Mul, CExpr::SizeOfType(CType::Int)),
+            ],
+        );
+        assert_eq!(expr(&e), "memcpy(dst, src, 64 * sizeof(int))");
+        let e = CExpr::ident("buf").cast(CType::ptr(CType::UInt)).deref();
+        assert_eq!(expr(&e), "*(unsigned int *)buf");
+    }
+
+    #[test]
+    fn assignment_and_compound() {
+        let e = CExpr::ident("x").assign(CExpr::ident("y").assign(CExpr::Int(1)));
+        assert_eq!(expr(&e), "x = y = 1");
+        let e = CExpr::AssignOp(
+            BinOp::Add,
+            Box::new(CExpr::ident("ofs")),
+            Box::new(CExpr::Int(4)),
+        );
+        assert_eq!(expr(&e), "ofs += 4");
+    }
+
+    #[test]
+    fn statements_indent() {
+        let p = Printer::new();
+        let mut out = String::new();
+        p.stmt(
+            &mut out,
+            &CStmt::If {
+                cond: CExpr::ident("n").bin(BinOp::Gt, CExpr::Int(0)),
+                then: vec![CStmt::Return(Some(CExpr::Int(1)))],
+                els: Some(vec![CStmt::Return(Some(CExpr::Int(0)))]),
+            },
+            0,
+        );
+        assert_eq!(out, "if (n > 0) {\n    return 1;\n} else {\n    return 0;\n}\n");
+    }
+
+    #[test]
+    fn switch_prints_break() {
+        let p = Printer::new();
+        let mut out = String::new();
+        p.stmt(
+            &mut out,
+            &CStmt::Switch {
+                scrutinee: CExpr::ident("op"),
+                cases: vec![
+                    SwitchCase { values: vec![1, 2], body: vec![CStmt::expr(CExpr::call("f", vec![]))] },
+                    SwitchCase { values: vec![], body: vec![CStmt::Return(Some(CExpr::Int(-1)))] },
+                ],
+            },
+            0,
+        );
+        assert!(out.contains("case 1:\ncase 2:\n    f();\n    break;"), "{out}");
+        assert!(out.contains("default:\n    return -1;\n"), "{out}");
+        // No break after return.
+        assert!(!out.contains("return -1;\n    break"), "{out}");
+    }
+
+    #[test]
+    fn function_definition_prints() {
+        let p = Printer::new();
+        let f = CFunction {
+            name: "add".into(),
+            ret: CType::Int,
+            params: vec![
+                CParam { name: "a".into(), ty: CType::Int },
+                CParam { name: "b".into(), ty: CType::Int },
+            ],
+            body: Some(vec![CStmt::Return(Some(
+                CExpr::ident("a").bin(BinOp::Add, CExpr::ident("b")),
+            ))]),
+        };
+        let mut out = String::new();
+        p.function(&mut out, &f);
+        assert_eq!(out, "int add(int a, int b)\n{\n    return a + b;\n}\n");
+    }
+
+    #[test]
+    fn typedef_and_struct_decls() {
+        let p = Printer::new();
+        let mut out = String::new();
+        p.decl(
+            &mut out,
+            &CDecl::Typedef { name: "Mail".into(), ty: CType::ptr(CType::Void) },
+        );
+        assert_eq!(out, "typedef void *Mail;\n");
+        out.clear();
+        p.decl(
+            &mut out,
+            &CDecl::Struct {
+                tag: "point".into(),
+                fields: vec![
+                    CField { name: "x".into(), ty: CType::Int },
+                    CField { name: "y".into(), ty: CType::Int },
+                ],
+            },
+        );
+        assert_eq!(out, "struct point {\n    int x;\n    int y;\n};\n");
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(expr(&CExpr::Str("a\"b\n".into())), "\"a\\\"b\\n\"");
+    }
+}

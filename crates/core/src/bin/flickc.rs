@@ -1,0 +1,258 @@
+//! `flickc` — the Flick IDL compiler command line.
+//!
+//! ```text
+//! flickc --frontend corba --pres corba-c --transport iiop-tcp \
+//!        --interface Mail --side client [--emit c|rust|both] \
+//!        [--no-opt | --no-inline --no-chunk --no-memcpy --no-hoist] \
+//!        [-o OUTDIR] mail.idl
+//! ```
+//!
+//! Components are selected independently — the kit's mix-and-match —
+//! and each optimization can be disabled for inspection.  With no
+//! `-o`, generated code goes to stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flick::{Compiler, Frontend, OptFlags, Style, Transport};
+use flick_pres::Side;
+
+struct Args {
+    frontend: Frontend,
+    style: Style,
+    transport: Transport,
+    interface: Option<String>,
+    side: Side,
+    emit_c: bool,
+    emit_rust: bool,
+    opts: OptFlags,
+    out_dir: Option<PathBuf>,
+    input: PathBuf,
+}
+
+const USAGE: &str = "\
+usage: flickc [options] <input.idl|.x|.defs>
+  --frontend corba|onc|mig     front end (default: by file extension)
+  --pres corba-c|rpcgen-c|fluke-c   presentation style (default corba-c)
+  --transport iiop-tcp|onc-tcp|onc-udp|mach3|fluke  back end (default iiop-tcp)
+  --interface NAME             interface/program/subsystem to compile
+                               (default: sole interface in the file)
+  --side client|server         presentation side (default client)
+  --emit c|rust|both           what to print/write (default both)
+  --no-opt                     disable every optimization
+  --no-hoist --no-chunk --no-memcpy --no-inline   disable one each
+  -o DIR                       write <iface>.c / <iface>.rs into DIR
+  -h, --help                   this text";
+
+fn parse_args() -> Result<Args, String> {
+    let mut frontend = None;
+    let mut style = Style::CorbaC;
+    let mut transport = Transport::IiopTcp;
+    let mut interface = None;
+    let mut side = Side::Client;
+    let mut emit_c = true;
+    let mut emit_rust = true;
+    let mut opts = OptFlags::all();
+    let mut out_dir = None;
+    let mut input = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--frontend" => {
+                frontend = Some(match val("--frontend")?.as_str() {
+                    "corba" => Frontend::Corba,
+                    "onc" => Frontend::Onc,
+                    "mig" => Frontend::Mig,
+                    other => return Err(format!("unknown front end `{other}`")),
+                });
+            }
+            "--pres" => {
+                style = match val("--pres")?.as_str() {
+                    "corba-c" => Style::CorbaC,
+                    "rpcgen-c" => Style::RpcgenC,
+                    "fluke-c" => Style::FlukeC,
+                    other => return Err(format!("unknown presentation `{other}`")),
+                };
+            }
+            "--transport" => {
+                transport = match val("--transport")?.as_str() {
+                    "iiop-tcp" => Transport::IiopTcp,
+                    "onc-tcp" => Transport::OncTcp,
+                    "onc-udp" => Transport::OncUdp,
+                    "mach3" => Transport::Mach3,
+                    "fluke" => Transport::Fluke,
+                    other => return Err(format!("unknown transport `{other}`")),
+                };
+            }
+            "--interface" => interface = Some(val("--interface")?),
+            "--side" => {
+                side = match val("--side")?.as_str() {
+                    "client" => Side::Client,
+                    "server" => Side::Server,
+                    other => return Err(format!("unknown side `{other}`")),
+                };
+            }
+            "--emit" => match val("--emit")?.as_str() {
+                "c" => {
+                    emit_c = true;
+                    emit_rust = false;
+                }
+                "rust" => {
+                    emit_c = false;
+                    emit_rust = true;
+                }
+                "both" => {
+                    emit_c = true;
+                    emit_rust = true;
+                }
+                other => return Err(format!("unknown emit target `{other}`")),
+            },
+            "--no-opt" => opts = OptFlags::none(),
+            "--no-hoist" => opts.hoist_checks = false,
+            "--no-chunk" => opts.chunking = false,
+            "--no-memcpy" => opts.memcpy = false,
+            "--no-inline" => opts.inline_marshal = false,
+            "-o" => out_dir = Some(PathBuf::from(val("-o")?)),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"));
+            }
+            other => {
+                if input.replace(PathBuf::from(other)).is_some() {
+                    return Err("more than one input file".to_string());
+                }
+            }
+        }
+    }
+    let input = input.ok_or_else(|| format!("no input file\n{USAGE}"))?;
+    let frontend = frontend.unwrap_or_else(|| {
+        match input.extension().and_then(|e| e.to_str()) {
+            Some("x") => Frontend::Onc,
+            Some("defs") => Frontend::Mig,
+            _ => Frontend::Corba,
+        }
+    });
+    Ok(Args {
+        frontend,
+        style,
+        transport,
+        interface,
+        side,
+        emit_c,
+        emit_rust,
+        opts,
+        out_dir,
+        input,
+    })
+}
+
+/// Finds the sole interface name when none was given.
+fn infer_interface(frontend: Frontend, text: &str) -> Option<String> {
+    let kw = match frontend {
+        Frontend::Corba => "interface",
+        Frontend::Onc => "program",
+        Frontend::Mig => "subsystem",
+    };
+    let mut found = None;
+    let mut toks = text.split_whitespace().peekable();
+    while let Some(t) = toks.next() {
+        if t == kw {
+            let name = toks.peek()?.trim_end_matches([';', '{']);
+            if name.is_empty() {
+                continue;
+            }
+            if found.replace(name.to_string()).is_some() {
+                return None; // ambiguous
+            }
+        }
+    }
+    found
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("flickc: cannot read {}: {e}", args.input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(iface) = args
+        .interface
+        .clone()
+        .or_else(|| infer_interface(args.frontend, &text))
+    else {
+        eprintln!(
+            "flickc: could not infer a unique interface; pass --interface NAME"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let compiler = Compiler::new(args.frontend, args.style, args.transport).with_opts(args.opts);
+    let file_name = args.input.display().to_string();
+    let out = match compiler.compile_source(&file_name, &text, &iface, args.side) {
+        Ok(o) => o,
+        Err(e) => {
+            eprint!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match &args.out_dir {
+        None => {
+            if args.emit_c {
+                print!("{}", out.c_source);
+            }
+            if args.emit_rust {
+                if args.emit_c {
+                    println!("\n/* ---- Rust output ---- */\n");
+                }
+                print!("{}", out.rust_source);
+            }
+        }
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("flickc: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let base = iface.replace("::", "_");
+            if args.emit_c {
+                // Ship the support header so the output compiles alone.
+                let p = dir.join("flick_runtime.h");
+                if let Err(e) = std::fs::write(&p, flick_backend::C_RUNTIME_HEADER) {
+                    eprintln!("flickc: cannot write {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", p.display());
+            }
+            if args.emit_c {
+                let p = dir.join(format!("{base}.c"));
+                if let Err(e) = std::fs::write(&p, &out.c_source) {
+                    eprintln!("flickc: cannot write {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", p.display());
+            }
+            if args.emit_rust {
+                let p = dir.join(format!("{base}.rs"));
+                if let Err(e) = std::fs::write(&p, &out.rust_source) {
+                    eprintln!("flickc: cannot write {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", p.display());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,56 @@
+//! Robustness: the CORBA parser must never panic, whatever text it is
+//! fed; errors surface as diagnostics.
+
+use flick_frontend_corba::parse;
+use flick_idl::diag::Diagnostics;
+use flick_idl::source::SourceFile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,300}") {
+        let f = SourceFile::new("fuzz.idl", text);
+        let mut d = Diagnostics::new();
+        let _ = parse(&f, &mut d);
+    }
+
+    #[test]
+    fn parser_never_panics_on_idl_shaped_text(
+        text in "(interface|struct|typedef|union|enum|const|module|sequence|long|string|void|in|out|[a-z]{1,6}|[{};:,<>=0-9]| |\n){0,80}"
+    ) {
+        let f = SourceFile::new("fuzz.idl", text);
+        let mut d = Diagnostics::new();
+        let _ = parse(&f, &mut d);
+    }
+
+    /// Well-formed single-interface programs always parse cleanly.
+    #[test]
+    fn well_formed_interfaces_parse(
+        name in "[A-Z][a-zA-Z0-9]{0,8}",
+        ops in prop::collection::vec(("[a-z][a-z0-9_]{0,8}", 0u8..4), 1..5),
+    ) {
+        let mut text = format!("interface {name} {{\n");
+        let mut used = std::collections::HashSet::new();
+        for (op, arity) in &ops {
+            if !used.insert(op.clone()) {
+                continue;
+            }
+            text.push_str(&format!("  void {op}("));
+            for i in 0..*arity {
+                if i > 0 {
+                    text.push_str(", ");
+                }
+                text.push_str(&format!("in long a{i}"));
+            }
+            text.push_str(");\n");
+        }
+        text.push_str("};\n");
+        let f = SourceFile::new("gen.idl", text.clone());
+        let mut d = Diagnostics::new();
+        let aoi = parse(&f, &mut d);
+        prop_assert!(!d.has_errors(), "{}\n{}", text, d.render_all(&f));
+        prop_assert!(aoi.interface(&name).is_some());
+    }
+}

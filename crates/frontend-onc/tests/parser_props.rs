@@ -1,0 +1,26 @@
+//! Robustness: the ONC RPC parser must never panic on arbitrary text.
+
+use flick_frontend_onc::parse;
+use flick_idl::diag::Diagnostics;
+use flick_idl::source::SourceFile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,300}") {
+        let f = SourceFile::new("fuzz.x", text);
+        let mut d = Diagnostics::new();
+        let _ = parse(&f, &mut d);
+    }
+
+    #[test]
+    fn parser_never_panics_on_xdr_shaped_text(
+        text in "(program|version|struct|typedef|union|switch|case|default|enum|const|opaque|string|int|void|unsigned|hyper|[a-z]{1,6}|[{};:,<>=*0-9]| |\n){0,80}"
+    ) {
+        let f = SourceFile::new("fuzz.x", text);
+        let mut d = Diagnostics::new();
+        let _ = parse(&f, &mut d);
+    }
+}

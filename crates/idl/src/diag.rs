@@ -1,0 +1,256 @@
+//! Structured compiler diagnostics.
+//!
+//! All Flick front ends, presentation generators, and back ends report
+//! problems through [`Diagnostics`], so a driver can collect errors from
+//! every phase and render them uniformly.
+
+use std::fmt;
+
+use crate::source::{SourceFile, Span};
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Information that does not indicate a problem.
+    Note,
+    /// Suspicious but not fatal; compilation continues.
+    Warning,
+    /// A real error; compilation of the construct failed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A single diagnostic: severity, message, primary span, and notes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Primary location, if the problem has one.
+    pub span: Option<Span>,
+    /// Secondary explanations attached to the diagnostic.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic at `span`.
+    #[must_use]
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span: Some(span),
+            notes: Vec::new(),
+        }
+    }
+
+    /// A warning diagnostic at `span`.
+    #[must_use]
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span: Some(span),
+            notes: Vec::new(),
+        }
+    }
+
+    /// An error with no useful source location (e.g. a phase mismatch).
+    #[must_use]
+    pub fn error_nospan(message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends an explanatory note, returning the modified diagnostic.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic against `file` in a `file:line:col` style.
+    #[must_use]
+    pub fn render(&self, file: &SourceFile) -> String {
+        let mut out = String::new();
+        match self.span {
+            Some(span) => {
+                let lc = file.line_col(span.lo);
+                out.push_str(&format!(
+                    "{}:{}: {}: {}\n",
+                    file.name(),
+                    lc,
+                    self.severity,
+                    self.message
+                ));
+                let line = file.line_text(lc.line);
+                out.push_str(&format!("  {line}\n"));
+                let mut caret = String::from("  ");
+                for _ in 1..lc.col {
+                    caret.push(' ');
+                }
+                let width = (span.len().max(1) as usize).min(line.len().saturating_sub(lc.col as usize - 1).max(1));
+                for _ in 0..width {
+                    caret.push('^');
+                }
+                out.push_str(&caret);
+                out.push('\n');
+            }
+            None => out.push_str(&format!("{}: {}: {}\n", file.name(), self.severity, self.message)),
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// An accumulating sink for diagnostics.
+///
+/// Phases push diagnostics as they discover problems and keep going
+/// where recovery is possible; the driver checks [`Diagnostics::has_errors`]
+/// between phases.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    diags: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `diag`.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Records an error with a span.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Records a warning with a span.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// True if any recorded diagnostic is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// All diagnostics in the order recorded.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of diagnostics of any severity.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Renders every diagnostic against `file`, concatenated.
+    #[must_use]
+    pub fn render_all(&self, file: &SourceFile) -> String {
+        self.diags.iter().map(|d| d.render(file)).collect()
+    }
+
+    /// Moves all diagnostics out of `other` into `self`.
+    pub fn append(&mut self, other: &mut Diagnostics) {
+        self.diags.append(&mut other.diags);
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn collects_and_counts() {
+        let mut d = Diagnostics::new();
+        assert!(d.is_empty());
+        d.warning("odd", Span::new(0, 1));
+        assert!(!d.has_errors());
+        d.error("bad", Span::new(2, 3));
+        assert!(d.has_errors());
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn render_points_at_source() {
+        let f = SourceFile::new("mail.idl", "interface Mail {\n  void send(in string msg);\n};\n");
+        let d = Diagnostic::error("unknown type `strang`", Span::new(31, 37))
+            .with_note("did you mean `string`?");
+        let r = d.render(&f);
+        assert!(r.contains("mail.idl:2:"), "{r}");
+        assert!(r.contains("error: unknown type `strang`"), "{r}");
+        assert!(r.contains("^^^^^^"), "{r}");
+        assert!(r.contains("note: did you mean"), "{r}");
+    }
+
+    #[test]
+    fn render_without_span() {
+        let f = SourceFile::new("x.idl", "");
+        let d = Diagnostic::error_nospan("no interfaces defined");
+        assert!(d.render(&f).contains("x.idl: error: no interfaces defined"));
+    }
+
+    #[test]
+    fn append_moves() {
+        let mut a = Diagnostics::new();
+        let mut b = Diagnostics::new();
+        b.error("boom", Span::dummy());
+        a.append(&mut b);
+        assert!(a.has_errors());
+        assert!(b.is_empty());
+    }
+}

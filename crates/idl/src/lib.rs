@@ -1,0 +1,27 @@
+//! Front-end base library for the Flick IDL compiler.
+//!
+//! The paper (§2.1, Table 1) describes a shared "front end base library"
+//! from which the CORBA, ONC RPC, and MIG front ends are derived.  This
+//! crate is that library: it owns the pieces every front end needs and
+//! none of the pieces specific to a single IDL:
+//!
+//! * [`source`] — source files, byte [`Span`]s, and line/column lookup;
+//! * [`diag`] — structured diagnostics with severities, spans, notes,
+//!   and human-readable rendering;
+//! * [`mod@lex`] — a lexer for the C-family token set shared by the CORBA,
+//!   ONC RPC, and MIG IDLs (identifiers, integer/float/char/string
+//!   literals, punctuation, `//` and `/* */` comments, `#` directives);
+//! * [`parse`] — a small token-cursor layer with error-recovery
+//!   helpers used by all three parsers.
+//!
+//! Individual front ends (`flick-frontend-corba`, `flick-frontend-onc`,
+//! `flick-frontend-mig`) layer keyword tables and grammars on top.
+
+pub mod diag;
+pub mod lex;
+pub mod parse;
+pub mod source;
+
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use lex::{lex, Token, TokenKind};
+pub use source::{SourceFile, Span};

@@ -1,0 +1,52 @@
+//! Robustness properties of the shared lexer: it must never panic and
+//! must always produce an EOF-terminated stream with in-bounds spans,
+//! whatever bytes arrive.
+
+use flick_idl::diag::Diagnostics;
+use flick_idl::lex::{lex, TokenKind};
+use flick_idl::source::SourceFile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_and_terminates(text in "\\PC{0,400}") {
+        let f = SourceFile::new("fuzz", text.clone());
+        let mut d = Diagnostics::new();
+        let toks = lex(&f, &mut d);
+        prop_assert!(!toks.is_empty());
+        prop_assert_eq!(&toks.last().unwrap().kind, &TokenKind::Eof);
+        for t in &toks {
+            prop_assert!(t.span.lo <= t.span.hi);
+            prop_assert!((t.span.hi as usize) <= text.len());
+        }
+    }
+
+    #[test]
+    fn spans_are_monotonic(text in "[a-z0-9 <>(){};:=+*/,.\"'#\\\\\n-]{0,300}") {
+        let f = SourceFile::new("fuzz", text);
+        let mut d = Diagnostics::new();
+        let toks = lex(&f, &mut d);
+        for w in toks.windows(2) {
+            prop_assert!(w[0].span.lo <= w[1].span.lo, "tokens out of order");
+        }
+    }
+
+    #[test]
+    fn lexing_valid_idents_is_lossless(words in prop::collection::vec("[a-zA-Z_][a-zA-Z0-9_]{0,10}", 0..20)) {
+        let text = words.join(" ");
+        let f = SourceFile::new("fuzz", text);
+        let mut d = Diagnostics::new();
+        let toks = lex(&f, &mut d);
+        prop_assert!(!d.has_errors());
+        let lexed: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(lexed, words);
+    }
+}

@@ -1,0 +1,111 @@
+//! Graphviz DOT rendering of MINT subgraphs, for debugging and docs.
+
+use std::fmt::Write as _;
+
+use crate::node::{MintNode, ScalarKind};
+use crate::{MintGraph, MintId};
+
+/// Renders the subgraph reachable from `root` as a DOT digraph.
+#[must_use]
+pub fn to_dot(g: &MintGraph, root: MintId) -> String {
+    let mut out = String::from("digraph mint {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for id in g.reachable(root) {
+        let label = node_label(g.get(id));
+        let _ = writeln!(out, "  {} [label=\"{}\"];", id.index(), label);
+        match g.get(id) {
+            MintNode::Array { elem, .. } => {
+                let _ = writeln!(out, "  {} -> {} [label=elem];", id.index(), elem.index());
+            }
+            MintNode::Struct { slots } => {
+                for (name, t) in slots {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [label=\"{}\"];",
+                        id.index(),
+                        t.index(),
+                        name
+                    );
+                }
+            }
+            MintNode::Union { discrim, cases, default } => {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=discrim];",
+                    id.index(),
+                    discrim.index()
+                );
+                for (v, t) in cases {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [label=\"case {}\"];",
+                        id.index(),
+                        t.index(),
+                        v
+                    );
+                }
+                if let Some(d) = default {
+                    let _ =
+                        writeln!(out, "  {} -> {} [label=default];", id.index(), d.index());
+                }
+            }
+            MintNode::Const { ty, .. } => {
+                let _ = writeln!(out, "  {} -> {} [label=type];", id.index(), ty.index());
+            }
+            _ => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn node_label(n: &MintNode) -> String {
+    match n {
+        MintNode::Void => "void".into(),
+        MintNode::Integer { min, range } => format!("int[{min}, {min}+{range}]"),
+        MintNode::Scalar(ScalarKind::Bool) => "bool".into(),
+        MintNode::Scalar(ScalarKind::Char8) => "char8".into(),
+        MintNode::Scalar(ScalarKind::Float32) => "f32".into(),
+        MintNode::Scalar(ScalarKind::Float64) => "f64".into(),
+        MintNode::Array { len, .. } => match (len.is_fixed(), len.max) {
+            (true, _) => format!("array[{}]", len.min),
+            (false, Some(m)) => format!("array<={m}"),
+            (false, None) => "array<*>".into(),
+        },
+        MintNode::Struct { slots } => format!("struct/{}", slots.len()),
+        MintNode::Union { cases, .. } => format!("union/{}", cases.len()),
+        MintNode::Const { value, .. } => format!("const {value:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_mentions_nodes_and_edges() {
+        let mut g = MintGraph::new();
+        let i = g.i32();
+        let s = g.structure(vec![("x".into(), i), ("y".into(), i)]);
+        let d = g.to_dot(s);
+        assert!(d.starts_with("digraph mint {"));
+        assert!(d.contains("struct/2"));
+        assert!(d.contains("label=\"x\""));
+        assert!(d.contains("label=\"y\""));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_handles_cycles() {
+        let mut g = MintGraph::new();
+        let list = g.reserve();
+        let i = g.i32();
+        let b = g.boolean();
+        let v = g.void();
+        let opt = g.union(b, vec![(0, v), (1, list)], None);
+        let node = MintNode::Struct { slots: vec![("v".into(), i), ("next".into(), opt)] };
+        g.patch(list, node);
+        // Must terminate and include the union arm back-edge.
+        let d = g.to_dot(list);
+        assert!(d.contains("case 1"));
+    }
+}

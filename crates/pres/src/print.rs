@@ -1,0 +1,218 @@
+//! Textual rendering of a PRES-C presentation — the equivalent of the
+//! paper's `.prc` files, which carried presentations between the
+//! generator and the back end.  Useful for debugging a presentation
+//! and for golden tests over the generator's output.
+
+use std::fmt::Write as _;
+
+use flick_mint::MintNode;
+
+use crate::node::{PresId, PresNode};
+use crate::stub::Side;
+use crate::PresC;
+
+/// Renders `presc` in a stable textual form.
+#[must_use]
+pub fn print(presc: &PresC) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "presentation {} (style {}, side {})",
+        presc.interface,
+        presc.style,
+        match presc.side {
+            Side::Client => "client",
+            Side::Server => "server",
+        }
+    );
+    if presc.program != 0 {
+        let _ = writeln!(out, "program 0x{:x} version {}", presc.program, presc.version);
+    }
+    for stub in &presc.stubs {
+        let _ = writeln!(
+            out,
+            "stub {} [{}#{}{}]",
+            stub.name,
+            stub.op.wire_name,
+            stub.op.request_code,
+            if stub.op.oneway { ", oneway" } else { "" }
+        );
+        let sig = flick_cast::printer::declarator(&stub.decl.ret, &stub.decl.name);
+        let params: Vec<String> = stub
+            .decl
+            .params
+            .iter()
+            .map(|p| flick_cast::printer::declarator(&p.ty, &p.name))
+            .collect();
+        let _ = writeln!(out, "  cast: {sig}({})", params.join(", "));
+        let _ = writeln!(out, "  request: {}", mint_str(presc, stub.request.mint, 0));
+        for slot in &stub.request.slots {
+            let _ = writeln!(
+                out,
+                "    slot {}{}: {}",
+                slot.c_name,
+                if slot.by_ref { " (by ref)" } else { "" },
+                pres_str(presc, slot.pres, 0)
+            );
+        }
+        if !stub.op.oneway {
+            let _ = writeln!(out, "  reply: {}", mint_str(presc, stub.reply.mint, 0));
+            for slot in &stub.reply.slots {
+                let _ = writeln!(
+                    out,
+                    "    slot {}: {}",
+                    slot.c_name,
+                    pres_str(presc, slot.pres, 0)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a MINT subtree compactly (depth-limited; cycles elided).
+fn mint_str(presc: &PresC, id: flick_mint::MintId, depth: usize) -> String {
+    if depth > 4 {
+        return "…".to_string();
+    }
+    match presc.mint.get(id) {
+        MintNode::Void => "void".into(),
+        MintNode::Integer { min, range } => {
+            // Recover the conventional name from the range.
+            match (*min, *range) {
+                (0, r) if r == u64::from(u8::MAX) => "u8".into(),
+                (0, r) if r == u64::from(u16::MAX) => "u16".into(),
+                (0, r) if r == u64::from(u32::MAX) => "u32".into(),
+                (0, _) => "u64".into(),
+                (m, r) if m == i64::from(i16::MIN) && r == u64::from(u16::MAX) => "i16".into(),
+                (m, r) if m == i64::from(i32::MIN) && r == u64::from(u32::MAX) => "i32".into(),
+                (m, _) if m == i64::from(i8::MIN) => "i8".into(),
+                _ => "i64".into(),
+            }
+        }
+        MintNode::Scalar(k) => format!("{k:?}").to_lowercase(),
+        MintNode::Array { elem, len } => {
+            let e = mint_str(presc, *elem, depth + 1);
+            match len.fixed_len() {
+                Some(n) => format!("{e}[{n}]"),
+                None => match len.max {
+                    Some(b) => format!("{e}<{b}>"),
+                    None => format!("{e}<>"),
+                },
+            }
+        }
+        MintNode::Struct { slots } => {
+            let body: Vec<String> = slots
+                .iter()
+                .map(|(n, t)| format!("{n}: {}", mint_str(presc, *t, depth + 1)))
+                .collect();
+            format!("{{{}}}", body.join(", "))
+        }
+        MintNode::Union { cases, .. } => format!("union/{}", cases.len()),
+        MintNode::Const { value, .. } => format!("const {value:?}"),
+    }
+}
+
+/// Renders a PRES subtree compactly.
+fn pres_str(presc: &PresC, id: PresId, depth: usize) -> String {
+    if depth > 4 {
+        return "…".to_string();
+    }
+    match presc.pres.get(id) {
+        PresNode::Void => "void".into(),
+        PresNode::Direct { ctype, .. } => {
+            format!("direct({})", flick_cast::printer::declarator(ctype, ""))
+        }
+        PresNode::EnumMap { ctype, .. } => {
+            format!("enum({})", flick_cast::printer::declarator(ctype, ""))
+        }
+        PresNode::FixedArray { elem, len, .. } => {
+            format!("array[{len}] of {}", pres_str(presc, *elem, depth + 1))
+        }
+        PresNode::OptPtr { elem, .. } => {
+            format!("opt_ptr -> {}", pres_str(presc, *elem, depth + 1))
+        }
+        PresNode::TerminatedString { .. } => "string (NUL-terminated char *)".into(),
+        PresNode::CountedSeq { elem, length_field, buffer_field, .. } => format!(
+            "counted_seq({length_field}/{buffer_field}) of {}",
+            pres_str(presc, *elem, depth + 1)
+        ),
+        PresNode::StructMap { ctype, fields, .. } => {
+            let body: Vec<String> = fields
+                .iter()
+                .map(|(n, f)| format!("{n}: {}", pres_str(presc, *f, depth + 1)))
+                .collect();
+            format!(
+                "struct {} {{{}}}",
+                flick_cast::printer::declarator(ctype, ""),
+                body.join(", ")
+            )
+        }
+        PresNode::UnionMap { cases, .. } => format!("union_map/{}", cases.len()),
+        PresNode::OptionalPtr { elem, .. } => {
+            format!("optional_ptr -> {}", pres_str(presc, *elem, depth + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PresTree;
+    use crate::stub::{MessagePres, OpInfo, ParamBinding, Stub, StubKind};
+    use flick_cast::{CFunction, CParam, CType, CUnit};
+    use flick_mint::MintGraph;
+
+    #[test]
+    fn prints_a_mail_like_presentation() {
+        let mut mint = MintGraph::new();
+        let chars = mint.string(None);
+        let u32m = mint.u32();
+        let opc = mint.constant(u32m, flick_mint::ConstVal::Unsigned(1));
+        let req = mint.structure(vec![("_op".into(), opc), ("msg".into(), chars)]);
+        let rep = mint.structure(vec![]);
+        let mut pres = PresTree::new();
+        let slot = pres.add(PresNode::TerminatedString {
+            mint: chars,
+            alloc: crate::AllocSem::heap_only(),
+        });
+        let presc = PresC {
+            side: Side::Client,
+            interface: "Mail".into(),
+            program: 0x2000_0001,
+            version: 1,
+            mint,
+            pres,
+            cast: CUnit::new(),
+            stubs: vec![Stub {
+                name: "Mail_send".into(),
+                kind: StubKind::ClientCall,
+                decl: CFunction {
+                    name: "Mail_send".into(),
+                    ret: CType::Void,
+                    params: vec![CParam { name: "msg".into(), ty: CType::ptr(CType::Char) }],
+                    body: None,
+                },
+                request: MessagePres {
+                    mint: req,
+                    slots: vec![ParamBinding { c_name: "msg".into(), pres: slot, by_ref: false }],
+                },
+                reply: MessagePres { mint: rep, slots: vec![] },
+                op: OpInfo {
+                    name: "send".into(),
+                    request_code: 1,
+                    wire_name: "send".into(),
+                    oneway: false,
+                },
+            }],
+            style: "corba-c".into(),
+        };
+        let p = print(&presc);
+        assert!(p.contains("presentation Mail (style corba-c, side client)"), "{p}");
+        assert!(p.contains("program 0x20000001 version 1"), "{p}");
+        assert!(p.contains("stub Mail_send [send#1]"), "{p}");
+        assert!(p.contains("cast: void Mail_send(char *msg)"), "{p}");
+        assert!(p.contains("{_op: const Unsigned(1), msg: char8<>}"), "{p}");
+        assert!(p.contains("slot msg: string (NUL-terminated char *)"), "{p}");
+    }
+}

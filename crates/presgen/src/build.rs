@@ -1,0 +1,785 @@
+//! The presentation-generator base library.
+//!
+//! This module is the analog of the paper's large shared presentation
+//! library (Table 1: 6509 lines against which the CORBA and rpcgen
+//! generators weigh in at a few percent).  It owns everything the
+//! concrete mappings have in common:
+//!
+//! * translating AOI types into MINT message types (with recursion
+//!   handled by reserve/patch);
+//! * translating AOI types into presented C types plus PRES conversion
+//!   trees, parameterized by a small [`StyleHooks`] table of naming and
+//!   representation choices;
+//! * assembling [`Stub`]s — signatures, slot bindings, request/reply
+//!   MINT — for each operation, including operations synthesized from
+//!   attributes.
+
+use std::collections::{HashMap, HashSet};
+
+use flick_aoi::{Aoi, Interface, Operation, Param, ParamDir, PrimType, Type, TypeId};
+use flick_cast::{CDecl, CField, CFunction, CParam, CType, CUnit};
+use flick_idl::diag::{Diagnostic, Diagnostics};
+use flick_mint::{ConstVal, MintGraph, MintId, MintNode};
+use flick_pres::{
+    AllocSem, MessagePres, OpInfo, ParamBinding, PresC, PresId, PresNode, PresTree, Side, Stub,
+    StubKind,
+};
+
+/// Per-style naming and representation choices — the *only* things a
+/// concrete presentation generator has to supply.
+pub(crate) struct StyleHooks {
+    /// Stable style name (`"corba-c"`...).
+    pub style_name: &'static str,
+    /// Client stub name for an operation.
+    pub stub_name: fn(iface_c: &str, op: &str, code: u64) -> String,
+    /// Server work-function name for an operation.
+    pub work_name: fn(iface_c: &str, op: &str, code: u64) -> String,
+    /// Sequence member names `(length, maximum, buffer)`.
+    pub seq_fields: (&'static str, &'static str, &'static str),
+    /// Append a `CORBA_Environment *ev`-style trailing parameter.
+    pub env_param: Option<(&'static str, &'static str)>,
+    /// Leading object-handle parameter type name, if any (CORBA's
+    /// `Mail obj`); `None` puts a trailing `CLIENT *` handle instead.
+    pub leading_handle: bool,
+    /// Whether ONC-style optional (self-referential) types are
+    /// presentable in this mapping (paper §2.2.1 footnote 3).
+    pub allows_optional: bool,
+    /// Whether AOI exceptions are presentable in this mapping.
+    pub allows_exceptions: bool,
+}
+
+/// Flattens a scoped AOI name (`Geo::Point`) to a C identifier.
+pub(crate) fn flatten(name: &str) -> String {
+    name.replace("::", "_")
+}
+
+pub(crate) struct Builder<'a> {
+    pub aoi: &'a Aoi,
+    pub mint: MintGraph,
+    pub pres: PresTree,
+    pub cast: CUnit,
+    pub diags: Diagnostics,
+    hooks: StyleHooks,
+    mint_memo: HashMap<TypeId, MintId>,
+    pres_memo: HashMap<TypeId, PresId>,
+    ctype_memo: HashMap<TypeId, CType>,
+    emitted: HashSet<String>,
+    anon_seq: usize,
+}
+
+impl<'a> Builder<'a> {
+    pub(crate) fn new(aoi: &'a Aoi, hooks: StyleHooks) -> Self {
+        Builder {
+            aoi,
+            mint: MintGraph::new(),
+            pres: PresTree::new(),
+            cast: CUnit::new(),
+            diags: Diagnostics::new(),
+            hooks,
+            mint_memo: HashMap::new(),
+            pres_memo: HashMap::new(),
+            ctype_memo: HashMap::new(),
+            emitted: HashSet::new(),
+            anon_seq: 0,
+        }
+    }
+
+    // ---------------- AOI → MINT ----------------
+
+    /// The MINT message type for an AOI type.
+    pub(crate) fn mint_of(&mut self, ty: TypeId) -> MintId {
+        if let Some(&m) = self.mint_memo.get(&ty) {
+            return m;
+        }
+        // Aliases share their target's node outright, so recursive
+        // references through a typedef land on one shared slot.
+        if let Type::Alias { target, .. } = self.aoi.types.get(ty) {
+            let target = *target;
+            let t = self.mint_of(target);
+            self.mint_memo.insert(ty, t);
+            return t;
+        }
+        // Reserve first so recursive references find the slot.
+        let slot = self.mint.reserve();
+        self.mint_memo.insert(ty, slot);
+        let node = match self.aoi.types.get(ty).clone() {
+            Type::Prim(p) => self.mint_prim(p),
+            Type::String { bound } => {
+                let c = self.mint.char8();
+                MintNode::Array {
+                    elem: c,
+                    len: flick_mint::LenBound { min: 0, max: bound },
+                }
+            }
+            Type::Array { elem, len } => {
+                let e = self.mint_of(elem);
+                MintNode::Array { elem: e, len: flick_mint::LenBound::fixed(len) }
+            }
+            Type::Sequence { elem, bound } => {
+                let e = self.mint_of(elem);
+                MintNode::Array { elem: e, len: flick_mint::LenBound { min: 0, max: bound } }
+            }
+            Type::Opaque { fixed_len, bound } => {
+                let b = self.mint.u8();
+                let len = match fixed_len {
+                    Some(n) => flick_mint::LenBound::fixed(n),
+                    None => flick_mint::LenBound { min: 0, max: bound },
+                };
+                MintNode::Array { elem: b, len }
+            }
+            Type::Struct { fields, .. } => {
+                let slots = fields
+                    .iter()
+                    .map(|f| (f.name.clone(), self.mint_of(f.ty)))
+                    .collect();
+                MintNode::Struct { slots }
+            }
+            Type::Union { discriminator, cases, .. } => {
+                let d = self.mint_of(discriminator);
+                let mut arms = Vec::new();
+                let mut default = None;
+                for c in &cases {
+                    let body = match c.ty {
+                        Some(t) => self.mint_of(t),
+                        None => self.mint.void(),
+                    };
+                    for l in &c.labels {
+                        match l {
+                            flick_aoi::UnionLabel::Value(v) => arms.push((*v, body)),
+                            flick_aoi::UnionLabel::Default => default = Some(body),
+                        }
+                    }
+                }
+                MintNode::Union { discrim: d, cases: arms, default }
+            }
+            Type::Enum { .. } => MintNode::integer_bits(false, 32),
+            Type::Alias { .. } => unreachable!("aliases resolved before reservation"),
+            Type::Optional { elem } => {
+                let e = self.mint_of(elem);
+                let b = self.mint.boolean();
+                let v = self.mint.void();
+                MintNode::Union { discrim: b, cases: vec![(0, v), (1, e)], default: None }
+            }
+            // Object references travel as object-key strings.
+            Type::ObjRef { .. } => {
+                let c = self.mint.char8();
+                MintNode::Array { elem: c, len: flick_mint::LenBound { min: 0, max: None } }
+            }
+        };
+        self.mint.patch(slot, node);
+        slot
+    }
+
+    fn mint_prim(&mut self, p: PrimType) -> MintNode {
+        match p {
+            PrimType::Void => MintNode::Void,
+            PrimType::Boolean => MintNode::Scalar(flick_mint::ScalarKind::Bool),
+            PrimType::Char => MintNode::Scalar(flick_mint::ScalarKind::Char8),
+            PrimType::Octet => MintNode::integer_bits(false, 8),
+            PrimType::Short => MintNode::integer_bits(true, 16),
+            PrimType::UShort => MintNode::integer_bits(false, 16),
+            PrimType::Long => MintNode::integer_bits(true, 32),
+            PrimType::ULong => MintNode::integer_bits(false, 32),
+            PrimType::LongLong => MintNode::integer_bits(true, 64),
+            PrimType::ULongLong => MintNode::integer_bits(false, 64),
+            PrimType::Float => MintNode::Scalar(flick_mint::ScalarKind::Float32),
+            PrimType::Double => MintNode::Scalar(flick_mint::ScalarKind::Float64),
+        }
+    }
+
+    // ---------------- AOI → C types ----------------
+
+    /// The presented C type for an AOI type, emitting supporting
+    /// declarations (typedefs, struct/enum definitions) on first use.
+    pub(crate) fn ctype_of(&mut self, ty: TypeId) -> CType {
+        if let Some(c) = self.ctype_memo.get(&ty) {
+            return c.clone();
+        }
+        let c = match self.aoi.types.get(ty).clone() {
+            Type::Prim(p) => prim_ctype(p),
+            Type::String { .. } => CType::ptr(CType::Char),
+            Type::Array { elem, len } => CType::Array(Box::new(self.ctype_of(elem)), Some(len)),
+            Type::Sequence { elem, .. } => {
+                let name = self.seq_typedef_name(elem);
+                self.emit_seq_typedef(&name, elem);
+                CType::named(name)
+            }
+            Type::Opaque { fixed_len: Some(n), .. } => CType::array(CType::Char, n),
+            Type::Opaque { .. } => {
+                let octet = self.aoi.types.iter().find_map(|(id, t)| {
+                    if matches!(t, Type::Prim(PrimType::Octet)) {
+                        Some(id)
+                    } else {
+                        None
+                    }
+                });
+                // Variable opaque presents like a sequence of octets.
+                let name = format!("opaque_seq_{}", self.anon_seq);
+                self.anon_seq += 1;
+                if let Some(octet) = octet {
+                    self.emit_seq_typedef(&name, octet);
+                } else {
+                    self.emit_seq_typedef_raw(&name, CType::UChar);
+                }
+                CType::named(name)
+            }
+            Type::Struct { name, fields } => {
+                let cname = flatten(&name);
+                // Memoize the named type *before* the fields so that
+                // recursive members (via sequence/optional) terminate.
+                self.ctype_memo.insert(ty, CType::named(cname.clone()));
+                self.emit_struct_typedef(&cname, &fields);
+                CType::named(cname)
+            }
+            Type::Union { name, discriminator, cases } => {
+                let cname = flatten(&name);
+                self.ctype_memo.insert(ty, CType::named(cname.clone()));
+                self.emit_union_typedef(&cname, discriminator, &cases);
+                CType::named(cname)
+            }
+            Type::Enum { name, items } => {
+                let cname = flatten(&name);
+                if self.emitted.insert(cname.clone()) {
+                    self.cast.push(CDecl::Enum {
+                        tag: cname.clone(),
+                        items: items.clone(),
+                    });
+                    self.cast.push(CDecl::Typedef {
+                        name: cname.clone(),
+                        ty: CType::UInt,
+                    });
+                }
+                CType::named(cname)
+            }
+            Type::Alias { name, target } => {
+                let cname = flatten(&name);
+                let under = self.ctype_of(target);
+                if self.emitted.insert(cname.clone()) {
+                    self.cast.push(CDecl::Typedef { name: cname.clone(), ty: under });
+                }
+                CType::named(cname)
+            }
+            Type::Optional { elem } => CType::ptr(self.ctype_of(elem)),
+            Type::ObjRef { .. } => CType::ptr(CType::Char),
+        };
+        self.ctype_memo.insert(ty, c.clone());
+        c
+    }
+
+    fn seq_typedef_name(&mut self, elem: TypeId) -> String {
+        let resolved = self.aoi.types.resolve(elem);
+        match self.aoi.types.get(resolved).name() {
+            Some(n) => format!("{}_seq", flatten(n)),
+            None => match self.aoi.types.get(resolved) {
+                Type::Prim(p) => format!("{}_seq", p.name()),
+                Type::String { .. } => "string_seq".to_string(),
+                _ => {
+                    let n = format!("anon_seq_{}", self.anon_seq);
+                    self.anon_seq += 1;
+                    n
+                }
+            },
+        }
+    }
+
+    fn emit_seq_typedef(&mut self, name: &str, elem: TypeId) {
+        if !self.emitted.insert(name.to_string()) {
+            return;
+        }
+        let elem_c = self.ctype_of(elem);
+        self.emit_seq_typedef_raw(name, elem_c);
+    }
+
+    fn emit_seq_typedef_raw(&mut self, name: &str, elem_c: CType) {
+        let (len_f, max_f, buf_f) = self.hooks.seq_fields;
+        self.emitted.insert(name.to_string());
+        self.cast.push(CDecl::Typedef {
+            name: name.to_string(),
+            ty: CType::StructDef {
+                tag: None,
+                fields: vec![
+                    CField { name: max_f.to_string(), ty: CType::UInt },
+                    CField { name: len_f.to_string(), ty: CType::UInt },
+                    CField { name: buf_f.to_string(), ty: CType::ptr(elem_c) },
+                ],
+            },
+        });
+    }
+
+    fn emit_struct_typedef(&mut self, cname: &str, fields: &[flick_aoi::Field]) {
+        if !self.emitted.insert(cname.to_string()) {
+            return;
+        }
+        let cfields: Vec<CField> = fields
+            .iter()
+            .map(|f| CField { name: f.name.clone(), ty: self.ctype_of(f.ty) })
+            .collect();
+        self.cast.push(CDecl::Struct { tag: cname.to_string(), fields: cfields });
+        self.cast.push(CDecl::Typedef {
+            name: cname.to_string(),
+            ty: CType::StructRef(cname.to_string()),
+        });
+    }
+
+    fn emit_union_typedef(
+        &mut self,
+        cname: &str,
+        discriminator: TypeId,
+        cases: &[flick_aoi::UnionCase],
+    ) {
+        if !self.emitted.insert(cname.to_string()) {
+            return;
+        }
+        let disc_c = self.ctype_of(discriminator);
+        let arms: Vec<CField> = cases
+            .iter()
+            .filter_map(|c| {
+                c.ty.map(|t| CField { name: c.name.clone(), ty: self.ctype_of(t) })
+            })
+            .collect();
+        self.cast.push(CDecl::Struct {
+            tag: cname.to_string(),
+            fields: vec![
+                CField { name: "_d".into(), ty: disc_c },
+                CField {
+                    name: "_u".into(),
+                    ty: CType::StructDef { tag: None, fields: arms },
+                },
+            ],
+        });
+        self.cast.push(CDecl::Typedef {
+            name: cname.to_string(),
+            ty: CType::StructRef(cname.to_string()),
+        });
+    }
+
+    // ---------------- AOI → PRES ----------------
+
+    /// The PRES conversion tree for an AOI type under this style.
+    pub(crate) fn pres_of(&mut self, ty: TypeId, alloc: AllocSem) -> PresId {
+        if let Some(&p) = self.pres_memo.get(&ty) {
+            return p;
+        }
+        if let Type::Alias { .. } = self.aoi.types.get(ty) {
+            // Emit the typedef, then share the target's conversion so a
+            // recursive type has exactly one PRES node.
+            let _ = self.ctype_of(ty);
+            let Type::Alias { target, .. } = self.aoi.types.get(ty).clone() else {
+                unreachable!()
+            };
+            let t = self.pres_of(target, alloc);
+            self.pres_memo.insert(ty, t);
+            return t;
+        }
+        let slot = self.pres.reserve();
+        self.pres_memo.insert(ty, slot);
+        let mint = self.mint_of(ty);
+        let node = match self.aoi.types.get(ty).clone() {
+            Type::Prim(PrimType::Void) => PresNode::Void,
+            Type::Prim(p) => PresNode::Direct { mint, ctype: prim_ctype(p) },
+            Type::String { .. } => PresNode::TerminatedString { mint, alloc },
+            Type::Array { elem, len } => {
+                let e = self.pres_of(elem, alloc);
+                PresNode::FixedArray { mint, elem: e, len, ctype: self.ctype_of(ty) }
+            }
+            Type::Sequence { elem, .. } => {
+                let e = self.pres_of(elem, alloc);
+                let (len_f, max_f, buf_f) = self.hooks.seq_fields;
+                PresNode::CountedSeq {
+                    mint,
+                    elem: e,
+                    ctype: self.ctype_of(ty),
+                    length_field: len_f.to_string(),
+                    maximum_field: max_f.to_string(),
+                    buffer_field: buf_f.to_string(),
+                    alloc,
+                }
+            }
+            Type::Opaque { fixed_len: Some(n), .. } => {
+                let u8m = self.mint.u8();
+                let e = self.pres.add(PresNode::Direct { mint: u8m, ctype: CType::Char });
+                PresNode::FixedArray { mint, elem: e, len: n, ctype: self.ctype_of(ty) }
+            }
+            Type::Opaque { .. } => {
+                let u8m = self.mint.u8();
+                let e = self.pres.add(PresNode::Direct { mint: u8m, ctype: CType::UChar });
+                let (len_f, max_f, buf_f) = self.hooks.seq_fields;
+                PresNode::CountedSeq {
+                    mint,
+                    elem: e,
+                    ctype: self.ctype_of(ty),
+                    length_field: len_f.to_string(),
+                    maximum_field: max_f.to_string(),
+                    buffer_field: buf_f.to_string(),
+                    alloc,
+                }
+            }
+            Type::Struct { fields, .. } => {
+                let fps: Vec<(String, PresId)> = fields
+                    .iter()
+                    .map(|f| (f.name.clone(), self.pres_of(f.ty, alloc)))
+                    .collect();
+                PresNode::StructMap { mint, ctype: self.ctype_of(ty), fields: fps }
+            }
+            Type::Union { discriminator, cases, .. } => {
+                let d = self.pres_of(discriminator, alloc);
+                let mut arms = Vec::new();
+                let mut default = None;
+                for c in &cases {
+                    let body = match c.ty {
+                        Some(t) => self.pres_of(t, alloc),
+                        None => self.pres.add(PresNode::Void),
+                    };
+                    for l in &c.labels {
+                        match l {
+                            flick_aoi::UnionLabel::Value(v) => {
+                                arms.push((*v, c.name.clone(), body));
+                            }
+                            flick_aoi::UnionLabel::Default => {
+                                default = Some((c.name.clone(), body));
+                            }
+                        }
+                    }
+                }
+                PresNode::UnionMap {
+                    mint,
+                    ctype: self.ctype_of(ty),
+                    discrim: d,
+                    discrim_field: "_d".into(),
+                    cases: arms,
+                    default,
+                }
+            }
+            Type::Enum { .. } => PresNode::EnumMap { mint, ctype: self.ctype_of(ty) },
+            Type::Alias { .. } => unreachable!("aliases resolved before reservation"),
+            Type::Optional { elem } => {
+                if !self.hooks.allows_optional {
+                    self.diags.push(Diagnostic::error_nospan(format!(
+                        "the {} presentation cannot express ONC-style optional \
+                         (self-referential) types",
+                        self.hooks.style_name
+                    )));
+                }
+                let e = self.pres_of(elem, alloc);
+                PresNode::OptionalPtr { mint, elem: e, ctype: self.ctype_of(ty), alloc }
+            }
+            Type::ObjRef { .. } => PresNode::TerminatedString { mint, alloc },
+        };
+        self.pres.patch(slot, node);
+        slot
+    }
+
+    // ---------------- stub assembly ----------------
+
+    /// True if the encoded size of the type is statically fixed.
+    pub(crate) fn is_fixed_size(&self, ty: TypeId) -> bool {
+        fn walk(aoi: &Aoi, ty: TypeId, seen: &mut Vec<TypeId>) -> bool {
+            if seen.contains(&ty) {
+                return false; // recursion implies variability
+            }
+            seen.push(ty);
+            let r = match aoi.types.get(ty) {
+                Type::Prim(_) | Type::Enum { .. } => true,
+                Type::String { .. }
+                | Type::Sequence { .. }
+                | Type::Optional { .. }
+                | Type::ObjRef { .. } => false,
+                Type::Opaque { fixed_len, .. } => fixed_len.is_some(),
+                Type::Array { elem, .. } => walk(aoi, *elem, seen),
+                Type::Struct { fields, .. } => fields.iter().all(|f| walk(aoi, f.ty, seen)),
+                Type::Union { .. } => false,
+                Type::Alias { target, .. } => walk(aoi, *target, seen),
+            };
+            seen.pop();
+            r
+        }
+        walk(self.aoi, ty, &mut Vec::new())
+    }
+
+    /// The C parameter type for a parameter of `ty` in direction `dir`.
+    fn param_ctype(&mut self, ty: TypeId, dir: ParamDir) -> (CType, bool) {
+        let base = self.ctype_of(ty);
+        let resolved = self.aoi.types.get(self.aoi.types.resolve(ty)).clone();
+        let is_aggregate = matches!(
+            resolved,
+            Type::Struct { .. }
+                | Type::Union { .. }
+                | Type::Sequence { .. }
+                | Type::Array { .. }
+                | Type::Opaque { .. }
+        );
+        match dir {
+            ParamDir::In => {
+                if is_aggregate {
+                    (CType::ptr(base), true)
+                } else {
+                    (base, false)
+                }
+            }
+            ParamDir::Out | ParamDir::InOut => {
+                // Everything returns through a pointer; pointer-valued
+                // presentations (strings) become pointer-to-pointer.
+                (CType::ptr(base), true)
+            }
+        }
+    }
+
+    /// Builds the stub for one operation.
+    pub(crate) fn build_stub(
+        &mut self,
+        iface: &Interface,
+        op: &Operation,
+        side: Side,
+    ) -> Stub {
+        let iface_c = flatten(&iface.name);
+        let name = match side {
+            Side::Client => (self.hooks.stub_name)(&iface_c, &op.name, op.request_code),
+            Side::Server => (self.hooks.work_name)(&iface_c, &op.name, op.request_code),
+        };
+        let alloc = match side {
+            Side::Client => AllocSem::heap_only(),
+            Side::Server => AllocSem::server_in_param(),
+        };
+
+        let mut params = Vec::new();
+        if self.hooks.leading_handle {
+            let obj_ty = iface_c.to_string();
+            if self.emitted.insert(obj_ty.clone()) {
+                self.cast.push(CDecl::Typedef {
+                    name: obj_ty.clone(),
+                    ty: CType::ptr(CType::Void),
+                });
+            }
+            params.push(CParam { name: "obj".into(), ty: CType::named(obj_ty) });
+        }
+
+        let mut req_slots = Vec::new();
+        let mut rep_slots = Vec::new();
+
+        // Return value first in the reply, per wire convention.
+        let ret_resolved = self.aoi.types.resolve(op.ret);
+        let ret_is_void = matches!(self.aoi.types.get(ret_resolved), Type::Prim(PrimType::Void));
+        if !ret_is_void {
+            let p = self.pres_of(op.ret, alloc);
+            rep_slots.push(ParamBinding { c_name: "_return".into(), pres: p, by_ref: false });
+        }
+
+        for Param { name: pname, dir, ty } in &op.params {
+            let (cty, by_ref) = self.param_ctype(*ty, *dir);
+            params.push(CParam { name: pname.clone(), ty: cty });
+            let p = self.pres_of(*ty, alloc);
+            let binding = ParamBinding { c_name: pname.clone(), pres: p, by_ref };
+            if dir.in_request() {
+                req_slots.push(binding.clone());
+            }
+            if dir.in_reply() {
+                rep_slots.push(binding);
+            }
+        }
+
+        if !self.hooks.leading_handle {
+            params.push(CParam {
+                name: "clnt".into(),
+                ty: CType::ptr(CType::named("CLIENT")),
+            });
+        }
+        if let Some((ty_name, pname)) = self.hooks.env_param {
+            if self.emitted.insert(ty_name.to_string()) {
+                self.cast.push(CDecl::Struct {
+                    tag: ty_name.to_string(),
+                    fields: vec![CField { name: "_major".into(), ty: CType::Int }],
+                });
+                self.cast.push(CDecl::Typedef {
+                    name: ty_name.to_string(),
+                    ty: CType::StructRef(ty_name.to_string()),
+                });
+            }
+            params.push(CParam {
+                name: pname.to_string(),
+                ty: CType::ptr(CType::named(ty_name)),
+            });
+        }
+
+        // Reject exceptions when the style has no such concept.
+        if !op.raises.is_empty() && !self.hooks.allows_exceptions {
+            self.diags.push(Diagnostic::error_nospan(format!(
+                "the {} presentation cannot express exceptions (operation `{}::{}`)",
+                self.hooks.style_name, iface.name, op.name
+            )));
+        }
+
+        let ret_c = if ret_is_void {
+            CType::Void
+        } else {
+            // Variable-size results are returned through a pointer the
+            // stub allocates; fixed-size ones by value.
+            let base = self.ctype_of(op.ret);
+            let pointer_valued = matches!(
+                self.aoi.types.get(ret_resolved),
+                Type::String { .. } | Type::Optional { .. } | Type::ObjRef { .. }
+            );
+            if pointer_valued || self.is_fixed_size(op.ret) {
+                base
+            } else {
+                CType::ptr(base)
+            }
+        };
+
+        // Whole-message MINT types.
+        let req_mint_slots: Vec<(String, MintId)> = op
+            .request_params()
+            .map(|p| (p.name.clone(), self.mint_of(p.ty)))
+            .collect();
+        let request_mint = self.message_struct(op.request_code, req_mint_slots);
+        let mut rep_mint_slots: Vec<(String, MintId)> = Vec::new();
+        if !ret_is_void {
+            rep_mint_slots.push(("_return".into(), self.mint_of(op.ret)));
+        }
+        for p in op.reply_params() {
+            rep_mint_slots.push((p.name.clone(), self.mint_of(p.ty)));
+        }
+        let reply_mint = if op.oneway {
+            self.mint.void()
+        } else {
+            self.mint.structure(rep_mint_slots)
+        };
+
+        Stub {
+            name: name.clone(),
+            kind: match side {
+                Side::Client => {
+                    if op.oneway {
+                        StubKind::OnewaySend
+                    } else {
+                        StubKind::ClientCall
+                    }
+                }
+                Side::Server => StubKind::ServerWork,
+            },
+            decl: CFunction { name, ret: ret_c, params, body: None },
+            request: MessagePres { mint: request_mint, slots: req_slots },
+            reply: MessagePres { mint: reply_mint, slots: rep_slots },
+            op: OpInfo {
+                name: op.name.clone(),
+                request_code: op.request_code,
+                wire_name: op.name.clone(),
+                oneway: op.oneway,
+            },
+        }
+    }
+
+    /// Builds a request-message struct carrying the operation
+    /// discriminator as a typed literal constant followed by the
+    /// argument slots — MINT's view of "opcode + body".
+    fn message_struct(&mut self, code: u64, slots: Vec<(String, MintId)>) -> MintId {
+        let u32m = self.mint.u32();
+        let disc = self.mint.constant(u32m, ConstVal::Unsigned(code));
+        let mut all = vec![("_op".to_string(), disc)];
+        all.extend(slots);
+        self.mint.structure(all)
+    }
+
+    /// Expands attributes into `_get_`/`_set_` operations, returning
+    /// the interface's full operation list.
+    pub(crate) fn expand_attributes(&mut self, iface: &Interface) -> Vec<Operation> {
+        let mut ops = iface.ops.clone();
+        let mut next_code = ops.iter().map(|o| o.request_code).max().unwrap_or(0) + 1;
+        let void = self
+            .aoi
+            .types
+            .iter()
+            .find_map(|(id, t)| {
+                if matches!(t, Type::Prim(PrimType::Void)) {
+                    Some(id)
+                } else {
+                    None
+                }
+            });
+        for attr in &iface.attrs {
+            let void = void.expect("void type must exist when attributes are present");
+            ops.push(Operation {
+                name: format!("_get_{}", attr.name),
+                oneway: false,
+                ret: attr.ty,
+                params: vec![],
+                raises: vec![],
+                request_code: next_code,
+            });
+            next_code += 1;
+            if !attr.readonly {
+                ops.push(Operation {
+                    name: format!("_set_{}", attr.name),
+                    oneway: false,
+                    ret: void,
+                    params: vec![Param {
+                        name: "value".into(),
+                        dir: ParamDir::In,
+                        ty: attr.ty,
+                    }],
+                    raises: vec![],
+                    request_code: next_code,
+                });
+                next_code += 1;
+            }
+        }
+        ops
+    }
+
+    /// Assembles the final PRES-C.
+    pub(crate) fn finish(self, iface: &Interface, side: Side, stubs: Vec<Stub>) -> PresC {
+        PresC {
+            side,
+            interface: iface.name.clone(),
+            program: iface.program,
+            version: iface.version,
+            mint: self.mint,
+            pres: self.pres,
+            cast: self.cast,
+            stubs,
+            style: self.hooks.style_name.to_string(),
+        }
+    }
+}
+
+/// The C type presenting an AOI primitive.
+pub(crate) fn prim_ctype(p: PrimType) -> CType {
+    match p {
+        PrimType::Void => CType::Void,
+        PrimType::Boolean => CType::UChar,
+        PrimType::Char => CType::Char,
+        PrimType::Octet => CType::UChar,
+        PrimType::Short => CType::Short,
+        PrimType::UShort => CType::UShort,
+        PrimType::Long => CType::Int,
+        PrimType::ULong => CType::UInt,
+        PrimType::LongLong => CType::LongLong,
+        PrimType::ULongLong => CType::ULongLong,
+        PrimType::Float => CType::Float,
+        PrimType::Double => CType::Double,
+    }
+}
+
+/// Shared driver: generates a PRES-C for `iface_name` with `hooks`.
+pub(crate) fn generate(
+    aoi: &Aoi,
+    iface_name: &str,
+    side: Side,
+    hooks: StyleHooks,
+    diags: &mut Diagnostics,
+) -> Option<PresC> {
+    let Some(iface) = aoi.interface(iface_name) else {
+        diags.push(Diagnostic::error_nospan(format!(
+            "interface `{iface_name}` not found in the AOI contract"
+        )));
+        return None;
+    };
+    let mut b = Builder::new(aoi, hooks);
+    let ops = b.expand_attributes(iface);
+    let stubs: Vec<Stub> = ops.iter().map(|op| b.build_stub(iface, op, side)).collect();
+    let had_errors = b.diags.has_errors();
+    diags.append(&mut b.diags);
+    if had_errors {
+        return None;
+    }
+    Some(b.finish(iface, side, stubs))
+}

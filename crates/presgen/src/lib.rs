@@ -1,0 +1,78 @@
+//! Presentation generators: AOI → PRES-C (paper §2.2).
+//!
+//! A presentation generator decides how an interface maps onto
+//! constructs of a target programming language — the *programmer's
+//! contract*: function names and signatures, how sequences and strings
+//! are represented, who allocates memory.  Each generator here is
+//! specific to a mapping and a language but **independent of any
+//! IDL**: all of them consume plain AOI, so the CORBA generator can
+//! present an interface parsed from an ONC RPC `.x` file and vice
+//! versa (within the limits the paper notes — see the rejection rules
+//! below).
+//!
+//! Provided generators:
+//! * [`corba_c`] — the OMG CORBA C language mapping
+//!   (`Interface_op(Interface obj, ..., CORBA_Environment *ev)`,
+//!   sequence structs with `_maximum/_length/_buffer`);
+//! * [`rpcgen_c`] — Sun's `rpcgen` mapping (`op_1(args*, CLIENT *)`,
+//!   `op_1_svc` work functions);
+//! * [`fluke_c`] — the Fluke-kernel presentation, a thin variant of
+//!   the CORBA mapping (derived from it, as in the paper's Table 1).
+//!
+//! Presentation limits from the paper (§2.2.1, footnote 3), enforced
+//! here: the rpcgen generator rejects AOI exceptions (rpcgen has no
+//! such concept); the CORBA generator rejects ONC-style
+//! self-referential optional types (CORBA has no such presentation).
+
+mod build;
+mod corba;
+mod fluke;
+mod rpcgen;
+
+pub use corba::corba_c;
+pub use fluke::fluke_c;
+pub use rpcgen::rpcgen_c;
+
+use flick_aoi::Aoi;
+use flick_idl::diag::Diagnostics;
+use flick_pres::{PresC, Side};
+
+/// The available presentation styles, for drivers that select one by
+/// name (mix-and-match at compile time, per the paper's kit design).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Style {
+    /// CORBA C language mapping.
+    CorbaC,
+    /// Sun `rpcgen` C mapping.
+    RpcgenC,
+    /// Fluke presentation (CORBA variant).
+    FlukeC,
+}
+
+impl Style {
+    /// The style's stable name (used in PRES-C metadata and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Style::CorbaC => "corba-c",
+            Style::RpcgenC => "rpcgen-c",
+            Style::FlukeC => "fluke-c",
+        }
+    }
+
+    /// Runs this generator on `iface` within `aoi`.
+    #[must_use]
+    pub fn generate(
+        self,
+        aoi: &Aoi,
+        iface: &str,
+        side: Side,
+        diags: &mut Diagnostics,
+    ) -> Option<PresC> {
+        match self {
+            Style::CorbaC => corba_c(aoi, iface, side, diags),
+            Style::RpcgenC => rpcgen_c(aoi, iface, side, diags),
+            Style::FlukeC => fluke_c(aoi, iface, side, diags),
+        }
+    }
+}

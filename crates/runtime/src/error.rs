@@ -1,0 +1,68 @@
+//! Decode-side errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure while unmarshaling a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The message ended before the expected data.
+    Truncated {
+        /// Bytes needed by the failed read.
+        needed: usize,
+        /// Bytes remaining in the message.
+        available: usize,
+    },
+    /// A union/enum discriminator had no matching arm.
+    BadDiscriminator {
+        /// The offending value.
+        value: i64,
+    },
+    /// A counted length exceeded its declared bound.
+    BoundExceeded {
+        /// The received count.
+        got: u64,
+        /// The declared bound.
+        bound: u64,
+    },
+    /// A message header was malformed (bad magic, version, type...).
+    BadHeader(&'static str),
+    /// A boolean held a value other than 0/1, or similar range errors.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => write!(
+                f,
+                "message truncated: needed {needed} bytes, only {available} available"
+            ),
+            DecodeError::BadDiscriminator { value } => {
+                write!(f, "no union arm matches discriminator {value}")
+            }
+            DecodeError::BoundExceeded { got, bound } => {
+                write!(f, "count {got} exceeds declared bound {bound}")
+            }
+            DecodeError::BadHeader(what) => write!(f, "malformed header: {what}"),
+            DecodeError::BadValue(what) => write!(f, "malformed value: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = DecodeError::Truncated { needed: 8, available: 3 };
+        assert!(e.to_string().contains("needed 8"));
+        let e = DecodeError::BadDiscriminator { value: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = DecodeError::BoundExceeded { got: 10, bound: 4 };
+        assert!(e.to_string().contains("bound 4"));
+    }
+}

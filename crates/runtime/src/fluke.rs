@@ -1,0 +1,193 @@
+//! The Fluke kernel IPC message format.
+//!
+//! Flick's Fluke back end (paper §3.2, "Specialized Transports")
+//! produces stubs that communicate the first several words of a message
+//! in *machine registers*; the kernel preserves those registers across
+//! the control transfer, so small messages never touch memory.  This
+//! module models that with a fixed register window carried alongside an
+//! overflow buffer.
+
+use crate::buf::{MarshalBuf, MsgReader};
+use crate::error::DecodeError;
+
+/// Number of 32-bit words the (modeled) register window holds.
+pub const REG_WORDS: usize = 8;
+
+/// A Fluke IPC message: a register window plus overflow bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlukeMsg {
+    /// The register window (first `reg_count` entries are live).
+    pub regs: [u32; REG_WORDS],
+    /// Number of live register words.
+    pub reg_count: usize,
+    /// Data that did not fit in registers.
+    pub overflow: Vec<u8>,
+}
+
+impl FlukeMsg {
+    /// An empty message.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the whole message fit in the register window.
+    #[must_use]
+    pub fn is_register_only(&self) -> bool {
+        self.overflow.is_empty()
+    }
+
+    /// Total payload size in bytes (registers + overflow).
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.reg_count * 4 + self.overflow.len()
+    }
+}
+
+/// Builds a [`FlukeMsg`]: words go to registers while they fit, then
+/// spill to the overflow buffer.
+#[derive(Debug, Default)]
+pub struct FlukeWriter {
+    msg: FlukeMsg,
+    spill: MarshalBuf,
+}
+
+impl FlukeWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one 32-bit word.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        if self.msg.reg_count < REG_WORDS {
+            self.msg.regs[self.msg.reg_count] = v;
+            self.msg.reg_count += 1;
+        } else {
+            self.spill.put_u32_le(v);
+        }
+    }
+
+    /// Appends a 32-bit signed word.
+    #[inline]
+    pub fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    /// Appends raw bytes.  Bytes always go to the overflow buffer
+    /// (registers carry words only), after word-aligning it.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.spill.align_to(4);
+        self.spill.put_bytes(bytes);
+    }
+
+    /// Finishes the message.
+    #[must_use]
+    pub fn finish(mut self) -> FlukeMsg {
+        self.msg.overflow = std::mem::take(&mut self.spill).into_vec();
+        self.msg
+    }
+}
+
+/// Reads a [`FlukeMsg`] in the order it was written.
+#[derive(Debug)]
+pub struct FlukeReader<'a> {
+    msg: &'a FlukeMsg,
+    reg_pos: usize,
+    overflow: MsgReader<'a>,
+}
+
+impl<'a> FlukeReader<'a> {
+    /// Starts reading `msg`.
+    #[must_use]
+    pub fn new(msg: &'a FlukeMsg) -> Self {
+        FlukeReader {
+            msg,
+            reg_pos: 0,
+            overflow: MsgReader::new(&msg.overflow),
+        }
+    }
+
+    /// Reads one 32-bit word (registers first, then overflow).
+    #[inline]
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        if self.reg_pos < self.msg.reg_count {
+            let v = self.msg.regs[self.reg_pos];
+            self.reg_pos += 1;
+            Ok(v)
+        } else {
+            self.overflow.get_u32_le()
+        }
+    }
+
+    /// Reads a 32-bit signed word.
+    #[inline]
+    pub fn get_i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Borrows `n` raw bytes from the overflow buffer.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.overflow.align_to(4)?;
+        self.overflow.bytes(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_message_stays_in_registers() {
+        let mut w = FlukeWriter::new();
+        for i in 0..REG_WORDS as u32 {
+            w.put_u32(i);
+        }
+        let m = w.finish();
+        assert!(m.is_register_only());
+        assert_eq!(m.reg_count, REG_WORDS);
+        assert_eq!(m.payload_bytes(), REG_WORDS * 4);
+        let mut r = FlukeReader::new(&m);
+        for i in 0..REG_WORDS as u32 {
+            assert_eq!(r.get_u32().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn overflow_spills_in_order() {
+        let mut w = FlukeWriter::new();
+        for i in 0..(REG_WORDS as u32 + 3) {
+            w.put_u32(i);
+        }
+        let m = w.finish();
+        assert!(!m.is_register_only());
+        assert_eq!(m.overflow.len(), 12);
+        let mut r = FlukeReader::new(&m);
+        for i in 0..(REG_WORDS as u32 + 3) {
+            assert_eq!(r.get_u32().unwrap(), i);
+        }
+        assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut w = FlukeWriter::new();
+        w.put_u32(5);
+        w.put_bytes(b"hello");
+        let m = w.finish();
+        let mut r = FlukeReader::new(&m);
+        assert_eq!(r.get_u32().unwrap(), 5);
+        assert_eq!(r.get_bytes(5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn signed_words() {
+        let mut w = FlukeWriter::new();
+        w.put_i32(-7);
+        let m = w.finish();
+        let mut r = FlukeReader::new(&m);
+        assert_eq!(r.get_i32().unwrap(), -7);
+    }
+}

@@ -1,0 +1,299 @@
+//! GIOP/IIOP message framing (CORBA 2.0, GIOP 1.0).
+//!
+//! A GIOP message is a 12-byte header (magic `GIOP`, version, a flags
+//! byte whose low bit is the sender's byte order, a message type, and
+//! the body size) followed by a CDR-encoded body.  Request bodies
+//! begin with a request header (request id, response-expected flag,
+//! object key, operation name); reply bodies with a reply header
+//! (request id, reply status).
+
+use crate::buf::{MarshalBuf, MsgReader};
+use crate::cdr::{ByteOrder, CdrIn, CdrOut};
+use crate::error::DecodeError;
+
+/// Size of the fixed GIOP header.
+pub const HEADER_BYTES: usize = 12;
+
+/// GIOP message types (GIOP 1.0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgType {
+    /// A client request.
+    Request,
+    /// A server reply.
+    Reply,
+    /// Client cancel (unused here, parsed for completeness).
+    CancelRequest,
+    /// Locate request (unused here).
+    LocateRequest,
+    /// Locate reply (unused here).
+    LocateReply,
+    /// Connection close.
+    CloseConnection,
+    /// Protocol error.
+    MessageError,
+}
+
+impl MsgType {
+    fn to_u8(self) -> u8 {
+        match self {
+            MsgType::Request => 0,
+            MsgType::Reply => 1,
+            MsgType::CancelRequest => 2,
+            MsgType::LocateRequest => 3,
+            MsgType::LocateReply => 4,
+            MsgType::CloseConnection => 5,
+            MsgType::MessageError => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        Ok(match v {
+            0 => MsgType::Request,
+            1 => MsgType::Reply,
+            2 => MsgType::CancelRequest,
+            3 => MsgType::LocateRequest,
+            4 => MsgType::LocateReply,
+            5 => MsgType::CloseConnection,
+            6 => MsgType::MessageError,
+            _ => return Err(DecodeError::BadHeader("unknown GIOP message type")),
+        })
+    }
+}
+
+/// Reply status values (GIOP 1.0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// Operation completed normally.
+    NoException,
+    /// The operation raised a declared exception.
+    UserException,
+    /// A CORBA system exception occurred.
+    SystemException,
+    /// Retry at a different location.
+    LocationForward,
+}
+
+impl ReplyStatus {
+    fn to_u32(self) -> u32 {
+        match self {
+            ReplyStatus::NoException => 0,
+            ReplyStatus::UserException => 1,
+            ReplyStatus::SystemException => 2,
+            ReplyStatus::LocationForward => 3,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self, DecodeError> {
+        Ok(match v {
+            0 => ReplyStatus::NoException,
+            1 => ReplyStatus::UserException,
+            2 => ReplyStatus::SystemException,
+            3 => ReplyStatus::LocationForward,
+            _ => return Err(DecodeError::BadHeader("unknown GIOP reply status")),
+        })
+    }
+}
+
+/// Writes a GIOP header with a zero size, returning the offset of the
+/// size field to [`finish_message`] later.
+pub fn begin_message(buf: &mut MarshalBuf, order: ByteOrder, ty: MsgType) -> usize {
+    let mut c = buf.chunk(HEADER_BYTES);
+    c.put_bytes_at(0, b"GIOP");
+    c.put_u8_at(4, 1); // major
+    c.put_u8_at(5, 0); // minor
+    c.put_u8_at(6, order.giop_flag());
+    c.put_u8_at(7, ty.to_u8());
+    // size at offset 8 patched by finish_message
+    buf.len() - 4
+}
+
+/// Back-patches the body size into the header written by
+/// [`begin_message`].
+pub fn finish_message(buf: &mut MarshalBuf, size_at: usize, order: ByteOrder) {
+    let body = (buf.len() - size_at - 4) as u32;
+    match order {
+        ByteOrder::Big => buf.patch_u32_be(size_at, body),
+        ByteOrder::Little => buf.patch_u32_le(size_at, body),
+    }
+}
+
+/// A decoded GIOP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GiopHeader {
+    /// Byte order of the body.
+    pub order: ByteOrder,
+    /// Message type.
+    pub msg_type: MsgType,
+    /// Body size in bytes.
+    pub size: u32,
+}
+
+/// Reads and validates a GIOP header.
+pub fn read_header(r: &mut MsgReader<'_>) -> Result<GiopHeader, DecodeError> {
+    let c = r.chunk(HEADER_BYTES)?;
+    if c.bytes_at(0, 4) != b"GIOP" {
+        return Err(DecodeError::BadHeader("bad GIOP magic"));
+    }
+    if c.get_u8_at(4) != 1 {
+        return Err(DecodeError::BadHeader("unsupported GIOP major version"));
+    }
+    let order = ByteOrder::from_giop_flag(c.get_u8_at(6));
+    let msg_type = MsgType::from_u8(c.get_u8_at(7))?;
+    let size = match order {
+        ByteOrder::Big => c.get_u32_be_at(8),
+        ByteOrder::Little => c.get_u32_le_at(8),
+    };
+    Ok(GiopHeader { order, msg_type, size })
+}
+
+/// Writes a GIOP 1.0 request header into an open CDR stream.
+pub fn put_request_header(
+    buf: &mut MarshalBuf,
+    cdr: &CdrOut,
+    request_id: u32,
+    response_expected: bool,
+    object_key: &[u8],
+    operation: &str,
+) {
+    cdr.put_u32(buf, 0); // empty service context list
+    cdr.put_u32(buf, request_id);
+    cdr.put_u8(buf, u8::from(response_expected));
+    cdr.put_u32(buf, object_key.len() as u32);
+    buf.put_bytes(object_key);
+    cdr.put_string(buf, operation);
+    cdr.put_u32(buf, 0); // empty requesting principal
+}
+
+/// A decoded request header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Request id chosen by the client.
+    pub request_id: u32,
+    /// False for oneway requests.
+    pub response_expected: bool,
+    /// Target object key.
+    pub object_key: Vec<u8>,
+    /// Operation name — the demultiplexing discriminator.
+    pub operation: String,
+}
+
+/// Reads a request header from an open CDR stream.
+pub fn get_request_header(
+    r: &mut MsgReader<'_>,
+    cdr: &CdrIn,
+) -> Result<RequestHeader, DecodeError> {
+    let contexts = cdr.get_u32(r)?;
+    for _ in 0..contexts {
+        // Skip: context id + encapsulated data.
+        let _id = cdr.get_u32(r)?;
+        let len = cdr.get_u32(r)? as usize;
+        r.skip(len)?;
+    }
+    let request_id = cdr.get_u32(r)?;
+    let response_expected = cdr.get_u8(r)? != 0;
+    let klen = cdr.get_u32(r)? as usize;
+    let object_key = r.bytes(klen)?.to_vec();
+    let operation = String::from_utf8(cdr.get_string(r)?.to_vec())
+        .map_err(|_| DecodeError::BadValue("operation name is not UTF-8"))?;
+    let _principal = cdr.get_u32(r)?;
+    Ok(RequestHeader { request_id, response_expected, object_key, operation })
+}
+
+/// Writes a GIOP 1.0 reply header into an open CDR stream.
+pub fn put_reply_header(
+    buf: &mut MarshalBuf,
+    cdr: &CdrOut,
+    request_id: u32,
+    status: ReplyStatus,
+) {
+    cdr.put_u32(buf, 0); // empty service context list
+    cdr.put_u32(buf, request_id);
+    cdr.put_u32(buf, status.to_u32());
+}
+
+/// A decoded reply header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplyHeader {
+    /// Echoed request id.
+    pub request_id: u32,
+    /// Outcome of the request.
+    pub status: ReplyStatus,
+}
+
+/// Reads a reply header from an open CDR stream.
+pub fn get_reply_header(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<ReplyHeader, DecodeError> {
+    let contexts = cdr.get_u32(r)?;
+    for _ in 0..contexts {
+        let _id = cdr.get_u32(r)?;
+        let len = cdr.get_u32(r)? as usize;
+        r.skip(len)?;
+    }
+    let request_id = cdr.get_u32(r)?;
+    let status = ReplyStatus::from_u32(cdr.get_u32(r)?)?;
+    Ok(ReplyHeader { request_id, status })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_message_roundtrip() {
+        let order = ByteOrder::Big;
+        let mut buf = MarshalBuf::new();
+        let size_at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        put_request_header(&mut buf, &cdr, 42, true, b"mailbox-1", "send");
+        cdr.put_u32(&mut buf, 7); // a body datum
+        finish_message(&mut buf, size_at, order);
+
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        assert_eq!(h.msg_type, MsgType::Request);
+        assert_eq!(h.order, ByteOrder::Big);
+        assert_eq!(h.size as usize, data.len() - HEADER_BYTES);
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_request_header(&mut r, &cin).unwrap();
+        assert_eq!(rh.request_id, 42);
+        assert!(rh.response_expected);
+        assert_eq!(rh.object_key, b"mailbox-1");
+        assert_eq!(rh.operation, "send");
+        assert_eq!(cin.get_u32(&mut r).unwrap(), 7);
+    }
+
+    #[test]
+    fn reply_message_roundtrip_little_endian() {
+        let order = ByteOrder::Little;
+        let mut buf = MarshalBuf::new();
+        let size_at = begin_message(&mut buf, order, MsgType::Reply);
+        let cdr = CdrOut::begin(&buf, order);
+        put_reply_header(&mut buf, &cdr, 42, ReplyStatus::NoException);
+        finish_message(&mut buf, size_at, order);
+
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        assert_eq!(h.order, ByteOrder::Little);
+        assert_eq!(h.msg_type, MsgType::Reply);
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_reply_header(&mut r, &cin).unwrap();
+        assert_eq!(rh, ReplyHeader { request_id: 42, status: ReplyStatus::NoException });
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let data = [b'B', b'O', b'O', b'M', 1, 0, 0, 0, 0, 0, 0, 0];
+        let mut r = MsgReader::new(&data);
+        assert!(matches!(
+            read_header(&mut r),
+            Err(DecodeError::BadHeader("bad GIOP magic"))
+        ));
+    }
+
+    #[test]
+    fn unknown_status_rejected() {
+        assert!(ReplyStatus::from_u32(9).is_err());
+        assert!(MsgType::from_u8(9).is_err());
+    }
+}

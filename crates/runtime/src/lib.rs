@@ -1,0 +1,59 @@
+//! Runtime substrate for Flick-generated stubs.
+//!
+//! The paper's back ends emit C that runs against a small support
+//! library; this crate is the Rust analog, and the Rust stubs emitted
+//! by `flick-backend` call directly into it.  It provides:
+//!
+//! * [`buf`] — the marshal buffer with **reuse between invocations**
+//!   and an explicit [`MarshalBuf::ensure`] space check, plus the
+//!   chunk writer/reader pair that realizes the paper's *chunking*
+//!   optimization (one bounds decision per fixed-layout region,
+//!   constant-offset accesses inside it);
+//! * [`xdr`] — ONC RPC's External Data Representation (RFC 1832):
+//!   big-endian, 4-byte units, padded opaques/strings;
+//! * [`cdr`] — CORBA's Common Data Representation as used by IIOP:
+//!   naturally aligned primitives in sender-chosen byte order;
+//! * [`mach`] — Mach 3 typed messages: a header plus a type descriptor
+//!   word before each data item;
+//! * [`fluke`] — the Fluke kernel IPC format: the first few words of a
+//!   message travel in a register window, the rest in a buffer;
+//! * [`giop`] — GIOP/IIOP message, request, and reply headers;
+//! * [`oncrpc`] — ONC RPC call/reply headers and TCP record marking.
+//!
+//! Everything here is deliberately `no_std`-shaped (no I/O): transports
+//! live in `flick-transport`.
+
+pub mod buf;
+pub mod cdr;
+pub mod error;
+pub mod fluke;
+pub mod giop;
+pub mod mach;
+pub mod oncrpc;
+pub mod pod;
+pub mod xdr;
+
+pub use buf::{ChunkReader, ChunkWriter, MarshalBuf, MsgReader};
+pub use error::DecodeError;
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+#[inline]
+#[must_use]
+pub fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(align_up(0, 4), 0);
+        assert_eq!(align_up(1, 4), 4);
+        assert_eq!(align_up(4, 4), 4);
+        assert_eq!(align_up(5, 8), 8);
+        assert_eq!(align_up(17, 2), 18);
+    }
+}

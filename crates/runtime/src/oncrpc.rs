@@ -1,0 +1,265 @@
+//! ONC RPC message headers (RFC 1831) and TCP record marking.
+//!
+//! A call message is `xid, CALL, rpcvers=2, prog, vers, proc` followed
+//! by two empty (`AUTH_NONE`) authenticators; a successful reply is
+//! `xid, REPLY, MSG_ACCEPTED, verifier, SUCCESS`.  Over TCP, messages
+//! travel in *records*: fragments prefixed by a 31-bit length whose top
+//! bit marks the final fragment.
+
+use crate::buf::{MarshalBuf, MsgReader};
+use crate::error::DecodeError;
+use crate::xdr;
+
+/// RPC protocol version (always 2).
+pub const RPC_VERSION: u32 = 2;
+
+/// Encoded size of a call header (6 words + 2 empty auth = 10 words).
+pub const CALL_HEADER_BYTES: usize = 40;
+
+/// Encoded size of a success reply header (3 words + auth + stat).
+pub const REPLY_HEADER_BYTES: usize = 24;
+
+/// A call-message header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallHeader {
+    /// Transaction id (matches reply to call).
+    pub xid: u32,
+    /// Remote program number.
+    pub prog: u32,
+    /// Program version.
+    pub vers: u32,
+    /// Procedure number — the demultiplexing discriminator.
+    pub proc: u32,
+}
+
+impl CallHeader {
+    /// Writes the header (fixed layout — a single chunk).
+    pub fn write(&self, buf: &mut MarshalBuf) {
+        buf.ensure(CALL_HEADER_BYTES);
+        let mut c = buf.chunk(CALL_HEADER_BYTES);
+        c.put_u32_be_at(0, self.xid);
+        c.put_u32_be_at(4, 0); // CALL
+        c.put_u32_be_at(8, RPC_VERSION);
+        c.put_u32_be_at(12, self.prog);
+        c.put_u32_be_at(16, self.vers);
+        c.put_u32_be_at(20, self.proc);
+        c.put_u32_be_at(24, 0); // cred flavor AUTH_NONE
+        c.put_u32_be_at(28, 0); // cred length 0
+        c.put_u32_be_at(32, 0); // verf flavor AUTH_NONE
+        c.put_u32_be_at(36, 0); // verf length 0
+    }
+
+    /// Reads and validates a call header.
+    pub fn read(r: &mut MsgReader<'_>) -> Result<Self, DecodeError> {
+        let c = r.chunk(24)?;
+        let xid = c.get_u32_be_at(0);
+        if c.get_u32_be_at(4) != 0 {
+            return Err(DecodeError::BadHeader("expected CALL message"));
+        }
+        if c.get_u32_be_at(8) != RPC_VERSION {
+            return Err(DecodeError::BadHeader("unsupported RPC version"));
+        }
+        let prog = c.get_u32_be_at(12);
+        let vers = c.get_u32_be_at(16);
+        let proc = c.get_u32_be_at(20);
+        skip_auth(r)?; // cred
+        skip_auth(r)?; // verf
+        Ok(CallHeader { xid, prog, vers, proc })
+    }
+}
+
+fn skip_auth(r: &mut MsgReader<'_>) -> Result<(), DecodeError> {
+    let _flavor = xdr::get_u32(r)?;
+    let len = xdr::get_u32(r)? as usize;
+    r.skip(crate::align_up(len, 4))
+}
+
+/// Why a reply did not carry results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyOutcome {
+    /// Accepted and executed successfully; results follow.
+    Success,
+    /// Program number not exported by the server.
+    ProgUnavail,
+    /// Procedure number unknown to the program.
+    ProcUnavail,
+    /// Arguments could not be decoded.
+    GarbageArgs,
+    /// The call was rejected outright (auth/version mismatch).
+    Denied,
+}
+
+impl ReplyOutcome {
+    fn accept_stat(self) -> u32 {
+        match self {
+            ReplyOutcome::Success => 0,
+            ReplyOutcome::ProgUnavail => 1,
+            ReplyOutcome::ProcUnavail => 3,
+            ReplyOutcome::GarbageArgs => 4,
+            ReplyOutcome::Denied => unreachable!("denied is not an accept_stat"),
+        }
+    }
+}
+
+/// Writes a reply header for `outcome` (results follow for `Success`).
+pub fn write_reply(buf: &mut MarshalBuf, xid: u32, outcome: ReplyOutcome) {
+    buf.ensure(REPLY_HEADER_BYTES);
+    let mut c = buf.chunk(REPLY_HEADER_BYTES);
+    c.put_u32_be_at(0, xid);
+    c.put_u32_be_at(4, 1); // REPLY
+    if outcome == ReplyOutcome::Denied {
+        c.put_u32_be_at(8, 1); // MSG_DENIED
+        c.put_u32_be_at(12, 0); // RPC_MISMATCH
+        c.put_u32_be_at(16, RPC_VERSION); // low
+        c.put_u32_be_at(20, RPC_VERSION); // high
+    } else {
+        c.put_u32_be_at(8, 0); // MSG_ACCEPTED
+        c.put_u32_be_at(12, 0); // verf AUTH_NONE
+        c.put_u32_be_at(16, 0); // verf length 0
+        c.put_u32_be_at(20, outcome.accept_stat());
+    }
+}
+
+/// Reads a reply header; `Ok(xid)` only for successful replies.
+pub fn read_reply(r: &mut MsgReader<'_>) -> Result<u32, DecodeError> {
+    let c = r.chunk(REPLY_HEADER_BYTES)?;
+    let xid = c.get_u32_be_at(0);
+    if c.get_u32_be_at(4) != 1 {
+        return Err(DecodeError::BadHeader("expected REPLY message"));
+    }
+    if c.get_u32_be_at(8) != 0 {
+        return Err(DecodeError::BadHeader("call denied"));
+    }
+    if c.get_u32_be_at(20) != 0 {
+        return Err(DecodeError::BadHeader("call not executed (accept_stat != SUCCESS)"));
+    }
+    Ok(xid)
+}
+
+/// Prefixes `record` with TCP record marking (single final fragment).
+pub fn frame_record(record: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(record.len() + 4);
+    let mark = 0x8000_0000u32 | record.len() as u32;
+    out.extend_from_slice(&mark.to_be_bytes());
+    out.extend_from_slice(record);
+    out
+}
+
+/// Extracts one record from `stream`, returning `(record, consumed)`.
+/// Handles multi-fragment records.
+pub fn deframe_record(stream: &[u8]) -> Result<(Vec<u8>, usize), DecodeError> {
+    let mut record = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if stream.len() < pos + 4 {
+            return Err(DecodeError::Truncated { needed: pos + 4, available: stream.len() });
+        }
+        let mark = u32::from_be_bytes(stream[pos..pos + 4].try_into().expect("len 4"));
+        let last = mark & 0x8000_0000 != 0;
+        let len = (mark & 0x7fff_ffff) as usize;
+        pos += 4;
+        if stream.len() < pos + len {
+            return Err(DecodeError::Truncated { needed: pos + len, available: stream.len() });
+        }
+        record.extend_from_slice(&stream[pos..pos + len]);
+        pos += len;
+        if last {
+            return Ok((record, pos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_header_roundtrip() {
+        // The paper's example program number.
+        let h = CallHeader { xid: 99, prog: 0x2000_0001, vers: 1, proc: 1 };
+        let mut b = MarshalBuf::new();
+        h.write(&mut b);
+        assert_eq!(b.len(), CALL_HEADER_BYTES);
+        let data = b.into_vec();
+        let mut r = MsgReader::new(&data);
+        assert_eq!(CallHeader::read(&mut r).unwrap(), h);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn success_reply_roundtrip() {
+        let mut b = MarshalBuf::new();
+        write_reply(&mut b, 7, ReplyOutcome::Success);
+        let data = b.into_vec();
+        let mut r = MsgReader::new(&data);
+        assert_eq!(read_reply(&mut r).unwrap(), 7);
+    }
+
+    #[test]
+    fn error_replies_rejected_by_reader() {
+        for outcome in [
+            ReplyOutcome::ProgUnavail,
+            ReplyOutcome::ProcUnavail,
+            ReplyOutcome::GarbageArgs,
+            ReplyOutcome::Denied,
+        ] {
+            let mut b = MarshalBuf::new();
+            write_reply(&mut b, 7, outcome);
+            let data = b.into_vec();
+            let mut r = MsgReader::new(&data);
+            assert!(read_reply(&mut r).is_err(), "{outcome:?} must not read as success");
+        }
+    }
+
+    #[test]
+    fn record_marking_roundtrip() {
+        let framed = frame_record(b"payload");
+        assert_eq!(framed.len(), 11);
+        assert_eq!(framed[0] & 0x80, 0x80, "final-fragment bit set");
+        let (rec, used) = deframe_record(&framed).unwrap();
+        assert_eq!(rec, b"payload");
+        assert_eq!(used, framed.len());
+    }
+
+    #[test]
+    fn multi_fragment_record() {
+        // Two fragments: "hel" (not last) + "lo" (last).
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&3u32.to_be_bytes());
+        stream.extend_from_slice(b"hel");
+        stream.extend_from_slice(&(0x8000_0000u32 | 2).to_be_bytes());
+        stream.extend_from_slice(b"lo");
+        let (rec, used) = deframe_record(&stream).unwrap();
+        assert_eq!(rec, b"hello");
+        assert_eq!(used, stream.len());
+    }
+
+    #[test]
+    fn partial_stream_truncated() {
+        let framed = frame_record(b"payload");
+        assert!(deframe_record(&framed[..5]).is_err());
+        assert!(deframe_record(&[]).is_err());
+    }
+
+    #[test]
+    fn auth_with_body_skipped() {
+        // Hand-build a call header with a 5-byte cred (padded to 8).
+        let mut b = MarshalBuf::new();
+        let mut c = b.chunk(24);
+        c.put_u32_be_at(0, 1);
+        c.put_u32_be_at(4, 0);
+        c.put_u32_be_at(8, 2);
+        c.put_u32_be_at(12, 100);
+        c.put_u32_be_at(16, 1);
+        c.put_u32_be_at(20, 4);
+        xdr::put_u32(&mut b, 1); // cred flavor AUTH_SYS
+        xdr::put_opaque(&mut b, &[1, 2, 3, 4, 5]); // cred body (padded)
+        xdr::put_u32(&mut b, 0); // verf flavor
+        xdr::put_u32(&mut b, 0); // verf len
+        let data = b.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = CallHeader::read(&mut r).unwrap();
+        assert_eq!(h.proc, 4);
+        assert!(r.is_exhausted());
+    }
+}

@@ -1,0 +1,123 @@
+//! Byte views of plain-old-data scalar slices.
+//!
+//! The §3.2 `memcpy` optimization block-copies arrays of atomic types
+//! whose in-memory and encoded layouts coincide.  This module provides
+//! the safe surface for those copies: [`Scalar`] is a sealed trait
+//! implemented exactly for the primitive types whose representation
+//! has no padding or invalid bit patterns, so viewing them as bytes
+//! (and rebuilding them from bytes) is sound.
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Plain-old-data scalars eligible for block copies.
+///
+/// # Safety
+/// Implemented only for primitives with no padding bytes and for which
+/// every bit pattern is a valid value.
+pub unsafe trait Scalar: sealed::Sealed + Copy + Default + 'static {}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {
+        $(
+            impl sealed::Sealed for $t {}
+            // SAFETY: primitive scalar; no padding; all bit patterns valid.
+            unsafe impl Scalar for $t {}
+        )*
+    };
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// The bytes of a scalar slice, in host memory order.
+#[inline]
+#[must_use]
+pub fn bytes_of<T: Scalar>(s: &[T]) -> &[u8] {
+    // SAFETY: Scalar types are POD with no padding; the region is the
+    // slice's own allocation.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+/// Rebuilds a scalar vector from wire bytes (host order).
+///
+/// Copies (never borrows) so the result is valid regardless of the
+/// source's alignment.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+#[must_use]
+pub fn vec_from_bytes<T: Scalar>(bytes: &[u8]) -> Vec<T> {
+    let n = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % n, 0, "byte length not a multiple of element size");
+    let count = bytes.len() / n;
+    let mut out: Vec<T> = vec![T::default(); count];
+    // SAFETY: out has exactly `bytes.len()` bytes of POD storage.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+    }
+    out
+}
+
+/// Copies wire bytes (host order) into an existing scalar slice.
+///
+/// # Panics
+/// Panics if `bytes.len() != size_of_val(dst)`.
+pub fn copy_into<T: Scalar>(bytes: &[u8], dst: &mut [T]) {
+    assert_eq!(bytes.len(), std::mem::size_of_val(dst), "length mismatch");
+    // SAFETY: dst is POD storage of exactly bytes.len() bytes.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_mut_ptr().cast::<u8>(), bytes.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_ints() {
+        let v: Vec<i32> = vec![1, -2, 3, -4];
+        let b = bytes_of(&v);
+        assert_eq!(b.len(), 16);
+        let back: Vec<i32> = vec_from_bytes(b);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bytes_roundtrip_floats() {
+        let v: Vec<f64> = vec![1.5, -2.25];
+        let back: Vec<f64> = vec_from_bytes(bytes_of(&v));
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn copy_into_array() {
+        let src: [i32; 4] = [10, 20, 30, 40];
+        let mut dst = [0i32; 4];
+        copy_into(bytes_of(&src), &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn byte_slices_identity() {
+        let v: Vec<u8> = (0..32).collect();
+        assert_eq!(bytes_of(&v), &v[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn misaligned_length_panics() {
+        let _: Vec<i32> = vec_from_bytes(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn unaligned_source_is_fine() {
+        // Take an odd offset into a byte buffer: vec_from_bytes copies,
+        // so alignment of the source never matters.
+        let bytes: Vec<u8> = (0..17).collect();
+        let v: Vec<i32> = vec_from_bytes(&bytes[1..17]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(bytes_of(&v), &bytes[1..17]);
+    }
+}

@@ -1,0 +1,255 @@
+//! XDR — ONC RPC's External Data Representation (RFC 1832).
+//!
+//! Every item occupies a multiple of 4 bytes, big-endian.  Sub-word
+//! scalars widen to 4 bytes; opaques and strings carry a 4-byte count
+//! and are zero-padded to a 4-byte boundary.
+
+use crate::buf::{MarshalBuf, MsgReader};
+use crate::error::DecodeError;
+
+/// Encoded size of one XDR unit.
+pub const UNIT: usize = 4;
+
+/// Bytes of padding needed after `n` content bytes.
+#[inline]
+#[must_use]
+pub fn pad_len(n: usize) -> usize {
+    crate::align_up(n, UNIT) - n
+}
+
+// ---- encode ----
+
+/// Appends an XDR `int`.
+#[inline]
+pub fn put_i32(buf: &mut MarshalBuf, v: i32) {
+    buf.put_u32_be(v as u32);
+}
+
+/// Appends an XDR `unsigned int`.
+#[inline]
+pub fn put_u32(buf: &mut MarshalBuf, v: u32) {
+    buf.put_u32_be(v);
+}
+
+/// Appends an XDR `hyper`.
+#[inline]
+pub fn put_i64(buf: &mut MarshalBuf, v: i64) {
+    buf.put_u64_be(v as u64);
+}
+
+/// Appends an XDR `unsigned hyper`.
+#[inline]
+pub fn put_u64(buf: &mut MarshalBuf, v: u64) {
+    buf.put_u64_be(v);
+}
+
+/// Appends an XDR `bool` (a full word).
+#[inline]
+pub fn put_bool(buf: &mut MarshalBuf, v: bool) {
+    buf.put_u32_be(u32::from(v));
+}
+
+/// Appends an XDR `float`.
+#[inline]
+pub fn put_f32(buf: &mut MarshalBuf, v: f32) {
+    buf.put_u32_be(v.to_bits());
+}
+
+/// Appends an XDR `double`.
+#[inline]
+pub fn put_f64(buf: &mut MarshalBuf, v: f64) {
+    buf.put_u64_be(v.to_bits());
+}
+
+/// Appends fixed-length opaque data (content + padding, no count).
+#[inline]
+pub fn put_opaque_fixed(buf: &mut MarshalBuf, bytes: &[u8]) {
+    buf.put_bytes(bytes);
+    buf.put_zeros(pad_len(bytes.len()));
+}
+
+/// Appends variable-length opaque data (count + content + padding).
+#[inline]
+pub fn put_opaque(buf: &mut MarshalBuf, bytes: &[u8]) {
+    buf.put_u32_be(bytes.len() as u32);
+    put_opaque_fixed(buf, bytes);
+}
+
+/// Appends an XDR `string` (count + bytes + padding; no terminator).
+#[inline]
+pub fn put_string(buf: &mut MarshalBuf, s: &str) {
+    put_opaque(buf, s.as_bytes());
+}
+
+// ---- decode ----
+
+/// Reads an XDR `int`.
+#[inline]
+pub fn get_i32(r: &mut MsgReader<'_>) -> Result<i32, DecodeError> {
+    Ok(r.get_u32_be()? as i32)
+}
+
+/// Reads an XDR `unsigned int`.
+#[inline]
+pub fn get_u32(r: &mut MsgReader<'_>) -> Result<u32, DecodeError> {
+    r.get_u32_be()
+}
+
+/// Reads an XDR `hyper`.
+#[inline]
+pub fn get_i64(r: &mut MsgReader<'_>) -> Result<i64, DecodeError> {
+    Ok(r.get_u64_be()? as i64)
+}
+
+/// Reads an XDR `unsigned hyper`.
+#[inline]
+pub fn get_u64(r: &mut MsgReader<'_>) -> Result<u64, DecodeError> {
+    r.get_u64_be()
+}
+
+/// Reads an XDR `bool`, rejecting values other than 0/1.
+#[inline]
+pub fn get_bool(r: &mut MsgReader<'_>) -> Result<bool, DecodeError> {
+    match r.get_u32_be()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(DecodeError::BadValue("XDR bool must be 0 or 1")),
+    }
+}
+
+/// Reads an XDR `float`.
+#[inline]
+pub fn get_f32(r: &mut MsgReader<'_>) -> Result<f32, DecodeError> {
+    Ok(f32::from_bits(r.get_u32_be()?))
+}
+
+/// Reads an XDR `double`.
+#[inline]
+pub fn get_f64(r: &mut MsgReader<'_>) -> Result<f64, DecodeError> {
+    Ok(f64::from_bits(r.get_u64_be()?))
+}
+
+/// Reads fixed-length opaque content of `n` bytes (plus padding),
+/// borrowing from the message.
+#[inline]
+pub fn get_opaque_fixed<'a>(r: &mut MsgReader<'a>, n: usize) -> Result<&'a [u8], DecodeError> {
+    let s = r.bytes(n)?;
+    r.skip(pad_len(n))?;
+    Ok(s)
+}
+
+/// Reads variable-length opaque data, enforcing `bound` if given.
+#[inline]
+pub fn get_opaque<'a>(
+    r: &mut MsgReader<'a>,
+    bound: Option<u64>,
+) -> Result<&'a [u8], DecodeError> {
+    let n = r.get_u32_be()? as u64;
+    if let Some(b) = bound {
+        if n > b {
+            return Err(DecodeError::BoundExceeded { got: n, bound: b });
+        }
+    }
+    get_opaque_fixed(r, n as usize)
+}
+
+/// Reads an XDR `string` as borrowed bytes (caller may copy or keep
+/// the borrow — the zero-copy presentation).
+#[inline]
+pub fn get_string<'a>(
+    r: &mut MsgReader<'a>,
+    bound: Option<u64>,
+) -> Result<&'a [u8], DecodeError> {
+    get_opaque(r, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: impl FnOnce(&mut MarshalBuf)) -> Vec<u8> {
+        let mut b = MarshalBuf::new();
+        f(&mut b);
+        b.into_vec()
+    }
+
+    #[test]
+    fn ints_are_big_endian_words() {
+        let v = roundtrip(|b| put_i32(b, -2));
+        assert_eq!(v, [0xff, 0xff, 0xff, 0xfe]);
+        let v = roundtrip(|b| put_u32(b, 0x0102_0304));
+        assert_eq!(v, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bool_is_full_word() {
+        assert_eq!(roundtrip(|b| put_bool(b, true)), [0, 0, 0, 1]);
+        let bytes = [0, 0, 0, 2];
+        let mut r = MsgReader::new(&bytes);
+        assert!(get_bool(&mut r).is_err());
+    }
+
+    #[test]
+    fn hyper_roundtrip() {
+        let v = roundtrip(|b| put_i64(b, -1));
+        assert_eq!(v.len(), 8);
+        let mut r = MsgReader::new(&v);
+        assert_eq!(get_i64(&mut r).unwrap(), -1);
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        let v = roundtrip(|b| {
+            put_f32(b, 3.25);
+            put_f64(b, -0.5);
+        });
+        let mut r = MsgReader::new(&v);
+        assert_eq!(get_f32(&mut r).unwrap(), 3.25);
+        assert_eq!(get_f64(&mut r).unwrap(), -0.5);
+    }
+
+    #[test]
+    fn string_pads_to_word() {
+        // "hello" = count 5 + 5 bytes + 3 pad = 12 bytes total.
+        let v = roundtrip(|b| put_string(b, "hello"));
+        assert_eq!(v.len(), 12);
+        assert_eq!(&v[..4], &[0, 0, 0, 5]);
+        assert_eq!(&v[4..9], b"hello");
+        assert_eq!(&v[9..], &[0, 0, 0]);
+        let mut r = MsgReader::new(&v);
+        assert_eq!(get_string(&mut r, None).unwrap(), b"hello");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn string_exact_word_has_no_pad() {
+        let v = roundtrip(|b| put_string(b, "abcd"));
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn opaque_bound_enforced() {
+        let v = roundtrip(|b| put_opaque(b, &[9; 10]));
+        let mut r = MsgReader::new(&v);
+        let e = get_opaque(&mut r, Some(4)).unwrap_err();
+        assert_eq!(e, DecodeError::BoundExceeded { got: 10, bound: 4 });
+    }
+
+    #[test]
+    fn opaque_fixed_roundtrip() {
+        let v = roundtrip(|b| put_opaque_fixed(b, &[1, 2, 3]));
+        assert_eq!(v, [1, 2, 3, 0]);
+        let mut r = MsgReader::new(&v);
+        assert_eq!(get_opaque_fixed(&mut r, 3).unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn pad_len_table() {
+        assert_eq!(pad_len(0), 0);
+        assert_eq!(pad_len(1), 3);
+        assert_eq!(pad_len(4), 0);
+        assert_eq!(pad_len(5), 3);
+        assert_eq!(pad_len(7), 1);
+    }
+}

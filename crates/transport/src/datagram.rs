@@ -1,0 +1,102 @@
+//! An in-process, UDP-like datagram transport.
+//!
+//! Messages preserve boundaries; an optional maximum datagram size
+//! models UDP's practical limits (the paper notes rpcgen/PowerRPC
+//! stubs *fail* on large messages — oversized sends here return an
+//! error rather than silently fragmenting).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Error returned when a datagram exceeds the socket's maximum size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TooBig {
+    /// Attempted payload size.
+    pub size: usize,
+    /// The socket's limit.
+    pub max: usize,
+}
+
+impl std::fmt::Display for TooBig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "datagram of {} bytes exceeds maximum {}", self.size, self.max)
+    }
+}
+
+impl std::error::Error for TooBig {}
+
+/// One end of a datagram socket pair.
+pub struct DatagramEnd {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    max: usize,
+}
+
+impl DatagramEnd {
+    /// Sends one datagram.
+    ///
+    /// # Errors
+    /// Fails if the payload exceeds the maximum datagram size.
+    pub fn send(&self, payload: &[u8]) -> Result<(), TooBig> {
+        if payload.len() > self.max {
+            return Err(TooBig { size: payload.len(), max: self.max });
+        }
+        let _ = self.tx.send(payload.to_vec());
+        Ok(())
+    }
+
+    /// Receives one datagram, blocking. `None` when the peer is gone.
+    #[must_use]
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        self.rx.recv().ok()
+    }
+
+    /// The maximum datagram size.
+    #[must_use]
+    pub fn max_size(&self) -> usize {
+        self.max
+    }
+}
+
+/// The classic UDP practical limit the paper's failing stubs ran into.
+pub const DEFAULT_MAX_DATAGRAM: usize = 64 * 1024 - 8;
+
+/// Creates a connected datagram socket pair with the given size limit.
+#[must_use]
+pub fn datagram_pair(max: usize) -> (DatagramEnd, DatagramEnd) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (
+        DatagramEnd { tx: atx, rx: brx, max },
+        DatagramEnd { tx: btx, rx: arx, max },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_preserved() {
+        let (a, b) = datagram_pair(DEFAULT_MAX_DATAGRAM);
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        assert_eq!(b.recv().unwrap(), b"one");
+        assert_eq!(b.recv().unwrap(), b"two");
+    }
+
+    #[test]
+    fn oversized_datagram_fails() {
+        // The paper's Figure 4 note: rpcgen/PowerRPC stubs "signal an
+        // error when invoked to marshal large arrays" over UDP.
+        let (a, _b) = datagram_pair(1024);
+        let big = vec![0u8; 2048];
+        assert_eq!(a.send(&big).unwrap_err(), TooBig { size: 2048, max: 1024 });
+    }
+
+    #[test]
+    fn peer_drop_ends_recv() {
+        let (a, b) = datagram_pair(64);
+        drop(a);
+        assert_eq!(b.recv(), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! Transports for Flick-generated stubs.
+//!
+//! The paper evaluates stubs over TCP, UDP, Mach 3 messages, and Fluke
+//! kernel IPC, on 10/100 Mbps Ethernet and 640 Mbps Myrinet.  This
+//! crate supplies both halves of the substitution documented in
+//! DESIGN.md:
+//!
+//! * [`stream`], [`datagram`], [`mach`], [`fluke`] — real, in-process
+//!   transports (byte streams with record framing, datagrams, Mach-like
+//!   ports, Fluke-like register IPC) used by the examples and
+//!   integration tests to exercise complete request/reply exchanges
+//!   between threads;
+//! * [`netmodel`] — virtual-time models of the paper's physical links
+//!   (bandwidth, per-message OS cost), calibrated to the effective
+//!   `ttcp` bandwidths the paper reports, used by the end-to-end
+//!   benchmark harness to convert *measured* marshal times into
+//!   modeled round-trip throughput.
+
+pub mod datagram;
+pub mod fluke;
+pub mod mach;
+pub mod netmodel;
+pub mod stream;
+
+pub use netmodel::NetModel;

@@ -1,0 +1,196 @@
+//! An in-process, TCP-like byte stream.
+//!
+//! Bytes written to one endpoint arrive in order at the other, with no
+//! message boundaries — exactly the property that forces ONC RPC to
+//! use record marking and GIOP to carry message sizes.  Blocking reads
+//! make thread-per-peer request/reply exchanges natural.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Default)]
+struct Pipe {
+    buf: Mutex<VecDeque<u8>>,
+    ready: Condvar,
+    closed: Mutex<bool>,
+}
+
+impl Pipe {
+    fn write(&self, bytes: &[u8]) {
+        let mut b = self.buf.lock();
+        b.extend(bytes.iter().copied());
+        self.ready.notify_all();
+    }
+
+    fn read_exact(&self, out: &mut [u8]) -> bool {
+        let mut b = self.buf.lock();
+        while b.len() < out.len() {
+            if *self.closed.lock() {
+                return false;
+            }
+            self.ready.wait(&mut b);
+        }
+        for slot in out.iter_mut() {
+            *slot = b.pop_front().expect("length checked");
+        }
+        true
+    }
+
+    fn close(&self) {
+        *self.closed.lock() = true;
+        let _guard = self.buf.lock();
+        self.ready.notify_all();
+    }
+}
+
+/// One end of a bidirectional byte stream.
+pub struct StreamEnd {
+    tx: Arc<Pipe>,
+    rx: Arc<Pipe>,
+}
+
+impl StreamEnd {
+    /// Writes all of `bytes` (never blocks; the pipe is unbounded).
+    pub fn write(&self, bytes: &[u8]) {
+        self.tx.write(bytes);
+    }
+
+    /// Reads exactly `n` bytes, blocking until available.
+    /// Returns `None` if the peer closed first.
+    #[must_use]
+    pub fn read_exact(&self, n: usize) -> Option<Vec<u8>> {
+        let mut out = vec![0u8; n];
+        if self.rx.read_exact(&mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Closes this end; the peer's blocked reads return `None`.
+    pub fn close(&self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// Creates a connected pair of stream endpoints.
+#[must_use]
+pub fn stream_pair() -> (StreamEnd, StreamEnd) {
+    let a = Arc::new(Pipe::default());
+    let b = Arc::new(Pipe::default());
+    (
+        StreamEnd { tx: a.clone(), rx: b.clone() },
+        StreamEnd { tx: b, rx: a },
+    )
+}
+
+/// Writes an ONC RPC record (record marking) to a stream.
+pub fn write_record(s: &StreamEnd, record: &[u8]) {
+    s.write(&flick_runtime::oncrpc::frame_record(record));
+}
+
+/// Reads one ONC RPC record from a stream (handles multi-fragment
+/// records). Returns `None` on close.
+#[must_use]
+pub fn read_record(s: &StreamEnd) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let mark_bytes = s.read_exact(4)?;
+        let mark = u32::from_be_bytes(mark_bytes.try_into().expect("len 4"));
+        let last = mark & 0x8000_0000 != 0;
+        let len = (mark & 0x7fff_ffff) as usize;
+        let frag = s.read_exact(len)?;
+        out.extend_from_slice(&frag);
+        if last {
+            return Some(out);
+        }
+    }
+}
+
+/// Writes a GIOP message (header already includes the size).
+pub fn write_giop(s: &StreamEnd, message: &[u8]) {
+    s.write(message);
+}
+
+/// Reads one GIOP message from a stream by first reading its 12-byte
+/// header, then the body it announces.  Returns the complete message.
+#[must_use]
+pub fn read_giop(s: &StreamEnd) -> Option<Vec<u8>> {
+    let mut msg = s.read_exact(flick_runtime::giop::HEADER_BYTES)?;
+    let mut r = flick_runtime::MsgReader::new(&msg);
+    let h = flick_runtime::giop::read_header(&mut r).ok()?;
+    let body = s.read_exact(h.size as usize)?;
+    msg.extend_from_slice(&body);
+    Some(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bytes_flow_both_ways() {
+        let (a, b) = stream_pair();
+        a.write(b"hello");
+        assert_eq!(b.read_exact(5).unwrap(), b"hello");
+        b.write(b"world!");
+        assert_eq!(a.read_exact(6).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn no_message_boundaries() {
+        let (a, b) = stream_pair();
+        a.write(b"ab");
+        a.write(b"cd");
+        assert_eq!(b.read_exact(3).unwrap(), b"abc");
+        assert_eq!(b.read_exact(1).unwrap(), b"d");
+    }
+
+    #[test]
+    fn blocking_read_across_threads() {
+        let (a, b) = stream_pair();
+        let t = thread::spawn(move || b.read_exact(4).unwrap());
+        thread::sleep(std::time::Duration::from_millis(10));
+        a.write(b"ping");
+        assert_eq!(t.join().unwrap(), b"ping");
+    }
+
+    #[test]
+    fn close_unblocks_reader() {
+        let (a, b) = stream_pair();
+        let t = thread::spawn(move || b.read_exact(4));
+        thread::sleep(std::time::Duration::from_millis(10));
+        a.close();
+        assert_eq!(t.join().unwrap(), None);
+    }
+
+    #[test]
+    fn record_marking_roundtrip() {
+        let (a, b) = stream_pair();
+        write_record(&a, b"first record");
+        write_record(&a, b"second");
+        assert_eq!(read_record(&b).unwrap(), b"first record");
+        assert_eq!(read_record(&b).unwrap(), b"second");
+    }
+
+    #[test]
+    fn giop_framing_roundtrip() {
+        use flick_runtime::cdr::ByteOrder;
+        use flick_runtime::giop::{begin_message, finish_message, MsgType};
+        use flick_runtime::MarshalBuf;
+
+        let mut buf = MarshalBuf::new();
+        let at = begin_message(&mut buf, ByteOrder::Big, MsgType::Request);
+        buf.put_bytes(b"payload!");
+        finish_message(&mut buf, at, ByteOrder::Big);
+
+        let (a, b) = stream_pair();
+        write_giop(&a, buf.as_slice());
+        let msg = read_giop(&b).unwrap();
+        assert_eq!(msg, buf.as_slice());
+    }
+}

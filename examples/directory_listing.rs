@@ -1,0 +1,97 @@
+//! The paper's §4 directory workload as a working CORBA-style service:
+//! a client streams directory entries to a server over GIOP/IIOP
+//! framing, demultiplexed by the generated word-wise name switch.
+//!
+//!     cargo run --example directory_listing
+
+use std::thread;
+
+use flick_bench::generated::iiop_bench;
+use flick_runtime::cdr::{ByteOrder, CdrIn, CdrOut};
+use flick_runtime::giop::{self, MsgType, ReplyStatus};
+use flick_runtime::{MarshalBuf, MsgReader};
+use flick_transport::stream::{read_giop, stream_pair, write_giop};
+
+struct DirectoryServer {
+    total_entries: usize,
+    total_name_bytes: usize,
+}
+
+impl iiop_bench::Server for DirectoryServer {
+    fn send_ints(&mut self, _vals: Vec<i32>) {}
+    fn send_rects(&mut self, _rects: Vec<iiop_bench::Rect>) {}
+    fn send_dirents(&mut self, entries: Vec<iiop_bench::Dirent>) {
+        for e in &entries {
+            self.total_name_bytes += e.name.len();
+        }
+        self.total_entries += entries.len();
+    }
+}
+
+fn main() {
+    let order = ByteOrder::native();
+    let (client_end, server_end) = stream_pair();
+
+    let server = thread::spawn(move || {
+        let mut srv = DirectoryServer { total_entries: 0, total_name_bytes: 0 };
+        while let Some(msg) = read_giop(&server_end) {
+            let mut r = MsgReader::new(&msg);
+            let h = giop::read_header(&mut r).expect("giop header");
+            if h.msg_type != MsgType::Request {
+                break;
+            }
+            let cdr = CdrIn::begin(&r, h.order);
+            let req = giop::get_request_header(&mut r, &cdr).expect("request header");
+
+            // Reply: GIOP header + reply header + dispatched body.
+            let mut reply = MarshalBuf::new();
+            let at = giop::begin_message(&mut reply, h.order, MsgType::Reply);
+            let out = CdrOut::begin(&reply, h.order);
+            giop::put_reply_header(&mut reply, &out, req.request_id, ReplyStatus::NoException);
+            iiop_bench::dispatch_by_name(
+                req.operation.as_bytes(),
+                &msg[r.pos()..],
+                &mut reply,
+                &mut srv,
+            )
+            .expect("dispatch");
+            giop::finish_message(&mut reply, at, h.order);
+            write_giop(&server_end, reply.as_slice());
+        }
+        (srv.total_entries, srv.total_name_bytes)
+    });
+
+    // The client walks a synthetic directory tree in batches.
+    let mut request_id = 0u32;
+    let mut sent_entries = 0usize;
+    for batch in 0..8 {
+        let entries = flick_bench::data::iiop::dirents(16 + batch);
+        sent_entries += entries.len();
+
+        let mut msg = MarshalBuf::new();
+        let at = giop::begin_message(&mut msg, order, MsgType::Request);
+        let cdr = CdrOut::begin(&msg, order);
+        giop::put_request_header(&mut msg, &cdr, request_id, true, b"directory-1", "send_dirents");
+        iiop_bench::encode_send_dirents_request(&mut msg, &entries);
+        giop::finish_message(&mut msg, at, order);
+        write_giop(&client_end, msg.as_slice());
+
+        let reply = read_giop(&client_end).expect("reply");
+        let mut r = MsgReader::new(&reply);
+        let h = giop::read_header(&mut r).expect("reply header");
+        let cdr = CdrIn::begin(&r, h.order);
+        let rh = giop::get_reply_header(&mut r, &cdr).expect("reply body");
+        assert_eq!(rh.request_id, request_id);
+        assert_eq!(rh.status, ReplyStatus::NoException);
+        request_id += 1;
+    }
+    client_end.close();
+
+    let (received, name_bytes) = server.join().expect("server thread");
+    assert_eq!(received, sent_entries);
+    println!(
+        "streamed {received} directory entries ({name_bytes} bytes of names) \
+         over GIOP/IIOP in {request_id} requests"
+    );
+    println!("each entry encodes the paper's 256-byte dirent: name + 136-byte stat");
+}

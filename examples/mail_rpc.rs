@@ -1,0 +1,71 @@
+//! A complete mail RPC: client and server threads exchanging ONC RPC
+//! messages over the in-process TCP-like stream, using stubs the
+//! Flick compiler generated for the paper's `Mail` interface.
+//!
+//!     cargo run --example mail_rpc
+
+use std::thread;
+
+use flick_bench::generated::mail_onc;
+use flick_runtime::oncrpc::{self, CallHeader};
+use flick_runtime::{MarshalBuf, MsgReader};
+use flick_transport::stream::{read_record, stream_pair, write_record};
+
+struct Mailbox {
+    received: Vec<String>,
+}
+
+impl mail_onc::Server for Mailbox {
+    // §3.1 parameter management: the generated dispatch hands the
+    // message text to the work function as a borrow of the receive
+    // buffer (zero-copy); we copy only because we keep it.
+    fn send(&mut self, msg: &str) {
+        println!("[server] received: {msg}");
+        self.received.push(msg.to_string());
+    }
+}
+
+fn main() {
+    let (client_end, server_end) = stream_pair();
+
+    let server = thread::spawn(move || {
+        let mut mailbox = Mailbox { received: Vec::new() };
+        let mut reply = MarshalBuf::new();
+        while let Some(record) = read_record(&server_end) {
+            let mut r = MsgReader::new(&record);
+            let header = CallHeader::read(&mut r).expect("well-formed call");
+            reply.clear();
+            oncrpc::write_reply(&mut reply, header.xid, oncrpc::ReplyOutcome::Success);
+            mail_onc::dispatch(header.proc, &record[r.pos()..], &mut reply, &mut mailbox)
+                .expect("dispatch");
+            write_record(&server_end, reply.as_slice());
+        }
+        mailbox.received
+    });
+
+    let mut buf = MarshalBuf::new();
+    for (xid, msg) in [
+        "Hello from the Flick reproduction!",
+        "IDLs are true languages amenable to modern compilation techniques.",
+        "Third and final message.",
+    ]
+    .iter()
+    .enumerate()
+    {
+        buf.clear();
+        CallHeader { xid: xid as u32, prog: 0x2000_0001, vers: 1, proc: 1 }.write(&mut buf);
+        mail_onc::encode_send_request(&mut buf, msg);
+        write_record(&client_end, buf.as_slice());
+
+        let reply = read_record(&client_end).expect("server replied");
+        let mut r = MsgReader::new(&reply);
+        let echoed_xid = oncrpc::read_reply(&mut r).expect("successful reply");
+        assert_eq!(echoed_xid, xid as u32);
+        println!("[client] message {xid} acknowledged");
+    }
+    client_end.close();
+
+    let received = server.join().expect("server thread");
+    assert_eq!(received.len(), 3);
+    println!("\ndelivered {} messages over ONC RPC / record-marked stream", received.len());
+}

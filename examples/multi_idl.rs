@@ -1,0 +1,72 @@
+//! The kit demonstration: one contract, many IDLs, presentations, and
+//! transports (the paper's "mix and match components at IDL
+//! compilation time").
+//!
+//!     cargo run --example multi_idl
+//!
+//! Shows (1) that the CORBA and ONC RPC front ends produce the *same*
+//! AOI for the paper's equivalent `Mail` programs, and (2) the full
+//! front-end × presentation × transport compilation matrix.
+
+use flick::{Compiler, Frontend, Style, Transport};
+use flick_pres::Side;
+
+const MAIL_IDL: &str = "interface Mail { void send(in string msg); };";
+const MAIL_X: &str =
+    "program Mail { version MailVers { void send(string msg) = 1; } = 1; } = 0x20000001;";
+
+fn main() {
+    // ---- one network contract from two IDLs ----
+    let from_corba = flick_frontend_corba::parse_str("mail.idl", MAIL_IDL);
+    let from_onc = flick_frontend_onc::parse_str("mail.x", MAIL_X);
+    println!("== AOI from the CORBA front end ==");
+    print!("{}", from_corba.to_pretty());
+    println!("== AOI from the ONC RPC front end ==");
+    print!("{}", from_onc.to_pretty());
+    assert_eq!(
+        from_corba.to_pretty(),
+        from_onc.to_pretty(),
+        "equivalent programs must produce the same contract"
+    );
+    println!("-> identical contracts; either feeds any presentation generator\n");
+
+    // ---- the compilation matrix ----
+    println!("== Mix-and-match matrix (front end x presentation x transport) ==");
+    println!(
+        "{:<8} {:<10} {:<10} {:>9} {:>9}",
+        "IDL", "pres.", "transport", "C bytes", "Rs bytes"
+    );
+    let mut configurations = 0;
+    for (fe, src) in [(Frontend::Corba, MAIL_IDL), (Frontend::Onc, MAIL_X)] {
+        for style in [Style::CorbaC, Style::RpcgenC, Style::FlukeC] {
+            for transport in [
+                Transport::IiopTcp,
+                Transport::OncTcp,
+                Transport::OncUdp,
+                Transport::Mach3,
+                Transport::Fluke,
+            ] {
+                let out = Compiler::new(fe, style, transport)
+                    .compile_source("mail", src, "Mail", Side::Client)
+                    .expect("every combination compiles for this contract");
+                println!(
+                    "{:<8} {:<10} {:<10} {:>9} {:>9}",
+                    match fe {
+                        Frontend::Corba => "CORBA",
+                        Frontend::Onc => "ONC",
+                        Frontend::Mig => "MIG",
+                    },
+                    style.name(),
+                    transport.name(),
+                    out.c_source.len(),
+                    out.rust_source.len(),
+                );
+                configurations += 1;
+            }
+        }
+    }
+    println!(
+        "\n{configurations} working configurations from 2 front ends x 3 \
+         presentations x 5 back ends"
+    );
+}

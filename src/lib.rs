@@ -1,0 +1,1 @@
+//! Workspace-spanning integration-test and example host crate.

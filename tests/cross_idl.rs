@@ -1,0 +1,141 @@
+//! Cross-phase integration: the flexibility claims of §2.
+//!
+//! * Equivalent CORBA and ONC RPC programs produce identical AOI;
+//! * any AOI feeds any presentation generator (within the documented
+//!   presentation limits);
+//! * any presentation feeds any back end.
+
+use flick::{Compiler, Frontend, Style, Transport};
+use flick_idl::diag::Diagnostics;
+use flick_pres::Side;
+
+const MAIL_IDL: &str = "interface Mail { void send(in string msg); };";
+const MAIL_X: &str =
+    "program Mail { version MailVers { void send(string msg) = 1; } = 1; } = 0x20000001;";
+
+#[test]
+fn equivalent_programs_produce_identical_contracts() {
+    let corba = flick_frontend_corba::parse_str("mail.idl", MAIL_IDL);
+    let onc = flick_frontend_onc::parse_str("mail.x", MAIL_X);
+    assert_eq!(corba.to_pretty(), onc.to_pretty());
+}
+
+#[test]
+fn richer_contract_survives_both_front_ends() {
+    let corba = flick_frontend_corba::parse_str(
+        "svc.idl",
+        r"
+        struct Item { long id; string label; };
+        typedef sequence<Item> Items;
+        interface Svc {
+            void put(in Items items);
+            long count();
+        };
+        ",
+    );
+    let onc = flick_frontend_onc::parse_str(
+        "svc.x",
+        r"
+        struct Item { int id; string label<>; };
+        typedef Item Items<>;
+        program Svc { version V {
+            void put(Items items) = 1;
+            int count(void) = 2;
+        } = 1; } = 77;
+        ",
+    );
+    assert_eq!(corba.to_pretty(), onc.to_pretty());
+}
+
+#[test]
+fn onc_contract_through_corba_presentation_and_iiop() {
+    // ONC RPC input, CORBA C mapping, IIOP back end: three components
+    // that never saw each other.
+    let out = Compiler::new(Frontend::Onc, Style::CorbaC, Transport::IiopTcp)
+        .compile_source("mail.x", MAIL_X, "Mail", Side::Client)
+        .expect("cross-IDL compilation");
+    assert!(out.c_source.contains("Mail_send"), "CORBA naming applied");
+    assert!(out.presc.program == 0x2000_0001, "ONC program number kept");
+}
+
+#[test]
+fn corba_contract_through_rpcgen_presentation_and_mach() {
+    let out = Compiler::new(Frontend::Corba, Style::RpcgenC, Transport::Mach3)
+        .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
+        .expect("cross compilation");
+    assert!(out.c_source.contains("send_1"), "rpcgen naming applied");
+    assert!(out.rust_source.contains("mach::put_type"), "Mach descriptors emitted");
+}
+
+#[test]
+fn presentation_limits_are_enforced_across_idls() {
+    // ONC list type → CORBA presentation: rejected (§2.2.1 fn 3).
+    let aoi = flick_frontend_onc::parse_str(
+        "l.x",
+        "struct node { int v; node *next; }; program L { version V { void put(node n) = 1; } = 1; } = 9;",
+    );
+    let mut d = Diagnostics::new();
+    assert!(flick_presgen::corba_c(&aoi, "L", Side::Client, &mut d).is_none());
+    // ...but accepted by the rpcgen presentation.
+    let mut d = Diagnostics::new();
+    assert!(flick_presgen::rpcgen_c(&aoi, "L", Side::Client, &mut d).is_some());
+
+    // CORBA exceptions → rpcgen presentation: rejected.
+    let aoi = flick_frontend_corba::parse_str(
+        "e.idl",
+        "exception Bad { string why; }; interface I { void f() raises (Bad); };",
+    );
+    let mut d = Diagnostics::new();
+    assert!(flick_presgen::rpcgen_c(&aoi, "I", Side::Client, &mut d).is_none());
+    let mut d = Diagnostics::new();
+    assert!(flick_presgen::corba_c(&aoi, "I", Side::Client, &mut d).is_some());
+}
+
+#[test]
+fn generated_c_matches_paper_prototype() {
+    // §2: "a CORBA IDL compiler for C will always produce
+    // `void Mail_send(Mail obj, char *msg)`" (plus the environment).
+    let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp)
+        .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
+        .expect("compiles");
+    assert!(
+        out.c_source
+            .contains("void Mail_send(Mail obj, char *msg, CORBA_Environment *ev)"),
+        "{}",
+        out.c_source
+    );
+    assert!(out.c_source.contains("typedef void *Mail;"));
+}
+
+#[test]
+fn every_backend_accepts_every_presentation_of_bench() {
+    let idl = include_str!("../testdata/bench.idl");
+    for style in [Style::CorbaC, Style::RpcgenC, Style::FlukeC] {
+        for transport in [
+            Transport::IiopTcp,
+            Transport::OncTcp,
+            Transport::OncUdp,
+            Transport::Mach3,
+            Transport::Fluke,
+        ] {
+            let out = Compiler::new(Frontend::Corba, style, transport)
+                .compile_source("bench.idl", idl, "Bench", Side::Server)
+                .unwrap_or_else(|e| panic!("{style:?}/{transport:?}: {e}"));
+            assert!(out.rust_source.contains("encode_send_dirents_request"));
+        }
+    }
+}
+
+#[test]
+fn diagnostics_point_into_source() {
+    let err = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp)
+        .compile_source(
+            "broken.idl",
+            "interface A {\n  void f(in strang s);\n};",
+            "A",
+            Side::Client,
+        )
+        .unwrap_err();
+    assert!(err.report.contains("broken.idl:2:"), "{err}");
+    assert!(err.report.contains('^'), "{err}");
+}

@@ -1,0 +1,94 @@
+//! The Fluke fast path (§3.2 "Specialized Transports"): small messages
+//! travel entirely in the register window; larger ones spill.
+
+use flick_bench::data;
+use flick_bench::generated::fluke_bench;
+use flick_runtime::fluke::{FlukeMsg, FlukeReader, FlukeWriter, REG_WORDS};
+use flick_runtime::{MarshalBuf, MsgReader};
+use flick_transport::fluke::fluke_pair;
+
+/// Packs an encoded message into a Fluke IPC message: whole words into
+/// the register window while they fit, the rest into the overflow
+/// buffer — what the Fluke back end's stubs do before trapping.
+fn pack(bytes: &[u8]) -> FlukeMsg {
+    let mut w = FlukeWriter::new();
+    let mut chunks = bytes.chunks_exact(4);
+    for c in &mut chunks {
+        w.put_u32(u32::from_le_bytes(c.try_into().expect("len 4")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 4];
+        last[..rem.len()].copy_from_slice(rem);
+        w.put_u32(u32::from_le_bytes(last));
+    }
+    w.finish()
+}
+
+/// Reassembles the byte stream on the receive side.
+fn unpack(msg: &FlukeMsg, byte_len: usize) -> Vec<u8> {
+    let mut r = FlukeReader::new(msg);
+    let mut out = Vec::with_capacity(byte_len);
+    while out.len() < byte_len {
+        out.extend_from_slice(&r.get_u32().expect("word").to_le_bytes());
+    }
+    out.truncate(byte_len);
+    out
+}
+
+#[test]
+fn small_request_rides_the_register_window() {
+    // A few ints: prefix word + data words fit in REG_WORDS registers.
+    let vals = data::fluke::ints(REG_WORDS - 1);
+    let mut buf = MarshalBuf::new();
+    fluke_bench::encode_send_ints_request(&mut buf, &vals);
+    assert!(buf.len() <= REG_WORDS * 4);
+
+    let (client, server) = fluke_pair();
+    let n = buf.len();
+    client.send(pack(buf.as_slice()));
+    assert_eq!(client.fast_path_stats(), (1, 1), "register-only send");
+
+    let msg = server.recv().expect("delivered");
+    assert!(msg.is_register_only());
+    let bytes = unpack(&msg, n);
+    let mut r = MsgReader::new(&bytes);
+    let (back,) = fluke_bench::decode_send_ints_request(&mut r).expect("decodes");
+    assert_eq!(back, vals);
+}
+
+#[test]
+fn large_request_spills_to_overflow() {
+    let vals = data::fluke::ints(1024);
+    let mut buf = MarshalBuf::new();
+    fluke_bench::encode_send_ints_request(&mut buf, &vals);
+
+    let (client, server) = fluke_pair();
+    let n = buf.len();
+    client.send(pack(buf.as_slice()));
+    assert_eq!(client.fast_path_stats(), (0, 1), "spilled send");
+
+    let msg = server.recv().expect("delivered");
+    assert!(!msg.is_register_only());
+    assert_eq!(msg.reg_count, REG_WORDS, "window fully used first");
+    let bytes = unpack(&msg, n);
+    let mut r = MsgReader::new(&bytes);
+    let (back,) = fluke_bench::decode_send_ints_request(&mut r).expect("decodes");
+    assert_eq!(back, vals);
+}
+
+#[test]
+fn rects_roundtrip_over_fluke_ipc() {
+    let rects = data::fluke::rects(100);
+    let mut buf = MarshalBuf::new();
+    fluke_bench::encode_send_rects_request(&mut buf, &rects);
+
+    let (client, server) = fluke_pair();
+    let n = buf.len();
+    client.send(pack(buf.as_slice()));
+    let msg = server.recv().expect("delivered");
+    let bytes = unpack(&msg, n);
+    let mut r = MsgReader::new(&bytes);
+    let (back,) = fluke_bench::decode_send_rects_request(&mut r).expect("decodes");
+    assert_eq!(back, rects);
+}

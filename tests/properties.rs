@@ -1,0 +1,187 @@
+//! Property-based tests on the core invariants:
+//!
+//! * generated stubs round-trip arbitrary values (every back end);
+//! * Flick's ONC wire bytes always equal rpcgen's for the same data;
+//! * the runtime codecs round-trip arbitrary primitives;
+//! * record framing survives arbitrary payloads and fragmentation.
+
+use flick_baselines::Marshaler;
+use flick_bench::generated::{iiop_bench, mach_bench, onc_bench};
+use flick_runtime::{oncrpc, xdr, MarshalBuf, MsgReader};
+use proptest::prelude::*;
+
+/// An arbitrary dirent in both the generated and the baseline types.
+fn arb_dirent() -> impl Strategy<Value = (onc_bench::Dirent, flick_baselines::Dirent)> {
+    (
+        "[a-zA-Z0-9_./ -]{0,64}",
+        prop::array::uniform30(any::<i32>()),
+        prop::array::uniform16(any::<u8>()),
+    )
+        .prop_map(|(name, fields, tag)| {
+            (
+                onc_bench::Dirent {
+                    name: name.clone(),
+                    info: onc_bench::Stat { fields, tag },
+                },
+                flick_baselines::Dirent {
+                    name,
+                    info: flick_baselines::Stat { fields, tag },
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn onc_ints_roundtrip(vals in prop::collection::vec(any::<i32>(), 0..500)) {
+        let mut buf = MarshalBuf::new();
+        onc_bench::encode_send_ints_request(&mut buf, &vals);
+        let mut r = MsgReader::new(buf.as_slice());
+        let (back,) = onc_bench::decode_send_ints_request(&mut r).expect("decodes");
+        prop_assert_eq!(back, vals);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn iiop_ints_roundtrip(vals in prop::collection::vec(any::<i32>(), 0..500)) {
+        let mut buf = MarshalBuf::new();
+        iiop_bench::encode_send_ints_request(&mut buf, &vals);
+        let mut r = MsgReader::new(buf.as_slice());
+        let (back,) = iiop_bench::decode_send_ints_request(&mut r).expect("decodes");
+        prop_assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn mach_ints_roundtrip(vals in prop::collection::vec(any::<i32>(), 0..300)) {
+        let mut buf = MarshalBuf::new();
+        mach_bench::encode_send_ints_request(&mut buf, &vals);
+        let mut r = MsgReader::new(buf.as_slice());
+        let (back,) = mach_bench::decode_send_ints_request(&mut r).expect("decodes");
+        prop_assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn dirents_roundtrip_and_match_rpcgen_wire(pairs in prop::collection::vec(arb_dirent(), 0..20)) {
+        let flick_side: Vec<onc_bench::Dirent> = pairs.iter().map(|(f, _)| f.clone()).collect();
+        let base_side: Vec<flick_baselines::Dirent> = pairs.iter().map(|(_, b)| b.clone()).collect();
+
+        let mut buf = MarshalBuf::new();
+        onc_bench::encode_send_dirents_request(&mut buf, &flick_side);
+        let mut r = MsgReader::new(buf.as_slice());
+        let (back,) = onc_bench::decode_send_dirents_request(&mut r).expect("decodes");
+        prop_assert_eq!(&back, &flick_side);
+
+        // Wire compatibility with rpcgen on arbitrary data, not just
+        // the benchmark workload.
+        let mut base = flick_baselines::rpcgen::RpcgenStyle::new();
+        base.marshal_dirents(&base_side);
+        prop_assert_eq!(buf.as_slice(), base.bytes());
+    }
+
+    #[test]
+    fn truncation_never_panics(vals in prop::collection::vec(any::<i32>(), 0..100), cut_frac in 0.0f64..1.0) {
+        let mut buf = MarshalBuf::new();
+        onc_bench::encode_send_ints_request(&mut buf, &vals);
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        let mut r = MsgReader::new(&buf.as_slice()[..cut]);
+        // Either decodes (cut == full length) or errors; never panics.
+        let _ = onc_bench::decode_send_ints_request(&mut r);
+    }
+
+    #[test]
+    fn xdr_primitives_roundtrip(a in any::<i32>(), b in any::<u64>(), f in any::<f64>(), s in "[ -~]{0,80}") {
+        let mut buf = MarshalBuf::new();
+        xdr::put_i32(&mut buf, a);
+        xdr::put_u64(&mut buf, b);
+        xdr::put_f64(&mut buf, f);
+        xdr::put_string(&mut buf, &s);
+        let mut r = MsgReader::new(buf.as_slice());
+        prop_assert_eq!(xdr::get_i32(&mut r).unwrap(), a);
+        prop_assert_eq!(xdr::get_u64(&mut r).unwrap(), b);
+        let back = xdr::get_f64(&mut r).unwrap();
+        prop_assert!(back == f || (back.is_nan() && f.is_nan()));
+        prop_assert_eq!(xdr::get_string(&mut r, None).unwrap(), s.as_bytes());
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn cdr_alignment_invariant(vals in prop::collection::vec(any::<(u8, i32, f64)>(), 0..50)) {
+        use flick_runtime::cdr::{ByteOrder, CdrIn, CdrOut};
+        let mut buf = MarshalBuf::new();
+        let out = CdrOut::begin(&buf, ByteOrder::Little);
+        for (a, b, c) in &vals {
+            out.put_u8(&mut buf, *a);
+            out.put_i32(&mut buf, *b);
+            out.put_f64(&mut buf, *c);
+        }
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let cin = CdrIn::begin(&r, ByteOrder::Little);
+        for (a, b, c) in &vals {
+            prop_assert_eq!(cin.get_u8(&mut r).unwrap(), *a);
+            prop_assert_eq!(cin.get_i32(&mut r).unwrap(), *b);
+            let back = cin.get_f64(&mut r).unwrap();
+            prop_assert!(back == *c || (back.is_nan() && c.is_nan()));
+        }
+    }
+
+    #[test]
+    fn record_framing_roundtrips(payload in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let framed = oncrpc::frame_record(&payload);
+        let (back, used) = oncrpc::deframe_record(&framed).expect("deframes");
+        prop_assert_eq!(back, payload);
+        prop_assert_eq!(used, framed.len());
+    }
+
+    #[test]
+    fn pod_bytes_roundtrip(vals in prop::collection::vec(any::<i64>(), 0..200)) {
+        use flick_runtime::pod;
+        let bytes = pod::bytes_of(&vals);
+        let back: Vec<i64> = pod::vec_from_bytes(bytes);
+        prop_assert_eq!(back, vals);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random (valid) IDL interfaces always compile through the whole
+    /// pipeline.  The generator produces scalar/string/sequence
+    /// parameter lists over a random interface shape.
+    #[test]
+    fn random_interfaces_compile(
+        n_ops in 1usize..6,
+        tys in prop::collection::vec(0u8..6, 1..6),
+    ) {
+        let ty_name = |t: u8| match t {
+            0 => "long",
+            1 => "double",
+            2 => "string",
+            3 => "octet",
+            4 => "Blob",
+            _ => "P",
+        };
+        let mut idl = String::from(
+            "struct P { long a; long b; };\ntypedef sequence<long> Blob;\ninterface R {\n",
+        );
+        for op in 0..n_ops {
+            idl.push_str(&format!("  void op{op}("));
+            for (i, t) in tys.iter().enumerate() {
+                if i > 0 {
+                    idl.push_str(", ");
+                }
+                idl.push_str(&format!("in {} p{i}", ty_name(*t)));
+            }
+            idl.push_str(");\n");
+        }
+        idl.push_str("};\n");
+
+        use flick::{Compiler, Frontend, Style, Transport};
+        use flick_pres::Side;
+        let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp)
+            .compile_source("rand.idl", &idl, "R", Side::Server);
+        prop_assert!(out.is_ok(), "{}\n{}", idl, out.err().map(|e| e.report).unwrap_or_default());
+    }
+}
