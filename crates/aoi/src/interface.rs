@@ -192,9 +192,21 @@ mod tests {
             oneway: false,
             ret: t,
             params: vec![
-                Param { name: "a".into(), dir: ParamDir::In, ty: t },
-                Param { name: "b".into(), dir: ParamDir::Out, ty: t },
-                Param { name: "c".into(), dir: ParamDir::InOut, ty: t },
+                Param {
+                    name: "a".into(),
+                    dir: ParamDir::In,
+                    ty: t,
+                },
+                Param {
+                    name: "b".into(),
+                    dir: ParamDir::Out,
+                    ty: t,
+                },
+                Param {
+                    name: "c".into(),
+                    dir: ParamDir::InOut,
+                    ty: t,
+                },
             ],
             raises: vec![],
             request_code: 1,

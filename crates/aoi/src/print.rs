@@ -108,7 +108,9 @@ fn type_str_inner(aoi: &Aoi, id: TypeId, on_path: &mut Vec<TypeId>) -> String {
                 None => format!("sequence<{e}>"),
             }
         }
-        Type::Opaque { fixed_len: Some(n), .. } => format!("opaque[{n}]"),
+        Type::Opaque {
+            fixed_len: Some(n), ..
+        } => format!("opaque[{n}]"),
         Type::Opaque { bound: Some(b), .. } => format!("opaque<{b}>"),
         Type::Opaque { .. } => "opaque<>".to_string(),
         Type::Struct { name, fields } => {
@@ -118,7 +120,11 @@ fn type_str_inner(aoi: &Aoi, id: TypeId, on_path: &mut Vec<TypeId>) -> String {
                 .collect();
             format!("struct {name} {{{}}}", body.join("; "))
         }
-        Type::Union { name, discriminator, cases } => {
+        Type::Union {
+            name,
+            discriminator,
+            cases,
+        } => {
             let disc = type_str_inner(aoi, *discriminator, on_path);
             let body: Vec<String> = cases
                 .iter()
@@ -168,7 +174,11 @@ mod tests {
             name: "send".into(),
             oneway: false,
             ret: void,
-            params: vec![Param { name: "msg".into(), dir: ParamDir::In, ty: string }],
+            params: vec![Param {
+                name: "msg".into(),
+                dir: ParamDir::In,
+                ty: string,
+            }],
             raises: vec![],
             request_code: 1,
         });
@@ -181,16 +191,28 @@ mod tests {
     fn recursive_type_prints_by_name() {
         let mut aoi = Aoi::new("onc");
         let long = aoi.types.prim(PrimType::Long);
-        let fwd = aoi.types.add(Type::Alias { name: "node".into(), target: long });
+        let fwd = aoi.types.add(Type::Alias {
+            name: "node".into(),
+            target: long,
+        });
         let opt = aoi.types.add(Type::Optional { elem: fwd });
         let node = aoi.types.add(Type::Struct {
             name: "node".into(),
             fields: vec![
-                Field { name: "v".into(), ty: long },
-                Field { name: "next".into(), ty: opt },
+                Field {
+                    name: "v".into(),
+                    ty: long,
+                },
+                Field {
+                    name: "next".into(),
+                    ty: opt,
+                },
             ],
         });
-        *aoi.types.get_mut(fwd) = Type::Alias { name: "node".into(), target: node };
+        *aoi.types.get_mut(fwd) = Type::Alias {
+            name: "node".into(),
+            target: node,
+        };
         let s = type_str(&aoi, node);
         assert_eq!(s, "struct node {v: int32; next: optional<node>}");
     }
@@ -200,7 +222,10 @@ mod tests {
         let mut aoi = Aoi::new("t");
         let long = aoi.types.prim(PrimType::Long);
         let arr = aoi.types.add(Type::Array { elem: long, len: 4 });
-        let seq = aoi.types.add(Type::Sequence { elem: arr, bound: Some(10) });
+        let seq = aoi.types.add(Type::Sequence {
+            elem: arr,
+            bound: Some(10),
+        });
         assert_eq!(type_str(&aoi, seq), "sequence<int32[4], 10>");
         let bs = aoi.types.add(Type::String { bound: Some(64) });
         assert_eq!(type_str(&aoi, bs), "string<64>");

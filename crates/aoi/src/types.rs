@@ -365,11 +365,17 @@ mod tests {
         let long = t.prim(PrimType::Long);
         let s1 = t.add(Type::Struct {
             name: "P".into(),
-            fields: vec![Field { name: "x".into(), ty: long }],
+            fields: vec![Field {
+                name: "x".into(),
+                ty: long,
+            }],
         });
         let s2 = t.add(Type::Struct {
             name: "P".into(),
-            fields: vec![Field { name: "x".into(), ty: long }],
+            fields: vec![Field {
+                name: "x".into(),
+                ty: long,
+            }],
         });
         assert_ne!(s1, s2);
     }
@@ -389,8 +395,14 @@ mod tests {
     fn alias_resolution() {
         let mut t = TypeTable::new();
         let long = t.prim(PrimType::Long);
-        let a1 = t.add(Type::Alias { name: "MyInt".into(), target: long });
-        let a2 = t.add(Type::Alias { name: "MyInt2".into(), target: a1 });
+        let a1 = t.add(Type::Alias {
+            name: "MyInt".into(),
+            target: long,
+        });
+        let a2 = t.add(Type::Alias {
+            name: "MyInt2".into(),
+            target: a1,
+        });
         assert_eq!(t.resolve(a2), long);
         assert_eq!(t.resolve(long), long);
     }
@@ -400,16 +412,28 @@ mod tests {
         // ONC RPC: struct node { int v; node *next; };
         let mut t = TypeTable::new();
         let long = t.prim(PrimType::Long);
-        let fwd = t.add(Type::Alias { name: "node".into(), target: long }); // placeholder
+        let fwd = t.add(Type::Alias {
+            name: "node".into(),
+            target: long,
+        }); // placeholder
         let opt = t.add(Type::Optional { elem: fwd });
         let node = t.add(Type::Struct {
             name: "node".into(),
             fields: vec![
-                Field { name: "v".into(), ty: long },
-                Field { name: "next".into(), ty: opt },
+                Field {
+                    name: "v".into(),
+                    ty: long,
+                },
+                Field {
+                    name: "next".into(),
+                    ty: opt,
+                },
             ],
         });
-        *t.get_mut(fwd) = Type::Alias { name: "node".into(), target: node };
+        *t.get_mut(fwd) = Type::Alias {
+            name: "node".into(),
+            target: node,
+        };
         assert_eq!(t.resolve(fwd), node);
     }
 

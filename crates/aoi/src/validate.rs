@@ -55,7 +55,10 @@ pub fn validate(aoi: &Aoi, diags: &mut Diagnostics) {
             }
             check_type(aoi, op.ret, diags);
             if op.oneway {
-                if !matches!(aoi.types.get(aoi.types.resolve(op.ret)), Type::Prim(PrimType::Void)) {
+                if !matches!(
+                    aoi.types.get(aoi.types.resolve(op.ret)),
+                    Type::Prim(PrimType::Void)
+                ) {
                     diags.push(Diagnostic::error_nospan(format!(
                         "oneway operation `{}::{}` must return void",
                         iface.name, op.name
@@ -123,7 +126,11 @@ fn check_finite(aoi: &Aoi, root: TypeId, diags: &mut Diagnostics) {
                     walk(aoi, f.ty, on_path, diags, reported);
                 }
             }
-            Type::Union { discriminator, cases, .. } => {
+            Type::Union {
+                discriminator,
+                cases,
+                ..
+            } => {
                 walk(aoi, *discriminator, on_path, diags, reported);
                 for c in cases {
                     if let Some(t) = c.ty {
@@ -147,11 +154,17 @@ fn check_finite(aoi: &Aoi, root: TypeId, diags: &mut Diagnostics) {
 }
 
 fn check_union(aoi: &Aoi, id: TypeId, diags: &mut Diagnostics) {
-    let Type::Union { name, discriminator, cases } = aoi.types.get(id) else {
+    let Type::Union {
+        name,
+        discriminator,
+        cases,
+    } = aoi.types.get(id)
+    else {
         return;
     };
     let disc = aoi.types.get(aoi.types.resolve(*discriminator));
-    let ok = matches!(disc, Type::Prim(p) if p.is_discriminator()) || matches!(disc, Type::Enum { .. });
+    let ok =
+        matches!(disc, Type::Prim(p) if p.is_discriminator()) || matches!(disc, Type::Enum { .. });
     if !ok {
         diags.push(Diagnostic::error_nospan(format!(
             "union `{name}` discriminator must be an integral, boolean, char, or enum type"
@@ -179,7 +192,9 @@ fn check_union(aoi: &Aoi, id: TypeId, diags: &mut Diagnostics) {
         )));
     }
     if cases.is_empty() {
-        diags.push(Diagnostic::error_nospan(format!("union `{name}` has no arms")));
+        diags.push(Diagnostic::error_nospan(format!(
+            "union `{name}` has no arms"
+        )));
     }
 }
 
@@ -207,7 +222,11 @@ mod tests {
         let string = aoi.types.add(Type::String { bound: None });
         let mut mail = Interface::new("Mail");
         let mut send = empty_op("send", 1, void);
-        send.params.push(Param { name: "msg".into(), dir: ParamDir::In, ty: string });
+        send.params.push(Param {
+            name: "msg".into(),
+            dir: ParamDir::In,
+            ty: string,
+        });
         mail.ops.push(send);
         aoi.add_interface(mail);
         let mut d = Diagnostics::new();
@@ -245,12 +264,21 @@ mod tests {
     fn infinite_struct_rejected() {
         let mut aoi = Aoi::new("test");
         let long = aoi.types.prim(PrimType::Long);
-        let fwd = aoi.types.add(Type::Alias { name: "S".into(), target: long });
+        let fwd = aoi.types.add(Type::Alias {
+            name: "S".into(),
+            target: long,
+        });
         let s = aoi.types.add(Type::Struct {
             name: "S".into(),
-            fields: vec![Field { name: "inner".into(), ty: fwd }],
+            fields: vec![Field {
+                name: "inner".into(),
+                ty: fwd,
+            }],
         });
-        *aoi.types.get_mut(fwd) = Type::Alias { name: "S".into(), target: s };
+        *aoi.types.get_mut(fwd) = Type::Alias {
+            name: "S".into(),
+            target: s,
+        };
         let mut d = Diagnostics::new();
         aoi.validate(&mut d);
         assert!(d.has_errors());
@@ -261,16 +289,28 @@ mod tests {
     fn linked_list_through_optional_is_finite() {
         let mut aoi = Aoi::new("test");
         let long = aoi.types.prim(PrimType::Long);
-        let fwd = aoi.types.add(Type::Alias { name: "node".into(), target: long });
+        let fwd = aoi.types.add(Type::Alias {
+            name: "node".into(),
+            target: long,
+        });
         let opt = aoi.types.add(Type::Optional { elem: fwd });
         let node = aoi.types.add(Type::Struct {
             name: "node".into(),
             fields: vec![
-                Field { name: "v".into(), ty: long },
-                Field { name: "next".into(), ty: opt },
+                Field {
+                    name: "v".into(),
+                    ty: long,
+                },
+                Field {
+                    name: "next".into(),
+                    ty: opt,
+                },
             ],
         });
-        *aoi.types.get_mut(fwd) = Type::Alias { name: "node".into(), target: node };
+        *aoi.types.get_mut(fwd) = Type::Alias {
+            name: "node".into(),
+            target: node,
+        };
         let mut d = Diagnostics::new();
         aoi.validate(&mut d);
         assert!(!d.has_errors(), "{d:?}");
@@ -303,8 +343,16 @@ mod tests {
             name: "U".into(),
             discriminator: long,
             cases: vec![
-                UnionCase { labels: vec![UnionLabel::Value(1)], name: "a".into(), ty: Some(long) },
-                UnionCase { labels: vec![UnionLabel::Value(1)], name: "b".into(), ty: Some(long) },
+                UnionCase {
+                    labels: vec![UnionLabel::Value(1)],
+                    name: "a".into(),
+                    ty: Some(long),
+                },
+                UnionCase {
+                    labels: vec![UnionLabel::Value(1)],
+                    name: "b".into(),
+                    ty: Some(long),
+                },
             ],
         });
         let mut d = Diagnostics::new();
@@ -320,7 +368,11 @@ mod tests {
         let mut i = Interface::new("I");
         let mut op = empty_op("f", 1, void);
         op.oneway = true;
-        op.params.push(Param { name: "x".into(), dir: ParamDir::Out, ty: long });
+        op.params.push(Param {
+            name: "x".into(),
+            dir: ParamDir::Out,
+            ty: long,
+        });
         i.ops.push(op);
         aoi.add_interface(i);
         let mut d = Diagnostics::new();

@@ -149,7 +149,10 @@ impl<'a> CEmitter<'a> {
     fn encode(&mut self, node: &PlanNode, v: CExpr, covered: bool, out: &mut Vec<CStmt>) {
         match node {
             PlanNode::Void => {}
-            PlanNode::Prim { prim, .. } | PlanNode::Enum { prim: prim @ WirePrim { .. } } => {
+            PlanNode::Prim { prim, .. }
+            | PlanNode::Enum {
+                prim: prim @ WirePrim { .. },
+            } => {
                 if !covered && self.be.opts.hoist_checks {
                     out.push(CStmt::expr(CExpr::call(
                         "flick_ensure",
@@ -184,7 +187,13 @@ impl<'a> CEmitter<'a> {
                             let e = Self::path_to_expr(v.clone(), path);
                             out.push(self.chunk_put(*prim, *offset, e, &chunk));
                         }
-                        PackedItem::PrimRun { offset, prim, count, path, .. } => {
+                        PackedItem::PrimRun {
+                            offset,
+                            prim,
+                            count,
+                            path,
+                            ..
+                        } => {
                             let e = Self::path_to_expr(v.clone(), path);
                             let bytes = count * u64::from(prim.size);
                             if self.be.opts.memcpy && prim.memcpy_compatible(prim.size) {
@@ -192,20 +201,14 @@ impl<'a> CEmitter<'a> {
                                 out.push(CStmt::expr(CExpr::call(
                                     "memcpy",
                                     vec![
-                                        ident(&chunk)
-                                            .bin(BinOp::Add, CExpr::Int(*offset as i64)),
+                                        ident(&chunk).bin(BinOp::Add, CExpr::Int(*offset as i64)),
                                         e,
                                         CExpr::Int(bytes as i64),
                                     ],
                                 )));
                             } else {
                                 let i = self.fresh("i");
-                                let body = [self.chunk_put(
-                                    *prim,
-                                    0,
-                                    e.index(ident(&i)),
-                                    &chunk,
-                                )];
+                                let body = [self.chunk_put(*prim, 0, e.index(ident(&i)), &chunk)];
                                 // Rewrite offset into the loop body:
                                 // chunk + offset + i*slot.
                                 let body = vec![match &body[0] {
@@ -220,16 +223,17 @@ impl<'a> CEmitter<'a> {
                                                     CExpr::Int(i64::from(prim.slot)),
                                                 ),
                                             );
-                                        CStmt::Expr(CExpr::Call { func: func.clone(), args })
+                                        CStmt::Expr(CExpr::Call {
+                                            func: func.clone(),
+                                            args,
+                                        })
                                     }
                                     other => other.clone(),
                                 }];
                                 out.push(CStmt::decl(i.clone(), CType::UInt));
                                 out.push(CStmt::For {
                                     init: Some(ident(&i).assign(CExpr::Int(0))),
-                                    cond: Some(
-                                        ident(&i).bin(BinOp::Lt, CExpr::Int(*count as i64)),
-                                    ),
+                                    cond: Some(ident(&i).bin(BinOp::Lt, CExpr::Int(*count as i64))),
                                     step: Some(CExpr::PostInc(Box::new(ident(&i)))),
                                     body,
                                 });
@@ -238,7 +242,13 @@ impl<'a> CEmitter<'a> {
                     }
                 }
             }
-            PlanNode::MemcpyArray { prim, fixed_len, counted, pad_unit, .. } => {
+            PlanNode::MemcpyArray {
+                prim,
+                fixed_len,
+                counted,
+                pad_unit,
+                ..
+            } => {
                 let len: CExpr = match fixed_len {
                     Some(n) => CExpr::Int(*n as i64),
                     None => v.clone().member("_length"),
@@ -254,7 +264,8 @@ impl<'a> CEmitter<'a> {
                             ident("_buf"),
                             CExpr::Int(8).bin(
                                 BinOp::Add,
-                                len.clone().bin(BinOp::Mul, CExpr::Int(i64::from(prim.size))),
+                                len.clone()
+                                    .bin(BinOp::Mul, CExpr::Int(i64::from(prim.size))),
                             ),
                         ],
                     )));
@@ -281,7 +292,9 @@ impl<'a> CEmitter<'a> {
                     )));
                 }
             }
-            PlanNode::String { style, pad_unit, .. } => {
+            PlanNode::String {
+                style, pad_unit, ..
+            } => {
                 let len = self.fresh("len");
                 out.push(CStmt::decl_init(
                     len.clone(),
@@ -323,7 +336,12 @@ impl<'a> CEmitter<'a> {
                     }
                 }
             }
-            PlanNode::CountedArray { elem, elem_class, fields, .. } => {
+            PlanNode::CountedArray {
+                elem,
+                elem_class,
+                fields,
+                ..
+            } => {
                 let (len_f, _max_f, buf_f) = fields;
                 let len = v.clone().member(len_f.clone());
                 out.push(CStmt::expr(CExpr::call(
@@ -373,7 +391,12 @@ impl<'a> CEmitter<'a> {
                     self.encode(f, v.clone().member(name.clone()), covered, out);
                 }
             }
-            PlanNode::Union { disc_prim, cases, default, .. } => {
+            PlanNode::Union {
+                disc_prim,
+                cases,
+                default,
+                ..
+            } => {
                 out.push(self.put_prim(*disc_prim, v.clone().member("_d")));
                 let mut switch_cases = Vec::new();
                 for (label, name, c) in cases {
@@ -384,7 +407,10 @@ impl<'a> CEmitter<'a> {
                         covered,
                         &mut body,
                     );
-                    switch_cases.push(SwitchCase { values: vec![*label], body });
+                    switch_cases.push(SwitchCase {
+                        values: vec![*label],
+                        body,
+                    });
                 }
                 if let Some((name, dflt)) = default {
                     let mut body = Vec::new();
@@ -394,9 +420,15 @@ impl<'a> CEmitter<'a> {
                         covered,
                         &mut body,
                     );
-                    switch_cases.push(SwitchCase { values: vec![], body });
+                    switch_cases.push(SwitchCase {
+                        values: vec![],
+                        body,
+                    });
                 }
-                out.push(CStmt::Switch { scrutinee: v.member("_d"), cases: switch_cases });
+                out.push(CStmt::Switch {
+                    scrutinee: v.member("_d"),
+                    cases: switch_cases,
+                });
             }
             PlanNode::Optional { elem, .. } => {
                 let flag = self.be.encoding.prim_for_size(1, false);
@@ -425,8 +457,14 @@ impl<'a> CEmitter<'a> {
             name: format!("flick_marshal_{key}"),
             ret: CType::Void,
             params: vec![
-                CParam { name: "_buf".into(), ty: CType::ptr(CType::named("FLICK_BUF")) },
-                CParam { name: "_v".into(), ty: CType::ptr(CType::named(key)) },
+                CParam {
+                    name: "_buf".into(),
+                    ty: CType::ptr(CType::named("FLICK_BUF")),
+                },
+                CParam {
+                    name: "_v".into(),
+                    ty: CType::ptr(CType::named(key)),
+                },
             ],
             body: Some(stmts),
         }
@@ -447,7 +485,10 @@ impl<'a> CEmitter<'a> {
             CType::ptr(CType::named("FLICK_BUF")),
             CExpr::call("flick_client_buf", vec![]),
         ));
-        body.push(CStmt::expr(CExpr::call("flick_buf_clear", vec![ident("_buf")])));
+        body.push(CStmt::expr(CExpr::call(
+            "flick_buf_clear",
+            vec![ident("_buf")],
+        )));
 
         // §3.1 hoisted whole-message check.
         let mut covered = false;
@@ -625,10 +666,19 @@ impl<'a> CEmitter<'a> {
             name: format!("{}_dispatch", presc.interface.replace("::", "_")),
             ret: CType::Int,
             params: vec![
-                CParam { name: "_proc".into(), ty: CType::UInt },
-                CParam { name: "_msg".into(), ty: CType::ptr(CType::named("FLICK_BUF")) },
+                CParam {
+                    name: "_proc".into(),
+                    ty: CType::UInt,
+                },
+                CParam {
+                    name: "_msg".into(),
+                    ty: CType::ptr(CType::named("FLICK_BUF")),
+                },
             ],
-            body: Some(vec![CStmt::Switch { scrutinee: ident("_proc"), cases }]),
+            body: Some(vec![CStmt::Switch {
+                scrutinee: ident("_proc"),
+                cases,
+            }]),
         }
     }
 }

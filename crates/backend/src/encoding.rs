@@ -60,7 +60,9 @@ impl WirePrim {
     /// padding) and multi-byte values are in native order.
     #[must_use]
     pub fn memcpy_compatible(&self, elem_size: u8) -> bool {
-        self.size == elem_size && self.slot == self.size && (self.size == 1 || self.order.is_native())
+        self.size == elem_size
+            && self.slot == self.size
+            && (self.size == 1 || self.order.is_native())
     }
 }
 
@@ -204,7 +206,11 @@ impl Encoding {
     /// The wire form for a raw scalar of `size` bytes.
     #[must_use]
     pub fn prim_for_size(&self, size: u8, signed: bool) -> WirePrim {
-        let slot = if self.widen_to_word && size < 4 { 4 } else { size };
+        let slot = if self.widen_to_word && size < 4 {
+            4
+        } else {
+            size
+        };
         WirePrim {
             size,
             slot,

@@ -223,7 +223,10 @@ impl LayoutCursor {
 }
 
 fn push_prim(out: &mut Packed, prim: WirePrim, path: ValPath) {
-    let mut cur = LayoutCursor { size: out.size, align: out.align };
+    let mut cur = LayoutCursor {
+        size: out.size,
+        align: out.align,
+    };
     let offset = cur.place_prim(prim);
     out.items.push(PackedItem::Prim { offset, prim, path });
     out.size = cur.size;
@@ -234,9 +237,18 @@ fn push_run(out: &mut Packed, prim: WirePrim, count: u64, path: ValPath, enc: &E
     // A run only works when elements tile without per-element padding
     // (slot == size); otherwise unroll into slots.
     if prim.slot == prim.size {
-        let mut cur = LayoutCursor { size: out.size, align: out.align };
+        let mut cur = LayoutCursor {
+            size: out.size,
+            align: out.align,
+        };
         let (offset, pad) = cur.place_run(prim, count, enc);
-        out.items.push(PackedItem::PrimRun { offset, prim, count, path, pad });
+        out.items.push(PackedItem::PrimRun {
+            offset,
+            prim,
+            count,
+            path,
+            pad,
+        });
         out.size = cur.size;
         out.align = cur.align;
     } else {
@@ -316,7 +328,10 @@ fn size_class_inner(
             match bound {
                 Some(b) => {
                     // Count prefix + bytes (+ NUL) + padding, worst case.
-                    let body = b + u64::from(matches!(enc.string_wire, crate::encoding::StringWire::CountedNul));
+                    let body = b + u64::from(matches!(
+                        enc.string_wire,
+                        crate::encoding::StringWire::CountedNul
+                    ));
                     let padded = match enc.pad_unit {
                         Some(u) => align_up(body, u64::from(u)),
                         None => body,
@@ -357,7 +372,12 @@ fn size_class_inner(
             }
             acc
         }
-        PresNode::UnionMap { discrim, cases, default, .. } => {
+        PresNode::UnionMap {
+            discrim,
+            cases,
+            default,
+            ..
+        } => {
             let mut worst: u64 = 0;
             let mut any_unbounded = false;
             for (_, _, c) in cases {
@@ -382,12 +402,10 @@ fn size_class_inner(
                 }
             }
         }
-        PresNode::OptionalPtr { elem, .. } => {
-            match size_class_inner(presc, enc, *elem, on_path) {
-                SizeClass::Fixed(n) | SizeClass::Bounded(n) => SizeClass::Bounded(4 + n),
-                SizeClass::Unbounded => SizeClass::Unbounded,
-            }
-        }
+        PresNode::OptionalPtr { elem, .. } => match size_class_inner(presc, enc, *elem, on_path) {
+            SizeClass::Fixed(n) | SizeClass::Bounded(n) => SizeClass::Bounded(4 + n),
+            SizeClass::Unbounded => SizeClass::Unbounded,
+        },
     };
     on_path.pop();
     r
@@ -425,10 +443,7 @@ mod tests {
         // Paths dig through the nested structs.
         match &packed.items[3] {
             PackedItem::Prim { path, .. } => {
-                assert_eq!(
-                    *path,
-                    ValPath::Root.field("max").field("y")
-                );
+                assert_eq!(*path, ValPath::Root.field("max").field("y"));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -472,7 +487,9 @@ mod tests {
         assert_eq!(packed.items.len(), 1);
         assert_eq!(packed.size, 8);
         match &packed.items[0] {
-            PackedItem::PrimRun { count: 5, pad: 3, .. } => {}
+            PackedItem::PrimRun {
+                count: 5, pad: 3, ..
+            } => {}
             other => panic!("expected padded byte run, got {other:?}"),
         }
     }

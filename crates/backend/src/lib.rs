@@ -34,6 +34,7 @@ pub mod plan;
 pub use c_header::C_RUNTIME_HEADER;
 pub use encoding::{Encoding, WirePrim};
 pub use opts::OptFlags;
+pub use plan::PlanStats;
 
 use flick_pres::PresC;
 
@@ -114,12 +115,69 @@ impl BackEnd {
     /// Returns a message when the presentation uses a construct this
     /// back end cannot lower (see `emit_rust` for the Rust subset).
     pub fn compile(&self, presc: &PresC) -> Result<Compiled, String> {
-        let plans = plan::plan_presc(presc, &self.encoding, &self.opts)?;
-        let c_unit = emit_c::emit(presc, &plans, self);
-        let c_source = flick_cast::Printer::new().unit(&c_unit);
-        let rust_source = emit_rust::emit(presc, &plans, self)?;
-        Ok(Compiled { c_unit, c_source, rust_source, plans })
+        Ok(self.compile_traced(presc)?.0)
     }
+
+    /// Like [`BackEnd::compile`], but also reports per-step wall times
+    /// and the optimizer's decision counts.
+    ///
+    /// # Errors
+    /// Same as [`BackEnd::compile`].
+    pub fn compile_traced(&self, presc: &PresC) -> Result<(Compiled, BackendTrace), String> {
+        let t = std::time::Instant::now();
+        let full = plan::plan_presc_full(presc, &self.encoding, &self.opts)?;
+        let stats = plan::PlanStats::of(&full);
+        let plans = full.stubs;
+        let plan_ns = step_ns(t);
+
+        let t = std::time::Instant::now();
+        let c_unit = emit_c::emit(presc, &plans, self);
+        let emit_c_ns = step_ns(t);
+
+        let t = std::time::Instant::now();
+        let c_source = flick_cast::Printer::new().unit(&c_unit);
+        let print_c_ns = step_ns(t);
+
+        let t = std::time::Instant::now();
+        let rust_source = emit_rust::emit(presc, &plans, self)?;
+        let emit_rust_ns = step_ns(t);
+
+        Ok((
+            Compiled {
+                c_unit,
+                c_source,
+                rust_source,
+                plans,
+            },
+            BackendTrace {
+                plan_ns,
+                emit_c_ns,
+                print_c_ns,
+                emit_rust_ns,
+                stats,
+            },
+        ))
+    }
+}
+
+fn step_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Per-step wall times and optimizer decision counts from one
+/// [`BackEnd::compile_traced`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackendTrace {
+    /// Time planning (PRES-C → marshal plans).
+    pub plan_ns: u64,
+    /// Time lowering plans to CAST.
+    pub emit_c_ns: u64,
+    /// Time pretty-printing the CAST to C source.
+    pub print_c_ns: u64,
+    /// Time emitting Rust stub source.
+    pub emit_rust_ns: u64,
+    /// What the optimizer decided.
+    pub stats: plan::PlanStats,
 }
 
 /// The artifacts a back end produces for one presentation.

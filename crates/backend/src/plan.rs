@@ -189,6 +189,83 @@ pub struct StubPlans {
     pub outlines: BTreeMap<String, PlanNode>,
 }
 
+/// Optimizer decision counts for one presentation's plans — the §3
+/// choices, tallied so `flickc --stats` can show what the optimizer
+/// actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Stubs planned.
+    pub stubs: u64,
+    /// Total plan nodes across all stubs and outlines.
+    pub plan_nodes: u64,
+    /// Fixed-layout regions turned into chunks (§3.2 chunking).
+    pub packed_chunks: u64,
+    /// Scalar runs turned into block copies (§3.2 data copying).
+    pub memcpy_runs: u64,
+    /// `Outline` call sites (recursion, or inlining disabled).
+    pub outline_calls: u64,
+    /// Distinct out-of-line marshal bodies.
+    pub outline_fns: u64,
+    /// Messages whose space check hoists to one `ensure` (§3.1 —
+    /// whole-message size class is fixed or bounded).
+    pub hoisted_checks: u64,
+    /// Deepest inlined aggregate nesting in any plan tree.
+    pub max_inline_depth: u64,
+}
+
+impl PlanStats {
+    /// Tallies the decisions recorded in `plans`.
+    #[must_use]
+    pub fn of(plans: &StubPlans) -> PlanStats {
+        let mut s = PlanStats {
+            stubs: plans.stubs.len() as u64,
+            ..PlanStats::default()
+        };
+        s.outline_fns = plans.outlines.len() as u64;
+        for stub in &plans.stubs {
+            for msg in [&stub.request, &stub.reply] {
+                if !matches!(msg.class, SizeClass::Unbounded) {
+                    s.hoisted_checks += 1;
+                }
+                for slot in &msg.slots {
+                    s.walk(&slot.node, 0);
+                }
+            }
+        }
+        for body in plans.outlines.values() {
+            s.walk(body, 0);
+        }
+        s
+    }
+
+    fn walk(&mut self, node: &PlanNode, depth: u64) {
+        self.plan_nodes += 1;
+        self.max_inline_depth = self.max_inline_depth.max(depth);
+        match node {
+            PlanNode::Packed { .. } => self.packed_chunks += 1,
+            PlanNode::MemcpyArray { .. } => self.memcpy_runs += 1,
+            PlanNode::Outline { .. } => self.outline_calls += 1,
+            PlanNode::Struct { fields, .. } => {
+                for (_, f) in fields {
+                    self.walk(f, depth + 1);
+                }
+            }
+            PlanNode::Union { cases, default, .. } => {
+                for (_, _, c) in cases {
+                    self.walk(c, depth + 1);
+                }
+                if let Some((_, d)) = default {
+                    self.walk(d, depth + 1);
+                }
+            }
+            PlanNode::CountedArray { elem, .. }
+            | PlanNode::FixedArray { elem, .. }
+            | PlanNode::Optional { elem, .. } => self.walk(elem, depth + 1),
+            _ => {}
+        }
+    }
+}
+
 pub(crate) type PlanResult<T> = Result<T, String>;
 
 struct Planner<'a> {
@@ -204,11 +281,7 @@ struct Planner<'a> {
 /// # Errors
 /// Returns a message if the presentation contains a conversion this
 /// planner cannot lower.
-pub fn plan_presc(
-    presc: &PresC,
-    enc: &Encoding,
-    opts: &OptFlags,
-) -> PlanResult<Vec<StubPlan>> {
+pub fn plan_presc(presc: &PresC, enc: &Encoding, opts: &OptFlags) -> PlanResult<Vec<StubPlan>> {
     Ok(plan_presc_full(presc, enc, opts)?.stubs)
 }
 
@@ -217,11 +290,7 @@ pub fn plan_presc(
 /// # Errors
 /// Returns a message if the presentation contains a conversion this
 /// planner cannot lower.
-pub fn plan_presc_full(
-    presc: &PresC,
-    enc: &Encoding,
-    opts: &OptFlags,
-) -> PlanResult<StubPlans> {
+pub fn plan_presc_full(presc: &PresC, enc: &Encoding, opts: &OptFlags) -> PlanResult<StubPlans> {
     let mut planner = Planner {
         presc,
         enc,
@@ -241,7 +310,10 @@ pub fn plan_presc_full(
             reply,
         });
     }
-    Ok(StubPlans { stubs, outlines: planner.outlines })
+    Ok(StubPlans {
+        stubs,
+        outlines: planner.outlines,
+    })
 }
 
 impl<'a> Planner<'a> {
@@ -279,9 +351,9 @@ impl<'a> Planner<'a> {
         // Named aggregates go out of line when inlining is disabled —
         // the call-per-datum shape of traditional IDL compilers.
         let outline_key = match &node {
-            PresNode::StructMap { .. } | PresNode::UnionMap { .. } | PresNode::OptionalPtr { .. } => {
-                self.type_name_of(pres)
-            }
+            PresNode::StructMap { .. }
+            | PresNode::UnionMap { .. }
+            | PresNode::OptionalPtr { .. } => self.type_name_of(pres),
             _ => None,
         };
         let force_outline = !self.opts.inline_marshal && outline_key.is_some();
@@ -291,7 +363,9 @@ impl<'a> Planner<'a> {
         );
 
         if is_recursive_candidate {
-            let key = outline_key.clone().unwrap_or_else(|| format!("anon_{}", pres.index()));
+            let key = outline_key
+                .clone()
+                .unwrap_or_else(|| format!("anon_{}", pres.index()));
             self.in_progress.push((pres, key));
         }
         let planned = self.plan_node_inner(&node, pres);
@@ -322,12 +396,18 @@ impl<'a> Planner<'a> {
                 prim: self.enc.prim(&self.presc.mint, *mint),
                 descriptor: None,
             },
-            PresNode::EnumMap { .. } => PlanNode::Enum { prim: self.enc.prim_for_size(4, false) },
+            PresNode::EnumMap { .. } => PlanNode::Enum {
+                prim: self.enc.prim_for_size(4, false),
+            },
             PresNode::StructMap { .. } | PresNode::FixedArray { .. }
                 if self.opts.chunking && pack(self.presc, self.enc, pres).is_some() =>
             {
                 let layout = pack(self.presc, self.enc, pres).expect("checked above");
-                PlanNode::Packed { layout, type_name: self.type_name_of(pres), pres }
+                PlanNode::Packed {
+                    layout,
+                    type_name: self.type_name_of(pres),
+                    pres,
+                }
             }
             PresNode::StructMap { fields, .. } => {
                 let mut fs = Vec::new();
@@ -373,7 +453,11 @@ impl<'a> Planner<'a> {
                     style: self.enc.string_wire,
                     pad_unit: self.enc.pad_unit,
                     borrow_ok: self.opts.param_mgmt && alloc.may_use_buffer,
-                    descriptor: if self.enc.typed_descriptors { Some(8) } else { None },
+                    descriptor: if self.enc.typed_descriptors {
+                        Some(8)
+                    } else {
+                        None
+                    },
                 }
             }
             PresNode::OptPtr { mint, elem, .. } | PresNode::CountedSeq { mint, elem, .. } => {
@@ -398,9 +482,17 @@ impl<'a> Planner<'a> {
                 let elem_class = size_class(self.presc, self.enc, *elem);
                 let (fields, type_name) = match node {
                     PresNode::CountedSeq {
-                        length_field, maximum_field, buffer_field, ctype, ..
+                        length_field,
+                        maximum_field,
+                        buffer_field,
+                        ctype,
+                        ..
                     } => (
-                        (length_field.clone(), maximum_field.clone(), buffer_field.clone()),
+                        (
+                            length_field.clone(),
+                            maximum_field.clone(),
+                            buffer_field.clone(),
+                        ),
                         match ctype {
                             flick_cast::CType::Named(n) => n.clone(),
                             _ => format!("seq_{}", pres.index()),
@@ -420,7 +512,12 @@ impl<'a> Planner<'a> {
                     fields,
                 }
             }
-            PresNode::UnionMap { discrim, cases, default, .. } => {
+            PresNode::UnionMap {
+                discrim,
+                cases,
+                default,
+                ..
+            } => {
                 let disc_prim = match self.presc.pres.get(*discrim) {
                     PresNode::Direct { mint, .. } => self.enc.prim(&self.presc.mint, *mint),
                     PresNode::EnumMap { .. } => self.enc.prim_for_size(4, false),
@@ -455,7 +552,7 @@ impl<'a> Planner<'a> {
             return None;
         }
         Some(match (prim.size, prim.signed) {
-            (1, _) => 9,  // BYTE
+            (1, _) => 9,    // BYTE
             (4, true) => 2, // INTEGER_32
             (4, false) => 2,
             (8, _) => 11, // INTEGER_64
@@ -482,7 +579,9 @@ fn plan_references_outline(plan: &PlanNode, key: &str) -> bool {
             fields.iter().any(|(_, f)| plan_references_outline(f, key))
         }
         PlanNode::Union { cases, default, .. } => {
-            cases.iter().any(|(_, _, c)| plan_references_outline(c, key))
+            cases
+                .iter()
+                .any(|(_, _, c)| plan_references_outline(c, key))
                 || default
                     .as_ref()
                     .is_some_and(|(_, d)| plan_references_outline(d, key))
@@ -541,7 +640,10 @@ mod tests {
     fn rect_sequence_plans_as_loop_of_chunks() {
         let plans = plan_for(RECTS_IDL, "I", &Encoding::xdr(), &OptFlags::all());
         let slot = &plans[0].request.slots[0];
-        let PlanNode::CountedArray { elem, elem_class, .. } = &slot.node else {
+        let PlanNode::CountedArray {
+            elem, elem_class, ..
+        } = &slot.node
+        else {
             panic!("expected counted array, got {:?}", slot.node);
         };
         assert_eq!(*elem_class, SizeClass::Fixed(16));
@@ -612,7 +714,10 @@ mod tests {
     fn string_plan_styles() {
         let idl = "interface I { void put(in string s); };";
         let plans = plan_for(idl, "I", &Encoding::xdr(), &OptFlags::all());
-        let PlanNode::String { style, pad_unit, .. } = &plans[0].request.slots[0].node else {
+        let PlanNode::String {
+            style, pad_unit, ..
+        } = &plans[0].request.slots[0].node
+        else {
             panic!("string plan");
         };
         assert_eq!(*style, StringWire::CountedPadded);
@@ -651,7 +756,10 @@ mod tests {
             "{elem:?}"
         );
         assert!(full.outlines.contains_key("Rect"));
-        assert!(full.outlines.contains_key("Point"), "nested aggregate outlined too");
+        assert!(
+            full.outlines.contains_key("Point"),
+            "nested aggregate outlined too"
+        );
     }
 
     #[test]
@@ -672,6 +780,30 @@ mod tests {
             "recursive struct must have an outline body: {:?}",
             full.outlines.keys().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn plan_stats_tally_optimizer_decisions() {
+        let aoi = flick_frontend_corba::parse_str("t.idl", RECTS_IDL);
+        let mut d = Diagnostics::new();
+        let p = flick_presgen::corba_c(&aoi, "I", Side::Client, &mut d).unwrap();
+
+        let full = plan_presc_full(&p, &Encoding::xdr(), &OptFlags::all()).unwrap();
+        let s = PlanStats::of(&full);
+        assert_eq!(s.stubs, 1);
+        assert!(s.packed_chunks >= 1, "rect elements pack: {s:?}");
+        assert!(s.hoisted_checks >= 1, "bounded messages hoist: {s:?}");
+        assert_eq!(s.outline_fns, 0);
+
+        // Inlining off: chunks give way to outline calls.
+        let mut opts = OptFlags::all();
+        opts.inline_marshal = false;
+        opts.chunking = false;
+        let full = plan_presc_full(&p, &Encoding::xdr(), &opts).unwrap();
+        let s2 = PlanStats::of(&full);
+        assert_eq!(s2.packed_chunks, 0);
+        assert!(s2.outline_fns >= 2, "Rect and Point outlined: {s2:?}");
+        assert!(s2.outline_calls >= 2, "{s2:?}");
     }
 
     #[test]

@@ -10,12 +10,9 @@ use flick_idl::diag::Diagnostics;
 use flick_pres::Side;
 
 fn cc() -> Option<&'static str> {
-    for cand in ["cc", "gcc", "clang"] {
-        if Command::new(cand).arg("--version").output().is_ok() {
-            return Some(cand);
-        }
-    }
-    None
+    ["cc", "gcc", "clang"]
+        .into_iter()
+        .find(|cand| Command::new(cand).arg("--version").output().is_ok())
 }
 
 fn check_compiles(c_source: &str, tag: &str) {

@@ -19,7 +19,10 @@ pub struct IluStream {
 
 impl IluStream {
     fn new() -> Self {
-        IluStream { data: Vec::new(), pos: 0 }
+        IluStream {
+            data: Vec::new(),
+            pos: 0,
+        }
     }
 
     fn reset(&mut self) {
@@ -169,7 +172,9 @@ impl IluStyle {
     /// A fresh marshaler.
     #[must_use]
     pub fn new() -> Self {
-        IluStyle { s: IluStream::new() }
+        IluStyle {
+            s: IluStream::new(),
+        }
     }
 
     /// Direct access to the wire bytes.

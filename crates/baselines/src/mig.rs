@@ -30,7 +30,10 @@ impl MigStyle {
     pub fn new() -> Self {
         // The static frame is allocated once, like MIG's
         // `mig_reply_error_t`-style globals — *not* per message.
-        MigStyle { frame: vec![0u8; 64 * 1024], used: 0 }
+        MigStyle {
+            frame: vec![0u8; 64 * 1024],
+            used: 0,
+        }
     }
 
     /// Direct access to the wire bytes.
@@ -42,7 +45,8 @@ impl MigStyle {
     #[inline]
     fn grow_to(&mut self, need: usize) {
         if self.frame.len() < need {
-            self.frame.resize(need.next_power_of_two().min(FRAME_BYTES), 0);
+            self.frame
+                .resize(need.next_power_of_two().min(FRAME_BYTES), 0);
         }
     }
 
@@ -115,7 +119,12 @@ impl Marshaler for MigStyle {
 
     fn marshal_ints(&mut self, v: &[i32]) -> Option<usize> {
         self.grow_to(HEADER_BYTES + 12 + v.len() * 4);
-        let p = self.put_desc(HEADER_BYTES, mach::type_name::INTEGER_32, 32, v.len() as u32);
+        let p = self.put_desc(
+            HEADER_BYTES,
+            mach::type_name::INTEGER_32,
+            32,
+            v.len() as u32,
+        );
         let p = self.copy_words(p, v);
         self.header(2401, p as u32);
         self.used = p;

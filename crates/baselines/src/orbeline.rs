@@ -9,7 +9,7 @@
 //! scatter/gather descriptors, so — exactly as in Figure 3 — there is
 //! no marshal-throughput number for that workload.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::types::{Dirent, Rect, Stat};
 use crate::Marshaler;
@@ -75,7 +75,10 @@ impl OrbelineStyle {
     /// A fresh marshaler.
     #[must_use]
     pub fn new() -> Self {
-        OrbelineStyle { last: Vec::new(), orb_lock: Mutex::new(()) }
+        OrbelineStyle {
+            last: Vec::new(),
+            orb_lock: Mutex::new(()),
+        }
     }
 
     /// Direct access to the wire bytes.
@@ -88,13 +91,19 @@ impl OrbelineStyle {
     /// boxing models the ORB's heap-allocated message object).
     #[allow(clippy::unnecessary_box_returns)]
     fn enter(&self) -> Box<CdrBuffer> {
-        let _g = self.orb_lock.lock();
-        Box::new(CdrBuffer { data: Vec::new(), pos: 0 })
+        let _g = self.orb_lock.lock().expect("orb lock poisoned");
+        Box::new(CdrBuffer {
+            data: Vec::new(),
+            pos: 0,
+        })
     }
 
     fn reopen(&self) -> Box<CdrBuffer> {
-        let _g = self.orb_lock.lock();
-        Box::new(CdrBuffer { data: self.last.clone(), pos: 0 })
+        let _g = self.orb_lock.lock().expect("orb lock poisoned");
+        Box::new(CdrBuffer {
+            data: self.last.clone(),
+            pos: 0,
+        })
     }
 
     fn put_rect(buf: &mut dyn MarshalBuffer, r: &Rect) {
@@ -106,8 +115,14 @@ impl OrbelineStyle {
 
     fn get_rect(buf: &mut dyn MarshalBuffer) -> Rect {
         Rect {
-            min: crate::types::Point { x: buf.get_long(), y: buf.get_long() },
-            max: crate::types::Point { x: buf.get_long(), y: buf.get_long() },
+            min: crate::types::Point {
+                x: buf.get_long(),
+                y: buf.get_long(),
+            },
+            max: crate::types::Point {
+                x: buf.get_long(),
+                y: buf.get_long(),
+            },
         }
     }
 
@@ -247,6 +262,9 @@ mod tests {
         m.marshal_rects(&workload::rects(100));
         let big = m.bytes().len();
         m.marshal_rects(&workload::rects(1));
-        assert!(m.bytes().len() < big, "second message did not inherit capacity");
+        assert!(
+            m.bytes().len() < big,
+            "second message did not inherit capacity"
+        );
     }
 }

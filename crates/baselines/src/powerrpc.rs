@@ -9,9 +9,7 @@
 //! below.
 
 use crate::types::{Dirent, Rect};
-use crate::xdr_stream::{
-    xdr_dirent, xdr_long, xdr_rect, xdr_u_long, XdrStream,
-};
+use crate::xdr_stream::{xdr_dirent, xdr_long, xdr_rect, xdr_u_long, XdrStream};
 use crate::Marshaler;
 
 /// The compatibility-layer element thunk: one dynamic dispatch per
@@ -27,7 +25,9 @@ impl PowerRpcStyle {
     /// A fresh marshaler.
     #[must_use]
     pub fn new() -> Self {
-        PowerRpcStyle { xdrs: XdrStream::encoding() }
+        PowerRpcStyle {
+            xdrs: XdrStream::encoding(),
+        }
     }
 
     /// Direct access to the wire bytes.

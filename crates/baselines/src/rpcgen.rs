@@ -8,9 +8,7 @@
 //! from gratuitous allocation.
 
 use crate::types::{Dirent, Rect};
-use crate::xdr_stream::{
-    xdr_array, xdr_dirent, xdr_long, xdr_rect, XdrProc, XdrStream,
-};
+use crate::xdr_stream::{xdr_array, xdr_dirent, xdr_long, xdr_rect, XdrProc, XdrStream};
 use crate::Marshaler;
 
 /// `rpcgen`-style marshaler state (one per client/server).
@@ -22,7 +20,9 @@ impl RpcgenStyle {
     /// A fresh marshaler with an empty, reusable stream.
     #[must_use]
     pub fn new() -> Self {
-        RpcgenStyle { xdrs: XdrStream::encoding() }
+        RpcgenStyle {
+            xdrs: XdrStream::encoding(),
+        }
     }
 
     /// Direct access to the wire bytes, for end-to-end harnesses.
@@ -46,42 +46,66 @@ impl Marshaler for RpcgenStyle {
     fn marshal_ints(&mut self, v: &[i32]) -> Option<usize> {
         self.xdrs.reset_encode();
         let mut owned = v.to_vec();
-        assert!(xdr_array(&mut self.xdrs, &mut owned, xdr_long as XdrProc<i32>));
+        assert!(xdr_array(
+            &mut self.xdrs,
+            &mut owned,
+            xdr_long as XdrProc<i32>
+        ));
         Some(self.xdrs.bytes().len())
     }
 
     fn unmarshal_ints(&mut self) -> Vec<i32> {
         self.xdrs.rewind_decode();
         let mut out = Vec::new();
-        assert!(xdr_array(&mut self.xdrs, &mut out, xdr_long as XdrProc<i32>));
+        assert!(xdr_array(
+            &mut self.xdrs,
+            &mut out,
+            xdr_long as XdrProc<i32>
+        ));
         out
     }
 
     fn marshal_rects(&mut self, v: &[Rect]) -> usize {
         self.xdrs.reset_encode();
         let mut owned = v.to_vec();
-        assert!(xdr_array(&mut self.xdrs, &mut owned, xdr_rect as XdrProc<Rect>));
+        assert!(xdr_array(
+            &mut self.xdrs,
+            &mut owned,
+            xdr_rect as XdrProc<Rect>
+        ));
         self.xdrs.bytes().len()
     }
 
     fn unmarshal_rects(&mut self) -> Vec<Rect> {
         self.xdrs.rewind_decode();
         let mut out = Vec::new();
-        assert!(xdr_array(&mut self.xdrs, &mut out, xdr_rect as XdrProc<Rect>));
+        assert!(xdr_array(
+            &mut self.xdrs,
+            &mut out,
+            xdr_rect as XdrProc<Rect>
+        ));
         out
     }
 
     fn marshal_dirents(&mut self, v: &[Dirent]) -> usize {
         self.xdrs.reset_encode();
         let mut owned = v.to_vec();
-        assert!(xdr_array(&mut self.xdrs, &mut owned, xdr_dirent as XdrProc<Dirent>));
+        assert!(xdr_array(
+            &mut self.xdrs,
+            &mut owned,
+            xdr_dirent as XdrProc<Dirent>
+        ));
         self.xdrs.bytes().len()
     }
 
     fn unmarshal_dirents(&mut self) -> Vec<Dirent> {
         self.xdrs.rewind_decode();
         let mut out = Vec::new();
-        assert!(xdr_array(&mut self.xdrs, &mut out, xdr_dirent as XdrProc<Dirent>));
+        assert!(xdr_array(
+            &mut self.xdrs,
+            &mut out,
+            xdr_dirent as XdrProc<Dirent>
+        ));
         out
     }
 }

@@ -33,7 +33,6 @@ pub struct Stat {
     pub tag: [u8; 16],
 }
 
-
 /// A directory entry: variable-length name plus fixed stat record.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Dirent {
@@ -69,7 +68,10 @@ pub mod workload {
         (0..n as i32)
             .map(|i| Rect {
                 min: Point { x: i, y: -i },
-                max: Point { x: i + 100, y: i + 200 },
+                max: Point {
+                    x: i + 100,
+                    y: i + 200,
+                },
             })
             .collect()
     }
@@ -95,7 +97,10 @@ pub mod workload {
                 for (j, t) in tag.iter_mut().enumerate() {
                     *t = b'A' + ((i + j) % 26) as u8;
                 }
-                Dirent { name, info: Stat { fields, tag } }
+                Dirent {
+                    name,
+                    info: Stat { fields, tag },
+                }
             })
             .collect()
     }

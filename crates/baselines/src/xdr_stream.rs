@@ -39,7 +39,11 @@ impl XdrStream {
     /// caller keeps it around, as `rpcgen` stubs kept their `XDR`).
     #[must_use]
     pub fn encoding() -> Self {
-        XdrStream { data: Vec::new(), pos: 0, op: XdrOp::Encode }
+        XdrStream {
+            data: Vec::new(),
+            pos: 0,
+            op: XdrOp::Encode,
+        }
     }
 
     /// Resets for a new encode pass, keeping the allocation.

@@ -1,87 +1,79 @@
-//! Criterion version of the §3 ablations: each optimization toggled
-//! in the generated stubs.
+//! §3 ablation micro-benchmarks: each optimization toggled in the
+//! generated stubs.
 //!
 //! Run with `cargo bench -p flick-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use flick_bench::data;
 use flick_bench::generated::{
     iiop_bench, iiop_nomemcpy, onc_bench, onc_nochunk, onc_nohoist, onc_noinline, onc_noopt,
 };
+use flick_bench::microbench::{bench, group_header};
 use flick_runtime::MarshalBuf;
 
+const WORKLOAD_BYTES: u64 = 512 << 10;
+
 macro_rules! pair {
-    ($g:ident, $name:literal, $on_mod:ident :: $f:ident ($on_data:expr), $off_mod:ident :: $f2:ident ($off_data:expr)) => {{
+    ($name:literal, $on_mod:ident :: $f:ident ($on_data:expr), $off_mod:ident :: $f2:ident ($off_data:expr)) => {{
         let on_vals = $on_data;
         let mut buf = MarshalBuf::new();
-        $g.bench_function(concat!($name, "/on"), |b| {
-            b.iter(|| {
+        bench(
+            "ablations",
+            concat!($name, "/on"),
+            Some(WORKLOAD_BYTES),
+            || {
                 buf.clear();
                 $on_mod::$f(&mut buf, &on_vals);
-                std::hint::black_box(buf.len())
-            });
-        });
+                std::hint::black_box(buf.len());
+            },
+        );
         let off_vals = $off_data;
         let mut buf = MarshalBuf::new();
-        $g.bench_function(concat!($name, "/off"), |b| {
-            b.iter(|| {
+        bench(
+            "ablations",
+            concat!($name, "/off"),
+            Some(WORKLOAD_BYTES),
+            || {
                 buf.clear();
                 $off_mod::$f2(&mut buf, &off_vals);
-                std::hint::black_box(buf.len())
-            });
-        });
+                std::hint::black_box(buf.len());
+            },
+        );
     }};
 }
 
-fn ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.throughput(Throughput::Bytes(512 << 10));
+fn main() {
+    group_header("ablations");
 
     pair!(
-        g,
         "hoist_checks_dirents",
         onc_bench::encode_send_dirents_request(data::onc::dirents(2048)),
         onc_nohoist::encode_send_dirents_request(data::onc_nohoist::dirents(2048))
     );
     pair!(
-        g,
         "chunking_rects",
         onc_bench::encode_send_rects_request(data::onc::rects(4096)),
         onc_nochunk::encode_send_rects_request(data::onc_nochunk::rects(4096))
     );
     pair!(
-        g,
         "memcpy_ints",
         iiop_bench::encode_send_ints_request(data::iiop::ints(131_072)),
         iiop_nomemcpy::encode_send_ints_request(data::iiop_nomemcpy::ints(131_072))
     );
     pair!(
-        g,
         "memcpy_strings_dirents",
         iiop_bench::encode_send_dirents_request(data::iiop::dirents(2048)),
         iiop_nomemcpy::encode_send_dirents_request(data::iiop_nomemcpy::dirents(2048))
     );
     pair!(
-        g,
         "inlining_dirents",
         onc_bench::encode_send_dirents_request(data::onc::dirents(2048)),
         onc_noinline::encode_send_dirents_request(data::onc_noinline::dirents(2048))
     );
     pair!(
-        g,
         "all_opts_dirents",
         onc_bench::encode_send_dirents_request(data::onc::dirents(2048)),
         onc_noopt::encode_send_dirents_request(data::onc_noopt::dirents(2048))
     );
-    g.finish();
-}
 
-criterion_group! {
-    name = abl;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(500))
-        .warm_up_time(std::time::Duration::from_millis(200));
-    targets = ablations
+    flick_bench::bin_common::emit_telemetry_snapshot();
 }
-criterion_main!(abl);

@@ -1,12 +1,12 @@
-//! Criterion end-to-end benchmark: complete request/reply exchanges
-//! over the in-process transports (real message framing, real
-//! dispatch), plus the word-wise vs linear demultiplexing comparison.
+//! End-to-end micro-benchmark: complete request/reply exchanges over
+//! the in-process transports (real message framing, real dispatch),
+//! plus the word-wise vs linear demultiplexing comparison.
 //!
 //! Run with `cargo bench -p flick-bench --bench endtoend`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use flick_bench::data;
 use flick_bench::generated::onc_bench;
+use flick_bench::microbench::{bench, group_header};
 use flick_runtime::oncrpc::{self, CallHeader};
 use flick_runtime::{MarshalBuf, MsgReader};
 
@@ -27,20 +27,28 @@ impl onc_bench::Server for NullServer {
 /// One full ONC RPC round trip, in-process: marshal call header +
 /// body, frame the record, deframe it, parse the header, dispatch
 /// (unmarshal + work call), marshal the reply, parse it back.
-fn full_rpc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("endtoend_rpc");
+fn full_rpc() {
+    group_header("endtoend_rpc");
     for &n in &[64usize, 4096] {
         let bytes = n * 4;
-        g.throughput(Throughput::Bytes(bytes as u64));
         let vals = data::onc::ints(n);
         let mut call_buf = MarshalBuf::new();
         let mut reply_buf = MarshalBuf::new();
         let mut srv = NullServer;
-        g.bench_function(format!("onc_ints_{bytes}B"), |b| {
-            b.iter(|| {
+        bench(
+            "endtoend_rpc",
+            &format!("onc_ints_{bytes}B"),
+            Some(bytes as u64),
+            || {
                 // Client side: header + body + record marking.
                 call_buf.clear();
-                CallHeader { xid: 7, prog: 0x2000_0042, vers: 1, proc: 1 }.write(&mut call_buf);
+                CallHeader {
+                    xid: 7,
+                    prog: 0x2000_0042,
+                    vers: 1,
+                    proc: 1,
+                }
+                .write(&mut call_buf);
                 onc_bench::encode_send_ints_request(&mut call_buf, &vals);
                 let framed = oncrpc::frame_record(call_buf.as_slice());
 
@@ -56,16 +64,15 @@ fn full_rpc(c: &mut Criterion) {
                 // Client side: parse the reply.
                 let mut rr = MsgReader::new(reply_buf.as_slice());
                 std::hint::black_box(oncrpc::read_reply(&mut rr).expect("reply"));
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
 /// §3.3 demultiplexing: the generated word-wise switch against a
 /// straightforward linear string comparison, across the Bench
 /// interface's three same-prefix operation names.
-fn demux(c: &mut Criterion) {
+fn demux() {
     use flick_bench::generated::iiop_bench;
 
     struct Srv;
@@ -86,50 +93,37 @@ fn demux(c: &mut Criterion) {
     let body = body.as_slice().to_vec();
     let names: [&[u8]; 3] = [b"send_ints", b"send_rects", b"send_dirents"];
 
-    let mut g = c.benchmark_group("demux");
+    group_header("demux");
     let mut srv = Srv;
     let mut reply = MarshalBuf::new();
-    g.bench_function("word_wise_switch", |b| {
-        b.iter(|| {
-            reply.clear();
-            // Only the ints body is valid; the others fail decode fast,
-            // which is fine — we are timing the name demultiplex.
-            let _ = iiop_bench::dispatch_by_name(names[0], &body, &mut reply, &mut srv);
-            std::hint::black_box(&reply);
-        });
+    bench("demux", "word_wise_switch", None, || {
+        reply.clear();
+        // Only the ints body is valid; the others fail decode fast,
+        // which is fine — we are timing the name demultiplex.
+        let _ = iiop_bench::dispatch_by_name(names[0], &body, &mut reply, &mut srv);
+        std::hint::black_box(&reply);
     });
-    g.bench_function("linear_strcmp", |b| {
-        b.iter(|| {
-            reply.clear();
-            // The traditional shape: strcmp against each name in turn.
-            let op: &[u8] = names[0];
-            let hit = if op == b"send_dirents" {
-                3
-            } else if op == b"send_rects" {
-                2
-            } else if op == b"send_ints" {
-                1
-            } else {
-                0
-            };
-            let _ = flick_bench::generated::onc_bench::dispatch(
-                hit,
-                &body,
-                &mut reply,
-                &mut NullServer,
-            );
-            std::hint::black_box(&reply);
-        });
+    bench("demux", "linear_strcmp", None, || {
+        reply.clear();
+        // The traditional shape: strcmp against each name in turn.
+        let op: &[u8] = names[0];
+        let hit = if op == b"send_dirents" {
+            3
+        } else if op == b"send_rects" {
+            2
+        } else if op == b"send_ints" {
+            1
+        } else {
+            0
+        };
+        let _ =
+            flick_bench::generated::onc_bench::dispatch(hit, &body, &mut reply, &mut NullServer);
+        std::hint::black_box(&reply);
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = e2e;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(500))
-        .warm_up_time(std::time::Duration::from_millis(200));
-    targets = full_rpc, demux
+fn main() {
+    full_rpc();
+    demux();
+    flick_bench::bin_common::emit_telemetry_snapshot();
 }
-criterion_main!(e2e);

@@ -1,130 +1,116 @@
-//! Criterion version of Figure 3: marshal throughput per system.
+//! Figure 3 micro-benchmark: marshal throughput per system.
 //!
 //! Run with `cargo bench -p flick-bench --bench fig3_marshal`.
-//! Throughput is reported by Criterion per (system, workload, size).
+//! Throughput is reported per (system, workload, size).  The full
+//! size sweep lives in the `fig3_marshal_throughput` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flick_baselines::types::workload;
 use flick_baselines::{ilu, orbeline, powerrpc, rpcgen, Marshaler};
 use flick_bench::data;
 use flick_bench::generated::{iiop_bench, onc_bench};
+use flick_bench::microbench::{bench, group_header};
 use flick_runtime::MarshalBuf;
 
-/// The representative sizes benched under Criterion (the full sweep
-/// lives in the `fig3_marshal_throughput` binary).
+/// The representative sizes benched here.
 const SIZES: &[usize] = &[1 << 10, 1 << 16, 1 << 20];
 
-fn bench_ints(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_ints");
+fn bench_ints() {
+    group_header("fig3_ints");
     for &bytes in SIZES {
         let n = bytes / 4;
-        g.throughput(Throughput::Bytes(bytes as u64));
+        let tp = Some(bytes as u64);
 
         let vals = data::onc::ints(n);
         let mut buf = MarshalBuf::new();
-        g.bench_with_input(BenchmarkId::new("flick_onc", bytes), &bytes, |b, _| {
-            b.iter(|| {
-                buf.clear();
-                onc_bench::encode_send_ints_request(&mut buf, &vals);
-                std::hint::black_box(buf.len())
-            });
+        bench("fig3_ints", &format!("flick_onc/{bytes}"), tp, || {
+            buf.clear();
+            onc_bench::encode_send_ints_request(&mut buf, &vals);
+            std::hint::black_box(buf.len());
         });
 
         let vals = data::iiop::ints(n);
         let mut buf = MarshalBuf::new();
-        g.bench_with_input(BenchmarkId::new("flick_iiop", bytes), &bytes, |b, _| {
-            b.iter(|| {
-                buf.clear();
-                iiop_bench::encode_send_ints_request(&mut buf, &vals);
-                std::hint::black_box(buf.len())
-            });
+        bench("fig3_ints", &format!("flick_iiop/{bytes}"), tp, || {
+            buf.clear();
+            iiop_bench::encode_send_ints_request(&mut buf, &vals);
+            std::hint::black_box(buf.len());
         });
 
         let vals = workload::ints(n);
         let mut m = rpcgen::RpcgenStyle::new();
-        g.bench_with_input(BenchmarkId::new("rpcgen", bytes), &bytes, |b, _| {
-            b.iter(|| std::hint::black_box(m.marshal_ints(&vals)));
+        bench("fig3_ints", &format!("rpcgen/{bytes}"), tp, || {
+            std::hint::black_box(m.marshal_ints(&vals));
         });
 
         let mut m = powerrpc::PowerRpcStyle::new();
-        g.bench_with_input(BenchmarkId::new("powerrpc", bytes), &bytes, |b, _| {
-            b.iter(|| std::hint::black_box(m.marshal_ints(&vals)));
+        bench("fig3_ints", &format!("powerrpc/{bytes}"), tp, || {
+            std::hint::black_box(m.marshal_ints(&vals));
         });
 
         let mut m = ilu::IluStyle::new();
-        g.bench_with_input(BenchmarkId::new("ilu", bytes), &bytes, |b, _| {
-            b.iter(|| std::hint::black_box(m.marshal_ints(&vals)));
+        bench("fig3_ints", &format!("ilu/{bytes}"), tp, || {
+            std::hint::black_box(m.marshal_ints(&vals));
         });
     }
-    g.finish();
 }
 
-fn bench_rects(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_rects");
+fn bench_rects() {
+    group_header("fig3_rects");
     for &bytes in SIZES {
         let n = bytes / 16;
-        g.throughput(Throughput::Bytes(bytes as u64));
+        let tp = Some(bytes as u64);
 
         let vals = data::onc::rects(n);
         let mut buf = MarshalBuf::new();
-        g.bench_with_input(BenchmarkId::new("flick_onc", bytes), &bytes, |b, _| {
-            b.iter(|| {
-                buf.clear();
-                onc_bench::encode_send_rects_request(&mut buf, &vals);
-                std::hint::black_box(buf.len())
-            });
+        bench("fig3_rects", &format!("flick_onc/{bytes}"), tp, || {
+            buf.clear();
+            onc_bench::encode_send_rects_request(&mut buf, &vals);
+            std::hint::black_box(buf.len());
         });
 
         let vals = workload::rects(n);
         let mut m = rpcgen::RpcgenStyle::new();
-        g.bench_with_input(BenchmarkId::new("rpcgen", bytes), &bytes, |b, _| {
-            b.iter(|| std::hint::black_box(m.marshal_rects(&vals)));
+        bench("fig3_rects", &format!("rpcgen/{bytes}"), tp, || {
+            std::hint::black_box(m.marshal_rects(&vals));
         });
 
         let mut m = orbeline::OrbelineStyle::new();
-        g.bench_with_input(BenchmarkId::new("orbeline", bytes), &bytes, |b, _| {
-            b.iter(|| std::hint::black_box(m.marshal_rects(&vals)));
+        bench("fig3_rects", &format!("orbeline/{bytes}"), tp, || {
+            std::hint::black_box(m.marshal_rects(&vals));
         });
     }
-    g.finish();
 }
 
-fn bench_dirents(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_dirents");
+fn bench_dirents() {
+    group_header("fig3_dirents");
     for &bytes in &[1usize << 10, 1 << 16, 1 << 19] {
         let n = bytes / 256;
-        g.throughput(Throughput::Bytes(bytes as u64));
+        let tp = Some(bytes as u64);
 
         let vals = data::onc::dirents(n);
         let mut buf = MarshalBuf::new();
-        g.bench_with_input(BenchmarkId::new("flick_onc", bytes), &bytes, |b, _| {
-            b.iter(|| {
-                buf.clear();
-                onc_bench::encode_send_dirents_request(&mut buf, &vals);
-                std::hint::black_box(buf.len())
-            });
+        bench("fig3_dirents", &format!("flick_onc/{bytes}"), tp, || {
+            buf.clear();
+            onc_bench::encode_send_dirents_request(&mut buf, &vals);
+            std::hint::black_box(buf.len());
         });
 
         let vals = workload::dirents(n);
         let mut m = rpcgen::RpcgenStyle::new();
-        g.bench_with_input(BenchmarkId::new("rpcgen", bytes), &bytes, |b, _| {
-            b.iter(|| std::hint::black_box(m.marshal_dirents(&vals)));
+        bench("fig3_dirents", &format!("rpcgen/{bytes}"), tp, || {
+            std::hint::black_box(m.marshal_dirents(&vals));
         });
 
         let mut m = ilu::IluStyle::new();
-        g.bench_with_input(BenchmarkId::new("ilu", bytes), &bytes, |b, _| {
-            b.iter(|| std::hint::black_box(m.marshal_dirents(&vals)));
+        bench("fig3_dirents", &format!("ilu/{bytes}"), tp, || {
+            std::hint::black_box(m.marshal_dirents(&vals));
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = fig3;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(500))
-        .warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_ints, bench_rects, bench_dirents
+fn main() {
+    bench_ints();
+    bench_rects();
+    bench_dirents();
+    flick_bench::bin_common::emit_telemetry_snapshot();
 }
-criterion_main!(fig3);

@@ -15,7 +15,9 @@
 
 use flick_bench::data;
 use flick_bench::endtoend::time_one;
-use flick_bench::generated::{iiop_bench, iiop_nomemcpy, onc_bench, onc_nochunk, onc_nohoist, onc_noinline, onc_noopt};
+use flick_bench::generated::{
+    iiop_bench, iiop_nomemcpy, onc_bench, onc_nochunk, onc_nohoist, onc_noinline, onc_noopt,
+};
 use flick_runtime::MarshalBuf;
 
 fn report(name: &str, claim: &str, on: std::time::Duration, off: std::time::Duration) {
@@ -69,28 +71,70 @@ fn main() {
     // The unhoisted variant checks free space before every atomic
     // datum — the paper's description of traditional stubs; the
     // hoisted one covers whole regions with single checks.
-    let on = time_encode!(onc_bench::encode_send_dirents_request, data::onc::dirents(2048));
-    let off = time_encode!(onc_nohoist::encode_send_dirents_request, data::onc_nohoist::dirents(2048));
-    report("buffer mgmt (§3.1)", "up to 12% on large complex messages", on, off);
+    let on = time_encode!(
+        onc_bench::encode_send_dirents_request,
+        data::onc::dirents(2048)
+    );
+    let off = time_encode!(
+        onc_nohoist::encode_send_dirents_request,
+        data::onc_nohoist::dirents(2048)
+    );
+    report(
+        "buffer mgmt (§3.1)",
+        "up to 12% on large complex messages",
+        on,
+        off,
+    );
 
     // §3.2 chunking: rect structures (fixed-layout regions).
     let on = time_encode!(onc_bench::encode_send_rects_request, data::onc::rects(4096));
-    let off = time_encode!(onc_nochunk::encode_send_rects_request, data::onc_nochunk::rects(4096));
+    let off = time_encode!(
+        onc_nochunk::encode_send_rects_request,
+        data::onc_nochunk::rects(4096)
+    );
     report("chunking (§3.2)", "up to 14% on fixed-layout data", on, off);
 
     // §3.2 memcpy: integer arrays under the native-order encoding.
-    let on = time_encode!(iiop_bench::encode_send_ints_request, data::iiop::ints(262_144));
-    let off = time_encode!(iiop_nomemcpy::encode_send_ints_request, data::iiop_nomemcpy::ints(262_144));
-    report("memcpy ints (§3.2)", "the large-array win of Figure 3", on, off);
+    let on = time_encode!(
+        iiop_bench::encode_send_ints_request,
+        data::iiop::ints(262_144)
+    );
+    let off = time_encode!(
+        iiop_nomemcpy::encode_send_ints_request,
+        data::iiop_nomemcpy::ints(262_144)
+    );
+    report(
+        "memcpy ints (§3.2)",
+        "the large-array win of Figure 3",
+        on,
+        off,
+    );
 
     // §3.2 memcpy on character data: dirent names (strings).
-    let on = time_encode!(iiop_bench::encode_send_dirents_request, data::iiop::dirents(1024));
-    let off = time_encode!(iiop_nomemcpy::encode_send_dirents_request, data::iiop_nomemcpy::dirents(1024));
-    report("memcpy strings (§3.2)", "60-70% of string processing time", on, off);
+    let on = time_encode!(
+        iiop_bench::encode_send_dirents_request,
+        data::iiop::dirents(1024)
+    );
+    let off = time_encode!(
+        iiop_nomemcpy::encode_send_dirents_request,
+        data::iiop_nomemcpy::dirents(1024)
+    );
+    report(
+        "memcpy strings (§3.2)",
+        "60-70% of string processing time",
+        on,
+        off,
+    );
 
     // §3.3 inlining: complex data through out-of-line per-type calls.
-    let on = time_encode!(onc_bench::encode_send_dirents_request, data::onc::dirents(1024));
-    let off = time_encode!(onc_noinline::encode_send_dirents_request, data::onc_noinline::dirents(1024));
+    let on = time_encode!(
+        onc_bench::encode_send_dirents_request,
+        data::onc::dirents(1024)
+    );
+    let off = time_encode!(
+        onc_noinline::encode_send_dirents_request,
+        data::onc_noinline::dirents(1024)
+    );
     report("inlining (§3.3)", "up to 60% on complex data", on, off);
 
     // §3.1 parameter management: the server work function receives
@@ -98,8 +142,8 @@ fn main() {
     // presentation) vs owned copies.  Measured through the dispatch
     // path, which is where the presentation decision lives.
     {
-        use flick_bench::generated::{mail_onc, mail_onc_noparam};
         use flick_bench::endtoend::time_one;
+        use flick_bench::generated::{mail_onc, mail_onc_noparam};
         let text: String = std::iter::repeat_n('m', 1024).collect();
         let mut req = MarshalBuf::new();
         mail_onc::encode_send_request(&mut req, &text);
@@ -127,7 +171,12 @@ fn main() {
             reply.clear();
             mail_onc_noparam::dispatch(1, &body, &mut reply, &mut o).expect("dispatch");
         });
-        report("param mgmt (§3.1)", "up to 14% less unmarshal time", on, off);
+        report(
+            "param mgmt (§3.1)",
+            "up to 14% less unmarshal time",
+            on,
+            off,
+        );
     }
 
     // Cold-buffer variant of §3.1: fresh buffer per message, where the
@@ -137,7 +186,13 @@ fn main() {
     report("buffer mgmt (cold)", "first-invocation path", on, off);
 
     // Everything together vs everything off.
-    let on = time_encode!(onc_bench::encode_send_dirents_request, data::onc::dirents(1024));
-    let off = time_encode!(onc_noopt::encode_send_dirents_request, data::onc_noopt::dirents(1024));
+    let on = time_encode!(
+        onc_bench::encode_send_dirents_request,
+        data::onc::dirents(1024)
+    );
+    let off = time_encode!(
+        onc_noopt::encode_send_dirents_request,
+        data::onc_noopt::dirents(1024)
+    );
     report("all optimizations", "the combined Figure 3 gap", on, off);
 }

@@ -42,11 +42,7 @@ fn main() {
                 measure_baseline(&mut orb, w, bytes).map(|m| marshal_bps(bytes, &m)),
             ];
             let flick_best = marshal_bps(bytes, &f_onc).max(marshal_bps(bytes, &f_iiop));
-            let base_best = base
-                .iter()
-                .flatten()
-                .copied()
-                .fold(f64::MIN, f64::max);
+            let base_best = base.iter().flatten().copied().fold(f64::MIN, f64::max);
             let col = |v: Option<f64>| match v {
                 Some(b) => format!("{:>10.1}", b / 1e6),
                 None => format!("{:>10}", "-"),

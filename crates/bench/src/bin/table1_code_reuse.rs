@@ -81,7 +81,10 @@ fn main() {
     println!("Table 1 — Code Reuse within this Flick reproduction");
     println!("(substantive Rust lines, tests excluded; percentages are");
     println!(" component lines vs component + base-library lines)\n");
-    println!("{:<14} {:<28} {:>7} {:>8}", "Phase", "Component", "Lines", "Unique");
+    println!(
+        "{:<14} {:<28} {:>7} {:>8}",
+        "Phase", "Component", "Lines", "Unique"
+    );
 
     type Component = (&'static str, Vec<&'static str>);
     let phases: Vec<(&str, Vec<Component>)> = vec![
@@ -125,7 +128,10 @@ fn main() {
                         "crates/runtime/src",
                     ],
                 ),
-                ("Encodings (IIOP/XDR/Mach/Fluke)", vec!["crates/backend/src/encoding.rs"]),
+                (
+                    "Encodings (IIOP/XDR/Mach/Fluke)",
+                    vec!["crates/backend/src/encoding.rs"],
+                ),
                 ("Transports + driver", vec!["crates/backend/src/lib.rs"]),
             ],
         ),

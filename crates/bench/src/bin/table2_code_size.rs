@@ -85,7 +85,11 @@ fn main() {
     let inlined = sizes(OptFlags::all(), "inline");
     row("Flick (inlined marshal)", &inlined);
     let no_inline = sizes(
-        OptFlags { inline_marshal: false, chunking: false, ..OptFlags::all() },
+        OptFlags {
+            inline_marshal: false,
+            chunking: false,
+            ..OptFlags::all()
+        },
         "outline",
     );
     row("call-per-type (no inline)", &no_inline);

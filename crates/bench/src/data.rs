@@ -27,8 +27,14 @@ macro_rules! workloads_for {
                 flick_baselines::types::workload::rects(n)
                     .into_iter()
                     .map(|r| m::Rect {
-                        min: m::Point { x: r.min.x, y: r.min.y },
-                        max: m::Point { x: r.max.x, y: r.max.y },
+                        min: m::Point {
+                            x: r.min.x,
+                            y: r.min.y,
+                        },
+                        max: m::Point {
+                            x: r.max.x,
+                            y: r.max.y,
+                        },
                     })
                     .collect()
             }
@@ -41,7 +47,10 @@ macro_rules! workloads_for {
                     .into_iter()
                     .map(|d| m::Dirent {
                         name: d.name,
-                        info: m::Stat { fields: d.info.fields, tag: d.info.tag },
+                        info: m::Stat {
+                            fields: d.info.fields,
+                            tag: d.info.tag,
+                        },
                     })
                     .collect()
             }
@@ -66,7 +75,10 @@ mod tests {
         let ours = super::onc::rects(4);
         let base = flick_baselines::types::workload::rects(4);
         for (a, b) in ours.iter().zip(base.iter()) {
-            assert_eq!((a.min.x, a.min.y, a.max.x, a.max.y), (b.min.x, b.min.y, b.max.x, b.max.y));
+            assert_eq!(
+                (a.min.x, a.min.y, a.max.x, a.max.y),
+                (b.min.x, b.min.y, b.max.x, b.max.y)
+            );
         }
         let ours = super::onc::dirents(2);
         let base = flick_baselines::types::workload::dirents(2);

@@ -64,11 +64,13 @@ pub fn measure_flick_onc(w: Workload, payload_bytes: usize) -> MeasuredStub {
             let wire = buf.as_slice().to_vec();
             let unmarshal = time_one(|| {
                 let mut r = MsgReader::new(&wire);
-                std::hint::black_box(
-                    onc_bench::decode_send_ints_request(&mut r).expect("decodes"),
-                );
+                std::hint::black_box(onc_bench::decode_send_ints_request(&mut r).expect("decodes"));
             });
-            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+            MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes: wire.len(),
+            }
         }
         Workload::Rects => {
             let vals = data::onc::rects(n);
@@ -84,7 +86,11 @@ pub fn measure_flick_onc(w: Workload, payload_bytes: usize) -> MeasuredStub {
                     onc_bench::decode_send_rects_request(&mut r).expect("decodes"),
                 );
             });
-            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+            MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes: wire.len(),
+            }
         }
         Workload::Dirents => {
             let vals = data::onc::dirents(n);
@@ -100,7 +106,11 @@ pub fn measure_flick_onc(w: Workload, payload_bytes: usize) -> MeasuredStub {
                     onc_bench::decode_send_dirents_request(&mut r).expect("decodes"),
                 );
             });
-            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+            MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes: wire.len(),
+            }
         }
     }
 }
@@ -125,7 +135,11 @@ pub fn measure_flick_iiop(w: Workload, payload_bytes: usize) -> MeasuredStub {
                     iiop_bench::decode_send_ints_request(&mut r).expect("decodes"),
                 );
             });
-            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+            MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes: wire.len(),
+            }
         }
         Workload::Rects => {
             let vals = data::iiop::rects(n);
@@ -141,7 +155,11 @@ pub fn measure_flick_iiop(w: Workload, payload_bytes: usize) -> MeasuredStub {
                     iiop_bench::decode_send_rects_request(&mut r).expect("decodes"),
                 );
             });
-            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+            MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes: wire.len(),
+            }
         }
         Workload::Dirents => {
             let vals = data::iiop::dirents(n);
@@ -157,7 +175,11 @@ pub fn measure_flick_iiop(w: Workload, payload_bytes: usize) -> MeasuredStub {
                     iiop_bench::decode_send_dirents_request(&mut r).expect("decodes"),
                 );
             });
-            MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+            MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes: wire.len(),
+            }
         }
     }
 }
@@ -189,7 +211,11 @@ pub fn measure_flick_mach_ints(payload_bytes: usize) -> MeasuredStub {
         let _h = flick_runtime::mach::MachHeader::read(&mut r).expect("header");
         std::hint::black_box(mach_bench::decode_send_ints_request(&mut r).expect("decodes"));
     });
-    MeasuredStub { marshal, unmarshal, wire_bytes: wire.len() }
+    MeasuredStub {
+        marshal,
+        unmarshal,
+        wire_bytes: wire.len(),
+    }
 }
 
 /// Measures one baseline style on one workload/size.
@@ -212,7 +238,11 @@ pub fn measure_baseline(
             let unmarshal = time_one(|| {
                 std::hint::black_box(m.unmarshal_ints());
             });
-            Some(MeasuredStub { marshal, unmarshal, wire_bytes })
+            Some(MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes,
+            })
         }
         Workload::Rects => {
             let vals = workload::rects(n);
@@ -223,7 +253,11 @@ pub fn measure_baseline(
             let unmarshal = time_one(|| {
                 std::hint::black_box(m.unmarshal_rects());
             });
-            Some(MeasuredStub { marshal, unmarshal, wire_bytes })
+            Some(MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes,
+            })
         }
         Workload::Dirents => {
             let vals = workload::dirents(n);
@@ -234,7 +268,11 @@ pub fn measure_baseline(
             let unmarshal = time_one(|| {
                 std::hint::black_box(m.unmarshal_dirents());
             });
-            Some(MeasuredStub { marshal, unmarshal, wire_bytes })
+            Some(MeasuredStub {
+                marshal,
+                unmarshal,
+                wire_bytes,
+            })
         }
     }
 }

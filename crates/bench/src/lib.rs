@@ -10,8 +10,8 @@
 //! * [`hostcal`] — host memory-bandwidth calibration for scaling the
 //!   1997 network models (see `flick_transport::netmodel`).
 //!
-//! Figure/table binaries live in `src/bin/`; Criterion benches in
-//! `benches/`.
+//! Figure/table binaries live in `src/bin/`; micro-benchmarks (built
+//! on [`microbench`]) in `benches/`.
 
 pub mod bin_common;
 pub mod data;
@@ -19,6 +19,7 @@ pub mod endtoend;
 pub mod figures;
 pub mod generated;
 pub mod hostcal;
+pub mod microbench;
 pub mod regen;
 
 /// The §4 message sizes for the int/rect workloads: 64 B – 4 MB.

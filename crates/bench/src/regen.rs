@@ -137,7 +137,10 @@ pub fn jobs() -> Vec<Job> {
             frontend: Frontend::Corba,
             style: Style::RpcgenC,
             transport: Transport::OncTcp,
-            opts: OptFlags { hoist_checks: false, ..OptFlags::all() },
+            opts: OptFlags {
+                hoist_checks: false,
+                ..OptFlags::all()
+            },
         },
         Job {
             out_name: "onc_nochunk.rs",
@@ -147,7 +150,10 @@ pub fn jobs() -> Vec<Job> {
             frontend: Frontend::Corba,
             style: Style::RpcgenC,
             transport: Transport::OncTcp,
-            opts: OptFlags { chunking: false, ..OptFlags::all() },
+            opts: OptFlags {
+                chunking: false,
+                ..OptFlags::all()
+            },
         },
         Job {
             out_name: "onc_noinline.rs",
@@ -157,7 +163,11 @@ pub fn jobs() -> Vec<Job> {
             frontend: Frontend::Corba,
             style: Style::RpcgenC,
             transport: Transport::OncTcp,
-            opts: OptFlags { inline_marshal: false, chunking: false, ..OptFlags::all() },
+            opts: OptFlags {
+                inline_marshal: false,
+                chunking: false,
+                ..OptFlags::all()
+            },
         },
         Job {
             out_name: "onc_noparam.rs",
@@ -167,7 +177,10 @@ pub fn jobs() -> Vec<Job> {
             frontend: Frontend::Corba,
             style: Style::RpcgenC,
             transport: Transport::OncTcp,
-            opts: OptFlags { param_mgmt: false, ..OptFlags::all() },
+            opts: OptFlags {
+                param_mgmt: false,
+                ..OptFlags::all()
+            },
         },
         Job {
             out_name: "mail_onc_noparam.rs",
@@ -177,7 +190,10 @@ pub fn jobs() -> Vec<Job> {
             frontend: Frontend::Onc,
             style: Style::RpcgenC,
             transport: Transport::OncTcp,
-            opts: OptFlags { param_mgmt: false, ..OptFlags::all() },
+            opts: OptFlags {
+                param_mgmt: false,
+                ..OptFlags::all()
+            },
         },
         Job {
             out_name: "iiop_nomemcpy.rs",
@@ -187,7 +203,10 @@ pub fn jobs() -> Vec<Job> {
             frontend: Frontend::Corba,
             style: Style::CorbaC,
             transport: Transport::IiopTcp,
-            opts: OptFlags { memcpy: false, ..OptFlags::all() },
+            opts: OptFlags {
+                memcpy: false,
+                ..OptFlags::all()
+            },
         },
     ]
 }

@@ -2,10 +2,10 @@
 //! round-trips through every back end, and where two systems share a
 //! wire format their bytes are identical.
 
-use flick_bench::data;
-use flick_bench::generated::{fluke_bench, iiop_bench, mach_bench, onc_bench};
 use flick_baselines::types::workload;
 use flick_baselines::Marshaler;
+use flick_bench::data;
+use flick_bench::generated::{fluke_bench, iiop_bench, mach_bench, onc_bench};
 use flick_runtime::{MarshalBuf, MsgReader};
 
 #[test]
@@ -139,7 +139,10 @@ fn truncated_messages_error_not_panic() {
     onc_bench::encode_send_ints_request(&mut buf, &vals);
     for cut in [0usize, 1, 3, 4, 7, 100] {
         let mut r = MsgReader::new(&buf.as_slice()[..cut]);
-        assert!(onc_bench::decode_send_ints_request(&mut r).is_err(), "cut at {cut}");
+        assert!(
+            onc_bench::decode_send_ints_request(&mut r).is_err(),
+            "cut at {cut}"
+        );
     }
 }
 
@@ -174,7 +177,11 @@ impl onc_bench::Server for CountingServer {
 
 #[test]
 fn numeric_dispatch_routes_by_procedure() {
-    let mut srv = CountingServer { ints: 0, rects: 0, dirents: 0 };
+    let mut srv = CountingServer {
+        ints: 0,
+        rects: 0,
+        dirents: 0,
+    };
     let mut reply = MarshalBuf::new();
 
     let mut buf = MarshalBuf::new();
@@ -220,8 +227,7 @@ fn word_wise_name_dispatch_routes_by_operation() {
 
     let mut buf = MarshalBuf::new();
     iiop_bench::encode_send_ints_request(&mut buf, &data::iiop::ints(1));
-    iiop_bench::dispatch_by_name(b"send_ints", buf.as_slice(), &mut reply, &mut srv)
-        .expect("ints");
+    iiop_bench::dispatch_by_name(b"send_ints", buf.as_slice(), &mut reply, &mut srv).expect("ints");
 
     let mut buf = MarshalBuf::new();
     iiop_bench::encode_send_rects_request(&mut buf, &data::iiop::rects(1));
@@ -247,8 +253,7 @@ fn generated_in_sync() {
     // regen_stubs` after compiler changes.
     let dir = flick_bench::regen::generated_dir();
     for (name, fresh) in flick_bench::regen::generate_all() {
-        let committed =
-            std::fs::read_to_string(dir.join(name)).unwrap_or_else(|_| String::new());
+        let committed = std::fs::read_to_string(dir.join(name)).unwrap_or_else(|_| String::new());
         assert_eq!(
             committed, fresh,
             "{name} is stale — run `cargo run -p flick-bench --bin regen_stubs`"

@@ -210,8 +210,14 @@ fn list_marshal_goes_out_of_line() {
     // The recursion forces out-of-line marshal functions even with
     // inlining enabled — visible in the generated source.
     let src = include_str!("../src/generated/list_onc.rs");
-    assert!(src.contains("pub fn marshal_node"), "outline marshal exists");
-    assert!(src.contains("pub fn unmarshal_node"), "outline unmarshal exists");
+    assert!(
+        src.contains("pub fn marshal_node"),
+        "outline marshal exists"
+    );
+    assert!(
+        src.contains("pub fn unmarshal_node"),
+        "outline unmarshal exists"
+    );
     assert!(src.contains("marshal_node(buf,"), "recursive self-call");
 }
 

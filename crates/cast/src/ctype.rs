@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn constructors() {
-        assert_eq!(CType::ptr(CType::Char), CType::Pointer(Box::new(CType::Char)));
+        assert_eq!(
+            CType::ptr(CType::Char),
+            CType::Pointer(Box::new(CType::Char))
+        );
         assert_eq!(
             CType::array(CType::Int, 4),
             CType::Array(Box::new(CType::Int), Some(4))

@@ -172,7 +172,10 @@ impl CExpr {
     /// A call `func(args...)`.
     #[must_use]
     pub fn call(func: impl Into<String>, args: Vec<CExpr>) -> CExpr {
-        CExpr::Call { func: Box::new(CExpr::ident(func)), args }
+        CExpr::Call {
+            func: Box::new(CExpr::ident(func)),
+            args,
+        }
     }
 
     /// `self op rhs`

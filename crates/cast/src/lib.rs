@@ -38,12 +38,20 @@ mod tests {
             name: "Mail_send".into(),
             ret: CType::Void,
             params: vec![
-                CParam { name: "obj".into(), ty: CType::named("Mail") },
-                CParam { name: "msg".into(), ty: CType::ptr(CType::Char) },
+                CParam {
+                    name: "obj".into(),
+                    ty: CType::named("Mail"),
+                },
+                CParam {
+                    name: "msg".into(),
+                    ty: CType::ptr(CType::Char),
+                },
             ],
             body: None,
         };
-        let unit = CUnit { decls: vec![CDecl::Function(f)] };
+        let unit = CUnit {
+            decls: vec![CDecl::Function(f)],
+        };
         let src = Printer::new().unit(&unit);
         assert_eq!(src.trim(), "void Mail_send(Mail obj, char *msg);");
     }
@@ -56,16 +64,24 @@ mod tests {
             name: "Mail_send".into(),
             ret: CType::Void,
             params: vec![
-                CParam { name: "obj".into(), ty: CType::named("Mail") },
-                CParam { name: "msg".into(), ty: CType::ptr(CType::Char) },
-                CParam { name: "len".into(), ty: CType::Int },
+                CParam {
+                    name: "obj".into(),
+                    ty: CType::named("Mail"),
+                },
+                CParam {
+                    name: "msg".into(),
+                    ty: CType::ptr(CType::Char),
+                },
+                CParam {
+                    name: "len".into(),
+                    ty: CType::Int,
+                },
             ],
             body: None,
         };
-        let src = Printer::new().unit(&CUnit { decls: vec![CDecl::Function(f)] });
-        assert_eq!(
-            src.trim(),
-            "void Mail_send(Mail obj, char *msg, int len);"
-        );
+        let src = Printer::new().unit(&CUnit {
+            decls: vec![CDecl::Function(f)],
+        });
+        assert_eq!(src.trim(), "void Mail_send(Mail obj, char *msg, int len);");
     }
 }

@@ -54,7 +54,12 @@ impl Printer {
             CDecl::Struct { tag, fields } => {
                 let _ = writeln!(out, "struct {tag} {{");
                 for f in fields {
-                    let _ = writeln!(out, "{}{};", " ".repeat(self.indent), declarator(&f.ty, &f.name));
+                    let _ = writeln!(
+                        out,
+                        "{}{};",
+                        " ".repeat(self.indent),
+                        declarator(&f.ty, &f.name)
+                    );
                 }
                 out.push_str("};\n");
             }
@@ -65,7 +70,12 @@ impl Printer {
                 }
                 out.push_str("};\n");
             }
-            CDecl::Var { name, ty, init, is_static } => {
+            CDecl::Var {
+                name,
+                ty,
+                init,
+                is_static,
+            } => {
                 if *is_static {
                     out.push_str("static ");
                 }
@@ -143,7 +153,12 @@ impl Printer {
                 }
                 let _ = writeln!(out, "{pad}}}");
             }
-            CStmt::For { init, cond, step, body } => {
+            CStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let part = |e: &Option<CExpr>| e.as_ref().map(expr).unwrap_or_default();
                 let _ = writeln!(
                     out,
@@ -342,12 +357,7 @@ fn expr_prec(e: &CExpr, min: u8) -> String {
         CExpr::Binary(op, l, r) => {
             let p = op.precedence() + 2;
             (
-                format!(
-                    "{} {} {}",
-                    expr_prec(l, p),
-                    op.token(),
-                    expr_prec(r, p + 1)
-                ),
+                format!("{} {} {}", expr_prec(l, p), op.token(), expr_prec(r, p + 1)),
                 p,
             )
         }
@@ -360,10 +370,7 @@ fn expr_prec(e: &CExpr, min: u8) -> String {
             ),
             2,
         ),
-        CExpr::Assign(l, r) => (
-            format!("{} = {}", expr_prec(l, 14), expr_prec(r, 1)),
-            1,
-        ),
+        CExpr::Assign(l, r) => (format!("{} = {}", expr_prec(l, 14), expr_prec(r, 1)), 1),
         CExpr::AssignOp(op, l, r) => (
             format!("{} {}= {}", expr_prec(l, 14), op.token(), expr_prec(r, 1)),
             1,
@@ -414,12 +421,18 @@ mod tests {
         );
         assert_eq!(
             declarator(
-                &CType::ptr(CType::Function { ret: Box::new(CType::Int), params: vec![CType::Void] }),
+                &CType::ptr(CType::Function {
+                    ret: Box::new(CType::Int),
+                    params: vec![CType::Void]
+                }),
                 "fp"
             ),
             "int (*fp)(void)"
         );
-        assert_eq!(declarator(&CType::StructRef("stat".into()), "st"), "struct stat st");
+        assert_eq!(
+            declarator(&CType::StructRef("stat".into()), "st"),
+            "struct stat st"
+        );
     }
 
     #[test]
@@ -451,7 +464,10 @@ mod tests {
 
     #[test]
     fn postfix_chains() {
-        let e = CExpr::ident("p").arrow("data").index(CExpr::Int(0)).member("x");
+        let e = CExpr::ident("p")
+            .arrow("data")
+            .index(CExpr::Int(0))
+            .member("x");
         assert_eq!(expr(&e), "p->data[0].x");
         let e = CExpr::ident("ptr").deref().member("f");
         assert_eq!(expr(&e), "(*ptr).f");
@@ -497,7 +513,10 @@ mod tests {
             },
             0,
         );
-        assert_eq!(out, "if (n > 0) {\n    return 1;\n} else {\n    return 0;\n}\n");
+        assert_eq!(
+            out,
+            "if (n > 0) {\n    return 1;\n} else {\n    return 0;\n}\n"
+        );
     }
 
     #[test]
@@ -509,13 +528,22 @@ mod tests {
             &CStmt::Switch {
                 scrutinee: CExpr::ident("op"),
                 cases: vec![
-                    SwitchCase { values: vec![1, 2], body: vec![CStmt::expr(CExpr::call("f", vec![]))] },
-                    SwitchCase { values: vec![], body: vec![CStmt::Return(Some(CExpr::Int(-1)))] },
+                    SwitchCase {
+                        values: vec![1, 2],
+                        body: vec![CStmt::expr(CExpr::call("f", vec![]))],
+                    },
+                    SwitchCase {
+                        values: vec![],
+                        body: vec![CStmt::Return(Some(CExpr::Int(-1)))],
+                    },
                 ],
             },
             0,
         );
-        assert!(out.contains("case 1:\ncase 2:\n    f();\n    break;"), "{out}");
+        assert!(
+            out.contains("case 1:\ncase 2:\n    f();\n    break;"),
+            "{out}"
+        );
         assert!(out.contains("default:\n    return -1;\n"), "{out}");
         // No break after return.
         assert!(!out.contains("return -1;\n    break"), "{out}");
@@ -528,8 +556,14 @@ mod tests {
             name: "add".into(),
             ret: CType::Int,
             params: vec![
-                CParam { name: "a".into(), ty: CType::Int },
-                CParam { name: "b".into(), ty: CType::Int },
+                CParam {
+                    name: "a".into(),
+                    ty: CType::Int,
+                },
+                CParam {
+                    name: "b".into(),
+                    ty: CType::Int,
+                },
             ],
             body: Some(vec![CStmt::Return(Some(
                 CExpr::ident("a").bin(BinOp::Add, CExpr::ident("b")),
@@ -546,7 +580,10 @@ mod tests {
         let mut out = String::new();
         p.decl(
             &mut out,
-            &CDecl::Typedef { name: "Mail".into(), ty: CType::ptr(CType::Void) },
+            &CDecl::Typedef {
+                name: "Mail".into(),
+                ty: CType::ptr(CType::Void),
+            },
         );
         assert_eq!(out, "typedef void *Mail;\n");
         out.clear();
@@ -555,8 +592,14 @@ mod tests {
             &CDecl::Struct {
                 tag: "point".into(),
                 fields: vec![
-                    CField { name: "x".into(), ty: CType::Int },
-                    CField { name: "y".into(), ty: CType::Int },
+                    CField {
+                        name: "x".into(),
+                        ty: CType::Int,
+                    },
+                    CField {
+                        name: "y".into(),
+                        ty: CType::Int,
+                    },
                 ],
             },
         );

@@ -86,13 +86,21 @@ impl CStmt {
     /// Shorthand for a declaration without initializer.
     #[must_use]
     pub fn decl(name: impl Into<String>, ty: CType) -> CStmt {
-        CStmt::Decl { name: name.into(), ty, init: None }
+        CStmt::Decl {
+            name: name.into(),
+            ty,
+            init: None,
+        }
     }
 
     /// Shorthand for a declaration with initializer.
     #[must_use]
     pub fn decl_init(name: impl Into<String>, ty: CType, init: CExpr) -> CStmt {
-        CStmt::Decl { name: name.into(), ty, init: Some(init) }
+        CStmt::Decl {
+            name: name.into(),
+            ty,
+            init: Some(init),
+        }
     }
 }
 

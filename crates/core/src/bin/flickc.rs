@@ -27,7 +27,15 @@ struct Args {
     emit_rust: bool,
     opts: OptFlags,
     out_dir: Option<PathBuf>,
+    timings: bool,
+    stats: bool,
+    stats_json: bool,
     input: PathBuf,
+}
+
+enum ParsedArgs {
+    Run(Box<Args>),
+    Help,
 }
 
 const USAGE: &str = "\
@@ -41,10 +49,13 @@ usage: flickc [options] <input.idl|.x|.defs>
   --emit c|rust|both           what to print/write (default both)
   --no-opt                     disable every optimization
   --no-hoist --no-chunk --no-memcpy --no-inline   disable one each
+  --timings                    report per-phase compile times to stderr
+  --stats[=json]               report optimizer decision counts
+                               (with =json, one JSON object to stderr)
   -o DIR                       write <iface>.c / <iface>.rs into DIR
   -h, --help                   this text";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<ParsedArgs, String> {
     let mut frontend = None;
     let mut style = Style::CorbaC;
     let mut transport = Transport::IiopTcp;
@@ -54,15 +65,16 @@ fn parse_args() -> Result<Args, String> {
     let mut emit_rust = true;
     let mut opts = OptFlags::all();
     let mut out_dir = None;
+    let mut timings = false;
+    let mut stats = false;
+    let mut stats_json = false;
     let mut input = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |what: &str| {
-            it.next().ok_or_else(|| format!("{what} requires a value"))
-        };
+        let mut val = |what: &str| it.next().ok_or_else(|| format!("{what} requires a value"));
         match a.as_str() {
-            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-h" | "--help" => return Ok(ParsedArgs::Help),
             "--frontend" => {
                 frontend = Some(match val("--frontend")?.as_str() {
                     "corba" => Frontend::Corba,
@@ -112,6 +124,12 @@ fn parse_args() -> Result<Args, String> {
                 }
                 other => return Err(format!("unknown emit target `{other}`")),
             },
+            "--timings" => timings = true,
+            "--stats" => stats = true,
+            "--stats=json" => {
+                stats = true;
+                stats_json = true;
+            }
             "--no-opt" => opts = OptFlags::none(),
             "--no-hoist" => opts.hoist_checks = false,
             "--no-chunk" => opts.chunking = false,
@@ -129,14 +147,12 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let input = input.ok_or_else(|| format!("no input file\n{USAGE}"))?;
-    let frontend = frontend.unwrap_or_else(|| {
-        match input.extension().and_then(|e| e.to_str()) {
-            Some("x") => Frontend::Onc,
-            Some("defs") => Frontend::Mig,
-            _ => Frontend::Corba,
-        }
+    let frontend = frontend.unwrap_or_else(|| match input.extension().and_then(|e| e.to_str()) {
+        Some("x") => Frontend::Onc,
+        Some("defs") => Frontend::Mig,
+        _ => Frontend::Corba,
     });
-    Ok(Args {
+    Ok(ParsedArgs::Run(Box::new(Args {
         frontend,
         style,
         transport,
@@ -146,8 +162,11 @@ fn parse_args() -> Result<Args, String> {
         emit_rust,
         opts,
         out_dir,
+        timings,
+        stats,
+        stats_json,
         input,
-    })
+    })))
 }
 
 /// Finds the sole interface name when none was given.
@@ -175,7 +194,11 @@ fn infer_interface(frontend: Frontend, text: &str) -> Option<String> {
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(ParsedArgs::Run(a)) => a,
+        Ok(ParsedArgs::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
@@ -193,9 +216,7 @@ fn main() -> ExitCode {
         .clone()
         .or_else(|| infer_interface(args.frontend, &text))
     else {
-        eprintln!(
-            "flickc: could not infer a unique interface; pass --interface NAME"
-        );
+        eprintln!("flickc: could not infer a unique interface; pass --interface NAME");
         return ExitCode::FAILURE;
     };
 
@@ -205,9 +226,38 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprint!("{e}");
+            eprintln!(
+                "flickc: {} error(s), {} warning(s) in phase `{}`",
+                e.errors,
+                e.warnings,
+                e.phase.name()
+            );
             return ExitCode::FAILURE;
         }
     };
+
+    if args.timings {
+        eprintln!(
+            "-- timings: {} -> {} -> {} --",
+            out.report.frontend, out.report.style, out.report.transport
+        );
+        for line in out.report.trace.to_text().lines() {
+            eprintln!("{line}");
+        }
+    }
+    if args.stats {
+        if args.stats_json {
+            eprintln!("{}", out.report.to_json());
+        } else {
+            eprintln!(
+                "-- optimizer stats: {} -> {} -> {} --",
+                out.report.frontend, out.report.style, out.report.transport
+            );
+            for (name, v) in &out.report.trace.counters {
+                eprintln!("{name:<32} {v}");
+            }
+        }
+    }
 
     match &args.out_dir {
         None => {

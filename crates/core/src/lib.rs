@@ -69,13 +69,57 @@ pub struct CompileOutput {
     pub c_source: String,
     /// Generated Rust stub source (executed by the benchmarks).
     pub rust_source: String,
+    /// Pass-level timings and optimizer decision counts.
+    pub report: CompileReport,
 }
 
-/// A compilation failure, with rendered diagnostics.
+/// Which pipeline phase a compilation failed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Front-end parsing (IDL → AOI, or MIG → PRES-C directly).
+    Parse,
+    /// Presentation generation (AOI → PRES-C).
+    Presgen,
+    /// Back end (planning and emission).
+    Backend,
+}
+
+impl Phase {
+    /// Stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Presgen => "presgen",
+            Phase::Backend => "backend",
+        }
+    }
+}
+
+/// A compilation failure, with rendered diagnostics and structured
+/// counts.
 #[derive(Clone, Debug)]
 pub struct CompileError {
     /// Human-readable report (already includes source excerpts).
     pub report: String,
+    /// The phase that failed.
+    pub phase: Phase,
+    /// Number of error diagnostics.
+    pub errors: usize,
+    /// Number of warning diagnostics.
+    pub warnings: usize,
+}
+
+impl CompileError {
+    fn from_diags(phase: Phase, diags: &Diagnostics, file: &SourceFile) -> Self {
+        let errors = diags.error_count();
+        CompileError {
+            report: diags.render_all(file),
+            phase,
+            errors: errors.max(1),
+            warnings: diags.len() - errors,
+        }
+    }
 }
 
 impl std::fmt::Display for CompileError {
@@ -85,6 +129,46 @@ impl std::fmt::Display for CompileError {
 }
 
 impl std::error::Error for CompileError {}
+
+/// Pass-level timings and optimizer decision counts for one
+/// successful compile, for `flickc --timings` / `--stats`.
+#[derive(Clone, Debug)]
+pub struct CompileReport {
+    /// Front-end name.
+    pub frontend: &'static str,
+    /// Presentation style name (as recorded in the PRES-C).
+    pub style: String,
+    /// Transport name.
+    pub transport: &'static str,
+    /// Spans (`parse`, `presgen`, `backend.plan`, `backend.emit-c`,
+    /// `backend.print-c`, `backend.emit-rust`) plus decision counters.
+    pub trace: flick_telemetry::TraceReport,
+}
+
+impl CompileReport {
+    /// The trace as text, prefixed with the pipeline configuration.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        format!(
+            "pipeline: {} -> {} -> {}\n{}",
+            self.frontend,
+            self.style,
+            self.transport,
+            self.trace.to_text()
+        )
+    }
+
+    /// The report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = flick_telemetry::json::ObjectWriter::new();
+        o.str_field("frontend", self.frontend)
+            .str_field("style", &self.style)
+            .str_field("transport", self.transport)
+            .raw("trace", &self.trace.to_json());
+        o.finish()
+    }
+}
 
 /// A configured compiler: one front end, one presentation style, one
 /// back end.
@@ -102,7 +186,11 @@ impl Compiler {
     /// A compiler for the given components with default optimization.
     #[must_use]
     pub fn new(frontend: Frontend, style: Style, transport: Transport) -> Self {
-        Compiler { frontend, style, backend: BackEnd::new(transport) }
+        Compiler {
+            frontend,
+            style,
+            backend: BackEnd::new(transport),
+        }
     }
 
     /// Replaces the back-end optimization flags (used by ablations).
@@ -128,38 +216,86 @@ impl Compiler {
     ) -> Result<CompileOutput, CompileError> {
         let file = SourceFile::new(file_name, text);
         let mut diags = Diagnostics::new();
+        let mut trace = flick_telemetry::TraceReport::new();
 
         let presc = match self.frontend {
             Frontend::Corba | Frontend::Onc => {
+                let t = std::time::Instant::now();
                 let aoi = match self.frontend {
                     Frontend::Corba => flick_frontend_corba::parse(&file, &mut diags),
                     _ => flick_frontend_onc::parse(&file, &mut diags),
                 };
+                trace.push_span("parse", step_ns(t));
                 if diags.has_errors() {
-                    return Err(CompileError { report: diags.render_all(&file) });
+                    return Err(CompileError::from_diags(Phase::Parse, &diags, &file));
                 }
+                let t = std::time::Instant::now();
                 let presc = self.style.generate(&aoi, iface, side, &mut diags);
+                trace.push_span("presgen", step_ns(t));
                 match presc {
                     Some(p) if !diags.has_errors() => p,
-                    _ => return Err(CompileError { report: diags.render_all(&file) }),
+                    _ => return Err(CompileError::from_diags(Phase::Presgen, &diags, &file)),
                 }
             }
-            Frontend::Mig => match flick_frontend_mig::parse(&file, side, &mut diags) {
-                Some(p) if !diags.has_errors() => p,
-                _ => return Err(CompileError { report: diags.render_all(&file) }),
-            },
+            Frontend::Mig => {
+                // MIG's front end and presentation are conjoined; the
+                // one pass is split evenly across both spans so every
+                // pipeline reports the same phase names.
+                let t = std::time::Instant::now();
+                let presc = flick_frontend_mig::parse(&file, side, &mut diags);
+                let ns = step_ns(t);
+                trace.push_span("parse", ns / 2);
+                trace.push_span("presgen", ns - ns / 2);
+                match presc {
+                    Some(p) if !diags.has_errors() => p,
+                    _ => return Err(CompileError::from_diags(Phase::Parse, &diags, &file)),
+                }
+            }
         };
 
-        let compiled = self
+        let (compiled, bt) = self
             .backend
-            .compile(&presc)
-            .map_err(|e| CompileError { report: format!("back end: {e}") })?;
+            .compile_traced(&presc)
+            .map_err(|e| CompileError {
+                report: format!("back end: {e}"),
+                phase: Phase::Backend,
+                errors: 1,
+                warnings: 0,
+            })?;
+        trace.push_span("backend.plan", bt.plan_ns);
+        trace.push_span("backend.emit-c", bt.emit_c_ns);
+        trace.push_span("backend.print-c", bt.print_c_ns);
+        trace.push_span("backend.emit-rust", bt.emit_rust_ns);
+
+        trace.set_counter("mint.nodes", presc.mint.len() as u64);
+        trace.set_counter("pres.nodes", presc.pres.len() as u64);
+        trace.set_counter("cast.decls", compiled.c_unit.decls.len() as u64);
+        trace.set_counter("plan.stubs", bt.stats.stubs);
+        trace.set_counter("plan.nodes", bt.stats.plan_nodes);
+        trace.set_counter("plan.packed_chunks", bt.stats.packed_chunks);
+        trace.set_counter("plan.memcpy_runs", bt.stats.memcpy_runs);
+        trace.set_counter("plan.outline_calls", bt.stats.outline_calls);
+        trace.set_counter("plan.outline_fns", bt.stats.outline_fns);
+        trace.set_counter("plan.hoisted_checks", bt.stats.hoisted_checks);
+        trace.set_counter("plan.max_inline_depth", bt.stats.max_inline_depth);
+
+        let report = CompileReport {
+            frontend: self.frontend.name(),
+            style: presc.style.clone(),
+            transport: self.backend.transport.name(),
+            trace,
+        };
         Ok(CompileOutput {
             presc,
             c_source: compiled.c_source,
             rust_source: compiled.rust_source,
+            report,
         })
     }
+}
+
+fn step_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -222,7 +358,12 @@ mod tests {
     #[test]
     fn errors_are_rendered() {
         let err = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp)
-            .compile_source("bad.idl", "interface X { void f(in strang s); };", "X", Side::Client)
+            .compile_source(
+                "bad.idl",
+                "interface X { void f(in strang s); };",
+                "X",
+                Side::Client,
+            )
             .unwrap_err();
         assert!(err.report.contains("unknown type"), "{err}");
         assert!(err.report.contains("bad.idl:"), "{err}");

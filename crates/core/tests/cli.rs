@@ -1,0 +1,151 @@
+//! End-to-end tests for the `flickc` binary.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const MAIL_IDL: &str = "interface Mail { void send(in string msg); };";
+
+fn flickc(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flickc"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("flickc runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flickc-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write_input(dir: &Path) -> PathBuf {
+    let p = dir.join("mail.idl");
+    std::fs::write(&p, MAIL_IDL).expect("write input");
+    p
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let dir = scratch("help");
+    let out = flickc(&["--help"], &dir);
+    assert!(out.status.success(), "--help must exit 0: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: flickc"), "{text}");
+    assert!(
+        text.contains("--timings"),
+        "usage documents the new flags: {text}"
+    );
+    assert!(text.contains("--stats"), "{text}");
+}
+
+#[test]
+fn bad_flag_fails_with_message() {
+    let dir = scratch("badflag");
+    let out = flickc(&["--frobnicate"], &dir);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option `--frobnicate`"), "{err}");
+}
+
+#[test]
+fn missing_input_fails() {
+    let dir = scratch("noinput");
+    let out = flickc(&[], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no input file"));
+}
+
+#[test]
+fn compile_errors_exit_nonzero_with_counts() {
+    let dir = scratch("compileerr");
+    std::fs::write(dir.join("bad.idl"), "interface X { void f(in strang s); };")
+        .expect("write bad input");
+    let out = flickc(&["bad.idl"], &dir);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error(s)"), "structured failure line: {err}");
+    assert!(err.contains("phase `parse`"), "{err}");
+}
+
+#[test]
+fn stdout_emission_and_emit_selection() {
+    let dir = scratch("stdout");
+    write_input(&dir);
+    let out = flickc(&["--emit", "rust", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pub fn encode_send_request"), "{text}");
+    assert!(
+        !text.contains("void Mail_send"),
+        "C suppressed with --emit rust"
+    );
+}
+
+#[test]
+fn out_dir_writes_c_rust_and_header() {
+    let dir = scratch("outdir");
+    write_input(&dir);
+    let out = flickc(&["-o", "gen", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    for f in ["gen/Mail.c", "gen/Mail.rs", "gen/flick_runtime.h"] {
+        assert!(dir.join(f).is_file(), "missing {f}");
+    }
+    let c = std::fs::read_to_string(dir.join("gen/Mail.c")).unwrap();
+    assert!(c.contains("Mail_send"));
+}
+
+#[test]
+fn timings_report_phases_on_stderr() {
+    let dir = scratch("timings");
+    write_input(&dir);
+    let out = flickc(&["--timings", "--emit", "rust", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    for phase in [
+        "parse",
+        "presgen",
+        "backend.plan",
+        "backend.emit-rust",
+        "total",
+    ] {
+        assert!(err.contains(phase), "--timings missing {phase}: {err}");
+    }
+    // Generated code stays clean on stdout.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("encode_send_request"));
+}
+
+#[test]
+fn stats_json_is_machine_readable() {
+    let dir = scratch("statsjson");
+    write_input(&dir);
+    let out = flickc(&["--stats=json", "--emit", "rust", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    let json = err
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("one JSON line");
+    assert!(json.ends_with('}'), "{json}");
+    for needle in [
+        "\"frontend\":\"corba\"",
+        "\"transport\":\"iiop-tcp\"",
+        "\"spans\":[{\"name\":\"parse\"",
+        "\"counters\":{",
+        "\"plan.stubs\":1",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+}
+
+#[test]
+fn stats_text_lists_decision_counters() {
+    let dir = scratch("statstext");
+    write_input(&dir);
+    let out = flickc(&["--stats", "--emit", "rust", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    for counter in ["mint.nodes", "cast.decls", "plan.hoisted_checks"] {
+        assert!(err.contains(counter), "--stats missing {counter}: {err}");
+    }
+}

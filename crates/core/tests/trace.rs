@@ -1,0 +1,145 @@
+//! Compile tracing: every pipeline configuration reports every phase.
+
+use flick::{Compiler, Frontend, Phase, Style, Transport};
+use flick_pres::Side;
+
+const MAIL_IDL: &str = "interface Mail { void send(in string msg); };";
+const MAIL_X: &str = "program Mail { version V { void send(string msg) = 1; } = 1; } = 0x20000001;";
+
+const PHASES: [&str; 6] = [
+    "parse",
+    "presgen",
+    "backend.plan",
+    "backend.emit-c",
+    "backend.print-c",
+    "backend.emit-rust",
+];
+
+const TRANSPORTS: [Transport; 5] = [
+    Transport::IiopTcp,
+    Transport::OncTcp,
+    Transport::OncUdp,
+    Transport::Mach3,
+    Transport::Fluke,
+];
+
+#[test]
+fn all_fifteen_combinations_report_every_phase() {
+    // The paper's kit claim: 3 presentations × 5 transports, and every
+    // configuration is traced the same way.
+    let styles = [Style::CorbaC, Style::RpcgenC, Style::FlukeC];
+    let mut combos = 0;
+    for style in styles {
+        for transport in TRANSPORTS {
+            let out = Compiler::new(Frontend::Corba, style, transport)
+                .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
+                .unwrap_or_else(|e| panic!("{style:?}/{transport:?}: {e}"));
+            for phase in PHASES {
+                assert!(
+                    out.report.trace.has_phase(phase),
+                    "{style:?}/{transport:?} missing phase {phase}: {:?}",
+                    out.report.trace.spans
+                );
+            }
+            assert_eq!(out.report.transport, transport.name());
+            combos += 1;
+        }
+    }
+    assert_eq!(combos, 15);
+}
+
+#[test]
+fn other_frontends_report_the_same_phases() {
+    // The ONC and MIG front ends produce the same span names, so tools
+    // consuming --timings need no per-frontend cases.
+    let onc = Compiler::new(Frontend::Onc, Style::RpcgenC, Transport::OncTcp)
+        .compile_source("mail.x", MAIL_X, "Mail", Side::Client)
+        .expect("onc compiles");
+    let mig = Compiler::new(Frontend::Mig, Style::CorbaC, Transport::Mach3)
+        .compile_source(
+            "t.defs",
+            "subsystem t 100;\nroutine ping(server : mach_port_t; n : int);\n",
+            "t",
+            Side::Client,
+        )
+        .expect("mig compiles");
+    for out in [&onc, &mig] {
+        for phase in PHASES {
+            assert!(out.report.trace.has_phase(phase), "missing {phase}");
+        }
+    }
+    assert_eq!(onc.report.frontend, "onc");
+    assert_eq!(mig.report.frontend, "mig");
+}
+
+#[test]
+fn decision_counters_reflect_the_optimizer() {
+    let idl = r"
+        struct Point { long x; long y; };
+        struct Rect { Point min; Point max; };
+        typedef sequence<Rect> RectSeq;
+        typedef sequence<long> Ints;
+        interface I { void put(in RectSeq rs, in Ints v); };
+    ";
+    // Native-order CDR so the long sequence qualifies for a memcpy run.
+    let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp)
+        .compile_source("t.idl", idl, "I", Side::Client)
+        .expect("compiles");
+    let t = &out.report.trace;
+    assert!(t.counter("plan.packed_chunks").unwrap() >= 1, "rects chunk");
+    assert!(t.counter("plan.memcpy_runs").unwrap() >= 1, "ints memcpy");
+    assert!(t.counter("mint.nodes").unwrap() > 0);
+    assert!(t.counter("cast.decls").unwrap() > 0);
+    assert!(t.counter("plan.hoisted_checks").unwrap() >= 1);
+
+    // Disabling the optimizations changes the recorded decisions.
+    let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp)
+        .with_opts(flick::OptFlags::none())
+        .compile_source("t.idl", idl, "I", Side::Client)
+        .expect("compiles unoptimized");
+    let t = &out.report.trace;
+    assert_eq!(t.counter("plan.packed_chunks").unwrap(), 0);
+    assert_eq!(t.counter("plan.memcpy_runs").unwrap(), 0);
+    assert!(
+        t.counter("plan.outline_fns").unwrap() >= 1,
+        "aggregates outline"
+    );
+}
+
+#[test]
+fn report_serializes_to_json_and_text() {
+    let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp)
+        .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
+        .expect("compiles");
+    let json = out.report.to_json();
+    assert!(json.starts_with("{\"frontend\":\"corba\""), "{json}");
+    assert!(json.contains("\"transport\":\"iiop-tcp\""));
+    assert!(json.contains("\"spans\":[{\"name\":\"parse\""));
+    assert!(json.contains("\"plan.stubs\":1"));
+    let text = out.report.to_text();
+    assert!(text.contains("pipeline: corba -> corba-c -> iiop-tcp"));
+    assert!(text.contains("backend.emit-rust"));
+}
+
+#[test]
+fn failures_carry_phase_and_counts() {
+    // Type errors surface while the front end parses.
+    let err = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp)
+        .compile_source(
+            "bad.idl",
+            "interface X { void f(in strang s); };",
+            "X",
+            Side::Client,
+        )
+        .unwrap_err();
+    assert_eq!(err.phase, Phase::Parse);
+    assert!(err.errors >= 1);
+    assert!(err.report.contains("unknown type"));
+
+    // A missing interface is a presentation-generation failure.
+    let err = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp)
+        .compile_source("m.idl", MAIL_IDL, "Nope", Side::Client)
+        .unwrap_err();
+    assert_eq!(err.phase, Phase::Presgen, "{}", err.report);
+    assert!(err.errors >= 1);
+}

@@ -160,7 +160,10 @@ mod tests {
         let f = aoi.interface("I").unwrap().op("f").unwrap();
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(f.params[0].ty)),
-            Type::Sequence { bound: Some(16), .. }
+            Type::Sequence {
+                bound: Some(16),
+                ..
+            }
         ));
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(f.params[1].ty)),
@@ -230,7 +233,10 @@ mod tests {
         let f = aoi.interface("I").unwrap().op("f").unwrap();
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(f.params[0].ty)),
-            Type::Sequence { bound: Some(66), .. }
+            Type::Sequence {
+                bound: Some(66),
+                ..
+            }
         ));
     }
 

@@ -3,8 +3,8 @@
 use std::collections::{HashMap, HashSet};
 
 use flick_aoi::{
-    Aoi, Attribute, Exception, ExceptionId, Field, Interface, Operation, Param, ParamDir,
-    PrimType, Type, TypeId, UnionCase, UnionLabel,
+    Aoi, Attribute, Exception, ExceptionId, Field, Interface, Operation, Param, ParamDir, PrimType,
+    Type, TypeId, UnionCase, UnionLabel,
 };
 use flick_idl::lex::{Token, TokenKind};
 use flick_idl::parse::Cursor;
@@ -12,10 +12,39 @@ use flick_idl::parse::Cursor;
 /// Keywords of CORBA IDL.  Identifiers are checked against this set so
 /// `interface interface {}` is rejected.
 const KEYWORDS: &[&str] = &[
-    "module", "interface", "typedef", "struct", "union", "switch", "case", "default", "enum",
-    "const", "exception", "attribute", "readonly", "oneway", "raises", "context", "in", "out",
-    "inout", "void", "long", "short", "unsigned", "float", "double", "char", "boolean", "octet",
-    "string", "sequence", "any", "TRUE", "FALSE",
+    "module",
+    "interface",
+    "typedef",
+    "struct",
+    "union",
+    "switch",
+    "case",
+    "default",
+    "enum",
+    "const",
+    "exception",
+    "attribute",
+    "readonly",
+    "oneway",
+    "raises",
+    "context",
+    "in",
+    "out",
+    "inout",
+    "void",
+    "long",
+    "short",
+    "unsigned",
+    "float",
+    "double",
+    "char",
+    "boolean",
+    "octet",
+    "string",
+    "sequence",
+    "any",
+    "TRUE",
+    "FALSE",
 ];
 
 const IDL_NAME: &str = "corba";
@@ -134,9 +163,10 @@ impl<'t> Parser<'t> {
         if !self.cursor.eat(&TokenKind::Semi) {
             let span = self.cursor.span();
             let found = self.cursor.peek().kind.describe();
-            self.cursor
-                .diags
-                .error(format!("expected `;` after definition, found {found}"), span);
+            self.cursor.diags.error(
+                format!("expected `;` after definition, found {found}"),
+                span,
+            );
             self.cursor.recover_to_semi();
         }
     }
@@ -155,11 +185,15 @@ impl<'t> Parser<'t> {
         self.cursor.bump(); // module
         let name = self.ident_not_keyword("after `module`");
         self.scope.push(name);
-        if self.cursor.expect(&TokenKind::LBrace, "to open module body") {
+        if self
+            .cursor
+            .expect(&TokenKind::LBrace, "to open module body")
+        {
             while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RBrace {
                 self.parse_definition();
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close module body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close module body");
         }
         self.scope.pop();
         self.expect_semi();
@@ -189,8 +223,8 @@ impl<'t> Parser<'t> {
         if self.cursor.eat(&TokenKind::Colon) {
             loop {
                 let pname = self.parse_scoped_name("as inherited interface");
-                let resolved = self
-                    .resolve_name(&pname, |n| self.aoi.interface(n).map(|i| i.name.clone()));
+                let resolved =
+                    self.resolve_name(&pname, |n| self.aoi.interface(n).map(|i| i.name.clone()));
                 match resolved {
                     Some(full) => {
                         let parent = self.aoi.interface(&full).unwrap().clone();
@@ -215,11 +249,15 @@ impl<'t> Parser<'t> {
             }
         }
 
-        if self.cursor.expect(&TokenKind::LBrace, "to open interface body") {
+        if self
+            .cursor
+            .expect(&TokenKind::LBrace, "to open interface body")
+        {
             while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RBrace {
                 self.parse_export(&mut iface);
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close interface body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close interface body");
         }
         // Renumber request codes sequentially after flattening.
         for (i, op) in iface.ops.iter_mut().enumerate() {
@@ -268,7 +306,8 @@ impl<'t> Parser<'t> {
 
     fn parse_attribute(&mut self, iface: &mut Interface) {
         let readonly = self.cursor.eat_kw("readonly");
-        self.cursor.expect_kw("attribute", "in attribute declaration");
+        self.cursor
+            .expect_kw("attribute", "in attribute declaration");
         let ty = self.parse_type_spec();
         loop {
             let name = self.ident_not_keyword("as attribute name");
@@ -291,7 +330,10 @@ impl<'t> Parser<'t> {
             raises: Vec::new(),
             request_code: iface.ops.len() as u64 + 1,
         };
-        if self.cursor.expect(&TokenKind::LParen, "to open parameter list") {
+        if self
+            .cursor
+            .expect(&TokenKind::LParen, "to open parameter list")
+        {
             if !self.cursor.eat(&TokenKind::RParen) {
                 loop {
                     if let Some(p) = self.parse_param() {
@@ -301,7 +343,8 @@ impl<'t> Parser<'t> {
                         break;
                     }
                 }
-                self.cursor.expect(&TokenKind::RParen, "to close parameter list");
+                self.cursor
+                    .expect(&TokenKind::RParen, "to close parameter list");
             }
         } else {
             self.cursor.recover_to_semi();
@@ -324,7 +367,8 @@ impl<'t> Parser<'t> {
                     break;
                 }
             }
-            self.cursor.expect(&TokenKind::RParen, "to close raises list");
+            self.cursor
+                .expect(&TokenKind::RParen, "to close raises list");
         }
         if self.cursor.eat_kw("context") {
             // Accept and ignore context clauses.
@@ -451,10 +495,7 @@ impl<'t> Parser<'t> {
                 self.cursor.expect(&TokenKind::Gt, "to close sequence");
                 self.aoi.types.add(Type::Sequence { elem, bound })
             }
-            k if k.is_ident("struct") => {
-                
-                self.parse_struct()
-            }
+            k if k.is_ident("struct") => self.parse_struct(),
             k if k.is_ident("union") => self.parse_union(),
             k if k.is_ident("enum") => self.parse_enum(),
             TokenKind::Ident(_) => {
@@ -510,7 +551,10 @@ impl<'t> Parser<'t> {
             let name = self.ident_not_keyword("as typedef name");
             let ty = self.parse_array_dims(base);
             let scoped = self.scoped(&name);
-            let alias = self.aoi.types.add(Type::Alias { name: scoped.clone(), target: ty });
+            let alias = self.aoi.types.add(Type::Alias {
+                name: scoped.clone(),
+                target: ty,
+            });
             self.aoi.types.bind_name(scoped, alias);
             if !self.cursor.eat(&TokenKind::Comma) {
                 break;
@@ -523,7 +567,8 @@ impl<'t> Parser<'t> {
         let mut dims = Vec::new();
         while self.cursor.eat(&TokenKind::LBracket) {
             dims.push(self.parse_positive_const("as array length"));
-            self.cursor.expect(&TokenKind::RBracket, "to close array length");
+            self.cursor
+                .expect(&TokenKind::RBracket, "to close array length");
         }
         let mut ty = base;
         for &len in dims.iter().rev() {
@@ -545,27 +590,42 @@ impl<'t> Parser<'t> {
         self.aoi.types.bind_name(scoped.clone(), fwd);
 
         let mut fields = Vec::new();
-        if self.cursor.expect(&TokenKind::LBrace, "to open struct body") {
+        if self
+            .cursor
+            .expect(&TokenKind::LBrace, "to open struct body")
+        {
             while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RBrace {
                 let fty = self.parse_type_spec();
                 loop {
                     let fname = self.ident_not_keyword("as member name");
                     let fty = self.parse_array_dims(fty);
-                    fields.push(Field { name: fname, ty: fty });
+                    fields.push(Field {
+                        name: fname,
+                        ty: fty,
+                    });
                     if !self.cursor.eat(&TokenKind::Comma) {
                         break;
                     }
                 }
                 if !self.cursor.eat(&TokenKind::Semi) {
                     let span = self.cursor.span();
-                    self.cursor.diags.error("expected `;` after struct member", span);
+                    self.cursor
+                        .diags
+                        .error("expected `;` after struct member", span);
                     self.cursor.recover_to_semi();
                 }
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close struct body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close struct body");
         }
-        let sid = self.aoi.types.add(Type::Struct { name: scoped.clone(), fields });
-        *self.aoi.types.get_mut(fwd) = Type::Alias { name: scoped, target: sid };
+        let sid = self.aoi.types.add(Type::Struct {
+            name: scoped.clone(),
+            fields,
+        });
+        *self.aoi.types.get_mut(fwd) = Type::Alias {
+            name: scoped,
+            target: sid,
+        };
         fwd
     }
 
@@ -583,7 +643,8 @@ impl<'t> Parser<'t> {
         self.cursor.expect_kw("switch", "in union declaration");
         self.cursor.expect(&TokenKind::LParen, "after `switch`");
         let disc = self.parse_type_spec();
-        self.cursor.expect(&TokenKind::RParen, "to close switch type");
+        self.cursor
+            .expect(&TokenKind::RParen, "to close switch type");
 
         let mut cases: Vec<UnionCase> = Vec::new();
         if self.cursor.expect(&TokenKind::LBrace, "to open union body") {
@@ -614,19 +675,29 @@ impl<'t> Parser<'t> {
                 let ety = self.parse_array_dims(ety);
                 if !self.cursor.eat(&TokenKind::Semi) {
                     let span = self.cursor.span();
-                    self.cursor.diags.error("expected `;` after union member", span);
+                    self.cursor
+                        .diags
+                        .error("expected `;` after union member", span);
                     self.cursor.recover_to_semi();
                 }
-                cases.push(UnionCase { labels, name: ename, ty: Some(ety) });
+                cases.push(UnionCase {
+                    labels,
+                    name: ename,
+                    ty: Some(ety),
+                });
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close union body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close union body");
         }
         let uid = self.aoi.types.add(Type::Union {
             name: scoped.clone(),
             discriminator: disc,
             cases,
         });
-        *self.aoi.types.get_mut(fwd) = Type::Alias { name: scoped, target: uid };
+        *self.aoi.types.get_mut(fwd) = Type::Alias {
+            name: scoped,
+            target: uid,
+        };
         fwd
     }
 
@@ -652,7 +723,10 @@ impl<'t> Parser<'t> {
             }
             self.cursor.expect(&TokenKind::RBrace, "to close enum body");
         }
-        let id = self.aoi.types.add(Type::Enum { name: scoped.clone(), items });
+        let id = self.aoi.types.add(Type::Enum {
+            name: scoped.clone(),
+            items,
+        });
         self.aoi.types.bind_name(scoped, id);
         id
     }
@@ -661,7 +735,8 @@ impl<'t> Parser<'t> {
         self.cursor.bump(); // const
         let _ty = self.parse_type_spec();
         let name = self.ident_not_keyword("as constant name");
-        self.cursor.expect(&TokenKind::Eq, "in constant declaration");
+        self.cursor
+            .expect(&TokenKind::Eq, "in constant declaration");
         let v = self.parse_const_expr("as constant value");
         self.consts.insert(self.scoped(&name), v);
     }
@@ -671,21 +746,33 @@ impl<'t> Parser<'t> {
         let name = self.ident_not_keyword("after `exception`");
         let scoped = self.scoped(&name);
         let mut fields = Vec::new();
-        if self.cursor.expect(&TokenKind::LBrace, "to open exception body") {
+        if self
+            .cursor
+            .expect(&TokenKind::LBrace, "to open exception body")
+        {
             while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RBrace {
                 let fty = self.parse_type_spec();
                 let fname = self.ident_not_keyword("as member name");
                 let fty = self.parse_array_dims(fty);
-                fields.push(Field { name: fname, ty: fty });
+                fields.push(Field {
+                    name: fname,
+                    ty: fty,
+                });
                 if !self.cursor.eat(&TokenKind::Semi) {
                     let span = self.cursor.span();
-                    self.cursor.diags.error("expected `;` after exception member", span);
+                    self.cursor
+                        .diags
+                        .error("expected `;` after exception member", span);
                     self.cursor.recover_to_semi();
                 }
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close exception body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close exception body");
         }
-        let id = self.aoi.add_exception(Exception { name: scoped.clone(), fields });
+        let id = self.aoi.add_exception(Exception {
+            name: scoped.clone(),
+            fields,
+        });
         self.exception_ids.insert(scoped, id);
     }
 
@@ -695,9 +782,10 @@ impl<'t> Parser<'t> {
         let span = self.cursor.span();
         let v = self.parse_const_expr(context);
         if v <= 0 {
-            self.cursor
-                .diags
-                .error(format!("expected a positive constant {context}, got {v}"), span);
+            self.cursor.diags.error(
+                format!("expected a positive constant {context}, got {v}"),
+                span,
+            );
             1
         } else {
             v as u64
@@ -743,7 +831,8 @@ impl<'t> Parser<'t> {
         }
         if self.cursor.eat(&TokenKind::LParen) {
             let v = self.parse_const_expr(context);
-            self.cursor.expect(&TokenKind::RParen, "to close parenthesized constant");
+            self.cursor
+                .expect(&TokenKind::RParen, "to close parenthesized constant");
             return v;
         }
         let t = self.cursor.peek().clone();
@@ -778,7 +867,10 @@ impl<'t> Parser<'t> {
             }
             _ => {
                 self.cursor.diags.error(
-                    format!("expected constant expression {context}, found {}", t.kind.describe()),
+                    format!(
+                        "expected constant expression {context}, found {}",
+                        t.kind.describe()
+                    ),
                     t.span,
                 );
                 self.cursor.bump();

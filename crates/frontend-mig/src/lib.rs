@@ -115,12 +115,14 @@ impl<'t> MigParser<'t> {
     }
 
     fn parse_subsystem(&mut self) -> Option<PresC> {
-        self.cursor.expect_kw("subsystem", "at start of MIG definition");
+        self.cursor
+            .expect_kw("subsystem", "at start of MIG definition");
         let (name, _) = self.cursor.expect_ident("as subsystem name");
         self.name = name;
         let (base, _) = self.cursor.expect_int("as subsystem base id");
         self.base_id = base;
-        self.cursor.expect(&TokenKind::Semi, "after subsystem header");
+        self.cursor
+            .expect(&TokenKind::Semi, "after subsystem header");
 
         while !self.cursor.at_eof() {
             if self.cursor.at_kw("type") {
@@ -163,7 +165,8 @@ impl<'t> MigParser<'t> {
         if let Some(ty) = self.parse_type() {
             self.types.push((name, ty));
         }
-        self.cursor.expect(&TokenKind::Semi, "after type declaration");
+        self.cursor
+            .expect(&TokenKind::Semi, "after type declaration");
     }
 
     fn parse_type(&mut self) -> Option<MigType> {
@@ -190,7 +193,8 @@ impl<'t> MigParser<'t> {
                     let (n, _) = self.cursor.expect_int("as array length");
                     Some(n)
                 };
-                self.cursor.expect(&TokenKind::RBracket, "to close array length");
+                self.cursor
+                    .expect(&TokenKind::RBracket, "to close array length");
                 self.cursor.expect_kw("of", "in array type");
                 let elem = self.parse_type()?;
                 if !matches!(elem, MigType::Int | MigType::Char) {
@@ -202,7 +206,10 @@ impl<'t> MigParser<'t> {
                     );
                     return None;
                 }
-                Some(MigType::Array { elem: Box::new(elem), len })
+                Some(MigType::Array {
+                    elem: Box::new(elem),
+                    len,
+                })
             }
             TokenKind::Ident(n) => {
                 let n = n.clone();
@@ -236,7 +243,10 @@ impl<'t> MigParser<'t> {
         let msg_id = self.base_id + self.routine_index;
 
         let mut params: Vec<(String, MigType)> = Vec::new();
-        if self.cursor.expect(&TokenKind::LParen, "to open routine arguments") {
+        if self
+            .cursor
+            .expect(&TokenKind::LParen, "to open routine arguments")
+        {
             while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RParen {
                 let (pname, _) = self.cursor.expect_ident("as argument name");
                 self.cursor.expect(&TokenKind::Colon, "after argument name");
@@ -247,9 +257,11 @@ impl<'t> MigParser<'t> {
                     break;
                 }
             }
-            self.cursor.expect(&TokenKind::RParen, "to close routine arguments");
+            self.cursor
+                .expect(&TokenKind::RParen, "to close routine arguments");
         }
-        self.cursor.expect(&TokenKind::Semi, "after routine declaration");
+        self.cursor
+            .expect(&TokenKind::Semi, "after routine declaration");
 
         // First port argument is the destination; the rest are data.
         let mut cparams = Vec::new();
@@ -266,9 +278,16 @@ impl<'t> MigParser<'t> {
                 continue;
             }
             let (ctype, mint_id, pres_id, by_ref) = self.lower_type(ty);
-            cparams.push(CParam { name: pname.clone(), ty: ctype });
+            cparams.push(CParam {
+                name: pname.clone(),
+                ty: ctype,
+            });
             mint_slots.push((pname.clone(), mint_id));
-            slots.push(ParamBinding { c_name: pname.clone(), pres: pres_id, by_ref });
+            slots.push(ParamBinding {
+                c_name: pname.clone(),
+                pres: pres_id,
+                by_ref,
+            });
         }
         if !seen_port {
             let span = self.cursor.span();
@@ -306,8 +325,14 @@ impl<'t> MigParser<'t> {
                 StubKind::ClientCall
             },
             decl,
-            request: MessagePres { mint: request_mint, slots },
-            reply: MessagePres { mint: reply_mint, slots: vec![] },
+            request: MessagePres {
+                mint: request_mint,
+                slots,
+            },
+            reply: MessagePres {
+                mint: reply_mint,
+                slots: vec![],
+            },
             op: OpInfo {
                 name: rname.clone(),
                 request_code: msg_id,
@@ -330,17 +355,26 @@ impl<'t> MigParser<'t> {
         match ty {
             MigType::Int => {
                 let m = self.mint.i32();
-                let p = self.pres.add(PresNode::Direct { mint: m, ctype: CType::Int });
+                let p = self.pres.add(PresNode::Direct {
+                    mint: m,
+                    ctype: CType::Int,
+                });
                 (CType::Int, m, p, false)
             }
             MigType::Char => {
                 let m = self.mint.char8();
-                let p = self.pres.add(PresNode::Direct { mint: m, ctype: CType::Char });
+                let p = self.pres.add(PresNode::Direct {
+                    mint: m,
+                    ctype: CType::Char,
+                });
                 (CType::Char, m, p, false)
             }
             MigType::Port => {
                 let m = self.mint.u32();
-                let p = self.pres.add(PresNode::Direct { mint: m, ctype: CType::UInt });
+                let p = self.pres.add(PresNode::Direct {
+                    mint: m,
+                    ctype: CType::UInt,
+                });
                 (CType::named("mach_port_t"), m, p, false)
             }
             MigType::Array { elem, len } => {
@@ -348,9 +382,10 @@ impl<'t> MigParser<'t> {
                     MigType::Char => (CType::Char, self.mint.char8()),
                     _ => (CType::Int, self.mint.i32()),
                 };
-                let elem_p = self
-                    .pres
-                    .add(PresNode::Direct { mint: elem_m, ctype: elem_c.clone() });
+                let elem_p = self.pres.add(PresNode::Direct {
+                    mint: elem_m,
+                    ctype: elem_c.clone(),
+                });
                 match len {
                     Some(n) => {
                         let m = self.mint.array_fixed(elem_m, *n);
@@ -482,6 +517,9 @@ mod tests {
         let be = flick_backend::BackEnd::new(flick_backend::Transport::Mach3);
         let out = be.compile(&p).expect("backend accepts MIG PRES-C");
         assert!(out.rust_source.contains("encode_send_samples_request"));
-        assert!(out.rust_source.contains("mach::put_type"), "typed descriptors");
+        assert!(
+            out.rust_source.contains("mach::put_type"),
+            "typed descriptors"
+        );
     }
 }

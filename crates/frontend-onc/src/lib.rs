@@ -152,10 +152,16 @@ mod tests {
         let Type::Struct { fields, .. } = aoi.types.get(aoi.types.resolve(put.params[0].ty)) else {
             panic!("expected struct");
         };
-        assert!(matches!(aoi.types.get(aoi.types.resolve(fields[0].ty)), Type::Array { len: 8, .. }));
+        assert!(matches!(
+            aoi.types.get(aoi.types.resolve(fields[0].ty)),
+            Type::Array { len: 8, .. }
+        ));
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(fields[1].ty)),
-            Type::Sequence { bound: Some(32), .. }
+            Type::Sequence {
+                bound: Some(32),
+                ..
+            }
         ));
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(fields[2].ty)),
@@ -163,11 +169,17 @@ mod tests {
         ));
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(fields[3].ty)),
-            Type::Opaque { fixed_len: Some(16), .. }
+            Type::Opaque {
+                fixed_len: Some(16),
+                ..
+            }
         ));
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(fields[4].ty)),
-            Type::Opaque { fixed_len: None, bound: Some(64) }
+            Type::Opaque {
+                fixed_len: None,
+                bound: Some(64)
+            }
         ));
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(fields[5].ty)),
@@ -216,7 +228,10 @@ mod tests {
         assert_eq!(items[2], ("DONE".to_string(), 5));
         assert!(matches!(
             aoi.types.get(aoi.types.resolve(poll.params[0].ty)),
-            Type::Sequence { bound: Some(12), .. }
+            Type::Sequence {
+                bound: Some(12),
+                ..
+            }
         ));
     }
 
@@ -290,7 +305,8 @@ mod tests {
             ",
         );
         let draw = aoi.interface("P").unwrap().op("draw").unwrap();
-        let Type::Sequence { elem, .. } = aoi.types.get(aoi.types.resolve(draw.params[0].ty)) else {
+        let Type::Sequence { elem, .. } = aoi.types.get(aoi.types.resolve(draw.params[0].ty))
+        else {
             panic!("expected sequence");
         };
         assert!(matches!(

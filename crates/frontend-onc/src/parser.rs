@@ -10,9 +10,28 @@ use flick_idl::lex::{Token, TokenKind};
 use flick_idl::parse::Cursor;
 
 const KEYWORDS: &[&str] = &[
-    "typedef", "enum", "struct", "union", "switch", "case", "default", "const", "program",
-    "version", "void", "int", "unsigned", "hyper", "float", "double", "quadruple", "bool",
-    "opaque", "string", "TRUE", "FALSE",
+    "typedef",
+    "enum",
+    "struct",
+    "union",
+    "switch",
+    "case",
+    "default",
+    "const",
+    "program",
+    "version",
+    "void",
+    "int",
+    "unsigned",
+    "hyper",
+    "float",
+    "double",
+    "quadruple",
+    "bool",
+    "opaque",
+    "string",
+    "TRUE",
+    "FALSE",
 ];
 
 /// A parsed XDR declaration: a name (possibly empty) and its type.
@@ -234,7 +253,8 @@ impl<'t> Parser<'t> {
             let name = self.ident_not_keyword("as opaque member name");
             let ty = if self.cursor.eat(&TokenKind::LBracket) {
                 let n = self.parse_value("as opaque length");
-                self.cursor.expect(&TokenKind::RBracket, "to close opaque length");
+                self.cursor
+                    .expect(&TokenKind::RBracket, "to close opaque length");
                 self.aoi.types.add(Type::Opaque {
                     fixed_len: u64::try_from(n).ok(),
                     bound: None,
@@ -247,13 +267,19 @@ impl<'t> Parser<'t> {
                     self.cursor.expect(&TokenKind::Gt, "to close opaque bound");
                     u64::try_from(v).ok()
                 };
-                self.aoi.types.add(Type::Opaque { fixed_len: None, bound })
+                self.aoi.types.add(Type::Opaque {
+                    fixed_len: None,
+                    bound,
+                })
             } else {
                 let span = self.cursor.span();
                 self.cursor
                     .diags
                     .error("opaque requires `[n]` or `<n>`", span);
-                self.aoi.types.add(Type::Opaque { fixed_len: None, bound: None })
+                self.aoi.types.add(Type::Opaque {
+                    fixed_len: None,
+                    bound: None,
+                })
             };
             return Decl { name, ty: Some(ty) };
         }
@@ -266,7 +292,10 @@ impl<'t> Parser<'t> {
         }
 
         let Some(base) = self.parse_type_specifier() else {
-            return Decl { name: String::new(), ty: None }; // void
+            return Decl {
+                name: String::new(),
+                ty: None,
+            }; // void
         };
         // Optional-data pointer?
         if self.cursor.eat(&TokenKind::Star) {
@@ -289,7 +318,8 @@ impl<'t> Parser<'t> {
         // Array suffixes.
         let ty = if self.cursor.eat(&TokenKind::LBracket) {
             let n = self.parse_value("as array length");
-            self.cursor.expect(&TokenKind::RBracket, "to close array length");
+            self.cursor
+                .expect(&TokenKind::RBracket, "to close array length");
             self.aoi.types.add(Type::Array {
                 elem: base,
                 len: u64::try_from(n).unwrap_or(0),
@@ -318,7 +348,10 @@ impl<'t> Parser<'t> {
             self.cursor.diags.error("typedef requires a name", span);
             return;
         }
-        let alias = self.aoi.types.add(Type::Alias { name: d.name.clone(), target: ty });
+        let alias = self.aoi.types.add(Type::Alias {
+            name: d.name.clone(),
+            target: ty,
+        });
         self.aoi.types.bind_name(d.name, alias);
     }
 
@@ -352,7 +385,10 @@ impl<'t> Parser<'t> {
             }
             self.cursor.expect(&TokenKind::RBrace, "to close enum body");
         }
-        self.aoi.types.add(Type::Enum { name: name.to_string(), items })
+        self.aoi.types.add(Type::Enum {
+            name: name.to_string(),
+            items,
+        })
     }
 
     fn parse_struct_def(&mut self) {
@@ -360,7 +396,10 @@ impl<'t> Parser<'t> {
         let name = self.ident_not_keyword("after `struct`");
         // Pre-bind for self-reference (linked lists).
         let placeholder = self.aoi.types.prim(PrimType::Void);
-        let fwd = self.aoi.types.add(Type::Alias { name: name.clone(), target: placeholder });
+        let fwd = self.aoi.types.add(Type::Alias {
+            name: name.clone(),
+            target: placeholder,
+        });
         self.aoi.types.bind_name(name.clone(), fwd);
         let sid = self.parse_struct_body(&name);
         *self.aoi.types.get_mut(fwd) = Type::Alias { name, target: sid };
@@ -368,41 +407,57 @@ impl<'t> Parser<'t> {
 
     fn parse_struct_body(&mut self, name: &str) -> TypeId {
         let mut fields = Vec::new();
-        if self.cursor.expect(&TokenKind::LBrace, "to open struct body") {
+        if self
+            .cursor
+            .expect(&TokenKind::LBrace, "to open struct body")
+        {
             while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RBrace {
                 let d = self.parse_declaration("as member name");
                 match d.ty {
                     Some(ty) if !d.name.is_empty() => fields.push(Field { name: d.name, ty }),
                     Some(_) => {
                         let span = self.cursor.span();
-                        self.cursor.diags.error("struct member requires a name", span);
+                        self.cursor
+                            .diags
+                            .error("struct member requires a name", span);
                         self.cursor.recover_to_semi();
                         continue;
                     }
                     None => {
                         let span = self.cursor.span();
-                        self.cursor.diags.error("struct member cannot be void", span);
+                        self.cursor
+                            .diags
+                            .error("struct member cannot be void", span);
                     }
                 }
                 self.expect_semi();
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close struct body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close struct body");
         }
-        self.aoi.types.add(Type::Struct { name: name.to_string(), fields })
+        self.aoi.types.add(Type::Struct {
+            name: name.to_string(),
+            fields,
+        })
     }
 
     fn parse_union_def(&mut self) {
         self.cursor.bump(); // union
         let name = self.ident_not_keyword("after `union`");
         let placeholder = self.aoi.types.prim(PrimType::Void);
-        let fwd = self.aoi.types.add(Type::Alias { name: name.clone(), target: placeholder });
+        let fwd = self.aoi.types.add(Type::Alias {
+            name: name.clone(),
+            target: placeholder,
+        });
         self.aoi.types.bind_name(name.clone(), fwd);
 
         self.cursor.expect_kw("switch", "in union definition");
         self.cursor.expect(&TokenKind::LParen, "after `switch`");
         let disc_decl = self.parse_declaration("as discriminator name");
         self.cursor.expect(&TokenKind::RParen, "to close switch");
-        let disc = disc_decl.ty.unwrap_or_else(|| self.aoi.types.prim(PrimType::Long));
+        let disc = disc_decl
+            .ty
+            .unwrap_or_else(|| self.aoi.types.prim(PrimType::Long));
 
         let mut cases: Vec<UnionCase> = Vec::new();
         if self.cursor.expect(&TokenKind::LBrace, "to open union body") {
@@ -430,9 +485,14 @@ impl<'t> Parser<'t> {
                 }
                 let d = self.parse_declaration("as union arm name");
                 self.expect_semi();
-                cases.push(UnionCase { labels, name: d.name, ty: d.ty });
+                cases.push(UnionCase {
+                    labels,
+                    name: d.name,
+                    ty: d.ty,
+                });
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close union body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close union body");
         }
         let uid = self.aoi.types.add(Type::Union {
             name: name.clone(),
@@ -497,7 +557,10 @@ impl<'t> Parser<'t> {
         self.cursor.bump(); // program
         let prog_name = self.ident_not_keyword("after `program`");
         let mut versions: Vec<(String, Vec<Operation>, u64)> = Vec::new();
-        if self.cursor.expect(&TokenKind::LBrace, "to open program body") {
+        if self
+            .cursor
+            .expect(&TokenKind::LBrace, "to open program body")
+        {
             while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RBrace {
                 if !self.cursor.expect_kw("version", "in program body") {
                     self.cursor.recover_to_semi();
@@ -505,20 +568,25 @@ impl<'t> Parser<'t> {
                 }
                 let ver_name = self.ident_not_keyword("after `version`");
                 let mut ops = Vec::new();
-                if self.cursor.expect(&TokenKind::LBrace, "to open version body") {
+                if self
+                    .cursor
+                    .expect(&TokenKind::LBrace, "to open version body")
+                {
                     while !self.cursor.at_eof() && self.cursor.peek().kind != TokenKind::RBrace {
                         if let Some(op) = self.parse_procedure() {
                             ops.push(op);
                         }
                     }
-                    self.cursor.expect(&TokenKind::RBrace, "to close version body");
+                    self.cursor
+                        .expect(&TokenKind::RBrace, "to close version body");
                 }
                 self.cursor.expect(&TokenKind::Eq, "after version body");
                 let (vnum, _) = self.cursor.expect_int("as version number");
                 self.expect_semi();
                 versions.push((ver_name, ops, vnum));
             }
-            self.cursor.expect(&TokenKind::RBrace, "to close program body");
+            self.cursor
+                .expect(&TokenKind::RBrace, "to close program body");
         }
         self.cursor.expect(&TokenKind::Eq, "after program body");
         let (pnum, _) = self.cursor.expect_int("as program number");
@@ -550,31 +618,40 @@ impl<'t> Parser<'t> {
             return None;
         }
         let mut params = Vec::new();
-        if self.cursor.expect(&TokenKind::LParen, "to open procedure arguments")
-            && !self.cursor.eat(&TokenKind::RParen) {
-                let mut index = 0usize;
-                loop {
-                    let d = self.parse_declaration("as argument name");
-                    if let Some(ty) = d.ty {
-                        let pname = if d.name.is_empty() {
-                            if index == 0 {
-                                "arg".to_string()
-                            } else {
-                                format!("arg{}", index + 1)
-                            }
+        if self
+            .cursor
+            .expect(&TokenKind::LParen, "to open procedure arguments")
+            && !self.cursor.eat(&TokenKind::RParen)
+        {
+            let mut index = 0usize;
+            loop {
+                let d = self.parse_declaration("as argument name");
+                if let Some(ty) = d.ty {
+                    let pname = if d.name.is_empty() {
+                        if index == 0 {
+                            "arg".to_string()
                         } else {
-                            d.name
-                        };
-                        params.push(Param { name: pname, dir: ParamDir::In, ty });
-                    }
-                    index += 1;
-                    if !self.cursor.eat(&TokenKind::Comma) {
-                        break;
-                    }
+                            format!("arg{}", index + 1)
+                        }
+                    } else {
+                        d.name
+                    };
+                    params.push(Param {
+                        name: pname,
+                        dir: ParamDir::In,
+                        ty,
+                    });
                 }
-                self.cursor.expect(&TokenKind::RParen, "to close procedure arguments");
+                index += 1;
+                if !self.cursor.eat(&TokenKind::Comma) {
+                    break;
+                }
             }
-        self.cursor.expect(&TokenKind::Eq, "after procedure declaration");
+            self.cursor
+                .expect(&TokenKind::RParen, "to close procedure arguments");
+        }
+        self.cursor
+            .expect(&TokenKind::Eq, "after procedure declaration");
         let (code, _) = self.cursor.expect_int("as procedure number");
         self.expect_semi();
         Some(Operation {

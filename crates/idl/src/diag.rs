@@ -103,14 +103,20 @@ impl Diagnostic {
                 for _ in 1..lc.col {
                     caret.push(' ');
                 }
-                let width = (span.len().max(1) as usize).min(line.len().saturating_sub(lc.col as usize - 1).max(1));
+                let width = (span.len().max(1) as usize)
+                    .min(line.len().saturating_sub(lc.col as usize - 1).max(1));
                 for _ in 0..width {
                     caret.push('^');
                 }
                 out.push_str(&caret);
                 out.push('\n');
             }
-            None => out.push_str(&format!("{}: {}: {}\n", file.name(), self.severity, self.message)),
+            None => out.push_str(&format!(
+                "{}: {}: {}\n",
+                file.name(),
+                self.severity,
+                self.message
+            )),
         }
         for note in &self.notes {
             out.push_str(&format!("  note: {note}\n"));
@@ -227,7 +233,10 @@ mod tests {
 
     #[test]
     fn render_points_at_source() {
-        let f = SourceFile::new("mail.idl", "interface Mail {\n  void send(in string msg);\n};\n");
+        let f = SourceFile::new(
+            "mail.idl",
+            "interface Mail {\n  void send(in string msg);\n};\n",
+        );
         let d = Diagnostic::error("unknown type `strang`", Span::new(31, 37))
             .with_note("did you mean `string`?");
         let r = d.render(&f);

@@ -110,8 +110,10 @@ impl<'t> Cursor<'t> {
         } else {
             let found = self.peek().kind.describe();
             let span = self.span();
-            self.diags
-                .error(format!("expected {} {context}, found {found}", kind.describe()), span);
+            self.diags.error(
+                format!("expected {} {context}, found {found}", kind.describe()),
+                span,
+            );
             false
         }
     }
@@ -141,8 +143,10 @@ impl<'t> Cursor<'t> {
             (s, span)
         } else {
             let found = self.peek().kind.describe();
-            self.diags
-                .error(format!("expected identifier {context}, found {found}"), span);
+            self.diags.error(
+                format!("expected identifier {context}, found {found}"),
+                span,
+            );
             ("<error>".to_string(), span)
         }
     }

@@ -27,7 +27,11 @@ pub fn to_dot(g: &MintGraph, root: MintId) -> String {
                     );
                 }
             }
-            MintNode::Union { discrim, cases, default } => {
+            MintNode::Union {
+                discrim,
+                cases,
+                default,
+            } => {
                 let _ = writeln!(
                     out,
                     "  {} -> {} [label=discrim];",
@@ -44,8 +48,7 @@ pub fn to_dot(g: &MintGraph, root: MintId) -> String {
                     );
                 }
                 if let Some(d) = default {
-                    let _ =
-                        writeln!(out, "  {} -> {} [label=default];", id.index(), d.index());
+                    let _ = writeln!(out, "  {} -> {} [label=default];", id.index(), d.index());
                 }
             }
             MintNode::Const { ty, .. } => {
@@ -102,7 +105,9 @@ mod tests {
         let b = g.boolean();
         let v = g.void();
         let opt = g.union(b, vec![(0, v), (1, list)], None);
-        let node = MintNode::Struct { slots: vec![("v".into(), i), ("next".into(), opt)] };
+        let node = MintNode::Struct {
+            slots: vec![("v".into(), i), ("next".into(), opt)],
+        };
         g.patch(list, node);
         // Must terminate and include the union arm back-edge.
         let d = g.to_dot(list);

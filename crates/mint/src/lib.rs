@@ -184,12 +184,18 @@ impl MintGraph {
 
     /// Fixed-length array.
     pub fn array_fixed(&mut self, elem: MintId, len: u64) -> MintId {
-        self.add(MintNode::Array { elem, len: LenBound::fixed(len) })
+        self.add(MintNode::Array {
+            elem,
+            len: LenBound::fixed(len),
+        })
     }
 
     /// Variable-length counted array with an optional upper bound.
     pub fn array_variable(&mut self, elem: MintId, max: Option<u64>) -> MintId {
-        self.add(MintNode::Array { elem, len: LenBound { min: 0, max } })
+        self.add(MintNode::Array {
+            elem,
+            len: LenBound { min: 0, max },
+        })
     }
 
     /// A counted array of characters — MINT's representation of a
@@ -211,7 +217,11 @@ impl MintGraph {
         cases: Vec<(i64, MintId)>,
         default: Option<MintId>,
     ) -> MintId {
-        self.add(MintNode::Union { discrim, cases, default })
+        self.add(MintNode::Union {
+            discrim,
+            cases,
+            default,
+        })
     }
 
     /// A typed literal constant (e.g. an operation's request code).
@@ -239,7 +249,11 @@ impl MintGraph {
             match self.get(id) {
                 MintNode::Array { elem, .. } => stack.push(*elem),
                 MintNode::Struct { slots } => stack.extend(slots.iter().map(|(_, t)| *t)),
-                MintNode::Union { discrim, cases, default } => {
+                MintNode::Union {
+                    discrim,
+                    cases,
+                    default,
+                } => {
                     stack.push(*discrim);
                     stack.extend(cases.iter().map(|(_, t)| *t));
                     if let Some(d) = default {

@@ -36,7 +36,10 @@ impl LenBound {
     /// A bound for exactly `n` elements.
     #[must_use]
     pub fn fixed(n: u64) -> Self {
-        LenBound { min: n, max: Some(n) }
+        LenBound {
+            min: n,
+            max: Some(n),
+        }
     }
 
     /// True when the count is statically known.
@@ -186,7 +189,11 @@ mod tests {
     fn len_bound_fixed() {
         assert!(LenBound::fixed(5).is_fixed());
         assert_eq!(LenBound::fixed(5).fixed_len(), Some(5));
-        assert!(!LenBound { min: 0, max: Some(9) }.is_fixed());
+        assert!(!LenBound {
+            min: 0,
+            max: Some(9)
+        }
+        .is_fixed());
         assert_eq!(LenBound { min: 0, max: None }.fixed_len(), None);
     }
 

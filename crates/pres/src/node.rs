@@ -292,7 +292,10 @@ mod tests {
         let mut mint = MintGraph::new();
         let m = mint.i32();
         let mut pres = PresTree::new();
-        let p = pres.add(PresNode::Direct { mint: m, ctype: CType::Int });
+        let p = pres.add(PresNode::Direct {
+            mint: m,
+            ctype: CType::Int,
+        });
         assert_eq!(pres.get(p).mint(), Some(m));
         assert_eq!(pres.get(p).ctype(), Some(&CType::Int));
     }
@@ -305,7 +308,10 @@ mod tests {
         let chars = mint.string(None);
         let c8 = mint.char8();
         let mut pres = PresTree::new();
-        let elem = pres.add(PresNode::Direct { mint: c8, ctype: CType::Char });
+        let elem = pres.add(PresNode::Direct {
+            mint: c8,
+            ctype: CType::Char,
+        });
         let p = pres.add(PresNode::OptPtr {
             mint: chars,
             elem,

@@ -26,7 +26,11 @@ pub fn print(presc: &PresC) -> String {
         }
     );
     if presc.program != 0 {
-        let _ = writeln!(out, "program 0x{:x} version {}", presc.program, presc.version);
+        let _ = writeln!(
+            out,
+            "program 0x{:x} version {}",
+            presc.program, presc.version
+        );
     }
     for stub in &presc.stubs {
         let _ = writeln!(
@@ -133,7 +137,12 @@ fn pres_str(presc: &PresC, id: PresId, depth: usize) -> String {
             format!("opt_ptr -> {}", pres_str(presc, *elem, depth + 1))
         }
         PresNode::TerminatedString { .. } => "string (NUL-terminated char *)".into(),
-        PresNode::CountedSeq { elem, length_field, buffer_field, .. } => format!(
+        PresNode::CountedSeq {
+            elem,
+            length_field,
+            buffer_field,
+            ..
+        } => format!(
             "counted_seq({length_field}/{buffer_field}) of {}",
             pres_str(presc, *elem, depth + 1)
         ),
@@ -190,14 +199,24 @@ mod tests {
                 decl: CFunction {
                     name: "Mail_send".into(),
                     ret: CType::Void,
-                    params: vec![CParam { name: "msg".into(), ty: CType::ptr(CType::Char) }],
+                    params: vec![CParam {
+                        name: "msg".into(),
+                        ty: CType::ptr(CType::Char),
+                    }],
                     body: None,
                 },
                 request: MessagePres {
                     mint: req,
-                    slots: vec![ParamBinding { c_name: "msg".into(), pres: slot, by_ref: false }],
+                    slots: vec![ParamBinding {
+                        c_name: "msg".into(),
+                        pres: slot,
+                        by_ref: false,
+                    }],
                 },
-                reply: MessagePres { mint: rep, slots: vec![] },
+                reply: MessagePres {
+                    mint: rep,
+                    slots: vec![],
+                },
                 op: OpInfo {
                     name: "send".into(),
                     request_code: 1,
@@ -208,11 +227,17 @@ mod tests {
             style: "corba-c".into(),
         };
         let p = print(&presc);
-        assert!(p.contains("presentation Mail (style corba-c, side client)"), "{p}");
+        assert!(
+            p.contains("presentation Mail (style corba-c, side client)"),
+            "{p}"
+        );
         assert!(p.contains("program 0x20000001 version 1"), "{p}");
         assert!(p.contains("stub Mail_send [send#1]"), "{p}");
         assert!(p.contains("cast: void Mail_send(char *msg)"), "{p}");
         assert!(p.contains("{_op: const Unsigned(1), msg: char8<>}"), "{p}");
-        assert!(p.contains("slot msg: string (NUL-terminated char *)"), "{p}");
+        assert!(
+            p.contains("slot msg: string (NUL-terminated char *)"),
+            "{p}"
+        );
     }
 }

@@ -113,11 +113,20 @@ mod tests {
             decl: CFunction {
                 name: "Mail_send".into(),
                 ret: CType::Void,
-                params: vec![CParam { name: "obj".into(), ty: CType::named("Mail") }],
+                params: vec![CParam {
+                    name: "obj".into(),
+                    ty: CType::named("Mail"),
+                }],
                 body: None,
             },
-            request: MessagePres { mint: req, slots: vec![] },
-            reply: MessagePres { mint: rep, slots: vec![] },
+            request: MessagePres {
+                mint: req,
+                slots: vec![],
+            },
+            reply: MessagePres {
+                mint: rep,
+                slots: vec![],
+            },
             op: OpInfo {
                 name: "send".into(),
                 request_code: 1,

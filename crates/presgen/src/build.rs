@@ -113,11 +113,17 @@ impl<'a> Builder<'a> {
             }
             Type::Array { elem, len } => {
                 let e = self.mint_of(elem);
-                MintNode::Array { elem: e, len: flick_mint::LenBound::fixed(len) }
+                MintNode::Array {
+                    elem: e,
+                    len: flick_mint::LenBound::fixed(len),
+                }
             }
             Type::Sequence { elem, bound } => {
                 let e = self.mint_of(elem);
-                MintNode::Array { elem: e, len: flick_mint::LenBound { min: 0, max: bound } }
+                MintNode::Array {
+                    elem: e,
+                    len: flick_mint::LenBound { min: 0, max: bound },
+                }
             }
             Type::Opaque { fixed_len, bound } => {
                 let b = self.mint.u8();
@@ -134,7 +140,11 @@ impl<'a> Builder<'a> {
                     .collect();
                 MintNode::Struct { slots }
             }
-            Type::Union { discriminator, cases, .. } => {
+            Type::Union {
+                discriminator,
+                cases,
+                ..
+            } => {
                 let d = self.mint_of(discriminator);
                 let mut arms = Vec::new();
                 let mut default = None;
@@ -150,7 +160,11 @@ impl<'a> Builder<'a> {
                         }
                     }
                 }
-                MintNode::Union { discrim: d, cases: arms, default }
+                MintNode::Union {
+                    discrim: d,
+                    cases: arms,
+                    default,
+                }
             }
             Type::Enum { .. } => MintNode::integer_bits(false, 32),
             Type::Alias { .. } => unreachable!("aliases resolved before reservation"),
@@ -158,12 +172,19 @@ impl<'a> Builder<'a> {
                 let e = self.mint_of(elem);
                 let b = self.mint.boolean();
                 let v = self.mint.void();
-                MintNode::Union { discrim: b, cases: vec![(0, v), (1, e)], default: None }
+                MintNode::Union {
+                    discrim: b,
+                    cases: vec![(0, v), (1, e)],
+                    default: None,
+                }
             }
             // Object references travel as object-key strings.
             Type::ObjRef { .. } => {
                 let c = self.mint.char8();
-                MintNode::Array { elem: c, len: flick_mint::LenBound { min: 0, max: None } }
+                MintNode::Array {
+                    elem: c,
+                    len: flick_mint::LenBound { min: 0, max: None },
+                }
             }
         };
         self.mint.patch(slot, node);
@@ -204,7 +225,9 @@ impl<'a> Builder<'a> {
                 self.emit_seq_typedef(&name, elem);
                 CType::named(name)
             }
-            Type::Opaque { fixed_len: Some(n), .. } => CType::array(CType::Char, n),
+            Type::Opaque {
+                fixed_len: Some(n), ..
+            } => CType::array(CType::Char, n),
             Type::Opaque { .. } => {
                 let octet = self.aoi.types.iter().find_map(|(id, t)| {
                     if matches!(t, Type::Prim(PrimType::Octet)) {
@@ -231,7 +254,11 @@ impl<'a> Builder<'a> {
                 self.emit_struct_typedef(&cname, &fields);
                 CType::named(cname)
             }
-            Type::Union { name, discriminator, cases } => {
+            Type::Union {
+                name,
+                discriminator,
+                cases,
+            } => {
                 let cname = flatten(&name);
                 self.ctype_memo.insert(ty, CType::named(cname.clone()));
                 self.emit_union_typedef(&cname, discriminator, &cases);
@@ -255,7 +282,10 @@ impl<'a> Builder<'a> {
                 let cname = flatten(&name);
                 let under = self.ctype_of(target);
                 if self.emitted.insert(cname.clone()) {
-                    self.cast.push(CDecl::Typedef { name: cname.clone(), ty: under });
+                    self.cast.push(CDecl::Typedef {
+                        name: cname.clone(),
+                        ty: under,
+                    });
                 }
                 CType::named(cname)
             }
@@ -298,9 +328,18 @@ impl<'a> Builder<'a> {
             ty: CType::StructDef {
                 tag: None,
                 fields: vec![
-                    CField { name: max_f.to_string(), ty: CType::UInt },
-                    CField { name: len_f.to_string(), ty: CType::UInt },
-                    CField { name: buf_f.to_string(), ty: CType::ptr(elem_c) },
+                    CField {
+                        name: max_f.to_string(),
+                        ty: CType::UInt,
+                    },
+                    CField {
+                        name: len_f.to_string(),
+                        ty: CType::UInt,
+                    },
+                    CField {
+                        name: buf_f.to_string(),
+                        ty: CType::ptr(elem_c),
+                    },
                 ],
             },
         });
@@ -312,9 +351,15 @@ impl<'a> Builder<'a> {
         }
         let cfields: Vec<CField> = fields
             .iter()
-            .map(|f| CField { name: f.name.clone(), ty: self.ctype_of(f.ty) })
+            .map(|f| CField {
+                name: f.name.clone(),
+                ty: self.ctype_of(f.ty),
+            })
             .collect();
-        self.cast.push(CDecl::Struct { tag: cname.to_string(), fields: cfields });
+        self.cast.push(CDecl::Struct {
+            tag: cname.to_string(),
+            fields: cfields,
+        });
         self.cast.push(CDecl::Typedef {
             name: cname.to_string(),
             ty: CType::StructRef(cname.to_string()),
@@ -334,16 +379,25 @@ impl<'a> Builder<'a> {
         let arms: Vec<CField> = cases
             .iter()
             .filter_map(|c| {
-                c.ty.map(|t| CField { name: c.name.clone(), ty: self.ctype_of(t) })
+                c.ty.map(|t| CField {
+                    name: c.name.clone(),
+                    ty: self.ctype_of(t),
+                })
             })
             .collect();
         self.cast.push(CDecl::Struct {
             tag: cname.to_string(),
             fields: vec![
-                CField { name: "_d".into(), ty: disc_c },
+                CField {
+                    name: "_d".into(),
+                    ty: disc_c,
+                },
                 CField {
                     name: "_u".into(),
-                    ty: CType::StructDef { tag: None, fields: arms },
+                    ty: CType::StructDef {
+                        tag: None,
+                        fields: arms,
+                    },
                 },
             ],
         });
@@ -376,11 +430,19 @@ impl<'a> Builder<'a> {
         let mint = self.mint_of(ty);
         let node = match self.aoi.types.get(ty).clone() {
             Type::Prim(PrimType::Void) => PresNode::Void,
-            Type::Prim(p) => PresNode::Direct { mint, ctype: prim_ctype(p) },
+            Type::Prim(p) => PresNode::Direct {
+                mint,
+                ctype: prim_ctype(p),
+            },
             Type::String { .. } => PresNode::TerminatedString { mint, alloc },
             Type::Array { elem, len } => {
                 let e = self.pres_of(elem, alloc);
-                PresNode::FixedArray { mint, elem: e, len, ctype: self.ctype_of(ty) }
+                PresNode::FixedArray {
+                    mint,
+                    elem: e,
+                    len,
+                    ctype: self.ctype_of(ty),
+                }
             }
             Type::Sequence { elem, .. } => {
                 let e = self.pres_of(elem, alloc);
@@ -395,14 +457,27 @@ impl<'a> Builder<'a> {
                     alloc,
                 }
             }
-            Type::Opaque { fixed_len: Some(n), .. } => {
+            Type::Opaque {
+                fixed_len: Some(n), ..
+            } => {
                 let u8m = self.mint.u8();
-                let e = self.pres.add(PresNode::Direct { mint: u8m, ctype: CType::Char });
-                PresNode::FixedArray { mint, elem: e, len: n, ctype: self.ctype_of(ty) }
+                let e = self.pres.add(PresNode::Direct {
+                    mint: u8m,
+                    ctype: CType::Char,
+                });
+                PresNode::FixedArray {
+                    mint,
+                    elem: e,
+                    len: n,
+                    ctype: self.ctype_of(ty),
+                }
             }
             Type::Opaque { .. } => {
                 let u8m = self.mint.u8();
-                let e = self.pres.add(PresNode::Direct { mint: u8m, ctype: CType::UChar });
+                let e = self.pres.add(PresNode::Direct {
+                    mint: u8m,
+                    ctype: CType::UChar,
+                });
                 let (len_f, max_f, buf_f) = self.hooks.seq_fields;
                 PresNode::CountedSeq {
                     mint,
@@ -419,9 +494,17 @@ impl<'a> Builder<'a> {
                     .iter()
                     .map(|f| (f.name.clone(), self.pres_of(f.ty, alloc)))
                     .collect();
-                PresNode::StructMap { mint, ctype: self.ctype_of(ty), fields: fps }
+                PresNode::StructMap {
+                    mint,
+                    ctype: self.ctype_of(ty),
+                    fields: fps,
+                }
             }
-            Type::Union { discriminator, cases, .. } => {
+            Type::Union {
+                discriminator,
+                cases,
+                ..
+            } => {
                 let d = self.pres_of(discriminator, alloc);
                 let mut arms = Vec::new();
                 let mut default = None;
@@ -450,7 +533,10 @@ impl<'a> Builder<'a> {
                     default,
                 }
             }
-            Type::Enum { .. } => PresNode::EnumMap { mint, ctype: self.ctype_of(ty) },
+            Type::Enum { .. } => PresNode::EnumMap {
+                mint,
+                ctype: self.ctype_of(ty),
+            },
             Type::Alias { .. } => unreachable!("aliases resolved before reservation"),
             Type::Optional { elem } => {
                 if !self.hooks.allows_optional {
@@ -461,7 +547,12 @@ impl<'a> Builder<'a> {
                     )));
                 }
                 let e = self.pres_of(elem, alloc);
-                PresNode::OptionalPtr { mint, elem: e, ctype: self.ctype_of(ty), alloc }
+                PresNode::OptionalPtr {
+                    mint,
+                    elem: e,
+                    ctype: self.ctype_of(ty),
+                    alloc,
+                }
             }
             Type::ObjRef { .. } => PresNode::TerminatedString { mint, alloc },
         };
@@ -525,12 +616,7 @@ impl<'a> Builder<'a> {
     }
 
     /// Builds the stub for one operation.
-    pub(crate) fn build_stub(
-        &mut self,
-        iface: &Interface,
-        op: &Operation,
-        side: Side,
-    ) -> Stub {
+    pub(crate) fn build_stub(&mut self, iface: &Interface, op: &Operation, side: Side) -> Stub {
         let iface_c = flatten(&iface.name);
         let name = match side {
             Side::Client => (self.hooks.stub_name)(&iface_c, &op.name, op.request_code),
@@ -550,7 +636,10 @@ impl<'a> Builder<'a> {
                     ty: CType::ptr(CType::Void),
                 });
             }
-            params.push(CParam { name: "obj".into(), ty: CType::named(obj_ty) });
+            params.push(CParam {
+                name: "obj".into(),
+                ty: CType::named(obj_ty),
+            });
         }
 
         let mut req_slots = Vec::new();
@@ -561,14 +650,30 @@ impl<'a> Builder<'a> {
         let ret_is_void = matches!(self.aoi.types.get(ret_resolved), Type::Prim(PrimType::Void));
         if !ret_is_void {
             let p = self.pres_of(op.ret, alloc);
-            rep_slots.push(ParamBinding { c_name: "_return".into(), pres: p, by_ref: false });
+            rep_slots.push(ParamBinding {
+                c_name: "_return".into(),
+                pres: p,
+                by_ref: false,
+            });
         }
 
-        for Param { name: pname, dir, ty } in &op.params {
+        for Param {
+            name: pname,
+            dir,
+            ty,
+        } in &op.params
+        {
             let (cty, by_ref) = self.param_ctype(*ty, *dir);
-            params.push(CParam { name: pname.clone(), ty: cty });
+            params.push(CParam {
+                name: pname.clone(),
+                ty: cty,
+            });
             let p = self.pres_of(*ty, alloc);
-            let binding = ParamBinding { c_name: pname.clone(), pres: p, by_ref };
+            let binding = ParamBinding {
+                c_name: pname.clone(),
+                pres: p,
+                by_ref,
+            };
             if dir.in_request() {
                 req_slots.push(binding.clone());
             }
@@ -587,7 +692,10 @@ impl<'a> Builder<'a> {
             if self.emitted.insert(ty_name.to_string()) {
                 self.cast.push(CDecl::Struct {
                     tag: ty_name.to_string(),
-                    fields: vec![CField { name: "_major".into(), ty: CType::Int }],
+                    fields: vec![CField {
+                        name: "_major".into(),
+                        ty: CType::Int,
+                    }],
                 });
                 self.cast.push(CDecl::Typedef {
                     name: ty_name.to_string(),
@@ -656,9 +764,20 @@ impl<'a> Builder<'a> {
                 }
                 Side::Server => StubKind::ServerWork,
             },
-            decl: CFunction { name, ret: ret_c, params, body: None },
-            request: MessagePres { mint: request_mint, slots: req_slots },
-            reply: MessagePres { mint: reply_mint, slots: rep_slots },
+            decl: CFunction {
+                name,
+                ret: ret_c,
+                params,
+                body: None,
+            },
+            request: MessagePres {
+                mint: request_mint,
+                slots: req_slots,
+            },
+            reply: MessagePres {
+                mint: reply_mint,
+                slots: rep_slots,
+            },
             op: OpInfo {
                 name: op.name.clone(),
                 request_code: op.request_code,
@@ -684,17 +803,13 @@ impl<'a> Builder<'a> {
     pub(crate) fn expand_attributes(&mut self, iface: &Interface) -> Vec<Operation> {
         let mut ops = iface.ops.clone();
         let mut next_code = ops.iter().map(|o| o.request_code).max().unwrap_or(0) + 1;
-        let void = self
-            .aoi
-            .types
-            .iter()
-            .find_map(|(id, t)| {
-                if matches!(t, Type::Prim(PrimType::Void)) {
-                    Some(id)
-                } else {
-                    None
-                }
-            });
+        let void = self.aoi.types.iter().find_map(|(id, t)| {
+            if matches!(t, Type::Prim(PrimType::Void)) {
+                Some(id)
+            } else {
+                None
+            }
+        });
         for attr in &iface.attrs {
             let void = void.expect("void type must exist when attributes are present");
             ops.push(Operation {

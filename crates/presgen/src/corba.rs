@@ -53,10 +53,7 @@ mod tests {
     use flick_pres::{PresNode, StubKind};
 
     fn mail_aoi() -> Aoi {
-        flick_frontend_corba::parse_str(
-            "mail.idl",
-            "interface Mail { void send(in string msg); };",
-        )
+        flick_frontend_corba::parse_str("mail.idl", "interface Mail { void send(in string msg); };")
     }
 
     #[test]
@@ -68,7 +65,9 @@ mod tests {
         let mut d = Diagnostics::new();
         let p = corba_c(&aoi, "Mail", Side::Client, &mut d).expect("generated");
         assert!(!d.has_errors());
-        let stub = p.stub("Mail_send").expect("stub name follows the C mapping");
+        let stub = p
+            .stub("Mail_send")
+            .expect("stub name follows the C mapping");
         assert_eq!(stub.kind, StubKind::ClientCall);
         let sig: Vec<(&str, &CType)> = stub
             .decl
@@ -118,8 +117,12 @@ mod tests {
         let mut d = Diagnostics::new();
         let p = corba_c(&aoi, "Draw", Side::Client, &mut d).unwrap();
         let stub = p.stub("Draw_paint").unwrap();
-        let PresNode::CountedSeq { length_field, maximum_field, buffer_field, .. } =
-            p.pres.get(stub.request.slots[0].pres)
+        let PresNode::CountedSeq {
+            length_field,
+            maximum_field,
+            buffer_field,
+            ..
+        } = p.pres.get(stub.request.slots[0].pres)
         else {
             panic!("expected CountedSeq");
         };
@@ -142,7 +145,10 @@ mod tests {
         let mut d = Diagnostics::new();
         let p = corba_c(&aoi, "Acct", Side::Client, &mut d).unwrap();
         assert!(p.stub("Acct__get_balance").is_some());
-        assert!(p.stub("Acct__set_balance").is_none(), "readonly has no setter");
+        assert!(
+            p.stub("Acct__set_balance").is_none(),
+            "readonly has no setter"
+        );
         assert!(p.stub("Acct__get_owner").is_some());
         assert!(p.stub("Acct__set_owner").is_some());
     }
@@ -186,7 +192,11 @@ mod tests {
         let aoi = mail_aoi();
         let mut d = Diagnostics::new();
         let p = corba_c(&aoi, "Mail", Side::Server, &mut d).unwrap();
-        let stub = p.stubs.iter().find(|s| s.kind == StubKind::ServerWork).unwrap();
+        let stub = p
+            .stubs
+            .iter()
+            .find(|s| s.kind == StubKind::ServerWork)
+            .unwrap();
         let PresNode::TerminatedString { alloc, .. } = p.pres.get(stub.request.slots[0].pres)
         else {
             panic!("expected string");
@@ -204,7 +214,10 @@ mod tests {
         let p = corba_c(&aoi, "Log", Side::Client, &mut d).unwrap();
         let stub = p.stub("Log_emit").unwrap();
         assert_eq!(stub.kind, StubKind::OnewaySend);
-        assert!(matches!(p.mint.get(stub.reply.mint), flick_mint::MintNode::Void));
+        assert!(matches!(
+            p.mint.get(stub.reply.mint),
+            flick_mint::MintNode::Void
+        ));
     }
 
     #[test]

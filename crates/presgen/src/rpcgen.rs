@@ -137,8 +137,11 @@ mod tests {
         let mut d = Diagnostics::new();
         let p = rpcgen_c(&aoi, "P", Side::Client, &mut d).unwrap();
         let s = p.stub("put_1").unwrap();
-        let PresNode::CountedSeq { length_field, buffer_field, .. } =
-            p.pres.get(s.request.slots[0].pres)
+        let PresNode::CountedSeq {
+            length_field,
+            buffer_field,
+            ..
+        } = p.pres.get(s.request.slots[0].pres)
         else {
             panic!("expected counted sequence");
         };

@@ -28,7 +28,9 @@ impl MarshalBuf {
     /// A buffer with `cap` bytes pre-reserved.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        MarshalBuf { data: Vec::with_capacity(cap) }
+        MarshalBuf {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Resets length to zero, *keeping* the allocation for reuse.
@@ -81,7 +83,9 @@ impl MarshalBuf {
     pub fn chunk(&mut self, n: usize) -> ChunkWriter<'_> {
         let start = self.data.len();
         self.data.resize(start + n, 0);
-        ChunkWriter { s: &mut self.data[start..] }
+        ChunkWriter {
+            s: &mut self.data[start..],
+        }
     }
 
     /// Appends raw bytes (the `memcpy` fast path for atomic arrays).
@@ -300,7 +304,10 @@ impl<'a> MsgReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
-            return Err(DecodeError::Truncated { needed: n, available: self.remaining() });
+            return Err(DecodeError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
         }
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -536,7 +543,13 @@ mod tests {
         let data = [0u8; 3];
         let mut r = MsgReader::new(&data);
         let e = r.chunk(4).unwrap_err();
-        assert_eq!(e, DecodeError::Truncated { needed: 4, available: 3 });
+        assert_eq!(
+            e,
+            DecodeError::Truncated {
+                needed: 4,
+                available: 3
+            }
+        );
     }
 
     #[test]

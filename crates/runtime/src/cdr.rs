@@ -60,7 +60,10 @@ impl CdrOut {
     /// A stream beginning at the buffer's current end.
     #[must_use]
     pub fn begin(buf: &MarshalBuf, order: ByteOrder) -> Self {
-        CdrOut { order, base: buf.len() }
+        CdrOut {
+            order,
+            base: buf.len(),
+        }
     }
 
     /// Pads so the next datum is `align`-aligned within the stream.
@@ -155,7 +158,10 @@ impl CdrIn {
     /// A stream beginning at the reader's current position.
     #[must_use]
     pub fn begin(r: &MsgReader<'_>, order: ByteOrder) -> Self {
-        CdrIn { order, base: r.pos() }
+        CdrIn {
+            order,
+            base: r.pos(),
+        }
     }
 
     /// Skips padding so the next datum is `align`-aligned.
@@ -327,7 +333,10 @@ mod tests {
 
     #[test]
     fn giop_flag_roundtrip() {
-        assert_eq!(ByteOrder::from_giop_flag(ByteOrder::Big.giop_flag()), ByteOrder::Big);
+        assert_eq!(
+            ByteOrder::from_giop_flag(ByteOrder::Big.giop_flag()),
+            ByteOrder::Big
+        );
         assert_eq!(
             ByteOrder::from_giop_flag(ByteOrder::Little.giop_flag()),
             ByteOrder::Little

@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = DecodeError::Truncated { needed: 8, available: 3 };
+        let e = DecodeError::Truncated {
+            needed: 8,
+            available: 3,
+        };
         assert!(e.to_string().contains("needed 8"));
         let e = DecodeError::BadDiscriminator { value: 9 };
         assert!(e.to_string().contains('9'));

@@ -56,6 +56,7 @@ impl FlukeWriter {
     /// An empty writer.
     #[must_use]
     pub fn new() -> Self {
+        crate::metrics::encode_begin(crate::metrics::Codec::Fluke);
         Self::default()
     }
 
@@ -87,6 +88,10 @@ impl FlukeWriter {
     #[must_use]
     pub fn finish(mut self) -> FlukeMsg {
         self.msg.overflow = std::mem::take(&mut self.spill).into_vec();
+        crate::metrics::encode_end(
+            crate::metrics::Codec::Fluke,
+            self.msg.payload_bytes() as u64,
+        );
         self.msg
     }
 }
@@ -103,6 +108,7 @@ impl<'a> FlukeReader<'a> {
     /// Starts reading `msg`.
     #[must_use]
     pub fn new(msg: &'a FlukeMsg) -> Self {
+        crate::metrics::decode_end(crate::metrics::Codec::Fluke, msg.payload_bytes() as u64);
         FlukeReader {
             msg,
             reg_pos: 0,

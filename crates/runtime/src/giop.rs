@@ -97,6 +97,7 @@ impl ReplyStatus {
 /// Writes a GIOP header with a zero size, returning the offset of the
 /// size field to [`finish_message`] later.
 pub fn begin_message(buf: &mut MarshalBuf, order: ByteOrder, ty: MsgType) -> usize {
+    crate::metrics::encode_begin(crate::metrics::Codec::Cdr);
     let mut c = buf.chunk(HEADER_BYTES);
     c.put_bytes_at(0, b"GIOP");
     c.put_u8_at(4, 1); // major
@@ -115,6 +116,7 @@ pub fn finish_message(buf: &mut MarshalBuf, size_at: usize, order: ByteOrder) {
         ByteOrder::Big => buf.patch_u32_be(size_at, body),
         ByteOrder::Little => buf.patch_u32_le(size_at, body),
     }
+    crate::metrics::encode_end(crate::metrics::Codec::Cdr, buf.len() as u64);
 }
 
 /// A decoded GIOP header.
@@ -130,6 +132,7 @@ pub struct GiopHeader {
 
 /// Reads and validates a GIOP header.
 pub fn read_header(r: &mut MsgReader<'_>) -> Result<GiopHeader, DecodeError> {
+    crate::metrics::decode_begin(crate::metrics::Codec::Cdr);
     let c = r.chunk(HEADER_BYTES)?;
     if c.bytes_at(0, 4) != b"GIOP" {
         return Err(DecodeError::BadHeader("bad GIOP magic"));
@@ -143,7 +146,15 @@ pub fn read_header(r: &mut MsgReader<'_>) -> Result<GiopHeader, DecodeError> {
         ByteOrder::Big => c.get_u32_be_at(8),
         ByteOrder::Little => c.get_u32_le_at(8),
     };
-    Ok(GiopHeader { order, msg_type, size })
+    crate::metrics::decode_end(
+        crate::metrics::Codec::Cdr,
+        HEADER_BYTES as u64 + u64::from(size),
+    );
+    Ok(GiopHeader {
+        order,
+        msg_type,
+        size,
+    })
 }
 
 /// Writes a GIOP 1.0 request header into an open CDR stream.
@@ -196,16 +207,16 @@ pub fn get_request_header(
     let operation = String::from_utf8(cdr.get_string(r)?.to_vec())
         .map_err(|_| DecodeError::BadValue("operation name is not UTF-8"))?;
     let _principal = cdr.get_u32(r)?;
-    Ok(RequestHeader { request_id, response_expected, object_key, operation })
+    Ok(RequestHeader {
+        request_id,
+        response_expected,
+        object_key,
+        operation,
+    })
 }
 
 /// Writes a GIOP 1.0 reply header into an open CDR stream.
-pub fn put_reply_header(
-    buf: &mut MarshalBuf,
-    cdr: &CdrOut,
-    request_id: u32,
-    status: ReplyStatus,
-) {
+pub fn put_reply_header(buf: &mut MarshalBuf, cdr: &CdrOut, request_id: u32, status: ReplyStatus) {
     cdr.put_u32(buf, 0); // empty service context list
     cdr.put_u32(buf, request_id);
     cdr.put_u32(buf, status.to_u32());
@@ -278,7 +289,13 @@ mod tests {
         assert_eq!(h.msg_type, MsgType::Reply);
         let cin = CdrIn::begin(&r, h.order);
         let rh = get_reply_header(&mut r, &cin).unwrap();
-        assert_eq!(rh, ReplyHeader { request_id: 42, status: ReplyStatus::NoException });
+        assert_eq!(
+            rh,
+            ReplyHeader {
+                request_id: 42,
+                status: ReplyStatus::NoException
+            }
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`fluke`] — the Fluke kernel IPC format: the first few words of a
 //!   message travel in a register window, the rest in a buffer;
 //! * [`giop`] — GIOP/IIOP message, request, and reply headers;
-//! * [`oncrpc`] — ONC RPC call/reply headers and TCP record marking.
+//! * [`oncrpc`] — ONC RPC call/reply headers and TCP record marking;
+//! * [`metrics`] — marshal metrics hooks for the codec hot paths.
+//!   They compile to empty inline functions unless the `telemetry`
+//!   cargo feature is enabled, and record lock-free when it is.
 //!
 //! Everything here is deliberately `no_std`-shaped (no I/O): transports
 //! live in `flick-transport`.
@@ -29,6 +32,7 @@ pub mod error;
 pub mod fluke;
 pub mod giop;
 pub mod mach;
+pub mod metrics;
 pub mod oncrpc;
 pub mod pod;
 pub mod xdr;

@@ -50,6 +50,9 @@ impl MachHeader {
     /// Writes the header (native-order words, per Mach convention —
     /// Mach messages never cross byte orders on one host).
     pub fn write(&self, buf: &mut MarshalBuf) {
+        // The header carries the full message size, so one hook counts
+        // the whole message even though the body is written after.
+        crate::metrics::encode_end(crate::metrics::Codec::Mach, u64::from(self.size));
         let mut c = buf.chunk(HEADER_BYTES);
         c.put_u32_le_at(0, 0); // msgh_bits: simple message
         c.put_u32_le_at(4, self.size);
@@ -62,12 +65,14 @@ impl MachHeader {
     /// Reads a header.
     pub fn read(r: &mut MsgReader<'_>) -> Result<Self, DecodeError> {
         let c = r.chunk(HEADER_BYTES)?;
-        Ok(MachHeader {
+        let h = MachHeader {
             size: c.get_u32_le_at(4),
             remote_port: c.get_u32_le_at(8),
             local_port: c.get_u32_le_at(12),
             id: c.get_u32_le_at(20) as i32,
-        })
+        };
+        crate::metrics::decode_end(crate::metrics::Codec::Mach, u64::from(h.size));
+        Ok(h)
     }
 }
 
@@ -94,10 +99,7 @@ impl TypeDesc {
 pub fn put_type(buf: &mut MarshalBuf, name: u8, size_bits: u8, number: u32) {
     if number <= SHORT_FORM_MAX {
         // word = name | size << 8 | number << 16 | inline bit (1 << 28)
-        let w = u32::from(name)
-            | (u32::from(size_bits) << 8)
-            | (number << 16)
-            | (1 << 28); // msgt_inline
+        let w = u32::from(name) | (u32::from(size_bits) << 8) | (number << 16) | (1 << 28); // msgt_inline
         buf.put_u32_le(w);
     } else {
         // Long form: header word with msgt_longform, then name/size and
@@ -158,7 +160,12 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = MachHeader { size: 64, remote_port: 5, local_port: 9, id: 2400 };
+        let h = MachHeader {
+            size: 64,
+            remote_port: 5,
+            local_port: 9,
+            id: 2400,
+        };
         let mut b = MarshalBuf::new();
         h.write(&mut b);
         assert_eq!(b.len(), HEADER_BYTES);
@@ -175,7 +182,14 @@ mod tests {
         let data = b.into_vec();
         let mut r = MsgReader::new(&data);
         let t = get_type(&mut r).unwrap();
-        assert_eq!(t, TypeDesc { name: 2, size_bits: 32, number: 16 });
+        assert_eq!(
+            t,
+            TypeDesc {
+                name: 2,
+                size_bits: 32,
+                number: 16
+            }
+        );
         assert_eq!(t.payload_bytes(), 64);
     }
 
@@ -187,7 +201,14 @@ mod tests {
         let data = b.into_vec();
         let mut r = MsgReader::new(&data);
         let t = get_type(&mut r).unwrap();
-        assert_eq!(t, TypeDesc { name: 9, size_bits: 8, number: 100_000 });
+        assert_eq!(
+            t,
+            TypeDesc {
+                name: 9,
+                size_bits: 8,
+                number: 100_000
+            }
+        );
     }
 
     #[test]

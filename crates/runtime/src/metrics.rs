@@ -1,0 +1,183 @@
+//! Marshal metrics hooks for the runtime hot paths.
+//!
+//! Every hook compiles to an empty `#[inline]` function unless the
+//! crate's `telemetry` cargo feature is on, and even then records
+//! nothing until `flick_telemetry::enabled()` is true — so the default
+//! build and the disabled-at-runtime path both stay off the metrics
+//! code entirely.
+//!
+//! Encode sites call [`encode_begin`] when message construction starts
+//! (e.g. `giop::begin_message`) and [`encode_end`] when the message is
+//! complete; `encode_end` without a matching begin still counts the
+//! message and its size, it just skips the latency histogram.  Decode
+//! sites bracket the work they can see the same way.
+
+/// The wire format being measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codec {
+    /// CORBA CDR (GIOP/IIOP messages).
+    Cdr,
+    /// ONC RPC XDR (record-marked messages).
+    Xdr,
+    /// Mach 3 typed messages.
+    Mach,
+    /// Fluke register-window messages.
+    Fluke,
+}
+
+impl Codec {
+    /// Metric-name component.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Cdr => "cdr",
+            Codec::Xdr => "xdr",
+            Codec::Mach => "mach",
+            Codec::Fluke => "fluke",
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::Codec;
+    use flick_telemetry::{global, Counter, Histogram};
+    use std::cell::RefCell;
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    struct Dir {
+        msgs: &'static Counter,
+        bytes: &'static Counter,
+        ns: &'static Histogram,
+        size: &'static Histogram,
+    }
+
+    struct Handles {
+        encode: [Dir; 4],
+        decode: [Dir; 4],
+    }
+
+    fn dir(codec: Codec, op: &str) -> Dir {
+        let r = global();
+        let base = format!("runtime.{}.{op}", codec.name());
+        Dir {
+            msgs: r.counter(&format!("{base}.msgs")),
+            bytes: r.counter(&format!("{base}.bytes")),
+            ns: r.histogram(&format!("{base}.ns")),
+            size: r.histogram(&format!("{base}.size")),
+        }
+    }
+
+    fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let all = [Codec::Cdr, Codec::Xdr, Codec::Mach, Codec::Fluke];
+            Handles {
+                encode: all.map(|c| dir(c, "encode")),
+                decode: all.map(|c| dir(c, "decode")),
+            }
+        })
+    }
+
+    // Per-thread stopwatches: encode in slots 0..4, decode in 4..8.
+    thread_local! {
+        static STARTS: RefCell<[Option<Instant>; 8]> = const { RefCell::new([None; 8]) };
+    }
+
+    fn slot(codec: Codec, decode: bool) -> usize {
+        codec as usize + if decode { 4 } else { 0 }
+    }
+
+    pub fn begin(codec: Codec, decode: bool) {
+        if !flick_telemetry::enabled() {
+            return;
+        }
+        STARTS.with(|s| s.borrow_mut()[slot(codec, decode)] = Some(Instant::now()));
+    }
+
+    pub fn end(codec: Codec, decode: bool, bytes: u64) {
+        if !flick_telemetry::enabled() {
+            return;
+        }
+        let start = STARTS.with(|s| s.borrow_mut()[slot(codec, decode)].take());
+        let h = handles();
+        let d = if decode {
+            &h.decode[codec as usize]
+        } else {
+            &h.encode[codec as usize]
+        };
+        d.msgs.inc();
+        d.bytes.add(bytes);
+        d.size.record(bytes);
+        if let Some(t) = start {
+            d.ns.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Marks the start of encoding one message.
+#[inline]
+pub fn encode_begin(codec: Codec) {
+    #[cfg(feature = "telemetry")]
+    imp::begin(codec, false);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = codec;
+}
+
+/// Records one encoded message of `bytes` total size.
+#[inline]
+pub fn encode_end(codec: Codec, bytes: u64) {
+    #[cfg(feature = "telemetry")]
+    imp::end(codec, false, bytes);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (codec, bytes);
+}
+
+/// Marks the start of decoding one message.
+#[inline]
+pub fn decode_begin(codec: Codec) {
+    #[cfg(feature = "telemetry")]
+    imp::begin(codec, true);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = codec;
+}
+
+/// Records one decoded message of `bytes` total size.
+#[inline]
+pub fn decode_end(codec: Codec, bytes: u64) {
+    #[cfg(feature = "telemetry")]
+    imp::end(codec, true, bytes);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (codec, bytes);
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    // One test, not two: the enable flag is process-global, so phases
+    // must run sequentially.
+    #[test]
+    fn hooks_respect_the_enable_flag() {
+        flick_telemetry::set_enabled(false);
+        encode_begin(Codec::Fluke);
+        encode_end(Codec::Fluke, 64);
+        let s = flick_telemetry::global().snapshot();
+        assert_eq!(s.counter("runtime.fluke.encode.msgs").unwrap_or(0), 0);
+
+        flick_telemetry::set_enabled(true);
+        encode_begin(Codec::Cdr);
+        encode_end(Codec::Cdr, 128);
+        decode_end(Codec::Cdr, 128);
+        let s = flick_telemetry::global().snapshot();
+        assert!(s.counter("runtime.cdr.encode.msgs").unwrap() >= 1);
+        assert!(s.counter("runtime.cdr.encode.bytes").unwrap() >= 128);
+        assert!(s.counter("runtime.cdr.decode.msgs").unwrap() >= 1);
+        assert!(matches!(
+            s.get("runtime.cdr.encode.ns"),
+            Some(flick_telemetry::MetricValue::Histogram(h)) if h.count >= 1
+        ));
+        flick_telemetry::set_enabled(false);
+    }
+}

@@ -35,6 +35,7 @@ pub struct CallHeader {
 impl CallHeader {
     /// Writes the header (fixed layout — a single chunk).
     pub fn write(&self, buf: &mut MarshalBuf) {
+        crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
         buf.ensure(CALL_HEADER_BYTES);
         let mut c = buf.chunk(CALL_HEADER_BYTES);
         c.put_u32_be_at(0, self.xid);
@@ -64,7 +65,12 @@ impl CallHeader {
         let proc = c.get_u32_be_at(20);
         skip_auth(r)?; // cred
         skip_auth(r)?; // verf
-        Ok(CallHeader { xid, prog, vers, proc })
+        Ok(CallHeader {
+            xid,
+            prog,
+            vers,
+            proc,
+        })
     }
 }
 
@@ -103,6 +109,7 @@ impl ReplyOutcome {
 
 /// Writes a reply header for `outcome` (results follow for `Success`).
 pub fn write_reply(buf: &mut MarshalBuf, xid: u32, outcome: ReplyOutcome) {
+    crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
     buf.ensure(REPLY_HEADER_BYTES);
     let mut c = buf.chunk(REPLY_HEADER_BYTES);
     c.put_u32_be_at(0, xid);
@@ -131,7 +138,9 @@ pub fn read_reply(r: &mut MsgReader<'_>) -> Result<u32, DecodeError> {
         return Err(DecodeError::BadHeader("call denied"));
     }
     if c.get_u32_be_at(20) != 0 {
-        return Err(DecodeError::BadHeader("call not executed (accept_stat != SUCCESS)"));
+        return Err(DecodeError::BadHeader(
+            "call not executed (accept_stat != SUCCESS)",
+        ));
     }
     Ok(xid)
 }
@@ -142,28 +151,37 @@ pub fn frame_record(record: &[u8]) -> Vec<u8> {
     let mark = 0x8000_0000u32 | record.len() as u32;
     out.extend_from_slice(&mark.to_be_bytes());
     out.extend_from_slice(record);
+    crate::metrics::encode_end(crate::metrics::Codec::Xdr, out.len() as u64);
     out
 }
 
 /// Extracts one record from `stream`, returning `(record, consumed)`.
 /// Handles multi-fragment records.
 pub fn deframe_record(stream: &[u8]) -> Result<(Vec<u8>, usize), DecodeError> {
+    crate::metrics::decode_begin(crate::metrics::Codec::Xdr);
     let mut record = Vec::new();
     let mut pos = 0usize;
     loop {
         if stream.len() < pos + 4 {
-            return Err(DecodeError::Truncated { needed: pos + 4, available: stream.len() });
+            return Err(DecodeError::Truncated {
+                needed: pos + 4,
+                available: stream.len(),
+            });
         }
         let mark = u32::from_be_bytes(stream[pos..pos + 4].try_into().expect("len 4"));
         let last = mark & 0x8000_0000 != 0;
         let len = (mark & 0x7fff_ffff) as usize;
         pos += 4;
         if stream.len() < pos + len {
-            return Err(DecodeError::Truncated { needed: pos + len, available: stream.len() });
+            return Err(DecodeError::Truncated {
+                needed: pos + len,
+                available: stream.len(),
+            });
         }
         record.extend_from_slice(&stream[pos..pos + len]);
         pos += len;
         if last {
+            crate::metrics::decode_end(crate::metrics::Codec::Xdr, pos as u64);
             return Ok((record, pos));
         }
     }
@@ -176,7 +194,12 @@ mod tests {
     #[test]
     fn call_header_roundtrip() {
         // The paper's example program number.
-        let h = CallHeader { xid: 99, prog: 0x2000_0001, vers: 1, proc: 1 };
+        let h = CallHeader {
+            xid: 99,
+            prog: 0x2000_0001,
+            vers: 1,
+            proc: 1,
+        };
         let mut b = MarshalBuf::new();
         h.write(&mut b);
         assert_eq!(b.len(), CALL_HEADER_BYTES);
@@ -207,7 +230,10 @@ mod tests {
             write_reply(&mut b, 7, outcome);
             let data = b.into_vec();
             let mut r = MsgReader::new(&data);
-            assert!(read_reply(&mut r).is_err(), "{outcome:?} must not read as success");
+            assert!(
+                read_reply(&mut r).is_err(),
+                "{outcome:?} must not read as success"
+            );
         }
     }
 

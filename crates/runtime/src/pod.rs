@@ -49,7 +49,11 @@ pub fn bytes_of<T: Scalar>(s: &[T]) -> &[u8] {
 #[must_use]
 pub fn vec_from_bytes<T: Scalar>(bytes: &[u8]) -> Vec<T> {
     let n = std::mem::size_of::<T>();
-    assert_eq!(bytes.len() % n, 0, "byte length not a multiple of element size");
+    assert_eq!(
+        bytes.len() % n,
+        0,
+        "byte length not a multiple of element size"
+    );
     let count = bytes.len() / n;
     let mut out: Vec<T> = vec![T::default(); count];
     // SAFETY: out has exactly `bytes.len()` bytes of POD storage.

@@ -140,10 +140,7 @@ pub fn get_opaque_fixed<'a>(r: &mut MsgReader<'a>, n: usize) -> Result<&'a [u8],
 
 /// Reads variable-length opaque data, enforcing `bound` if given.
 #[inline]
-pub fn get_opaque<'a>(
-    r: &mut MsgReader<'a>,
-    bound: Option<u64>,
-) -> Result<&'a [u8], DecodeError> {
+pub fn get_opaque<'a>(r: &mut MsgReader<'a>, bound: Option<u64>) -> Result<&'a [u8], DecodeError> {
     let n = r.get_u32_be()? as u64;
     if let Some(b) = bound {
         if n > b {
@@ -156,10 +153,7 @@ pub fn get_opaque<'a>(
 /// Reads an XDR `string` as borrowed bytes (caller may copy or keep
 /// the borrow — the zero-copy presentation).
 #[inline]
-pub fn get_string<'a>(
-    r: &mut MsgReader<'a>,
-    bound: Option<u64>,
-) -> Result<&'a [u8], DecodeError> {
+pub fn get_string<'a>(r: &mut MsgReader<'a>, bound: Option<u64>) -> Result<&'a [u8], DecodeError> {
     get_opaque(r, bound)
 }
 

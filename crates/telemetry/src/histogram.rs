@@ -1,0 +1,268 @@
+//! Lock-free power-of-two-bucket histograms.
+//!
+//! Values (latencies in nanoseconds, sizes in bytes) land in bucket
+//! `⌈log2(v)⌉`-ish: bucket 0 holds zeros and bucket *i* (i ≥ 1) holds
+//! `[2^(i-1), 2^i)`.  The last bucket is the overflow bucket for
+//! everything at or above `2^(BUCKETS-2)`.  Fixed layout keeps
+//! recording to two relaxed `fetch_add`s plus a `leading_zeros`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: zeros + 62 doubling ranges + overflow.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-bucket histogram with lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`,
+/// capped into the overflow bucket.
+#[inline]
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for overflow).
+#[inline]
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every bucket (snapshot windows, tests).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of
+    /// the first bucket whose cumulative count reaches `q·count`.
+    /// Zero when empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), clamped to at least one observation.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// `(lower, upper, count)` for every non-empty bucket, in order.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lo = if i == 0 {
+                    0
+                } else {
+                    bucket_upper_bound(i - 1).saturating_add(1)
+                };
+                (lo, bucket_upper_bound(i), n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        // Everything at or beyond 2^62 shares the overflow bucket.
+        assert_eq!(bucket_index(1u64 << 62), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn upper_bounds_bracket_their_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_lands_in_last_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn count_sum_mean() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 60);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_estimates() {
+        let h = Histogram::new();
+        // 90 small values in [1,1], 10 larger in [1024, 2047].
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 1);
+        assert_eq!(s.percentile(0.9), 1);
+        assert_eq!(s.percentile(0.99), 2047);
+        assert_eq!(s.percentile(1.0), 2047);
+        // Degenerate inputs.
+        assert_eq!(
+            HistogramSnapshot {
+                buckets: [0; BUCKETS],
+                count: 0,
+                sum: 0
+            }
+            .percentile(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn nonzero_bucket_ranges() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        let s = h.snapshot();
+        assert_eq!(s.nonzero_buckets(), vec![(0, 0, 1), (4, 7, 1)]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = Histogram::new();
+        h.record(9);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! A tiny JSON writer — just enough for snapshot/report export, so the
+//! crate stays dependency-free.
+
+/// Escapes `s` as the contents of a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+#[must_use]
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// An incremental writer for one JSON object: `{"k": v, ...}`.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    body: String,
+}
+
+impl ObjectWriter {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a key with an already-serialized JSON value.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&string(key));
+        self.body.push(':');
+        self.body.push_str(value);
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, &string(value))
+    }
+
+    /// Appends an integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn object_building() {
+        let mut o = ObjectWriter::new();
+        o.str_field("name", "cdr")
+            .u64_field("count", 3)
+            .raw("list", "[1,2]");
+        assert_eq!(o.finish(), "{\"name\":\"cdr\",\"count\":3,\"list\":[1,2]}");
+    }
+}

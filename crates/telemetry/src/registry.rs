@@ -1,0 +1,276 @@
+//! The process-wide named-metric registry.
+//!
+//! Registration (first lookup of a name) takes a mutex; the returned
+//! `&'static` handle records lock-free forever after.  Metrics are
+//! leaked on purpose — the set of distinct metric names in a process
+//! is small and fixed, and leaking is what makes the handles
+//! `'static` and the hot path lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::counter::Counter;
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::json;
+
+enum Metric {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+}
+
+/// A name → metric table with snapshot export.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.  Most callers want [`global`] instead.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a histogram.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut m = self.metrics.lock().expect("metric registry poisoned");
+        let metric = m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::new()))));
+        match metric {
+            Metric::Counter(c) => c,
+            Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a counter.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut m = self.metrics.lock().expect("metric registry poisoned");
+        let metric = m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))));
+        match metric {
+            Metric::Histogram(h) => h,
+            Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+        }
+    }
+
+    /// Zeroes every registered metric (test isolation, windowed dumps).
+    pub fn reset(&self) {
+        let m = self.metrics.lock().expect("metric registry poisoned");
+        for metric in m.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().expect("metric registry poisoned");
+        Snapshot {
+            metrics: m
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry used by all instrumented crates.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One captured metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A histogram copy (boxed: a snapshot carries all 64 buckets).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// An immutable copy of a [`Registry`]'s contents, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in name order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// True when no metric has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Looks up one metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The value of a counter metric, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(n) => Some(*n),
+            MetricValue::Histogram(_) => None,
+        }
+    }
+
+    /// A human-readable dump, one metric per line (histograms get a
+    /// count/mean/p50/p99 summary line plus their non-empty buckets).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(n) => {
+                    out.push_str(&format!("{name:<44} {n}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name:<44} count={} mean={:.1} p50<={} p99<={}\n",
+                        h.count,
+                        h.mean(),
+                        h.percentile(0.50),
+                        h.percentile(0.99),
+                    ));
+                    for (lo, hi, n) in h.nonzero_buckets() {
+                        if hi == u64::MAX {
+                            out.push_str(&format!("  [{lo}, ..]: {n}\n"));
+                        } else {
+                            out.push_str(&format!("  [{lo}, {hi}]: {n}\n"));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The snapshot as one JSON object keyed by metric name.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut root = json::ObjectWriter::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(n) => {
+                    let mut o = json::ObjectWriter::new();
+                    o.str_field("type", "counter").u64_field("value", *n);
+                    root.raw(name, &o.finish());
+                }
+                MetricValue::Histogram(h) => {
+                    let buckets = h
+                        .nonzero_buckets()
+                        .iter()
+                        .map(|(lo, hi, n)| format!("[{lo},{hi},{n}]"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let mut o = json::ObjectWriter::new();
+                    o.str_field("type", "histogram")
+                        .u64_field("count", h.count)
+                        .u64_field("sum", h.sum)
+                        .u64_field("p50", h.percentile(0.50))
+                        .u64_field("p99", h.percentile(0.99))
+                        .raw("buckets", &format!("[{buckets}]"));
+                    root.raw(name, &o.finish());
+                }
+            }
+        }
+        root.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_register_once() {
+        let r = Registry::new();
+        let c = r.counter("runtime.cdr.encode.msgs");
+        c.add(3);
+        assert_eq!(r.counter("runtime.cdr.encode.msgs").get(), 3);
+        let h = r.histogram("runtime.cdr.encode.ns");
+        h.record(100);
+        assert_eq!(r.histogram("runtime.cdr.encode.ns").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        let _ = r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.counter("b.msgs").add(2);
+        r.counter("a.msgs").add(1);
+        r.histogram("c.ns").record(5);
+        let s = r.snapshot();
+        let names: Vec<_> = s.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.msgs", "b.msgs", "c.ns"]);
+        assert_eq!(s.counter("b.msgs"), Some(2));
+        assert_eq!(s.counter("c.ns"), None);
+        assert!(matches!(s.get("c.ns"), Some(MetricValue::Histogram(h)) if h.count == 1));
+    }
+
+    #[test]
+    fn text_and_json_exports() {
+        let r = Registry::new();
+        r.counter("calls").add(7);
+        r.histogram("lat.ns").record(5);
+        let s = r.snapshot();
+        let text = s.to_text();
+        assert!(text.contains("calls"));
+        assert!(text.contains('7'));
+        assert!(text.contains("count=1"));
+        let jsonv = s.to_json();
+        assert!(jsonv.starts_with('{') && jsonv.ends_with('}'));
+        assert!(jsonv.contains("\"calls\":{\"type\":\"counter\",\"value\":7}"));
+        assert!(jsonv.contains("\"lat.ns\":{\"type\":\"histogram\",\"count\":1"));
+        assert!(jsonv.contains("\"buckets\":[[4,7,1]]"));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let r = Registry::new();
+        r.counter("n").add(9);
+        r.histogram("h").record(9);
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counter("n"), Some(0));
+        assert!(matches!(s.get("h"), Some(MetricValue::Histogram(h)) if h.count == 0));
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const Registry;
+        let b = global() as *const Registry;
+        assert_eq!(a, b);
+    }
+}

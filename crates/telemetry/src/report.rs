@@ -1,0 +1,200 @@
+//! Compile-pass trace reports.
+//!
+//! The compiler records one [`Span`] per pipeline phase (parse,
+//! presgen, plan, emit…) plus named decision counters from the
+//! marshal-plan optimizer (runs chunked, memcpys coalesced, …).
+//! `flickc --timings` and `--stats` print these.
+
+use crate::json;
+
+/// One timed phase of a pipeline run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name, e.g. `"parse"` or `"backend.plan"`.
+    pub name: String,
+    /// Wall time spent in the phase.
+    pub nanos: u64,
+}
+
+/// Per-phase wall times plus named decision counters for one compile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Phases in execution order.
+    pub spans: Vec<Span>,
+    /// `(name, value)` decision counters in insertion order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TraceReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a timed phase.
+    pub fn push_span(&mut self, name: &str, nanos: u64) {
+        self.spans.push(Span {
+            name: name.to_owned(),
+            nanos,
+        });
+    }
+
+    /// Sets a decision counter, replacing any previous value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.counters.push((name.to_owned(), value));
+        }
+    }
+
+    /// The span recorded for `name`, if any.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Whether a phase of this name was recorded.
+    #[must_use]
+    pub fn has_phase(&self, name: &str) -> bool {
+        self.span(name).is_some()
+    }
+
+    /// A decision counter's value, if set.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Sum of all span times.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.spans.iter().map(|s| s.nanos).sum()
+    }
+
+    /// A human-readable table: phases with times and % of total, then
+    /// counters.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let total = self.total_nanos();
+        let mut out = String::new();
+        for s in &self.spans {
+            let pct = if total == 0 {
+                0.0
+            } else {
+                s.nanos as f64 * 100.0 / total as f64
+            };
+            out.push_str(&format!(
+                "{:<20} {:>12}  {:5.1}%\n",
+                s.name,
+                fmt_nanos(s.nanos),
+                pct
+            ));
+        }
+        out.push_str(&format!("{:<20} {:>12}\n", "total", fmt_nanos(total)));
+        if !self.counters.is_empty() {
+            out.push('\n');
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<32} {v}\n"));
+            }
+        }
+        out
+    }
+
+    /// The report as one JSON object with `spans`, `total_ns`, and
+    /// `counters` fields.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut o = json::ObjectWriter::new();
+                o.str_field("name", &s.name).u64_field("ns", s.nanos);
+                o.finish()
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut counters = json::ObjectWriter::new();
+        for (name, v) in &self.counters {
+            counters.u64_field(name, *v);
+        }
+        let mut root = json::ObjectWriter::new();
+        root.raw("spans", &format!("[{spans}]"))
+            .u64_field("total_ns", self.total_nanos())
+            .raw("counters", &counters.finish());
+        root.finish()
+    }
+}
+
+/// `1234` → `"1.23µs"`, etc.  Durations stay readable across the
+/// ns–s range a compile can span.
+fn fmt_nanos(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_counters_round_trip() {
+        let mut r = TraceReport::new();
+        r.push_span("parse", 1_000);
+        r.push_span("presgen", 3_000);
+        r.set_counter("plan.memcpy_runs", 4);
+        r.set_counter("plan.memcpy_runs", 5);
+        assert!(r.has_phase("parse"));
+        assert!(!r.has_phase("emit"));
+        assert_eq!(r.span("presgen").unwrap().nanos, 3_000);
+        assert_eq!(r.counter("plan.memcpy_runs"), Some(5));
+        assert_eq!(r.total_nanos(), 4_000);
+    }
+
+    #[test]
+    fn text_report_shows_phases_and_percentages() {
+        let mut r = TraceReport::new();
+        r.push_span("parse", 250);
+        r.push_span("emit", 750);
+        r.set_counter("mint_nodes", 12);
+        let text = r.to_text();
+        assert!(text.contains("parse"));
+        assert!(text.contains("25.0%"));
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("total"));
+        assert!(text.contains("mint_nodes"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut r = TraceReport::new();
+        r.push_span("parse", 10);
+        r.set_counter("casts", 2);
+        let j = r.to_json();
+        assert_eq!(
+            j,
+            "{\"spans\":[{\"name\":\"parse\",\"ns\":10}],\"total_ns\":10,\
+             \"counters\":{\"casts\":2}}"
+        );
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(1_500), "1.50µs");
+        assert_eq!(fmt_nanos(2_000_000), "2.00ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,155 @@
+//! A small unbounded MPMC channel on `std::sync` primitives.
+//!
+//! The in-process transports only need four operations — clonable
+//! send/receive handles, blocking `recv`, and disconnect detection —
+//! so this module provides exactly those on a `Mutex<VecDeque>` plus
+//! `Condvar`, keeping the transport crates free of external
+//! dependencies.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// The sending half; cloning adds another producer.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half; cloning adds another consumer.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates an unbounded channel pair.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; never blocks.
+    pub fn send(&self, value: T) {
+        let mut s = self.inner.state.lock().expect("channel poisoned");
+        s.queue.push_back(value);
+        self.inner.ready.notify_one();
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.inner.state.lock().expect("channel poisoned");
+        s.senders -= 1;
+        if s.senders == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking until one arrives.
+    /// Returns `None` once every sender is gone and the queue drained.
+    #[must_use]
+    pub fn recv(&self) -> Option<T> {
+        let mut s = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = s.queue.pop_front() {
+                return Some(v);
+            }
+            if s.senders == 0 {
+                return None;
+            }
+            s = self.inner.ready.wait(s).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(9);
+        drop(tx);
+        assert_eq!(rx.recv(), Some(9));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn cloned_sender_keeps_channel_open() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5);
+        assert_eq!(rx.recv(), Some(5));
+        drop(tx2);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42);
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), None);
+    }
+}

@@ -5,7 +5,7 @@
 //! stubs *fail* on large messages — oversized sends here return an
 //! error rather than silently fragmenting).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::chan::{unbounded, Receiver, Sender};
 
 /// Error returned when a datagram exceeds the socket's maximum size.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,7 +18,11 @@ pub struct TooBig {
 
 impl std::fmt::Display for TooBig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "datagram of {} bytes exceeds maximum {}", self.size, self.max)
+        write!(
+            f,
+            "datagram of {} bytes exceeds maximum {}",
+            self.size, self.max
+        )
     }
 }
 
@@ -38,16 +42,27 @@ impl DatagramEnd {
     /// Fails if the payload exceeds the maximum datagram size.
     pub fn send(&self, payload: &[u8]) -> Result<(), TooBig> {
         if payload.len() > self.max {
-            return Err(TooBig { size: payload.len(), max: self.max });
+            return Err(TooBig {
+                size: payload.len(),
+                max: self.max,
+            });
         }
-        let _ = self.tx.send(payload.to_vec());
+        crate::metrics::sent(crate::metrics::Kind::Datagram, payload.len() as u64);
+        self.tx.send(payload.to_vec());
         Ok(())
     }
 
     /// Receives one datagram, blocking. `None` when the peer is gone.
     #[must_use]
     pub fn recv(&self) -> Option<Vec<u8>> {
-        self.rx.recv().ok()
+        let clock = crate::metrics::recv_clock();
+        let msg = self.rx.recv()?;
+        crate::metrics::received(
+            crate::metrics::Kind::Datagram,
+            msg.len() as u64,
+            crate::metrics::recv_elapsed(clock),
+        );
+        Some(msg)
     }
 
     /// The maximum datagram size.
@@ -66,8 +81,16 @@ pub fn datagram_pair(max: usize) -> (DatagramEnd, DatagramEnd) {
     let (atx, arx) = unbounded();
     let (btx, brx) = unbounded();
     (
-        DatagramEnd { tx: atx, rx: brx, max },
-        DatagramEnd { tx: btx, rx: arx, max },
+        DatagramEnd {
+            tx: atx,
+            rx: brx,
+            max,
+        },
+        DatagramEnd {
+            tx: btx,
+            rx: arx,
+            max,
+        },
     )
 }
 
@@ -90,7 +113,13 @@ mod tests {
         // error when invoked to marshal large arrays" over UDP.
         let (a, _b) = datagram_pair(1024);
         let big = vec![0u8; 2048];
-        assert_eq!(a.send(&big).unwrap_err(), TooBig { size: 2048, max: 1024 });
+        assert_eq!(
+            a.send(&big).unwrap_err(),
+            TooBig {
+                size: 2048,
+                max: 1024
+            }
+        );
     }
 
     #[test]

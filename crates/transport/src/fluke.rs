@@ -7,7 +7,7 @@
 //! and exposes whether an exchange stayed register-only, which the
 //! Fluke-path benchmarks report.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::chan::{unbounded, Receiver, Sender};
 use flick_runtime::fluke::FlukeMsg;
 
 /// One end of a Fluke IPC connection.
@@ -26,13 +26,21 @@ impl FlukeEnd {
             self.register_only_sends
                 .set(self.register_only_sends.get() + 1);
         }
-        let _ = self.tx.send(msg);
+        crate::metrics::sent(crate::metrics::Kind::Fluke, msg.payload_bytes() as u64);
+        self.tx.send(msg);
     }
 
     /// Receives the next message, blocking.
     #[must_use]
     pub fn recv(&self) -> Option<FlukeMsg> {
-        self.rx.recv().ok()
+        let clock = crate::metrics::recv_clock();
+        let msg = self.rx.recv()?;
+        crate::metrics::received(
+            crate::metrics::Kind::Fluke,
+            msg.payload_bytes() as u64,
+            crate::metrics::recv_elapsed(clock),
+        );
+        Some(msg)
     }
 
     /// `(register-only sends, total sends)` — the fast-path hit rate.

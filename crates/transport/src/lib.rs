@@ -16,9 +16,11 @@
 //!   benchmark harness to convert *measured* marshal times into
 //!   modeled round-trip throughput.
 
+pub mod chan;
 pub mod datagram;
 pub mod fluke;
 pub mod mach;
+pub mod metrics;
 pub mod netmodel;
 pub mod stream;
 

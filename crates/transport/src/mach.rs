@@ -5,10 +5,9 @@
 //! is how Mach 3 RPC (and MIG stubs) actually work.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crate::chan::{unbounded, Receiver, Sender};
 
 /// A port name (send right).
 pub type PortName = u32;
@@ -37,7 +36,7 @@ impl PortSpace {
 
     /// Allocates a fresh port, returning its name.
     pub fn allocate(&self) -> PortName {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("port space poisoned");
         inner.next += 1;
         let name = inner.next;
         inner.queues.insert(name, unbounded());
@@ -47,11 +46,15 @@ impl PortSpace {
     /// Sends `msg` to `port`.  Returns false if the port is dead.
     pub fn send(&self, port: PortName, msg: Vec<u8>) -> bool {
         let tx = {
-            let inner = self.inner.lock();
+            let inner = self.inner.lock().expect("port space poisoned");
             inner.queues.get(&port).map(|(tx, _)| tx.clone())
         };
         match tx {
-            Some(tx) => tx.send(msg).is_ok(),
+            Some(tx) => {
+                crate::metrics::sent(crate::metrics::Kind::Mach, msg.len() as u64);
+                tx.send(msg);
+                true
+            }
             None => false,
         }
     }
@@ -60,21 +63,37 @@ impl PortSpace {
     #[must_use]
     pub fn recv(&self, port: PortName) -> Option<Vec<u8>> {
         let rx = {
-            let inner = self.inner.lock();
+            let inner = self.inner.lock().expect("port space poisoned");
             inner.queues.get(&port).map(|(_, rx)| rx.clone())
         };
-        rx.and_then(|rx| rx.recv().ok())
+        let clock = crate::metrics::recv_clock();
+        let msg = rx.and_then(|rx| rx.recv())?;
+        crate::metrics::received(
+            crate::metrics::Kind::Mach,
+            msg.len() as u64,
+            crate::metrics::recv_elapsed(clock),
+        );
+        Some(msg)
     }
 
     /// Destroys a port; subsequent sends fail and receivers drain.
     pub fn deallocate(&self, port: PortName) {
-        self.inner.lock().queues.remove(&port);
+        self.inner
+            .lock()
+            .expect("port space poisoned")
+            .queues
+            .remove(&port);
     }
 
     /// The Mach RPC idiom: send `request` to `remote`, then block for
     /// one message on `reply_port`.
     #[must_use]
-    pub fn msg_rpc(&self, remote: PortName, reply_port: PortName, request: Vec<u8>) -> Option<Vec<u8>> {
+    pub fn msg_rpc(
+        &self,
+        remote: PortName,
+        reply_port: PortName,
+        request: Vec<u8>,
+    ) -> Option<Vec<u8>> {
         if !self.send(remote, request) {
             return None;
         }

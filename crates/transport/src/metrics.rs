@@ -1,0 +1,162 @@
+//! Transport send/recv metrics hooks.
+//!
+//! Mirrors `flick_runtime::metrics`: every hook is an empty `#[inline]`
+//! function unless this crate's `telemetry` feature is on, and records
+//! nothing until `flick_telemetry::enabled()` is true.  Sends and
+//! receives are one-shot events (count + bytes + size histogram); the
+//! interesting latency — time blocked in `recv` — is captured by
+//! timing the receive call itself.
+
+/// Which transport flavor an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// In-process TCP-like byte stream (IIOP, ONC-over-TCP).
+    Stream,
+    /// In-process UDP-like datagram socket (ONC-over-UDP).
+    Datagram,
+    /// Mach 3 port-space message queues.
+    Mach,
+    /// Fluke kernel IPC.
+    Fluke,
+}
+
+impl Kind {
+    /// Metric-name component.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Stream => "stream",
+            Kind::Datagram => "datagram",
+            Kind::Mach => "mach",
+            Kind::Fluke => "fluke",
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::Kind;
+    use flick_telemetry::{global, Counter, Histogram};
+    use std::sync::OnceLock;
+
+    pub struct Dir {
+        pub msgs: &'static Counter,
+        pub bytes: &'static Counter,
+        pub size: &'static Histogram,
+        pub ns: &'static Histogram,
+    }
+
+    struct Handles {
+        send: [Dir; 4],
+        recv: [Dir; 4],
+    }
+
+    fn dir(kind: Kind, op: &str) -> Dir {
+        let r = global();
+        let base = format!("transport.{}.{op}", kind.name());
+        Dir {
+            msgs: r.counter(&format!("{base}.msgs")),
+            bytes: r.counter(&format!("{base}.bytes")),
+            size: r.histogram(&format!("{base}.size")),
+            ns: r.histogram(&format!("{base}.ns")),
+        }
+    }
+
+    fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let all = [Kind::Stream, Kind::Datagram, Kind::Mach, Kind::Fluke];
+            Handles {
+                send: all.map(|k| dir(k, "send")),
+                recv: all.map(|k| dir(k, "recv")),
+            }
+        })
+    }
+
+    pub fn record(kind: Kind, recv: bool, bytes: u64, ns: u64) {
+        let h = handles();
+        let d = if recv {
+            &h.recv[kind as usize]
+        } else {
+            &h.send[kind as usize]
+        };
+        d.msgs.inc();
+        d.bytes.add(bytes);
+        d.size.record(bytes);
+        if ns > 0 {
+            d.ns.record(ns);
+        }
+    }
+}
+
+/// Records one sent message of `bytes` size.
+#[inline]
+pub fn sent(kind: Kind, bytes: u64) {
+    #[cfg(feature = "telemetry")]
+    if flick_telemetry::enabled() {
+        imp::record(kind, false, bytes, 0);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (kind, bytes);
+}
+
+/// Records one received message of `bytes` size that took `ns`
+/// nanoseconds to arrive (zero to skip the latency histogram).
+#[inline]
+pub fn received(kind: Kind, bytes: u64, ns: u64) {
+    #[cfg(feature = "telemetry")]
+    if flick_telemetry::enabled() {
+        imp::record(kind, true, bytes, ns);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (kind, bytes, ns);
+}
+
+/// Starts a receive-latency stopwatch ([`None`] when telemetry is off).
+#[inline]
+#[must_use]
+pub fn recv_clock() -> Option<std::time::Instant> {
+    #[cfg(feature = "telemetry")]
+    {
+        flick_telemetry::stopwatch()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        None
+    }
+}
+
+/// Nanoseconds elapsed on a [`recv_clock`] stopwatch (zero for `None`).
+#[inline]
+#[must_use]
+pub fn recv_elapsed(start: Option<std::time::Instant>) -> u64 {
+    #[cfg(feature = "telemetry")]
+    {
+        flick_telemetry::elapsed_ns(start)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = start;
+        0
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv_events_land_in_the_registry() {
+        flick_telemetry::set_enabled(true);
+        sent(Kind::Datagram, 100);
+        received(Kind::Datagram, 100, 2_000);
+        let s = flick_telemetry::global().snapshot();
+        assert!(s.counter("transport.datagram.send.msgs").unwrap() >= 1);
+        assert!(s.counter("transport.datagram.recv.bytes").unwrap() >= 100);
+        assert!(matches!(
+            s.get("transport.datagram.recv.ns"),
+            Some(flick_telemetry::MetricValue::Histogram(h)) if h.count >= 1
+        ));
+        flick_telemetry::set_enabled(false);
+    }
+}

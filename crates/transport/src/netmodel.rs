@@ -205,7 +205,9 @@ mod tests {
     fn host_scaling_preserves_ratios() {
         let base = NetModel::ethernet_100();
         let scaled = base.scaled_to_host(PAPER_SPARC_MEMCPY_BPS * 100.0);
-        assert!((scaled.effective_bandwidth_bps / base.effective_bandwidth_bps - 100.0).abs() < 1e-9);
+        assert!(
+            (scaled.effective_bandwidth_bps / base.effective_bandwidth_bps - 100.0).abs() < 1e-9
+        );
         // Wire-vs-overhead proportions survive scaling.
         let r_base = base.wire_time(1 << 20).as_secs_f64() / base.per_rtt_overhead.as_secs_f64();
         let r_scaled =

@@ -6,41 +6,44 @@
 //! make thread-per-peer request/reply exchanges natural.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
-use parking_lot::{Condvar, Mutex};
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
 
 #[derive(Default)]
 struct Pipe {
-    buf: Mutex<VecDeque<u8>>,
+    state: Mutex<PipeState>,
     ready: Condvar,
-    closed: Mutex<bool>,
 }
 
 impl Pipe {
     fn write(&self, bytes: &[u8]) {
-        let mut b = self.buf.lock();
-        b.extend(bytes.iter().copied());
+        let mut s = self.state.lock().expect("pipe poisoned");
+        s.buf.extend(bytes.iter().copied());
         self.ready.notify_all();
     }
 
     fn read_exact(&self, out: &mut [u8]) -> bool {
-        let mut b = self.buf.lock();
-        while b.len() < out.len() {
-            if *self.closed.lock() {
+        let mut s = self.state.lock().expect("pipe poisoned");
+        while s.buf.len() < out.len() {
+            if s.closed {
                 return false;
             }
-            self.ready.wait(&mut b);
+            s = self.ready.wait(s).expect("pipe poisoned");
         }
         for slot in out.iter_mut() {
-            *slot = b.pop_front().expect("length checked");
+            *slot = s.buf.pop_front().expect("length checked");
         }
         true
     }
 
     fn close(&self) {
-        *self.closed.lock() = true;
-        let _guard = self.buf.lock();
+        let mut s = self.state.lock().expect("pipe poisoned");
+        s.closed = true;
         self.ready.notify_all();
     }
 }
@@ -54,6 +57,7 @@ pub struct StreamEnd {
 impl StreamEnd {
     /// Writes all of `bytes` (never blocks; the pipe is unbounded).
     pub fn write(&self, bytes: &[u8]) {
+        crate::metrics::sent(crate::metrics::Kind::Stream, bytes.len() as u64);
         self.tx.write(bytes);
     }
 
@@ -61,8 +65,14 @@ impl StreamEnd {
     /// Returns `None` if the peer closed first.
     #[must_use]
     pub fn read_exact(&self, n: usize) -> Option<Vec<u8>> {
+        let clock = crate::metrics::recv_clock();
         let mut out = vec![0u8; n];
         if self.rx.read_exact(&mut out) {
+            crate::metrics::received(
+                crate::metrics::Kind::Stream,
+                n as u64,
+                crate::metrics::recv_elapsed(clock),
+            );
             Some(out)
         } else {
             None
@@ -82,7 +92,10 @@ pub fn stream_pair() -> (StreamEnd, StreamEnd) {
     let a = Arc::new(Pipe::default());
     let b = Arc::new(Pipe::default());
     (
-        StreamEnd { tx: a.clone(), rx: b.clone() },
+        StreamEnd {
+            tx: a.clone(),
+            rx: b.clone(),
+        },
         StreamEnd { tx: b, rx: a },
     )
 }

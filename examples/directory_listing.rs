@@ -33,7 +33,10 @@ fn main() {
     let (client_end, server_end) = stream_pair();
 
     let server = thread::spawn(move || {
-        let mut srv = DirectoryServer { total_entries: 0, total_name_bytes: 0 };
+        let mut srv = DirectoryServer {
+            total_entries: 0,
+            total_name_bytes: 0,
+        };
         while let Some(msg) = read_giop(&server_end) {
             let mut r = MsgReader::new(&msg);
             let h = giop::read_header(&mut r).expect("giop header");
@@ -71,7 +74,14 @@ fn main() {
         let mut msg = MarshalBuf::new();
         let at = giop::begin_message(&mut msg, order, MsgType::Request);
         let cdr = CdrOut::begin(&msg, order);
-        giop::put_request_header(&mut msg, &cdr, request_id, true, b"directory-1", "send_dirents");
+        giop::put_request_header(
+            &mut msg,
+            &cdr,
+            request_id,
+            true,
+            b"directory-1",
+            "send_dirents",
+        );
         iiop_bench::encode_send_dirents_request(&mut msg, &entries);
         giop::finish_message(&mut msg, at, order);
         write_giop(&client_end, msg.as_slice());

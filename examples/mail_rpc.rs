@@ -29,7 +29,9 @@ fn main() {
     let (client_end, server_end) = stream_pair();
 
     let server = thread::spawn(move || {
-        let mut mailbox = Mailbox { received: Vec::new() };
+        let mut mailbox = Mailbox {
+            received: Vec::new(),
+        };
         let mut reply = MarshalBuf::new();
         while let Some(record) = read_record(&server_end) {
             let mut r = MsgReader::new(&record);
@@ -53,7 +55,13 @@ fn main() {
     .enumerate()
     {
         buf.clear();
-        CallHeader { xid: xid as u32, prog: 0x2000_0001, vers: 1, proc: 1 }.write(&mut buf);
+        CallHeader {
+            xid: xid as u32,
+            prog: 0x2000_0001,
+            vers: 1,
+            proc: 1,
+        }
+        .write(&mut buf);
         mail_onc::encode_send_request(&mut buf, msg);
         write_record(&client_end, buf.as_slice());
 
@@ -67,5 +75,8 @@ fn main() {
 
     let received = server.join().expect("server thread");
     assert_eq!(received.len(), 3);
-    println!("\ndelivered {} messages over ONC RPC / record-marked stream", received.len());
+    println!(
+        "\ndelivered {} messages over ONC RPC / record-marked stream",
+        received.len()
+    );
 }

@@ -75,8 +75,13 @@ fn main() {
         sent_total += vals.iter().map(|&v| i64::from(v)).sum::<i64>();
 
         let mut msg = MarshalBuf::new();
-        MachHeader { size: 0, remote_port: server_port, local_port: reply_port, id: 2401 }
-            .write(&mut msg);
+        MachHeader {
+            size: 0,
+            remote_port: server_port,
+            local_port: reply_port,
+            id: 2401,
+        }
+        .write(&mut msg);
         mach_bench::encode_send_ints_request(&mut msg, &vals);
         let size = msg.len() as u32;
         msg.patch_u32_le(4, size);

@@ -64,7 +64,10 @@ fn corba_contract_through_rpcgen_presentation_and_mach() {
         .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
         .expect("cross compilation");
     assert!(out.c_source.contains("send_1"), "rpcgen naming applied");
-    assert!(out.rust_source.contains("mach::put_type"), "Mach descriptors emitted");
+    assert!(
+        out.rust_source.contains("mach::put_type"),
+        "Mach descriptors emitted"
+    );
 }
 
 #[test]

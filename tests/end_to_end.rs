@@ -31,7 +31,10 @@ impl onc_bench::Server for Sink {
 fn onc_rpc_over_stream_roundtrip() {
     let (client_end, server_end) = stream_pair();
     let server = thread::spawn(move || {
-        let mut sink = Sink { ints: Vec::new(), dirents: 0 };
+        let mut sink = Sink {
+            ints: Vec::new(),
+            dirents: 0,
+        };
         let mut reply = MarshalBuf::new();
         while let Some(record) = read_record(&server_end) {
             let mut r = MsgReader::new(&record);
@@ -48,7 +51,13 @@ fn onc_rpc_over_stream_roundtrip() {
 
     let vals = data::onc::ints(100);
     let mut buf = MarshalBuf::new();
-    CallHeader { xid: 1, prog: 0x2000_0042, vers: 1, proc: 1 }.write(&mut buf);
+    CallHeader {
+        xid: 1,
+        prog: 0x2000_0042,
+        vers: 1,
+        proc: 1,
+    }
+    .write(&mut buf);
     onc_bench::encode_send_ints_request(&mut buf, &vals);
     write_record(&client_end, buf.as_slice());
     let reply = read_record(&client_end).expect("reply");
@@ -56,7 +65,13 @@ fn onc_rpc_over_stream_roundtrip() {
     assert_eq!(oncrpc::read_reply(&mut r).expect("ok"), 1);
 
     buf.clear();
-    CallHeader { xid: 2, prog: 0x2000_0042, vers: 1, proc: 3 }.write(&mut buf);
+    CallHeader {
+        xid: 2,
+        prog: 0x2000_0042,
+        vers: 1,
+        proc: 3,
+    }
+    .write(&mut buf);
     onc_bench::encode_send_dirents_request(&mut buf, &data::onc::dirents(5));
     write_record(&client_end, buf.as_slice());
     let reply = read_record(&client_end).expect("reply");
@@ -73,7 +88,10 @@ fn onc_rpc_over_stream_roundtrip() {
 fn onc_rpc_over_udp_datagrams() {
     let (client_end, server_end) = datagram_pair(DEFAULT_MAX_DATAGRAM);
     let server = thread::spawn(move || {
-        let mut sink = Sink { ints: Vec::new(), dirents: 0 };
+        let mut sink = Sink {
+            ints: Vec::new(),
+            dirents: 0,
+        };
         let mut reply = MarshalBuf::new();
         while let Some(datagram) = server_end.recv() {
             let mut r = MsgReader::new(&datagram);
@@ -88,7 +106,13 @@ fn onc_rpc_over_udp_datagrams() {
     });
 
     let mut buf = MarshalBuf::new();
-    CallHeader { xid: 9, prog: 0x2000_0042, vers: 1, proc: 1 }.write(&mut buf);
+    CallHeader {
+        xid: 9,
+        prog: 0x2000_0042,
+        vers: 1,
+        proc: 1,
+    }
+    .write(&mut buf);
     onc_bench::encode_send_ints_request(&mut buf, &data::onc::ints(64));
     client_end.send(buf.as_slice()).expect("datagram fits");
     let reply = client_end.recv().expect("reply");
@@ -106,7 +130,13 @@ fn oversized_udp_message_fails_like_the_paper_says() {
     // same failure mode for any stub that exceeds a datagram.
     let (client_end, _server_end) = datagram_pair(DEFAULT_MAX_DATAGRAM);
     let mut buf = MarshalBuf::new();
-    CallHeader { xid: 1, prog: 0x2000_0042, vers: 1, proc: 1 }.write(&mut buf);
+    CallHeader {
+        xid: 1,
+        prog: 0x2000_0042,
+        vers: 1,
+        proc: 1,
+    }
+    .write(&mut buf);
     onc_bench::encode_send_ints_request(&mut buf, &data::onc::ints(1 << 20));
     assert!(client_end.send(buf.as_slice()).is_err());
 }
@@ -192,7 +222,10 @@ fn mail_string_borrows_from_receive_buffer() {
     let mut buf = MarshalBuf::new();
     mail_onc::encode_send_request(&mut buf, text);
     let mut reply = MarshalBuf::new();
-    let mut srv = Check { expect: text, hits: 0 };
+    let mut srv = Check {
+        expect: text,
+        hits: 0,
+    };
     mail_onc::dispatch(1, buf.as_slice(), &mut reply, &mut srv).expect("dispatch");
     assert_eq!(srv.hits, 1);
 }

@@ -1,114 +1,182 @@
-//! Property-based tests on the core invariants:
+//! Property-style tests on the core invariants:
 //!
 //! * generated stubs round-trip arbitrary values (every back end);
 //! * Flick's ONC wire bytes always equal rpcgen's for the same data;
 //! * the runtime codecs round-trip arbitrary primitives;
 //! * record framing survives arbitrary payloads and fragmentation.
+//!
+//! Deterministic pseudo-random generation (seeded SplitMix64) stands
+//! in for a property-testing framework so the suite runs offline.
 
 use flick_baselines::Marshaler;
 use flick_bench::generated::{iiop_bench, mach_bench, onc_bench};
 use flick_runtime::{oncrpc, xdr, MarshalBuf, MsgReader};
-use proptest::prelude::*;
 
-/// An arbitrary dirent in both the generated and the baseline types.
-fn arb_dirent() -> impl Strategy<Value = (onc_bench::Dirent, flick_baselines::Dirent)> {
-    (
-        "[a-zA-Z0-9_./ -]{0,64}",
-        prop::array::uniform30(any::<i32>()),
-        prop::array::uniform16(any::<u8>()),
-    )
-        .prop_map(|(name, fields, tag)| {
-            (
-                onc_bench::Dirent {
-                    name: name.clone(),
-                    info: onc_bench::Stat { fields, tag },
-                },
-                flick_baselines::Dirent {
-                    name,
-                    info: flick_baselines::Stat { fields, tag },
-                },
-            )
-        })
+/// SplitMix64 — tiny deterministic generator for the test corpus.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn i32(&mut self) -> i32 {
+        self.next() as i32
+    }
+
+    fn i32_vec(&mut self, max: usize) -> Vec<i32> {
+        let n = self.below(max);
+        (0..n).map(|_| self.i32()).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// An arbitrary dirent in both the generated and the baseline types.
+fn random_dirent(rng: &mut Rng) -> (onc_bench::Dirent, flick_baselines::Dirent) {
+    const NAME_POOL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_./ -";
+    let name: String = (0..rng.below(65))
+        .map(|_| NAME_POOL[rng.below(NAME_POOL.len())] as char)
+        .collect();
+    let mut fields = [0i32; 30];
+    for f in &mut fields {
+        *f = rng.i32();
+    }
+    let mut tag = [0u8; 16];
+    for t in &mut tag {
+        *t = rng.next() as u8;
+    }
+    (
+        onc_bench::Dirent {
+            name: name.clone(),
+            info: onc_bench::Stat { fields, tag },
+        },
+        flick_baselines::Dirent {
+            name,
+            info: flick_baselines::Stat { fields, tag },
+        },
+    )
+}
 
-    #[test]
-    fn onc_ints_roundtrip(vals in prop::collection::vec(any::<i32>(), 0..500)) {
+#[test]
+fn onc_ints_roundtrip() {
+    let mut rng = Rng(0xA11_5EED_0001);
+    for _ in 0..64 {
+        let vals = rng.i32_vec(500);
         let mut buf = MarshalBuf::new();
         onc_bench::encode_send_ints_request(&mut buf, &vals);
         let mut r = MsgReader::new(buf.as_slice());
         let (back,) = onc_bench::decode_send_ints_request(&mut r).expect("decodes");
-        prop_assert_eq!(back, vals);
-        prop_assert!(r.is_exhausted());
+        assert_eq!(back, vals);
+        assert!(r.is_exhausted());
     }
+}
 
-    #[test]
-    fn iiop_ints_roundtrip(vals in prop::collection::vec(any::<i32>(), 0..500)) {
+#[test]
+fn iiop_ints_roundtrip() {
+    let mut rng = Rng(0xA11_5EED_0002);
+    for _ in 0..64 {
+        let vals = rng.i32_vec(500);
         let mut buf = MarshalBuf::new();
         iiop_bench::encode_send_ints_request(&mut buf, &vals);
         let mut r = MsgReader::new(buf.as_slice());
         let (back,) = iiop_bench::decode_send_ints_request(&mut r).expect("decodes");
-        prop_assert_eq!(back, vals);
+        assert_eq!(back, vals);
     }
+}
 
-    #[test]
-    fn mach_ints_roundtrip(vals in prop::collection::vec(any::<i32>(), 0..300)) {
+#[test]
+fn mach_ints_roundtrip() {
+    let mut rng = Rng(0xA11_5EED_0003);
+    for _ in 0..64 {
+        let vals = rng.i32_vec(300);
         let mut buf = MarshalBuf::new();
         mach_bench::encode_send_ints_request(&mut buf, &vals);
         let mut r = MsgReader::new(buf.as_slice());
         let (back,) = mach_bench::decode_send_ints_request(&mut r).expect("decodes");
-        prop_assert_eq!(back, vals);
+        assert_eq!(back, vals);
     }
+}
 
-    #[test]
-    fn dirents_roundtrip_and_match_rpcgen_wire(pairs in prop::collection::vec(arb_dirent(), 0..20)) {
+#[test]
+fn dirents_roundtrip_and_match_rpcgen_wire() {
+    let mut rng = Rng(0xA11_5EED_0004);
+    for _ in 0..32 {
+        let n = rng.below(20);
+        let pairs: Vec<_> = (0..n).map(|_| random_dirent(&mut rng)).collect();
         let flick_side: Vec<onc_bench::Dirent> = pairs.iter().map(|(f, _)| f.clone()).collect();
-        let base_side: Vec<flick_baselines::Dirent> = pairs.iter().map(|(_, b)| b.clone()).collect();
+        let base_side: Vec<flick_baselines::Dirent> =
+            pairs.iter().map(|(_, b)| b.clone()).collect();
 
         let mut buf = MarshalBuf::new();
         onc_bench::encode_send_dirents_request(&mut buf, &flick_side);
         let mut r = MsgReader::new(buf.as_slice());
         let (back,) = onc_bench::decode_send_dirents_request(&mut r).expect("decodes");
-        prop_assert_eq!(&back, &flick_side);
+        assert_eq!(back, flick_side);
 
         // Wire compatibility with rpcgen on arbitrary data, not just
         // the benchmark workload.
         let mut base = flick_baselines::rpcgen::RpcgenStyle::new();
         base.marshal_dirents(&base_side);
-        prop_assert_eq!(buf.as_slice(), base.bytes());
+        assert_eq!(buf.as_slice(), base.bytes());
     }
+}
 
-    #[test]
-    fn truncation_never_panics(vals in prop::collection::vec(any::<i32>(), 0..100), cut_frac in 0.0f64..1.0) {
+#[test]
+fn truncation_never_panics() {
+    let mut rng = Rng(0xA11_5EED_0005);
+    for _ in 0..64 {
+        let vals = rng.i32_vec(100);
         let mut buf = MarshalBuf::new();
         onc_bench::encode_send_ints_request(&mut buf, &vals);
-        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        let cut = rng.below(buf.len() + 1);
         let mut r = MsgReader::new(&buf.as_slice()[..cut]);
         // Either decodes (cut == full length) or errors; never panics.
         let _ = onc_bench::decode_send_ints_request(&mut r);
     }
+}
 
-    #[test]
-    fn xdr_primitives_roundtrip(a in any::<i32>(), b in any::<u64>(), f in any::<f64>(), s in "[ -~]{0,80}") {
+#[test]
+fn xdr_primitives_roundtrip() {
+    let mut rng = Rng(0xA11_5EED_0006);
+    for _ in 0..64 {
+        let a = rng.i32();
+        let b = rng.next();
+        // Raw bit patterns cover NaN, infinities, and subnormals.
+        let f = f64::from_bits(rng.next());
+        let s: String = (0..rng.below(81))
+            .map(|_| (b' ' + (rng.below(95) as u8)) as char)
+            .collect();
         let mut buf = MarshalBuf::new();
         xdr::put_i32(&mut buf, a);
         xdr::put_u64(&mut buf, b);
         xdr::put_f64(&mut buf, f);
         xdr::put_string(&mut buf, &s);
         let mut r = MsgReader::new(buf.as_slice());
-        prop_assert_eq!(xdr::get_i32(&mut r).unwrap(), a);
-        prop_assert_eq!(xdr::get_u64(&mut r).unwrap(), b);
+        assert_eq!(xdr::get_i32(&mut r).unwrap(), a);
+        assert_eq!(xdr::get_u64(&mut r).unwrap(), b);
         let back = xdr::get_f64(&mut r).unwrap();
-        prop_assert!(back == f || (back.is_nan() && f.is_nan()));
-        prop_assert_eq!(xdr::get_string(&mut r, None).unwrap(), s.as_bytes());
-        prop_assert!(r.is_exhausted());
+        assert!(back == f || (back.is_nan() && f.is_nan()));
+        assert_eq!(xdr::get_string(&mut r, None).unwrap(), s.as_bytes());
+        assert!(r.is_exhausted());
     }
+}
 
-    #[test]
-    fn cdr_alignment_invariant(vals in prop::collection::vec(any::<(u8, i32, f64)>(), 0..50)) {
-        use flick_runtime::cdr::{ByteOrder, CdrIn, CdrOut};
+#[test]
+fn cdr_alignment_invariant() {
+    use flick_runtime::cdr::{ByteOrder, CdrIn, CdrOut};
+    let mut rng = Rng(0xA11_5EED_0007);
+    for _ in 0..64 {
+        let n = rng.below(50);
+        let vals: Vec<(u8, i32, f64)> = (0..n)
+            .map(|_| (rng.next() as u8, rng.i32(), f64::from_bits(rng.next())))
+            .collect();
         let mut buf = MarshalBuf::new();
         let out = CdrOut::begin(&buf, ByteOrder::Little);
         for (a, b, c) in &vals {
@@ -120,41 +188,50 @@ proptest! {
         let mut r = MsgReader::new(&data);
         let cin = CdrIn::begin(&r, ByteOrder::Little);
         for (a, b, c) in &vals {
-            prop_assert_eq!(cin.get_u8(&mut r).unwrap(), *a);
-            prop_assert_eq!(cin.get_i32(&mut r).unwrap(), *b);
+            assert_eq!(cin.get_u8(&mut r).unwrap(), *a);
+            assert_eq!(cin.get_i32(&mut r).unwrap(), *b);
             let back = cin.get_f64(&mut r).unwrap();
-            prop_assert!(back == *c || (back.is_nan() && c.is_nan()));
+            assert!(back == *c || (back.is_nan() && c.is_nan()));
         }
-    }
-
-    #[test]
-    fn record_framing_roundtrips(payload in prop::collection::vec(any::<u8>(), 0..2000)) {
-        let framed = oncrpc::frame_record(&payload);
-        let (back, used) = oncrpc::deframe_record(&framed).expect("deframes");
-        prop_assert_eq!(back, payload);
-        prop_assert_eq!(used, framed.len());
-    }
-
-    #[test]
-    fn pod_bytes_roundtrip(vals in prop::collection::vec(any::<i64>(), 0..200)) {
-        use flick_runtime::pod;
-        let bytes = pod::bytes_of(&vals);
-        let back: Vec<i64> = pod::vec_from_bytes(bytes);
-        prop_assert_eq!(back, vals);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn record_framing_roundtrips() {
+    let mut rng = Rng(0xA11_5EED_0008);
+    for _ in 0..64 {
+        let n = rng.below(2000);
+        let payload: Vec<u8> = (0..n).map(|_| rng.next() as u8).collect();
+        let framed = oncrpc::frame_record(&payload);
+        let (back, used) = oncrpc::deframe_record(&framed).expect("deframes");
+        assert_eq!(back, payload);
+        assert_eq!(used, framed.len());
+    }
+}
 
-    /// Random (valid) IDL interfaces always compile through the whole
-    /// pipeline.  The generator produces scalar/string/sequence
-    /// parameter lists over a random interface shape.
-    #[test]
-    fn random_interfaces_compile(
-        n_ops in 1usize..6,
-        tys in prop::collection::vec(0u8..6, 1..6),
-    ) {
+#[test]
+fn pod_bytes_roundtrip() {
+    use flick_runtime::pod;
+    let mut rng = Rng(0xA11_5EED_0009);
+    for _ in 0..64 {
+        let n = rng.below(200);
+        let vals: Vec<i64> = (0..n).map(|_| rng.next() as i64).collect();
+        let bytes = pod::bytes_of(&vals);
+        let back: Vec<i64> = pod::vec_from_bytes(bytes);
+        assert_eq!(back, vals);
+    }
+}
+
+/// Random (valid) IDL interfaces always compile through the whole
+/// pipeline.  The generator produces scalar/string/sequence parameter
+/// lists over a random interface shape.
+#[test]
+fn random_interfaces_compile() {
+    let mut rng = Rng(0xA11_5EED_000A);
+    for _ in 0..32 {
+        let n_ops = 1 + rng.below(5);
+        let n_tys = 1 + rng.below(5);
+        let tys: Vec<u8> = (0..n_tys).map(|_| rng.below(6) as u8).collect();
         let ty_name = |t: u8| match t {
             0 => "long",
             1 => "double",
@@ -180,8 +257,17 @@ proptest! {
 
         use flick::{Compiler, Frontend, Style, Transport};
         use flick_pres::Side;
-        let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp)
-            .compile_source("rand.idl", &idl, "R", Side::Server);
-        prop_assert!(out.is_ok(), "{}\n{}", idl, out.err().map(|e| e.report).unwrap_or_default());
+        let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp).compile_source(
+            "rand.idl",
+            &idl,
+            "R",
+            Side::Server,
+        );
+        assert!(
+            out.is_ok(),
+            "{}\n{}",
+            idl,
+            out.err().map(|e| e.report).unwrap_or_default()
+        );
     }
 }
