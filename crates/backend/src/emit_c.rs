@@ -17,12 +17,13 @@ use flick_pres::{PresC, StubKind};
 
 use crate::encoding::{Order, StringWire, WirePrim};
 use crate::layout::{PackedItem, SizeClass, ValPath};
-use crate::plan::{plan_presc_full, PlanNode, StubPlan};
+use crate::plan::{PlanNode, StubPlan, StubPlans};
 use crate::BackEnd;
 
-/// Emits the C translation unit for `presc` under `be`.
+/// Emits the C translation unit for the optimized MIR `full` under
+/// `be`.
 #[must_use]
-pub fn emit(presc: &PresC, plans: &[StubPlan], be: &BackEnd) -> CUnit {
+pub fn emit(presc: &PresC, full: &StubPlans, be: &BackEnd) -> CUnit {
     let mut unit = CUnit::new();
     unit.push(CDecl::Comment(format!(
         "Flick-generated stubs: interface `{}`, presentation `{}`, transport `{}`, encoding `{}`. Do not edit.",
@@ -41,23 +42,26 @@ pub fn emit(presc: &PresC, plans: &[StubPlan], be: &BackEnd) -> CUnit {
         unit.push(d.clone());
     }
 
-    let mut e = CEmitter { be, tmp: 0 };
+    let mut e = CEmitter {
+        be,
+        hoist: full.hoist,
+        memcpy: full.memcpy,
+        tmp: 0,
+    };
 
     // Out-of-line marshal functions: prototypes first (they may call
     // one another in any order), then definitions.
-    if let Ok(full) = plan_presc_full(presc, &be.encoding, &be.opts) {
-        for (key, body) in &full.outlines {
-            let mut f = e.outline_marshal(key, body);
-            f.body = None;
-            unit.push(CDecl::Function(f));
-        }
-        for (key, body) in &full.outlines {
-            unit.push(CDecl::Function(e.outline_marshal(key, body)));
-        }
+    for (key, body) in &full.outlines {
+        let mut f = e.outline_marshal(key, body);
+        f.body = None;
+        unit.push(CDecl::Function(f));
+    }
+    for (key, body) in &full.outlines {
+        unit.push(CDecl::Function(e.outline_marshal(key, body)));
     }
 
     // Client stubs.
-    for plan in plans {
+    for plan in &full.stubs {
         if plan.kind == StubKind::ServerWork {
             continue;
         }
@@ -69,15 +73,19 @@ pub fn emit(presc: &PresC, plans: &[StubPlan], be: &BackEnd) -> CUnit {
 
     // Work-function prototypes the dispatch arms call, then the
     // dispatch function itself.
-    for f in e.work_prototypes(presc, plans) {
+    for f in e.work_prototypes(presc, &full.stubs) {
         unit.push(CDecl::Function(f));
     }
-    unit.push(CDecl::Function(e.dispatch(presc, plans)));
+    unit.push(CDecl::Function(e.dispatch(presc, &full.stubs)));
     unit
 }
 
 struct CEmitter<'a> {
     be: &'a BackEnd,
+    /// Whether the `hoist-checks` pass ran (from [`StubPlans::hoist`]).
+    hoist: bool,
+    /// Whether the `coalesce-memcpy` pass ran.
+    memcpy: bool,
     tmp: usize,
 }
 
@@ -153,7 +161,7 @@ impl<'a> CEmitter<'a> {
             | PlanNode::Enum {
                 prim: prim @ WirePrim { .. },
             } => {
-                if !covered && self.be.opts.hoist_checks {
+                if !covered && self.hoist {
                     out.push(CStmt::expr(CExpr::call(
                         "flick_ensure",
                         vec![ident("_buf"), CExpr::Int(i64::from(prim.slot))],
@@ -162,7 +170,7 @@ impl<'a> CEmitter<'a> {
                 out.push(self.put_prim(*prim, v));
             }
             PlanNode::Packed { layout, .. } => {
-                if !covered && self.be.opts.hoist_checks {
+                if !covered && self.hoist {
                     out.push(CStmt::Comment("fixed region: one space check".into()));
                     out.push(CStmt::expr(CExpr::call(
                         "flick_ensure",
@@ -196,7 +204,7 @@ impl<'a> CEmitter<'a> {
                         } => {
                             let e = Self::path_to_expr(v.clone(), path);
                             let bytes = count * u64::from(prim.size);
-                            if self.be.opts.memcpy && prim.memcpy_compatible(prim.size) {
+                            if self.memcpy && prim.memcpy_compatible(prim.size) {
                                 out.push(CStmt::Comment("memcpy run".into()));
                                 out.push(CStmt::expr(CExpr::call(
                                     "memcpy",
@@ -257,7 +265,7 @@ impl<'a> CEmitter<'a> {
                     Some(_) => v.clone(),
                     None => v.clone().member("_buffer"),
                 };
-                if !covered && self.be.opts.hoist_checks {
+                if !covered && self.hoist {
                     out.push(CStmt::expr(CExpr::call(
                         "flick_ensure",
                         vec![
@@ -301,7 +309,7 @@ impl<'a> CEmitter<'a> {
                     CType::UInt,
                     CExpr::call("strlen", vec![v.clone()]),
                 ));
-                if !covered && self.be.opts.hoist_checks {
+                if !covered && self.hoist {
                     out.push(CStmt::expr(CExpr::call(
                         "flick_ensure",
                         vec![ident("_buf"), CExpr::Int(8).bin(BinOp::Add, ident(&len))],
@@ -349,9 +357,7 @@ impl<'a> CEmitter<'a> {
                     vec![ident("_buf"), len.clone()],
                 )));
                 let mut body_covered = covered;
-                if let (true, SizeClass::Fixed(n)) =
-                    (self.be.opts.hoist_checks && !covered, *elem_class)
-                {
+                if let (true, SizeClass::Fixed(n)) = (self.hoist && !covered, *elem_class) {
                     out.push(CStmt::Comment("space check hoisted out of the loop".into()));
                     out.push(CStmt::expr(CExpr::call(
                         "flick_ensure",
@@ -490,22 +496,20 @@ impl<'a> CEmitter<'a> {
             vec![ident("_buf")],
         )));
 
-        // §3.1 hoisted whole-message check.
+        // §3.1 hoisted whole-message check (decided by `hoist-checks`;
+        // the capped form, so fixed-but-huge messages do not
+        // pre-reserve).
         let mut covered = false;
-        if self.be.opts.hoist_checks {
-            if let Some(n) = plan.request.class.bound() {
-                if n <= self.be.opts.bounded_threshold {
-                    body.push(CStmt::Comment(match plan.request.class {
-                        SizeClass::Fixed(_) => "whole message is fixed-size: one check".into(),
-                        _ => "whole message is bounded: one check".into(),
-                    }));
-                    body.push(CStmt::expr(CExpr::call(
-                        "flick_ensure",
-                        vec![ident("_buf"), CExpr::Int(n as i64)],
-                    )));
-                    covered = true;
-                }
-            }
+        if let Some(n) = plan.request.hoisted_capped {
+            body.push(CStmt::Comment(match plan.request.class {
+                SizeClass::Fixed(_) => "whole message is fixed-size: one check".into(),
+                _ => "whole message is bounded: one check".into(),
+            }));
+            body.push(CStmt::expr(CExpr::call(
+                "flick_ensure",
+                vec![ident("_buf"), CExpr::Int(n as i64)],
+            )));
+            covered = true;
         }
         for (slot, pres_slot) in plan.request.slots.iter().zip(stub.request.slots.iter()) {
             let base = if pres_slot.by_ref {

@@ -11,15 +11,21 @@
 //!   byte order, count prefixes, string conventions;
 //! * [`layout`] — §3.1 storage classification: every message region is
 //!   *fixed*, *variable but bounded*, or *unbounded*;
-//! * [`plan`] — the marshal plan, the IR on which the optimizations
-//!   run: buffer-check hoisting, chunk formation, `memcpy` run
-//!   coalescing, marshal-code inlining, and the word-wise
+//! * [`mir`] — the marshal MIR, the IR on which the optimizations run;
+//! * [`plan`] — PRES-C → naive MIR lowering (parallel across stubs)
+//!   plus the `plan_presc` facade;
+//! * [`passes`] — the §3 optimizations as named [`MirPass`]es run by a
+//!   pass manager: buffer-check hoisting, chunk formation, `memcpy`
+//!   run coalescing, marshal-code inlining, and the word-wise
 //!   discriminator switches of §3.3;
-//! * [`emit_c`] — plan → CAST → C source (the paper's actual output);
-//! * [`emit_rust`] — plan → Rust source against `flick-runtime`,
+//! * [`verify`] — the MIR verifier run between passes in debug/test
+//!   builds;
+//! * [`emit_c`] — MIR → CAST → C source (the paper's actual output);
+//! * [`emit_rust`] — MIR → Rust source against `flick-runtime`,
 //!   which the benchmark harness compiles and *executes*;
 //! * [`opts`] — [`OptFlags`], individual toggles for each optimization
-//!   so the ablation benchmarks can reproduce the paper's §3 claims.
+//!   (a thin facade over [`PassPipeline`]) so the ablation benchmarks
+//!   can reproduce the paper's §3 claims.
 //!
 //! The entry point is [`BackEnd::compile`].
 
@@ -28,13 +34,18 @@ pub mod emit_c;
 pub mod emit_rust;
 pub mod encoding;
 pub mod layout;
+pub mod mir;
 pub mod opts;
+pub mod passes;
 pub mod plan;
+pub mod verify;
 
 pub use c_header::C_RUNTIME_HEADER;
 pub use encoding::{Encoding, WirePrim};
+pub use mir::{PlanStats, StubPlans};
 pub use opts::OptFlags;
-pub use plan::PlanStats;
+pub use passes::{MirDump, MirPass, PassPipeline, PassSpan, PASS_NAMES};
+pub use plan::Parallelism;
 
 use flick_pres::PresC;
 
@@ -79,6 +90,50 @@ impl Transport {
     }
 }
 
+/// Which backend step failed — the finer-grained phase that
+/// `CompileError` reports (`backend.plan`, `backend.emit-c`, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendStep {
+    /// Lowering + the MIR pass pipeline.
+    Plan,
+    /// MIR → CAST.
+    EmitC,
+    /// CAST → C source text.
+    PrintC,
+    /// MIR → Rust source.
+    EmitRust,
+}
+
+impl BackendStep {
+    /// The span/phase name of this step.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendStep::Plan => "backend.plan",
+            BackendStep::EmitC => "backend.emit-c",
+            BackendStep::PrintC => "backend.print-c",
+            BackendStep::EmitRust => "backend.emit-rust",
+        }
+    }
+}
+
+/// A backend failure, tagged with the step that raised it.
+#[derive(Clone, Debug)]
+pub struct BackendError {
+    /// The failing step.
+    pub step: BackendStep,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// A configured back end: encoding + transport + optimization flags.
 #[derive(Clone, Debug)]
 pub struct BackEnd {
@@ -86,8 +141,16 @@ pub struct BackEnd {
     pub transport: Transport,
     /// Wire encoding (usually `transport.default_encoding()`).
     pub encoding: Encoding,
-    /// Optimization toggles.
+    /// Optimization toggles (facade over the pass pipeline).
     pub opts: OptFlags,
+    /// Pass names removed from the pipeline (`flickc --disable-pass`).
+    pub disabled_passes: Vec<String>,
+    /// Run the MIR verifier between passes.  Defaults on in debug
+    /// builds; stub regeneration turns it on explicitly.
+    pub verify_mir: bool,
+    /// Dump the MIR (after a named pass, or final) into
+    /// [`BackendTrace::mir_dump`].
+    pub dump_mir: Option<MirDump>,
 }
 
 impl BackEnd {
@@ -99,6 +162,9 @@ impl BackEnd {
             transport,
             encoding: transport.default_encoding(),
             opts: OptFlags::all(),
+            disabled_passes: Vec::new(),
+            verify_mir: cfg!(debug_assertions),
+            dump_mir: None,
         }
     }
 
@@ -115,23 +181,35 @@ impl BackEnd {
     /// Returns a message when the presentation uses a construct this
     /// back end cannot lower (see `emit_rust` for the Rust subset).
     pub fn compile(&self, presc: &PresC) -> Result<Compiled, String> {
-        Ok(self.compile_traced(presc)?.0)
+        self.compile_traced(presc)
+            .map(|(c, _)| c)
+            .map_err(|e| e.message)
     }
 
-    /// Like [`BackEnd::compile`], but also reports per-step wall times
-    /// and the optimizer's decision counts.
+    /// Like [`BackEnd::compile`], but also reports per-step and
+    /// per-pass wall times and the optimizer's decision counts.
     ///
     /// # Errors
-    /// Same as [`BackEnd::compile`].
-    pub fn compile_traced(&self, presc: &PresC) -> Result<(Compiled, BackendTrace), String> {
+    /// Same as [`BackEnd::compile`], tagged with the failing step.
+    pub fn compile_traced(&self, presc: &PresC) -> Result<(Compiled, BackendTrace), BackendError> {
+        let plan_err = |message: String| BackendError {
+            step: BackendStep::Plan,
+            message,
+        };
+
         let t = std::time::Instant::now();
-        let full = plan::plan_presc_full(presc, &self.encoding, &self.opts)?;
-        let stats = plan::PlanStats::of(&full);
-        let plans = full.stubs;
+        let mut pipeline = PassPipeline::from_opts(&self.opts);
+        pipeline.verify = self.verify_mir;
+        for name in &self.disabled_passes {
+            pipeline.disable(name).map_err(plan_err)?;
+        }
+        let run = passes::run_pipeline(presc, &self.encoding, &pipeline, self.dump_mir.as_ref())
+            .map_err(plan_err)?;
+        let stats = plan::PlanStats::of(&run.mir);
         let plan_ns = step_ns(t);
 
         let t = std::time::Instant::now();
-        let c_unit = emit_c::emit(presc, &plans, self);
+        let c_unit = emit_c::emit(presc, &run.mir, self);
         let emit_c_ns = step_ns(t);
 
         let t = std::time::Instant::now();
@@ -139,7 +217,11 @@ impl BackEnd {
         let print_c_ns = step_ns(t);
 
         let t = std::time::Instant::now();
-        let rust_source = emit_rust::emit(presc, &plans, self)?;
+        let rust_source =
+            emit_rust::emit(presc, &run.mir, self).map_err(|message| BackendError {
+                step: BackendStep::EmitRust,
+                message,
+            })?;
         let emit_rust_ns = step_ns(t);
 
         Ok((
@@ -147,7 +229,7 @@ impl BackEnd {
                 c_unit,
                 c_source,
                 rust_source,
-                plans,
+                plans: run.mir,
             },
             BackendTrace {
                 plan_ns,
@@ -155,6 +237,8 @@ impl BackEnd {
                 print_c_ns,
                 emit_rust_ns,
                 stats,
+                passes: run.passes,
+                mir_dump: run.mir_dump,
             },
         ))
     }
@@ -166,9 +250,9 @@ fn step_ns(start: std::time::Instant) -> u64 {
 
 /// Per-step wall times and optimizer decision counts from one
 /// [`BackEnd::compile_traced`] run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BackendTrace {
-    /// Time planning (PRES-C → marshal plans).
+    /// Time planning (PRES-C → MIR, including all passes).
     pub plan_ns: u64,
     /// Time lowering plans to CAST.
     pub emit_c_ns: u64,
@@ -178,6 +262,11 @@ pub struct BackendTrace {
     pub emit_rust_ns: u64,
     /// What the optimizer decided.
     pub stats: plan::PlanStats,
+    /// Per-pass breakdown of `plan_ns` (lowering first, then each
+    /// scheduled MIR pass in order).
+    pub passes: Vec<PassSpan>,
+    /// The `--dump-mir` rendering, if one was requested.
+    pub mir_dump: Option<String>,
 }
 
 /// The artifacts a back end produces for one presentation.
@@ -189,7 +278,7 @@ pub struct Compiled {
     pub c_source: String,
     /// Rust stub source against `flick-runtime`.
     pub rust_source: String,
-    /// The per-stub marshal plans (exposed for tests and the
-    /// code-size accounting of Table 2).
-    pub plans: Vec<plan::StubPlan>,
+    /// The optimized MIR (exposed for tests and the code-size
+    /// accounting of Table 2).
+    pub plans: StubPlans,
 }

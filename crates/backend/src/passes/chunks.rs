@@ -1,0 +1,46 @@
+//! `form-chunks` (§3.2 chunking): pack fixed-layout regions.
+//!
+//! Rewrites any struct or fixed array whose wire layout packs into a
+//! [`PlanNode::Packed`] chunk: one space decision and constant-offset
+//! stores instead of per-member marshal code.  The rewrite is
+//! outermost-wins — once a region packs, its interior never appears as
+//! separate plan nodes.  Runs before `coalesce-memcpy`, so a fixed
+//! scalar array inside a packable region becomes a run inside the
+//! chunk rather than a standalone block copy.
+
+use crate::layout::pack;
+use crate::mir::{for_each_child, for_each_root, type_name_of, PlanNode, PlanResult, StubPlans};
+use crate::passes::{MirPass, PassCx};
+
+pub struct FormChunks;
+
+impl MirPass for FormChunks {
+    fn name(&self) -> &'static str {
+        "form-chunks"
+    }
+
+    fn run(&self, mir: &mut StubPlans, cx: &PassCx) -> PlanResult<u64> {
+        let mut decisions = 0;
+        for_each_root(mir, |root| chunk_node(root, cx, &mut decisions));
+        Ok(decisions)
+    }
+}
+
+fn chunk_node(node: &mut PlanNode, cx: &PassCx, decisions: &mut u64) {
+    let pres = match node {
+        PlanNode::Struct { pres, .. } | PlanNode::FixedArray { pres, .. } => Some(*pres),
+        _ => None,
+    };
+    if let Some(pres) = pres {
+        if let Some(layout) = pack(cx.presc, cx.enc, pres) {
+            *node = PlanNode::Packed {
+                layout,
+                type_name: type_name_of(cx.presc, pres),
+                pres,
+            };
+            *decisions += 1;
+            return; // outermost wins; nothing left to visit inside
+        }
+    }
+    for_each_child(node, |c| chunk_node(c, cx, decisions));
+}

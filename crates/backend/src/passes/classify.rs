@@ -1,0 +1,55 @@
+//! `classify-storage` (§3.1): assign size classes.
+//!
+//! Recomputes each message's whole-message [`SizeClass`] (operation
+//! discriminator plus every slot) and each counted array's per-element
+//! class from the presentation.  Later passes and the emitters consume
+//! these classes; this pass always runs — even a fully de-optimized
+//! pipeline needs element classes for receive-side capacity guards.
+
+use crate::layout::{size_class, SizeClass};
+use crate::mir::{for_each_child, PlanNode, PlanResult, StubPlans};
+use crate::passes::{MirPass, PassCx};
+
+pub struct ClassifyStorage;
+
+impl MirPass for ClassifyStorage {
+    fn name(&self) -> &'static str {
+        "classify-storage"
+    }
+
+    fn run(&self, mir: &mut StubPlans, cx: &PassCx) -> PlanResult<u64> {
+        let mut decisions = 0;
+        for stub in &mut mir.stubs {
+            for msg in [&mut stub.request, &mut stub.reply] {
+                let mut class = SizeClass::Fixed(u64::from(cx.enc.len_prefix().slot));
+                for slot in &msg.slots {
+                    class = class.then(size_class(cx.presc, cx.enc, slot.pres));
+                }
+                msg.class = class;
+                msg.hoisted = None;
+                msg.hoisted_capped = None;
+                decisions += 1;
+                for slot in &mut msg.slots {
+                    classify_node(&mut slot.node, cx, &mut decisions);
+                }
+            }
+        }
+        for body in mir.outlines.values_mut() {
+            classify_node(body, cx, &mut decisions);
+        }
+        Ok(decisions)
+    }
+}
+
+fn classify_node(node: &mut PlanNode, cx: &PassCx, decisions: &mut u64) {
+    if let PlanNode::CountedArray {
+        elem_class,
+        elem_pres,
+        ..
+    } = node
+    {
+        *elem_class = size_class(cx.presc, cx.enc, *elem_pres);
+        *decisions += 1;
+    }
+    for_each_child(node, |c| classify_node(c, cx, decisions));
+}

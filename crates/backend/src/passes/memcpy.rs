@@ -1,0 +1,90 @@
+//! `coalesce-memcpy` (§3.2 data copying): block-copy scalar arrays.
+//!
+//! An array of scalars whose wire and memory layouts coincide (same
+//! size, native byte order, no per-element padding) marshals as one
+//! `memcpy` instead of an element loop.  The pass requeries the
+//! element's *presentation* node — the lowered per-element plan uses
+//! the widened wire form, which is the wrong question to ask here.
+//!
+//! Also flips [`StubPlans::memcpy`], which governs block copies for
+//! scalar runs inside packed chunks at emit time.
+
+use flick_pres::PresNode;
+
+use crate::encoding::{Encoding, WirePrim};
+use crate::mir::{for_each_child, for_each_root, PlanNode, PlanResult, StubPlans};
+use crate::passes::{MirPass, PassCx};
+
+pub struct CoalesceMemcpy;
+
+impl MirPass for CoalesceMemcpy {
+    fn name(&self) -> &'static str {
+        "coalesce-memcpy"
+    }
+
+    fn run(&self, mir: &mut StubPlans, cx: &PassCx) -> PlanResult<u64> {
+        mir.memcpy = true;
+        let mut decisions = 0;
+        for_each_root(mir, |root| coalesce_node(root, cx, &mut decisions));
+        Ok(decisions)
+    }
+}
+
+fn coalesce_node(node: &mut PlanNode, cx: &PassCx, decisions: &mut u64) {
+    let rewritten = match node {
+        PlanNode::FixedArray { len, elem_pres, .. } => {
+            elem_run(cx, *elem_pres).map(|prim| PlanNode::MemcpyArray {
+                prim,
+                fixed_len: Some(*len),
+                bound: None,
+                counted: false,
+                pad_unit: cx.enc.pad_unit,
+                descriptor: descriptor_for(cx.enc, prim),
+            })
+        }
+        PlanNode::CountedArray {
+            bound, elem_pres, ..
+        } => elem_run(cx, *elem_pres).map(|prim| PlanNode::MemcpyArray {
+            prim,
+            fixed_len: None,
+            bound: *bound,
+            counted: true,
+            pad_unit: cx.enc.pad_unit,
+            descriptor: descriptor_for(cx.enc, prim),
+        }),
+        _ => None,
+    };
+    if let Some(run) = rewritten {
+        *node = run;
+        *decisions += 1;
+        return;
+    }
+    for_each_child(node, |c| coalesce_node(c, cx, decisions));
+}
+
+/// The element's wire form, if it is a scalar that block-copies.
+fn elem_run(cx: &PassCx, elem_pres: flick_pres::PresId) -> Option<WirePrim> {
+    if let PresNode::Direct { mint, .. } = cx.presc.pres.get(elem_pres) {
+        let prim = cx.enc.elem_prim(&cx.presc.mint, *mint);
+        if prim.memcpy_compatible(prim.size) {
+            return Some(prim);
+        }
+    }
+    None
+}
+
+/// The Mach-style type descriptor for a block-copied element, if the
+/// encoding is typed.
+fn descriptor_for(enc: &Encoding, prim: WirePrim) -> Option<u8> {
+    if !enc.typed_descriptors {
+        return None;
+    }
+    Some(match (prim.size, prim.signed) {
+        (1, _) => 9,    // BYTE
+        (4, true) => 2, // INTEGER_32
+        (4, false) => 2,
+        (8, _) => 11, // INTEGER_64
+        (2, _) => 2,
+        _ => 9,
+    })
+}

@@ -1,0 +1,400 @@
+//! The MIR pass manager: Flick's §3 optimizations as named, ordered
+//! rewrites over [`StubPlans`].
+//!
+//! Lowering produces naive MIR (datum-by-datum marshaling, every named
+//! aggregate out of line, no storage classes); each [`MirPass`] then
+//! makes one class of optimization decision:
+//!
+//! | order | pass              | §     | decision                              |
+//! |-------|-------------------|-------|---------------------------------------|
+//! | 1     | `classify-storage`| §3.1  | size classes for messages & elements  |
+//! | 2     | `hoist-checks`    | §3.1  | one up-front `ensure` per message     |
+//! | 3     | `form-chunks`     | §3.2  | packed constant-offset regions        |
+//! | 4     | `coalesce-memcpy` | §3.2  | scalar arrays become block copies     |
+//! | 5     | `inline-marshal`  | §3.3  | absorb out-of-line marshal calls      |
+//! | 6     | `demux-switch`    | §3.4  | word-wise server demultiplex trie     |
+//!
+//! The pipeline times each pass, counts its decisions, optionally runs
+//! the MIR verifier between passes (debug/test builds), and finishes
+//! with an outline garbage collection so only reachable out-of-line
+//! bodies survive.
+
+use std::time::Instant;
+
+use flick_pres::PresC;
+
+use crate::encoding::Encoding;
+use crate::mir::{self, PlanNode, PlanResult, StubPlans};
+use crate::opts::OptFlags;
+use crate::plan::{lower_presc, LowerOpts, Parallelism};
+use crate::verify::verify;
+
+mod chunks;
+mod classify;
+mod demux;
+mod hoist;
+mod inline;
+mod memcpy;
+
+pub use chunks::FormChunks;
+pub use classify::ClassifyStorage;
+pub use demux::DemuxSwitch;
+pub use hoist::HoistChecks;
+pub use inline::InlineMarshal;
+pub use memcpy::CoalesceMemcpy;
+
+/// The six §3 passes in pipeline order.
+pub const PASS_NAMES: [&str; 6] = [
+    "classify-storage",
+    "hoist-checks",
+    "form-chunks",
+    "coalesce-memcpy",
+    "inline-marshal",
+    "demux-switch",
+];
+
+/// Read-only context every pass runs against: passes requery the
+/// presentation and encoding rather than trusting lowered caches.
+pub struct PassCx<'a> {
+    /// The presentation being compiled.
+    pub presc: &'a PresC,
+    /// The target wire encoding.
+    pub enc: &'a Encoding,
+}
+
+/// One optimization rewrite over the MIR.
+pub trait MirPass: Send + Sync {
+    /// The stable pass name (`flickc --passes`, `--disable-pass`).
+    fn name(&self) -> &'static str;
+
+    /// Rewrites `mir` in place, returning how many decisions it made
+    /// (for `--stats` counters).
+    ///
+    /// # Errors
+    /// Returns a message if the MIR contains a shape the pass cannot
+    /// handle.
+    fn run(&self, mir: &mut StubPlans, cx: &PassCx) -> PlanResult<u64>;
+}
+
+/// Wall time + decision count for one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassSpan {
+    /// Pass name (or `"lower"` for the lowering step itself).
+    pub name: &'static str,
+    /// Wall time spent in the pass.
+    pub ns: u64,
+    /// Decisions the pass made.
+    pub decisions: u64,
+}
+
+/// A `--dump-mir` request: dump after the named pass, or after the
+/// whole pipeline when `after` is `None`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MirDump {
+    /// Pass name to dump after (`"lower"` is also accepted).
+    pub after: Option<String>,
+}
+
+/// An ordered, toggleable set of MIR passes plus lowering options.
+pub struct PassPipeline {
+    lower: LowerOpts,
+    passes: Vec<Box<dyn MirPass>>,
+    /// Run the MIR verifier after lowering and between passes.
+    pub verify: bool,
+    /// How lowering schedules independent stubs.
+    pub parallel: Parallelism,
+}
+
+impl PassPipeline {
+    /// The pipeline the boolean [`OptFlags`] facade describes.
+    /// `classify-storage` and `demux-switch` always run (emitters
+    /// depend on storage classes and a demux decision); the other
+    /// passes follow their flags.
+    #[must_use]
+    pub fn from_opts(opts: &OptFlags) -> PassPipeline {
+        let mut passes: Vec<Box<dyn MirPass>> = vec![Box::new(ClassifyStorage)];
+        if opts.hoist_checks {
+            passes.push(Box::new(HoistChecks {
+                threshold: opts.bounded_threshold,
+            }));
+        }
+        if opts.chunking {
+            passes.push(Box::new(FormChunks));
+        }
+        if opts.memcpy {
+            passes.push(Box::new(CoalesceMemcpy));
+        }
+        if opts.inline_marshal {
+            passes.push(Box::new(InlineMarshal));
+        }
+        passes.push(Box::new(DemuxSwitch));
+        PassPipeline {
+            lower: LowerOpts {
+                param_mgmt: opts.param_mgmt,
+            },
+            passes,
+            verify: cfg!(debug_assertions),
+            parallel: Parallelism::Auto,
+        }
+    }
+
+    /// Names of the passes currently scheduled, in order.
+    #[must_use]
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Removes the named pass from the schedule.  Removing a pass that
+    /// a flag already excluded is a no-op; an unknown name is an error.
+    ///
+    /// # Errors
+    /// Returns a diagnostic naming the unknown pass.
+    pub fn disable(&mut self, name: &str) -> Result<(), String> {
+        if !PASS_NAMES.contains(&name) {
+            return Err(format!(
+                "unknown pass `{name}` (known passes: {})",
+                PASS_NAMES.join(", ")
+            ));
+        }
+        self.passes.retain(|p| p.name() != name);
+        Ok(())
+    }
+}
+
+/// The result of one pipeline run.
+#[derive(Debug)]
+pub struct PipelineRun {
+    /// The optimized MIR.
+    pub mir: StubPlans,
+    /// Per-pass timing + decision spans, in execution order
+    /// (lowering first).
+    pub passes: Vec<PassSpan>,
+    /// The rendered `--dump-mir` output, if requested.
+    pub mir_dump: Option<String>,
+}
+
+/// Lowers `presc` and runs every scheduled pass over it.
+///
+/// # Errors
+/// Returns a message if lowering or a pass fails, if the verifier
+/// rejects an intermediate MIR, or if `dump` names a pass that never
+/// ran.
+pub fn run_pipeline(
+    presc: &PresC,
+    enc: &Encoding,
+    pipeline: &PassPipeline,
+    dump: Option<&MirDump>,
+) -> PlanResult<PipelineRun> {
+    let cx = PassCx { presc, enc };
+    let t0 = Instant::now();
+    let mut mir = lower_presc(presc, enc, pipeline.lower, pipeline.parallel)?;
+    let mut spans = vec![PassSpan {
+        name: "lower",
+        ns: t0.elapsed().as_nanos() as u64,
+        decisions: mir.stubs.len() as u64,
+    }];
+    if pipeline.verify {
+        verify(&mir, presc, enc).map_err(|e| format!("MIR verify after lowering: {e}"))?;
+    }
+    let mut mir_dump = dump
+        .filter(|d| d.after.as_deref() == Some("lower"))
+        .map(|_| mir::dump(&mir));
+
+    for pass in &pipeline.passes {
+        let t = Instant::now();
+        let decisions = pass
+            .run(&mut mir, &cx)
+            .map_err(|e| format!("pass {}: {e}", pass.name()))?;
+        spans.push(PassSpan {
+            name: pass.name(),
+            ns: t.elapsed().as_nanos() as u64,
+            decisions,
+        });
+        if pipeline.verify {
+            verify(&mir, presc, enc)
+                .map_err(|e| format!("MIR verify after {}: {e}", pass.name()))?;
+        }
+        if dump.is_some_and(|d| d.after.as_deref() == Some(pass.name())) {
+            mir_dump = Some(mir::dump(&mir));
+        }
+    }
+
+    gc_outlines(&mut mir);
+    if pipeline.verify {
+        verify(&mir, presc, enc).map_err(|e| format!("MIR verify after outline GC: {e}"))?;
+    }
+
+    match dump {
+        Some(MirDump { after: None }) => mir_dump = Some(mir::dump(&mir)),
+        Some(MirDump { after: Some(name) }) if mir_dump.is_none() => {
+            return Err(format!(
+                "--dump-mir: pass `{name}` did not run (disabled or not scheduled)"
+            ));
+        }
+        _ => {}
+    }
+
+    Ok(PipelineRun {
+        mir,
+        passes: spans,
+        mir_dump,
+    })
+}
+
+/// Drops outline bodies no stub reaches.  Naive lowering outlines
+/// every named aggregate; after chunking and inlining some of those
+/// bodies have no remaining call sites (e.g. an aggregate absorbed
+/// into a packed chunk), and emitting them would change output.
+fn gc_outlines(mir: &mut StubPlans) {
+    use std::collections::BTreeSet;
+    let mut work: Vec<String> = Vec::new();
+    for stub in &mir.stubs {
+        for msg in [&stub.request, &stub.reply] {
+            for slot in &msg.slots {
+                collect_outline_keys(&slot.node, &mut work);
+            }
+        }
+    }
+    let mut reachable = BTreeSet::new();
+    while let Some(key) = work.pop() {
+        if reachable.insert(key.clone()) {
+            if let Some(body) = mir.outlines.get(&key) {
+                collect_outline_keys(body, &mut work);
+            }
+        }
+    }
+    mir.outlines.retain(|k, _| reachable.contains(k));
+}
+
+fn collect_outline_keys(node: &PlanNode, out: &mut Vec<String>) {
+    match node {
+        PlanNode::Outline { key } => out.push(key.clone()),
+        PlanNode::Struct { fields, .. } => {
+            for (_, f) in fields {
+                collect_outline_keys(f, out);
+            }
+        }
+        PlanNode::Union { cases, default, .. } => {
+            for (_, _, c) in cases {
+                collect_outline_keys(c, out);
+            }
+            if let Some((_, d)) = default {
+                collect_outline_keys(d, out);
+            }
+        }
+        PlanNode::CountedArray { elem, .. }
+        | PlanNode::FixedArray { elem, .. }
+        | PlanNode::Optional { elem, .. } => collect_outline_keys(elem, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::Demux;
+    use flick_idl::diag::Diagnostics;
+    use flick_pres::Side;
+
+    fn presc(idl: &str, iface: &str) -> PresC {
+        let aoi = flick_frontend_corba::parse_str("t.idl", idl);
+        let mut d = Diagnostics::new();
+        flick_presgen::corba_c(&aoi, iface, Side::Client, &mut d).expect("presentation")
+    }
+
+    const IDL: &str = r"
+        struct Point { long x; long y; };
+        struct Rect { Point min; Point max; };
+        typedef sequence<Rect> RectSeq;
+        interface I { void put(in RectSeq rs); };
+    ";
+
+    #[test]
+    fn default_pipeline_schedules_all_six_passes_in_order() {
+        let pipe = PassPipeline::from_opts(&OptFlags::all());
+        assert_eq!(pipe.pass_names(), PASS_NAMES.to_vec());
+    }
+
+    #[test]
+    fn flags_gate_their_passes_but_not_classify_or_demux() {
+        let pipe = PassPipeline::from_opts(&OptFlags::none());
+        assert_eq!(pipe.pass_names(), vec!["classify-storage", "demux-switch"]);
+    }
+
+    #[test]
+    fn disabling_unknown_pass_is_an_error() {
+        let mut pipe = PassPipeline::from_opts(&OptFlags::all());
+        assert!(pipe
+            .disable("frobnicate")
+            .unwrap_err()
+            .contains("unknown pass"));
+        pipe.disable("form-chunks").expect("known pass");
+        assert!(!pipe.pass_names().contains(&"form-chunks"));
+        // Disabling an already-absent pass stays fine.
+        pipe.disable("form-chunks").expect("idempotent");
+    }
+
+    #[test]
+    fn pipeline_reports_one_span_per_pass() {
+        let p = presc(IDL, "I");
+        let pipe = PassPipeline::from_opts(&OptFlags::all());
+        let run = run_pipeline(&p, &Encoding::xdr(), &pipe, None).expect("runs");
+        let names: Vec<_> = run.passes.iter().map(|s| s.name).collect();
+        let mut expect = vec!["lower"];
+        expect.extend(PASS_NAMES);
+        assert_eq!(names, expect);
+        // The chunking pass made at least one decision on rects.
+        let chunks = run.passes.iter().find(|s| s.name == "form-chunks").unwrap();
+        assert!(chunks.decisions >= 1, "{:?}", run.passes);
+    }
+
+    #[test]
+    fn disabling_demux_falls_back_to_linear() {
+        let p = presc(IDL, "I");
+        let mut pipe = PassPipeline::from_opts(&OptFlags::all());
+        pipe.disable("demux-switch").unwrap();
+        let run = run_pipeline(&p, &Encoding::xdr(), &pipe, None).expect("runs");
+        assert_eq!(run.mir.demux, Demux::Linear);
+        let run = run_pipeline(
+            &p,
+            &Encoding::xdr(),
+            &PassPipeline::from_opts(&OptFlags::all()),
+            None,
+        )
+        .expect("runs");
+        assert!(matches!(run.mir.demux, Demux::Trie(_)));
+    }
+
+    #[test]
+    fn dump_mir_after_pass_and_at_end() {
+        let p = presc(IDL, "I");
+        let pipe = PassPipeline::from_opts(&OptFlags::all());
+        let run = run_pipeline(&p, &Encoding::xdr(), &pipe, Some(&MirDump { after: None }))
+            .expect("runs");
+        let dump = run.mir_dump.expect("final dump");
+        assert!(dump.contains("stub "), "{dump}");
+        let run = run_pipeline(
+            &p,
+            &Encoding::xdr(),
+            &pipe,
+            Some(&MirDump {
+                after: Some("form-chunks".to_string()),
+            }),
+        )
+        .expect("runs");
+        assert!(run.mir_dump.expect("after-pass dump").contains("packed"));
+        // A dump point that never runs is a pipeline error.
+        let mut no_chunks = PassPipeline::from_opts(&OptFlags::all());
+        no_chunks.disable("form-chunks").unwrap();
+        let err = run_pipeline(
+            &p,
+            &Encoding::xdr(),
+            &no_chunks,
+            Some(&MirDump {
+                after: Some("form-chunks".to_string()),
+            }),
+        )
+        .unwrap_err();
+        assert!(err.contains("did not run"), "{err}");
+    }
+}

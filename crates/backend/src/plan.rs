@@ -1,282 +1,55 @@
-//! The marshal plan: the IR on which Flick's optimizations run.
+//! Lowering from PRES-C to the marshal MIR, plus the `plan_presc`
+//! facade that runs the full optimization pipeline.
 //!
-//! Planning turns each stub's PRES trees into [`PlanNode`] trees whose
-//! *shape records the optimization decisions*:
+//! Lowering is deliberately *naive*: every value marshals datum by
+//! datum, every named aggregate goes out of line, and no storage
+//! classes are assigned.  All §3 optimization decisions — check
+//! hoisting, chunking, memcpy coalescing, marshal inlining, demux
+//! switch formation — are made afterwards by the named passes in
+//! [`crate::passes`]; lowering only records the structure (and the
+//! PRES back-references the passes need to requery the presentation).
 //!
-//! * a fixed-layout region that packs becomes one [`PlanNode::Packed`]
-//!   chunk (§3.2 chunking — constant-offset accesses, one space
-//!   decision);
-//! * an atomic array whose wire and memory layouts coincide becomes a
-//!   [`PlanNode::MemcpyArray`] (§3.2 data copying);
-//! * whole-message and per-region space requirements are classified
-//!   (§3.1) so emitters hoist their buffer checks;
-//! * recursion — and, when inlining is disabled, every named aggregate
-//!   — is routed through an out-of-line function ([`PlanNode::Outline`],
-//!   §3.3).
-//!
-//! Emitters walk these trees twice per stub, once in the encode
-//! direction and once in decode.
+//! Because stubs share no mutable state, lowering plans each stub
+//! independently and — for large presentations — in parallel on a
+//! std-only scoped-thread pool, merging results in presentation order
+//! so output is deterministic regardless of thread count.
 
 use std::collections::BTreeMap;
 
 use flick_mint::MintNode;
-use flick_pres::{OpInfo, PresC, PresId, PresNode, StubKind};
+use flick_pres::{PresC, PresId, PresNode, Stub};
 
-use crate::encoding::{Encoding, StringWire, WirePrim};
-use crate::layout::{pack, size_class, Packed, SizeClass};
+use crate::encoding::Encoding;
 use crate::opts::OptFlags;
+use crate::passes::{run_pipeline, PassPipeline};
 
-/// A planned conversion for one value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum PlanNode {
-    /// Nothing to marshal.
-    Void,
-    /// A single scalar.
-    Prim {
-        /// Wire form.
-        prim: WirePrim,
-        /// Mach-style descriptor to emit first, if the encoding is typed.
-        descriptor: Option<u32>,
-    },
-    /// An enum, wire-encoded as u32.
-    Enum {
-        /// Wire form of the discriminating integer.
-        prim: WirePrim,
-    },
-    /// A packed fixed-layout region accessed through a chunk pointer.
-    Packed {
-        /// The computed layout.
-        layout: Packed,
-        /// Name of the presented aggregate type (for emitters).
-        type_name: Option<String>,
-        /// The PRES node the layout was packed from (emitters walk it
-        /// to reconstruct values on the decode side).
-        pres: flick_pres::PresId,
-    },
-    /// A counted array of layout-identical scalars: block copy.
-    MemcpyArray {
-        /// Element wire form.
-        prim: WirePrim,
-        /// Static element count for fixed arrays; `None` for counted.
-        fixed_len: Option<u64>,
-        /// Declared bound for counted arrays.
-        bound: Option<u64>,
-        /// Whether a count prefix travels before the data.
-        counted: bool,
-        /// Trailing padding unit, if the encoding pads.
-        pad_unit: Option<u8>,
-        /// Mach-style descriptor name, if the encoding is typed.
-        descriptor: Option<u8>,
-    },
-    /// A string (counted char data).
-    String {
-        /// Declared bound, if any.
-        bound: Option<u64>,
-        /// Wire convention.
-        style: StringWire,
-        /// Padding unit, if any.
-        pad_unit: Option<u8>,
-        /// Whether the receive side may borrow from the buffer (§3.1
-        /// parameter management; set only for server `in` data with
-        /// `param_mgmt` on).
-        borrow_ok: bool,
-        /// Mach-style descriptor name, if the encoding is typed.
-        descriptor: Option<u8>,
-    },
-    /// A counted array marshaled element by element.
-    CountedArray {
-        /// Declared bound, if any.
-        bound: Option<u64>,
-        /// Per-element plan.
-        elem: Box<PlanNode>,
-        /// Size class of one element (drives check hoisting: a fixed
-        /// element lets the emitter `ensure(count * size)` once).
-        elem_class: SizeClass,
-        /// Rust/C element type name.
-        elem_type: String,
-        /// Presented sequence type name.
-        type_name: String,
-        /// Field names of the counted representation (C emission).
-        fields: (String, String, String),
-    },
-    /// A fixed array marshaled element by element (used when the
-    /// element is variable-size, or when chunking is disabled).
-    FixedArray {
-        /// Element count.
-        len: u64,
-        /// Per-element plan.
-        elem: Box<PlanNode>,
-        /// Element type name.
-        elem_type: String,
-    },
-    /// A struct marshaled member by member (variable-size members, or
-    /// chunking disabled).
-    Struct {
-        /// Presented type name.
-        type_name: String,
-        /// `(member name, plan)` in order.
-        fields: Vec<(String, PlanNode)>,
-    },
-    /// A discriminated union.
-    Union {
-        /// Presented type name.
-        type_name: String,
-        /// Discriminator wire form.
-        disc_prim: WirePrim,
-        /// `(label, member name, plan)` arms.
-        cases: Vec<(i64, String, PlanNode)>,
-        /// Default arm.
-        default: Option<(String, Box<PlanNode>)>,
-    },
-    /// ONC optional data: a presence flag then the value.
-    Optional {
-        /// Pointee plan.
-        elem: Box<PlanNode>,
-        /// Pointee type name.
-        elem_type: String,
-    },
-    /// Marshal via an out-of-line function (recursion, or inlining
-    /// disabled).
-    Outline {
-        /// Key into [`StubPlans::outlines`].
-        key: String,
-    },
+pub(crate) use crate::mir::{plan_references_outline, PlanResult};
+pub use crate::mir::{rust_prim_name, MsgPlan, PlanNode, PlanStats, SlotPlan, StubPlan, StubPlans};
+
+/// How lowering distributes stubs across threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Parallel when the presentation is big enough to pay for it.
+    Auto,
+    /// Always single-threaded.
+    Sequential,
+    /// Exactly this many worker threads.
+    Threads(usize),
 }
 
-/// Plan for one message direction of one stub.
-#[derive(Clone, Debug)]
-pub struct MsgPlan {
-    /// Whole-message size class (§3.1) — includes the operation
-    /// discriminator and every slot, excludes transport headers.
-    pub class: SizeClass,
-    /// Per-slot plans, in marshal order.
-    pub slots: Vec<SlotPlan>,
+/// Below this many stubs, thread spawn overhead outweighs the win.
+const PARALLEL_MIN_STUBS: usize = 16;
+
+/// Options that shape lowering itself (as opposed to the MIR passes):
+/// §3.1 parameter management decides, per slot, whether the receive
+/// side may borrow storage from the message buffer.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LowerOpts {
+    pub param_mgmt: bool,
 }
 
-/// Plan for one bound value of a message.
-#[derive(Clone, Debug)]
-pub struct SlotPlan {
-    /// The C/Rust-level name the slot binds to.
-    pub name: String,
-    /// Whether the C stub receives it through a pointer.
-    pub by_ref: bool,
-    /// The conversion tree.
-    pub node: PlanNode,
-}
-
-/// The full plan for one stub.
-#[derive(Clone, Debug)]
-pub struct StubPlan {
-    /// Stub (function) name.
-    pub name: String,
-    /// Stub role.
-    pub kind: StubKind,
-    /// Operation metadata (request code, wire name, oneway).
-    pub op: OpInfo,
-    /// Request-direction plan.
-    pub request: MsgPlan,
-    /// Reply-direction plan.
-    pub reply: MsgPlan,
-}
-
-/// Plans for every stub of a presentation, plus shared out-of-line
-/// marshal functions.
-#[derive(Clone, Debug)]
-pub struct StubPlans {
-    /// Per-stub plans in presentation order.
-    pub stubs: Vec<StubPlan>,
-    /// Out-of-line marshal bodies by key (type name).
-    pub outlines: BTreeMap<String, PlanNode>,
-}
-
-/// Optimizer decision counts for one presentation's plans — the §3
-/// choices, tallied so `flickc --stats` can show what the optimizer
-/// actually did.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PlanStats {
-    /// Stubs planned.
-    pub stubs: u64,
-    /// Total plan nodes across all stubs and outlines.
-    pub plan_nodes: u64,
-    /// Fixed-layout regions turned into chunks (§3.2 chunking).
-    pub packed_chunks: u64,
-    /// Scalar runs turned into block copies (§3.2 data copying).
-    pub memcpy_runs: u64,
-    /// `Outline` call sites (recursion, or inlining disabled).
-    pub outline_calls: u64,
-    /// Distinct out-of-line marshal bodies.
-    pub outline_fns: u64,
-    /// Messages whose space check hoists to one `ensure` (§3.1 —
-    /// whole-message size class is fixed or bounded).
-    pub hoisted_checks: u64,
-    /// Deepest inlined aggregate nesting in any plan tree.
-    pub max_inline_depth: u64,
-}
-
-impl PlanStats {
-    /// Tallies the decisions recorded in `plans`.
-    #[must_use]
-    pub fn of(plans: &StubPlans) -> PlanStats {
-        let mut s = PlanStats {
-            stubs: plans.stubs.len() as u64,
-            ..PlanStats::default()
-        };
-        s.outline_fns = plans.outlines.len() as u64;
-        for stub in &plans.stubs {
-            for msg in [&stub.request, &stub.reply] {
-                if !matches!(msg.class, SizeClass::Unbounded) {
-                    s.hoisted_checks += 1;
-                }
-                for slot in &msg.slots {
-                    s.walk(&slot.node, 0);
-                }
-            }
-        }
-        for body in plans.outlines.values() {
-            s.walk(body, 0);
-        }
-        s
-    }
-
-    fn walk(&mut self, node: &PlanNode, depth: u64) {
-        self.plan_nodes += 1;
-        self.max_inline_depth = self.max_inline_depth.max(depth);
-        match node {
-            PlanNode::Packed { .. } => self.packed_chunks += 1,
-            PlanNode::MemcpyArray { .. } => self.memcpy_runs += 1,
-            PlanNode::Outline { .. } => self.outline_calls += 1,
-            PlanNode::Struct { fields, .. } => {
-                for (_, f) in fields {
-                    self.walk(f, depth + 1);
-                }
-            }
-            PlanNode::Union { cases, default, .. } => {
-                for (_, _, c) in cases {
-                    self.walk(c, depth + 1);
-                }
-                if let Some((_, d)) = default {
-                    self.walk(d, depth + 1);
-                }
-            }
-            PlanNode::CountedArray { elem, .. }
-            | PlanNode::FixedArray { elem, .. }
-            | PlanNode::Optional { elem, .. } => self.walk(elem, depth + 1),
-            _ => {}
-        }
-    }
-}
-
-pub(crate) type PlanResult<T> = Result<T, String>;
-
-struct Planner<'a> {
-    presc: &'a PresC,
-    enc: &'a Encoding,
-    opts: &'a OptFlags,
-    outlines: BTreeMap<String, PlanNode>,
-    in_progress: Vec<(PresId, String)>,
-}
-
-/// Builds plans for every stub in `presc`.
+/// Builds plans for every stub in `presc` using the pipeline `opts`
+/// describes.
 ///
 /// # Errors
 /// Returns a message if the presentation contains a conversion this
@@ -285,62 +58,151 @@ pub fn plan_presc(presc: &PresC, enc: &Encoding, opts: &OptFlags) -> PlanResult<
     Ok(plan_presc_full(presc, enc, opts)?.stubs)
 }
 
-/// Like [`plan_presc`] but also returns shared outline bodies.
+/// Like [`plan_presc`] but also returns shared outline bodies and the
+/// module-wide decisions.
 ///
 /// # Errors
 /// Returns a message if the presentation contains a conversion this
 /// planner cannot lower.
 pub fn plan_presc_full(presc: &PresC, enc: &Encoding, opts: &OptFlags) -> PlanResult<StubPlans> {
-    let mut planner = Planner {
+    let pipeline = PassPipeline::from_opts(opts);
+    Ok(run_pipeline(presc, enc, &pipeline, None)?.mir)
+}
+
+/// Lowers every stub of `presc` to naive MIR.
+///
+/// # Errors
+/// Returns a message if the presentation contains a conversion this
+/// planner cannot lower.
+pub(crate) fn lower_presc(
+    presc: &PresC,
+    enc: &Encoding,
+    lopts: LowerOpts,
+    par: Parallelism,
+) -> PlanResult<StubPlans> {
+    let n = presc.stubs.len();
+    let threads = match par {
+        Parallelism::Sequential => 1,
+        Parallelism::Threads(t) => t.max(1),
+        Parallelism::Auto if n >= PARALLEL_MIN_STUBS => std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(8),
+        Parallelism::Auto => 1,
+    };
+
+    let lowered: Vec<(StubPlan, BTreeMap<String, PlanNode>)> = if threads <= 1 || n <= 1 {
+        presc
+            .stubs
+            .iter()
+            .map(|stub| lower_stub(presc, enc, lopts, stub))
+            .collect::<PlanResult<Vec<_>>>()?
+    } else {
+        let chunk = n.div_ceil(threads);
+        let per_chunk: Vec<PlanResult<Vec<_>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = presc
+                .stubs
+                .chunks(chunk)
+                .map(|stubs| {
+                    scope.spawn(move || {
+                        stubs
+                            .iter()
+                            .map(|stub| lower_stub(presc, enc, lopts, stub))
+                            .collect::<PlanResult<Vec<_>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("lowering worker panicked".to_string()))
+                })
+                .collect()
+        });
+        // Merge in presentation order: chunks were dealt contiguously,
+        // so concatenation restores the sequential order exactly.
+        let mut all = Vec::with_capacity(n);
+        for res in per_chunk {
+            all.extend(res?);
+        }
+        all
+    };
+
+    let mut stubs = Vec::with_capacity(n);
+    let mut outlines = BTreeMap::new();
+    for (stub, outs) in lowered {
+        stubs.push(stub);
+        // Later stubs overwrite — same as one shared map filled in
+        // presentation order.
+        outlines.extend(outs);
+    }
+    Ok(StubPlans {
+        stubs,
+        outlines,
+        hoist: false,
+        memcpy: false,
+        demux: crate::mir::Demux::Linear,
+    })
+}
+
+fn lower_stub(
+    presc: &PresC,
+    enc: &Encoding,
+    lopts: LowerOpts,
+    stub: &Stub,
+) -> PlanResult<(StubPlan, BTreeMap<String, PlanNode>)> {
+    let mut lw = Lowerer {
         presc,
         enc,
-        opts,
+        lopts,
         outlines: BTreeMap::new(),
         in_progress: Vec::new(),
     };
-    let mut stubs = Vec::new();
-    for stub in &presc.stubs {
-        let request = planner.plan_message(&stub.request)?;
-        let reply = planner.plan_message(&stub.reply)?;
-        stubs.push(StubPlan {
+    let request = lw.lower_message(&stub.request)?;
+    let reply = lw.lower_message(&stub.reply)?;
+    Ok((
+        StubPlan {
             name: stub.name.clone(),
             kind: stub.kind,
             op: stub.op.clone(),
             request,
             reply,
-        });
-    }
-    Ok(StubPlans {
-        stubs,
-        outlines: planner.outlines,
-    })
+        },
+        lw.outlines,
+    ))
 }
 
-impl<'a> Planner<'a> {
-    fn plan_message(&mut self, msg: &flick_pres::MessagePres) -> PlanResult<MsgPlan> {
-        let mut class = SizeClass::Fixed(u64::from(self.enc.len_prefix().slot)); // op discriminator
+struct Lowerer<'a> {
+    presc: &'a PresC,
+    enc: &'a Encoding,
+    lopts: LowerOpts,
+    outlines: BTreeMap<String, PlanNode>,
+    in_progress: Vec<(PresId, String)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn lower_message(&mut self, msg: &flick_pres::MessagePres) -> PlanResult<MsgPlan> {
         let mut slots = Vec::new();
         for slot in &msg.slots {
-            class = class.then(size_class(self.presc, self.enc, slot.pres));
             slots.push(SlotPlan {
                 name: slot.c_name.clone(),
                 by_ref: slot.by_ref,
-                node: self.plan_node(slot.pres)?,
+                pres: slot.pres,
+                node: self.lower_node(slot.pres)?,
             });
         }
-        Ok(MsgPlan { class, slots })
+        Ok(MsgPlan {
+            // The classify-storage pass computes the real class.
+            class: crate::layout::SizeClass::Unbounded,
+            hoisted: None,
+            hoisted_capped: None,
+            slots,
+        })
     }
 
-    fn type_name_of(&self, pres: PresId) -> Option<String> {
-        match self.presc.pres.get(pres).ctype() {
-            Some(flick_cast::CType::Named(n)) => Some(n.clone()),
-            _ => None,
-        }
-    }
-
-    fn plan_node(&mut self, pres: PresId) -> PlanResult<PlanNode> {
-        // Recursion check: a pres node already being planned must go
-        // out of line regardless of the inlining flag.
+    fn lower_node(&mut self, pres: PresId) -> PlanResult<PlanNode> {
+        // Recursion check: a pres node already being lowered must go
+        // out of line no matter what the inline pass later decides.
         if let Some((_, key)) = self.in_progress.iter().find(|(p, _)| *p == pres) {
             let key = key.clone();
             return Ok(PlanNode::Outline { key });
@@ -348,15 +210,17 @@ impl<'a> Planner<'a> {
 
         let node = self.presc.pres.get(pres).clone();
 
-        // Named aggregates go out of line when inlining is disabled —
-        // the call-per-datum shape of traditional IDL compilers.
+        // Naive lowering outlines *every* named aggregate — the
+        // call-per-datum shape of traditional IDL compilers.  The
+        // inline-marshal pass re-expands call sites it decides to
+        // absorb.
         let outline_key = match &node {
             PresNode::StructMap { .. }
             | PresNode::UnionMap { .. }
-            | PresNode::OptionalPtr { .. } => self.type_name_of(pres),
+            | PresNode::OptionalPtr { .. } => crate::mir::type_name_of(self.presc, pres),
             _ => None,
         };
-        let force_outline = !self.opts.inline_marshal && outline_key.is_some();
+        let force_outline = outline_key.is_some();
         let is_recursive_candidate = matches!(
             node,
             PresNode::StructMap { .. } | PresNode::UnionMap { .. } | PresNode::OptionalPtr { .. }
@@ -368,7 +232,7 @@ impl<'a> Planner<'a> {
                 .unwrap_or_else(|| format!("anon_{}", pres.index()));
             self.in_progress.push((pres, key));
         }
-        let planned = self.plan_node_inner(&node, pres);
+        let planned = self.lower_node_inner(&node, pres);
         let popped = if is_recursive_candidate {
             self.in_progress.pop()
         } else {
@@ -376,8 +240,8 @@ impl<'a> Planner<'a> {
         };
         let planned = planned?;
 
-        // If anything inside referenced us as an outline, or inlining
-        // is off, register the body and return a call.
+        // If anything inside referenced us as an outline, or this is a
+        // named aggregate, register the body and return a call.
         let key = popped.map(|(_, k)| k);
         if let Some(key) = key {
             let was_referenced = plan_references_outline(&planned, &key);
@@ -389,7 +253,7 @@ impl<'a> Planner<'a> {
         Ok(planned)
     }
 
-    fn plan_node_inner(&mut self, node: &PresNode, pres: PresId) -> PlanResult<PlanNode> {
+    fn lower_node_inner(&mut self, node: &PresNode, pres: PresId) -> PlanResult<PlanNode> {
         Ok(match node {
             PresNode::Void => PlanNode::Void,
             PresNode::Direct { mint, .. } => PlanNode::Prim {
@@ -399,50 +263,25 @@ impl<'a> Planner<'a> {
             PresNode::EnumMap { .. } => PlanNode::Enum {
                 prim: self.enc.prim_for_size(4, false),
             },
-            PresNode::StructMap { .. } | PresNode::FixedArray { .. }
-                if self.opts.chunking && pack(self.presc, self.enc, pres).is_some() =>
-            {
-                let layout = pack(self.presc, self.enc, pres).expect("checked above");
-                PlanNode::Packed {
-                    layout,
-                    type_name: self.type_name_of(pres),
-                    pres,
-                }
-            }
             PresNode::StructMap { fields, .. } => {
                 let mut fs = Vec::new();
                 for (name, f) in fields {
-                    fs.push((name.clone(), self.plan_node(*f)?));
+                    fs.push((name.clone(), self.lower_node(*f)?));
                 }
                 PlanNode::Struct {
-                    type_name: self
-                        .type_name_of(pres)
+                    type_name: crate::mir::type_name_of(self.presc, pres)
                         .unwrap_or_else(|| format!("anon_{}", pres.index())),
+                    pres,
                     fields: fs,
                 }
             }
-            PresNode::FixedArray { elem, len, .. } => {
-                // Chunking off or variable elements: try a memcpy run
-                // for scalar elements first.
-                if let PresNode::Direct { mint, .. } = self.presc.pres.get(*elem) {
-                    let prim = self.enc.elem_prim(&self.presc.mint, *mint);
-                    if self.opts.memcpy && prim.memcpy_compatible(prim.size) {
-                        return Ok(PlanNode::MemcpyArray {
-                            prim,
-                            fixed_len: Some(*len),
-                            bound: None,
-                            counted: false,
-                            pad_unit: self.enc.pad_unit,
-                            descriptor: self.descriptor_for(prim),
-                        });
-                    }
-                }
-                PlanNode::FixedArray {
-                    len: *len,
-                    elem: Box::new(self.plan_node(*elem)?),
-                    elem_type: self.elem_type_name(*elem),
-                }
-            }
+            PresNode::FixedArray { elem, len, .. } => PlanNode::FixedArray {
+                len: *len,
+                elem: Box::new(self.lower_node(*elem)?),
+                elem_pres: *elem,
+                pres,
+                elem_type: self.elem_type_name(*elem),
+            },
             PresNode::TerminatedString { mint, alloc, .. } => {
                 let bound = match self.presc.mint.get(*mint) {
                     MintNode::Array { len, .. } => len.max,
@@ -452,7 +291,7 @@ impl<'a> Planner<'a> {
                     bound,
                     style: self.enc.string_wire,
                     pad_unit: self.enc.pad_unit,
-                    borrow_ok: self.opts.param_mgmt && alloc.may_use_buffer,
+                    borrow_ok: self.lopts.param_mgmt && alloc.may_use_buffer,
                     descriptor: if self.enc.typed_descriptors {
                         Some(8)
                     } else {
@@ -465,21 +304,6 @@ impl<'a> Planner<'a> {
                     MintNode::Array { len, .. } => len.max,
                     _ => None,
                 };
-                // memcpy run for layout-identical scalar elements.
-                if let PresNode::Direct { mint: em, .. } = self.presc.pres.get(*elem) {
-                    let prim = self.enc.elem_prim(&self.presc.mint, *em);
-                    if self.opts.memcpy && prim.memcpy_compatible(prim.size) {
-                        return Ok(PlanNode::MemcpyArray {
-                            prim,
-                            fixed_len: None,
-                            bound,
-                            counted: true,
-                            pad_unit: self.enc.pad_unit,
-                            descriptor: self.descriptor_for(prim),
-                        });
-                    }
-                }
-                let elem_class = size_class(self.presc, self.enc, *elem);
                 let (fields, type_name) = match node {
                     PresNode::CountedSeq {
                         length_field,
@@ -505,8 +329,10 @@ impl<'a> Planner<'a> {
                 };
                 PlanNode::CountedArray {
                     bound,
-                    elem: Box::new(self.plan_node(*elem)?),
-                    elem_class,
+                    elem: Box::new(self.lower_node(*elem)?),
+                    // The classify-storage pass fills this in.
+                    elem_class: crate::layout::SizeClass::Unbounded,
+                    elem_pres: *elem,
                     elem_type: self.elem_type_name(*elem),
                     type_name,
                     fields,
@@ -525,15 +351,14 @@ impl<'a> Planner<'a> {
                 };
                 let mut arms = Vec::new();
                 for (v, name, c) in cases {
-                    arms.push((*v, name.clone(), self.plan_node(*c)?));
+                    arms.push((*v, name.clone(), self.lower_node(*c)?));
                 }
                 let default = match default {
-                    Some((name, d)) => Some((name.clone(), Box::new(self.plan_node(*d)?))),
+                    Some((name, d)) => Some((name.clone(), Box::new(self.lower_node(*d)?))),
                     None => None,
                 };
                 PlanNode::Union {
-                    type_name: self
-                        .type_name_of(pres)
+                    type_name: crate::mir::type_name_of(self.presc, pres)
                         .unwrap_or_else(|| format!("anon_{}", pres.index())),
                     disc_prim,
                     cases: arms,
@@ -541,23 +366,9 @@ impl<'a> Planner<'a> {
                 }
             }
             PresNode::OptionalPtr { elem, .. } => PlanNode::Optional {
-                elem: Box::new(self.plan_node(*elem)?),
+                elem: Box::new(self.lower_node(*elem)?),
                 elem_type: self.elem_type_name(*elem),
             },
-        })
-    }
-
-    fn descriptor_for(&self, prim: WirePrim) -> Option<u8> {
-        if !self.enc.typed_descriptors {
-            return None;
-        }
-        Some(match (prim.size, prim.signed) {
-            (1, _) => 9,    // BYTE
-            (4, true) => 2, // INTEGER_32
-            (4, false) => 2,
-            (8, _) => 11, // INTEGER_64
-            (2, _) => 2,
-            _ => 9,
         })
     }
 
@@ -570,55 +381,11 @@ impl<'a> Planner<'a> {
     }
 }
 
-/// True if `plan` contains an `Outline` referencing `key` (detects
-/// recursive self-references that force the out-of-line form).
-fn plan_references_outline(plan: &PlanNode, key: &str) -> bool {
-    match plan {
-        PlanNode::Outline { key: k } => k == key,
-        PlanNode::Struct { fields, .. } => {
-            fields.iter().any(|(_, f)| plan_references_outline(f, key))
-        }
-        PlanNode::Union { cases, default, .. } => {
-            cases
-                .iter()
-                .any(|(_, _, c)| plan_references_outline(c, key))
-                || default
-                    .as_ref()
-                    .is_some_and(|(_, d)| plan_references_outline(d, key))
-        }
-        PlanNode::CountedArray { elem, .. }
-        | PlanNode::FixedArray { elem, .. }
-        | PlanNode::Optional { elem, .. } => plan_references_outline(elem, key),
-        _ => false,
-    }
-}
-
-/// The Rust spelling of a presented scalar C type (shared between the
-/// planner and the Rust emitter).
-#[must_use]
-pub fn rust_prim_name(c: &flick_cast::CType) -> &'static str {
-    use flick_cast::CType;
-    match c {
-        CType::Char => "u8",
-        CType::SChar => "i8",
-        CType::UChar => "u8",
-        CType::Short => "i16",
-        CType::UShort => "u16",
-        CType::Int => "i32",
-        CType::UInt => "u32",
-        CType::Long => "i64",
-        CType::ULong => "u64",
-        CType::LongLong => "i64",
-        CType::ULongLong => "u64",
-        CType::Float => "f32",
-        CType::Double => "f64",
-        _ => "u8",
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoding::StringWire;
+    use crate::layout::SizeClass;
     use flick_idl::diag::Diagnostics;
     use flick_pres::Side;
 
@@ -814,5 +581,41 @@ mod tests {
             panic!("mach ints plan: {:?}", plans[0].request.slots[0].node);
         };
         assert_eq!(*descriptor, Some(2), "INTEGER_32 descriptor");
+    }
+
+    #[test]
+    fn parallel_lowering_is_deterministic() {
+        // Enough operations to cross the parallel threshold, with
+        // shared named aggregates so the outline merge is exercised.
+        let mut idl = String::from(
+            "struct Point { long x; long y; };
+             struct Rect { Point min; Point max; };
+             typedef sequence<Rect> RectSeq;
+             interface Wide {
+        ",
+        );
+        for i in 0..24 {
+            idl.push_str(&format!(
+                "void op{i}(in RectSeq rs, in string s, in long n);\n"
+            ));
+        }
+        idl.push_str("};");
+        let aoi = flick_frontend_corba::parse_str("w.idl", &idl);
+        let mut d = Diagnostics::new();
+        let p = flick_presgen::corba_c(&aoi, "Wide", Side::Client, &mut d).expect("presentation");
+        let lopts = LowerOpts { param_mgmt: true };
+        let seq = lower_presc(&p, &Encoding::xdr(), lopts, Parallelism::Sequential).unwrap();
+        for threads in [2, 3, 8] {
+            let par =
+                lower_presc(&p, &Encoding::xdr(), lopts, Parallelism::Threads(threads)).unwrap();
+            assert_eq!(
+                format!("{seq:?}"),
+                format!("{par:?}"),
+                "lowering with {threads} threads must match sequential"
+            );
+        }
+        // And the Auto heuristic (>= 16 stubs goes parallel) agrees too.
+        let auto = lower_presc(&p, &Encoding::xdr(), lopts, Parallelism::Auto).unwrap();
+        assert_eq!(format!("{seq:?}"), format!("{auto:?}"));
     }
 }

@@ -1,0 +1,219 @@
+//! MIR verifier: structural invariants the emitters rely on.
+//!
+//! Run between passes in debug/test builds (and wherever
+//! `BackEnd::verify_mir` is set, e.g. stub regeneration), so a broken
+//! rewrite fails at the pass that introduced it rather than as
+//! garbled generated code.  Checks:
+//!
+//! * every `Outline` call site resolves to a registered body;
+//! * every `Packed` layout matches a fresh re-pack of its PRES node
+//!   (cursor discipline), its items are in offset order, non-
+//!   overlapping, and within the chunk size;
+//! * `MemcpyArray` shape consistency (fixed XOR counted, element
+//!   actually block-copyable);
+//! * hoisted message checks agree with the message's size class, and
+//!   the capped form never exceeds the uncapped one.
+
+use flick_pres::PresC;
+
+use crate::encoding::Encoding;
+use crate::layout::pack;
+use crate::mir::{PlanNode, StubPlans};
+
+/// Checks every invariant over `mir`.
+///
+/// # Errors
+/// Returns a description of the first violated invariant.
+pub fn verify(mir: &StubPlans, presc: &PresC, enc: &Encoding) -> Result<(), String> {
+    for stub in &mir.stubs {
+        for (dir, msg) in [("request", &stub.request), ("reply", &stub.reply)] {
+            let at = |what: &str| format!("stub {} {dir}: {what}", stub.name);
+            if let Some(n) = msg.hoisted {
+                match msg.class.bound() {
+                    Some(b) if b == n => {}
+                    other => {
+                        return Err(at(&format!(
+                            "hoisted check of {n} bytes disagrees with class bound {other:?}"
+                        )))
+                    }
+                }
+            }
+            if let Some(n) = msg.hoisted_capped {
+                if msg.hoisted != Some(n) {
+                    return Err(at(&format!(
+                        "capped hoist {n} without matching uncapped hoist {:?}",
+                        msg.hoisted
+                    )));
+                }
+            }
+            for slot in &msg.slots {
+                verify_node(&slot.node, mir, presc, enc)
+                    .map_err(|e| at(&format!("slot {}: {e}", slot.name)))?;
+            }
+        }
+    }
+    for (key, body) in &mir.outlines {
+        verify_node(body, mir, presc, enc).map_err(|e| format!("outline {key}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn verify_node(
+    node: &PlanNode,
+    mir: &StubPlans,
+    presc: &PresC,
+    enc: &Encoding,
+) -> Result<(), String> {
+    match node {
+        PlanNode::Outline { key } if !mir.outlines.contains_key(key) => {
+            return Err(format!("outline call `{key}` has no registered body"));
+        }
+        PlanNode::Packed { layout, pres, .. } => {
+            match pack(presc, enc, *pres) {
+                Some(fresh) if fresh == *layout => {}
+                Some(_) => {
+                    return Err(format!(
+                        "packed chunk layout went stale (re-pack of its PRES node differs): \
+                         size {} align {}",
+                        layout.size, layout.align
+                    ))
+                }
+                None => return Err("packed chunk over a PRES node that no longer packs".into()),
+            }
+            let mut end = 0u64;
+            for item in &layout.items {
+                let off = item.offset();
+                if off < end {
+                    return Err(format!(
+                        "packed items overlap: item at offset {off} begins before {end}"
+                    ));
+                }
+                end = off
+                    + match item {
+                        crate::layout::PackedItem::Prim { prim, .. } => u64::from(prim.size),
+                        crate::layout::PackedItem::PrimRun {
+                            prim, count, pad, ..
+                        } => u64::from(prim.size) * *count + *pad,
+                    };
+            }
+            if end > layout.size {
+                return Err(format!(
+                    "packed items end at {end}, past the chunk size {}",
+                    layout.size
+                ));
+            }
+        }
+        PlanNode::MemcpyArray {
+            prim,
+            fixed_len,
+            counted,
+            ..
+        } => {
+            if fixed_len.is_some() == *counted {
+                return Err(format!(
+                    "memcpy array must be fixed xor counted (fixed_len {fixed_len:?}, \
+                     counted {counted})"
+                ));
+            }
+            if !prim.memcpy_compatible(prim.size) {
+                return Err(format!("memcpy array over non-copyable element {prim:?}"));
+            }
+        }
+        _ => {}
+    }
+    let mut result = Ok(());
+    // Recurse manually so the first error wins.
+    match node {
+        PlanNode::Struct { fields, .. } => {
+            for (name, f) in fields {
+                result = verify_node(f, mir, presc, enc).map_err(|e| format!("field {name}: {e}"));
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
+        PlanNode::Union { cases, default, .. } => {
+            for (_, name, c) in cases {
+                verify_node(c, mir, presc, enc).map_err(|e| format!("case {name}: {e}"))?;
+            }
+            if let Some((name, d)) = default {
+                result =
+                    verify_node(d, mir, presc, enc).map_err(|e| format!("default {name}: {e}"));
+            }
+        }
+        PlanNode::CountedArray { elem, .. }
+        | PlanNode::FixedArray { elem, .. }
+        | PlanNode::Optional { elem, .. } => {
+            result = verify_node(elem, mir, presc, enc).map_err(|e| format!("element: {e}"));
+        }
+        _ => {}
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::OptFlags;
+    use crate::plan::plan_presc_full;
+    use flick_idl::diag::Diagnostics;
+    use flick_pres::Side;
+
+    fn full(idl: &str, iface: &str) -> (StubPlans, PresC) {
+        let aoi = flick_frontend_corba::parse_str("t.idl", idl);
+        let mut d = Diagnostics::new();
+        let p = flick_presgen::corba_c(&aoi, iface, Side::Client, &mut d).expect("presentation");
+        let mir = plan_presc_full(&p, &Encoding::xdr(), &OptFlags::all()).expect("plans");
+        (mir, p)
+    }
+
+    const IDL: &str = r"
+        struct Point { long x; long y; };
+        struct Rect { Point min; Point max; };
+        typedef sequence<Rect> RectSeq;
+        interface I { void put(in RectSeq rs); };
+    ";
+
+    #[test]
+    fn optimized_plans_verify_clean() {
+        let (mir, p) = full(IDL, "I");
+        verify(&mir, &p, &Encoding::xdr()).expect("valid MIR");
+    }
+
+    #[test]
+    fn corrupted_mir_is_rejected() {
+        let (mir, p) = full(IDL, "I");
+        let enc = Encoding::xdr();
+
+        // Dangling outline call.
+        let mut bad = mir.clone();
+        bad.stubs[0].request.slots[0].node = PlanNode::Outline {
+            key: "NoSuchBody".into(),
+        };
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("no registered body"));
+
+        // Hoist that disagrees with the size class.
+        let mut bad = mir.clone();
+        bad.stubs[0].request.hoisted = Some(3);
+        assert!(verify(&bad, &p, &enc).unwrap_err().contains("disagrees"));
+
+        // Stale packed layout: shrink the chunk under its items.
+        let mut bad = mir;
+        fn break_packed(n: &mut PlanNode) -> bool {
+            match n {
+                PlanNode::Packed { layout, .. } => {
+                    layout.size = 1;
+                    true
+                }
+                PlanNode::CountedArray { elem, .. }
+                | PlanNode::FixedArray { elem, .. }
+                | PlanNode::Optional { elem, .. } => break_packed(elem),
+                _ => false,
+            }
+        }
+        assert!(break_packed(&mut bad.stubs[0].request.slots[0].node));
+        assert!(verify(&bad, &p, &enc).is_err());
+    }
+}

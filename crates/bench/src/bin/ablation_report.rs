@@ -12,6 +12,10 @@
 //!   up to 60% faster".
 //!
 //! Usage: `cargo run --release -p flick-bench --bin ablation_report`
+//!
+//! `--smoke` shrinks every workload so the report finishes in seconds
+//! even in a debug build — CI runs it as a does-it-still-measure check;
+//! the percentages it prints are not meaningful at those sizes.
 
 use flick_bench::data;
 use flick_bench::endtoend::time_one;
@@ -45,13 +49,13 @@ macro_rules! time_encode {
 /// vanishes (capacity is already there), so this ablation measures the
 /// cold-buffer path: a fresh buffer per message, as a stub's first
 /// invocation (or a non-reusing runtime) would see.
-fn measure_cold_rects(hoisted: bool) -> std::time::Duration {
+fn measure_cold_rects(hoisted: bool, count: usize) -> std::time::Duration {
     // Rect arrays have fixed-size elements, so the hoisted form
     // reserves the entire message in one step before the loop (the
     // §3.1 "work backward from nodes with known requirements"); the
     // unhoisted form discovers the size through ~17 buffer growths.
-    let on_data = data::onc::rects(65_536);
-    let off_data = data::onc_nohoist::rects(65_536);
+    let on_data = data::onc::rects(count);
+    let off_data = data::onc_nohoist::rects(count);
     time_one(|| {
         let mut buf = MarshalBuf::new();
         if hoisted {
@@ -64,7 +68,16 @@ fn measure_cold_rects(hoisted: bool) -> std::time::Duration {
 }
 
 fn main() {
-    println!("Ablations — each §3 optimization toggled in the generated stubs\n");
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    // Workload size: the paper-scale count normally, a tiny one under
+    // `--smoke` (fast even unoptimized, but still through every path).
+    let n = |full: usize| if smoke { full.div_ceil(128) } else { full };
+
+    println!("Ablations — each §3 optimization toggled in the generated stubs");
+    if smoke {
+        println!("(--smoke: shrunk workloads; percentages are not meaningful)");
+    }
+    println!();
 
     // §3.1 check hoisting: large message of complex structures,
     // cold-buffer path (see measure_cold_dirents).
@@ -73,11 +86,11 @@ fn main() {
     // hoisted one covers whole regions with single checks.
     let on = time_encode!(
         onc_bench::encode_send_dirents_request,
-        data::onc::dirents(2048)
+        data::onc::dirents(n(2048))
     );
     let off = time_encode!(
         onc_nohoist::encode_send_dirents_request,
-        data::onc_nohoist::dirents(2048)
+        data::onc_nohoist::dirents(n(2048))
     );
     report(
         "buffer mgmt (§3.1)",
@@ -87,21 +100,24 @@ fn main() {
     );
 
     // §3.2 chunking: rect structures (fixed-layout regions).
-    let on = time_encode!(onc_bench::encode_send_rects_request, data::onc::rects(4096));
+    let on = time_encode!(
+        onc_bench::encode_send_rects_request,
+        data::onc::rects(n(4096))
+    );
     let off = time_encode!(
         onc_nochunk::encode_send_rects_request,
-        data::onc_nochunk::rects(4096)
+        data::onc_nochunk::rects(n(4096))
     );
     report("chunking (§3.2)", "up to 14% on fixed-layout data", on, off);
 
     // §3.2 memcpy: integer arrays under the native-order encoding.
     let on = time_encode!(
         iiop_bench::encode_send_ints_request,
-        data::iiop::ints(262_144)
+        data::iiop::ints(n(262_144))
     );
     let off = time_encode!(
         iiop_nomemcpy::encode_send_ints_request,
-        data::iiop_nomemcpy::ints(262_144)
+        data::iiop_nomemcpy::ints(n(262_144))
     );
     report(
         "memcpy ints (§3.2)",
@@ -113,11 +129,11 @@ fn main() {
     // §3.2 memcpy on character data: dirent names (strings).
     let on = time_encode!(
         iiop_bench::encode_send_dirents_request,
-        data::iiop::dirents(1024)
+        data::iiop::dirents(n(1024))
     );
     let off = time_encode!(
         iiop_nomemcpy::encode_send_dirents_request,
-        data::iiop_nomemcpy::dirents(1024)
+        data::iiop_nomemcpy::dirents(n(1024))
     );
     report(
         "memcpy strings (§3.2)",
@@ -129,11 +145,11 @@ fn main() {
     // §3.3 inlining: complex data through out-of-line per-type calls.
     let on = time_encode!(
         onc_bench::encode_send_dirents_request,
-        data::onc::dirents(1024)
+        data::onc::dirents(n(1024))
     );
     let off = time_encode!(
         onc_noinline::encode_send_dirents_request,
-        data::onc_noinline::dirents(1024)
+        data::onc_noinline::dirents(n(1024))
     );
     report("inlining (§3.3)", "up to 60% on complex data", on, off);
 
@@ -144,7 +160,7 @@ fn main() {
     {
         use flick_bench::endtoend::time_one;
         use flick_bench::generated::{mail_onc, mail_onc_noparam};
-        let text: String = std::iter::repeat_n('m', 1024).collect();
+        let text: String = std::iter::repeat_n('m', n(1024)).collect();
         let mut req = MarshalBuf::new();
         mail_onc::encode_send_request(&mut req, &text);
         let body = req.as_slice().to_vec();
@@ -181,18 +197,18 @@ fn main() {
 
     // Cold-buffer variant of §3.1: fresh buffer per message, where the
     // single up-front reservation also saves the growth reallocations.
-    let on = measure_cold_rects(true);
-    let off = measure_cold_rects(false);
+    let on = measure_cold_rects(true, n(65_536));
+    let off = measure_cold_rects(false, n(65_536));
     report("buffer mgmt (cold)", "first-invocation path", on, off);
 
     // Everything together vs everything off.
     let on = time_encode!(
         onc_bench::encode_send_dirents_request,
-        data::onc::dirents(1024)
+        data::onc::dirents(n(1024))
     );
     let off = time_encode!(
         onc_noopt::encode_send_dirents_request,
-        data::onc_noopt::dirents(1024)
+        data::onc_noopt::dirents(n(1024))
     );
     report("all optimizations", "the combined Figure 3 gap", on, off);
 }

@@ -221,8 +221,12 @@ pub fn generate_all() -> Vec<(&'static str, String)> {
     jobs()
         .into_iter()
         .map(|j| {
-            let out = Compiler::new(j.frontend, j.style, j.transport)
-                .with_opts(j.opts)
+            let mut compiler = Compiler::new(j.frontend, j.style, j.transport).with_opts(j.opts);
+            // Regeneration always runs the MIR verifier (even in
+            // release builds) so drift in the checked-in stubs can
+            // never come from a malformed intermediate.
+            compiler.backend.verify_mir = true;
+            let out = compiler
                 // Server side so in-buffer presentation (zero-copy
                 // strings) is planned where the paper allows it.
                 .compile_source(j.file, j.source, j.iface, Side::Server)

@@ -250,7 +250,9 @@ fn word_wise_name_dispatch_routes_by_operation() {
 fn generated_in_sync() {
     // The committed generated modules must match what the compiler
     // emits today; regenerate with `cargo run -p flick-bench --bin
-    // regen_stubs` after compiler changes.
+    // regen_stubs` after compiler changes.  `generate_all` forces the
+    // MIR verifier on, so drift can never come from a malformed
+    // intermediate.
     let dir = flick_bench::regen::generated_dir();
     for (name, fresh) in flick_bench::regen::generate_all() {
         let committed = std::fs::read_to_string(dir.join(name)).unwrap_or_else(|_| String::new());
@@ -258,5 +260,20 @@ fn generated_in_sync() {
             committed, fresh,
             "{name} is stale — run `cargo run -p flick-bench --bin regen_stubs`"
         );
+    }
+}
+
+#[test]
+fn mir_verifier_accepts_every_bench_configuration() {
+    // The roundtrip stubs above come from these exact configurations.
+    // Force the MIR verifier on (release test builds skip it by
+    // default) so every pipeline's intermediate states are checked
+    // between passes, not just its final output.
+    for j in flick_bench::regen::jobs() {
+        let mut compiler = flick::Compiler::new(j.frontend, j.style, j.transport).with_opts(j.opts);
+        compiler.backend.verify_mir = true;
+        compiler
+            .compile_source(j.file, j.source, j.iface, flick_pres::Side::Server)
+            .unwrap_or_else(|e| panic!("{} fails MIR verification: {e}", j.out_name));
     }
 }

@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use flick::{Compiler, Frontend, OptFlags, Style, Transport};
+use flick::{Compiler, Frontend, MirDump, OptFlags, Style, Transport, PASS_NAMES};
 use flick_pres::Side;
 
 struct Args {
@@ -26,6 +26,8 @@ struct Args {
     emit_c: bool,
     emit_rust: bool,
     opts: OptFlags,
+    disabled_passes: Vec<String>,
+    dump_mir: Option<MirDump>,
     out_dir: Option<PathBuf>,
     timings: bool,
     stats: bool,
@@ -36,6 +38,7 @@ struct Args {
 enum ParsedArgs {
     Run(Box<Args>),
     Help,
+    Passes,
 }
 
 const USAGE: &str = "\
@@ -49,6 +52,10 @@ usage: flickc [options] <input.idl|.x|.defs>
   --emit c|rust|both           what to print/write (default both)
   --no-opt                     disable every optimization
   --no-hoist --no-chunk --no-memcpy --no-inline   disable one each
+  --passes                     list the MIR optimization passes and exit
+  --disable-pass=NAME          drop one pass from the pipeline (repeatable)
+  --dump-mir[=PASS]            dump the MIR to stderr (final, or after
+                               PASS; `lower` dumps the unoptimized MIR)
   --timings                    report per-phase compile times to stderr
   --stats[=json]               report optimizer decision counts
                                (with =json, one JSON object to stderr)
@@ -64,6 +71,8 @@ fn parse_args() -> Result<ParsedArgs, String> {
     let mut emit_c = true;
     let mut emit_rust = true;
     let mut opts = OptFlags::all();
+    let mut disabled_passes = Vec::new();
+    let mut dump_mir = None;
     let mut out_dir = None;
     let mut timings = false;
     let mut stats = false;
@@ -135,6 +144,27 @@ fn parse_args() -> Result<ParsedArgs, String> {
             "--no-chunk" => opts.chunking = false,
             "--no-memcpy" => opts.memcpy = false,
             "--no-inline" => opts.inline_marshal = false,
+            "--passes" => return Ok(ParsedArgs::Passes),
+            "--dump-mir" => dump_mir = Some(MirDump { after: None }),
+            other if other.starts_with("--disable-pass=") => {
+                let name = &other["--disable-pass=".len()..];
+                check_pass_name(name)?;
+                disabled_passes.push(name.to_string());
+            }
+            "--disable-pass" => {
+                let name = val("--disable-pass")?;
+                check_pass_name(&name)?;
+                disabled_passes.push(name);
+            }
+            other if other.starts_with("--dump-mir=") => {
+                let name = &other["--dump-mir=".len()..];
+                if name != "lower" {
+                    check_pass_name(name)?;
+                }
+                dump_mir = Some(MirDump {
+                    after: Some(name.to_string()),
+                });
+            }
             "-o" => out_dir = Some(PathBuf::from(val("-o")?)),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{USAGE}"));
@@ -161,12 +191,26 @@ fn parse_args() -> Result<ParsedArgs, String> {
         emit_c,
         emit_rust,
         opts,
+        disabled_passes,
+        dump_mir,
         out_dir,
         timings,
         stats,
         stats_json,
         input,
     })))
+}
+
+/// Rejects pass names `--disable-pass` cannot address.
+fn check_pass_name(name: &str) -> Result<(), String> {
+    if PASS_NAMES.contains(&name) {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown pass `{name}` (known passes: {})",
+            PASS_NAMES.join(", ")
+        ))
+    }
 }
 
 /// Finds the sole interface name when none was given.
@@ -199,6 +243,12 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
+        Ok(ParsedArgs::Passes) => {
+            for name in PASS_NAMES {
+                println!("{name}");
+            }
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
@@ -220,7 +270,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let compiler = Compiler::new(args.frontend, args.style, args.transport).with_opts(args.opts);
+    let mut compiler =
+        Compiler::new(args.frontend, args.style, args.transport).with_opts(args.opts);
+    compiler.backend.disabled_passes = args.disabled_passes.clone();
+    compiler.backend.dump_mir = args.dump_mir.clone();
     let file_name = args.input.display().to_string();
     let out = match compiler.compile_source(&file_name, &text, &iface, args.side) {
         Ok(o) => o,
@@ -235,6 +288,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(dump) = &out.mir_dump {
+        eprint!("{dump}");
+    }
 
     if args.timings {
         eprintln!(

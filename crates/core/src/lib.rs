@@ -28,7 +28,7 @@
 //! presentation can feed any back end — fifteen configurations from
 //! three + three + five components, which is the paper's whole point.
 
-pub use flick_backend::{BackEnd, Compiled, OptFlags, Transport};
+pub use flick_backend::{BackEnd, BackendStep, Compiled, MirDump, OptFlags, Transport, PASS_NAMES};
 pub use flick_presgen::Style;
 
 use flick_idl::diag::Diagnostics;
@@ -71,6 +71,9 @@ pub struct CompileOutput {
     pub rust_source: String,
     /// Pass-level timings and optimizer decision counts.
     pub report: CompileReport,
+    /// The MIR rendering requested via `BackEnd::dump_mir`
+    /// (`flickc --dump-mir`), if any.
+    pub mir_dump: Option<String>,
 }
 
 /// Which pipeline phase a compilation failed in.
@@ -80,8 +83,9 @@ pub enum Phase {
     Parse,
     /// Presentation generation (AOI → PRES-C).
     Presgen,
-    /// Back end (planning and emission).
-    Backend,
+    /// Back end, tagged with the failing sub-phase (`backend.plan`,
+    /// `backend.emit-c`, `backend.print-c`, `backend.emit-rust`).
+    Backend(BackendStep),
 }
 
 impl Phase {
@@ -91,7 +95,7 @@ impl Phase {
         match self {
             Phase::Parse => "parse",
             Phase::Presgen => "presgen",
-            Phase::Backend => "backend",
+            Phase::Backend(step) => step.name(),
         }
     }
 }
@@ -258,11 +262,14 @@ impl Compiler {
             .compile_traced(&presc)
             .map_err(|e| CompileError {
                 report: format!("back end: {e}"),
-                phase: Phase::Backend,
+                phase: Phase::Backend(e.step),
                 errors: 1,
                 warnings: 0,
             })?;
         trace.push_span("backend.plan", bt.plan_ns);
+        for pass in &bt.passes {
+            trace.push_subspan("backend.plan", pass.name, pass.ns);
+        }
         trace.push_span("backend.emit-c", bt.emit_c_ns);
         trace.push_span("backend.print-c", bt.print_c_ns);
         trace.push_span("backend.emit-rust", bt.emit_rust_ns);
@@ -278,6 +285,13 @@ impl Compiler {
         trace.set_counter("plan.outline_fns", bt.stats.outline_fns);
         trace.set_counter("plan.hoisted_checks", bt.stats.hoisted_checks);
         trace.set_counter("plan.max_inline_depth", bt.stats.max_inline_depth);
+        for pass in &bt.passes {
+            // Lowering reports stub count via `plan.stubs`; only the
+            // named passes carry decision counters.
+            if pass.name != "lower" {
+                trace.set_counter(&format!("pass.{}.decisions", pass.name), pass.decisions);
+            }
+        }
 
         let report = CompileReport {
             frontend: self.frontend.name(),
@@ -290,6 +304,7 @@ impl Compiler {
             c_source: compiled.c_source,
             rust_source: compiled.rust_source,
             report,
+            mir_dump: bt.mir_dump,
         })
     }
 }

@@ -139,6 +139,69 @@ fn stats_json_is_machine_readable() {
 }
 
 #[test]
+fn passes_flag_lists_pipeline_in_order() {
+    let dir = scratch("passes");
+    let out = flickc(&["--passes"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        text,
+        "classify-storage\nhoist-checks\nform-chunks\ncoalesce-memcpy\n\
+         inline-marshal\ndemux-switch\n"
+    );
+}
+
+#[test]
+fn disable_pass_matches_opt_flag() {
+    let dir = scratch("disablepass");
+    write_input(&dir);
+    let by_flag = flickc(&["--no-hoist", "--emit", "c", "mail.idl"], &dir);
+    let by_pass = flickc(
+        &["--disable-pass=hoist-checks", "--emit", "c", "mail.idl"],
+        &dir,
+    );
+    let default = flickc(&["--emit", "c", "mail.idl"], &dir);
+    assert!(by_flag.status.success(), "{by_flag:?}");
+    assert!(by_pass.status.success(), "{by_pass:?}");
+    assert!(default.status.success(), "{default:?}");
+    assert_eq!(
+        by_pass.stdout, by_flag.stdout,
+        "--disable-pass=hoist-checks must emit the same C as --no-hoist"
+    );
+    assert_ne!(
+        by_pass.stdout, default.stdout,
+        "disabling hoist-checks must change the emitted C"
+    );
+}
+
+#[test]
+fn unknown_pass_name_fails_with_diagnostic() {
+    let dir = scratch("badpass");
+    write_input(&dir);
+    let out = flickc(&["--disable-pass=hoist-cheques", "mail.idl"], &dir);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown pass `hoist-cheques`"), "{err}");
+    assert!(err.contains("known passes:"), "{err}");
+}
+
+#[test]
+fn dump_mir_writes_to_stderr() {
+    let dir = scratch("dumpmir");
+    write_input(&dir);
+    let out = flickc(&["--dump-mir", "--emit", "rust", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stub"), "MIR dump names the stubs: {err}");
+    // Generated code stays clean on stdout.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("encode_send_request"));
+
+    let bad = flickc(&["--dump-mir=not-a-pass", "mail.idl"], &dir);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown pass `not-a-pass`"));
+}
+
+#[test]
 fn stats_text_lists_decision_counters() {
     let dir = scratch("statstext");
     write_input(&dir);

@@ -107,6 +107,56 @@ fn decision_counters_reflect_the_optimizer() {
 }
 
 #[test]
+fn plan_phase_breaks_down_into_pass_subspans() {
+    // `--timings` shows one dotted sub-span per scheduled MIR pass,
+    // and `--stats` one decision counter per pass.
+    let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp)
+        .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
+        .expect("compiles");
+    let t = &out.report.trace;
+    assert!(t.has_phase("backend.plan.lower"), "{:?}", t.spans);
+    for pass in flick::PASS_NAMES {
+        assert!(
+            t.has_phase(&format!("backend.plan.{pass}")),
+            "missing sub-span for {pass}: {:?}",
+            t.spans
+        );
+        assert!(
+            t.counter(&format!("pass.{pass}.decisions")).is_some(),
+            "missing decision counter for {pass}: {:?}",
+            t.counters
+        );
+    }
+
+    // A disabled pass drops out of the breakdown.
+    let mut compiler = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp);
+    compiler.backend.disabled_passes = vec!["form-chunks".into()];
+    let out = compiler
+        .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
+        .expect("compiles without form-chunks");
+    let t = &out.report.trace;
+    assert!(!t.has_phase("backend.plan.form-chunks"), "{:?}", t.spans);
+    assert!(t.has_phase("backend.plan.demux-switch"));
+}
+
+#[test]
+fn backend_failures_name_the_failing_step() {
+    // Asking for a MIR dump after a pass that was disabled fails
+    // inside planning, and the error names the backend sub-phase.
+    let mut compiler = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp);
+    compiler.backend.disabled_passes = vec!["form-chunks".into()];
+    compiler.backend.dump_mir = Some(flick::MirDump {
+        after: Some("form-chunks".into()),
+    });
+    let err = compiler
+        .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err.phase.name(), "backend.plan", "{}", err.report);
+    assert!(err.report.contains("did not run"), "{}", err.report);
+}
+
+#[test]
 fn report_serializes_to_json_and_text() {
     let out = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp)
         .compile_source("mail.idl", MAIL_IDL, "Mail", Side::Client)

@@ -40,6 +40,16 @@ impl TraceReport {
         });
     }
 
+    /// Appends a timed sub-phase of `parent` as the dotted span
+    /// `"{parent}.{name}"` (spans stay a flat list; nesting lives in
+    /// the names, e.g. `backend.plan.form-chunks`).
+    pub fn push_subspan(&mut self, parent: &str, name: &str, nanos: u64) {
+        self.spans.push(Span {
+            name: format!("{parent}.{name}"),
+            nanos,
+        });
+    }
+
     /// Sets a decision counter, replacing any previous value.
     pub fn set_counter(&mut self, name: &str, value: u64) {
         if let Some(slot) = self.counters.iter_mut().find(|(n, _)| n == name) {
@@ -161,6 +171,16 @@ mod tests {
         assert_eq!(r.span("presgen").unwrap().nanos, 3_000);
         assert_eq!(r.counter("plan.memcpy_runs"), Some(5));
         assert_eq!(r.total_nanos(), 4_000);
+    }
+
+    #[test]
+    fn subspans_get_dotted_names() {
+        let mut r = TraceReport::new();
+        r.push_span("backend.plan", 9_000);
+        r.push_subspan("backend.plan", "form-chunks", 2_000);
+        r.push_subspan("backend.plan", "inline-marshal", 1_000);
+        assert!(r.has_phase("backend.plan.form-chunks"));
+        assert_eq!(r.span("backend.plan.inline-marshal").unwrap().nanos, 1_000);
     }
 
     #[test]
