@@ -105,3 +105,13 @@ impl Aoi {
         print::print(self)
     }
 }
+
+impl flick_stablehash::StableHash for Aoi {
+    /// Hashes the canonical pretty-printed form.  The printer already
+    /// renders the contract in a position-independent way (names and
+    /// declaration order, not arena indices), and the cross-IDL tests
+    /// pin its output, so it doubles as the contract's content address.
+    fn stable_hash(&self, h: &mut flick_stablehash::StableHasher) {
+        h.write_str(&self.to_pretty());
+    }
+}

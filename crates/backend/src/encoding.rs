@@ -240,6 +240,29 @@ impl Encoding {
         p
     }
 
+    /// Stable digest of every field that shapes generated plans — one
+    /// component of the per-stub cache key.  Covers all fields, so two
+    /// encodings that plan identically but differ anywhere still get
+    /// distinct keys (correct, merely conservative).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use flick_stablehash::{StableHash, StableHasher};
+        let mut h = StableHasher::new();
+        h.write_str(self.name);
+        h.write_tag(match self.order {
+            Order::Big => 0,
+            Order::Little => 1,
+        });
+        h.write_bool(self.widen_to_word);
+        h.write_tag(match self.string_wire {
+            StringWire::CountedPadded => 0,
+            StringWire::CountedNul => 1,
+        });
+        self.pad_unit.stable_hash(&mut h);
+        h.write_bool(self.typed_descriptors);
+        h.finish()
+    }
+
     /// The count prefix for variable arrays/strings.
     #[must_use]
     pub fn len_prefix(&self) -> WirePrim {
@@ -337,6 +360,22 @@ mod tests {
         assert_eq!(m.descriptor_bytes(0x0fff), 4);
         assert_eq!(m.descriptor_bytes(0x1000), 12);
         assert_eq!(Encoding::xdr().descriptor_bytes(1_000_000), 0);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_encodings() {
+        let all = [
+            Encoding::xdr(),
+            Encoding::cdr_be(),
+            Encoding::cdr_le(),
+            Encoding::mach3(),
+            Encoding::fluke(),
+        ];
+        let mut fps: Vec<u64> = all.iter().map(Encoding::fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), 5, "the five base encodings must key apart");
+        assert_eq!(Encoding::xdr().fingerprint(), Encoding::xdr().fingerprint());
     }
 
     #[test]

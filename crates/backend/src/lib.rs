@@ -30,6 +30,7 @@
 //! The entry point is [`BackEnd::compile`].
 
 pub mod c_header;
+pub mod cache;
 pub mod emit_c;
 pub mod emit_rust;
 pub mod encoding;
@@ -41,6 +42,7 @@ pub mod plan;
 pub mod verify;
 
 pub use c_header::C_RUNTIME_HEADER;
+pub use cache::{CacheReport, CacheStats, ExplainEntry, PlanCache, StubKey};
 pub use encoding::{Encoding, WirePrim};
 pub use mir::{PlanStats, StubPlans};
 pub use opts::OptFlags;
@@ -151,6 +153,9 @@ pub struct BackEnd {
     /// Dump the MIR (after a named pass, or final) into
     /// [`BackendTrace::mir_dump`].
     pub dump_mir: Option<MirDump>,
+    /// Per-pass decision budget (`flickc --pass-budget`): passes that
+    /// exceed it report an overrun, and passes that can stop early do.
+    pub pass_budget: Option<u64>,
 }
 
 impl BackEnd {
@@ -165,6 +170,7 @@ impl BackEnd {
             disabled_passes: Vec::new(),
             verify_mir: cfg!(debug_assertions),
             dump_mir: None,
+            pass_budget: None,
         }
     }
 
@@ -192,24 +198,57 @@ impl BackEnd {
     /// # Errors
     /// Same as [`BackEnd::compile`], tagged with the failing step.
     pub fn compile_traced(&self, presc: &PresC) -> Result<(Compiled, BackendTrace), BackendError> {
+        self.compile_traced_with(presc, None)
+    }
+
+    /// Like [`BackEnd::compile_traced`], optionally planning through a
+    /// [`PlanCache`]: stubs whose content key is cached are restored
+    /// instead of replanned.  A `--dump-mir` request forces the
+    /// whole-module path (the dump is defined over one uncached run).
+    ///
+    /// # Errors
+    /// Same as [`BackEnd::compile`], tagged with the failing step.
+    pub fn compile_traced_with(
+        &self,
+        presc: &PresC,
+        cache: Option<&mut PlanCache>,
+    ) -> Result<(Compiled, BackendTrace), BackendError> {
         let plan_err = |message: String| BackendError {
             step: BackendStep::Plan,
             message,
         };
 
-        let t = std::time::Instant::now();
         let mut pipeline = PassPipeline::from_opts(&self.opts);
         pipeline.verify = self.verify_mir;
+        pipeline.budget = self.pass_budget;
         for name in &self.disabled_passes {
             pipeline.disable(name).map_err(plan_err)?;
         }
-        let run = passes::run_pipeline(presc, &self.encoding, &pipeline, self.dump_mir.as_ref())
-            .map_err(plan_err)?;
-        let stats = plan::PlanStats::of(&run.mir);
+
+        let t = std::time::Instant::now();
+        let planned = match cache {
+            Some(cache) if self.dump_mir.is_none() => self
+                .plan_cached(presc, &pipeline, cache)
+                .map_err(plan_err)?,
+            _ => {
+                let run =
+                    passes::run_pipeline(presc, &self.encoding, &pipeline, self.dump_mir.as_ref())
+                        .map_err(plan_err)?;
+                Planned {
+                    mir: run.mir,
+                    passes: run.passes,
+                    mir_dump: run.mir_dump,
+                    overruns: run.overruns.iter().map(ToString::to_string).collect(),
+                    cache: None,
+                    cache_ns: 0,
+                }
+            }
+        };
+        let stats = plan::PlanStats::of(&planned.mir);
         let plan_ns = step_ns(t);
 
         let t = std::time::Instant::now();
-        let c_unit = emit_c::emit(presc, &run.mir, self);
+        let c_unit = emit_c::emit(presc, &planned.mir, self);
         let emit_c_ns = step_ns(t);
 
         let t = std::time::Instant::now();
@@ -218,7 +257,7 @@ impl BackEnd {
 
         let t = std::time::Instant::now();
         let rust_source =
-            emit_rust::emit(presc, &run.mir, self).map_err(|message| BackendError {
+            emit_rust::emit(presc, &planned.mir, self).map_err(|message| BackendError {
                 step: BackendStep::EmitRust,
                 message,
             })?;
@@ -229,7 +268,7 @@ impl BackEnd {
                 c_unit,
                 c_source,
                 rust_source,
-                plans: run.mir,
+                plans: planned.mir,
             },
             BackendTrace {
                 plan_ns,
@@ -237,11 +276,242 @@ impl BackEnd {
                 print_c_ns,
                 emit_rust_ns,
                 stats,
-                passes: run.passes,
-                mir_dump: run.mir_dump,
+                passes: planned.passes,
+                mir_dump: planned.mir_dump,
+                overruns: planned.overruns,
+                cache: planned.cache,
+                cache_ns: planned.cache_ns,
             },
         ))
     }
+
+    /// The memoized planning path: per-stub lookup, replan of misses
+    /// (in parallel when there are enough), merge in presentation
+    /// order, then the module-wide demux decision over the whole set.
+    fn plan_cached(
+        &self,
+        presc: &PresC,
+        pipeline: &PassPipeline,
+        cache: &mut PlanCache,
+    ) -> Result<Planned, String> {
+        use std::collections::BTreeMap;
+
+        let enc_fp = self.encoding.fingerprint();
+        let pipe_fp = pipeline.fingerprint();
+        let mut cache_ns = 0u64;
+
+        // Probe phase: restore every stub we can, list the misses.
+        let mut report = CacheReport::default();
+        let evictions_before = cache.stats().evictions;
+        let mut units: Vec<Option<cache::PlanUnit>> = Vec::with_capacity(presc.stubs.len());
+        let mut keys = Vec::with_capacity(presc.stubs.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, stub) in presc.stubs.iter().enumerate() {
+            let key = StubKey {
+                pres_hash: flick_pres::stub_hash(presc, stub),
+                enc_fp,
+                pipe_fp,
+            };
+            let t = std::time::Instant::now();
+            let restored = cache.fetch(&key).and_then(|(text, source)| {
+                // A stale or corrupt entry demotes to a miss.
+                cache::deserialize_unit(presc, &self.encoding, stub, &text)
+                    .ok()
+                    .map(|unit| (unit, source))
+            });
+            cache_ns += step_ns(t);
+            match restored {
+                Some((unit, source)) => {
+                    cache.record_hit();
+                    report.hits += 1;
+                    report.entries.push(ExplainEntry {
+                        stub: stub.name.clone(),
+                        hit: true,
+                        detail: source.to_string(),
+                    });
+                    units.push(Some(unit));
+                }
+                None => {
+                    cache.record_miss();
+                    report.misses += 1;
+                    report.entries.push(ExplainEntry {
+                        stub: stub.name.clone(),
+                        hit: false,
+                        detail: cache.miss_reason(&stub.name, &key),
+                    });
+                    units.push(None);
+                    misses.push(i);
+                }
+            }
+            keys.push(key);
+        }
+
+        // Replan phase: only the misses run the per-stub pipeline.
+        let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        let mut overruns: Vec<String> = Vec::new();
+        let computed = run_miss_units(presc, &self.encoding, pipeline, &misses)?;
+        for (i, unit) in misses.iter().zip(computed) {
+            for span in &unit.passes {
+                let e = spans.entry(span.name).or_insert((0, 0));
+                e.0 += span.ns;
+                e.1 += span.decisions;
+            }
+            for name in &unit.overruns {
+                if !overruns.iter().any(|o| o == name) {
+                    overruns.push((*name).to_string());
+                }
+            }
+            let mut mir = unit.mir;
+            let stub = &presc.stubs[*i];
+            let plan = mir.stubs.remove(0);
+            let t = std::time::Instant::now();
+            // An uncacheable stub (expansion cap) is just not stored.
+            if let Ok(text) = cache::serialize_unit(presc, stub, &plan, &mir.outlines) {
+                cache.store(keys[*i], text);
+            }
+            cache_ns += step_ns(t);
+            units[*i] = Some((plan, mir.outlines));
+        }
+
+        // Merge phase: presentation order, later outline registrations
+        // winning — identical to one sequential whole-module lowering.
+        let scheduled = pipeline.pass_names();
+        let mut mir = StubPlans {
+            stubs: Vec::with_capacity(presc.stubs.len()),
+            outlines: std::collections::BTreeMap::new(),
+            hoist: scheduled.contains(&"hoist-checks"),
+            memcpy: scheduled.contains(&"coalesce-memcpy"),
+            demux: mir::Demux::Linear,
+        };
+        for unit in units {
+            let (plan, outlines) = unit.expect("every stub restored or replanned");
+            mir.stubs.push(plan);
+            mir.outlines.extend(outlines);
+        }
+
+        // Module-wide phase: demux needs every stub's wire name at
+        // once, so it runs on the merged module even on a full hit.
+        let mut demux_span = None;
+        if scheduled.contains(&"demux-switch") {
+            let pass = passes::DemuxSwitch;
+            let cx = passes::PassCx {
+                presc,
+                enc: &self.encoding,
+            };
+            let t = std::time::Instant::now();
+            let (decisions, overran) = pass
+                .run_budgeted(&mut mir, &cx, pipeline.budget)
+                .map_err(|e| format!("pass demux-switch: {e}"))?;
+            if overran && !overruns.iter().any(|o| o == "demux-switch") {
+                overruns.push("demux-switch".to_string());
+            }
+            demux_span = Some(PassSpan {
+                name: "demux-switch",
+                ns: step_ns(t),
+                decisions,
+            });
+        }
+        if pipeline.verify {
+            verify::verify(&mir, presc, &self.encoding)
+                .map_err(|e| format!("MIR verify after cached merge: {e}"))?;
+        }
+
+        // Span shape matches the uncached run: lowering first, then
+        // each scheduled pass (zeros when everything hit).
+        let mut pass_spans = vec![PassSpan {
+            name: "lower",
+            ns: spans.get("lower").map_or(0, |e| e.0),
+            decisions: misses.len() as u64,
+        }];
+        for name in &scheduled {
+            if *name == "demux-switch" {
+                continue;
+            }
+            let (ns, decisions) = spans.get(name).copied().unwrap_or((0, 0));
+            pass_spans.push(PassSpan {
+                name,
+                ns,
+                decisions,
+            });
+        }
+        pass_spans.extend(demux_span);
+
+        for (stub, key) in presc.stubs.iter().zip(&keys) {
+            cache.remember(&stub.name, *key);
+        }
+        cache.persist();
+        report.evictions = cache.stats().evictions - evictions_before;
+
+        Ok(Planned {
+            mir,
+            passes: pass_spans,
+            mir_dump: None,
+            overruns,
+            cache: Some(report),
+            cache_ns,
+        })
+    }
+}
+
+/// The outcome of the planning phase, whichever path produced it.
+struct Planned {
+    mir: StubPlans,
+    passes: Vec<PassSpan>,
+    mir_dump: Option<String>,
+    overruns: Vec<String>,
+    cache: Option<CacheReport>,
+    cache_ns: u64,
+}
+
+/// Runs the per-stub pipeline over every missed stub, in parallel when
+/// the miss set is large enough to pay for the threads (same policy as
+/// uncached lowering).
+fn run_miss_units(
+    presc: &PresC,
+    enc: &Encoding,
+    pipeline: &PassPipeline,
+    misses: &[usize],
+) -> Result<Vec<passes::StubUnit>, String> {
+    let n = misses.len();
+    let threads = match pipeline.parallel {
+        Parallelism::Sequential => 1,
+        Parallelism::Threads(t) => t.max(1),
+        Parallelism::Auto if n >= plan::PARALLEL_MIN_STUBS => std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(8),
+        Parallelism::Auto => 1,
+    };
+    if threads <= 1 || n <= 1 {
+        return misses
+            .iter()
+            .map(|&i| passes::run_stub_pipeline(presc, enc, pipeline, &presc.stubs[i]))
+            .collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let per_chunk: Vec<Result<Vec<_>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = misses
+            .chunks(chunk)
+            .map(|idxs| {
+                scope.spawn(move || {
+                    idxs.iter()
+                        .map(|&i| passes::run_stub_pipeline(presc, enc, pipeline, &presc.stubs[i]))
+                        .collect::<Result<Vec<_>, String>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("replan worker panicked".to_string()))
+            })
+            .collect()
+    });
+    let mut all = Vec::with_capacity(n);
+    for res in per_chunk {
+        all.extend(res?);
+    }
+    Ok(all)
 }
 
 fn step_ns(start: std::time::Instant) -> u64 {
@@ -267,6 +537,12 @@ pub struct BackendTrace {
     pub passes: Vec<PassSpan>,
     /// The `--dump-mir` rendering, if one was requested.
     pub mir_dump: Option<String>,
+    /// Names of passes that overran the `--pass-budget`.
+    pub overruns: Vec<String>,
+    /// What the plan cache did, when one was in use.
+    pub cache: Option<CacheReport>,
+    /// Time spent in cache lookup/restore/store bookkeeping.
+    pub cache_ns: u64,
 }
 
 /// The artifacts a back end produces for one presentation.
@@ -281,4 +557,79 @@ pub struct Compiled {
     /// The optimized MIR (exposed for tests and the code-size
     /// accounting of Table 2).
     pub plans: StubPlans,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_idl::diag::Diagnostics;
+    use flick_pres::Side;
+
+    const IDL: &str = r"
+        struct Point { long x; long y; };
+        struct Rect { Point min; Point max; };
+        typedef sequence<Rect> RectSeq;
+        interface I { void put(in RectSeq rs); long get(in string k); };
+    ";
+
+    fn presc() -> PresC {
+        let aoi = flick_frontend_corba::parse_str("t.idl", IDL);
+        let mut d = Diagnostics::new();
+        flick_presgen::corba_c(&aoi, "I", Side::Client, &mut d).expect("presentation")
+    }
+
+    #[test]
+    fn cached_compiles_are_byte_identical_to_uncached() {
+        let p = presc();
+        let be = BackEnd::new(Transport::IiopTcp);
+        let (cold, _) = be.compile_traced(&p).expect("uncached");
+        let mut cache = PlanCache::in_memory();
+        let (first, t1) = be
+            .compile_traced_with(&p, Some(&mut cache))
+            .expect("cold cached");
+        let (warm, t2) = be
+            .compile_traced_with(&p, Some(&mut cache))
+            .expect("warm cached");
+        assert_eq!(cold.c_source, first.c_source);
+        assert_eq!(cold.rust_source, first.rust_source);
+        assert_eq!(
+            first.c_source, warm.c_source,
+            "warm recompile must be byte-identical"
+        );
+        assert_eq!(first.rust_source, warm.rust_source);
+        let r1 = t1.cache.expect("cold report");
+        assert_eq!((r1.hits, r1.misses), (0, 2));
+        assert!(r1.entries.iter().all(|e| e.detail == "first compile"));
+        let r2 = t2.cache.expect("warm report");
+        assert_eq!((r2.hits, r2.misses), (2, 0));
+        assert!(r2.entries.iter().all(|e| e.hit && e.detail == "memory"));
+        // The span shape stays the same as an uncached run, so the
+        // telemetry pipeline sees a uniform pass list.
+        let warm_names: Vec<_> = t2.passes.iter().map(|s| s.name).collect();
+        let mut expect = vec!["lower"];
+        expect.extend(PASS_NAMES);
+        assert_eq!(warm_names, expect);
+    }
+
+    #[test]
+    fn changing_the_pipeline_invalidates_every_stub() {
+        let p = presc();
+        let be = BackEnd::new(Transport::IiopTcp);
+        let mut cache = PlanCache::in_memory();
+        be.compile_traced_with(&p, Some(&mut cache)).expect("cold");
+        let mut other = BackEnd::new(Transport::IiopTcp);
+        other.opts.bounded_threshold += 64;
+        let (_, t) = other
+            .compile_traced_with(&p, Some(&mut cache))
+            .expect("reconfigured");
+        let r = t.cache.expect("report");
+        assert_eq!((r.hits, r.misses), (0, 2));
+        assert!(
+            r.entries
+                .iter()
+                .all(|e| e.detail == "pass pipeline changed"),
+            "{:?}",
+            r.entries
+        );
+    }
 }

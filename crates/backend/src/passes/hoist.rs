@@ -28,6 +28,10 @@ impl MirPass for HoistChecks {
         "hoist-checks"
     }
 
+    fn config_hash(&self, h: &mut flick_stablehash::StableHasher) {
+        h.write_u64(self.threshold);
+    }
+
     fn run(&self, mir: &mut StubPlans, _cx: &PassCx) -> PlanResult<u64> {
         mir.hoist = true;
         let mut decisions = 0;

@@ -8,11 +8,16 @@
 //! body overwrites any earlier registration (last traversal wins), so
 //! the surviving outline set is exactly what a fused inline-as-you-
 //! plan lowering would have produced.
+//!
+//! Under a `--pass-budget`, this pass stops making *new* inlining
+//! decisions once the budget is exhausted: remaining call sites stay
+//! out of line, and every body they (transitively) reach is kept so
+//! the MIR still resolves.
 
 use std::collections::BTreeMap;
 
 use crate::mir::{for_each_child, plan_references_outline, PlanNode, PlanResult, StubPlans};
-use crate::passes::{MirPass, PassCx};
+use crate::passes::{collect_outline_keys, MirPass, PassCx};
 
 pub struct InlineMarshal;
 
@@ -22,26 +27,42 @@ impl MirPass for InlineMarshal {
     }
 
     fn run(&self, mir: &mut StubPlans, _cx: &PassCx) -> PlanResult<u64> {
-        let library = std::mem::take(&mut mir.outlines);
-        let mut kept = BTreeMap::new();
-        let mut stack: Vec<String> = Vec::new();
-        let mut decisions = 0;
-        for stub in &mut mir.stubs {
-            for msg in [&mut stub.request, &mut stub.reply] {
-                for slot in &mut msg.slots {
-                    expand(
-                        &mut slot.node,
-                        &library,
-                        &mut kept,
-                        &mut stack,
-                        &mut decisions,
-                    )?;
-                }
+        run_inline(mir, None).map(|(d, _)| d)
+    }
+
+    fn run_budgeted(
+        &self,
+        mir: &mut StubPlans,
+        _cx: &PassCx,
+        budget: Option<u64>,
+    ) -> PlanResult<(u64, bool)> {
+        run_inline(mir, budget)
+    }
+}
+
+fn run_inline(mir: &mut StubPlans, budget: Option<u64>) -> PlanResult<(u64, bool)> {
+    let library = std::mem::take(&mut mir.outlines);
+    let mut kept = BTreeMap::new();
+    let mut stack: Vec<String> = Vec::new();
+    let mut decisions = 0;
+    let mut overran = false;
+    for stub in &mut mir.stubs {
+        for msg in [&mut stub.request, &mut stub.reply] {
+            for slot in &mut msg.slots {
+                expand(
+                    &mut slot.node,
+                    &library,
+                    &mut kept,
+                    &mut stack,
+                    &mut decisions,
+                    budget,
+                    &mut overran,
+                )?;
             }
         }
-        mir.outlines = kept;
-        Ok(decisions)
     }
+    mir.outlines = kept;
+    Ok((decisions, overran))
 }
 
 fn expand(
@@ -50,6 +71,8 @@ fn expand(
     kept: &mut BTreeMap<String, PlanNode>,
     stack: &mut Vec<String>,
     decisions: &mut u64,
+    budget: Option<u64>,
+    overran: &mut bool,
 ) -> PlanResult<()> {
     if let PlanNode::Outline { key } = node {
         // A call back into a body on the expansion stack is a
@@ -57,12 +80,19 @@ fn expand(
         if stack.iter().any(|k| k == key) {
             return Ok(());
         }
+        // Budget exhausted: leave the call site as-is, but make sure
+        // everything it reaches survives in the outline library.
+        if budget.is_some_and(|b| *decisions >= b) {
+            *overran = true;
+            keep_transitively(key, library, kept)?;
+            return Ok(());
+        }
         let Some(body) = library.get(key) else {
             return Err(format!("inline-marshal: unresolved outline key `{key}`"));
         };
         let mut body = body.clone();
         stack.push(key.clone());
-        expand(&mut body, library, kept, stack, decisions)?;
+        expand(&mut body, library, kept, stack, decisions, budget, overran)?;
         let key = stack.pop().expect("pushed above");
         if plan_references_outline(&body, &key) {
             // Self-recursive: keep the body out of line.
@@ -77,11 +107,32 @@ fn expand(
     let mut err = None;
     for_each_child(node, |c| {
         if err.is_none() {
-            err = expand(c, library, kept, stack, decisions).err();
+            err = expand(c, library, kept, stack, decisions, budget, overran).err();
         }
     });
     match err {
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// Copies `key`'s body and every body it transitively references from
+/// `library` into `kept`, unexpanded.
+fn keep_transitively(
+    key: &str,
+    library: &BTreeMap<String, PlanNode>,
+    kept: &mut BTreeMap<String, PlanNode>,
+) -> PlanResult<()> {
+    let mut work = vec![key.to_string()];
+    while let Some(k) = work.pop() {
+        if kept.contains_key(&k) {
+            continue;
+        }
+        let Some(body) = library.get(&k) else {
+            return Err(format!("inline-marshal: unresolved outline key `{k}`"));
+        };
+        kept.insert(k, body.clone());
+        collect_outline_keys(body, &mut work);
+    }
+    Ok(())
 }

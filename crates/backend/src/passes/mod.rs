@@ -21,12 +21,13 @@
 
 use std::time::Instant;
 
-use flick_pres::PresC;
+use flick_pres::{PresC, Stub};
+use flick_stablehash::StableHasher;
 
 use crate::encoding::Encoding;
 use crate::mir::{self, PlanNode, PlanResult, StubPlans};
 use crate::opts::OptFlags;
-use crate::plan::{lower_presc, LowerOpts, Parallelism};
+use crate::plan::{lower_presc, lower_stub, LowerOpts, Parallelism};
 use crate::verify::verify;
 
 mod chunks;
@@ -74,6 +75,29 @@ pub trait MirPass: Send + Sync {
     /// Returns a message if the MIR contains a shape the pass cannot
     /// handle.
     fn run(&self, mir: &mut StubPlans, cx: &PassCx) -> PlanResult<u64>;
+
+    /// Absorbs every configuration knob that changes this pass's
+    /// *output* into `h`.  The pass name is hashed separately; the
+    /// default covers passes with no configuration.
+    fn config_hash(&self, _h: &mut StableHasher) {}
+
+    /// Like [`MirPass::run`] but bounded by an optional decision
+    /// budget.  Returns the decision count plus whether the budget was
+    /// overrun.  The default runs to completion and merely *reports*
+    /// the overrun; passes that can stop early (e.g. `inline-marshal`)
+    /// override this to actually cap their work.
+    ///
+    /// # Errors
+    /// Same as [`MirPass::run`].
+    fn run_budgeted(
+        &self,
+        mir: &mut StubPlans,
+        cx: &PassCx,
+        budget: Option<u64>,
+    ) -> PlanResult<(u64, bool)> {
+        let d = self.run(mir, cx)?;
+        Ok((d, budget.is_some_and(|b| d > b)))
+    }
 }
 
 /// Wall time + decision count for one executed pass.
@@ -103,6 +127,9 @@ pub struct PassPipeline {
     pub verify: bool,
     /// How lowering schedules independent stubs.
     pub parallel: Parallelism,
+    /// Per-pass decision budget: a pass exceeding it reports an
+    /// overrun (and, where supported, stops making new decisions).
+    pub budget: Option<u64>,
 }
 
 impl PassPipeline {
@@ -135,7 +162,32 @@ impl PassPipeline {
             passes,
             verify: cfg!(debug_assertions),
             parallel: Parallelism::Auto,
+            budget: None,
         }
+    }
+
+    /// A stable fingerprint of everything about this pipeline that can
+    /// change its *output*: the pass list (names, order, per-pass
+    /// configuration), the lowering options, and the decision budget.
+    /// `verify` and `parallel` are deliberately excluded — they affect
+    /// only how the same result is computed.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.passes.len() as u64);
+        for pass in &self.passes {
+            h.write_str(pass.name());
+            pass.config_hash(&mut h);
+        }
+        h.write_bool(self.lower.param_mgmt);
+        match self.budget {
+            None => h.write_tag(0),
+            Some(b) => {
+                h.write_tag(1);
+                h.write_u64(b);
+            }
+        }
+        h.finish()
     }
 
     /// Names of the passes currently scheduled, in order.
@@ -171,6 +223,8 @@ pub struct PipelineRun {
     pub passes: Vec<PassSpan>,
     /// The rendered `--dump-mir` output, if requested.
     pub mir_dump: Option<String>,
+    /// Names of passes that overran the decision budget.
+    pub overruns: Vec<&'static str>,
 }
 
 /// Lowers `presc` and runs every scheduled pass over it.
@@ -200,11 +254,15 @@ pub fn run_pipeline(
         .filter(|d| d.after.as_deref() == Some("lower"))
         .map(|_| mir::dump(&mir));
 
+    let mut overruns = Vec::new();
     for pass in &pipeline.passes {
         let t = Instant::now();
-        let decisions = pass
-            .run(&mut mir, &cx)
+        let (decisions, overran) = pass
+            .run_budgeted(&mut mir, &cx, pipeline.budget)
             .map_err(|e| format!("pass {}: {e}", pass.name()))?;
+        if overran {
+            overruns.push(pass.name());
+        }
         spans.push(PassSpan {
             name: pass.name(),
             ns: t.elapsed().as_nanos() as u64,
@@ -238,6 +296,86 @@ pub fn run_pipeline(
         mir,
         passes: spans,
         mir_dump,
+        overruns,
+    })
+}
+
+/// The per-stub unit of work the plan cache stores: one stub lowered
+/// and optimized in isolation.
+#[derive(Debug)]
+pub(crate) struct StubUnit {
+    /// The optimized single-stub MIR (demux decision not yet made).
+    pub mir: StubPlans,
+    /// Per-pass spans for this unit (lowering first).
+    pub passes: Vec<PassSpan>,
+    /// Passes that overran the decision budget on this unit.
+    pub overruns: Vec<&'static str>,
+}
+
+/// Lowers and optimizes a *single* stub through every scheduled pass
+/// except `demux-switch` (the only module-wide pass — it needs every
+/// stub's request code at once, so the caller runs it over the merged
+/// module).  All other passes only read the stub they rewrite, which
+/// is what makes per-stub caching sound.
+///
+/// # Errors
+/// Same failure modes as [`run_pipeline`].
+pub(crate) fn run_stub_pipeline(
+    presc: &PresC,
+    enc: &Encoding,
+    pipeline: &PassPipeline,
+    stub: &Stub,
+) -> PlanResult<StubUnit> {
+    let cx = PassCx { presc, enc };
+    let t0 = Instant::now();
+    let (plan, outlines) = lower_stub(presc, enc, pipeline.lower, stub)?;
+    let mut mir = StubPlans {
+        stubs: vec![plan],
+        outlines,
+        hoist: false,
+        memcpy: false,
+        demux: crate::mir::Demux::Linear,
+    };
+    let mut spans = vec![PassSpan {
+        name: "lower",
+        ns: t0.elapsed().as_nanos() as u64,
+        decisions: 1,
+    }];
+    if pipeline.verify {
+        verify(&mir, presc, enc)
+            .map_err(|e| format!("MIR verify after lowering `{}`: {e}", stub.name))?;
+    }
+    let mut overruns = Vec::new();
+    for pass in &pipeline.passes {
+        if pass.name() == "demux-switch" {
+            continue;
+        }
+        let t = Instant::now();
+        let (decisions, overran) = pass
+            .run_budgeted(&mut mir, &cx, pipeline.budget)
+            .map_err(|e| format!("pass {} on `{}`: {e}", pass.name(), stub.name))?;
+        if overran {
+            overruns.push(pass.name());
+        }
+        spans.push(PassSpan {
+            name: pass.name(),
+            ns: t.elapsed().as_nanos() as u64,
+            decisions,
+        });
+        if pipeline.verify {
+            verify(&mir, presc, enc)
+                .map_err(|e| format!("MIR verify after {} on `{}`: {e}", pass.name(), stub.name))?;
+        }
+    }
+    gc_outlines(&mut mir);
+    if pipeline.verify {
+        verify(&mir, presc, enc)
+            .map_err(|e| format!("MIR verify after outline GC on `{}`: {e}", stub.name))?;
+    }
+    Ok(StubUnit {
+        mir,
+        passes: spans,
+        overruns,
     })
 }
 
@@ -266,7 +404,7 @@ fn gc_outlines(mir: &mut StubPlans) {
     mir.outlines.retain(|k, _| reachable.contains(k));
 }
 
-fn collect_outline_keys(node: &PlanNode, out: &mut Vec<String>) {
+pub(crate) fn collect_outline_keys(node: &PlanNode, out: &mut Vec<String>) {
     match node {
         PlanNode::Outline { key } => out.push(key.clone()),
         PlanNode::Struct { fields, .. } => {
@@ -346,6 +484,84 @@ mod tests {
         // The chunking pass made at least one decision on rects.
         let chunks = run.passes.iter().find(|s| s.name == "form-chunks").unwrap();
         assert!(chunks.decisions >= 1, "{:?}", run.passes);
+    }
+
+    #[test]
+    fn fingerprint_tracks_output_affecting_config_only() {
+        let base = PassPipeline::from_opts(&OptFlags::all());
+        // verify/parallel change how the result is computed, not what
+        // it is — they must not invalidate caches.
+        let mut same = PassPipeline::from_opts(&OptFlags::all());
+        same.verify = !same.verify;
+        same.parallel = Parallelism::Sequential;
+        assert_eq!(base.fingerprint(), same.fingerprint());
+
+        let mut disabled = PassPipeline::from_opts(&OptFlags::all());
+        disabled.disable("form-chunks").unwrap();
+        assert_ne!(base.fingerprint(), disabled.fingerprint());
+
+        let mut thr = OptFlags::all();
+        thr.bounded_threshold += 1;
+        assert_ne!(
+            base.fingerprint(),
+            PassPipeline::from_opts(&thr).fingerprint(),
+            "hoist threshold is pass configuration"
+        );
+
+        let mut budgeted = PassPipeline::from_opts(&OptFlags::all());
+        budgeted.budget = Some(3);
+        assert_ne!(base.fingerprint(), budgeted.fingerprint());
+    }
+
+    #[test]
+    fn budget_overrun_reported_and_inline_stops_early() {
+        let p = presc(IDL, "I");
+        let mut opts = OptFlags::all();
+        opts.chunking = false; // keep Outline call sites for inline-marshal
+        let mut pipe = PassPipeline::from_opts(&opts);
+        pipe.budget = Some(0);
+        let run = run_pipeline(&p, &Encoding::xdr(), &pipe, None).expect("runs");
+        assert!(
+            run.overruns.contains(&"inline-marshal"),
+            "{:?}",
+            run.overruns
+        );
+        let inl = run
+            .passes
+            .iter()
+            .find(|s| s.name == "inline-marshal")
+            .unwrap();
+        assert_eq!(inl.decisions, 0, "budget 0 means no inlining decisions");
+        assert!(
+            run.mir.outlines.contains_key("Rect"),
+            "un-inlined call sites must still resolve: {:?}",
+            run.mir.outlines.keys().collect::<Vec<_>>()
+        );
+
+        // A generous budget changes nothing and reports no overruns.
+        let mut roomy = PassPipeline::from_opts(&opts);
+        roomy.budget = Some(1_000_000);
+        let run = run_pipeline(&p, &Encoding::xdr(), &roomy, None).expect("runs");
+        assert!(run.overruns.is_empty(), "{:?}", run.overruns);
+    }
+
+    #[test]
+    fn stub_pipeline_skips_demux_and_matches_module_run() {
+        let p = presc(IDL, "I");
+        let pipe = PassPipeline::from_opts(&OptFlags::all());
+        let unit = run_stub_pipeline(&p, &Encoding::xdr(), &pipe, &p.stubs[0]).expect("runs");
+        assert_eq!(unit.mir.demux, Demux::Linear);
+        assert!(!unit.passes.iter().any(|s| s.name == "demux-switch"));
+        let whole = run_pipeline(&p, &Encoding::xdr(), &pipe, None).expect("runs");
+        assert_eq!(
+            format!("{:?}", unit.mir.stubs[0]),
+            format!("{:?}", whole.mir.stubs[0]),
+            "per-stub optimization must match the whole-module result"
+        );
+        assert_eq!(
+            format!("{:?}", unit.mir.outlines),
+            format!("{:?}", whole.mir.outlines)
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub enum Parallelism {
 }
 
 /// Below this many stubs, thread spawn overhead outweighs the win.
-const PARALLEL_MIN_STUBS: usize = 16;
+pub(crate) const PARALLEL_MIN_STUBS: usize = 16;
 
 /// Options that shape lowering itself (as opposed to the MIR passes):
 /// §3.1 parameter management decides, per slot, whether the receive
@@ -145,7 +145,7 @@ pub(crate) fn lower_presc(
     })
 }
 
-fn lower_stub(
+pub(crate) fn lower_stub(
     presc: &PresC,
     enc: &Encoding,
     lopts: LowerOpts,

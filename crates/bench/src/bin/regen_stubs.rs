@@ -28,6 +28,20 @@ fn main() {
             println!("wrote     {}", path.display());
         }
     }
+    // The golden stub-hash manifest rides along: it pins the content
+    // hashes the incremental plan cache keys on.
+    let hashes = flick_bench::regen::golden_hashes();
+    let hash_path = flick_bench::regen::golden_hashes_path();
+    let existing = std::fs::read_to_string(&hash_path).unwrap_or_default();
+    if existing == hashes {
+        println!("unchanged {}", hash_path.display());
+    } else if check {
+        eprintln!("OUT OF SYNC: {}", hash_path.display());
+        drift = true;
+    } else {
+        std::fs::write(&hash_path, &hashes).expect("write golden hashes");
+        println!("wrote     {}", hash_path.display());
+    }
     if drift {
         eprintln!("run `cargo run -p flick-bench --bin regen_stubs` to refresh");
         std::process::exit(1);

@@ -1,7 +1,7 @@
 //! Shared generation logic for the checked-in stub modules — used by
 //! the `regen_stubs` binary and by the `generated_in_sync` test.
 
-use flick::{Compiler, Frontend, OptFlags, Style, Transport};
+use flick::{CompileOutput, CompileSession, Compiler, Frontend, OptFlags, Style, Transport};
 use flick_pres::Side;
 
 /// One module to generate.
@@ -211,13 +211,17 @@ pub fn jobs() -> Vec<Job> {
     ]
 }
 
-/// Generates all modules, returning `(name, rust_source)` pairs.
+/// Compiles every job through one incremental [`CompileSession`],
+/// reconfiguring the compiler between jobs.  Content-addressed keys
+/// make the shared cache sound across the reconfigurations: a job with
+/// a different encoding or pass pipeline simply misses.
 ///
 /// # Panics
 /// Panics if any compilation fails (the committed IDL is expected to
 /// compile).
 #[must_use]
-pub fn generate_all() -> Vec<(&'static str, String)> {
+pub fn compile_all() -> Vec<(&'static str, CompileOutput)> {
+    let mut session: Option<CompileSession> = None;
     jobs()
         .into_iter()
         .map(|j| {
@@ -226,18 +230,67 @@ pub fn generate_all() -> Vec<(&'static str, String)> {
             // release builds) so drift in the checked-in stubs can
             // never come from a malformed intermediate.
             compiler.backend.verify_mir = true;
-            let out = compiler
+            let s = match session.as_mut() {
+                Some(s) => {
+                    *s.compiler_mut() = compiler;
+                    s
+                }
+                None => session.insert(CompileSession::new(compiler)),
+            };
+            let out = s
                 // Server side so in-buffer presentation (zero-copy
                 // strings) is planned where the paper allows it.
-                .compile_source(j.file, j.source, j.iface, Side::Server)
+                .compile(j.file, j.source, j.iface, Side::Server)
                 .unwrap_or_else(|e| panic!("{}: {e}", j.out_name));
-            (j.out_name, out.rust_source)
+            (j.out_name, out)
         })
         .collect()
+}
+
+/// Generates all modules, returning `(name, rust_source)` pairs.
+///
+/// # Panics
+/// Panics if any compilation fails.
+#[must_use]
+pub fn generate_all() -> Vec<(&'static str, String)> {
+    compile_all()
+        .into_iter()
+        .map(|(name, out)| (name, out.rust_source))
+        .collect()
+}
+
+/// The golden stub-hash manifest: one `module stub hash` line per
+/// generated stub, in job order.  Checked in at
+/// `testdata/golden_hashes.txt`, this pins [`flick_pres::stub_hash`]
+/// across processes and machines — if the structural hash ever drifts
+/// (platform dependence, accidental hasher change), every cached plan
+/// keyed by it would silently invalidate, and this file catches it.
+///
+/// # Panics
+/// Panics if any compilation fails.
+#[must_use]
+pub fn golden_hashes() -> String {
+    let mut out = String::from(
+        "# Structural stub hashes for the checked-in generated modules.\n\
+         # Refresh with: cargo run -p flick-bench --bin regen_stubs\n",
+    );
+    for (name, compiled) in compile_all() {
+        for stub in &compiled.presc.stubs {
+            let h = flick_pres::stub_hash(&compiled.presc, stub);
+            out.push_str(&format!("{name} {stub} {h:016x}\n", stub = stub.name));
+        }
+    }
+    out
 }
 
 /// Path of the generated-modules directory in the source tree.
 #[must_use]
 pub fn generated_dir() -> std::path::PathBuf {
     std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/generated")
+}
+
+/// Path of the checked-in golden stub-hash manifest.
+#[must_use]
+pub fn golden_hashes_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../testdata/golden_hashes.txt")
 }

@@ -264,6 +264,22 @@ fn generated_in_sync() {
 }
 
 #[test]
+fn golden_stub_hashes_are_stable_across_processes() {
+    // The committed manifest was written by an earlier `regen_stubs`
+    // process; recomputing the structural hashes here (a different
+    // process, possibly a different machine) must reproduce it bit for
+    // bit.  The incremental plan cache keys disk entries by these
+    // hashes, so any nondeterminism would silently void warm caches.
+    let committed = std::fs::read_to_string(flick_bench::regen::golden_hashes_path())
+        .expect("testdata/golden_hashes.txt is checked in");
+    assert_eq!(
+        committed,
+        flick_bench::regen::golden_hashes(),
+        "stub hashes drifted — run `cargo run -p flick-bench --bin regen_stubs`"
+    );
+}
+
+#[test]
 fn mir_verifier_accepts_every_bench_configuration() {
     // The roundtrip stubs above come from these exact configurations.
     // Force the MIR verifier on (release test builds skip it by

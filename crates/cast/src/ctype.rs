@@ -1,5 +1,7 @@
 //! C type representations.
 
+use flick_stablehash::{StableHash, StableHasher};
+
 /// A C type.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CType {
@@ -96,6 +98,54 @@ impl CType {
     }
 }
 
+impl StableHash for CType {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            CType::Void => h.write_tag(0),
+            CType::Char => h.write_tag(1),
+            CType::SChar => h.write_tag(2),
+            CType::UChar => h.write_tag(3),
+            CType::Short => h.write_tag(4),
+            CType::UShort => h.write_tag(5),
+            CType::Int => h.write_tag(6),
+            CType::UInt => h.write_tag(7),
+            CType::Long => h.write_tag(8),
+            CType::ULong => h.write_tag(9),
+            CType::LongLong => h.write_tag(10),
+            CType::ULongLong => h.write_tag(11),
+            CType::Float => h.write_tag(12),
+            CType::Double => h.write_tag(13),
+            CType::Named(n) => {
+                h.write_tag(14);
+                n.stable_hash(h);
+            }
+            CType::StructRef(n) => {
+                h.write_tag(15);
+                n.stable_hash(h);
+            }
+            CType::Pointer(inner) => {
+                h.write_tag(16);
+                inner.stable_hash(h);
+            }
+            CType::Array(elem, len) => {
+                h.write_tag(17);
+                elem.stable_hash(h);
+                len.stable_hash(h);
+            }
+            CType::StructDef { tag, fields } => {
+                h.write_tag(18);
+                tag.stable_hash(h);
+                fields.stable_hash(h);
+            }
+            CType::Function { ret, params } => {
+                h.write_tag(19);
+                ret.stable_hash(h);
+                params.stable_hash(h);
+            }
+        }
+    }
+}
+
 /// A struct member.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CField {
@@ -103,6 +153,13 @@ pub struct CField {
     pub name: String,
     /// Member type.
     pub ty: CType,
+}
+
+impl StableHash for CField {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.name.stable_hash(h);
+        self.ty.stable_hash(h);
+    }
 }
 
 /// A function parameter.
@@ -129,6 +186,20 @@ mod tests {
             CType::Array(Box::new(CType::Int), Some(4))
         );
         assert_eq!(CType::named("Mail"), CType::Named("Mail".into()));
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_structure() {
+        use flick_stablehash::hash_of;
+        assert_ne!(hash_of(&CType::Int), hash_of(&CType::UInt));
+        assert_ne!(
+            hash_of(&CType::named("A")),
+            hash_of(&CType::StructRef("A".into()))
+        );
+        assert_eq!(
+            hash_of(&CType::ptr(CType::Char)),
+            hash_of(&CType::Pointer(Box::new(CType::Char)))
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use flick::{Compiler, Frontend, MirDump, OptFlags, Style, Transport, PASS_NAMES};
+use flick::{CompileSession, Compiler, Frontend, MirDump, OptFlags, Style, Transport, PASS_NAMES};
 use flick_pres::Side;
 
 struct Args {
@@ -28,6 +28,9 @@ struct Args {
     opts: OptFlags,
     disabled_passes: Vec<String>,
     dump_mir: Option<MirDump>,
+    pass_budget: Option<u64>,
+    cache_dir: Option<PathBuf>,
+    explain_cache: bool,
     out_dir: Option<PathBuf>,
     timings: bool,
     stats: bool,
@@ -56,6 +59,12 @@ usage: flickc [options] <input.idl|.x|.defs>
   --disable-pass=NAME          drop one pass from the pipeline (repeatable)
   --dump-mir[=PASS]            dump the MIR to stderr (final, or after
                                PASS; `lower` dumps the unoptimized MIR)
+  --pass-budget N              cap each optimization pass at N decisions;
+                               overruns are reported as warnings
+  --cache-dir DIR              keep the per-stub plan cache in DIR so warm
+                               recompiles skip planning for unchanged stubs
+  --explain-cache              report each stub's cache hit/miss (and why)
+                               to stderr
   --timings                    report per-phase compile times to stderr
   --stats[=json]               report optimizer decision counts
                                (with =json, one JSON object to stderr)
@@ -73,6 +82,9 @@ fn parse_args() -> Result<ParsedArgs, String> {
     let mut opts = OptFlags::all();
     let mut disabled_passes = Vec::new();
     let mut dump_mir = None;
+    let mut pass_budget = None;
+    let mut cache_dir = None;
+    let mut explain_cache = false;
     let mut out_dir = None;
     let mut timings = false;
     let mut stats = false;
@@ -146,6 +158,15 @@ fn parse_args() -> Result<ParsedArgs, String> {
             "--no-inline" => opts.inline_marshal = false,
             "--passes" => return Ok(ParsedArgs::Passes),
             "--dump-mir" => dump_mir = Some(MirDump { after: None }),
+            "--pass-budget" => {
+                let v = val("--pass-budget")?;
+                pass_budget = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--pass-budget needs a number, got `{v}`"))?,
+                );
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(val("--cache-dir")?)),
+            "--explain-cache" => explain_cache = true,
             other if other.starts_with("--disable-pass=") => {
                 let name = &other["--disable-pass=".len()..];
                 check_pass_name(name)?;
@@ -193,6 +214,9 @@ fn parse_args() -> Result<ParsedArgs, String> {
         opts,
         disabled_passes,
         dump_mir,
+        pass_budget,
+        cache_dir,
+        explain_cache,
         out_dir,
         timings,
         stats,
@@ -274,8 +298,19 @@ fn main() -> ExitCode {
         Compiler::new(args.frontend, args.style, args.transport).with_opts(args.opts);
     compiler.backend.disabled_passes = args.disabled_passes.clone();
     compiler.backend.dump_mir = args.dump_mir.clone();
+    compiler.backend.pass_budget = args.pass_budget;
+    let mut session = match &args.cache_dir {
+        Some(dir) => match CompileSession::with_cache_dir(compiler, dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("flickc: cannot open cache dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => CompileSession::new(compiler),
+    };
     let file_name = args.input.display().to_string();
-    let out = match compiler.compile_source(&file_name, &text, &iface, args.side) {
+    let out = match session.compile(&file_name, &text, &iface, args.side) {
         Ok(o) => o,
         Err(e) => {
             eprint!("{e}");
@@ -291,6 +326,24 @@ fn main() -> ExitCode {
 
     if let Some(dump) = &out.mir_dump {
         eprint!("{dump}");
+    }
+    for w in &out.report.warnings {
+        eprintln!("flickc: warning: {w}");
+    }
+    if args.explain_cache {
+        match &out.report.cache {
+            Some(report) => {
+                eprintln!(
+                    "-- plan cache: {} hit(s), {} miss(es), {} eviction(s) --",
+                    report.hits, report.misses, report.evictions
+                );
+                for e in &report.entries {
+                    let what = if e.hit { "hit" } else { "miss" };
+                    eprintln!("{:<24} {:<4} ({})", e.stub, what, e.detail);
+                }
+            }
+            None => eprintln!("-- plan cache: not used (MIR dump forces a full plan) --"),
+        }
     }
 
     if args.timings {

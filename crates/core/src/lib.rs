@@ -28,8 +28,14 @@
 //! presentation can feed any back end — fifteen configurations from
 //! three + three + five components, which is the paper's whole point.
 
-pub use flick_backend::{BackEnd, BackendStep, Compiled, MirDump, OptFlags, Transport, PASS_NAMES};
+pub mod session;
+
+pub use flick_backend::{
+    BackEnd, BackendStep, CacheReport, CacheStats, Compiled, ExplainEntry, MirDump, OptFlags,
+    PlanCache, Transport, PASS_NAMES,
+};
 pub use flick_presgen::Style;
+pub use session::CompileSession;
 
 use flick_idl::diag::Diagnostics;
 use flick_idl::source::SourceFile;
@@ -147,6 +153,10 @@ pub struct CompileReport {
     /// Spans (`parse`, `presgen`, `backend.plan`, `backend.emit-c`,
     /// `backend.print-c`, `backend.emit-rust`) plus decision counters.
     pub trace: flick_telemetry::TraceReport,
+    /// Non-fatal compile warnings (e.g. pass budget overruns).
+    pub warnings: Vec<String>,
+    /// Per-stub plan-cache outcomes (`flickc --explain-cache`).
+    pub cache: Option<CacheReport>,
 }
 
 impl CompileReport {
@@ -209,6 +219,10 @@ impl Compiler {
     /// `iface` selects the interface (CORBA scoped name, ONC program
     /// name, or MIG subsystem name) and `side` the presentation side.
     ///
+    /// This is a thin facade over [`CompileSession`]: each call runs a
+    /// throwaway single-compile session, so one-shot compiles exercise
+    /// exactly the per-stub planning path incremental sessions reuse.
+    ///
     /// # Errors
     /// Returns rendered diagnostics if any phase fails.
     pub fn compile_source(
@@ -217,6 +231,18 @@ impl Compiler {
         text: &str,
         iface: &str,
         side: Side,
+    ) -> Result<CompileOutput, CompileError> {
+        CompileSession::new(self.clone()).compile(file_name, text, iface, side)
+    }
+
+    /// The full pipeline, planning through `cache` when one is given.
+    pub(crate) fn compile_with(
+        &self,
+        file_name: &str,
+        text: &str,
+        iface: &str,
+        side: Side,
+        cache: Option<&mut PlanCache>,
     ) -> Result<CompileOutput, CompileError> {
         let file = SourceFile::new(file_name, text);
         let mut diags = Diagnostics::new();
@@ -259,7 +285,7 @@ impl Compiler {
 
         let (compiled, bt) = self
             .backend
-            .compile_traced(&presc)
+            .compile_traced_with(&presc, cache)
             .map_err(|e| CompileError {
                 report: format!("back end: {e}"),
                 phase: Phase::Backend(e.step),
@@ -269,6 +295,9 @@ impl Compiler {
         trace.push_span("backend.plan", bt.plan_ns);
         for pass in &bt.passes {
             trace.push_subspan("backend.plan", pass.name, pass.ns);
+        }
+        if bt.cache.is_some() {
+            trace.push_subspan("backend.plan", "cached", bt.cache_ns);
         }
         trace.push_span("backend.emit-c", bt.emit_c_ns);
         trace.push_span("backend.print-c", bt.print_c_ns);
@@ -292,12 +321,26 @@ impl Compiler {
                 trace.set_counter(&format!("pass.{}.decisions", pass.name), pass.decisions);
             }
         }
+        if let Some(cr) = &bt.cache {
+            trace.set_counter("cache.stub.hit", cr.hits);
+            trace.set_counter("cache.stub.miss", cr.misses);
+            trace.set_counter("cache.stub.evict", cr.evictions);
+        }
+        let mut warnings = Vec::new();
+        for name in &bt.overruns {
+            trace.set_counter(&format!("pass.{name}.budget_overrun"), 1);
+            warnings.push(format!(
+                "pass {name} overran the decision budget; remaining decisions were skipped or reported"
+            ));
+        }
 
         let report = CompileReport {
             frontend: self.frontend.name(),
             style: presc.style.clone(),
             transport: self.backend.transport.name(),
             trace,
+            warnings,
+            cache: bt.cache,
         };
         Ok(CompileOutput {
             presc,

@@ -202,6 +202,104 @@ fn dump_mir_writes_to_stderr() {
 }
 
 #[test]
+fn cache_dir_hits_on_the_second_run_and_explains_itself() {
+    let dir = scratch("cachedir");
+    write_input(&dir);
+    let _ = std::fs::remove_dir_all(dir.join("plans"));
+    let args = [
+        "--cache-dir",
+        "plans",
+        "--explain-cache",
+        "--stats=json",
+        "mail.idl",
+    ];
+
+    let cold = flickc(&args, &dir);
+    assert!(cold.status.success(), "{cold:?}");
+    let err = String::from_utf8_lossy(&cold.stderr);
+    assert!(err.contains("Mail_send"), "{err}");
+    assert!(err.contains("miss (first compile)"), "{err}");
+    assert!(err.contains("\"cache.stub.miss\":1"), "{err}");
+    assert!(dir.join("plans/index.tsv").is_file(), "index persisted");
+
+    // A second process over the same directory hits from disk and
+    // emits byte-identical code.
+    let warm = flickc(&args, &dir);
+    assert!(warm.status.success(), "{warm:?}");
+    let err = String::from_utf8_lossy(&warm.stderr);
+    assert!(err.contains("hit  (disk)"), "{err}");
+    assert!(err.contains("\"cache.stub.hit\":1"), "{err}");
+    assert!(err.contains("\"cache.stub.miss\":0"), "{err}");
+    assert_eq!(cold.stdout, warm.stdout, "warm output must be identical");
+
+    // Adding one operation replans only the new stub: `send` is
+    // structurally unchanged and still hits from disk.
+    std::fs::write(
+        dir.join("mail.idl"),
+        "interface Mail { void send(in string msg); void purge(in long days); };",
+    )
+    .expect("edit input");
+    let edited = flickc(&args, &dir);
+    assert!(edited.status.success(), "{edited:?}");
+    let err = String::from_utf8_lossy(&edited.stderr);
+    assert!(err.contains("\"cache.stub.hit\":1"), "{err}");
+    assert!(err.contains("\"cache.stub.miss\":1"), "{err}");
+    assert!(err.contains("Mail_purge"), "{err}");
+}
+
+#[test]
+fn stats_json_counters_are_sorted() {
+    let dir = scratch("sortedjson");
+    write_input(&dir);
+    let out = flickc(&["--stats=json", "--emit", "rust", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    let json = err.lines().find(|l| l.starts_with('{')).expect("JSON line");
+    let counters = &json[json.find("\"counters\":{").expect("counters object")..];
+    let mut keys: Vec<&str> = counters
+        .split('"')
+        .skip(3)
+        .step_by(2)
+        .take_while(|k| !k.is_empty())
+        .collect();
+    assert!(keys.len() > 3, "{counters}");
+    let printed = keys.clone();
+    keys.sort_unstable();
+    assert_eq!(printed, keys, "counter keys must print sorted");
+}
+
+#[test]
+fn pass_budget_overrun_warns_and_counts() {
+    let dir = scratch("budget");
+    write_input(&dir);
+    let out = flickc(
+        &[
+            "--pass-budget",
+            "0",
+            "--stats=json",
+            "--emit",
+            "rust",
+            "mail.idl",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "a budget overrun is not fatal: {out:?}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("warning: pass classify-storage overran"),
+        "{err}"
+    );
+    assert!(err.contains(".budget_overrun\":1"), "{err}");
+
+    let bad = flickc(&["--pass-budget", "lots", "mail.idl"], &dir);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--pass-budget needs a number"));
+}
+
+#[test]
 fn stats_text_lists_decision_counters() {
     let dir = scratch("statstext");
     write_input(&dir);

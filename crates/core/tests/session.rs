@@ -1,0 +1,182 @@
+//! Incremental-session semantics: warm recompiles are byte-identical
+//! and hit on every stub; an edit replans only the stubs it touched;
+//! reconfiguring the optimizer invalidates everything it must.
+
+use flick::{CompileSession, Compiler, Frontend, OptFlags, Style, Transport};
+use flick_pres::Side;
+
+const CALC_V1: &str = "\
+interface Calc {
+    long add(in long a, in long b);
+    long mul(in long a, in long b);
+};";
+
+/// Same file with one operation edited (`mul` gains a parameter);
+/// `add` is untouched.
+const CALC_V2: &str = "\
+interface Calc {
+    long add(in long a, in long b);
+    long mul(in long a, in long b, in long c);
+};";
+
+fn compiler() -> Compiler {
+    Compiler::new(Frontend::Corba, Style::CorbaC, Transport::IiopTcp)
+}
+
+fn counters(out: &flick::CompileOutput) -> (u64, u64) {
+    let t = &out.report.trace;
+    (
+        t.counter("cache.stub.hit").unwrap(),
+        t.counter("cache.stub.miss").unwrap(),
+    )
+}
+
+#[test]
+fn warm_recompile_is_byte_identical_and_all_hits() {
+    let mut s = CompileSession::new(compiler());
+    let cold = s
+        .compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&cold), (0, 2), "cold compile misses both stubs");
+
+    let warm = s
+        .recompile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&warm), (2, 0), "warm recompile hits both stubs");
+    assert_eq!(cold.c_source, warm.c_source);
+    assert_eq!(cold.rust_source, warm.rust_source);
+    let stats = s.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 2, 0));
+}
+
+#[test]
+fn editing_one_operation_replans_only_that_stub() {
+    let mut s = CompileSession::new(compiler());
+    let v1 = s
+        .compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&v1), (0, 2));
+
+    let v2 = s
+        .recompile("calc.idl", CALC_V2, "Calc", Side::Client)
+        .unwrap();
+    // `add` is structurally unchanged → hit; the edited `mul` misses.
+    assert_eq!(counters(&v2), (1, 1), "only the edited stub replans");
+    let report = v2.report.cache.as_ref().expect("cache report");
+    let miss: Vec<&str> = report
+        .entries
+        .iter()
+        .filter(|e| !e.hit)
+        .map(|e| e.stub.as_str())
+        .collect();
+    assert_eq!(miss, ["Calc_mul"]);
+    assert!(v2.rust_source.contains("encode_mul_request"));
+
+    // A throwaway compiler on v2 must agree byte for byte with the
+    // half-cached session output.
+    let fresh = compiler()
+        .compile_source("calc.idl", CALC_V2, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(fresh.c_source, v2.c_source);
+    assert_eq!(fresh.rust_source, v2.rust_source);
+}
+
+#[test]
+fn reconfiguring_the_optimizer_invalidates_every_stub() {
+    let mut s = CompileSession::new(compiler());
+    s.compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+
+    // Changing OptFlags rebuilds the pass pipeline → new fingerprint.
+    *s.compiler_mut() = compiler().with_opts(OptFlags::none());
+    let out = s
+        .recompile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&out), (0, 2), "new pipeline misses everything");
+    for e in &out.report.cache.as_ref().unwrap().entries {
+        assert_eq!(e.detail, "pass pipeline changed");
+    }
+
+    // So does dropping one pass explicitly…
+    *s.compiler_mut() = compiler();
+    s.compiler_mut().backend.disabled_passes = vec!["coalesce-memcpy".into()];
+    let out = s
+        .recompile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&out), (0, 2));
+
+    // …while switching the transport changes the wire encoding.
+    *s.compiler_mut() = Compiler::new(Frontend::Corba, Style::CorbaC, Transport::OncTcp);
+    let out = s
+        .recompile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&out), (0, 2));
+    for e in &out.report.cache.as_ref().unwrap().entries {
+        assert_eq!(e.detail, "encoding changed");
+    }
+
+    // Restoring the original configuration hits again: entries are
+    // content-addressed, never destructively invalidated.
+    *s.compiler_mut() = compiler();
+    let out = s
+        .recompile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&out), (2, 0), "original keys still resident");
+}
+
+#[test]
+fn disk_cache_warms_a_second_session() {
+    let dir = std::env::temp_dir().join(format!("flick-session-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut first = CompileSession::with_cache_dir(compiler(), &dir).unwrap();
+    let cold = first
+        .compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    drop(first);
+
+    // A new session over the same directory models a new process.
+    let mut second = CompileSession::with_cache_dir(compiler(), &dir).unwrap();
+    let warm = second
+        .compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&warm), (2, 0), "disk tier survives the session");
+    assert_eq!(cold.c_source, warm.c_source);
+    assert_eq!(cold.rust_source, warm.rust_source);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn budget_overruns_surface_as_warnings_and_counters() {
+    // An impossible budget of 0 decisions: every pass that makes a
+    // decision on this input overruns and must say so.
+    let mut c = compiler();
+    c.backend.pass_budget = Some(0);
+    let out = c
+        .compile_source("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert!(
+        out.report
+            .trace
+            .counter("pass.classify-storage.budget_overrun")
+            == Some(1),
+        "classify-storage decides per stub, so budget 0 overruns"
+    );
+    assert!(
+        out.report
+            .warnings
+            .iter()
+            .any(|w| w.contains("classify-storage") && w.contains("budget")),
+        "warnings: {:?}",
+        out.report.warnings
+    );
+
+    // A generous budget overruns nothing.
+    let mut c = compiler();
+    c.backend.pass_budget = Some(1_000_000);
+    let out = c
+        .compile_source("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert!(out.report.warnings.is_empty());
+}

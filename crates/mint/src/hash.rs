@@ -1,0 +1,176 @@
+//! Stable structural hashing of MINT subgraphs.
+//!
+//! A [`MintId`](crate::MintId) is an arena index — two semantically
+//! identical graphs built in different orders assign different ids, so
+//! ids must never leak into a content hash.  This module hashes the
+//! *structure* reachable from a root instead: each node contributes a
+//! variant tag plus its scalar payload, children are hashed in
+//! declaration order, and cycles (reserve/patch knots) are broken with
+//! de Bruijn-style back-references — the distance, in enclosing nodes,
+//! from the reference back up to the node it re-enters.  Distance is
+//! position-independent, so `list -> opt -> list` hashes identically no
+//! matter where the knot sits in the arena.
+
+use crate::{MintGraph, MintId, MintNode, ScalarKind};
+use flick_stablehash::StableHasher;
+
+/// Digest of the structure reachable from `root`.
+#[must_use]
+pub fn subgraph_hash(g: &MintGraph, root: MintId) -> u64 {
+    let mut h = StableHasher::new();
+    subgraph_hash_into(g, root, &mut h);
+    h.finish()
+}
+
+/// Absorbs the structure reachable from `root` into an existing hasher
+/// (for callers interleaving MINT with other IR content).
+pub fn subgraph_hash_into(g: &MintGraph, root: MintId, h: &mut StableHasher) {
+    let mut stack = Vec::new();
+    hash_node(g, root, h, &mut stack);
+}
+
+fn hash_node(g: &MintGraph, id: MintId, h: &mut StableHasher, stack: &mut Vec<MintId>) {
+    if let Some(pos) = stack.iter().rposition(|&seen| seen == id) {
+        // Cycle: hash the re-entry depth, not the arena id.
+        h.write_tag(8);
+        h.write_u64((stack.len() - pos) as u64);
+        return;
+    }
+    stack.push(id);
+    match g.get(id) {
+        MintNode::Void => h.write_tag(0),
+        MintNode::Integer { min, range } => {
+            h.write_tag(1);
+            h.write_i64(*min);
+            h.write_u64(*range);
+        }
+        MintNode::Scalar(kind) => {
+            h.write_tag(2);
+            h.write_tag(match kind {
+                ScalarKind::Bool => 0,
+                ScalarKind::Char8 => 1,
+                ScalarKind::Float32 => 2,
+                ScalarKind::Float64 => 3,
+            });
+        }
+        MintNode::Array { elem, len } => {
+            h.write_tag(3);
+            hash_node(g, *elem, h, stack);
+            h.write_u64(len.min);
+            match len.max {
+                None => h.write_tag(0),
+                Some(m) => {
+                    h.write_tag(1);
+                    h.write_u64(m);
+                }
+            }
+        }
+        MintNode::Struct { slots } => {
+            h.write_tag(4);
+            h.write_u64(slots.len() as u64);
+            for (name, slot) in slots {
+                h.write_str(name);
+                hash_node(g, *slot, h, stack);
+            }
+        }
+        MintNode::Union {
+            discrim,
+            cases,
+            default,
+        } => {
+            h.write_tag(5);
+            hash_node(g, *discrim, h, stack);
+            h.write_u64(cases.len() as u64);
+            for (val, body) in cases {
+                h.write_i64(*val);
+                hash_node(g, *body, h, stack);
+            }
+            match default {
+                None => h.write_tag(0),
+                Some(d) => {
+                    h.write_tag(1);
+                    hash_node(g, *d, h, stack);
+                }
+            }
+        }
+        MintNode::Const { ty, value } => {
+            h.write_tag(6);
+            hash_node(g, *ty, h, stack);
+            match value {
+                crate::ConstVal::Signed(v) => {
+                    h.write_tag(0);
+                    h.write_i64(*v);
+                }
+                crate::ConstVal::Unsigned(v) => {
+                    h.write_tag(1);
+                    h.write_u64(*v);
+                }
+            }
+        }
+    }
+    stack.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstVal;
+
+    fn list_graph(extra_atoms: usize) -> (MintGraph, MintId) {
+        // A self-referential list, optionally preceded by unrelated
+        // nodes so the arena indices shift between the two builds.
+        let mut g = MintGraph::new();
+        for i in 0..extra_atoms {
+            let _ = g.add(MintNode::integer_bits(
+                false,
+                if i % 2 == 0 { 8 } else { 16 },
+            ));
+        }
+        let i = g.i32();
+        let list = g.reserve();
+        let b = g.boolean();
+        let v = g.void();
+        let opt = g.union(b, vec![(0, v), (1, list)], None);
+        let node = g.structure(vec![("v".into(), i), ("next".into(), opt)]);
+        let patched = g.get(node).clone();
+        g.patch(list, patched);
+        (g, list)
+    }
+
+    #[test]
+    fn hash_ignores_arena_positions() {
+        let (g1, r1) = list_graph(0);
+        let (g2, r2) = list_graph(5);
+        assert_ne!(r1, r2, "arenas should differ so the test is meaningful");
+        assert_eq!(subgraph_hash(&g1, r1), subgraph_hash(&g2, r2));
+    }
+
+    #[test]
+    fn hash_terminates_on_cycles_and_sees_structure() {
+        let (g, root) = list_graph(0);
+        let h1 = subgraph_hash(&g, root);
+        // A list of i64 instead of i32 must hash differently.
+        let mut g2 = MintGraph::new();
+        let i = g2.i64();
+        let list = g2.reserve();
+        let b = g2.boolean();
+        let v = g2.void();
+        let opt = g2.union(b, vec![(0, v), (1, list)], None);
+        let node = g2.structure(vec![("v".into(), i), ("next".into(), opt)]);
+        let patched = g2.get(node).clone();
+        g2.patch(list, patched);
+        assert_ne!(h1, subgraph_hash(&g2, list));
+    }
+
+    #[test]
+    fn distinct_shapes_distinct_hashes() {
+        let mut g = MintGraph::new();
+        let i = g.i32();
+        let fixed = g.array_fixed(i, 4);
+        let varied = g.array_variable(i, Some(4));
+        assert_ne!(subgraph_hash(&g, fixed), subgraph_hash(&g, varied));
+        let c1 = g.constant(i, ConstVal::Signed(1));
+        let c2 = g.constant(i, ConstVal::Unsigned(1));
+        assert_ne!(subgraph_hash(&g, c1), subgraph_hash(&g, c2));
+    }
+}

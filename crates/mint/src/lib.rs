@@ -14,8 +14,10 @@
 //! tied with [`MintGraph::reserve`] + [`MintGraph::patch`].
 
 pub mod dot;
+pub mod hash;
 pub mod node;
 
+pub use hash::{subgraph_hash, subgraph_hash_into};
 pub use node::{ConstVal, LenBound, MintNode, ScalarKind};
 
 use std::collections::HashMap;

@@ -1,0 +1,275 @@
+//! Content addressing of stubs: a stable structural hash over
+//! everything in a PRES-C presentation that feeds one stub's plan.
+//!
+//! The incremental backend memoizes per-stub lowering and optimization
+//! keyed by `(stub_hash, encoding fingerprint, pipeline fingerprint)`.
+//! For that key to be sound, [`stub_hash`] must cover every input the
+//! lowerer reads for the stub — its operation metadata, each slot's
+//! binding, the PRES conversion trees, the presented C types, and the
+//! MINT message structure — and nothing that is merely incidental
+//! (arena indices, declaration positions in sibling interfaces).  Two
+//! presentations that assign different `PresId`/`MintId` numbers to
+//! identical structures therefore produce the same digest, which is
+//! exactly what lets an edited sibling interface leave this stub's
+//! cache entry valid.
+//!
+//! PRES trees can be cyclic (ONC linked lists tie knots with
+//! reserve/patch), so traversal carries an in-progress stack and hashes
+//! a cycle as the re-entry depth — the same de Bruijn scheme
+//! `flick_mint::subgraph_hash` uses.
+
+use flick_mint::subgraph_hash_into;
+use flick_stablehash::{StableHash, StableHasher};
+
+use crate::node::{AllocSem, AllocStrategy, PresId, PresNode};
+use crate::stub::{MessagePres, Stub, StubKind};
+use crate::PresC;
+
+/// Digest of everything `stub`'s plan depends on within `presc`.
+#[must_use]
+pub fn stub_hash(presc: &PresC, stub: &Stub) -> u64 {
+    let mut h = StableHasher::new();
+    stub.name.stable_hash(&mut h);
+    h.write_tag(match stub.kind {
+        StubKind::ClientCall => 0,
+        StubKind::ServerDispatch => 1,
+        StubKind::ServerWork => 2,
+        StubKind::OnewaySend => 3,
+    });
+    stub.op.name.stable_hash(&mut h);
+    h.write_u64(stub.op.request_code);
+    stub.op.wire_name.stable_hash(&mut h);
+    h.write_bool(stub.op.oneway);
+    hash_message(presc, &stub.request, &mut h);
+    hash_message(presc, &stub.reply, &mut h);
+    h.finish()
+}
+
+fn hash_message(presc: &PresC, msg: &MessagePres, h: &mut StableHasher) {
+    subgraph_hash_into(&presc.mint, msg.mint, h);
+    h.write_u64(msg.slots.len() as u64);
+    for slot in &msg.slots {
+        slot.c_name.stable_hash(h);
+        h.write_bool(slot.by_ref);
+        let mut stack = Vec::new();
+        hash_pres(presc, slot.pres, h, &mut stack);
+    }
+}
+
+fn hash_alloc(alloc: &AllocSem, h: &mut StableHasher) {
+    h.write_bool(alloc.may_use_stack);
+    h.write_bool(alloc.may_use_buffer);
+    h.write_tag(match alloc.fallback {
+        AllocStrategy::Heap => 0,
+        AllocStrategy::PresentationAllocator => 1,
+    });
+}
+
+fn hash_pres(presc: &PresC, id: PresId, h: &mut StableHasher, stack: &mut Vec<PresId>) {
+    if let Some(pos) = stack.iter().rposition(|&seen| seen == id) {
+        // Recursive presentation: hash the re-entry depth, not the id.
+        h.write_tag(10);
+        h.write_u64((stack.len() - pos) as u64);
+        return;
+    }
+    stack.push(id);
+    match presc.pres.get(id) {
+        PresNode::Void => h.write_tag(0),
+        PresNode::Direct { mint, ctype } => {
+            h.write_tag(1);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            ctype.stable_hash(h);
+        }
+        PresNode::EnumMap { mint, ctype } => {
+            h.write_tag(2);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            ctype.stable_hash(h);
+        }
+        PresNode::FixedArray {
+            mint,
+            elem,
+            len,
+            ctype,
+        } => {
+            h.write_tag(3);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            hash_pres(presc, *elem, h, stack);
+            h.write_u64(*len);
+            ctype.stable_hash(h);
+        }
+        PresNode::OptPtr {
+            mint,
+            elem,
+            ctype,
+            alloc,
+        } => {
+            h.write_tag(4);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            hash_pres(presc, *elem, h, stack);
+            ctype.stable_hash(h);
+            hash_alloc(alloc, h);
+        }
+        PresNode::TerminatedString { mint, alloc } => {
+            h.write_tag(5);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            hash_alloc(alloc, h);
+        }
+        PresNode::CountedSeq {
+            mint,
+            elem,
+            ctype,
+            length_field,
+            maximum_field,
+            buffer_field,
+            alloc,
+        } => {
+            h.write_tag(6);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            hash_pres(presc, *elem, h, stack);
+            ctype.stable_hash(h);
+            length_field.stable_hash(h);
+            maximum_field.stable_hash(h);
+            buffer_field.stable_hash(h);
+            hash_alloc(alloc, h);
+        }
+        PresNode::StructMap {
+            mint,
+            ctype,
+            fields,
+        } => {
+            h.write_tag(7);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            ctype.stable_hash(h);
+            h.write_u64(fields.len() as u64);
+            for (name, field) in fields {
+                name.stable_hash(h);
+                hash_pres(presc, *field, h, stack);
+            }
+        }
+        PresNode::UnionMap {
+            mint,
+            ctype,
+            discrim,
+            discrim_field,
+            cases,
+            default,
+        } => {
+            h.write_tag(8);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            ctype.stable_hash(h);
+            hash_pres(presc, *discrim, h, stack);
+            discrim_field.stable_hash(h);
+            h.write_u64(cases.len() as u64);
+            for (val, name, case) in cases {
+                h.write_i64(*val);
+                name.stable_hash(h);
+                hash_pres(presc, *case, h, stack);
+            }
+            match default {
+                None => h.write_tag(0),
+                Some((name, node)) => {
+                    h.write_tag(1);
+                    name.stable_hash(h);
+                    hash_pres(presc, *node, h, stack);
+                }
+            }
+        }
+        PresNode::OptionalPtr {
+            mint,
+            elem,
+            ctype,
+            alloc,
+        } => {
+            h.write_tag(9);
+            subgraph_hash_into(&presc.mint, *mint, h);
+            hash_pres(presc, *elem, h, stack);
+            ctype.stable_hash(h);
+            hash_alloc(alloc, h);
+        }
+    }
+    stack.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PresTree;
+    use crate::stub::{OpInfo, ParamBinding, Side};
+    use flick_cast::{CFunction, CType, CUnit};
+    use flick_mint::MintGraph;
+
+    /// Builds a one-stub presentation; `padding` shifts every arena
+    /// index without changing the stub's structure.
+    fn sample(padding: usize, ctype: CType) -> PresC {
+        let mut mint = MintGraph::new();
+        let mut pres = PresTree::new();
+        for i in 0..padding {
+            let filler = mint.add(flick_mint::MintNode::integer_bits(false, 8));
+            let _ = mint.array_fixed(filler, i as u64 + 1);
+            let _ = pres.add(PresNode::Void);
+        }
+        let m = mint.i32();
+        let req = mint.structure(vec![("x".into(), m)]);
+        let rep = mint.void();
+        let p = pres.add(PresNode::Direct {
+            mint: m,
+            ctype: ctype.clone(),
+        });
+        PresC {
+            side: Side::Client,
+            interface: "T".into(),
+            program: 0,
+            version: 0,
+            mint,
+            pres,
+            cast: CUnit::new(),
+            stubs: vec![Stub {
+                name: "T_op".into(),
+                kind: StubKind::ClientCall,
+                decl: CFunction {
+                    name: "T_op".into(),
+                    ret: CType::Void,
+                    params: vec![],
+                    body: None,
+                },
+                request: MessagePres {
+                    mint: req,
+                    slots: vec![ParamBinding {
+                        c_name: "x".into(),
+                        pres: p,
+                        by_ref: false,
+                    }],
+                },
+                reply: MessagePres {
+                    mint: rep,
+                    slots: vec![],
+                },
+                op: OpInfo {
+                    name: "op".into(),
+                    request_code: 1,
+                    wire_name: "op".into(),
+                    oneway: false,
+                },
+            }],
+            style: "test".into(),
+        }
+    }
+
+    #[test]
+    fn hash_is_position_independent() {
+        let a = sample(0, CType::Int);
+        let b = sample(7, CType::Int);
+        assert_eq!(
+            stub_hash(&a, &a.stubs[0]),
+            stub_hash(&b, &b.stubs[0]),
+            "arena padding must not change the content hash"
+        );
+    }
+
+    #[test]
+    fn hash_sees_presented_type_changes() {
+        let a = sample(0, CType::Int);
+        let b = sample(0, CType::Long);
+        assert_ne!(stub_hash(&a, &a.stubs[0]), stub_hash(&b, &b.stubs[0]));
+    }
+}

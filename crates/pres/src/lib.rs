@@ -16,10 +16,12 @@
 //! message format, data encoding, and communication mechanism — which
 //! is the domain of the back ends.
 
+pub mod hash;
 pub mod node;
 pub mod print;
 pub mod stub;
 
+pub use hash::stub_hash;
 pub use node::{AllocSem, AllocStrategy, PresId, PresNode, PresTree};
 pub use stub::{MessagePres, OpInfo, ParamBinding, Side, Stub, StubKind};
 

@@ -1,0 +1,255 @@
+//! Deterministic structural hashing for the compiler IRs.
+//!
+//! The incremental compile machinery keys cached per-stub work on the
+//! *content* of the IR that feeds it: the PRES/MINT subtrees a stub
+//! marshals, the wire encoding, and the pass-pipeline configuration.
+//! Rust's `std::hash::Hash`/`DefaultHasher` is explicitly unsuitable
+//! for that — its output may change between releases and processes —
+//! so this crate provides a tiny fixed algorithm whose digests are
+//! stable across runs, processes, and platforms, and a [`StableHash`]
+//! trait the IR crates implement structurally (no pointer identity, no
+//! arena indices, no map-iteration-order leaks).
+//!
+//! The algorithm is 64-bit FNV-1a with explicit length/discriminant
+//! framing.  Framing matters: hashing `"ab"` then `"c"` must differ
+//! from `"a"` then `"bc"`, and `Some(0)` must differ from `None`
+//! followed by an unrelated zero.  Every variable-length write is
+//! therefore preceded by its length, and every enum hashes a
+//! discriminant tag before its payload.
+
+/// 64-bit FNV-1a with length-prefixed framing.
+///
+/// Not a cryptographic hash — collisions are possible in principle —
+/// but the cache it feeds re-emits deterministically on a miss, so a
+/// collision can only cause a *stale reuse*, and 64 bits over the few
+/// thousand stubs a session sees makes that astronomically unlikely.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A fresh hasher in the canonical initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes (no framing — callers frame).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` (two's-complement bytes).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a single byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorbs a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs an enum discriminant tag (frames variant payloads).
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write_u8(tag);
+    }
+
+    /// The digest of everything absorbed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A type whose values hash structurally and deterministically.
+///
+/// Implementations must depend only on the value's *structure* —
+/// never on addresses, arena indices, or unordered-container
+/// iteration order — so equal structures hash equally across
+/// processes and compiles.
+pub trait StableHash {
+    /// Absorbs `self` into `h`.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+/// One-shot digest of a single value.
+#[must_use]
+pub fn hash_of<T: StableHash + ?Sized>(v: &T) -> u64 {
+    let mut h = StableHasher::new();
+    v.stable_hash(&mut h);
+    h.finish()
+}
+
+impl StableHash for u8 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(*self);
+    }
+}
+
+impl StableHash for u32 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(*self));
+    }
+}
+
+impl StableHash for u64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl StableHash for i64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_i64(*self);
+    }
+}
+
+impl StableHash for usize {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_bool(*self);
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_tag(0),
+            Some(v) => {
+                h.write_tag(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for Box<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash, C: StableHash> StableHash for (A, B, C) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+        self.2.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_fixed_across_processes() {
+        // Golden values: if these change, every on-disk cache and the
+        // checked-in golden hash file silently invalidate.  Changing
+        // the algorithm is allowed but must be deliberate.
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_of("flick"), hash_of(&"flick".to_string()));
+    }
+
+    #[test]
+    fn framing_distinguishes_concatenations() {
+        let mut a = StableHasher::new();
+        "ab".stable_hash(&mut a);
+        "c".stable_hash(&mut a);
+        let mut b = StableHasher::new();
+        "a".stable_hash(&mut b);
+        "bc".stable_hash(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn options_and_tags_frame() {
+        assert_ne!(hash_of(&None::<u64>), hash_of(&Some(0u64)));
+        let mut a = StableHasher::new();
+        None::<u64>.stable_hash(&mut a);
+        0u64.stable_hash(&mut a);
+        assert_ne!(a.finish(), hash_of(&Some(0u64)));
+    }
+
+    #[test]
+    fn vec_length_prefixed() {
+        assert_ne!(hash_of(&vec![1u64, 2]), hash_of(&vec![1u64, 2, 0]));
+        assert_eq!(hash_of(&vec![7u64]), hash_of(&[7u64][..]));
+    }
+}

@@ -116,7 +116,8 @@ impl TraceReport {
     }
 
     /// The report as one JSON object with `spans`, `total_ns`, and
-    /// `counters` fields.
+    /// `counters` fields.  Spans keep execution order; counters are
+    /// sorted by name so diffs between runs are stable.
     #[must_use]
     pub fn to_json(&self) -> String {
         let spans = self
@@ -129,8 +130,10 @@ impl TraceReport {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let mut sorted: Vec<&(String, u64)> = self.counters.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
         let mut counters = json::ObjectWriter::new();
-        for (name, v) in &self.counters {
+        for (name, v) in sorted {
             counters.u64_field(name, *v);
         }
         let mut root = json::ObjectWriter::new();
@@ -208,6 +211,21 @@ mod tests {
             "{\"spans\":[{\"name\":\"parse\",\"ns\":10}],\"total_ns\":10,\
              \"counters\":{\"casts\":2}}"
         );
+    }
+
+    #[test]
+    fn json_counters_sort_by_name() {
+        let mut r = TraceReport::new();
+        r.set_counter("zeta", 1);
+        r.set_counter("alpha", 2);
+        r.set_counter("mid", 3);
+        let j = r.to_json();
+        let a = j.find("\"alpha\"").unwrap();
+        let m = j.find("\"mid\"").unwrap();
+        let z = j.find("\"zeta\"").unwrap();
+        assert!(a < m && m < z, "{j}");
+        // Insertion order is preserved for callers reading the struct.
+        assert_eq!(r.counters[0].0, "zeta");
     }
 
     #[test]
