@@ -41,7 +41,7 @@ use crate::mir::{MsgPlan, PlanNode, PlanResult, SlotPlan, StubPlan};
 
 /// Version header of serialized entries; bump when the format or the
 /// MIR it describes changes shape.
-const CACHE_FORMAT: &str = "flick-plan-cache v1";
+const CACHE_FORMAT: &str = "flick-plan-cache v2";
 
 /// Guard against pathological structural expansions (deeply shared
 /// DAGs expand multiplicatively).  Hitting the cap makes the stub
@@ -241,7 +241,10 @@ impl PlanCache {
             None => "first compile".to_string(),
             Some(prev) if prev.pres_hash != key.pres_hash => "presentation changed".to_string(),
             Some(prev) if prev.enc_fp != key.enc_fp => "encoding changed".to_string(),
-            Some(prev) if prev.pipe_fp != key.pipe_fp => "pass pipeline changed".to_string(),
+            Some(prev) if prev.pipe_fp != key.pipe_fp => format!(
+                "pass pipeline changed (fingerprint {:016x} -> {:016x})",
+                prev.pipe_fp, key.pipe_fp
+            ),
             Some(_) => "evicted or cold cache".to_string(),
         }
     }
@@ -720,6 +723,8 @@ fn write_msg(w: &mut Writer, msg: &MsgPlan, idx: &PresIndex) -> Result<(), Strin
     for slot in &msg.slots {
         w.string(&slot.name);
         w.boolean(slot.by_ref);
+        w.boolean(slot.live);
+        w.opt_num(slot.alias);
         write_pres(w, idx, slot.pres)?;
         write_node(w, &slot.node, idx)?;
     }
@@ -740,11 +745,15 @@ fn read_msg(
     for _ in 0..n {
         let name = r.string()?;
         let by_ref = r.boolean()?;
+        let live = r.boolean()?;
+        let alias = r.opt_num()?;
         let pres = read_pres(r, idx)?;
         let node = read_node(r, presc, enc, idx)?;
         slots.push(SlotPlan {
             name,
             by_ref,
+            live,
+            alias,
             pres,
             node,
         });
@@ -1180,7 +1189,12 @@ mod tests {
         };
         assert_eq!(fresh.miss_reason("I_put", &changed), "presentation changed");
         let repipe = StubKey { pipe_fp: 1, ..key };
-        assert_eq!(fresh.miss_reason("I_put", &repipe), "pass pipeline changed");
+        let reason = fresh.miss_reason("I_put", &repipe);
+        assert!(reason.starts_with("pass pipeline changed"), "{reason}");
+        assert!(
+            reason.contains("0000000000000009 -> 0000000000000001"),
+            "old and new fingerprints must be printed: {reason}"
+        );
         assert_eq!(fresh.miss_reason("other", &key), "first compile");
         let _ = std::fs::remove_dir_all(&dir);
     }

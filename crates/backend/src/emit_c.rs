@@ -511,8 +511,28 @@ impl<'a> CEmitter<'a> {
             )));
             covered = true;
         }
-        for (slot, pres_slot) in plan.request.slots.iter().zip(stub.request.slots.iter()) {
-            let base = if pres_slot.by_ref {
+        // Bind plan slots to presentation slots by name, not position:
+        // the `dead-slot` pass may have removed plan slots that the
+        // presentation still records (as `live: false` bindings).
+        for slot in &plan.request.slots.clone() {
+            if !slot.live {
+                // Dead slot with the pass disabled: the wire still
+                // carries the field, but no C parameter exists for it —
+                // marshal a zero.
+                body.push(CStmt::Comment(format!(
+                    "dead slot `{}`: never presented, wire gets zero",
+                    slot.name
+                )));
+                self.encode(&slot.node.clone(), CExpr::Int(0), covered, &mut body);
+                continue;
+            }
+            let by_ref = stub
+                .request
+                .slots
+                .iter()
+                .find(|b| b.c_name == slot.name)
+                .is_some_and(|b| b.by_ref);
+            let base = if by_ref {
                 ident(&slot.name).deref()
             } else {
                 ident(&slot.name)
@@ -530,8 +550,21 @@ impl<'a> CEmitter<'a> {
         if !plan.op.oneway && !plan.reply.slots.is_empty() {
             body.push(CStmt::Comment("unmarshal reply values".into()));
             let mut ret_decl: Option<CType> = None;
-            for (slot, pres_slot) in plan.reply.slots.iter().zip(stub.reply.slots.iter()) {
-                if slot.name == "_return" {
+            for (i, slot) in plan.reply.slots.iter().enumerate() {
+                if !slot.live {
+                    // Dead reply slot: decode into a scratch local and
+                    // discard (no C location exists for it).
+                    let scratch = format!("_dead{i}");
+                    body.push(CStmt::Comment(format!(
+                        "dead slot `{}`: decoded and discarded",
+                        slot.name
+                    )));
+                    body.push(CStmt::decl(scratch.clone(), CType::Long));
+                    body.push(CStmt::expr(CExpr::call(
+                        "flick_decode_slot",
+                        vec![ident("_buf"), ident(&scratch).addr_of()],
+                    )));
+                } else if slot.name == "_return" {
                     // Returned by value: decode into a local.
                     ret_decl = Some(stub.decl.ret.clone());
                     body.insert(1, CStmt::decl("_return", stub.decl.ret.clone()));
@@ -541,7 +574,6 @@ impl<'a> CEmitter<'a> {
                     )));
                 } else {
                     // Out parameters are already pointers.
-                    let _ = pres_slot;
                     body.push(CStmt::expr(CExpr::call(
                         "flick_decode_slot",
                         vec![ident("_buf"), ident(&slot.name)],
@@ -570,6 +602,7 @@ impl<'a> CEmitter<'a> {
                 .request
                 .slots
                 .iter()
+                .filter(|slot| slot.live)
                 .map(|slot| CParam {
                     name: slot.name.clone(),
                     ty: stub
@@ -600,6 +633,11 @@ impl<'a> CEmitter<'a> {
     /// The server dispatch function: a `switch` over the request code
     /// with per-operation unmarshal + work-call + reply marshal inlined
     /// into each arm (§3.3).
+    ///
+    /// `reply-alias` is deliberately a no-op on this path: the C
+    /// dispatch delegates reply marshaling to the work function, so
+    /// there are no reply bytes here to alias back to the request.  The
+    /// Rust emitter carries the optimization.
     fn dispatch(&mut self, presc: &PresC, plans: &[StubPlan]) -> CFunction {
         let mut cases = Vec::new();
         for plan in plans {
@@ -615,14 +653,31 @@ impl<'a> CEmitter<'a> {
                 plan.op.name
             )));
             let mut args = Vec::new();
-            for (i, (slot, pres_slot)) in plan
-                .request
-                .slots
-                .iter()
-                .zip(stub.request.slots.iter())
-                .enumerate()
-            {
+            for (i, slot) in plan.request.slots.iter().enumerate() {
                 let var = format!("_arg{i}");
+                if !slot.live {
+                    // Dead slot with the pass disabled: the wire still
+                    // carries the field, so decode it into a scratch
+                    // local the work call never sees.
+                    body.push(CStmt::Comment(format!(
+                        "dead slot `{}`: decoded and discarded",
+                        slot.name
+                    )));
+                    body.push(CStmt::decl(var.clone(), CType::Long));
+                    body.push(CStmt::expr(CExpr::call(
+                        "flick_decode_slot",
+                        vec![ident("_msg"), ident(&var).addr_of()],
+                    )));
+                    continue;
+                }
+                // Bind presentation slots by name, not position: the
+                // `dead-slot` pass may have removed earlier plan slots.
+                let by_ref = stub
+                    .request
+                    .slots
+                    .iter()
+                    .find(|b| b.c_name == slot.name)
+                    .is_some_and(|b| b.by_ref);
                 // Declare a local of the parameter's value type (one
                 // pointer stripped for by-ref parameters).
                 let param_ty = stub
@@ -631,7 +686,7 @@ impl<'a> CEmitter<'a> {
                     .iter()
                     .find(|p| p.name == slot.name)
                     .map_or(CType::Int, |p| p.ty.clone());
-                let (local_ty, pass_by_ref) = match (&param_ty, pres_slot.by_ref) {
+                let (local_ty, pass_by_ref) = match (&param_ty, by_ref) {
                     (CType::Pointer(inner), true) => ((**inner).clone(), true),
                     _ => (param_ty.clone(), false),
                 };

@@ -156,6 +156,10 @@ pub struct BackEnd {
     /// Per-pass decision budget (`flickc --pass-budget`): passes that
     /// exceed it report an overrun, and passes that can stop early do.
     pub pass_budget: Option<u64>,
+    /// Per-pass wall-time budget in milliseconds
+    /// (`flickc --pass-budget-ms`): passes running past the deadline
+    /// report an ms overrun, and passes that can stop early do.
+    pub pass_budget_ms: Option<u64>,
 }
 
 impl BackEnd {
@@ -171,6 +175,7 @@ impl BackEnd {
             verify_mir: cfg!(debug_assertions),
             dump_mir: None,
             pass_budget: None,
+            pass_budget_ms: None,
         }
     }
 
@@ -221,6 +226,7 @@ impl BackEnd {
         let mut pipeline = PassPipeline::from_opts(&self.opts);
         pipeline.verify = self.verify_mir;
         pipeline.budget = self.pass_budget;
+        pipeline.budget_ms = self.pass_budget_ms;
         for name in &self.disabled_passes {
             pipeline.disable(name).map_err(plan_err)?;
         }
@@ -239,6 +245,11 @@ impl BackEnd {
                     passes: run.passes,
                     mir_dump: run.mir_dump,
                     overruns: run.overruns.iter().map(ToString::to_string).collect(),
+                    overruns_ms: run
+                        .overruns_ms
+                        .iter()
+                        .map(|&(n, ms)| (n.to_string(), ms))
+                        .collect(),
                     cache: None,
                     cache_ns: 0,
                 }
@@ -279,6 +290,7 @@ impl BackEnd {
                 passes: planned.passes,
                 mir_dump: planned.mir_dump,
                 overruns: planned.overruns,
+                overruns_ms: planned.overruns_ms,
                 cache: planned.cache,
                 cache_ns: planned.cache_ns,
             },
@@ -349,6 +361,14 @@ impl BackEnd {
         // Replan phase: only the misses run the per-stub pipeline.
         let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
         let mut overruns: Vec<String> = Vec::new();
+        let mut overruns_ms: Vec<(String, u64)> = Vec::new();
+        let add_ms = |list: &mut Vec<(String, u64)>, name: &str, ms: u64| match list
+            .iter_mut()
+            .find(|(n, _)| n == name)
+        {
+            Some(e) => e.1 += ms,
+            None => list.push((name.to_string(), ms)),
+        };
         let computed = run_miss_units(presc, &self.encoding, pipeline, &misses)?;
         for (i, unit) in misses.iter().zip(computed) {
             for span in &unit.passes {
@@ -360,6 +380,9 @@ impl BackEnd {
                 if !overruns.iter().any(|o| o == name) {
                     overruns.push((*name).to_string());
                 }
+            }
+            for (name, ms) in &unit.overruns_ms {
+                add_ms(&mut overruns_ms, name, *ms);
             }
             let mut mir = unit.mir;
             let stub = &presc.stubs[*i];
@@ -389,31 +412,47 @@ impl BackEnd {
             mir.outlines.extend(outlines);
         }
 
+        if pipeline.verify {
+            verify::verify(&mir, presc, &self.encoding)
+                .map_err(|e| format!("MIR verify after cached merge: {e}"))?;
+        }
+
         // Module-wide phase: demux needs every stub's wire name at
-        // once, so it runs on the merged module even on a full hit.
-        let mut demux_span = None;
-        if scheduled.contains(&"demux-switch") {
-            let pass = passes::DemuxSwitch;
+        // once (and merge-prefix rewrites the trie demux builds), so
+        // they run on the merged module even on a full hit.
+        let mut module_spans: Vec<PassSpan> = Vec::new();
+        let module_passes: [Box<dyn MirPass>; 2] =
+            [Box::new(passes::DemuxSwitch), Box::new(passes::MergePrefix)];
+        for pass in module_passes {
+            let name = pass.name();
+            if !scheduled.contains(&name) {
+                continue;
+            }
             let cx = passes::PassCx {
                 presc,
                 enc: &self.encoding,
             };
             let t = std::time::Instant::now();
+            let budget = pipeline.pass_budget();
             let (decisions, overran) = pass
-                .run_budgeted(&mut mir, &cx, pipeline.budget)
-                .map_err(|e| format!("pass demux-switch: {e}"))?;
-            if overran && !overruns.iter().any(|o| o == "demux-switch") {
-                overruns.push("demux-switch".to_string());
+                .run_budgeted(&mut mir, &cx, &budget)
+                .map_err(|e| format!("pass {name}: {e}"))?;
+            let ns = step_ns(t);
+            if overran && !overruns.iter().any(|o| o == name) {
+                overruns.push(name.to_string());
             }
-            demux_span = Some(PassSpan {
-                name: "demux-switch",
-                ns: step_ns(t),
+            if let Some(over) = passes::ms_overrun(pipeline.budget_ms, ns) {
+                add_ms(&mut overruns_ms, name, over);
+            }
+            module_spans.push(PassSpan {
+                name,
+                ns,
                 decisions,
             });
-        }
-        if pipeline.verify {
-            verify::verify(&mir, presc, &self.encoding)
-                .map_err(|e| format!("MIR verify after cached merge: {e}"))?;
+            if pipeline.verify {
+                verify::verify(&mir, presc, &self.encoding)
+                    .map_err(|e| format!("MIR verify after {name}: {e}"))?;
+            }
         }
 
         // Span shape matches the uncached run: lowering first, then
@@ -424,7 +463,7 @@ impl BackEnd {
             decisions: misses.len() as u64,
         }];
         for name in &scheduled {
-            if *name == "demux-switch" {
+            if passes::MODULE_WIDE_PASSES.contains(name) {
                 continue;
             }
             let (ns, decisions) = spans.get(name).copied().unwrap_or((0, 0));
@@ -434,7 +473,7 @@ impl BackEnd {
                 decisions,
             });
         }
-        pass_spans.extend(demux_span);
+        pass_spans.extend(module_spans);
 
         for (stub, key) in presc.stubs.iter().zip(&keys) {
             cache.remember(&stub.name, *key);
@@ -447,6 +486,7 @@ impl BackEnd {
             passes: pass_spans,
             mir_dump: None,
             overruns,
+            overruns_ms,
             cache: Some(report),
             cache_ns,
         })
@@ -459,6 +499,7 @@ struct Planned {
     passes: Vec<PassSpan>,
     mir_dump: Option<String>,
     overruns: Vec<String>,
+    overruns_ms: Vec<(String, u64)>,
     cache: Option<CacheReport>,
     cache_ns: u64,
 }
@@ -539,6 +580,9 @@ pub struct BackendTrace {
     pub mir_dump: Option<String>,
     /// Names of passes that overran the `--pass-budget`.
     pub overruns: Vec<String>,
+    /// `(pass, ms over)` for passes that ran past the
+    /// `--pass-budget-ms` wall-time budget.
+    pub overruns_ms: Vec<(String, u64)>,
     /// What the plan cache did, when one was in use.
     pub cache: Option<CacheReport>,
     /// Time spent in cache lookup/restore/store bookkeeping.
@@ -627,7 +671,7 @@ mod tests {
         assert!(
             r.entries
                 .iter()
-                .all(|e| e.detail == "pass pipeline changed"),
+                .all(|e| e.detail.starts_with("pass pipeline changed (fingerprint ")),
             "{:?}",
             r.entries
         );

@@ -183,6 +183,17 @@ pub struct SlotPlan {
     /// The PRES node this slot marshals (passes requery storage
     /// classes from the presentation).
     pub pres: PresId,
+    /// False when the presentation never surfaces this slot in the
+    /// generated signature.  Lowering copies the binding's liveness;
+    /// the `dead-slot` pass removes dead slots (emitters encode a
+    /// zero fill / decode-and-discard while the pass is off).
+    pub live: bool,
+    /// `Some(i)` when the `reply-alias` pass proved this *reply* slot
+    /// byte-identical to request slot `i` whenever the server echoes
+    /// the value unchanged: emitters reuse the request bytes (one
+    /// coalesced memcpy) behind a runtime equality guard instead of
+    /// re-marshaling.
+    pub alias: Option<usize>,
     /// The conversion tree.
     pub node: PlanNode,
 }
@@ -220,6 +231,19 @@ pub struct DemuxNode {
     pub word: usize,
     /// `(word value, arm)` in ascending word-value order.
     pub arms: Vec<(u32, DemuxArm)>,
+    /// Unmarshal steps common to *every* operation reachable from this
+    /// node, hoisted by the `merge-prefix` pass so the dispatcher
+    /// decodes the shared bytes once instead of per arm.
+    pub prefix: Vec<PrefixStep>,
+}
+
+/// One hoisted unmarshal step of a merged dispatch prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefixStep {
+    /// An aligned u32 length/count word (the count prefix of a counted
+    /// array, memcpy run, or string) — every arm's first slot starts
+    /// with one, so the switch reads it once and hands it down.
+    LenU32,
 }
 
 /// What a matched word leads to.
@@ -272,6 +296,10 @@ pub struct PlanStats {
     pub hoisted_checks: u64,
     /// Deepest inlined aggregate nesting in any plan tree.
     pub max_inline_depth: u64,
+    /// Reply slots aliased to request storage (`reply-alias`).
+    pub aliased_replies: u64,
+    /// Unmarshal steps hoisted into demux-trie nodes (`merge-prefix`).
+    pub merged_prefix_steps: u64,
 }
 
 impl PlanStats {
@@ -292,11 +320,29 @@ impl PlanStats {
                     s.walk(&slot.node, 0);
                 }
             }
+            s.aliased_replies += stub
+                .reply
+                .slots
+                .iter()
+                .filter(|s| s.alias.is_some())
+                .count() as u64;
         }
         for body in plans.outlines.values() {
             s.walk(body, 0);
         }
+        if let Demux::Trie(root) = &plans.demux {
+            s.count_prefix(root);
+        }
         s
+    }
+
+    fn count_prefix(&mut self, node: &DemuxNode) {
+        self.merged_prefix_steps += node.prefix.len() as u64;
+        for (_, arm) in &node.arms {
+            if let DemuxArm::Descend(child) = arm {
+                self.count_prefix(child);
+            }
+        }
     }
 
     fn walk(&mut self, node: &PlanNode, depth: u64) {
@@ -451,21 +497,59 @@ pub fn dump(mir: &StubPlans) -> String {
                 msg.class, msg.hoisted, msg.hoisted_capped
             );
             for slot in &msg.slots {
-                let _ = writeln!(
-                    out,
-                    "    slot {}{}:",
-                    slot.name,
-                    if slot.by_ref { " (by ref)" } else { "" }
-                );
+                let mut marks = String::new();
+                if slot.by_ref {
+                    marks.push_str(" (by ref)");
+                }
+                if !slot.live {
+                    marks.push_str(" (dead)");
+                }
+                if let Some(i) = slot.alias {
+                    let _ = write!(marks, " (alias request[{i}])");
+                }
+                let _ = writeln!(out, "    slot {}{}:", slot.name, marks);
                 dump_node(&mut out, &slot.node, 3);
             }
         }
+    }
+    if let Demux::Trie(root) = &mir.demux {
+        dump_trie(&mut out, root, 0);
     }
     for (key, body) in &mir.outlines {
         let _ = writeln!(out, "outline {key}:");
         dump_node(&mut out, body, 1);
     }
     out
+}
+
+fn dump_trie(out: &mut String, node: &DemuxNode, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let prefix = if node.prefix.is_empty() {
+        String::new()
+    } else {
+        format!(
+            " prefix=[{}]",
+            node.prefix
+                .iter()
+                .map(|s| match s {
+                    PrefixStep::LenU32 => "len-u32",
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let _ = writeln!(out, "{pad}trie word {}{prefix}:", node.word);
+    for (value, arm) in &node.arms {
+        match arm {
+            DemuxArm::Op(name) => {
+                let _ = writeln!(out, "{pad}  0x{value:08x} -> op \"{name}\"");
+            }
+            DemuxArm::Descend(child) => {
+                let _ = writeln!(out, "{pad}  0x{value:08x} ->");
+                dump_trie(out, child, depth + 2);
+            }
+        }
+    }
 }
 
 fn dump_node(out: &mut String, node: &PlanNode, depth: usize) {

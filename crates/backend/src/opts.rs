@@ -24,6 +24,18 @@ pub struct OptFlags {
     /// §3.1 parameter management: allow stack/in-place presentation of
     /// server `in` parameters (Rust: borrow from the receive buffer).
     pub param_mgmt: bool,
+    /// §3.1 dead-slot elimination: drop marshal/unmarshal work (and
+    /// wire bytes) for slots the PRES mapping never surfaces in the
+    /// presented signature.  Off ⇒ zero-fill on encode, discard on
+    /// decode.
+    pub dead_slot: bool,
+    /// §3.4 common-prefix merging: decode the unmarshal prefix shared
+    /// by every dispatch arm once, above the demux switch.
+    pub merge_prefix: bool,
+    /// §3.2 reply copy-avoidance: reply slots byte-identical to
+    /// request storage reuse the request bytes (one coalesced copy)
+    /// instead of re-marshaling.
+    pub reply_alias: bool,
     /// Variable-but-bounded threshold (bytes): bounded regions no
     /// larger than this get a single hoisted check (paper: 8 KB).
     pub bounded_threshold: u64,
@@ -39,6 +51,9 @@ impl OptFlags {
             memcpy: true,
             inline_marshal: true,
             param_mgmt: true,
+            dead_slot: true,
+            merge_prefix: true,
+            reply_alias: true,
             bounded_threshold: 8 * 1024,
         }
     }
@@ -52,6 +67,9 @@ impl OptFlags {
             memcpy: false,
             inline_marshal: false,
             param_mgmt: false,
+            dead_slot: false,
+            merge_prefix: false,
+            reply_alias: false,
             bounded_threshold: 8 * 1024,
         }
     }
@@ -71,8 +89,10 @@ mod tests {
     fn presets() {
         let a = OptFlags::all();
         assert!(a.hoist_checks && a.chunking && a.memcpy && a.inline_marshal && a.param_mgmt);
+        assert!(a.dead_slot && a.merge_prefix && a.reply_alias);
         let n = OptFlags::none();
         assert!(!(n.hoist_checks || n.chunking || n.memcpy || n.inline_marshal || n.param_mgmt));
+        assert!(!(n.dead_slot || n.merge_prefix || n.reply_alias));
         assert_eq!(OptFlags::default(), OptFlags::all());
     }
 }

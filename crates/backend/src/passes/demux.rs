@@ -65,5 +65,9 @@ fn build(ops: &[&StubPlan], word: usize, nodes: &mut u64) -> DemuxNode {
         };
         arms.push((w, arm));
     }
-    DemuxNode { word, arms }
+    DemuxNode {
+        word,
+        arms,
+        prefix: Vec::new(),
+    }
 }

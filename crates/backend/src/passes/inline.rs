@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 
 use crate::mir::{for_each_child, plan_references_outline, PlanNode, PlanResult, StubPlans};
-use crate::passes::{collect_outline_keys, MirPass, PassCx};
+use crate::passes::{collect_outline_keys, MirPass, PassBudget, PassCx};
 
 pub struct InlineMarshal;
 
@@ -26,21 +26,22 @@ impl MirPass for InlineMarshal {
         "inline-marshal"
     }
 
-    fn run(&self, mir: &mut StubPlans, _cx: &PassCx) -> PlanResult<u64> {
-        run_inline(mir, None).map(|(d, _)| d)
+    fn run(&self, mir: &mut StubPlans, cx: &PassCx) -> PlanResult<u64> {
+        self.run_budgeted(mir, cx, &PassBudget::default())
+            .map(|(d, _)| d)
     }
 
     fn run_budgeted(
         &self,
         mir: &mut StubPlans,
         _cx: &PassCx,
-        budget: Option<u64>,
+        budget: &PassBudget,
     ) -> PlanResult<(u64, bool)> {
         run_inline(mir, budget)
     }
 }
 
-fn run_inline(mir: &mut StubPlans, budget: Option<u64>) -> PlanResult<(u64, bool)> {
+fn run_inline(mir: &mut StubPlans, budget: &PassBudget) -> PlanResult<(u64, bool)> {
     let library = std::mem::take(&mut mir.outlines);
     let mut kept = BTreeMap::new();
     let mut stack: Vec<String> = Vec::new();
@@ -71,7 +72,7 @@ fn expand(
     kept: &mut BTreeMap<String, PlanNode>,
     stack: &mut Vec<String>,
     decisions: &mut u64,
-    budget: Option<u64>,
+    budget: &PassBudget,
     overran: &mut bool,
 ) -> PlanResult<()> {
     if let PlanNode::Outline { key } = node {
@@ -80,9 +81,10 @@ fn expand(
         if stack.iter().any(|k| k == key) {
             return Ok(());
         }
-        // Budget exhausted: leave the call site as-is, but make sure
-        // everything it reaches survives in the outline library.
-        if budget.is_some_and(|b| *decisions >= b) {
+        // Budget exhausted (decisions or deadline): leave the call
+        // site as-is, but make sure everything it reaches survives in
+        // the outline library.
+        if budget.spent(*decisions) {
             *overran = true;
             keep_transitively(key, library, kept)?;
             return Ok(());

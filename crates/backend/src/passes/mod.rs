@@ -7,19 +7,22 @@
 //!
 //! | order | pass              | §     | decision                              |
 //! |-------|-------------------|-------|---------------------------------------|
-//! | 1     | `classify-storage`| §3.1  | size classes for messages & elements  |
-//! | 2     | `hoist-checks`    | §3.1  | one up-front `ensure` per message     |
-//! | 3     | `form-chunks`     | §3.2  | packed constant-offset regions        |
-//! | 4     | `coalesce-memcpy` | §3.2  | scalar arrays become block copies     |
-//! | 5     | `inline-marshal`  | §3.3  | absorb out-of-line marshal calls      |
-//! | 6     | `demux-switch`    | §3.4  | word-wise server demultiplex trie     |
+//! | 1     | `dead-slot`       | §3.1  | drop slots the PRES mapping hides     |
+//! | 2     | `classify-storage`| §3.1  | size classes for messages & elements  |
+//! | 3     | `hoist-checks`    | §3.1  | one up-front `ensure` per message     |
+//! | 4     | `form-chunks`     | §3.2  | packed constant-offset regions        |
+//! | 5     | `coalesce-memcpy` | §3.2  | scalar arrays become block copies     |
+//! | 6     | `inline-marshal`  | §3.3  | absorb out-of-line marshal calls      |
+//! | 7     | `reply-alias`     | §3.2  | echoed replies reuse request bytes    |
+//! | 8     | `demux-switch`    | §3.4  | word-wise server demultiplex trie     |
+//! | 9     | `merge-prefix`    | §3.4  | shared unmarshal prefix above the trie|
 //!
 //! The pipeline times each pass, counts its decisions, optionally runs
 //! the MIR verifier between passes (debug/test builds), and finishes
 //! with an outline garbage collection so only reachable out-of-line
 //! bodies survive.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use flick_pres::{PresC, Stub};
 use flick_stablehash::StableHasher;
@@ -32,27 +35,42 @@ use crate::verify::verify;
 
 mod chunks;
 mod classify;
+mod dead_slot;
 mod demux;
 mod hoist;
 mod inline;
 mod memcpy;
+pub(crate) mod merge_prefix;
+mod reply_alias;
 
 pub use chunks::FormChunks;
 pub use classify::ClassifyStorage;
+pub use dead_slot::DeadSlot;
 pub use demux::DemuxSwitch;
 pub use hoist::HoistChecks;
 pub use inline::InlineMarshal;
 pub use memcpy::CoalesceMemcpy;
+pub use merge_prefix::MergePrefix;
+pub(crate) use reply_alias::position_independent as reply_alias_position_independent;
+pub use reply_alias::ReplyAlias;
 
-/// The six §3 passes in pipeline order.
-pub const PASS_NAMES: [&str; 6] = [
+/// The nine §3 passes in pipeline order.
+pub const PASS_NAMES: [&str; 9] = [
+    "dead-slot",
     "classify-storage",
     "hoist-checks",
     "form-chunks",
     "coalesce-memcpy",
     "inline-marshal",
+    "reply-alias",
     "demux-switch",
+    "merge-prefix",
 ];
+
+/// Passes that need every stub at once (they decide the demux trie),
+/// so the per-stub cache pipeline skips them and the caller re-runs
+/// them over the merged module.
+pub(crate) const MODULE_WIDE_PASSES: [&str; 2] = ["demux-switch", "merge-prefix"];
 
 /// Read-only context every pass runs against: passes requery the
 /// presentation and encoding rather than trusting lowered caches.
@@ -61,6 +79,28 @@ pub struct PassCx<'a> {
     pub presc: &'a PresC,
     /// The target wire encoding.
     pub enc: &'a Encoding,
+}
+
+/// Limits on one pass execution: a decision cap, a wall-clock
+/// deadline, or both.  An empty budget never stops a pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassBudget {
+    /// Maximum decisions the pass may make (`flickc --pass-budget`).
+    pub decisions: Option<u64>,
+    /// Instant past which the pass must stop making new decisions
+    /// (`flickc --pass-budget-ms`, converted per pass invocation).
+    pub deadline: Option<Instant>,
+}
+
+impl PassBudget {
+    /// True once `made` decisions — or the wall clock — exhaust this
+    /// budget.  Passes that can stop early consult this before each
+    /// new decision.
+    #[must_use]
+    pub fn spent(&self, made: u64) -> bool {
+        self.decisions.is_some_and(|b| made >= b)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// One optimization rewrite over the MIR.
@@ -81,10 +121,11 @@ pub trait MirPass: Send + Sync {
     /// default covers passes with no configuration.
     fn config_hash(&self, _h: &mut StableHasher) {}
 
-    /// Like [`MirPass::run`] but bounded by an optional decision
-    /// budget.  Returns the decision count plus whether the budget was
-    /// overrun.  The default runs to completion and merely *reports*
-    /// the overrun; passes that can stop early (e.g. `inline-marshal`)
+    /// Like [`MirPass::run`] but bounded by a [`PassBudget`].  Returns
+    /// the decision count plus whether the budget stopped (or would
+    /// have stopped) the pass.  The default runs to completion and
+    /// merely *reports* a decision overrun; passes that can stop early
+    /// (`dead-slot`, `reply-alias`, `merge-prefix`, `inline-marshal`)
     /// override this to actually cap their work.
     ///
     /// # Errors
@@ -93,10 +134,10 @@ pub trait MirPass: Send + Sync {
         &self,
         mir: &mut StubPlans,
         cx: &PassCx,
-        budget: Option<u64>,
+        budget: &PassBudget,
     ) -> PlanResult<(u64, bool)> {
         let d = self.run(mir, cx)?;
-        Ok((d, budget.is_some_and(|b| d > b)))
+        Ok((d, budget.decisions.is_some_and(|b| d > b)))
     }
 }
 
@@ -130,6 +171,10 @@ pub struct PassPipeline {
     /// Per-pass decision budget: a pass exceeding it reports an
     /// overrun (and, where supported, stops making new decisions).
     pub budget: Option<u64>,
+    /// Per-pass wall-time budget in milliseconds: a pass running past
+    /// it reports an `ms` overrun (and, where supported, stops making
+    /// new decisions at the deadline).
+    pub budget_ms: Option<u64>,
 }
 
 impl PassPipeline {
@@ -139,7 +184,11 @@ impl PassPipeline {
     /// passes follow their flags.
     #[must_use]
     pub fn from_opts(opts: &OptFlags) -> PassPipeline {
-        let mut passes: Vec<Box<dyn MirPass>> = vec![Box::new(ClassifyStorage)];
+        let mut passes: Vec<Box<dyn MirPass>> = Vec::new();
+        if opts.dead_slot {
+            passes.push(Box::new(DeadSlot));
+        }
+        passes.push(Box::new(ClassifyStorage));
         if opts.hoist_checks {
             passes.push(Box::new(HoistChecks {
                 threshold: opts.bounded_threshold,
@@ -154,7 +203,13 @@ impl PassPipeline {
         if opts.inline_marshal {
             passes.push(Box::new(InlineMarshal));
         }
+        if opts.reply_alias {
+            passes.push(Box::new(ReplyAlias));
+        }
         passes.push(Box::new(DemuxSwitch));
+        if opts.merge_prefix {
+            passes.push(Box::new(MergePrefix));
+        }
         PassPipeline {
             lower: LowerOpts {
                 param_mgmt: opts.param_mgmt,
@@ -163,6 +218,18 @@ impl PassPipeline {
             verify: cfg!(debug_assertions),
             parallel: Parallelism::Auto,
             budget: None,
+            budget_ms: None,
+        }
+    }
+
+    /// The budget one pass invocation runs under (the wall-time budget
+    /// becomes a fresh deadline per pass).
+    pub(crate) fn pass_budget(&self) -> PassBudget {
+        PassBudget {
+            decisions: self.budget,
+            deadline: self
+                .budget_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
         }
     }
 
@@ -180,11 +247,13 @@ impl PassPipeline {
             pass.config_hash(&mut h);
         }
         h.write_bool(self.lower.param_mgmt);
-        match self.budget {
-            None => h.write_tag(0),
-            Some(b) => {
-                h.write_tag(1);
-                h.write_u64(b);
+        for budget in [self.budget, self.budget_ms] {
+            match budget {
+                None => h.write_tag(0),
+                Some(b) => {
+                    h.write_tag(1);
+                    h.write_u64(b);
+                }
             }
         }
         h.finish()
@@ -225,6 +294,9 @@ pub struct PipelineRun {
     pub mir_dump: Option<String>,
     /// Names of passes that overran the decision budget.
     pub overruns: Vec<&'static str>,
+    /// `(pass, ms over)` for passes that ran past the wall-time
+    /// budget.
+    pub overruns_ms: Vec<(&'static str, u64)>,
 }
 
 /// Lowers `presc` and runs every scheduled pass over it.
@@ -255,17 +327,23 @@ pub fn run_pipeline(
         .map(|_| mir::dump(&mir));
 
     let mut overruns = Vec::new();
+    let mut overruns_ms = Vec::new();
     for pass in &pipeline.passes {
         let t = Instant::now();
+        let budget = pipeline.pass_budget();
         let (decisions, overran) = pass
-            .run_budgeted(&mut mir, &cx, pipeline.budget)
+            .run_budgeted(&mut mir, &cx, &budget)
             .map_err(|e| format!("pass {}: {e}", pass.name()))?;
+        let ns = t.elapsed().as_nanos() as u64;
         if overran {
             overruns.push(pass.name());
         }
+        if let Some(over) = ms_overrun(pipeline.budget_ms, ns) {
+            overruns_ms.push((pass.name(), over));
+        }
         spans.push(PassSpan {
             name: pass.name(),
-            ns: t.elapsed().as_nanos() as u64,
+            ns,
             decisions,
         });
         if pipeline.verify {
@@ -297,7 +375,20 @@ pub fn run_pipeline(
         passes: spans,
         mir_dump,
         overruns,
+        overruns_ms,
     })
+}
+
+/// How many milliseconds (at least 1) a pass of `ns` wall time ran
+/// past the `budget_ms` wall-time budget, if it did.
+pub(crate) fn ms_overrun(budget_ms: Option<u64>, ns: u64) -> Option<u64> {
+    let ms = budget_ms?;
+    let limit = ms.saturating_mul(1_000_000);
+    if ns > limit {
+        Some(((ns - limit) / 1_000_000).max(1))
+    } else {
+        None
+    }
 }
 
 /// The per-stub unit of work the plan cache stores: one stub lowered
@@ -310,13 +401,15 @@ pub(crate) struct StubUnit {
     pub passes: Vec<PassSpan>,
     /// Passes that overran the decision budget on this unit.
     pub overruns: Vec<&'static str>,
+    /// `(pass, ms over)` wall-time overruns on this unit.
+    pub overruns_ms: Vec<(&'static str, u64)>,
 }
 
 /// Lowers and optimizes a *single* stub through every scheduled pass
-/// except `demux-switch` (the only module-wide pass — it needs every
-/// stub's request code at once, so the caller runs it over the merged
-/// module).  All other passes only read the stub they rewrite, which
-/// is what makes per-stub caching sound.
+/// except the module-wide ones (`demux-switch` and `merge-prefix`
+/// need every stub's request code at once, so the caller runs them
+/// over the merged module).  All other passes only read the stub they
+/// rewrite, which is what makes per-stub caching sound.
 ///
 /// # Errors
 /// Same failure modes as [`run_pipeline`].
@@ -346,20 +439,26 @@ pub(crate) fn run_stub_pipeline(
             .map_err(|e| format!("MIR verify after lowering `{}`: {e}", stub.name))?;
     }
     let mut overruns = Vec::new();
+    let mut overruns_ms = Vec::new();
     for pass in &pipeline.passes {
-        if pass.name() == "demux-switch" {
+        if MODULE_WIDE_PASSES.contains(&pass.name()) {
             continue;
         }
         let t = Instant::now();
+        let budget = pipeline.pass_budget();
         let (decisions, overran) = pass
-            .run_budgeted(&mut mir, &cx, pipeline.budget)
+            .run_budgeted(&mut mir, &cx, &budget)
             .map_err(|e| format!("pass {} on `{}`: {e}", pass.name(), stub.name))?;
+        let ns = t.elapsed().as_nanos() as u64;
         if overran {
             overruns.push(pass.name());
         }
+        if let Some(over) = ms_overrun(pipeline.budget_ms, ns) {
+            overruns_ms.push((pass.name(), over));
+        }
         spans.push(PassSpan {
             name: pass.name(),
-            ns: t.elapsed().as_nanos() as u64,
+            ns,
             decisions,
         });
         if pipeline.verify {
@@ -376,6 +475,7 @@ pub(crate) fn run_stub_pipeline(
         mir,
         passes: spans,
         overruns,
+        overruns_ms,
     })
 }
 
@@ -448,7 +548,7 @@ mod tests {
     ";
 
     #[test]
-    fn default_pipeline_schedules_all_six_passes_in_order() {
+    fn default_pipeline_schedules_all_nine_passes_in_order() {
         let pipe = PassPipeline::from_opts(&OptFlags::all());
         assert_eq!(pipe.pass_names(), PASS_NAMES.to_vec());
     }
@@ -543,6 +643,51 @@ mod tests {
         roomy.budget = Some(1_000_000);
         let run = run_pipeline(&p, &Encoding::xdr(), &roomy, None).expect("runs");
         assert!(run.overruns.is_empty(), "{:?}", run.overruns);
+    }
+
+    #[test]
+    fn wall_time_budget_zero_stops_passes_and_reports_ms_overruns() {
+        let p = presc(IDL, "I");
+        let mut opts = OptFlags::all();
+        opts.chunking = false; // keep Outline call sites for inline-marshal
+        let mut pipe = PassPipeline::from_opts(&opts);
+        // A 0 ms budget makes every pass's deadline already past: the
+        // early-stopping passes must make no decisions, and every pass
+        // must report an ms overrun of at least 1.
+        pipe.budget_ms = Some(0);
+        let run = run_pipeline(&p, &Encoding::xdr(), &pipe, None).expect("runs");
+        let inl = run
+            .passes
+            .iter()
+            .find(|s| s.name == "inline-marshal")
+            .unwrap();
+        assert_eq!(inl.decisions, 0, "deadline already past: no inlining");
+        assert!(
+            run.mir.outlines.contains_key("Rect"),
+            "un-inlined call sites must still resolve"
+        );
+        let named: Vec<_> = run.overruns_ms.iter().map(|(n, _)| *n).collect();
+        assert_eq!(named, pipe.pass_names(), "every pass overran 0 ms");
+        assert!(run.overruns_ms.iter().all(|&(_, ms)| ms >= 1));
+
+        // A generous wall-time budget reports nothing.
+        let mut roomy = PassPipeline::from_opts(&opts);
+        roomy.budget_ms = Some(60_000);
+        let run = run_pipeline(&p, &Encoding::xdr(), &roomy, None).expect("runs");
+        assert!(run.overruns_ms.is_empty(), "{:?}", run.overruns_ms);
+    }
+
+    #[test]
+    fn wall_time_budget_is_in_the_fingerprint() {
+        let base = PassPipeline::from_opts(&OptFlags::all());
+        let mut timed = PassPipeline::from_opts(&OptFlags::all());
+        timed.budget_ms = Some(5);
+        assert_ne!(base.fingerprint(), timed.fingerprint());
+        // Decision and wall-time budgets of the same value must not
+        // collide.
+        let mut dec = PassPipeline::from_opts(&OptFlags::all());
+        dec.budget = Some(5);
+        assert_ne!(dec.fingerprint(), timed.fingerprint());
     }
 
     #[test]

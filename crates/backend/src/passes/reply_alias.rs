@@ -1,0 +1,113 @@
+//! `reply-alias` (§3.2 copy avoidance): reuse request bytes for
+//! echoed replies.
+//!
+//! An inout scalar the server leaves untouched, or a return value that
+//! echoes an argument (handle-style protocols), re-marshals bytes that
+//! already sit — fully decoded and validated — in the request buffer.
+//! This pass marks such reply slots with the request slot they alias;
+//! the dispatch emitter then replaces the per-datum re-marshal with a
+//! single coalesced `memcpy` of the request byte range, guarded by a
+//! runtime equality test so a server that *does* change the value
+//! falls back to the normal encode path.
+//!
+//! Safety conditions, all re-checked by the MIR verifier after every
+//! later pass (so no subsequent rewrite can invalidate a mark):
+//!
+//! * the wire bytes of the value are position-independent — word
+//!   oriented encodings without typed descriptors (XDR, Fluke), where
+//!   every slot starts 4-aligned and carries no stream-relative state;
+//! * the reply slot's plan is *structurally identical* to the request
+//!   slot's plan, and of fixed wire size (`Prim`, `Enum`, `Packed`),
+//!   so request and reply byte ranges have identical length and
+//!   meaning;
+//! * the pairing is unambiguous: same binding name (an inout
+//!   parameter), or a `_return` slot with exactly one structurally
+//!   equal request slot.
+
+use crate::mir::{PlanNode, PlanResult, StubPlans};
+use crate::passes::{MirPass, PassBudget, PassCx};
+
+pub struct ReplyAlias;
+
+/// Nodes whose wire form has a fixed byte length and no interior
+/// stream-position dependence.
+fn fixed_wire(node: &PlanNode) -> bool {
+    matches!(
+        node,
+        PlanNode::Prim { .. } | PlanNode::Enum { .. } | PlanNode::Packed { .. }
+    )
+}
+
+/// True when raw wire bytes of a value can be replayed at a different
+/// stream offset: every item 4-aligned from the start (XDR/Fluke
+/// word-orientation) and no per-item type descriptors.
+pub(crate) fn position_independent(enc: &crate::encoding::Encoding) -> bool {
+    enc.widen_to_word && !enc.typed_descriptors
+}
+
+impl MirPass for ReplyAlias {
+    fn name(&self) -> &'static str {
+        "reply-alias"
+    }
+
+    fn run(&self, mir: &mut StubPlans, cx: &PassCx) -> PlanResult<u64> {
+        self.run_budgeted(mir, cx, &PassBudget::default())
+            .map(|(d, _)| d)
+    }
+
+    fn run_budgeted(
+        &self,
+        mir: &mut StubPlans,
+        cx: &PassCx,
+        budget: &PassBudget,
+    ) -> PlanResult<(u64, bool)> {
+        if !position_independent(cx.enc) {
+            return Ok((0, false));
+        }
+        let mut decisions = 0;
+        let mut stopped = false;
+        for stub in &mut mir.stubs {
+            if stub.op.oneway {
+                continue;
+            }
+            let request: Vec<(usize, String, PlanNode)> = stub
+                .request
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.live)
+                .map(|(i, s)| (i, s.name.clone(), s.node.clone()))
+                .collect();
+            for slot in &mut stub.reply.slots {
+                if !slot.live || slot.alias.is_some() || !fixed_wire(&slot.node) {
+                    continue;
+                }
+                if stopped || budget.spent(decisions) {
+                    // Unmarked slots simply keep the re-marshal path.
+                    stopped = true;
+                    break;
+                }
+                let target = if slot.name == "_return" {
+                    // A return value aliases only when exactly one
+                    // request slot could have produced it.
+                    let mut matches = request.iter().filter(|(_, _, n)| *n == slot.node);
+                    match (matches.next(), matches.next()) {
+                        (Some((i, _, _)), None) => Some(*i),
+                        _ => None,
+                    }
+                } else {
+                    // An inout parameter aliases its own request slot.
+                    request
+                        .iter()
+                        .find(|(_, name, n)| *name == slot.name && *n == slot.node)
+                        .map(|(i, _, _)| *i)
+                };
+                if let Some(i) = target {
+                    slot.alias = Some(i);
+                    decisions += 1;
+                }
+            }
+        }
+        Ok((decisions, stopped))
+    }
+}

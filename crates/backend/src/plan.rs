@@ -188,6 +188,8 @@ impl<'a> Lowerer<'a> {
                 name: slot.c_name.clone(),
                 by_ref: slot.by_ref,
                 pres: slot.pres,
+                live: slot.live,
+                alias: None,
                 node: self.lower_node(slot.pres)?,
             });
         }

@@ -12,13 +12,27 @@
 //! * `MemcpyArray` shape consistency (fixed XOR counted, element
 //!   actually block-copyable);
 //! * hoisted message checks agree with the message's size class, and
-//!   the capped form never exceeds the uncapped one.
+//!   the capped form never exceeds the uncapped one;
+//! * slot liveness: a message's plan slots are an ordered subsequence
+//!   of the presentation's bindings, dropping only *dead* bindings
+//!   (only `dead-slot` may remove work, and only work the PRES
+//!   mapping never surfaces);
+//! * alias safety: a `reply-alias` mark points at a live request slot
+//!   whose plan is still *structurally identical* to the reply slot's,
+//!   of fixed wire size, under a position-independent encoding — so a
+//!   later pass that mutates either side's plan invalidates the mark
+//!   and fails verification instead of emitting a stale byte reuse;
+//! * prefix safety: a `merge-prefix` hoist on a demux-trie node
+//!   promises that every operation reachable below leads with the
+//!   hoisted count, hoists never nest, and typed-descriptor encodings
+//!   carry none.
 
 use flick_pres::PresC;
 
 use crate::encoding::Encoding;
 use crate::layout::pack;
-use crate::mir::{PlanNode, StubPlans};
+use crate::mir::{Demux, DemuxArm, DemuxNode, MsgPlan, PlanNode, PrefixStep, StubPlans};
+use crate::passes::reply_alias_position_independent;
 
 /// Checks every invariant over `mir`.
 ///
@@ -50,10 +64,181 @@ pub fn verify(mir: &StubPlans, presc: &PresC, enc: &Encoding) -> Result<(), Stri
                 verify_node(&slot.node, mir, presc, enc)
                     .map_err(|e| at(&format!("slot {}: {e}", slot.name)))?;
             }
+            if let Some(src) = presc.stubs.iter().find(|s| s.name == stub.name) {
+                let bindings = if dir == "request" {
+                    &src.request.slots
+                } else {
+                    &src.reply.slots
+                };
+                verify_liveness(msg, bindings).map_err(|e| at(&e))?;
+            }
         }
+        verify_aliases(stub, enc)?;
     }
     for (key, body) in &mir.outlines {
         verify_node(body, mir, presc, enc).map_err(|e| format!("outline {key}: {e}"))?;
+    }
+    if let Demux::Trie(root) = &mir.demux {
+        verify_prefixes(root, false, mir, enc)?;
+    }
+    Ok(())
+}
+
+/// Hoisted demux prefixes (`merge-prefix` marks): a prefix promises
+/// that *every* operation reachable below decodes exactly those steps
+/// first, so the dispatcher may read them once above the word switch.
+/// Re-checked after every pass, like alias marks: a later rewrite
+/// that changes an arm's leading slot must fail here, not emit a
+/// dispatcher that hands a stale count to a slot that never asked.
+fn verify_prefixes(
+    node: &DemuxNode,
+    hoisted_above: bool,
+    mir: &StubPlans,
+    enc: &Encoding,
+) -> Result<(), String> {
+    let hoisted_here = !node.prefix.is_empty();
+    if hoisted_here {
+        if enc.typed_descriptors {
+            return Err(format!(
+                "demux trie word {}: hoisted prefix under typed-descriptor encoding {}",
+                node.word, enc.name
+            ));
+        }
+        if hoisted_above {
+            return Err(format!(
+                "demux trie word {}: nested hoisted prefixes (an arm would \
+                 consume the shared count twice)",
+                node.word
+            ));
+        }
+        for step in &node.prefix {
+            match step {
+                PrefixStep::LenU32 => {}
+            }
+        }
+        verify_arms_lead_with_count(node, mir)?;
+    }
+    for (_, arm) in &node.arms {
+        if let DemuxArm::Descend(child) = arm {
+            verify_prefixes(child, hoisted_above || hoisted_here, mir, enc)?;
+        }
+    }
+    Ok(())
+}
+
+fn verify_arms_lead_with_count(node: &DemuxNode, mir: &StubPlans) -> Result<(), String> {
+    for (_, arm) in &node.arms {
+        match arm {
+            DemuxArm::Op(name) => {
+                let Some(stub) = mir.stubs.iter().find(|s| &s.op.name == name) else {
+                    return Err(format!(
+                        "demux trie arm dispatches unknown operation `{name}`"
+                    ));
+                };
+                if !crate::passes::merge_prefix::leads_with_len_u32(stub) {
+                    return Err(format!(
+                        "hoisted prefix above `{name}`, whose request does not \
+                         begin with an aligned u32 count",
+                    ));
+                }
+            }
+            DemuxArm::Descend(child) => verify_arms_lead_with_count(child, mir)?,
+        }
+    }
+    Ok(())
+}
+
+/// Slot liveness: plan slots must be an ordered subsequence of the
+/// presentation's bindings, every *live* binding must still have
+/// exactly one slot, and each surviving slot's liveness flag must
+/// match its binding's.
+fn verify_liveness(msg: &MsgPlan, bindings: &[flick_pres::ParamBinding]) -> Result<(), String> {
+    let mut next = 0usize;
+    for slot in &msg.slots {
+        let found = bindings[next..]
+            .iter()
+            .position(|b| b.c_name == slot.name)
+            .map(|off| next + off);
+        let Some(i) = found else {
+            return Err(format!(
+                "slot {} has no binding (or slots are out of binding order)",
+                slot.name
+            ));
+        };
+        for skipped in &bindings[next..i] {
+            if skipped.live {
+                return Err(format!(
+                    "live binding {} lost its slot (only dead slots may be removed)",
+                    skipped.c_name
+                ));
+            }
+        }
+        if slot.live != bindings[i].live {
+            return Err(format!(
+                "slot {} liveness flag ({}) disagrees with its binding ({})",
+                slot.name, slot.live, bindings[i].live
+            ));
+        }
+        next = i + 1;
+    }
+    for rest in &bindings[next..] {
+        if rest.live {
+            return Err(format!(
+                "live binding {} lost its slot (only dead slots may be removed)",
+                rest.c_name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Alias safety for `reply-alias` marks (see module docs).
+fn verify_aliases(stub: &crate::mir::StubPlan, enc: &Encoding) -> Result<(), String> {
+    let at = |what: &str| format!("stub {}: {what}", stub.name);
+    for slot in &stub.request.slots {
+        if slot.alias.is_some() {
+            return Err(at(&format!(
+                "request slot {} carries an alias mark",
+                slot.name
+            )));
+        }
+    }
+    for slot in &stub.reply.slots {
+        let Some(i) = slot.alias else { continue };
+        if !reply_alias_position_independent(enc) {
+            return Err(at(&format!(
+                "reply slot {} aliased under position-dependent encoding {}",
+                slot.name, enc.name
+            )));
+        }
+        let Some(req) = stub.request.slots.get(i) else {
+            return Err(at(&format!(
+                "reply slot {} aliases out-of-range request slot {i}",
+                slot.name
+            )));
+        };
+        if !slot.live || !req.live {
+            return Err(at(&format!(
+                "reply slot {} aliases through a dead slot",
+                slot.name
+            )));
+        }
+        if !matches!(
+            slot.node,
+            PlanNode::Prim { .. } | PlanNode::Enum { .. } | PlanNode::Packed { .. }
+        ) {
+            return Err(at(&format!(
+                "reply slot {} aliased with a variable-size plan",
+                slot.name
+            )));
+        }
+        if slot.node != req.node {
+            return Err(at(&format!(
+                "reply slot {} no longer structurally matches request slot {} \
+                 (a later pass mutated one side after reply-alias ran)",
+                slot.name, req.name
+            )));
+        }
     }
     Ok(())
 }
@@ -215,5 +400,152 @@ mod tests {
         }
         assert!(break_packed(&mut bad.stubs[0].request.slots[0].node));
         assert!(verify(&bad, &p, &enc).is_err());
+    }
+
+    // One `long` parameter, so `_return` has exactly one structural
+    // match and `reply-alias` can pair them unambiguously.
+    const ECHO_IDL: &str = "interface E { long echo(in long v, in string tag); };";
+
+    #[test]
+    fn dropping_a_live_slot_is_rejected() {
+        let (mir, p) = full(ECHO_IDL, "E");
+        let enc = Encoding::xdr();
+
+        // Only `dead-slot` may remove a slot, and only a dead one.
+        let mut bad = mir.clone();
+        bad.stubs[0].request.slots.remove(0);
+        assert!(
+            verify(&bad, &p, &enc)
+                .unwrap_err()
+                .contains("lost its slot"),
+            "a vanished live slot must fail liveness"
+        );
+
+        // A surviving slot must agree with its binding about liveness.
+        let mut bad = mir;
+        bad.stubs[0].request.slots[0].live = false;
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("disagrees with its binding"));
+    }
+
+    #[test]
+    fn corrupted_alias_marks_are_rejected() {
+        let (mir, p) = full(ECHO_IDL, "E");
+        let enc = Encoding::xdr();
+        verify(&mir, &p, &enc).expect("clean plans verify");
+        let aliased = mir
+            .stubs
+            .iter()
+            .any(|s| s.reply.slots.iter().any(|r| r.alias.is_some()));
+        assert!(aliased, "reply-alias marks `_return` on an echo under XDR");
+
+        // Alias mark on the request side is never legal.
+        let mut bad = mir.clone();
+        bad.stubs[0].request.slots[0].alias = Some(0);
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("carries an alias mark"));
+
+        // Out-of-range request index.
+        let mut bad = mir.clone();
+        for s in &mut bad.stubs {
+            for r in &mut s.reply.slots {
+                if r.alias.is_some() {
+                    r.alias = Some(99);
+                }
+            }
+        }
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("out-of-range request slot"));
+
+        // A later pass mutating one side of the pair goes stale.
+        let mut bad = mir.clone();
+        for s in &mut bad.stubs {
+            let Some(i) = s.reply.slots.iter().find_map(|r| r.alias) else {
+                continue;
+            };
+            if let PlanNode::Prim { prim, .. } = &mut s.request.slots[i].node {
+                prim.size = 8;
+            }
+        }
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("no longer structurally matches"));
+
+        // Position-dependent encodings may never alias.
+        let mut cdr = enc.clone();
+        cdr.widen_to_word = false;
+        assert!(verify(&mir, &p, &cdr)
+            .unwrap_err()
+            .contains("position-dependent encoding"));
+    }
+
+    #[test]
+    fn corrupted_prefix_marks_are_rejected() {
+        use crate::mir::{Demux, DemuxArm, DemuxNode, PrefixStep};
+
+        // Both operations lead with a counted array, so merge-prefix
+        // hoists their shared count at the root of the demux trie.
+        let idl = r"
+            typedef sequence<long> Ints;
+            interface S { void put_a(in Ints a); void put_b(in Ints b); };
+        ";
+        let (mir, p) = full(idl, "S");
+        let enc = Encoding::xdr();
+        verify(&mir, &p, &enc).expect("clean plans verify");
+        let Demux::Trie(root) = &mir.demux else {
+            panic!("word-wise demux expected");
+        };
+        assert_eq!(
+            root.prefix,
+            vec![PrefixStep::LenU32],
+            "merge-prefix hoists the shared count at the root"
+        );
+
+        // Nesting: a descendant repeating the hoist would make every
+        // arm below consume the count twice.
+        let mut bad = mir.clone();
+        fn mark_first_descendant(n: &mut DemuxNode) -> bool {
+            for (_, arm) in &mut n.arms {
+                if let DemuxArm::Descend(child) = arm {
+                    child.prefix = vec![PrefixStep::LenU32];
+                    return true;
+                }
+            }
+            false
+        }
+        let Demux::Trie(root) = &mut bad.demux else {
+            unreachable!()
+        };
+        assert!(mark_first_descendant(root), "put_* share a word prefix");
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("nested hoisted prefixes"));
+
+        // Typed-descriptor encodings interleave descriptors with the
+        // data, so no shared count ever leads the body.
+        assert!(verify(&mir, &p, &Encoding::mach3())
+            .unwrap_err()
+            .contains("typed-descriptor encoding"));
+
+        // A hoist above an operation that does not lead with a count
+        // (here: a later rewrite replaced the leading counted array).
+        let mut bad = mir.clone();
+        bad.stubs[0].request.slots[0].node = PlanNode::Prim {
+            prim: crate::encoding::WirePrim {
+                size: 4,
+                slot: 4,
+                align: 4,
+                order: crate::encoding::Order::Big,
+                signed: true,
+                float: false,
+            },
+            descriptor: None,
+        };
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("does not begin with an aligned u32 count"));
     }
 }

@@ -22,6 +22,9 @@ impl onc_bench::Server for NullServer {
     fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
         std::hint::black_box(entries.len());
     }
+    fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
+        s
+    }
 }
 
 /// One full ONC RPC round trip, in-process: marshal call header +
@@ -85,6 +88,9 @@ fn demux() {
         }
         fn send_dirents(&mut self, v: Vec<iiop_bench::Dirent>) {
             std::hint::black_box(v.len());
+        }
+        fn echo_stat(&mut self, s: iiop_bench::Stat) -> iiop_bench::Stat {
+            s
         }
     }
 

@@ -54,6 +54,17 @@ macro_rules! workloads_for {
                     })
                     .collect()
             }
+
+            /// One deterministic 136-byte stat record (the first
+            /// directory entry's) for the `echo_stat` round trip.
+            #[must_use]
+            pub fn stat() -> m::Stat {
+                let d = flick_baselines::types::workload::dirents(1).remove(0);
+                m::Stat {
+                    fields: d.info.fields,
+                    tag: d.info.tag,
+                }
+            }
         }
     };
 }
@@ -67,6 +78,9 @@ workloads_for!(onc_nohoist, crate::generated::onc_nohoist);
 workloads_for!(onc_nochunk, crate::generated::onc_nochunk);
 workloads_for!(onc_noinline, crate::generated::onc_noinline);
 workloads_for!(iiop_nomemcpy, crate::generated::iiop_nomemcpy);
+workloads_for!(onc_nodeadslot, crate::generated::onc_nodeadslot);
+workloads_for!(onc_noprefix, crate::generated::onc_noprefix);
+workloads_for!(onc_noalias, crate::generated::onc_noalias);
 
 #[cfg(test)]
 mod tests {

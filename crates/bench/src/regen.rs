@@ -208,6 +208,45 @@ pub fn jobs() -> Vec<Job> {
                 ..OptFlags::all()
             },
         },
+        Job {
+            out_name: "onc_nodeadslot.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags {
+                dead_slot: false,
+                ..OptFlags::all()
+            },
+        },
+        Job {
+            out_name: "onc_noprefix.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags {
+                merge_prefix: false,
+                ..OptFlags::all()
+            },
+        },
+        Job {
+            out_name: "onc_noalias.rs",
+            source: include_str!("../../../testdata/bench.idl"),
+            file: "bench.idl",
+            iface: "Bench",
+            frontend: Frontend::Corba,
+            style: Style::RpcgenC,
+            transport: Transport::OncTcp,
+            opts: OptFlags {
+                reply_alias: false,
+                ..OptFlags::all()
+            },
+        },
     ]
 }
 

@@ -173,6 +173,9 @@ impl onc_bench::Server for CountingServer {
     fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
         self.dirents += entries.len();
     }
+    fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
+        s
+    }
 }
 
 #[test]
@@ -215,6 +218,10 @@ impl iiop_bench::Server for NameServer {
     fn send_dirents(&mut self, _entries: Vec<iiop_bench::Dirent>) {
         self.hits.push("dirents");
     }
+    fn echo_stat(&mut self, s: iiop_bench::Stat) -> iiop_bench::Stat {
+        self.hits.push("echo");
+        s
+    }
 }
 
 #[test]
@@ -244,6 +251,184 @@ fn word_wise_name_dispatch_routes_by_operation() {
     assert!(iiop_bench::dispatch_by_name(b"send_intz", &[], &mut reply, &mut srv).is_err());
     assert!(iiop_bench::dispatch_by_name(b"send_ints_more", &[], &mut reply, &mut srv).is_err());
     assert!(iiop_bench::dispatch_by_name(b"send", &[], &mut reply, &mut srv).is_err());
+}
+
+#[test]
+fn dead_slot_drops_the_pad_from_the_wire() {
+    use flick_bench::generated::onc_nodeadslot;
+    // With `dead-slot` on, the suppressed `_pad` parameter vanishes
+    // from the wire: the request is exactly the 136-byte stat record.
+    let mut lean = MarshalBuf::new();
+    onc_bench::encode_echo_stat_request(&mut lean, &data::onc::stat());
+    assert_eq!(lean.len(), 136);
+
+    // With the pass off, the wire still carries the 4-byte pad word
+    // (zero-filled on encode, decoded-and-discarded on dispatch).
+    let mut fat = MarshalBuf::new();
+    onc_nodeadslot::encode_echo_stat_request(&mut fat, &data::onc_nodeadslot::stat());
+    assert_eq!(fat.len(), 140);
+    assert_eq!(&fat.as_slice()[136..], &[0, 0, 0, 0]);
+
+    // Both shapes round-trip against their own peers.
+    let mut r = MsgReader::new(lean.as_slice());
+    let (back,) = onc_bench::decode_echo_stat_request(&mut r).expect("lean decodes");
+    assert_eq!(back, data::onc::stat());
+    let mut r = MsgReader::new(fat.as_slice());
+    let (back,) = onc_nodeadslot::decode_echo_stat_request(&mut r).expect("fat decodes");
+    assert_eq!(back, data::onc_nodeadslot::stat());
+    assert!(r.is_exhausted(), "the pad word is consumed");
+}
+
+#[test]
+fn reply_alias_reuses_request_bytes_without_changing_the_wire() {
+    use flick_bench::generated::onc_noalias;
+
+    // Identity echo: the aliased dispatch may copy the request bytes
+    // wholesale, and the wire must be indistinguishable from a full
+    // re-marshal (the no-alias ablation produces it the slow way).
+    let mut req = MarshalBuf::new();
+    onc_bench::encode_echo_stat_request(&mut req, &data::onc::stat());
+    let mut reply = MarshalBuf::new();
+    let mut srv = CountingServer {
+        ints: 0,
+        rects: 0,
+        dirents: 0,
+    };
+    onc_bench::dispatch(4, req.as_slice(), &mut reply, &mut srv).expect("echo");
+    assert_eq!(
+        reply.as_slice(),
+        req.as_slice(),
+        "reply reuses the request bytes"
+    );
+    let mut r = MsgReader::new(reply.as_slice());
+    let (back,) = onc_bench::decode_echo_stat_reply(&mut r).expect("decodes");
+    assert_eq!(back, data::onc::stat());
+
+    struct Id;
+    impl onc_noalias::Server for Id {
+        fn send_ints(&mut self, _v: Vec<i32>) {}
+        fn send_rects(&mut self, _v: Vec<onc_noalias::Rect>) {}
+        fn send_dirents(&mut self, _v: Vec<onc_noalias::Dirent>) {}
+        fn echo_stat(&mut self, s: onc_noalias::Stat) -> onc_noalias::Stat {
+            s
+        }
+    }
+    let mut req2 = MarshalBuf::new();
+    onc_noalias::encode_echo_stat_request(&mut req2, &data::onc_noalias::stat());
+    let mut reply2 = MarshalBuf::new();
+    onc_noalias::dispatch(4, req2.as_slice(), &mut reply2, &mut Id).expect("echo");
+    assert_eq!(
+        reply2.as_slice(),
+        reply.as_slice(),
+        "alias on/off must agree on the wire"
+    );
+}
+
+#[test]
+fn reply_alias_guard_falls_back_when_the_server_mutates() {
+    // A server that edits the stat must defeat the byte-reuse guard and
+    // re-marshal the changed value.
+    struct Bump;
+    impl onc_bench::Server for Bump {
+        fn send_ints(&mut self, _v: Vec<i32>) {}
+        fn send_rects(&mut self, _v: Vec<onc_bench::Rect>) {}
+        fn send_dirents(&mut self, _v: Vec<onc_bench::Dirent>) {}
+        fn echo_stat(&mut self, mut s: onc_bench::Stat) -> onc_bench::Stat {
+            s.fields[0] += 1;
+            s
+        }
+    }
+    let mut req = MarshalBuf::new();
+    onc_bench::encode_echo_stat_request(&mut req, &data::onc::stat());
+    let mut reply = MarshalBuf::new();
+    onc_bench::dispatch(4, req.as_slice(), &mut reply, &mut Bump).expect("echo");
+    assert_ne!(reply.as_slice(), req.as_slice());
+    let mut r = MsgReader::new(reply.as_slice());
+    let (back,) = onc_bench::decode_echo_stat_reply(&mut r).expect("decodes");
+    let mut want = data::onc::stat();
+    want.fields[0] += 1;
+    assert_eq!(back, want);
+}
+
+#[test]
+fn merge_prefix_dispatch_agrees_with_the_unmerged_ablation() {
+    use flick_bench::generated::onc_noprefix;
+
+    // The hoisted shared count must be observationally identical to
+    // per-arm decoding across every operation that rides the trie.
+    struct Tally(usize, usize, usize);
+    impl onc_bench::Server for Tally {
+        fn send_ints(&mut self, v: Vec<i32>) {
+            self.0 += v.len();
+        }
+        fn send_rects(&mut self, v: Vec<onc_bench::Rect>) {
+            self.1 += v.len();
+        }
+        fn send_dirents(&mut self, v: Vec<onc_bench::Dirent>) {
+            self.2 += v.len();
+        }
+        fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
+            s
+        }
+    }
+    struct Tally2(usize, usize, usize);
+    impl onc_noprefix::Server for Tally2 {
+        fn send_ints(&mut self, v: Vec<i32>) {
+            self.0 += v.len();
+        }
+        fn send_rects(&mut self, v: Vec<onc_noprefix::Rect>) {
+            self.1 += v.len();
+        }
+        fn send_dirents(&mut self, v: Vec<onc_noprefix::Dirent>) {
+            self.2 += v.len();
+        }
+        fn echo_stat(&mut self, s: onc_noprefix::Stat) -> onc_noprefix::Stat {
+            s
+        }
+    }
+
+    let mut merged = Tally(0, 0, 0);
+    let mut plain = Tally2(0, 0, 0);
+    let mut reply = MarshalBuf::new();
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_ints_request(&mut buf, &data::onc::ints(11));
+    onc_bench::dispatch_by_name(b"send_ints", buf.as_slice(), &mut reply, &mut merged)
+        .expect("ints");
+    onc_noprefix::dispatch_by_name(b"send_ints", buf.as_slice(), &mut reply, &mut plain)
+        .expect("ints");
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_rects_request(&mut buf, &data::onc::rects(5));
+    onc_bench::dispatch_by_name(b"send_rects", buf.as_slice(), &mut reply, &mut merged)
+        .expect("rects");
+    onc_noprefix::dispatch_by_name(b"send_rects", buf.as_slice(), &mut reply, &mut plain)
+        .expect("rects");
+
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_send_dirents_request(&mut buf, &data::onc::dirents(2));
+    onc_bench::dispatch_by_name(b"send_dirents", buf.as_slice(), &mut reply, &mut merged)
+        .expect("dirents");
+    onc_noprefix::dispatch_by_name(b"send_dirents", buf.as_slice(), &mut reply, &mut plain)
+        .expect("dirents");
+
+    assert_eq!((merged.0, merged.1, merged.2), (11, 5, 2));
+    assert_eq!((plain.0, plain.1, plain.2), (11, 5, 2));
+
+    // `echo_stat` does not lead with a count, so it must sit outside
+    // the hoisted subtree and still dispatch correctly by name.
+    let mut buf = MarshalBuf::new();
+    onc_bench::encode_echo_stat_request(&mut buf, &data::onc::stat());
+    reply.clear();
+    onc_bench::dispatch_by_name(b"echo_stat", buf.as_slice(), &mut reply, &mut merged)
+        .expect("echo");
+    let mut r = MsgReader::new(reply.as_slice());
+    let (back,) = onc_bench::decode_echo_stat_reply(&mut r).expect("decodes");
+    assert_eq!(back, data::onc::stat());
+
+    // Truncated bodies still error cleanly through the hoisted read.
+    let mut reply = MarshalBuf::new();
+    assert!(onc_bench::dispatch_by_name(b"send_ints", &[0, 0], &mut reply, &mut merged).is_err());
 }
 
 #[test]

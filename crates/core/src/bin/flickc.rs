@@ -29,6 +29,7 @@ struct Args {
     disabled_passes: Vec<String>,
     dump_mir: Option<MirDump>,
     pass_budget: Option<u64>,
+    pass_budget_ms: Option<u64>,
     cache_dir: Option<PathBuf>,
     explain_cache: bool,
     out_dir: Option<PathBuf>,
@@ -61,6 +62,9 @@ usage: flickc [options] <input.idl|.x|.defs>
                                PASS; `lower` dumps the unoptimized MIR)
   --pass-budget N              cap each optimization pass at N decisions;
                                overruns are reported as warnings
+  --pass-budget-ms N           cap each optimization pass at N ms of wall
+                               time; passes stop early and the overrun is
+                               reported (makes output timing-dependent)
   --cache-dir DIR              keep the per-stub plan cache in DIR so warm
                                recompiles skip planning for unchanged stubs
   --explain-cache              report each stub's cache hit/miss (and why)
@@ -83,6 +87,7 @@ fn parse_args() -> Result<ParsedArgs, String> {
     let mut disabled_passes = Vec::new();
     let mut dump_mir = None;
     let mut pass_budget = None;
+    let mut pass_budget_ms = None;
     let mut cache_dir = None;
     let mut explain_cache = false;
     let mut out_dir = None;
@@ -165,6 +170,13 @@ fn parse_args() -> Result<ParsedArgs, String> {
                         .map_err(|_| format!("--pass-budget needs a number, got `{v}`"))?,
                 );
             }
+            "--pass-budget-ms" => {
+                let v = val("--pass-budget-ms")?;
+                pass_budget_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--pass-budget-ms needs a number, got `{v}`"))?,
+                );
+            }
             "--cache-dir" => cache_dir = Some(PathBuf::from(val("--cache-dir")?)),
             "--explain-cache" => explain_cache = true,
             other if other.starts_with("--disable-pass=") => {
@@ -215,6 +227,7 @@ fn parse_args() -> Result<ParsedArgs, String> {
         disabled_passes,
         dump_mir,
         pass_budget,
+        pass_budget_ms,
         cache_dir,
         explain_cache,
         out_dir,
@@ -299,6 +312,7 @@ fn main() -> ExitCode {
     compiler.backend.disabled_passes = args.disabled_passes.clone();
     compiler.backend.dump_mir = args.dump_mir.clone();
     compiler.backend.pass_budget = args.pass_budget;
+    compiler.backend.pass_budget_ms = args.pass_budget_ms;
     let mut session = match &args.cache_dir {
         Some(dir) => match CompileSession::with_cache_dir(compiler, dir) {
             Ok(s) => s,

@@ -333,6 +333,13 @@ impl Compiler {
                 "pass {name} overran the decision budget; remaining decisions were skipped or reported"
             ));
         }
+        for (name, ms) in &bt.overruns_ms {
+            trace.set_counter(&format!("pass.{name}.budget_overrun_ms"), *ms);
+            warnings.push(format!(
+                "pass {name} overran the wall-time budget by {ms}ms; \
+                 it stopped early with its work so far"
+            ));
+        }
 
         let report = CompileReport {
             frontend: self.frontend.name(),

@@ -146,8 +146,8 @@ fn passes_flag_lists_pipeline_in_order() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         text,
-        "classify-storage\nhoist-checks\nform-chunks\ncoalesce-memcpy\n\
-         inline-marshal\ndemux-switch\n"
+        "dead-slot\nclassify-storage\nhoist-checks\nform-chunks\ncoalesce-memcpy\n\
+         inline-marshal\nreply-alias\ndemux-switch\nmerge-prefix\n"
     );
 }
 
@@ -297,6 +297,73 @@ fn pass_budget_overrun_warns_and_counts() {
     let bad = flickc(&["--pass-budget", "lots", "mail.idl"], &dir);
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("--pass-budget needs a number"));
+}
+
+#[test]
+fn pass_budget_ms_overrun_warns_and_counts() {
+    let dir = scratch("budgetms");
+    write_input(&dir);
+    // A 0ms wall-time budget: every scheduled pass is already over
+    // budget when it starts, stops early, and reports the overrun.
+    let out = flickc(
+        &[
+            "--pass-budget-ms",
+            "0",
+            "--stats=json",
+            "--emit",
+            "rust",
+            "mail.idl",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "a wall-time overrun is not fatal: {out:?}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("overran the wall-time budget"),
+        "warnings name the overrun: {err}"
+    );
+    assert!(err.contains(".budget_overrun_ms\":"), "{err}");
+
+    // A generous budget changes nothing and warns about nothing.
+    let calm = flickc(
+        &["--pass-budget-ms", "60000", "--emit", "rust", "mail.idl"],
+        &dir,
+    );
+    assert!(calm.status.success(), "{calm:?}");
+    assert!(!String::from_utf8_lossy(&calm.stderr).contains("wall-time"));
+
+    let bad = flickc(&["--pass-budget-ms", "soon", "mail.idl"], &dir);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--pass-budget-ms needs a number"));
+}
+
+#[test]
+fn explain_cache_reports_the_fingerprint_change() {
+    let dir = scratch("fingerprint");
+    write_input(&dir);
+    let _ = std::fs::remove_dir_all(dir.join("plans"));
+    let cold = flickc(&["--cache-dir", "plans", "mail.idl"], &dir);
+    assert!(cold.status.success(), "{cold:?}");
+
+    // Dropping a pass reshapes the pipeline; --explain-cache names the
+    // old and new fingerprints so the miss is attributable.
+    let warm = flickc(
+        &[
+            "--cache-dir",
+            "plans",
+            "--explain-cache",
+            "--disable-pass=dead-slot",
+            "mail.idl",
+        ],
+        &dir,
+    );
+    assert!(warm.status.success(), "{warm:?}");
+    let err = String::from_utf8_lossy(&warm.stderr);
+    assert!(err.contains("pass pipeline changed (fingerprint "), "{err}");
+    assert!(err.contains(" -> "), "old -> new fingerprints: {err}");
 }
 
 #[test]

@@ -287,6 +287,7 @@ impl<'t> MigParser<'t> {
                 c_name: pname.clone(),
                 pres: pres_id,
                 by_ref,
+                live: true,
             });
         }
         if !seen_port {

@@ -51,6 +51,7 @@ fn hash_message(presc: &PresC, msg: &MessagePres, h: &mut StableHasher) {
     for slot in &msg.slots {
         slot.c_name.stable_hash(h);
         h.write_bool(slot.by_ref);
+        h.write_bool(slot.live);
         let mut stack = Vec::new();
         hash_pres(presc, slot.pres, h, &mut stack);
     }
@@ -238,6 +239,7 @@ mod tests {
                         c_name: "x".into(),
                         pres: p,
                         by_ref: false,
+                        live: true,
                     }],
                 },
                 reply: MessagePres {

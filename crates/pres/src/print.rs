@@ -211,6 +211,7 @@ mod tests {
                         c_name: "msg".into(),
                         pres: slot,
                         by_ref: false,
+                        live: true,
                     }],
                 },
                 reply: MessagePres {

@@ -58,6 +58,11 @@ pub struct ParamBinding {
     /// True when the stub receives/returns the value through a pointer
     /// (C out-parameters, struct parameters passed by address).
     pub by_ref: bool,
+    /// False when the presentation never surfaces this slot in the
+    /// generated C/Rust signature (padding-only fields, suppressed
+    /// parameters).  The wire message still carries the slot; the
+    /// `dead-slot` pass drops its marshal work.
+    pub live: bool,
 }
 
 /// A message (request or reply) together with the presentation of each

@@ -654,6 +654,7 @@ impl<'a> Builder<'a> {
                 c_name: "_return".into(),
                 pres: p,
                 by_ref: false,
+                live: true,
             });
         }
 
@@ -663,16 +664,28 @@ impl<'a> Builder<'a> {
             ty,
         } in &op.params
         {
+            // Suppressed parameters: a leading-underscore scalar `in`
+            // parameter is wire padding the presentation never
+            // surfaces — it stays in the message (and MINT) but gets
+            // no C parameter, and its binding is marked dead so the
+            // `dead-slot` pass can drop its marshal work.
+            let resolved = self.aoi.types.resolve(*ty);
+            let suppressed = pname.starts_with('_')
+                && *dir == ParamDir::In
+                && matches!(self.aoi.types.get(resolved), Type::Prim(p) if *p != PrimType::Void);
             let (cty, by_ref) = self.param_ctype(*ty, *dir);
-            params.push(CParam {
-                name: pname.clone(),
-                ty: cty,
-            });
+            if !suppressed {
+                params.push(CParam {
+                    name: pname.clone(),
+                    ty: cty,
+                });
+            }
             let p = self.pres_of(*ty, alloc);
             let binding = ParamBinding {
                 c_name: pname.clone(),
                 pres: p,
-                by_ref,
+                by_ref: by_ref && !suppressed,
+                live: !suppressed,
             };
             if dir.in_request() {
                 req_slots.push(binding.clone());

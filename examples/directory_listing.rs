@@ -26,6 +26,9 @@ impl iiop_bench::Server for DirectoryServer {
         }
         self.total_entries += entries.len();
     }
+    fn echo_stat(&mut self, s: iiop_bench::Stat) -> iiop_bench::Stat {
+        s
+    }
 }
 
 fn main() {

@@ -25,6 +25,9 @@ impl onc_bench::Server for Sink {
     fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
         self.dirents += entries.len();
     }
+    fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
+        s
+    }
 }
 
 #[test]
@@ -153,6 +156,9 @@ fn iiop_request_reply_with_name_dispatch() {
         }
         fn send_dirents(&mut self, v: Vec<iiop_bench::Dirent>) {
             self.0 += v.len();
+        }
+        fn echo_stat(&mut self, s: iiop_bench::Stat) -> iiop_bench::Stat {
+            s
         }
     }
 
