@@ -195,11 +195,41 @@ static void flick_chunk_put_f64_le(char *at, double v)
     flick_chunk_put_u64_le(at, bits);
 }
 
+/* ---- client call options and structured errors ---- */
+
+/* Per-call reliability knobs for datagram transports: the client owns
+ * retransmission (same xid) until the reply arrives or the deadline
+ * passes.  Mirrors the Rust runtime's CallOptions. */
+typedef struct FLICK_CALL_OPTIONS {
+    uint32_t deadline_ms;  /* total budget, retransmissions included */
+    uint32_t retries;      /* retransmissions after the first send   */
+    uint32_t backoff_ms;   /* first retransmit wait; doubles each try */
+} FLICK_CALL_OPTIONS;
+
+#define FLICK_CALL_OPTIONS_DEFAULT { 2000u, 8u, 10u }
+
+/* Why a call failed; mirrors the Rust runtime's RpcError. */
+typedef enum FLICK_RPC_ERROR {
+    FLICK_RPC_OK = 0,
+    FLICK_RPC_TIMEOUT,       /* deadline passed, retransmits exhausted */
+    FLICK_RPC_DENIED,        /* MSG_DENIED / PROG_UNAVAIL / PROG_MISMATCH
+                              * / PROC_UNAVAIL / SYSTEM_ERR */
+    FLICK_RPC_GARBAGE_ARGS,  /* server could not decode our arguments  */
+    FLICK_RPC_DECODE,        /* reply body failed to decode locally    */
+    FLICK_RPC_TRANSPORT      /* link refused the exchange or closed    */
+} FLICK_RPC_ERROR;
+
 /* ---- transport hooks (bound by the linking program) ---- */
 
 /* Sends the marshaled request and swaps in the reply; provided by the
  * transport library the application links (TCP, UDP, Mach, Fluke). */
 extern void flick_call(FLICK_BUF *request, unsigned request_code, const char *wire_name);
+
+/* Bounded variant: retransmits per `opts` and reports the outcome
+ * instead of aborting on a hostile or silent peer. */
+extern FLICK_RPC_ERROR flick_call_bounded(FLICK_BUF *request, unsigned request_code,
+                                          const char *wire_name,
+                                          const FLICK_CALL_OPTIONS *opts);
 
 /* Decodes the next reply/request slot into `out`; provided by the
  * decode half of the runtime. */
@@ -223,6 +253,9 @@ mod tests {
             "flick_pad",
             "flick_call",
             "flick_decode_slot",
+            "FLICK_CALL_OPTIONS",
+            "FLICK_RPC_ERROR",
+            "flick_call_bounded",
         ] {
             assert!(h.contains(f), "missing {f}");
         }

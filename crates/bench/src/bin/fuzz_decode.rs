@@ -1,0 +1,378 @@
+//! Structure-aware decoder fuzzing: mutate golden messages for every
+//! encoding and assert the decode paths *fail safely* — they return
+//! `DecodeError` (or answer a protocol-level error reply), never
+//! panic, and never allocate unboundedly off a hostile length field.
+//!
+//! Deterministic by construction: the mutation schedule comes from a
+//! seeded [`SplitMix64`], so a failing seed/iteration reproduces
+//! exactly.  Usage:
+//!
+//! ```text
+//! cargo run --release -p flick-bench --bin fuzz_decode -- [--seed N] [--iters N]
+//! ```
+//!
+//! Exits nonzero on any panic or allocation-bound violation; CI runs
+//! this with a fixed seed as a smoke test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use flick_bench::data;
+use flick_bench::generated::{fluke_bench, iiop_bench, mach_bench, onc_bench};
+use flick_runtime::cdr::ByteOrder;
+use flick_runtime::giop::{self, MsgType};
+use flick_runtime::oncrpc::CallHeader;
+use flick_runtime::MarshalBuf;
+use flick_transport::fault::SplitMix64;
+
+// ---- peak-tracking allocator ----
+//
+// A hostile length field must not translate into a giant allocation:
+// decoders bound claimed lengths against the bytes actually present.
+// Track live bytes and the high-water mark per iteration to enforce
+// that mechanically.
+
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_delta(before_live: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(before_live)
+}
+
+/// Hard ceiling on transient allocation while decoding one mutated
+/// message.  Golden messages are a few KiB; the framing caps stop at
+/// 16 MiB — anything past 32 MiB means a length field was trusted.
+const ALLOC_BOUND: usize = 32 << 20;
+
+// ---- trivial servers ----
+
+macro_rules! sink_server {
+    ($name:ident, $module:ident) => {
+        struct $name;
+        impl $module::Server for $name {
+            fn send_ints(&mut self, _vals: Vec<i32>) {}
+            fn send_rects(&mut self, _rects: Vec<$module::Rect>) {}
+            fn send_dirents(&mut self, _entries: Vec<$module::Dirent>) {}
+            fn echo_stat(&mut self, s: $module::Stat) -> $module::Stat {
+                s
+            }
+        }
+    };
+}
+
+sink_server!(OncSink, onc_bench);
+sink_server!(IiopSink, iiop_bench);
+sink_server!(MachSink, mach_bench);
+sink_server!(FlukeSink, fluke_bench);
+
+// ---- golden seed messages ----
+
+const PROG: u32 = 0x2000_0042;
+const VERS: u32 = 1;
+
+/// Complete ONC call records (header + arguments) for every operation.
+fn onc_seeds() -> Vec<Vec<u8>> {
+    let mut seeds = Vec::new();
+    let mut push = |f: &dyn Fn(&mut MarshalBuf), proc: u32| {
+        let mut b = MarshalBuf::new();
+        CallHeader {
+            xid: 0x1111_0000 + proc,
+            prog: PROG,
+            vers: VERS,
+            proc,
+        }
+        .write(&mut b);
+        f(&mut b);
+        seeds.push(b.into_vec());
+    };
+    push(
+        &|b| onc_bench::encode_send_ints_request(b, &data::onc::ints(16)),
+        1,
+    );
+    push(
+        &|b| onc_bench::encode_send_rects_request(b, &data::onc::rects(4)),
+        2,
+    );
+    push(
+        &|b| onc_bench::encode_send_dirents_request(b, &data::onc::dirents(3)),
+        3,
+    );
+    push(
+        &|b| onc_bench::encode_echo_stat_request(b, &data::onc::stat()),
+        4,
+    );
+    seeds
+}
+
+/// An encoder closure writing one operation's golden arguments.
+type Encoder<'a> = &'a dyn Fn(&mut MarshalBuf);
+
+/// A decode entry point: true when the mutated bytes were accepted
+/// (or answered), false when they were rejected.
+type Entry<'a> = &'a dyn Fn(&[u8]) -> bool;
+
+/// Complete GIOP request messages for every operation.
+fn giop_seeds() -> Vec<Vec<u8>> {
+    let ops: [(&str, Encoder); 4] = [
+        ("send_ints", &|b| {
+            iiop_bench::encode_send_ints_request(b, &data::iiop::ints(16))
+        }),
+        ("send_rects", &|b| {
+            iiop_bench::encode_send_rects_request(b, &data::iiop::rects(4))
+        }),
+        ("send_dirents", &|b| {
+            iiop_bench::encode_send_dirents_request(b, &data::iiop::dirents(3))
+        }),
+        ("echo_stat", &|b| {
+            iiop_bench::encode_echo_stat_request(b, &data::iiop::stat())
+        }),
+    ];
+    let mut seeds = Vec::new();
+    for (i, (op, body)) in ops.iter().enumerate() {
+        let order = ByteOrder::Big;
+        let mut b = MarshalBuf::new();
+        let at = giop::begin_message(&mut b, order, MsgType::Request);
+        let out = flick_runtime::cdr::CdrOut::begin(&b, order);
+        giop::put_request_header(&mut b, &out, 0x2222_0000 + i as u32, true, b"key", op);
+        body(&mut b);
+        giop::finish_message(&mut b, at, order);
+        seeds.push(b.into_vec());
+    }
+    seeds
+}
+
+/// Mach / Fluke dispatch bodies, paired with their message id.
+fn body_seeds(encode: [Encoder; 4]) -> Vec<(u32, Vec<u8>)> {
+    encode
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut b = MarshalBuf::new();
+            f(&mut b);
+            (i as u32 + 1, b.into_vec())
+        })
+        .collect()
+}
+
+// ---- mutation engine ----
+
+/// One structure-aware mutation: the golden bytes survive mostly
+/// intact so the fuzz walk stays near the decoders' deep paths
+/// instead of dying at the magic/header checks every time.
+fn mutate(rng: &mut SplitMix64, golden: &[u8]) -> Vec<u8> {
+    let mut m = golden.to_vec();
+    let rolls = 1 + rng.below(3) as usize;
+    for _ in 0..rolls {
+        if m.is_empty() {
+            break;
+        }
+        match rng.below(6) {
+            // single-bit flip anywhere
+            0 => {
+                let bit = rng.below(m.len() as u64 * 8) as usize;
+                m[bit / 8] ^= 1 << (bit % 8);
+            }
+            // overwrite one byte
+            1 => {
+                let at = rng.below(m.len() as u64) as usize;
+                m[at] = rng.next_u32() as u8;
+            }
+            // truncate to a prefix
+            2 => {
+                let keep = rng.below(m.len() as u64 + 1) as usize;
+                m.truncate(keep);
+            }
+            // extend with junk
+            3 => {
+                let extra = rng.below(64) as usize;
+                m.extend((0..extra).map(|_| rng.next_u32() as u8));
+            }
+            // length-field tamper: stomp an aligned u32 with a huge
+            // or boundary value — the classic unbounded-alloc vector
+            4 => {
+                if m.len() >= 4 {
+                    let words = (m.len() / 4) as u64;
+                    let at = rng.below(words) as usize * 4;
+                    let v: u32 = match rng.below(4) {
+                        0 => u32::MAX,
+                        1 => 0x7fff_ffff,
+                        2 => 0x0100_0000,
+                        _ => rng.next_u32(),
+                    };
+                    m[at..at + 4].copy_from_slice(&v.to_be_bytes());
+                }
+            }
+            // swap two bytes (reorders discriminators, lengths)
+            _ => {
+                let a = rng.below(m.len() as u64) as usize;
+                let b = rng.below(m.len() as u64) as usize;
+                m.swap(a, b);
+            }
+        }
+    }
+    m
+}
+
+// ---- per-encoding fuzz loops ----
+
+struct Tally {
+    ok: u64,
+    rejected: u64,
+    panics: u64,
+    alloc_violations: u64,
+}
+
+fn fuzz_encoding(
+    name: &str,
+    seed: u64,
+    iters: u64,
+    seeds: &[Vec<u8>],
+    decode: &dyn Fn(&[u8]) -> bool,
+) -> Tally {
+    let mut rng = SplitMix64::new(seed ^ name.len() as u64);
+    let mut t = Tally {
+        ok: 0,
+        rejected: 0,
+        panics: 0,
+        alloc_violations: 0,
+    };
+    for i in 0..iters {
+        let golden = &seeds[(i % seeds.len() as u64) as usize];
+        let mutated = mutate(&mut rng, golden);
+        let live = LIVE.load(Ordering::Relaxed);
+        reset_peak();
+        match panic::catch_unwind(AssertUnwindSafe(|| decode(&mutated))) {
+            Ok(true) => t.ok += 1,
+            Ok(false) => t.rejected += 1,
+            Err(_) => {
+                t.panics += 1;
+                eprintln!("PANIC: encoding={name} seed={seed} iteration={i}");
+            }
+        }
+        let delta = peak_delta(live);
+        if delta > ALLOC_BOUND {
+            t.alloc_violations += 1;
+            eprintln!("ALLOC BOUND: encoding={name} seed={seed} iteration={i} peak={delta} bytes");
+        }
+    }
+    t
+}
+
+fn main() {
+    let mut seed = 0x5eed_f11c_u64;
+    let mut iters = 10_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(iters),
+            other => {
+                eprintln!("unknown flag {other}; usage: fuzz_decode [--seed N] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Panics are counted, not printed: silence the default hook.
+    panic::set_hook(Box::new(|_| {}));
+
+    let onc = onc_seeds();
+    let giop = giop_seeds();
+    let mach = body_seeds([
+        &|b| mach_bench::encode_send_ints_request(b, &data::mach::ints(16)),
+        &|b| mach_bench::encode_send_rects_request(b, &data::mach::rects(4)),
+        &|b| mach_bench::encode_send_dirents_request(b, &data::mach::dirents(3)),
+        &|b| mach_bench::encode_echo_stat_request(b, &data::mach::stat()),
+    ]);
+    let fluke = body_seeds([
+        &|b| fluke_bench::encode_send_ints_request(b, &data::fluke::ints(16)),
+        &|b| fluke_bench::encode_send_rects_request(b, &data::fluke::rects(4)),
+        &|b| fluke_bench::encode_send_dirents_request(b, &data::fluke::dirents(3)),
+        &|b| fluke_bench::encode_echo_stat_request(b, &data::fluke::stat()),
+    ]);
+
+    // Mach/Fluke bodies carry no message id; replay the proc schedule
+    // the seeds were built with.
+    let mach_bodies: Vec<Vec<u8>> = mach.iter().map(|(_, b)| b.clone()).collect();
+    let fluke_bodies: Vec<Vec<u8>> = fluke.iter().map(|(_, b)| b.clone()).collect();
+
+    let runs: [(&str, &[Vec<u8>], Entry); 4] = [
+        ("xdr", &onc, &|m: &[u8]| {
+            let mut reply = MarshalBuf::new();
+            onc_bench::handle_call(m, PROG, VERS, &mut reply, &mut OncSink)
+        }),
+        ("cdr", &giop, &|m: &[u8]| {
+            let mut reply = MarshalBuf::new();
+            iiop_bench::handle_message(m, &mut reply, &mut IiopSink)
+        }),
+        ("mach", &mach_bodies, &|m: &[u8]| {
+            let mut reply = MarshalBuf::new();
+            let proc = 1 + (m.first().copied().unwrap_or(0) as u32 % 4);
+            mach_bench::dispatch(proc, m, &mut reply, &mut MachSink).is_ok()
+        }),
+        ("fluke", &fluke_bodies, &|m: &[u8]| {
+            let mut reply = MarshalBuf::new();
+            let proc = 1 + (m.first().copied().unwrap_or(0) as u32 % 4);
+            fluke_bench::dispatch(proc, m, &mut reply, &mut FlukeSink).is_ok()
+        }),
+    ];
+
+    let mut failed = false;
+    println!("fuzz_decode: seed={seed} iters={iters} per encoding");
+    for (name, seeds, decode) in runs {
+        let t = fuzz_encoding(name, seed, iters, seeds, decode);
+        println!(
+            "  {name:<5} ok={:<6} rejected={:<6} panics={} alloc_violations={}",
+            t.ok, t.rejected, t.panics, t.alloc_violations
+        );
+        if t.panics > 0 || t.alloc_violations > 0 {
+            failed = true;
+        }
+    }
+    let _ = panic::take_hook();
+    if failed {
+        eprintln!("fuzz_decode: FAILED");
+        std::process::exit(1);
+    }
+    println!("fuzz_decode: all decoders failed safely");
+}

@@ -223,3 +223,59 @@ fn budget_overruns_surface_as_warnings_and_counters() {
         .unwrap();
     assert!(out.report.warnings.is_empty());
 }
+
+#[test]
+fn corrupted_disk_cache_demotes_to_misses_and_is_rewritten() {
+    let dir = std::env::temp_dir().join(format!("flick-session-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut first = CompileSession::with_cache_dir(compiler(), &dir).unwrap();
+    let cold = first
+        .compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    drop(first);
+
+    // Vandalize every persisted entry: one becomes garbage, the rest
+    // are truncated mid-payload.  (The index survives — it only maps
+    // stub names to keys for miss explanations.)
+    let mut vandalized = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.file_name().is_some_and(|n| n == "index.tsv") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        if vandalized == 0 {
+            std::fs::write(&path, "total garbage, not an entry").unwrap();
+        } else {
+            std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        }
+        vandalized += 1;
+    }
+    assert!(vandalized >= 2, "both stub entries must be on disk");
+
+    // A new process over the vandalized directory: every corrupt entry
+    // demotes to a miss, and the output is byte-identical to cold.
+    let mut second = CompileSession::with_cache_dir(compiler(), &dir).unwrap();
+    let recovered = second
+        .compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(
+        counters(&recovered),
+        (0, 2),
+        "corrupt entries must not be trusted"
+    );
+    assert_eq!(cold.c_source, recovered.c_source);
+    assert_eq!(cold.rust_source, recovered.rust_source);
+    drop(second);
+
+    // The replan rewrote the entries: a third process hits everything.
+    let mut third = CompileSession::with_cache_dir(compiler(), &dir).unwrap();
+    let warm = third
+        .compile("calc.idl", CALC_V1, "Calc", Side::Client)
+        .unwrap();
+    assert_eq!(counters(&warm), (2, 0), "rewritten entries hit again");
+    assert_eq!(cold.rust_source, warm.rust_source);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -29,6 +29,48 @@ pub enum DecodeError {
     BadHeader(&'static str),
     /// A boolean held a value other than 0/1, or similar range errors.
     BadValue(&'static str),
+    /// An inner error annotated with the byte offset where the failing
+    /// read began — makes hostile-input rejects diagnosable.
+    At {
+        /// Byte offset into the message where decoding failed.
+        offset: usize,
+        /// The underlying failure.
+        inner: Box<DecodeError>,
+    },
+}
+
+impl DecodeError {
+    /// Annotates this error with the byte offset where the failing
+    /// read began.  An already-annotated error keeps its (more
+    /// precise, innermost) offset.
+    #[must_use]
+    pub fn at(self, offset: usize) -> DecodeError {
+        match self {
+            DecodeError::At { .. } => self,
+            other => DecodeError::At {
+                offset,
+                inner: Box::new(other),
+            },
+        }
+    }
+
+    /// The annotated byte offset, if any.
+    #[must_use]
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            DecodeError::At { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+
+    /// The error stripped of any offset annotation.
+    #[must_use]
+    pub fn root(&self) -> &DecodeError {
+        match self {
+            DecodeError::At { inner, .. } => inner.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for DecodeError {
@@ -46,6 +88,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadHeader(what) => write!(f, "malformed header: {what}"),
             DecodeError::BadValue(what) => write!(f, "malformed value: {what}"),
+            DecodeError::At { offset, inner } => {
+                write!(f, "{inner} (at byte offset {offset})")
+            }
         }
     }
 }
@@ -67,5 +112,16 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e = DecodeError::BoundExceeded { got: 10, bound: 4 };
         assert!(e.to_string().contains("bound 4"));
+    }
+
+    #[test]
+    fn offset_annotation() {
+        let e = DecodeError::BadHeader("bad magic").at(12);
+        assert_eq!(e.offset(), Some(12));
+        assert_eq!(e.root(), &DecodeError::BadHeader("bad magic"));
+        assert!(e.to_string().contains("offset 12"));
+        // Re-annotating keeps the innermost (most precise) offset.
+        assert_eq!(e.clone().at(40).offset(), Some(12));
+        assert_eq!(DecodeError::BadDiscriminator { value: 3 }.offset(), None);
     }
 }

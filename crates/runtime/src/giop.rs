@@ -14,6 +14,10 @@ use crate::error::DecodeError;
 /// Size of the fixed GIOP header.
 pub const HEADER_BYTES: usize = 12;
 
+/// Cap on the body size a GIOP header may announce — a hostile size
+/// field must not force a giant allocation before any body arrives.
+pub const MAX_MESSAGE_BYTES: usize = 16 * 1024 * 1024;
+
 /// GIOP message types (GIOP 1.0).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MsgType {
@@ -146,6 +150,13 @@ pub fn read_header(r: &mut MsgReader<'_>) -> Result<GiopHeader, DecodeError> {
         ByteOrder::Big => c.get_u32_be_at(8),
         ByteOrder::Little => c.get_u32_le_at(8),
     };
+    if size as usize > MAX_MESSAGE_BYTES {
+        crate::metrics::reject(crate::metrics::Codec::Cdr);
+        return Err(DecodeError::BoundExceeded {
+            got: u64::from(size),
+            bound: MAX_MESSAGE_BYTES as u64,
+        });
+    }
     crate::metrics::decode_end(
         crate::metrics::Codec::Cdr,
         HEADER_BYTES as u64 + u64::from(size),
@@ -193,19 +204,15 @@ pub fn get_request_header(
     r: &mut MsgReader<'_>,
     cdr: &CdrIn,
 ) -> Result<RequestHeader, DecodeError> {
-    let contexts = cdr.get_u32(r)?;
-    for _ in 0..contexts {
-        // Skip: context id + encapsulated data.
-        let _id = cdr.get_u32(r)?;
-        let len = cdr.get_u32(r)? as usize;
-        r.skip(len)?;
-    }
+    skip_service_contexts(r, cdr)?;
     let request_id = cdr.get_u32(r)?;
     let response_expected = cdr.get_u8(r)? != 0;
+    let at = r.pos();
     let klen = cdr.get_u32(r)? as usize;
-    let object_key = r.bytes(klen)?.to_vec();
-    let operation = String::from_utf8(cdr.get_string(r)?.to_vec())
-        .map_err(|_| DecodeError::BadValue("operation name is not UTF-8"))?;
+    let object_key = r.bytes(klen).map_err(|e| e.at(at))?.to_vec();
+    let at = r.pos();
+    let operation = String::from_utf8(cdr.get_string(r).map_err(|e| e.at(at))?.to_vec())
+        .map_err(|_| DecodeError::BadValue("operation name is not UTF-8").at(at))?;
     let _principal = cdr.get_u32(r)?;
     Ok(RequestHeader {
         request_id,
@@ -213,6 +220,30 @@ pub fn get_request_header(
         object_key,
         operation,
     })
+}
+
+/// Skips a service-context list, first rejecting counts whose minimum
+/// encoding (8 bytes per context) already exceeds the remaining
+/// message — a hostile count must not buy `u32::MAX` loop iterations.
+fn skip_service_contexts(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<(), DecodeError> {
+    let at = r.pos();
+    let contexts = cdr.get_u32(r)?;
+    if contexts as usize > r.remaining() / 8 {
+        crate::metrics::reject(crate::metrics::Codec::Cdr);
+        return Err(DecodeError::BoundExceeded {
+            got: u64::from(contexts),
+            bound: (r.remaining() / 8) as u64,
+        }
+        .at(at));
+    }
+    for _ in 0..contexts {
+        // Skip: context id + encapsulated data.
+        let _id = cdr.get_u32(r)?;
+        let at = r.pos();
+        let len = cdr.get_u32(r)? as usize;
+        r.skip(len).map_err(|e| e.at(at))?;
+    }
+    Ok(())
 }
 
 /// Writes a GIOP 1.0 reply header into an open CDR stream.
@@ -233,15 +264,54 @@ pub struct ReplyHeader {
 
 /// Reads a reply header from an open CDR stream.
 pub fn get_reply_header(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<ReplyHeader, DecodeError> {
-    let contexts = cdr.get_u32(r)?;
-    for _ in 0..contexts {
-        let _id = cdr.get_u32(r)?;
-        let len = cdr.get_u32(r)? as usize;
-        r.skip(len)?;
-    }
+    skip_service_contexts(r, cdr)?;
     let request_id = cdr.get_u32(r)?;
     let status = ReplyStatus::from_u32(cdr.get_u32(r)?)?;
     Ok(ReplyHeader { request_id, status })
+}
+
+/// Writes a complete `MessageError` message — the GIOP-level answer to
+/// a request whose header could not be parsed.
+pub fn write_message_error(buf: &mut MarshalBuf, order: ByteOrder) {
+    let at = begin_message(buf, order, MsgType::MessageError);
+    finish_message(buf, at, order);
+}
+
+/// Writes a CORBA system-exception reply *body* (follows a reply
+/// header with [`ReplyStatus::SystemException`]): repository id,
+/// minor code, completion status `COMPLETED_NO`.
+pub fn put_system_exception(buf: &mut MarshalBuf, cdr: &CdrOut, repo_id: &str, minor: u32) {
+    cdr.put_string(buf, repo_id);
+    cdr.put_u32(buf, minor);
+    cdr.put_u32(buf, 1); // COMPLETED_NO
+}
+
+/// A decoded system-exception body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SystemException {
+    /// Exception repository id, e.g. `IDL:omg.org/CORBA/MARSHAL:1.0`.
+    pub repo_id: String,
+    /// Minor code.
+    pub minor: u32,
+    /// Completion status (0 yes, 1 no, 2 maybe).
+    pub completed: u32,
+}
+
+/// Reads a system-exception body written by [`put_system_exception`].
+pub fn get_system_exception(
+    r: &mut MsgReader<'_>,
+    cdr: &CdrIn,
+) -> Result<SystemException, DecodeError> {
+    let at = r.pos();
+    let repo_id = String::from_utf8(cdr.get_string(r)?.to_vec())
+        .map_err(|_| DecodeError::BadValue("exception repo id is not UTF-8").at(at))?;
+    let minor = cdr.get_u32(r)?;
+    let completed = cdr.get_u32(r)?;
+    Ok(SystemException {
+        repo_id,
+        minor,
+        completed,
+    })
 }
 
 #[cfg(test)]
@@ -312,5 +382,96 @@ mod tests {
     fn unknown_status_rejected() {
         assert!(ReplyStatus::from_u32(9).is_err());
         assert!(MsgType::from_u8(9).is_err());
+    }
+
+    #[test]
+    fn hostile_size_field_rejected() {
+        let mut data = vec![b'G', b'I', b'O', b'P', 1, 0, 0, 0];
+        data.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = MsgReader::new(&data);
+        assert!(matches!(
+            read_header(&mut r),
+            Err(DecodeError::BoundExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_context_count_rejected_fast() {
+        // A request header announcing u32::MAX service contexts in a
+        // tiny message must fail on the count itself, not iterate.
+        let order = ByteOrder::Big;
+        let mut buf = MarshalBuf::new();
+        let at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        cdr.put_u32(&mut buf, u32::MAX); // contexts
+        cdr.put_u32(&mut buf, 1); // would-be request id
+        finish_message(&mut buf, at, order);
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let err = get_request_header(&mut r, &cin).unwrap_err();
+        assert!(matches!(err.root(), DecodeError::BoundExceeded { .. }));
+        assert_eq!(err.offset(), Some(HEADER_BYTES));
+
+        // Reply headers share the guard.
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        assert!(get_reply_header(&mut r, &cin).is_err());
+    }
+
+    #[test]
+    fn legitimate_contexts_still_skip() {
+        let order = ByteOrder::Big;
+        let mut buf = MarshalBuf::new();
+        let at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        cdr.put_u32(&mut buf, 1); // one context
+        cdr.put_u32(&mut buf, 7); // context id
+        cdr.put_u32(&mut buf, 4); // data length
+        buf.put_bytes(&[1, 2, 3, 4]);
+        cdr.put_u32(&mut buf, 42); // request id
+        cdr.put_u8(&mut buf, 1);
+        cdr.put_u32(&mut buf, 0); // empty object key
+        cdr.put_string(&mut buf, "op");
+        cdr.put_u32(&mut buf, 0); // principal
+        finish_message(&mut buf, at, order);
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_request_header(&mut r, &cin).unwrap();
+        assert_eq!(rh.request_id, 42);
+        assert_eq!(rh.operation, "op");
+    }
+
+    #[test]
+    fn message_error_and_system_exception_roundtrip() {
+        let order = ByteOrder::Little;
+        let mut buf = MarshalBuf::new();
+        write_message_error(&mut buf, order);
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        assert_eq!(h.msg_type, MsgType::MessageError);
+        assert_eq!(h.size, 0);
+
+        let mut buf = MarshalBuf::new();
+        let at = begin_message(&mut buf, order, MsgType::Reply);
+        let cdr = CdrOut::begin(&buf, order);
+        put_reply_header(&mut buf, &cdr, 6, ReplyStatus::SystemException);
+        put_system_exception(&mut buf, &cdr, "IDL:omg.org/CORBA/MARSHAL:1.0", 9);
+        finish_message(&mut buf, at, order);
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_reply_header(&mut r, &cin).unwrap();
+        assert_eq!(rh.status, ReplyStatus::SystemException);
+        let ex = get_system_exception(&mut r, &cin).unwrap();
+        assert_eq!(ex.repo_id, "IDL:omg.org/CORBA/MARSHAL:1.0");
+        assert_eq!(ex.minor, 9);
+        assert_eq!(ex.completed, 1);
     }
 }

@@ -19,6 +19,8 @@
 //!   message travel in a register window, the rest in a buffer;
 //! * [`giop`] — GIOP/IIOP message, request, and reply headers;
 //! * [`oncrpc`] — ONC RPC call/reply headers and TCP record marking;
+//! * [`client`] — client-side deadlines, retransmission, and the
+//!   structured [`client::RpcError`] for datagram calls;
 //! * [`metrics`] — marshal metrics hooks for the codec hot paths.
 //!   They compile to empty inline functions unless the `telemetry`
 //!   cargo feature is enabled, and record lock-free when it is.
@@ -28,6 +30,7 @@
 
 pub mod buf;
 pub mod cdr;
+pub mod client;
 pub mod error;
 pub mod fluke;
 pub mod giop;

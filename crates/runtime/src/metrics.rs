@@ -80,6 +80,42 @@ mod imp {
         })
     }
 
+    fn reject_handles() -> &'static [&'static Counter; 4] {
+        static HANDLES: OnceLock<[&'static Counter; 4]> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            [Codec::Cdr, Codec::Xdr, Codec::Mach, Codec::Fluke]
+                .map(|c| global().counter(&format!("decode.reject.{}", c.name())))
+        })
+    }
+
+    pub fn reject(codec: Codec) {
+        if flick_telemetry::enabled() {
+            reject_handles()[codec as usize].inc();
+        }
+    }
+
+    fn rpc_handles() -> &'static [&'static Counter; 2] {
+        static HANDLES: OnceLock<[&'static Counter; 2]> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            [
+                global().counter("rpc.retry"),
+                global().counter("rpc.timeout"),
+            ]
+        })
+    }
+
+    pub fn rpc_retry() {
+        if flick_telemetry::enabled() {
+            rpc_handles()[0].inc();
+        }
+    }
+
+    pub fn rpc_timeout() {
+        if flick_telemetry::enabled() {
+            rpc_handles()[1].inc();
+        }
+    }
+
     // Per-thread stopwatches: encode in slots 0..4, decode in 4..8.
     thread_local! {
         static STARTS: RefCell<[Option<Instant>; 8]> = const { RefCell::new([None; 8]) };
@@ -152,6 +188,30 @@ pub fn decode_end(codec: Codec, bytes: u64) {
     let _ = (codec, bytes);
 }
 
+/// Records one rejected (malformed/hostile) message for `codec` —
+/// the `decode.reject.<codec>` counter.
+#[inline]
+pub fn reject(codec: Codec) {
+    #[cfg(feature = "telemetry")]
+    imp::reject(codec);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = codec;
+}
+
+/// Records one client-side retransmission (`rpc.retry`).
+#[inline]
+pub fn rpc_retry() {
+    #[cfg(feature = "telemetry")]
+    imp::rpc_retry();
+}
+
+/// Records one client call abandoned at its deadline (`rpc.timeout`).
+#[inline]
+pub fn rpc_timeout() {
+    #[cfg(feature = "telemetry")]
+    imp::rpc_timeout();
+}
+
 #[cfg(all(test, feature = "telemetry"))]
 mod tests {
     use super::*;
@@ -191,6 +251,15 @@ mod tests {
             s.get("runtime.cdr.encode.ns"),
             Some(flick_telemetry::MetricValue::Histogram(h)) if h.count >= 1
         ));
+
+        // Robustness counters land under their own names.
+        reject(Codec::Xdr);
+        rpc_retry();
+        rpc_timeout();
+        let s = flick_telemetry::global().snapshot();
+        assert!(s.counter("decode.reject.xdr").unwrap() >= 1);
+        assert!(s.counter("rpc.retry").unwrap() >= 1);
+        assert!(s.counter("rpc.timeout").unwrap() >= 1);
         flick_telemetry::set_enabled(false);
     }
 }

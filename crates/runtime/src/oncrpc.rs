@@ -87,6 +87,14 @@ pub enum ReplyOutcome {
     Success,
     /// Program number not exported by the server.
     ProgUnavail,
+    /// Program exported, but not at the requested version; the served
+    /// range follows the status word (RFC 1831 `PROG_MISMATCH`).
+    ProgMismatch {
+        /// Lowest version served.
+        low: u32,
+        /// Highest version served.
+        high: u32,
+    },
     /// Procedure number unknown to the program.
     ProcUnavail,
     /// Arguments could not be decoded.
@@ -100,6 +108,7 @@ impl ReplyOutcome {
         match self {
             ReplyOutcome::Success => 0,
             ReplyOutcome::ProgUnavail => 1,
+            ReplyOutcome::ProgMismatch { .. } => 2,
             ReplyOutcome::ProcUnavail => 3,
             ReplyOutcome::GarbageArgs => 4,
             ReplyOutcome::Denied => unreachable!("denied is not an accept_stat"),
@@ -110,20 +119,27 @@ impl ReplyOutcome {
 /// Writes a reply header for `outcome` (results follow for `Success`).
 pub fn write_reply(buf: &mut MarshalBuf, xid: u32, outcome: ReplyOutcome) {
     crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
-    buf.ensure(REPLY_HEADER_BYTES);
-    let mut c = buf.chunk(REPLY_HEADER_BYTES);
-    c.put_u32_be_at(0, xid);
-    c.put_u32_be_at(4, 1); // REPLY
-    if outcome == ReplyOutcome::Denied {
-        c.put_u32_be_at(8, 1); // MSG_DENIED
-        c.put_u32_be_at(12, 0); // RPC_MISMATCH
-        c.put_u32_be_at(16, RPC_VERSION); // low
-        c.put_u32_be_at(20, RPC_VERSION); // high
-    } else {
-        c.put_u32_be_at(8, 0); // MSG_ACCEPTED
-        c.put_u32_be_at(12, 0); // verf AUTH_NONE
-        c.put_u32_be_at(16, 0); // verf length 0
-        c.put_u32_be_at(20, outcome.accept_stat());
+    buf.ensure(REPLY_HEADER_BYTES + 8);
+    {
+        let mut c = buf.chunk(REPLY_HEADER_BYTES);
+        c.put_u32_be_at(0, xid);
+        c.put_u32_be_at(4, 1); // REPLY
+        if outcome == ReplyOutcome::Denied {
+            c.put_u32_be_at(8, 1); // MSG_DENIED
+            c.put_u32_be_at(12, 0); // RPC_MISMATCH
+            c.put_u32_be_at(16, RPC_VERSION); // low
+            c.put_u32_be_at(20, RPC_VERSION); // high
+        } else {
+            c.put_u32_be_at(8, 0); // MSG_ACCEPTED
+            c.put_u32_be_at(12, 0); // verf AUTH_NONE
+            c.put_u32_be_at(16, 0); // verf length 0
+            c.put_u32_be_at(20, outcome.accept_stat());
+        }
+    }
+    if let ReplyOutcome::ProgMismatch { low, high } = outcome {
+        let mut c = buf.chunk(8);
+        c.put_u32_be_at(0, low);
+        c.put_u32_be_at(4, high);
     }
 }
 
@@ -145,6 +161,163 @@ pub fn read_reply(r: &mut MsgReader<'_>) -> Result<u32, DecodeError> {
     Ok(xid)
 }
 
+/// What a reply actually said — every outcome a well-formed reply can
+/// carry, including the error forms [`read_reply`] folds into `Err`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyVerdict {
+    /// `MSG_ACCEPTED` + `SUCCESS`; results follow in the reader.
+    Success,
+    /// `PROG_UNAVAIL`.
+    ProgUnavail,
+    /// `PROG_MISMATCH` with the served version range.
+    ProgMismatch {
+        /// Lowest version served.
+        low: u32,
+        /// Highest version served.
+        high: u32,
+    },
+    /// `PROC_UNAVAIL`.
+    ProcUnavail,
+    /// `GARBAGE_ARGS` — the server could not decode our arguments.
+    GarbageArgs,
+    /// `SYSTEM_ERR` (RFC 1831's accept stat 5).
+    SystemErr,
+    /// `MSG_DENIED` / `RPC_MISMATCH` with the supported RPC versions.
+    RpcMismatch {
+        /// Lowest RPC version supported.
+        low: u32,
+        /// Highest RPC version supported.
+        high: u32,
+    },
+    /// `MSG_DENIED` / `AUTH_ERROR` with the auth status.
+    AuthError(u32),
+}
+
+/// Reads a reply header in full, returning the xid and the verdict.
+/// Unlike [`read_reply`], protocol-level error replies parse cleanly;
+/// only malformed bytes return `Err`.
+pub fn read_reply_verdict(r: &mut MsgReader<'_>) -> Result<(u32, ReplyVerdict), DecodeError> {
+    let at = r.pos();
+    let c = r.chunk(12).map_err(|e| e.at(at))?;
+    let xid = c.get_u32_be_at(0);
+    if c.get_u32_be_at(4) != 1 {
+        return Err(DecodeError::BadHeader("expected REPLY message").at(at));
+    }
+    let verdict = match c.get_u32_be_at(8) {
+        0 => {
+            // MSG_ACCEPTED: verifier, then accept_stat.
+            skip_auth(r).map_err(|e| e.at(at))?;
+            let stat_at = r.pos();
+            let stat = xdr::get_u32(r).map_err(|e| e.at(stat_at))?;
+            match stat {
+                0 => ReplyVerdict::Success,
+                1 => ReplyVerdict::ProgUnavail,
+                2 => {
+                    let c = r.chunk(8).map_err(|e| e.at(stat_at))?;
+                    ReplyVerdict::ProgMismatch {
+                        low: c.get_u32_be_at(0),
+                        high: c.get_u32_be_at(4),
+                    }
+                }
+                3 => ReplyVerdict::ProcUnavail,
+                4 => ReplyVerdict::GarbageArgs,
+                5 => ReplyVerdict::SystemErr,
+                other => {
+                    return Err(DecodeError::BadDiscriminator {
+                        value: i64::from(other),
+                    }
+                    .at(stat_at))
+                }
+            }
+        }
+        1 => {
+            // MSG_DENIED: reject_stat discriminates the payload.
+            let stat_at = r.pos();
+            let stat = xdr::get_u32(r).map_err(|e| e.at(stat_at))?;
+            match stat {
+                0 => {
+                    let c = r.chunk(8).map_err(|e| e.at(stat_at))?;
+                    ReplyVerdict::RpcMismatch {
+                        low: c.get_u32_be_at(0),
+                        high: c.get_u32_be_at(4),
+                    }
+                }
+                1 => ReplyVerdict::AuthError(xdr::get_u32(r).map_err(|e| e.at(stat_at))?),
+                other => {
+                    return Err(DecodeError::BadDiscriminator {
+                        value: i64::from(other),
+                    }
+                    .at(stat_at))
+                }
+            }
+        }
+        other => {
+            return Err(DecodeError::BadDiscriminator {
+                value: i64::from(other),
+            }
+            .at(at))
+        }
+    };
+    Ok((xid, verdict))
+}
+
+/// Validates one inbound call `record` against the served
+/// `(prog, vers)`, writing the protocol-level error reply into `reply`
+/// when the call must be refused.
+///
+/// `Ok` hands back the parsed header and the argument bytes.  `Err`
+/// means the call was not accepted: `Err(true)` when `reply` now holds
+/// an error reply to send, `Err(false)` when the record was too
+/// mangled to answer safely (not a call, or no xid to echo).
+#[allow(clippy::result_unit_err)]
+pub fn accept_call<'a>(
+    record: &'a [u8],
+    prog: u32,
+    vers: u32,
+    reply: &mut MarshalBuf,
+) -> Result<(CallHeader, &'a [u8]), bool> {
+    reply.clear();
+    let mut r = MsgReader::new(record);
+    let Ok(c) = r.chunk(24) else {
+        return Err(false); // no xid to echo
+    };
+    let xid = c.get_u32_be_at(0);
+    if c.get_u32_be_at(4) != 0 {
+        // Not a CALL — never answer (a reply to a reply can loop).
+        return Err(false);
+    }
+    if c.get_u32_be_at(8) != RPC_VERSION {
+        write_reply(reply, xid, ReplyOutcome::Denied);
+        return Err(true);
+    }
+    let h = CallHeader {
+        xid,
+        prog: c.get_u32_be_at(12),
+        vers: c.get_u32_be_at(16),
+        proc: c.get_u32_be_at(20),
+    };
+    if skip_auth(&mut r).and_then(|()| skip_auth(&mut r)).is_err() {
+        write_reply(reply, xid, ReplyOutcome::GarbageArgs);
+        return Err(true);
+    }
+    if h.prog != prog {
+        write_reply(reply, xid, ReplyOutcome::ProgUnavail);
+        return Err(true);
+    }
+    if h.vers != vers {
+        write_reply(
+            reply,
+            xid,
+            ReplyOutcome::ProgMismatch {
+                low: vers,
+                high: vers,
+            },
+        );
+        return Err(true);
+    }
+    Ok((h, &record[r.pos()..]))
+}
+
 /// Prefixes `record` with TCP record marking (single final fragment).
 pub fn frame_record(record: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(record.len() + 4);
@@ -155,9 +328,25 @@ pub fn frame_record(record: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Default cap on a record (and on any one fragment): a hostile
+/// `0x7fffffff` record mark must not force a 2 GiB allocation before a
+/// single payload byte arrives.
+pub const MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
+
 /// Extracts one record from `stream`, returning `(record, consumed)`.
-/// Handles multi-fragment records.
+/// Handles multi-fragment records; fragments and the assembled record
+/// are capped at [`MAX_RECORD_BYTES`].
 pub fn deframe_record(stream: &[u8]) -> Result<(Vec<u8>, usize), DecodeError> {
+    deframe_record_limited(stream, MAX_RECORD_BYTES)
+}
+
+/// [`deframe_record`] with a caller-chosen record-size cap.  A record
+/// mark announcing more than `max_bytes` — alone or accumulated across
+/// fragments — is rejected *before* any allocation of that size.
+pub fn deframe_record_limited(
+    stream: &[u8],
+    max_bytes: usize,
+) -> Result<(Vec<u8>, usize), DecodeError> {
     crate::metrics::decode_begin(crate::metrics::Codec::Xdr);
     let mut record = Vec::new();
     let mut pos = 0usize;
@@ -171,6 +360,13 @@ pub fn deframe_record(stream: &[u8]) -> Result<(Vec<u8>, usize), DecodeError> {
         let mark = u32::from_be_bytes(stream[pos..pos + 4].try_into().expect("len 4"));
         let last = mark & 0x8000_0000 != 0;
         let len = (mark & 0x7fff_ffff) as usize;
+        if len > max_bytes || record.len() + len > max_bytes {
+            crate::metrics::reject(crate::metrics::Codec::Xdr);
+            return Err(DecodeError::BoundExceeded {
+                got: (record.len() + len) as u64,
+                bound: max_bytes as u64,
+            });
+        }
         pos += 4;
         if stream.len() < pos + len {
             return Err(DecodeError::Truncated {
@@ -222,6 +418,7 @@ mod tests {
     fn error_replies_rejected_by_reader() {
         for outcome in [
             ReplyOutcome::ProgUnavail,
+            ReplyOutcome::ProgMismatch { low: 1, high: 2 },
             ReplyOutcome::ProcUnavail,
             ReplyOutcome::GarbageArgs,
             ReplyOutcome::Denied,
@@ -265,6 +462,135 @@ mod tests {
         let framed = frame_record(b"payload");
         assert!(deframe_record(&framed[..5]).is_err());
         assert!(deframe_record(&[]).is_err());
+    }
+
+    #[test]
+    fn verdict_roundtrips_every_outcome() {
+        let cases = [
+            (ReplyOutcome::Success, ReplyVerdict::Success),
+            (ReplyOutcome::ProgUnavail, ReplyVerdict::ProgUnavail),
+            (
+                ReplyOutcome::ProgMismatch { low: 2, high: 5 },
+                ReplyVerdict::ProgMismatch { low: 2, high: 5 },
+            ),
+            (ReplyOutcome::ProcUnavail, ReplyVerdict::ProcUnavail),
+            (ReplyOutcome::GarbageArgs, ReplyVerdict::GarbageArgs),
+            (
+                ReplyOutcome::Denied,
+                ReplyVerdict::RpcMismatch {
+                    low: RPC_VERSION,
+                    high: RPC_VERSION,
+                },
+            ),
+        ];
+        for (outcome, want) in cases {
+            let mut b = MarshalBuf::new();
+            write_reply(&mut b, 31, outcome);
+            let data = b.into_vec();
+            let mut r = MsgReader::new(&data);
+            let (xid, got) = read_reply_verdict(&mut r).expect("well-formed reply");
+            assert_eq!(xid, 31);
+            assert_eq!(got, want, "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn verdict_rejects_garbage_with_offsets() {
+        let mut r = MsgReader::new(&[0u8; 4]);
+        assert!(read_reply_verdict(&mut r).is_err());
+
+        // accept_stat out of range: annotated with its offset.
+        let mut b = MarshalBuf::new();
+        write_reply(&mut b, 1, ReplyOutcome::Success);
+        let mut data = b.into_vec();
+        data[23] = 9; // accept_stat = 9
+        let mut r = MsgReader::new(&data);
+        let err = read_reply_verdict(&mut r).unwrap_err();
+        assert_eq!(err.offset(), Some(20));
+        assert_eq!(err.root(), &DecodeError::BadDiscriminator { value: 9 });
+    }
+
+    #[test]
+    fn accept_call_accepts_and_refuses() {
+        let mut reply = MarshalBuf::new();
+        let mut buf = MarshalBuf::new();
+        let h = CallHeader {
+            xid: 5,
+            prog: 100,
+            vers: 2,
+            proc: 1,
+        };
+        h.write(&mut buf);
+        buf.put_u32_be(77); // one argument word
+        let record = buf.into_vec();
+
+        // Exact match: accepted, args handed back.
+        let (got, body) = accept_call(&record, 100, 2, &mut reply).expect("accepted");
+        assert_eq!(got, h);
+        assert_eq!(body, &77u32.to_be_bytes());
+
+        let verdict_of = |reply: &MarshalBuf| {
+            let data = reply.as_slice();
+            let mut r = MsgReader::new(data);
+            read_reply_verdict(&mut r).expect("reply parses").1
+        };
+
+        // Wrong program: PROG_UNAVAIL.
+        assert_eq!(accept_call(&record, 101, 2, &mut reply), Err(true));
+        assert_eq!(verdict_of(&reply), ReplyVerdict::ProgUnavail);
+
+        // Wrong version: PROG_MISMATCH carrying the served range.
+        assert_eq!(accept_call(&record, 100, 3, &mut reply), Err(true));
+        assert_eq!(
+            verdict_of(&reply),
+            ReplyVerdict::ProgMismatch { low: 3, high: 3 }
+        );
+
+        // Wrong RPC version: denied.
+        let mut bad = record.clone();
+        bad[11] = 9; // rpcvers = 9
+        assert_eq!(accept_call(&bad, 100, 2, &mut reply), Err(true));
+        assert!(matches!(
+            verdict_of(&reply),
+            ReplyVerdict::RpcMismatch { .. }
+        ));
+
+        // Too short for an xid / not a call: silence.
+        assert_eq!(accept_call(&[1, 2, 3], 100, 2, &mut reply), Err(false));
+        let mut not_call = record;
+        not_call[7] = 1; // msg_type = REPLY
+        assert_eq!(accept_call(&not_call, 100, 2, &mut reply), Err(false));
+    }
+
+    #[test]
+    fn hostile_record_mark_rejected_without_allocation() {
+        // A lone 0x7fffffff mark (final fragment, 2 GiB length).
+        let mark = 0xffff_ffffu32.to_be_bytes();
+        let err = deframe_record(&mark).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::BoundExceeded {
+                got: 0x7fff_ffff,
+                bound: MAX_RECORD_BYTES as u64,
+            }
+        );
+        // Many small fragments accumulating past the cap fail too.
+        let mut stream = Vec::new();
+        for _ in 0..3 {
+            stream.extend_from_slice(&(8 * 1024 * 1024u32).to_be_bytes());
+            stream.extend_from_slice(&vec![0u8; 8 * 1024 * 1024]);
+        }
+        stream.extend_from_slice(&0x8000_0000u32.to_be_bytes());
+        assert!(matches!(
+            deframe_record(&stream),
+            Err(DecodeError::BoundExceeded { .. })
+        ));
+        // A caller-raised cap admits what the default refuses.
+        let mut ok = Vec::new();
+        ok.extend_from_slice(&(0x8000_0000u32 | 5).to_be_bytes());
+        ok.extend_from_slice(b"hello");
+        assert!(deframe_record_limited(&ok, 4).is_err());
+        assert!(deframe_record_limited(&ok, 5).is_ok());
     }
 
     #[test]

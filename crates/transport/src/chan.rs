@@ -75,6 +75,17 @@ impl<T> Drop for Sender<T> {
     }
 }
 
+/// Outcome of a bounded receive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recv<T> {
+    /// A message arrived in time.
+    Msg(T),
+    /// Every sender is gone and the queue is drained.
+    Closed,
+    /// The timeout elapsed with no message.
+    TimedOut,
+}
+
 impl<T> Receiver<T> {
     /// Dequeues the next message, blocking until one arrives.
     /// Returns `None` once every sender is gone and the queue drained.
@@ -89,6 +100,42 @@ impl<T> Receiver<T> {
                 return None;
             }
             s = self.inner.ready.wait(s).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues the next message, waiting at most `timeout` — the
+    /// primitive under client call deadlines and retransmission.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Recv<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = s.queue.pop_front() {
+                return Recv::Msg(v);
+            }
+            if s.senders == 0 {
+                return Recv::Closed;
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Recv::TimedOut;
+            };
+            let (guard, res) = self
+                .inner
+                .ready
+                .wait_timeout(s, left)
+                .expect("channel poisoned");
+            s = guard;
+            if res.timed_out() && s.queue.is_empty() {
+                return if s.senders == 0 {
+                    Recv::Closed
+                } else {
+                    Recv::TimedOut
+                };
+            }
         }
     }
 }
@@ -142,6 +189,25 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(10));
         tx.send(42);
         assert_eq!(t.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Recv::TimedOut
+        );
+        tx.send(1);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Recv::Msg(1)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Recv::<i32>::Closed
+        );
     }
 
     #[test]

@@ -65,10 +65,39 @@ impl DatagramEnd {
         Some(msg)
     }
 
+    /// Receives one datagram, waiting at most `timeout`.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> crate::chan::Recv<Vec<u8>> {
+        let clock = crate::metrics::recv_clock();
+        let out = self.rx.recv_timeout(timeout);
+        if let crate::chan::Recv::Msg(msg) = &out {
+            crate::metrics::received(
+                crate::metrics::Kind::Datagram,
+                msg.len() as u64,
+                crate::metrics::recv_elapsed(clock),
+            );
+        }
+        out
+    }
+
     /// The maximum datagram size.
     #[must_use]
     pub fn max_size(&self) -> usize {
         self.max
+    }
+}
+
+impl flick_runtime::client::Endpoint for DatagramEnd {
+    fn send(&self, payload: &[u8]) -> Result<(), &'static str> {
+        DatagramEnd::send(self, payload).map_err(|_| "datagram too big")
+    }
+
+    fn recv_deadline(&self, timeout: std::time::Duration) -> flick_runtime::client::RecvOutcome {
+        match self.recv_timeout(timeout) {
+            crate::chan::Recv::Msg(m) => flick_runtime::client::RecvOutcome::Msg(m),
+            crate::chan::Recv::TimedOut => flick_runtime::client::RecvOutcome::TimedOut,
+            crate::chan::Recv::Closed => flick_runtime::client::RecvOutcome::Closed,
+        }
     }
 }
 

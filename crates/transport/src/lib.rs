@@ -10,6 +10,10 @@
 //!   ports, Fluke-like register IPC) used by the examples and
 //!   integration tests to exercise complete request/reply exchanges
 //!   between threads;
+//! * [`fault`] — a deterministic, seeded fault-injection layer that
+//!   wraps any of the above ends and perturbs the message stream
+//!   (drop, duplicate, reorder, truncate, bit-flip, virtual-time
+//!   delay) for robustness testing;
 //! * [`netmodel`] — virtual-time models of the paper's physical links
 //!   (bandwidth, per-message OS cost), calibrated to the effective
 //!   `ttcp` bandwidths the paper reports, used by the end-to-end
@@ -18,6 +22,7 @@
 
 pub mod chan;
 pub mod datagram;
+pub mod fault;
 pub mod fluke;
 pub mod mach;
 pub mod metrics;

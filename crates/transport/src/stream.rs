@@ -106,15 +106,29 @@ pub fn write_record(s: &StreamEnd, record: &[u8]) {
 }
 
 /// Reads one ONC RPC record from a stream (handles multi-fragment
-/// records). Returns `None` on close.
+/// records). Returns `None` on close, and on a record mark announcing
+/// more than [`flick_runtime::oncrpc::MAX_RECORD_BYTES`] — a hostile
+/// `0x7fffffff` mark must not force a 2 GiB allocation, and a framing
+/// violation on a byte stream is connection-fatal anyway.
 #[must_use]
 pub fn read_record(s: &StreamEnd) -> Option<Vec<u8>> {
+    read_record_limited(s, flick_runtime::oncrpc::MAX_RECORD_BYTES)
+}
+
+/// [`read_record`] with a caller-chosen cap on the assembled record
+/// (and on any single fragment).
+#[must_use]
+pub fn read_record_limited(s: &StreamEnd, max_bytes: usize) -> Option<Vec<u8>> {
     let mut out = Vec::new();
     loop {
         let mark_bytes = s.read_exact(4)?;
         let mark = u32::from_be_bytes(mark_bytes.try_into().expect("len 4"));
         let last = mark & 0x8000_0000 != 0;
         let len = (mark & 0x7fff_ffff) as usize;
+        if len > max_bytes || out.len() + len > max_bytes {
+            flick_runtime::metrics::reject(flick_runtime::metrics::Codec::Xdr);
+            return None;
+        }
         let frag = s.read_exact(len)?;
         out.extend_from_slice(&frag);
         if last {
@@ -130,6 +144,10 @@ pub fn write_giop(s: &StreamEnd, message: &[u8]) {
 
 /// Reads one GIOP message from a stream by first reading its 12-byte
 /// header, then the body it announces.  Returns the complete message.
+/// A header announcing more than
+/// [`flick_runtime::giop::MAX_MESSAGE_BYTES`] is rejected inside
+/// `read_header` before any body allocation — `None`, like any other
+/// framing violation.
 #[must_use]
 pub fn read_giop(s: &StreamEnd) -> Option<Vec<u8>> {
     let mut msg = s.read_exact(flick_runtime::giop::HEADER_BYTES)?;
@@ -188,6 +206,30 @@ mod tests {
         write_record(&a, b"second");
         assert_eq!(read_record(&b).unwrap(), b"first record");
         assert_eq!(read_record(&b).unwrap(), b"second");
+    }
+
+    #[test]
+    fn hostile_record_mark_does_not_allocate() {
+        let (a, b) = stream_pair();
+        // Final-fragment mark announcing 2 GiB with no payload behind.
+        a.write(&0xffff_ffffu32.to_be_bytes());
+        assert_eq!(read_record(&b), None);
+
+        // A giant GIOP size field dies in read_header the same way.
+        let mut hdr = vec![b'G', b'I', b'O', b'P', 1, 0, 0, 0];
+        hdr.extend_from_slice(&u32::MAX.to_be_bytes());
+        a.write(&hdr);
+        assert_eq!(read_giop(&b), None);
+    }
+
+    #[test]
+    fn record_cap_is_configurable() {
+        let (a, b) = stream_pair();
+        write_record(&a, &[7u8; 64]);
+        assert_eq!(read_record_limited(&b, 32), None);
+        let (a, b) = stream_pair();
+        write_record(&a, &[7u8; 64]);
+        assert_eq!(read_record_limited(&b, 64).unwrap().len(), 64);
     }
 
     #[test]
