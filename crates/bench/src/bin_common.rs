@@ -94,6 +94,11 @@ pub fn emit_telemetry_snapshot() {
         } else {
             println!("\n== telemetry snapshot ==");
             print!("{}", snap.to_text());
+            let ops = flick_runtime::stats::per_op_table();
+            if !ops.is_empty() {
+                println!("\n== per-operation RPC latency ==");
+                print!("{ops}");
+            }
         }
     }
 }

@@ -121,6 +121,7 @@ pub fn call(
     for attempt in 0..=opts.retries {
         if attempt > 0 {
             crate::metrics::rpc_retry();
+            crate::trace::client_retry();
         }
         ep.send(request).map_err(RpcError::Transport)?;
         // Drain replies until this attempt's window closes.  The
@@ -129,6 +130,7 @@ pub fn call(
             let spent = started.elapsed();
             if spent >= opts.deadline {
                 crate::metrics::rpc_timeout();
+                crate::trace::client_timeout();
                 return Err(RpcError::Timeout);
             }
             let left = opts.deadline - spent;
@@ -166,6 +168,7 @@ pub fn call(
         wait = wait.saturating_mul(2);
     }
     crate::metrics::rpc_timeout();
+    crate::trace::client_timeout();
     Err(RpcError::Timeout)
 }
 

@@ -6,10 +6,18 @@
 //! begin with a request header (request id, response-expected flag,
 //! object key, operation name); reply bodies with a reply header
 //! (request id, reply status).
+//!
+//! When a trace span is live (see [`crate::trace`]), the otherwise
+//! empty service-context list at the head of request and reply headers
+//! carries one entry: id [`crate::trace::GIOP_TRACE_CONTEXT_ID`], a
+//! 16-byte encapsulation of trace id + span id.  Readers capture the
+//! entry into [`RequestHeader::trace`] / [`ReplyHeader::trace`]; any
+//! other context id is skipped as before.
 
 use crate::buf::{MarshalBuf, MsgReader};
 use crate::cdr::{ByteOrder, CdrIn, CdrOut};
 use crate::error::DecodeError;
+use crate::trace::TraceContext;
 
 /// Size of the fixed GIOP header.
 pub const HEADER_BYTES: usize = 12;
@@ -168,7 +176,23 @@ pub fn read_header(r: &mut MsgReader<'_>) -> Result<GiopHeader, DecodeError> {
     })
 }
 
-/// Writes a GIOP 1.0 request header into an open CDR stream.
+/// Writes the service-context list: one trace entry when a context is
+/// live on this thread, the classic empty list otherwise.
+fn put_service_contexts(buf: &mut MarshalBuf, cdr: &CdrOut, trace: Option<TraceContext>) {
+    match trace {
+        None => cdr.put_u32(buf, 0), // empty service context list
+        Some(ctx) => {
+            cdr.put_u32(buf, 1); // one service context
+            cdr.put_u32(buf, crate::trace::GIOP_TRACE_CONTEXT_ID);
+            cdr.put_u32(buf, crate::trace::TRACE_BLOB_BYTES as u32);
+            buf.put_bytes(&ctx.encode());
+        }
+    }
+}
+
+/// Writes a GIOP 1.0 request header into an open CDR stream.  While a
+/// client trace span is open on this thread, the service-context list
+/// carries its context.
 pub fn put_request_header(
     buf: &mut MarshalBuf,
     cdr: &CdrOut,
@@ -177,7 +201,7 @@ pub fn put_request_header(
     object_key: &[u8],
     operation: &str,
 ) {
-    cdr.put_u32(buf, 0); // empty service context list
+    put_service_contexts(buf, cdr, crate::trace::wire_context());
     cdr.put_u32(buf, request_id);
     cdr.put_u8(buf, u8::from(response_expected));
     cdr.put_u32(buf, object_key.len() as u32);
@@ -197,14 +221,21 @@ pub struct RequestHeader {
     pub object_key: Vec<u8>,
     /// Operation name — the demultiplexing discriminator.
     pub operation: String,
+    /// Trace context from the service-context list, if the client sent
+    /// one.
+    pub trace: Option<TraceContext>,
 }
 
-/// Reads a request header from an open CDR stream.
+/// Reads a request header from an open CDR stream, noting the carried
+/// trace context (or its absence) for this thread's server spans and
+/// reply headers.
 pub fn get_request_header(
     r: &mut MsgReader<'_>,
     cdr: &CdrIn,
 ) -> Result<RequestHeader, DecodeError> {
-    skip_service_contexts(r, cdr)?;
+    crate::trace::note_wire_context(None);
+    let trace = read_service_contexts(r, cdr)?;
+    crate::trace::note_wire_context(trace);
     let request_id = cdr.get_u32(r)?;
     let response_expected = cdr.get_u8(r)? != 0;
     let at = r.pos();
@@ -219,13 +250,19 @@ pub fn get_request_header(
         response_expected,
         object_key,
         operation,
+        trace,
     })
 }
 
-/// Skips a service-context list, first rejecting counts whose minimum
-/// encoding (8 bytes per context) already exceeds the remaining
-/// message — a hostile count must not buy `u32::MAX` loop iterations.
-fn skip_service_contexts(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<(), DecodeError> {
+/// Walks a service-context list, capturing a well-formed trace entry
+/// and skipping everything else.  Counts whose minimum encoding
+/// (8 bytes per context) already exceeds the remaining message are
+/// rejected first — a hostile count must not buy `u32::MAX` loop
+/// iterations.
+fn read_service_contexts(
+    r: &mut MsgReader<'_>,
+    cdr: &CdrIn,
+) -> Result<Option<TraceContext>, DecodeError> {
     let at = r.pos();
     let contexts = cdr.get_u32(r)?;
     if contexts as usize > r.remaining() / 8 {
@@ -236,19 +273,27 @@ fn skip_service_contexts(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<(), Decod
         }
         .at(at));
     }
+    let mut trace = None;
     for _ in 0..contexts {
-        // Skip: context id + encapsulated data.
-        let _id = cdr.get_u32(r)?;
+        // Context id + encapsulated data.
+        let id = cdr.get_u32(r)?;
         let at = r.pos();
         let len = cdr.get_u32(r)? as usize;
-        r.skip(len).map_err(|e| e.at(at))?;
+        if id == crate::trace::GIOP_TRACE_CONTEXT_ID && len == crate::trace::TRACE_BLOB_BYTES {
+            let blob = r.bytes(len).map_err(|e| e.at(at))?;
+            trace = TraceContext::decode(blob); // malformed blob: untraced
+        } else {
+            r.skip(len).map_err(|e| e.at(at))?;
+        }
     }
-    Ok(())
+    Ok(trace)
 }
 
-/// Writes a GIOP 1.0 reply header into an open CDR stream.
+/// Writes a GIOP 1.0 reply header into an open CDR stream, echoing the
+/// request's trace context (noted by [`get_request_header`]) in the
+/// service-context list.
 pub fn put_reply_header(buf: &mut MarshalBuf, cdr: &CdrOut, request_id: u32, status: ReplyStatus) {
-    cdr.put_u32(buf, 0); // empty service context list
+    put_service_contexts(buf, cdr, crate::trace::reply_context());
     cdr.put_u32(buf, request_id);
     cdr.put_u32(buf, status.to_u32());
 }
@@ -260,14 +305,20 @@ pub struct ReplyHeader {
     pub request_id: u32,
     /// Outcome of the request.
     pub status: ReplyStatus,
+    /// Trace context echoed by the server, if any.
+    pub trace: Option<TraceContext>,
 }
 
 /// Reads a reply header from an open CDR stream.
 pub fn get_reply_header(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<ReplyHeader, DecodeError> {
-    skip_service_contexts(r, cdr)?;
+    let trace = read_service_contexts(r, cdr)?;
     let request_id = cdr.get_u32(r)?;
     let status = ReplyStatus::from_u32(cdr.get_u32(r)?)?;
-    Ok(ReplyHeader { request_id, status })
+    Ok(ReplyHeader {
+        request_id,
+        status,
+        trace,
+    })
 }
 
 /// Writes a complete `MessageError` message — the GIOP-level answer to
@@ -363,9 +414,54 @@ mod tests {
             rh,
             ReplyHeader {
                 request_id: 42,
-                status: ReplyStatus::NoException
+                status: ReplyStatus::NoException,
+                trace: None,
             }
         );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn trace_context_rides_the_service_context_list() {
+        let _guard = crate::trace::test_lock();
+        flick_telemetry::set_enabled(true);
+        let order = ByteOrder::Little;
+
+        // Client side: an open span fills the request's context list.
+        let span = crate::trace::client_begin("giop_traced_unit");
+        let ctx = span.context().expect("span live while enabled");
+        let mut buf = MarshalBuf::new();
+        let size_at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        put_request_header(&mut buf, &cdr, 42, true, b"k", "send");
+        finish_message(&mut buf, size_at, order);
+        let data = buf.into_vec();
+        let _ = span.finish_call(Ok(Vec::new()));
+
+        // Server side: context captured and noted for the reply.
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_request_header(&mut r, &cin).unwrap();
+        assert_eq!(rh.operation, "send");
+        assert_eq!(rh.trace, Some(ctx));
+        assert_eq!(crate::trace::reply_context(), Some(ctx));
+
+        let mut buf = MarshalBuf::new();
+        let size_at = begin_message(&mut buf, order, MsgType::Reply);
+        let cdr = CdrOut::begin(&buf, order);
+        put_reply_header(&mut buf, &cdr, 42, ReplyStatus::NoException);
+        finish_message(&mut buf, size_at, order);
+        let reply = buf.into_vec();
+
+        let mut r = MsgReader::new(&reply);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_reply_header(&mut r, &cin).unwrap();
+        assert_eq!(rh.trace, Some(ctx), "reply echoes the request's context");
+
+        crate::trace::note_wire_context(None);
+        flick_telemetry::set_enabled(false);
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //!   structured [`client::RpcError`] for datagram calls;
 //! * [`metrics`] — marshal metrics hooks for the codec hot paths.
 //!   They compile to empty inline functions unless the `telemetry`
-//!   cargo feature is enabled, and record lock-free when it is.
+//!   cargo feature is enabled, and record lock-free when it is;
+//! * [`trace`] — request-level tracing: [`trace::TraceContext`]
+//!   propagated on the wire (ONC credential blob, GIOP service
+//!   context), client/server spans the generated stubs open, and the
+//!   journal events they feed.  Same zero-cost contract as `metrics`;
+//! * [`stats`] — point-in-time observability snapshots (text, JSON,
+//!   and a per-operation latency table) for benches and `--stats`.
 //!
 //! Everything here is deliberately `no_std`-shaped (no I/O): transports
 //! live in `flick-transport`.
@@ -38,6 +44,8 @@ pub mod mach;
 pub mod metrics;
 pub mod oncrpc;
 pub mod pod;
+pub mod stats;
+pub mod trace;
 pub mod xdr;
 
 pub use buf::{ChunkReader, ChunkWriter, MarshalBuf, MsgReader};

@@ -189,13 +189,14 @@ pub fn decode_end(codec: Codec, bytes: u64) {
 }
 
 /// Records one rejected (malformed/hostile) message for `codec` —
-/// the `decode.reject.<codec>` counter.
+/// the `decode.reject.<codec>` counter, a journal event, and the
+/// postmortem latch (rejects are exactly the moments a flight
+/// recording is for).
 #[inline]
 pub fn reject(codec: Codec) {
     #[cfg(feature = "telemetry")]
     imp::reject(codec);
-    #[cfg(not(feature = "telemetry"))]
-    let _ = codec;
+    crate::trace::reject_event(codec.name());
 }
 
 /// Records one client-side retransmission (`rpc.retry`).
@@ -220,6 +221,7 @@ mod tests {
     // must run sequentially.
     #[test]
     fn hooks_respect_the_enable_flag() {
+        let _guard = crate::trace::test_lock();
         // Disabled hooks must not record.  The registry is
         // process-global and sibling unit tests record concurrently
         // when `FLICK_TELEMETRY=1`, so assert on a before/after delta

@@ -5,9 +5,17 @@
 //! `xid, REPLY, MSG_ACCEPTED, verifier, SUCCESS`.  Over TCP, messages
 //! travel in *records*: fragments prefixed by a 31-bit length whose top
 //! bit marks the final fragment.
+//!
+//! When a client trace span is open (see [`crate::trace`]), the call's
+//! credential slot carries the trace context instead of `AUTH_NONE`:
+//! flavor [`crate::trace::ONC_TRACE_AUTH_FLAVOR`], a 16-byte body of
+//! trace id + span id.  Servers that know the flavor extract it (and
+//! echo it in the reply verifier); everyone else skips it like any
+//! unknown credential, so traced and untraced peers interoperate.
 
 use crate::buf::{MarshalBuf, MsgReader};
 use crate::error::DecodeError;
+use crate::trace::TraceContext;
 use crate::xdr;
 
 /// RPC protocol version (always 2).
@@ -16,8 +24,16 @@ pub const RPC_VERSION: u32 = 2;
 /// Encoded size of a call header (6 words + 2 empty auth = 10 words).
 pub const CALL_HEADER_BYTES: usize = 40;
 
+/// Encoded size of a call header whose credential carries a trace
+/// context (the empty cred grows by 16 blob bytes).
+pub const TRACED_CALL_HEADER_BYTES: usize = CALL_HEADER_BYTES + crate::trace::TRACE_BLOB_BYTES;
+
 /// Encoded size of a success reply header (3 words + auth + stat).
 pub const REPLY_HEADER_BYTES: usize = 24;
+
+/// Encoded size of an accepted reply header whose verifier echoes a
+/// trace context.
+pub const TRACED_REPLY_HEADER_BYTES: usize = REPLY_HEADER_BYTES + crate::trace::TRACE_BLOB_BYTES;
 
 /// A call-message header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,21 +49,40 @@ pub struct CallHeader {
 }
 
 impl CallHeader {
-    /// Writes the header (fixed layout — a single chunk).
+    /// Writes the header (fixed layout — a single chunk).  While a
+    /// client trace span is open on this thread, the credential slot
+    /// carries its context instead of `AUTH_NONE`.
     pub fn write(&self, buf: &mut MarshalBuf) {
         crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
-        buf.ensure(CALL_HEADER_BYTES);
-        let mut c = buf.chunk(CALL_HEADER_BYTES);
+        let trace = crate::trace::wire_context();
+        let total = if trace.is_some() {
+            TRACED_CALL_HEADER_BYTES
+        } else {
+            CALL_HEADER_BYTES
+        };
+        buf.ensure(total);
+        let mut c = buf.chunk(total);
         c.put_u32_be_at(0, self.xid);
         c.put_u32_be_at(4, 0); // CALL
         c.put_u32_be_at(8, RPC_VERSION);
         c.put_u32_be_at(12, self.prog);
         c.put_u32_be_at(16, self.vers);
         c.put_u32_be_at(20, self.proc);
-        c.put_u32_be_at(24, 0); // cred flavor AUTH_NONE
-        c.put_u32_be_at(28, 0); // cred length 0
-        c.put_u32_be_at(32, 0); // verf flavor AUTH_NONE
-        c.put_u32_be_at(36, 0); // verf length 0
+        match trace {
+            None => {
+                c.put_u32_be_at(24, 0); // cred flavor AUTH_NONE
+                c.put_u32_be_at(28, 0); // cred length 0
+                c.put_u32_be_at(32, 0); // verf flavor AUTH_NONE
+                c.put_u32_be_at(36, 0); // verf length 0
+            }
+            Some(ctx) => {
+                c.put_u32_be_at(24, crate::trace::ONC_TRACE_AUTH_FLAVOR);
+                c.put_u32_be_at(28, crate::trace::TRACE_BLOB_BYTES as u32);
+                put_trace_blob_at(&mut c, 32, ctx);
+                c.put_u32_be_at(48, 0); // verf flavor AUTH_NONE
+                c.put_u32_be_at(52, 0); // verf length 0
+            }
+        }
     }
 
     /// Reads and validates a call header.
@@ -78,6 +113,34 @@ fn skip_auth(r: &mut MsgReader<'_>) -> Result<(), DecodeError> {
     let _flavor = xdr::get_u32(r)?;
     let len = xdr::get_u32(r)? as usize;
     r.skip(crate::align_up(len, 4))
+}
+
+/// Writes a 16-byte trace blob at `off` as four big-endian words.
+fn put_trace_blob_at(c: &mut crate::buf::ChunkWriter<'_>, off: usize, ctx: TraceContext) {
+    c.put_u32_be_at(off, (ctx.trace_id >> 32) as u32);
+    c.put_u32_be_at(off + 4, ctx.trace_id as u32);
+    c.put_u32_be_at(off + 8, (ctx.span_id >> 32) as u32);
+    c.put_u32_be_at(off + 12, ctx.span_id as u32);
+}
+
+/// Reads one authenticator like [`skip_auth`], but captures a trace
+/// context when the flavor is [`crate::trace::ONC_TRACE_AUTH_FLAVOR`]
+/// with a well-formed 16-byte body.  Any other flavor (or a malformed
+/// blob length) is skipped and reads as untraced.
+fn read_auth_trace(r: &mut MsgReader<'_>) -> Result<Option<TraceContext>, DecodeError> {
+    let flavor = xdr::get_u32(r)?;
+    let len = xdr::get_u32(r)? as usize;
+    if flavor == crate::trace::ONC_TRACE_AUTH_FLAVOR && len == crate::trace::TRACE_BLOB_BYTES {
+        let c = r.chunk(crate::trace::TRACE_BLOB_BYTES)?;
+        let trace_id = (u64::from(c.get_u32_be_at(0)) << 32) | u64::from(c.get_u32_be_at(4));
+        let span_id = (u64::from(c.get_u32_be_at(8)) << 32) | u64::from(c.get_u32_be_at(12));
+        if trace_id == 0 {
+            return Ok(None); // hostile zero blob: untraced
+        }
+        return Ok(Some(TraceContext { trace_id, span_id }));
+    }
+    r.skip(crate::align_up(len, 4))?;
+    Ok(None)
 }
 
 /// Why a reply did not carry results.
@@ -117,23 +180,48 @@ impl ReplyOutcome {
 }
 
 /// Writes a reply header for `outcome` (results follow for `Success`).
+///
+/// When the request being answered carried a trace context (noted by
+/// [`accept_call`]), an accepted reply echoes it in the verifier slot
+/// — so a reply is only ever variable-length toward a peer that
+/// already parses variable-length verifiers.  Denied replies have no
+/// verifier and never echo.
 pub fn write_reply(buf: &mut MarshalBuf, xid: u32, outcome: ReplyOutcome) {
     crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
-    buf.ensure(REPLY_HEADER_BYTES + 8);
+    let trace = if outcome == ReplyOutcome::Denied {
+        None
+    } else {
+        crate::trace::reply_context()
+    };
+    buf.ensure(TRACED_REPLY_HEADER_BYTES + 8);
     {
-        let mut c = buf.chunk(REPLY_HEADER_BYTES);
-        c.put_u32_be_at(0, xid);
-        c.put_u32_be_at(4, 1); // REPLY
-        if outcome == ReplyOutcome::Denied {
-            c.put_u32_be_at(8, 1); // MSG_DENIED
-            c.put_u32_be_at(12, 0); // RPC_MISMATCH
-            c.put_u32_be_at(16, RPC_VERSION); // low
-            c.put_u32_be_at(20, RPC_VERSION); // high
-        } else {
-            c.put_u32_be_at(8, 0); // MSG_ACCEPTED
-            c.put_u32_be_at(12, 0); // verf AUTH_NONE
-            c.put_u32_be_at(16, 0); // verf length 0
-            c.put_u32_be_at(20, outcome.accept_stat());
+        match trace {
+            None => {
+                let mut c = buf.chunk(REPLY_HEADER_BYTES);
+                c.put_u32_be_at(0, xid);
+                c.put_u32_be_at(4, 1); // REPLY
+                if outcome == ReplyOutcome::Denied {
+                    c.put_u32_be_at(8, 1); // MSG_DENIED
+                    c.put_u32_be_at(12, 0); // RPC_MISMATCH
+                    c.put_u32_be_at(16, RPC_VERSION); // low
+                    c.put_u32_be_at(20, RPC_VERSION); // high
+                } else {
+                    c.put_u32_be_at(8, 0); // MSG_ACCEPTED
+                    c.put_u32_be_at(12, 0); // verf AUTH_NONE
+                    c.put_u32_be_at(16, 0); // verf length 0
+                    c.put_u32_be_at(20, outcome.accept_stat());
+                }
+            }
+            Some(ctx) => {
+                let mut c = buf.chunk(TRACED_REPLY_HEADER_BYTES);
+                c.put_u32_be_at(0, xid);
+                c.put_u32_be_at(4, 1); // REPLY
+                c.put_u32_be_at(8, 0); // MSG_ACCEPTED
+                c.put_u32_be_at(12, crate::trace::ONC_TRACE_AUTH_FLAVOR);
+                c.put_u32_be_at(16, crate::trace::TRACE_BLOB_BYTES as u32);
+                put_trace_blob_at(&mut c, 20, ctx);
+                c.put_u32_be_at(36, outcome.accept_stat());
+            }
         }
     }
     if let ReplyOutcome::ProgMismatch { low, high } = outcome {
@@ -197,16 +285,25 @@ pub enum ReplyVerdict {
 /// Unlike [`read_reply`], protocol-level error replies parse cleanly;
 /// only malformed bytes return `Err`.
 pub fn read_reply_verdict(r: &mut MsgReader<'_>) -> Result<(u32, ReplyVerdict), DecodeError> {
+    read_reply_verdict_traced(r).map(|(xid, verdict, _)| (xid, verdict))
+}
+
+/// [`read_reply_verdict`] that also surfaces the trace context an
+/// accepted reply's verifier echoed, if any.
+pub fn read_reply_verdict_traced(
+    r: &mut MsgReader<'_>,
+) -> Result<(u32, ReplyVerdict, Option<TraceContext>), DecodeError> {
     let at = r.pos();
     let c = r.chunk(12).map_err(|e| e.at(at))?;
     let xid = c.get_u32_be_at(0);
     if c.get_u32_be_at(4) != 1 {
         return Err(DecodeError::BadHeader("expected REPLY message").at(at));
     }
+    let mut trace = None;
     let verdict = match c.get_u32_be_at(8) {
         0 => {
             // MSG_ACCEPTED: verifier, then accept_stat.
-            skip_auth(r).map_err(|e| e.at(at))?;
+            trace = read_auth_trace(r).map_err(|e| e.at(at))?;
             let stat_at = r.pos();
             let stat = xdr::get_u32(r).map_err(|e| e.at(stat_at))?;
             match stat {
@@ -258,7 +355,7 @@ pub fn read_reply_verdict(r: &mut MsgReader<'_>) -> Result<(u32, ReplyVerdict), 
             .at(at))
         }
     };
-    Ok((xid, verdict))
+    Ok((xid, verdict, trace))
 }
 
 /// Validates one inbound call `record` against the served
@@ -277,6 +374,10 @@ pub fn accept_call<'a>(
     reply: &mut MarshalBuf,
 ) -> Result<(CallHeader, &'a [u8]), bool> {
     reply.clear();
+    // Every inbound call re-decides the thread's trace context; a
+    // stale one from the previous request must never leak into this
+    // request's spans or replies.
+    crate::trace::note_wire_context(None);
     let mut r = MsgReader::new(record);
     let Ok(c) = r.chunk(24) else {
         return Err(false); // no xid to echo
@@ -296,10 +397,14 @@ pub fn accept_call<'a>(
         vers: c.get_u32_be_at(16),
         proc: c.get_u32_be_at(20),
     };
-    if skip_auth(&mut r).and_then(|()| skip_auth(&mut r)).is_err() {
-        write_reply(reply, xid, ReplyOutcome::GarbageArgs);
-        return Err(true);
-    }
+    let trace = match read_auth_trace(&mut r) {
+        Ok(t) if skip_auth(&mut r).is_ok() => t,
+        _ => {
+            write_reply(reply, xid, ReplyOutcome::GarbageArgs);
+            return Err(true);
+        }
+    };
+    crate::trace::note_wire_context(trace);
     if h.prog != prog {
         write_reply(reply, xid, ReplyOutcome::ProgUnavail);
         return Err(true);
@@ -591,6 +696,74 @@ mod tests {
         ok.extend_from_slice(b"hello");
         assert!(deframe_record_limited(&ok, 4).is_err());
         assert!(deframe_record_limited(&ok, 5).is_ok());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn traced_call_and_reply_carry_the_context() {
+        let _guard = crate::trace::test_lock();
+        flick_telemetry::set_enabled(true);
+
+        // Client side: an open span stamps the call's credential.
+        let span = crate::trace::client_begin("onc_traced_unit");
+        let ctx = span.context().expect("span live while enabled");
+        let h = CallHeader {
+            xid: 77,
+            prog: 9,
+            vers: 1,
+            proc: 2,
+        };
+        let mut b = MarshalBuf::new();
+        h.write(&mut b);
+        assert_eq!(b.len(), TRACED_CALL_HEADER_BYTES);
+        let record = b.into_vec();
+        let _ = span.finish_call(Ok(Vec::new()));
+
+        // Untouched readers still parse the traced header.
+        let mut r = MsgReader::new(&record);
+        assert_eq!(CallHeader::read(&mut r).unwrap(), h);
+        assert!(r.is_exhausted());
+
+        // Server side: context extracted, noted, echoed in the reply.
+        let mut reply = MarshalBuf::new();
+        let (got, body) = accept_call(&record, 9, 1, &mut reply).expect("accepted");
+        assert_eq!(got, h);
+        assert!(body.is_empty());
+        assert_eq!(crate::trace::reply_context(), Some(ctx));
+        let mut out = MarshalBuf::new();
+        write_reply(&mut out, 77, ReplyOutcome::Success);
+        let data = out.into_vec();
+        assert_eq!(data.len(), TRACED_REPLY_HEADER_BYTES);
+        let mut r = MsgReader::new(&data);
+        let (xid, verdict, echoed) = read_reply_verdict_traced(&mut r).expect("parses");
+        assert_eq!(xid, 77);
+        assert_eq!(verdict, ReplyVerdict::Success);
+        assert_eq!(
+            echoed,
+            Some(ctx),
+            "reply verifier echoes the request's context"
+        );
+
+        // With the span closed the next call is classic 40 bytes, and
+        // accepting it clears the noted context — the following reply
+        // must not echo a stale trace.
+        let mut plain = MarshalBuf::new();
+        CallHeader {
+            xid: 78,
+            prog: 9,
+            vers: 1,
+            proc: 2,
+        }
+        .write(&mut plain);
+        let plain = plain.into_vec();
+        assert_eq!(plain.len(), CALL_HEADER_BYTES);
+        let mut reply = MarshalBuf::new();
+        accept_call(&plain, 9, 1, &mut reply).expect("accepted");
+        assert_eq!(crate::trace::reply_context(), None);
+        let mut out = MarshalBuf::new();
+        write_reply(&mut out, 78, ReplyOutcome::Success);
+        assert_eq!(out.len(), REPLY_HEADER_BYTES);
+        flick_telemetry::set_enabled(false);
     }
 
     #[test]

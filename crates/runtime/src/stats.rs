@@ -1,0 +1,117 @@
+//! Point-in-time observability snapshots for benches, tests, and the
+//! `--stats` surface.
+//!
+//! Thin feature-gated views over `flick_telemetry`: the full registry
+//! in text or JSON, and a per-operation latency table distilled from
+//! the `rpc.<op>.{rtt,server}` histograms the trace spans feed.  With
+//! the `telemetry` feature off every function returns an empty string
+//! so callers need no `cfg` of their own.
+
+/// The metric registry as human-readable text (empty when the
+/// `telemetry` feature is off or nothing was recorded).
+#[inline]
+#[must_use]
+pub fn snapshot_text() -> String {
+    #[cfg(feature = "telemetry")]
+    {
+        flick_telemetry::global().snapshot().to_text()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        String::new()
+    }
+}
+
+/// The metric registry as one JSON object keyed by metric name (empty
+/// string when the `telemetry` feature is off).
+#[inline]
+#[must_use]
+pub fn snapshot_json() -> String {
+    #[cfg(feature = "telemetry")]
+    {
+        flick_telemetry::global().snapshot().to_json()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        String::new()
+    }
+}
+
+/// A per-operation latency table over every `rpc.<op>.rtt` and
+/// `rpc.<op>.server` histogram: operation, side, count, and
+/// p50/p90/p99/max in nanoseconds (bucket upper bounds).  Empty when
+/// no RPC span has recorded or the `telemetry` feature is off.
+#[must_use]
+pub fn per_op_table() -> String {
+    #[cfg(feature = "telemetry")]
+    {
+        let snap = flick_telemetry::global().snapshot();
+        let mut rows = Vec::new();
+        for (name, value) in &snap.metrics {
+            let Some(rest) = name.strip_prefix("rpc.") else {
+                continue;
+            };
+            let (op, side) = if let Some(op) = rest.strip_suffix(".rtt") {
+                (op, "client rtt")
+            } else if let Some(op) = rest.strip_suffix(".server") {
+                (op, "server")
+            } else {
+                continue;
+            };
+            let flick_telemetry::MetricValue::Histogram(h) = value else {
+                continue;
+            };
+            if h.count == 0 {
+                continue;
+            }
+            rows.push(format!(
+                "{:<24} {:<10} {:>7} {:>12} {:>12} {:>12} {:>12}",
+                op,
+                side,
+                h.count,
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.percentile(1.0),
+            ));
+        }
+        if rows.is_empty() {
+            return String::new();
+        }
+        let mut out = format!(
+            "{:<24} {:<10} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+            "op", "side", "count", "p50(ns)", "p90(ns)", "p99(ns)", "max(ns)"
+        );
+        for row in rows {
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        String::new()
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_op_table_lists_rpc_histograms() {
+        flick_telemetry::global()
+            .histogram("rpc.stats_unit_op.rtt")
+            .record(1000);
+        flick_telemetry::global()
+            .histogram("rpc.stats_unit_op.server")
+            .record(500);
+        let table = per_op_table();
+        assert!(table.contains("stats_unit_op"), "table: {table}");
+        assert!(table.contains("client rtt"));
+        assert!(table.contains("server"));
+        assert!(table.starts_with("op "), "header row first: {table}");
+        assert!(snapshot_text().contains("rpc.stats_unit_op.rtt"));
+        assert!(snapshot_json().contains("\"rpc.stats_unit_op.rtt\""));
+    }
+}

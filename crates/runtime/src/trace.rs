@@ -1,0 +1,637 @@
+//! Request-level tracing: wire-propagated trace context and the span
+//! hooks generated stubs are stamped with.
+//!
+//! A request owns one [`TraceContext`] — a `trace_id` shared by every
+//! span it causes and a `span_id` naming the current span.  The
+//! context rides the wire so the server's spans land in the same trace
+//! as the client's:
+//!
+//! * **ONC RPC** — the call header's credential slot carries an
+//!   AUTH-opaque blob (private flavor [`ONC_TRACE_AUTH_FLAVOR`], 16
+//!   bytes: trace id + span id, big-endian).  Untouched servers skip
+//!   it like any unknown flavor; ours extract it in
+//!   [`crate::oncrpc::accept_call`] and echo the context in the reply
+//!   verifier.  Client-side correlation stays xid-based —
+//!   [`crate::client::call`] matches replies by xid; the blob only
+//!   names the trace the exchange belongs to.
+//! * **GIOP** — a service-context entry ([`GIOP_TRACE_CONTEXT_ID`])
+//!   with the same 16-byte body, written at the head of request and
+//!   reply headers and extracted by `get_request_header` /
+//!   `get_reply_header`.
+//!
+//! The span hooks ([`client_begin`], [`server_begin`], [`ClientSpan`],
+//! [`ServerSpan`]) follow the [`crate::metrics`] contract: empty
+//! `#[inline]` functions unless the `telemetry` cargo feature is on,
+//! and no-ops until `flick_telemetry::enabled()` — generated stubs
+//! compile to the same hot path as before when tracing is off.  When
+//! live, spans feed the `rpc.<op>.{rtt,server}` histograms and the
+//! event journal (`flick_telemetry::events`).
+
+/// Trace/span identifiers carried by one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Shared by every span of one logical request.
+    pub trace_id: u64,
+    /// The current span within the trace.
+    pub span_id: u64,
+}
+
+/// Private ONC auth flavor carrying a trace blob (`"FLKT"`).
+pub const ONC_TRACE_AUTH_FLAVOR: u32 = 0x464C_4B54;
+
+/// Registered GIOP service-context id carrying a trace blob (`"FLKT"`).
+pub const GIOP_TRACE_CONTEXT_ID: u32 = 0x464C_4B54;
+
+/// Encoded size of a trace blob: two big-endian u64s.
+pub const TRACE_BLOB_BYTES: usize = 16;
+
+impl TraceContext {
+    /// A fresh root context (new trace id, new span id).
+    #[must_use]
+    pub fn root() -> Self {
+        TraceContext {
+            trace_id: next_id(),
+            span_id: next_id(),
+        }
+    }
+
+    /// A child context: same trace, fresh span.
+    #[must_use]
+    pub fn child(&self) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: next_id(),
+        }
+    }
+
+    /// The 16-byte wire form (big-endian, byte-order independent of
+    /// the surrounding CDR/XDR stream).
+    #[must_use]
+    pub fn encode(&self) -> [u8; TRACE_BLOB_BYTES] {
+        let mut out = [0u8; TRACE_BLOB_BYTES];
+        out[..8].copy_from_slice(&self.trace_id.to_be_bytes());
+        out[8..].copy_from_slice(&self.span_id.to_be_bytes());
+        out
+    }
+
+    /// Parses a wire blob; `None` unless exactly 16 bytes with a
+    /// nonzero trace id (hostile zero blobs decode as "untraced").
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != TRACE_BLOB_BYTES {
+            return None;
+        }
+        let trace_id = u64::from_be_bytes(bytes[..8].try_into().expect("len 8"));
+        let span_id = u64::from_be_bytes(bytes[8..].try_into().expect("len 8"));
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext { trace_id, span_id })
+    }
+}
+
+/// A fresh nonzero id from a process-wide SplitMix64 stream: each call
+/// advances an atomic counter by the SplitMix64 increment and runs the
+/// mix function over it, so ids are unique per process and well mixed
+/// without locking.
+#[must_use]
+pub fn next_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static STATE: AtomicU64 = AtomicU64::new(0x005E_ED0F_F11C_4A11);
+    let x = STATE
+        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// Server-span phases the generated dispatch code marks off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Argument unmarshal finished.
+    Decode,
+    /// The server work function returned.
+    Work,
+    /// Reply marshal finished.
+    Encode,
+}
+
+impl Phase {
+    /// The journal kind for this phase's child-span event.
+    #[must_use]
+    pub fn kind(self) -> &'static str {
+        match self {
+            Phase::Decode => "server.phase.decode",
+            Phase::Work => "server.phase.work",
+            Phase::Encode => "server.phase.encode",
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::{Phase, TraceContext};
+    use flick_telemetry::events::{self, Event, Outcome};
+    use std::cell::Cell;
+    use std::time::Instant;
+
+    thread_local! {
+        // The client span currently building/sending a request on this
+        // thread — what CallHeader::write / put_request_header stamp
+        // onto the wire, and what retry/timeout events attach to.
+        static CLIENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+        // The trace context extracted from the most recent inbound
+        // request on this thread (None when it carried no blob) —
+        // what server spans parent to and replies echo.
+        static WIRE_IN: Cell<Option<TraceContext>> = const { Cell::new(None) };
+        // The most recent server span on this thread; outlives its
+        // ServerSpan so the transport's send event can attach to it.
+        static LAST_SERVER: Cell<Option<TraceContext>> = const { Cell::new(None) };
+    }
+
+    pub struct ClientSpanImp {
+        pub ctx: TraceContext,
+        pub op: &'static str,
+        pub start: Instant,
+    }
+
+    pub fn client_begin(op: &'static str) -> Option<ClientSpanImp> {
+        if !flick_telemetry::enabled() {
+            return None;
+        }
+        let ctx = TraceContext::root();
+        CLIENT.with(|c| c.set(Some(ctx)));
+        events::record(Event {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            ..Event::new("client.begin", op)
+        });
+        Some(ClientSpanImp {
+            ctx,
+            op,
+            start: Instant::now(),
+        })
+    }
+
+    pub fn client_end(span: &ClientSpanImp, bytes: u64, ok: bool) {
+        CLIENT.with(|c| c.set(None));
+        let rtt = u64::try_from(span.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        flick_telemetry::global()
+            .histogram(&format!("rpc.{}.rtt", span.op))
+            .record(rtt);
+        events::record(Event {
+            trace_id: span.ctx.trace_id,
+            span_id: span.ctx.span_id,
+            bytes,
+            outcome: if ok { Outcome::Ok } else { Outcome::Err },
+            ..Event::new("client.end", span.op)
+        });
+    }
+
+    pub struct ServerSpanImp {
+        pub ctx: TraceContext,
+        pub parent: u64,
+        pub op: &'static str,
+        pub start: Instant,
+        pub phase_start: Instant,
+    }
+
+    pub fn server_begin(op: &'static str) -> Option<ServerSpanImp> {
+        if !flick_telemetry::enabled() {
+            return None;
+        }
+        let (ctx, parent) = match WIRE_IN.with(Cell::get) {
+            Some(wire) => (wire.child(), wire.span_id),
+            None => (TraceContext::root(), 0),
+        };
+        LAST_SERVER.with(|c| c.set(Some(ctx)));
+        events::record(Event {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: parent,
+            ..Event::new("server.begin", op)
+        });
+        let now = Instant::now();
+        Some(ServerSpanImp {
+            ctx,
+            parent,
+            op,
+            start: now,
+            phase_start: now,
+        })
+    }
+
+    pub fn server_phase(span: &mut ServerSpanImp, phase: Phase, bytes: u64) {
+        let now = Instant::now();
+        let ns = u64::try_from((now - span.phase_start).as_nanos()).unwrap_or(u64::MAX);
+        span.phase_start = now;
+        events::record(Event {
+            trace_id: span.ctx.trace_id,
+            span_id: super::next_id(),
+            parent_id: span.ctx.span_id,
+            bytes: if bytes > 0 { bytes } else { ns },
+            ..Event::new(phase.kind(), span.op)
+        });
+    }
+
+    pub fn server_end(span: &ServerSpanImp, bytes: u64) {
+        let ns = u64::try_from(span.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        flick_telemetry::global()
+            .histogram(&format!("rpc.{}.server", span.op))
+            .record(ns);
+        events::record(Event {
+            trace_id: span.ctx.trace_id,
+            span_id: span.ctx.span_id,
+            parent_id: span.parent,
+            bytes,
+            outcome: Outcome::Ok,
+            ..Event::new("server.end", span.op)
+        });
+    }
+
+    pub fn wire_context() -> Option<TraceContext> {
+        if !flick_telemetry::enabled() {
+            return None;
+        }
+        CLIENT.with(Cell::get)
+    }
+
+    pub fn note_wire_context(ctx: Option<TraceContext>) {
+        WIRE_IN.with(|c| c.set(ctx));
+    }
+
+    pub fn reply_context() -> Option<TraceContext> {
+        if !flick_telemetry::enabled() {
+            return None;
+        }
+        WIRE_IN.with(Cell::get)
+    }
+
+    pub fn client_event(kind: &'static str, outcome: Outcome) {
+        if !flick_telemetry::enabled() {
+            return;
+        }
+        let ctx = CLIENT.with(Cell::get).unwrap_or(TraceContext {
+            trace_id: 0,
+            span_id: 0,
+        });
+        events::record(Event {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            outcome,
+            ..Event::new(kind, "")
+        });
+    }
+
+    pub fn wire_send(bytes: u64) {
+        if !flick_telemetry::enabled() {
+            return;
+        }
+        // A send belongs to the client span building the request, or
+        // failing that to the last server span on this thread (the
+        // reply being written back).
+        let ctx = CLIENT
+            .with(Cell::get)
+            .or_else(|| LAST_SERVER.with(Cell::get))
+            .unwrap_or(TraceContext {
+                trace_id: 0,
+                span_id: 0,
+            });
+        events::record(Event {
+            trace_id: ctx.trace_id,
+            parent_id: ctx.span_id,
+            bytes,
+            ..Event::new("send", "")
+        });
+    }
+
+    pub fn reject_event(codec: &'static str) {
+        if !flick_telemetry::enabled() {
+            return;
+        }
+        let ctx = WIRE_IN.with(Cell::get).unwrap_or(TraceContext {
+            trace_id: 0,
+            span_id: 0,
+        });
+        events::record(Event {
+            trace_id: ctx.trace_id,
+            parent_id: ctx.span_id,
+            outcome: Outcome::Err,
+            ..Event::new("reject", codec)
+        });
+        events::dump_on_error("decode.reject");
+    }
+}
+
+/// A client span covering one full RPC round trip, retransmissions
+/// included.  Created by [`client_begin`] in generated `call_<op>`
+/// stubs; while open, [`wire_context`] exposes its context so the call
+/// header writers stamp it onto the wire.
+pub struct ClientSpan {
+    #[cfg(feature = "telemetry")]
+    inner: Option<imp::ClientSpanImp>,
+}
+
+/// Opens a client span for `op`.  Free when the `telemetry` feature is
+/// off or collection is disabled.
+#[inline]
+#[must_use]
+pub fn client_begin(op: &'static str) -> ClientSpan {
+    #[cfg(feature = "telemetry")]
+    {
+        ClientSpan {
+            inner: imp::client_begin(op),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = op;
+        ClientSpan {}
+    }
+}
+
+impl ClientSpan {
+    /// Closes the span around a finished [`crate::client::call`],
+    /// recording the round-trip latency into `rpc.<op>.rtt`, the
+    /// outcome event into the journal, and — on a decode-class failure
+    /// — the postmortem latch.  Returns `result` unchanged so stubs
+    /// can wrap the call expression directly.
+    ///
+    /// # Errors
+    /// Propagates whatever `result` carried.
+    #[inline]
+    pub fn finish_call(
+        self,
+        result: Result<Vec<u8>, crate::client::RpcError>,
+    ) -> Result<Vec<u8>, crate::client::RpcError> {
+        #[cfg(feature = "telemetry")]
+        if let Some(span) = &self.inner {
+            let (bytes, ok) = match &result {
+                Ok(body) => (body.len() as u64, true),
+                Err(_) => (0, false),
+            };
+            imp::client_end(span, bytes, ok);
+            if matches!(
+                result,
+                Err(crate::client::RpcError::Decode(_) | crate::client::RpcError::GarbageArgs)
+            ) {
+                flick_telemetry::events::dump_on_error("client.decode");
+            }
+        }
+        result
+    }
+
+    /// The span's context, if one is live (always `None` with the
+    /// `telemetry` feature off).
+    #[inline]
+    #[must_use]
+    pub fn context(&self) -> Option<TraceContext> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.inner.as_ref().map(|s| s.ctx)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            None
+        }
+    }
+}
+
+/// A server span covering one dispatched request, opened by generated
+/// dispatch arms.  Parents itself to the wire context the transport
+/// header carried (noted by `accept_call` / `get_request_header`).
+pub struct ServerSpan {
+    #[cfg(feature = "telemetry")]
+    inner: Option<imp::ServerSpanImp>,
+}
+
+/// Opens a server span for `op`.  Free when the `telemetry` feature is
+/// off or collection is disabled.
+#[inline]
+#[must_use]
+pub fn server_begin(op: &'static str) -> ServerSpan {
+    #[cfg(feature = "telemetry")]
+    {
+        ServerSpan {
+            inner: imp::server_begin(op),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = op;
+        ServerSpan {}
+    }
+}
+
+impl ServerSpan {
+    /// Marks the end of `phase`, emitting a child-span event whose
+    /// `bytes` is the given size (or the phase's elapsed nanoseconds
+    /// when `bytes` is 0).
+    #[inline]
+    pub fn phase(&mut self, phase: Phase, bytes: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(span) = &mut self.inner {
+            imp::server_phase(span, phase, bytes);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (phase, bytes);
+    }
+
+    /// Closes the span: records total service time into
+    /// `rpc.<op>.server` and the closing event into the journal.
+    #[inline]
+    pub fn finish(self, bytes: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(span) = &self.inner {
+            imp::server_end(span, bytes);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = bytes;
+    }
+}
+
+/// The context an outbound call header should stamp onto the wire: the
+/// client span currently open on this thread, if any.
+#[inline]
+#[must_use]
+pub fn wire_context() -> Option<TraceContext> {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::wire_context()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        None
+    }
+}
+
+/// Notes the trace context (or its absence) extracted from an inbound
+/// request, for [`server_begin`] to parent to and [`reply_context`] to
+/// echo.  Called by the transport-header readers on every request.
+#[inline]
+pub fn note_wire_context(ctx: Option<TraceContext>) {
+    #[cfg(feature = "telemetry")]
+    imp::note_wire_context(ctx);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = ctx;
+}
+
+/// The context a reply header should echo: whatever the request
+/// carried (noted by [`note_wire_context`]), else `None`.
+#[inline]
+#[must_use]
+pub fn reply_context() -> Option<TraceContext> {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::reply_context()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        None
+    }
+}
+
+/// Journals one client-side retransmission against the open client
+/// span.  Called by [`crate::client::call`].
+#[inline]
+pub fn client_retry() {
+    #[cfg(feature = "telemetry")]
+    imp::client_event("client.retry", flick_telemetry::Outcome::Info);
+}
+
+/// Journals one client call abandoned at its deadline.
+#[inline]
+pub fn client_timeout() {
+    #[cfg(feature = "telemetry")]
+    imp::client_event("client.timeout", flick_telemetry::Outcome::Err);
+}
+
+/// Journals one message handed to a transport send path, attached to
+/// the open client span or the last server span on this thread.
+#[inline]
+pub fn wire_send(bytes: u64) {
+    #[cfg(feature = "telemetry")]
+    imp::wire_send(bytes);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = bytes;
+}
+
+/// Journals one protocol-level reject for `codec` and triggers the
+/// postmortem latch.  Called by [`crate::metrics::reject`].
+#[inline]
+pub(crate) fn reject_event(codec: &'static str) {
+    #[cfg(feature = "telemetry")]
+    imp::reject_event(codec);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = codec;
+}
+
+/// Serializes unit tests that toggle the process-global telemetry
+/// flag (here, `metrics`, `oncrpc`) so one test's disabled window
+/// cannot swallow another's recordings.
+#[cfg(all(test, feature = "telemetry"))]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+        let root = TraceContext::root();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn blob_roundtrip_and_hostile_rejection() {
+        let ctx = TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            span_id: 0x99AA_BBCC_DDEE_FF00,
+        };
+        let blob = ctx.encode();
+        assert_eq!(TraceContext::decode(&blob), Some(ctx));
+        assert_eq!(TraceContext::decode(&blob[..15]), None, "short blob");
+        assert_eq!(TraceContext::decode(&[0u8; 16]), None, "zero trace id");
+        assert_eq!(TraceContext::decode(&[]), None);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn spans_record_events_and_histograms_when_enabled() {
+        let _guard = test_lock();
+        flick_telemetry::set_enabled(true);
+
+        // Client span: context exposed for the wire, rtt recorded.
+        let span = client_begin("trace_unit_op");
+        let ctx = span.context().expect("live span has a context");
+        assert_eq!(wire_context(), Some(ctx));
+        let out = span.finish_call(Ok(b"body".to_vec()));
+        assert!(out.is_ok());
+        assert_eq!(wire_context(), None, "span closed, context cleared");
+
+        // Server span parented to a noted wire context.
+        note_wire_context(Some(ctx));
+        assert_eq!(reply_context(), Some(ctx));
+        let mut sspan = server_begin("trace_unit_op");
+        sspan.phase(Phase::Decode, 10);
+        sspan.phase(Phase::Work, 0);
+        sspan.phase(Phase::Encode, 20);
+        sspan.finish(30);
+        note_wire_context(None);
+
+        let snap = flick_telemetry::global().snapshot();
+        for name in ["rpc.trace_unit_op.rtt", "rpc.trace_unit_op.server"] {
+            assert!(
+                matches!(
+                    snap.get(name),
+                    Some(flick_telemetry::MetricValue::Histogram(h)) if h.count >= 1
+                ),
+                "{name} populated"
+            );
+        }
+        let events = flick_telemetry::events::snapshot();
+        let sbegin = events
+            .iter()
+            .rev()
+            .find(|e| e.kind == "server.begin" && e.op == "trace_unit_op")
+            .expect("server.begin journaled");
+        assert_eq!(sbegin.trace_id, ctx.trace_id, "trace id propagated");
+        assert_eq!(sbegin.parent_id, ctx.span_id, "parented to wire span");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == "server.phase.decode" && e.parent_id == sbegin.span_id),
+            "phase child span nests under the server span"
+        );
+        flick_telemetry::set_enabled(false);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn disabled_spans_leave_no_wire_context() {
+        let _guard = test_lock();
+        flick_telemetry::set_enabled(false);
+        let span = client_begin("trace_unit_off");
+        assert_eq!(span.context(), None);
+        assert_eq!(wire_context(), None);
+        assert!(span.finish_call(Ok(Vec::new())).is_ok());
+    }
+}

@@ -129,9 +129,17 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of
-    /// the first bucket whose cumulative count reaches `q·count`.
-    /// Zero when empty.
+    /// Estimated value at quantile `q` in `[0, 1]`: the **upper bound
+    /// of the bucket** holding the `max(1, ⌈q·count⌉)`-th observation.
+    /// Returns are always bucket upper bounds, never interpolated
+    /// values, so a reported `p99` of 8191 means "the 99th-percentile
+    /// observation fell in `[4096, 8191]`".
+    ///
+    /// Edge cases are defined, not incidental:
+    /// * an **empty histogram** returns 0 for every `q`;
+    /// * **`q = 0.0`** clamps to the first observation — the upper
+    ///   bound of the lowest non-empty bucket (the minimum's bucket);
+    /// * `q` outside `[0, 1]` is clamped into the interval.
     #[must_use]
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -244,6 +252,44 @@ mod tests {
             .percentile(0.5),
             0
         );
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero_for_every_quantile() {
+        let s = Histogram::new().snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(s.percentile(q), 0, "empty histogram, q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_zero_is_the_minimums_bucket_upper_bound() {
+        // q = 0.0 clamps to the first observation: the upper bound of
+        // the lowest non-empty bucket.
+        let h = Histogram::new();
+        h.record(1500); // bucket [1024, 2047]
+        h.record(100_000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), 2047);
+        // Out-of-range quantiles clamp into [0, 1].
+        assert_eq!(s.percentile(-1.0), s.percentile(0.0));
+        assert_eq!(s.percentile(2.0), s.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_returns_are_bucket_upper_bounds() {
+        // One observation of 5 lands in [4, 7]; every quantile reports
+        // the bucket's upper bound 7, never the raw value.
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.percentile(q), bucket_upper_bound(bucket_index(5)));
+        }
+        // A zeros-only histogram reports bucket 0's upper bound (0).
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().percentile(1.0), 0);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   once per metric; recording never does;
 //! * [`TraceReport`] — per-phase wall-time spans plus named decision
 //!   counters, used by the compiler for `flickc --timings/--stats`;
+//! * [`events`] — the flight recorder: a lock-free ring buffer of
+//!   structured request events (trace/span ids, kind, operation,
+//!   outcome) with text/JSON dump, a `FLICK_TRACE=path` at-exit dump,
+//!   and a postmortem latch for the error paths;
 //! * [`enabled`] / [`set_enabled`] — the global runtime switch.
 //!   Instrumented code checks it with a single relaxed atomic load,
 //!   and the instrumentation itself only exists when the dependent
@@ -25,12 +29,14 @@
 //! paths.
 
 pub mod counter;
+pub mod events;
 pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod report;
 
 pub use counter::Counter;
+pub use events::{Event, EventRing, Outcome};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{global, MetricValue, Registry, Snapshot};
 pub use report::{Span, TraceReport};

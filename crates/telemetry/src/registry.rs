@@ -139,7 +139,8 @@ impl Snapshot {
     }
 
     /// A human-readable dump, one metric per line (histograms get a
-    /// count/mean/p50/p99 summary line plus their non-empty buckets).
+    /// count/mean/sum/p50/p90/p99 summary line plus their non-empty
+    /// buckets; percentiles are bucket upper bounds, hence `<=`).
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -150,11 +151,13 @@ impl Snapshot {
                 }
                 MetricValue::Histogram(h) => {
                     out.push_str(&format!(
-                        "{name:<44} count={} mean={:.1} p50<={} p99<={}\n",
+                        "{name:<44} count={} mean={:.1} p50<={} p90<={} p99<={} sum={}\n",
                         h.count,
                         h.mean(),
                         h.percentile(0.50),
+                        h.percentile(0.90),
                         h.percentile(0.99),
+                        h.sum,
                     ));
                     for (lo, hi, n) in h.nonzero_buckets() {
                         if hi == u64::MAX {
@@ -187,12 +190,16 @@ impl Snapshot {
                         .map(|(lo, hi, n)| format!("[{lo},{hi},{n}]"))
                         .collect::<Vec<_>>()
                         .join(",");
+                    let mut p = json::ObjectWriter::new();
+                    p.u64_field("p50", h.percentile(0.50))
+                        .u64_field("p90", h.percentile(0.90))
+                        .u64_field("p99", h.percentile(0.99))
+                        .u64_field("max", h.percentile(1.0));
                     let mut o = json::ObjectWriter::new();
                     o.str_field("type", "histogram")
                         .u64_field("count", h.count)
                         .u64_field("sum", h.sum)
-                        .u64_field("p50", h.percentile(0.50))
-                        .u64_field("p99", h.percentile(0.99))
+                        .raw("percentiles", &p.finish())
                         .raw("buckets", &format!("[{buckets}]"));
                     root.raw(name, &o.finish());
                 }
@@ -249,10 +256,19 @@ mod tests {
         assert!(text.contains("calls"));
         assert!(text.contains('7'));
         assert!(text.contains("count=1"));
+        assert!(text.contains("p90<=7"), "summary line reports p90: {text}");
+        assert!(
+            text.contains("sum=5"),
+            "summary line reports the sum: {text}"
+        );
         let jsonv = s.to_json();
         assert!(jsonv.starts_with('{') && jsonv.ends_with('}'));
         assert!(jsonv.contains("\"calls\":{\"type\":\"counter\",\"value\":7}"));
         assert!(jsonv.contains("\"lat.ns\":{\"type\":\"histogram\",\"count\":1"));
+        assert!(
+            jsonv.contains("\"percentiles\":{\"p50\":7,\"p90\":7,\"p99\":7,\"max\":7}"),
+            "histogram JSON embeds a percentiles object: {jsonv}"
+        );
         assert!(jsonv.contains("\"buckets\":[[4,7,1]]"));
     }
 

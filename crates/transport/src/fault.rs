@@ -369,12 +369,15 @@ mod imp {
     }
 }
 
-/// Records one injected fault in the telemetry registry.
+/// Records one injected fault: the `fault.injected.<kind>` counter
+/// plus a `fault` event in the trace journal, so postmortem dumps show
+/// what the network did around a failing request.
 #[inline]
 fn metrics_injected(kind: FaultKind) {
     #[cfg(feature = "telemetry")]
     if flick_telemetry::enabled() {
         imp::injected(kind);
+        flick_telemetry::events::record(flick_telemetry::Event::new("fault", kind.name()));
     }
     #[cfg(not(feature = "telemetry"))]
     let _ = kind;

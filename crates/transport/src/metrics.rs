@@ -89,15 +89,18 @@ mod imp {
     }
 }
 
-/// Records one sent message of `bytes` size.
+/// Records one sent message of `bytes` size — the per-kind counters
+/// here plus a `send` event in the trace journal, attached to whatever
+/// span is live on the sending thread.
 #[inline]
 pub fn sent(kind: Kind, bytes: u64) {
     #[cfg(feature = "telemetry")]
     if flick_telemetry::enabled() {
         imp::record(kind, false, bytes, 0);
     }
+    flick_runtime::trace::wire_send(bytes);
     #[cfg(not(feature = "telemetry"))]
-    let _ = (kind, bytes);
+    let _ = kind;
 }
 
 /// Records one received message of `bytes` size that took `ns`
