@@ -37,7 +37,7 @@ use flick_pres::{PresC, PresId, PresNode, Stub, StubKind};
 
 use crate::encoding::{Encoding, Order, StringWire, WirePrim};
 use crate::layout::{pack, SizeClass};
-use crate::mir::{MsgPlan, PlanNode, PlanResult, SlotPlan, StubPlan};
+use crate::mir::{MsgPlan, PlanNode, PlanResult, SlotPlan, SlotStorage, StubPlan};
 
 /// Version header of serialized entries; bump when the format or the
 /// MIR it describes changes shape.
@@ -725,6 +725,7 @@ fn write_msg(w: &mut Writer, msg: &MsgPlan, idx: &PresIndex) -> Result<(), Strin
         w.boolean(slot.by_ref);
         w.boolean(slot.live);
         w.opt_num(slot.alias);
+        w.boolean(slot.storage == SlotStorage::Arena);
         write_pres(w, idx, slot.pres)?;
         write_node(w, &slot.node, idx)?;
     }
@@ -747,6 +748,11 @@ fn read_msg(
         let by_ref = r.boolean()?;
         let live = r.boolean()?;
         let alias = r.opt_num()?;
+        let storage = if r.boolean()? {
+            SlotStorage::Arena
+        } else {
+            SlotStorage::Owned
+        };
         let pres = read_pres(r, idx)?;
         let node = read_node(r, presc, enc, idx)?;
         slots.push(SlotPlan {
@@ -754,6 +760,7 @@ fn read_msg(
             by_ref,
             live,
             alias,
+            storage,
             pres,
             node,
         });

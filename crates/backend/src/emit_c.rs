@@ -636,8 +636,14 @@ impl<'a> CEmitter<'a> {
     ///
     /// `reply-alias` is deliberately a no-op on this path: the C
     /// dispatch delegates reply marshaling to the work function, so
-    /// there are no reply bytes here to alias back to the request.  The
-    /// Rust emitter carries the optimization.
+    /// there are no reply bytes here to alias back to the request and
+    /// no place to surface the copy-on-write `Echoed` contract the
+    /// Rust server trait carries (a C work function would need an
+    /// out-parameter protocol — `*changed` flag plus value — to
+    /// declare mutation).  The Rust emitter carries the optimization;
+    /// the same applies to `reuse-slots` arena residence, which in C
+    /// would map to receive-buffer pointers the work signature cannot
+    /// express without that protocol.
     fn dispatch(&mut self, presc: &PresC, plans: &[StubPlan]) -> CFunction {
         let mut cases = Vec::new();
         for plan in plans {

@@ -173,6 +173,25 @@ pub struct MsgPlan {
     pub slots: Vec<SlotPlan>,
 }
 
+/// Where a slot's decoded presentation lives relative to the call.
+///
+/// Lowering marks everything [`SlotStorage::Owned`]; the `reuse-slots`
+/// pass upgrades slots whose whole conversion tree can be presented
+/// out of per-call pooled storage (request slots presented in the
+/// receive buffer, aliased reply slots answered from request bytes) to
+/// [`SlotStorage::Arena`].  Emitters key their zero-allocation forms
+/// (borrowed bindings, request-byte replies) off this class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SlotStorage {
+    /// The presented value owns heap storage that outlives the call.
+    #[default]
+    Owned,
+    /// The presented value lives in per-call arena storage (the
+    /// receive buffer or the pooled reply buffer) and must not escape
+    /// the call.
+    Arena,
+}
+
 /// Plan for one bound value of a message.
 #[derive(Clone, Debug)]
 pub struct SlotPlan {
@@ -190,10 +209,13 @@ pub struct SlotPlan {
     pub live: bool,
     /// `Some(i)` when the `reply-alias` pass proved this *reply* slot
     /// byte-identical to request slot `i` whenever the server echoes
-    /// the value unchanged: emitters reuse the request bytes (one
-    /// coalesced memcpy) behind a runtime equality guard instead of
-    /// re-marshaling.
+    /// the value unchanged: the server declares mutation through the
+    /// `Echoed` copy-on-write contract and the emitter answers
+    /// `Unchanged` with the request's own bytes — no re-marshal, no
+    /// runtime compare.
     pub alias: Option<usize>,
+    /// Storage class assigned by the `reuse-slots` pass.
+    pub storage: SlotStorage,
     /// The conversion tree.
     pub node: PlanNode,
 }
@@ -300,6 +322,8 @@ pub struct PlanStats {
     pub aliased_replies: u64,
     /// Unmarshal steps hoisted into demux-trie nodes (`merge-prefix`).
     pub merged_prefix_steps: u64,
+    /// Slots classified arena-resident by the `reuse-slots` pass.
+    pub arena_slots: u64,
 }
 
 impl PlanStats {
@@ -318,6 +342,9 @@ impl PlanStats {
                 }
                 for slot in &msg.slots {
                     s.walk(&slot.node, 0);
+                    if slot.storage == SlotStorage::Arena {
+                        s.arena_slots += 1;
+                    }
                 }
             }
             s.aliased_replies += stub
@@ -506,6 +533,9 @@ pub fn dump(mir: &StubPlans) -> String {
                 }
                 if let Some(i) = slot.alias {
                     let _ = write!(marks, " (alias request[{i}])");
+                }
+                if slot.storage == SlotStorage::Arena {
+                    marks.push_str(" (arena)");
                 }
                 let _ = writeln!(out, "    slot {}{}:", slot.name, marks);
                 dump_node(&mut out, &slot.node, 3);

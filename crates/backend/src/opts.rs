@@ -29,6 +29,11 @@ pub struct OptFlags {
     /// presented signature.  Off ⇒ zero-fill on encode, discard on
     /// decode.
     pub dead_slot: bool,
+    /// §3.1 reuse analysis: classify slots whose whole conversion tree
+    /// can be presented out of per-call pooled storage as
+    /// arena-resident, so the server path decodes without per-call
+    /// heap allocation.  Off ⇒ every slot presents into owned storage.
+    pub reuse_slots: bool,
     /// §3.4 common-prefix merging: decode the unmarshal prefix shared
     /// by every dispatch arm once, above the demux switch.
     pub merge_prefix: bool,
@@ -52,6 +57,7 @@ impl OptFlags {
             inline_marshal: true,
             param_mgmt: true,
             dead_slot: true,
+            reuse_slots: true,
             merge_prefix: true,
             reply_alias: true,
             bounded_threshold: 8 * 1024,
@@ -68,6 +74,7 @@ impl OptFlags {
             inline_marshal: false,
             param_mgmt: false,
             dead_slot: false,
+            reuse_slots: false,
             merge_prefix: false,
             reply_alias: false,
             bounded_threshold: 8 * 1024,
@@ -89,10 +96,10 @@ mod tests {
     fn presets() {
         let a = OptFlags::all();
         assert!(a.hoist_checks && a.chunking && a.memcpy && a.inline_marshal && a.param_mgmt);
-        assert!(a.dead_slot && a.merge_prefix && a.reply_alias);
+        assert!(a.dead_slot && a.reuse_slots && a.merge_prefix && a.reply_alias);
         let n = OptFlags::none();
         assert!(!(n.hoist_checks || n.chunking || n.memcpy || n.inline_marshal || n.param_mgmt));
-        assert!(!(n.dead_slot || n.merge_prefix || n.reply_alias));
+        assert!(!(n.dead_slot || n.reuse_slots || n.merge_prefix || n.reply_alias));
         assert_eq!(OptFlags::default(), OptFlags::all());
     }
 }

@@ -9,13 +9,14 @@
 //! |-------|-------------------|-------|---------------------------------------|
 //! | 1     | `dead-slot`       | §3.1  | drop slots the PRES mapping hides     |
 //! | 2     | `classify-storage`| §3.1  | size classes for messages & elements  |
-//! | 3     | `hoist-checks`    | §3.1  | one up-front `ensure` per message     |
-//! | 4     | `form-chunks`     | §3.2  | packed constant-offset regions        |
-//! | 5     | `coalesce-memcpy` | §3.2  | scalar arrays become block copies     |
-//! | 6     | `inline-marshal`  | §3.3  | absorb out-of-line marshal calls      |
-//! | 7     | `reply-alias`     | §3.2  | echoed replies reuse request bytes    |
-//! | 8     | `demux-switch`    | §3.4  | word-wise server demultiplex trie     |
-//! | 9     | `merge-prefix`    | §3.4  | shared unmarshal prefix above the trie|
+//! | 3     | `reuse-slots`     | §3.1  | arena-vs-owned residence per slot     |
+//! | 4     | `hoist-checks`    | §3.1  | one up-front `ensure` per message     |
+//! | 5     | `form-chunks`     | §3.2  | packed constant-offset regions        |
+//! | 6     | `coalesce-memcpy` | §3.2  | scalar arrays become block copies     |
+//! | 7     | `inline-marshal`  | §3.3  | absorb out-of-line marshal calls      |
+//! | 8     | `reply-alias`     | §3.2  | echoed replies reuse request bytes    |
+//! | 9     | `demux-switch`    | §3.4  | word-wise server demultiplex trie     |
+//! | 10    | `merge-prefix`    | §3.4  | shared unmarshal prefix above the trie|
 //!
 //! The pipeline times each pass, counts its decisions, optionally runs
 //! the MIR verifier between passes (debug/test builds), and finishes
@@ -42,6 +43,7 @@ mod inline;
 mod memcpy;
 pub(crate) mod merge_prefix;
 mod reply_alias;
+pub(crate) mod reuse;
 
 pub use chunks::FormChunks;
 pub use classify::ClassifyStorage;
@@ -53,11 +55,13 @@ pub use memcpy::CoalesceMemcpy;
 pub use merge_prefix::MergePrefix;
 pub(crate) use reply_alias::position_independent as reply_alias_position_independent;
 pub use reply_alias::ReplyAlias;
+pub use reuse::ReuseSlots;
 
-/// The nine §3 passes in pipeline order.
-pub const PASS_NAMES: [&str; 9] = [
+/// The ten §3 passes in pipeline order.
+pub const PASS_NAMES: [&str; 10] = [
     "dead-slot",
     "classify-storage",
+    "reuse-slots",
     "hoist-checks",
     "form-chunks",
     "coalesce-memcpy",
@@ -125,8 +129,8 @@ pub trait MirPass: Send + Sync {
     /// the decision count plus whether the budget stopped (or would
     /// have stopped) the pass.  The default runs to completion and
     /// merely *reports* a decision overrun; passes that can stop early
-    /// (`dead-slot`, `reply-alias`, `merge-prefix`, `inline-marshal`)
-    /// override this to actually cap their work.
+    /// (`dead-slot`, `reuse-slots`, `reply-alias`, `merge-prefix`,
+    /// `inline-marshal`) override this to actually cap their work.
     ///
     /// # Errors
     /// Same as [`MirPass::run`].
@@ -189,6 +193,9 @@ impl PassPipeline {
             passes.push(Box::new(DeadSlot));
         }
         passes.push(Box::new(ClassifyStorage));
+        if opts.reuse_slots {
+            passes.push(Box::new(ReuseSlots));
+        }
         if opts.hoist_checks {
             passes.push(Box::new(HoistChecks {
                 threshold: opts.bounded_threshold,
@@ -548,7 +555,7 @@ mod tests {
     ";
 
     #[test]
-    fn default_pipeline_schedules_all_nine_passes_in_order() {
+    fn default_pipeline_schedules_all_ten_passes_in_order() {
         let pipe = PassPipeline::from_opts(&OptFlags::all());
         assert_eq!(pipe.pass_names(), PASS_NAMES.to_vec());
     }

@@ -5,10 +5,14 @@
 //! echoes an argument (handle-style protocols), re-marshals bytes that
 //! already sit — fully decoded and validated — in the request buffer.
 //! This pass marks such reply slots with the request slot they alias;
-//! the dispatch emitter then replaces the per-datum re-marshal with a
-//! single coalesced `memcpy` of the request byte range, guarded by a
-//! runtime equality test so a server that *does* change the value
-//! falls back to the normal encode path.
+//! the dispatch emitter then changes the server contract to the
+//! copy-on-write `Echoed` type: the work function *declares* whether
+//! it changed the echoed value.  `Unchanged` answers with a single
+//! coalesced `memcpy` of the request byte range; `Changed(v)` takes
+//! the normal encode path.  Earlier versions instead snapshotted the
+//! decoded value and guarded the byte reuse with a runtime `==` — a
+//! clone and a compare per call that cost more than the re-marshal
+//! they avoided whenever the value was small and cache-hot.
 //!
 //! Safety conditions, all re-checked by the MIR verifier after every
 //! later pass (so no subsequent rewrite can invalidate a mark):
@@ -22,9 +26,15 @@
 //!   meaning;
 //! * the pairing is unambiguous: same binding name (an inout
 //!   parameter), or a `_return` slot with exactly one structurally
-//!   equal request slot.
+//!   equal request slot;
+//! * the aliased slot is the *only* live reply slot, so the whole
+//!   reply body reduces to one `Echoed` return value (the CoW
+//!   contract is per-operation, not per-slot);
+//! * the marked slot is classified [`SlotStorage::Arena`] — an
+//!   `Unchanged` reply lives in the request's receive buffer for the
+//!   duration of the call and never owns storage.
 
-use crate::mir::{PlanNode, PlanResult, StubPlans};
+use crate::mir::{PlanNode, PlanResult, SlotStorage, StubPlans};
 use crate::passes::{MirPass, PassBudget, PassCx};
 
 pub struct ReplyAlias;
@@ -70,6 +80,12 @@ impl MirPass for ReplyAlias {
             if stub.op.oneway {
                 continue;
             }
+            // The CoW contract replaces the operation's whole reply
+            // with one `Echoed` value, so only sole-live-reply-slot
+            // stubs can carry a mark.
+            if stub.reply.slots.iter().filter(|s| s.live).count() != 1 {
+                continue;
+            }
             let request: Vec<(usize, String, PlanNode)> = stub
                 .request
                 .slots
@@ -104,6 +120,9 @@ impl MirPass for ReplyAlias {
                 };
                 if let Some(i) = target {
                     slot.alias = Some(i);
+                    // An `Unchanged` reply is answered from the
+                    // request's receive buffer: arena residence.
+                    slot.storage = SlotStorage::Arena;
                     decisions += 1;
                 }
             }

@@ -24,7 +24,9 @@ use crate::opts::OptFlags;
 use crate::passes::{run_pipeline, PassPipeline};
 
 pub(crate) use crate::mir::{plan_references_outline, PlanResult};
-pub use crate::mir::{rust_prim_name, MsgPlan, PlanNode, PlanStats, SlotPlan, StubPlan, StubPlans};
+pub use crate::mir::{
+    rust_prim_name, MsgPlan, PlanNode, PlanStats, SlotPlan, SlotStorage, StubPlan, StubPlans,
+};
 
 /// How lowering distributes stubs across threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -190,6 +192,7 @@ impl<'a> Lowerer<'a> {
                 pres: slot.pres,
                 live: slot.live,
                 alias: None,
+                storage: SlotStorage::default(),
                 node: self.lower_node(slot.pres)?,
             });
         }

@@ -25,14 +25,24 @@
 //! * prefix safety: a `merge-prefix` hoist on a demux-trie node
 //!   promises that every operation reachable below leads with the
 //!   hoisted count, hoists never nest, and typed-descriptor encodings
-//!   carry none.
+//!   carry none;
+//! * storage safety: a `reuse-slots` arena mark promises the slot's
+//!   whole plan presents without owned storage; an arena-classified
+//!   reply slot must carry an alias mark (otherwise its value would
+//!   escape the call's receive buffer), and an aliased reply must stay
+//!   arena-classified (the copy-on-write `Echoed` contract answers
+//!   `Unchanged` from the request buffer — owned storage there would
+//!   mean a mutation without a copy).
 
 use flick_pres::PresC;
 
 use crate::encoding::Encoding;
 use crate::layout::pack;
-use crate::mir::{Demux, DemuxArm, DemuxNode, MsgPlan, PlanNode, PrefixStep, StubPlans};
+use crate::mir::{
+    Demux, DemuxArm, DemuxNode, MsgPlan, PlanNode, PrefixStep, SlotStorage, StubPlan, StubPlans,
+};
 use crate::passes::reply_alias_position_independent;
+use crate::passes::reuse::arena_presentable_slot;
 
 /// Checks every invariant over `mir`.
 ///
@@ -74,6 +84,7 @@ pub fn verify(mir: &StubPlans, presc: &PresC, enc: &Encoding) -> Result<(), Stri
             }
         }
         verify_aliases(stub, enc)?;
+        verify_storage(stub, mir)?;
     }
     for (key, body) in &mir.outlines {
         verify_node(body, mir, presc, enc).map_err(|e| format!("outline {key}: {e}"))?;
@@ -192,6 +203,39 @@ fn verify_liveness(msg: &MsgPlan, bindings: &[flick_pres::ParamBinding]) -> Resu
     Ok(())
 }
 
+/// Storage safety for `reuse-slots` marks (see module docs).
+fn verify_storage(stub: &StubPlan, mir: &StubPlans) -> Result<(), String> {
+    let at = |what: &str| format!("stub {}: {what}", stub.name);
+    for slot in &stub.request.slots {
+        if slot.storage == SlotStorage::Arena && !arena_presentable_slot(&slot.node, &mir.outlines)
+        {
+            return Err(at(&format!(
+                "request slot {} is arena-classified but its plan cannot \
+                 live in the call arena (a decode step must allocate)",
+                slot.name
+            )));
+        }
+    }
+    for slot in &stub.reply.slots {
+        if slot.storage == SlotStorage::Arena && slot.alias.is_none() {
+            return Err(at(&format!(
+                "reply slot {} is arena-classified without an alias mark: \
+                 its value would escape the call's receive buffer",
+                slot.name
+            )));
+        }
+        if slot.alias.is_some() && slot.storage != SlotStorage::Arena {
+            return Err(at(&format!(
+                "aliased reply slot {} lost its arena classification — the \
+                 copy-on-write contract would mutate through owned storage \
+                 without a copy",
+                slot.name
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Alias safety for `reply-alias` marks (see module docs).
 fn verify_aliases(stub: &crate::mir::StubPlan, enc: &Encoding) -> Result<(), String> {
     let at = |what: &str| format!("stub {}: {what}", stub.name);
@@ -205,6 +249,13 @@ fn verify_aliases(stub: &crate::mir::StubPlan, enc: &Encoding) -> Result<(), Str
     }
     for slot in &stub.reply.slots {
         let Some(i) = slot.alias else { continue };
+        if stub.reply.slots.iter().filter(|s| s.live).count() != 1 {
+            return Err(at(&format!(
+                "reply slot {} aliased in a multi-slot reply (the Echoed \
+                 contract replaces the operation's sole reply value)",
+                slot.name
+            )));
+        }
         if !reply_alias_position_independent(enc) {
             return Err(at(&format!(
                 "reply slot {} aliased under position-dependent encoding {}",
@@ -480,6 +531,84 @@ mod tests {
         assert!(verify(&mir, &p, &cdr)
             .unwrap_err()
             .contains("position-dependent encoding"));
+    }
+
+    #[test]
+    fn corrupted_storage_marks_are_rejected() {
+        let (mir, p) = full(ECHO_IDL, "E");
+        let enc = Encoding::xdr();
+        verify(&mir, &p, &enc).expect("clean plans verify");
+        // reuse-slots classifies the scalar request slot arena, and
+        // reply-alias classifies the aliased `_return`.
+        assert!(
+            mir.stubs[0]
+                .request
+                .slots
+                .iter()
+                .any(|s| s.storage == SlotStorage::Arena),
+            "reuse-slots marks the scalar request slot"
+        );
+
+        // An arena mark over a plan that must own storage (here the
+        // client-side string, which may not borrow) cannot present in
+        // the call arena.
+        let mut bad = mir.clone();
+        for s in &mut bad.stubs[0].request.slots {
+            if matches!(s.node, PlanNode::String { .. }) {
+                s.storage = SlotStorage::Arena;
+            }
+        }
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("cannot live in the call arena"));
+
+        // An arena-classified reply slot whose alias mark vanished
+        // would escape its call scope.
+        let mut bad = mir.clone();
+        for s in &mut bad.stubs {
+            for r in &mut s.reply.slots {
+                r.alias = None;
+            }
+        }
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("escape the call's receive buffer"));
+
+        // An aliased reply downgraded to owned storage breaks the
+        // copy-on-write contract (a mutation without a copy).
+        let mut bad = mir.clone();
+        for s in &mut bad.stubs {
+            for r in &mut s.reply.slots {
+                if r.alias.is_some() {
+                    r.storage = SlotStorage::Owned;
+                }
+            }
+        }
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("without a copy"));
+    }
+
+    #[test]
+    fn alias_in_multi_slot_reply_is_rejected() {
+        // Two live reply slots (`_return` and the out parameter): the
+        // pass must not mark, and a corrupted mark must not verify.
+        let idl = "interface E2 { long pair(in long v, out long w); };";
+        let (mir, p) = full(idl, "E2");
+        let enc = Encoding::xdr();
+        verify(&mir, &p, &enc).expect("clean plans verify");
+        assert!(
+            mir.stubs[0].reply.slots.iter().all(|r| r.alias.is_none()),
+            "reply-alias must skip multi-slot replies"
+        );
+
+        let mut bad = mir.clone();
+        let slot = &mut bad.stubs[0].reply.slots[0];
+        slot.alias = Some(0);
+        slot.storage = SlotStorage::Arena;
+        assert!(verify(&bad, &p, &enc)
+            .unwrap_err()
+            .contains("multi-slot reply"));
     }
 
     #[test]

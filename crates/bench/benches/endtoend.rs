@@ -22,8 +22,8 @@ impl onc_bench::Server for NullServer {
     fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
         std::hint::black_box(entries.len());
     }
-    fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
-        s
+    fn echo_stat(&mut self, _s: onc_bench::Stat) -> flick_runtime::Echoed<onc_bench::Stat> {
+        flick_runtime::Echoed::Unchanged
     }
 }
 

@@ -1,0 +1,89 @@
+//! Peak-tracking global allocator for allocation-regression harnesses.
+//!
+//! Two proof obligations share this instrumentation:
+//!
+//! * the fuzz driver bounds *transient* allocation while decoding one
+//!   hostile message (a lying length field must not translate into a
+//!   giant buffer);
+//! * the zero-allocation steady-state test asserts the warm
+//!   marshal/unmarshal path touches the heap *not at all* — after
+//!   warmup every byte lives in the buffer pool or on the stack.
+//!
+//! Install in a binary or integration test with:
+//!
+//! ```text
+//! #[global_allocator]
+//! static ALLOC: flick_bench::allocwatch::PeakAlloc =
+//!     flick_bench::allocwatch::PeakAlloc;
+//! ```
+//!
+//! then bracket the measured region with [`live`]/[`reset_peak`] and
+//! read [`peak_delta`].  `peak_delta(before) == 0` is exactly "no
+//! allocation happened": any nonzero `alloc` or growing `realloc`
+//! pushes the high-water mark above the prior live total.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global allocator that tracks live bytes, the high-water mark, and a
+/// count of allocation events (allocs + growing reallocs).
+pub struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+            EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) };
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+                EVENTS.fetch_add(1, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Bytes currently allocated.
+pub fn live() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the current live total; call before
+/// the measured region.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak bytes above `before_live` since the last [`reset_peak`].
+/// Zero means the measured region performed no heap allocation.
+pub fn peak_delta(before_live: usize) -> usize {
+    PEAK.load(Ordering::Relaxed).saturating_sub(before_live)
+}
+
+/// Allocation events (allocs + growing reallocs) since process start;
+/// diff across a region for a more diagnosable failure message.
+pub fn alloc_events() -> usize {
+    EVENTS.load(Ordering::Relaxed)
+}

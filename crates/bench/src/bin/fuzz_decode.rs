@@ -14,10 +14,9 @@
 //! Exits nonzero on any panic or allocation-bound violation; CI runs
 //! this with a fixed seed as a smoke test.
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
+use flick_bench::allocwatch::{self, PeakAlloc};
 use flick_bench::data;
 use flick_bench::generated::{fluke_bench, iiop_bench, mach_bench, onc_bench};
 use flick_runtime::cdr::ByteOrder;
@@ -26,58 +25,12 @@ use flick_runtime::oncrpc::CallHeader;
 use flick_runtime::MarshalBuf;
 use flick_transport::fault::SplitMix64;
 
-// ---- peak-tracking allocator ----
-//
 // A hostile length field must not translate into a giant allocation:
 // decoders bound claimed lengths against the bytes actually present.
-// Track live bytes and the high-water mark per iteration to enforce
-// that mechanically.
-
-struct PeakAlloc;
-
-static LIVE: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for PeakAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            PEAK.fetch_max(live, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
-        System.dealloc(ptr, layout);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            if new_size >= layout.size() {
-                let grow = new_size - layout.size();
-                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
-                PEAK.fetch_max(live, Ordering::Relaxed);
-            } else {
-                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
-            }
-        }
-        p
-    }
-}
-
+// The shared peak-tracking allocator enforces that mechanically (see
+// `flick_bench::allocwatch`, also behind `tests/zero_alloc.rs`).
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc;
-
-fn reset_peak() {
-    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
-}
-
-fn peak_delta(before_live: usize) -> usize {
-    PEAK.load(Ordering::Relaxed).saturating_sub(before_live)
-}
 
 /// Hard ceiling on transient allocation while decoding one mutated
 /// message.  Golden messages are a few KiB; the framing caps stop at
@@ -86,8 +39,23 @@ const ALLOC_BOUND: usize = 32 << 20;
 
 // ---- trivial servers ----
 
+// The position-independent encodings (XDR, Fluke) carry a reply-alias
+// mark on `echo_stat`, so their servers speak the copy-on-write
+// `Echoed` contract; answering `Unchanged` keeps the fuzzer on the
+// request-byte-replay path the mark enables.
 macro_rules! sink_server {
-    ($name:ident, $module:ident) => {
+    ($name:ident, $module:ident, echoed) => {
+        struct $name;
+        impl $module::Server for $name {
+            fn send_ints(&mut self, _vals: Vec<i32>) {}
+            fn send_rects(&mut self, _rects: Vec<$module::Rect>) {}
+            fn send_dirents(&mut self, _entries: Vec<$module::Dirent>) {}
+            fn echo_stat(&mut self, _s: $module::Stat) -> flick_runtime::Echoed<$module::Stat> {
+                flick_runtime::Echoed::Unchanged
+            }
+        }
+    };
+    ($name:ident, $module:ident, owned) => {
         struct $name;
         impl $module::Server for $name {
             fn send_ints(&mut self, _vals: Vec<i32>) {}
@@ -100,10 +68,10 @@ macro_rules! sink_server {
     };
 }
 
-sink_server!(OncSink, onc_bench);
-sink_server!(IiopSink, iiop_bench);
-sink_server!(MachSink, mach_bench);
-sink_server!(FlukeSink, fluke_bench);
+sink_server!(OncSink, onc_bench, echoed);
+sink_server!(IiopSink, iiop_bench, owned);
+sink_server!(MachSink, mach_bench, owned);
+sink_server!(FlukeSink, fluke_bench, echoed);
 
 // ---- golden seed messages ----
 
@@ -279,8 +247,8 @@ fn fuzz_encoding(
     for i in 0..iters {
         let golden = &seeds[(i % seeds.len() as u64) as usize];
         let mutated = mutate(&mut rng, golden);
-        let live = LIVE.load(Ordering::Relaxed);
-        reset_peak();
+        let live = allocwatch::live();
+        allocwatch::reset_peak();
         match panic::catch_unwind(AssertUnwindSafe(|| decode(&mutated))) {
             Ok(true) => t.ok += 1,
             Ok(false) => t.rejected += 1,
@@ -289,7 +257,7 @@ fn fuzz_encoding(
                 eprintln!("PANIC: encoding={name} seed={seed} iteration={i}");
             }
         }
-        let delta = peak_delta(live);
+        let delta = allocwatch::peak_delta(live);
         if delta > ALLOC_BOUND {
             t.alloc_violations += 1;
             eprintln!("ALLOC BOUND: encoding={name} seed={seed} iteration={i} peak={delta} bytes");

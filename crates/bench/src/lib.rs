@@ -8,11 +8,14 @@
 //! * [`endtoend`] — the measured-marshal + modeled-wire round-trip
 //!   throughput computation behind Figures 4–7;
 //! * [`hostcal`] — host memory-bandwidth calibration for scaling the
-//!   1997 network models (see `flick_transport::netmodel`).
+//!   1997 network models (see `flick_transport::netmodel`);
+//! * [`allocwatch`] — peak-tracking global allocator shared by the
+//!   fuzz allocation bound and the zero-allocation steady-state test.
 //!
 //! Figure/table binaries live in `src/bin/`; micro-benchmarks (built
 //! on [`microbench`]) in `benches/`.
 
+pub mod allocwatch;
 pub mod bin_common;
 pub mod data;
 pub mod endtoend;

@@ -173,8 +173,8 @@ impl onc_bench::Server for CountingServer {
     fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
         self.dirents += entries.len();
     }
-    fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
-        s
+    fn echo_stat(&mut self, _s: onc_bench::Stat) -> flick_runtime::Echoed<onc_bench::Stat> {
+        flick_runtime::Echoed::Unchanged
     }
 }
 
@@ -325,17 +325,17 @@ fn reply_alias_reuses_request_bytes_without_changing_the_wire() {
 }
 
 #[test]
-fn reply_alias_guard_falls_back_when_the_server_mutates() {
-    // A server that edits the stat must defeat the byte-reuse guard and
-    // re-marshal the changed value.
+fn reply_alias_falls_back_when_the_server_declares_a_change() {
+    // A server that edits the stat answers `Echoed::Changed`, which
+    // must skip the byte-reuse path and re-marshal the new value.
     struct Bump;
     impl onc_bench::Server for Bump {
         fn send_ints(&mut self, _v: Vec<i32>) {}
         fn send_rects(&mut self, _v: Vec<onc_bench::Rect>) {}
         fn send_dirents(&mut self, _v: Vec<onc_bench::Dirent>) {}
-        fn echo_stat(&mut self, mut s: onc_bench::Stat) -> onc_bench::Stat {
+        fn echo_stat(&mut self, mut s: onc_bench::Stat) -> flick_runtime::Echoed<onc_bench::Stat> {
             s.fields[0] += 1;
-            s
+            flick_runtime::Echoed::Changed(s)
         }
     }
     let mut req = MarshalBuf::new();
@@ -367,8 +367,8 @@ fn merge_prefix_dispatch_agrees_with_the_unmerged_ablation() {
         fn send_dirents(&mut self, v: Vec<onc_bench::Dirent>) {
             self.2 += v.len();
         }
-        fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
-            s
+        fn echo_stat(&mut self, _s: onc_bench::Stat) -> flick_runtime::Echoed<onc_bench::Stat> {
+            flick_runtime::Echoed::Unchanged
         }
     }
     struct Tally2(usize, usize, usize);
@@ -382,8 +382,11 @@ fn merge_prefix_dispatch_agrees_with_the_unmerged_ablation() {
         fn send_dirents(&mut self, v: Vec<onc_noprefix::Dirent>) {
             self.2 += v.len();
         }
-        fn echo_stat(&mut self, s: onc_noprefix::Stat) -> onc_noprefix::Stat {
-            s
+        fn echo_stat(
+            &mut self,
+            _s: onc_noprefix::Stat,
+        ) -> flick_runtime::Echoed<onc_noprefix::Stat> {
+            flick_runtime::Echoed::Unchanged
         }
     }
 

@@ -146,8 +146,8 @@ fn passes_flag_lists_pipeline_in_order() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         text,
-        "dead-slot\nclassify-storage\nhoist-checks\nform-chunks\ncoalesce-memcpy\n\
-         inline-marshal\nreply-alias\ndemux-switch\nmerge-prefix\n"
+        "dead-slot\nclassify-storage\nreuse-slots\nhoist-checks\nform-chunks\n\
+         coalesce-memcpy\ninline-marshal\nreply-alias\ndemux-switch\nmerge-prefix\n"
     );
 }
 

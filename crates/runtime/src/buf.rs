@@ -53,6 +53,22 @@ impl MarshalBuf {
         self.data.len()
     }
 
+    /// Bytes the buffer can hold without reallocating — what a pooled
+    /// buffer's recycle decision is made on.
+    #[inline]
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Releases capacity beyond `min_capacity` (never below the
+    /// current length).  The pool's high-water trimmer calls this so
+    /// one oversized message does not pin its allocation forever.
+    #[inline]
+    pub fn shrink_to(&mut self, min_capacity: usize) {
+        self.data.shrink_to(min_capacity);
+    }
+
     /// True when nothing has been encoded.
     #[inline]
     #[must_use]

@@ -226,13 +226,49 @@ pub struct RequestHeader {
     pub trace: Option<TraceContext>,
 }
 
-/// Reads a request header from an open CDR stream, noting the carried
-/// trace context (or its absence) for this thread's server spans and
-/// reply headers.
-pub fn get_request_header(
-    r: &mut MsgReader<'_>,
+/// A request header presented in the marshal buffer: object key and
+/// operation borrow from the received message (§3.1 in-buffer
+/// presentation), so parsing allocates nothing.  Generated dispatch
+/// loops use this form; [`RequestHeader`] remains for callers that
+/// need the header to outlive the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestHeaderRef<'a> {
+    /// Request id chosen by the client.
+    pub request_id: u32,
+    /// False for oneway requests.
+    pub response_expected: bool,
+    /// Target object key, borrowed from the message.
+    pub object_key: &'a [u8],
+    /// Operation name — the demultiplexing discriminator — borrowed
+    /// from the message.
+    pub operation: &'a str,
+    /// Trace context from the service-context list, if the client sent
+    /// one.
+    pub trace: Option<TraceContext>,
+}
+
+impl RequestHeaderRef<'_> {
+    /// Copies the borrowed fields into an owned [`RequestHeader`].
+    #[must_use]
+    pub fn to_owned(&self) -> RequestHeader {
+        RequestHeader {
+            request_id: self.request_id,
+            response_expected: self.response_expected,
+            object_key: self.object_key.to_vec(),
+            operation: self.operation.to_string(),
+            trace: self.trace,
+        }
+    }
+}
+
+/// Reads a request header from an open CDR stream without allocating:
+/// the object key and operation name borrow from the message.  Notes
+/// the carried trace context (or its absence) for this thread's
+/// server spans and reply headers.
+pub fn get_request_header_ref<'a>(
+    r: &mut MsgReader<'a>,
     cdr: &CdrIn,
-) -> Result<RequestHeader, DecodeError> {
+) -> Result<RequestHeaderRef<'a>, DecodeError> {
     crate::trace::note_wire_context(None);
     let trace = read_service_contexts(r, cdr)?;
     crate::trace::note_wire_context(trace);
@@ -240,18 +276,27 @@ pub fn get_request_header(
     let response_expected = cdr.get_u8(r)? != 0;
     let at = r.pos();
     let klen = cdr.get_u32(r)? as usize;
-    let object_key = r.bytes(klen).map_err(|e| e.at(at))?.to_vec();
+    let object_key = r.bytes(klen).map_err(|e| e.at(at))?;
     let at = r.pos();
-    let operation = String::from_utf8(cdr.get_string(r).map_err(|e| e.at(at))?.to_vec())
+    let operation = std::str::from_utf8(cdr.get_string(r).map_err(|e| e.at(at))?)
         .map_err(|_| DecodeError::BadValue("operation name is not UTF-8").at(at))?;
     let _principal = cdr.get_u32(r)?;
-    Ok(RequestHeader {
+    Ok(RequestHeaderRef {
         request_id,
         response_expected,
         object_key,
         operation,
         trace,
     })
+}
+
+/// Reads a request header into owned storage — a copying facade over
+/// [`get_request_header_ref`].
+pub fn get_request_header(
+    r: &mut MsgReader<'_>,
+    cdr: &CdrIn,
+) -> Result<RequestHeader, DecodeError> {
+    Ok(get_request_header_ref(r, cdr)?.to_owned())
 }
 
 /// Walks a service-context list, capturing a well-formed trace entry
@@ -462,6 +507,31 @@ mod tests {
 
         crate::trace::note_wire_context(None);
         flick_telemetry::set_enabled(false);
+    }
+
+    #[test]
+    fn request_header_ref_borrows_from_the_message() {
+        let order = ByteOrder::Big;
+        let mut buf = MarshalBuf::new();
+        let size_at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        put_request_header(&mut buf, &cdr, 9, true, b"mailbox-1", "send");
+        finish_message(&mut buf, size_at, order);
+
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_request_header_ref(&mut r, &cin).unwrap();
+        assert_eq!(rh.request_id, 9);
+        assert_eq!(rh.object_key, b"mailbox-1");
+        assert_eq!(rh.operation, "send");
+        // In-buffer presentation: the borrows point into the message.
+        let span = data.as_ptr_range();
+        assert!(span.contains(&rh.object_key.as_ptr()));
+        assert!(span.contains(&rh.operation.as_ptr()));
+        // The owned facade sees the same header.
+        assert_eq!(rh.to_owned().operation, "send");
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   message travel in a register window, the rest in a buffer;
 //! * [`giop`] — GIOP/IIOP message, request, and reply headers;
 //! * [`oncrpc`] — ONC RPC call/reply headers and TCP record marking;
+//! * [`pool`] — thread-local checkout/recycle of marshal buffers so
+//!   the warm call path allocates nothing per call, with a bounded
+//!   free list and high-water capacity trimming;
+//! * [`reply`] — the [`reply::Echoed`] copy-on-write reply contract
+//!   that lets `reply-alias`ed operations answer with request bytes
+//!   without a runtime compare;
 //! * [`client`] — client-side deadlines, retransmission, and the
 //!   structured [`client::RpcError`] for datagram calls;
 //! * [`metrics`] — marshal metrics hooks for the codec hot paths.
@@ -44,12 +50,16 @@ pub mod mach;
 pub mod metrics;
 pub mod oncrpc;
 pub mod pod;
+pub mod pool;
+pub mod reply;
 pub mod stats;
 pub mod trace;
 pub mod xdr;
 
 pub use buf::{ChunkReader, ChunkWriter, MarshalBuf, MsgReader};
 pub use error::DecodeError;
+pub use pool::{checkout, PooledBuf};
+pub use reply::Echoed;
 
 /// Rounds `n` up to the next multiple of `align` (a power of two).
 #[inline]

@@ -1,0 +1,83 @@
+//! Copy-on-write reply presentation for aliased reply slots.
+//!
+//! The `reply-alias` MIR pass pairs a reply slot with a structurally
+//! identical request slot so the server stub can answer with the
+//! request's own wire bytes.  Early versions guarded that reuse with a
+//! runtime `==` against a snapshot of the decoded value — a compare
+//! (and a clone) on every call that ate most of the win.
+//!
+//! [`Echoed`] replaces the guard with a contract: the server work
+//! function *declares* whether it changed the echoed value.
+//! [`Echoed::Unchanged`] lets the stub copy the already-encoded
+//! request bytes straight into the reply; [`Echoed::Changed`] carries
+//! a new value through the normal encode path.  No snapshot, no
+//! compare — the verifier instead proves at compile time that the
+//! aliased slot's wire image equals the request slot's.
+
+/// A server's answer for an operation whose reply aliases a request
+/// slot: either "I did not mutate the echoed value" or a replacement
+/// value to encode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Echoed<T> {
+    /// The reply value is byte-for-byte the decoded request value;
+    /// the stub replies with the request's wire bytes.
+    Unchanged,
+    /// The server produced a different value; the stub encodes it.
+    Changed(T),
+}
+
+impl<T> Echoed<T> {
+    /// True for [`Echoed::Unchanged`].
+    #[inline]
+    #[must_use]
+    pub fn is_unchanged(&self) -> bool {
+        matches!(self, Echoed::Unchanged)
+    }
+
+    /// The changed value, if the server produced one.
+    #[inline]
+    pub fn changed(self) -> Option<T> {
+        match self {
+            Echoed::Unchanged => None,
+            Echoed::Changed(v) => Some(v),
+        }
+    }
+
+    /// Resolves the contract against the request value the server was
+    /// handed — useful for test oracles and loopback servers.
+    #[inline]
+    pub fn resolve(self, request: T) -> T {
+        match self {
+            Echoed::Unchanged => request,
+            Echoed::Changed(v) => v,
+        }
+    }
+}
+
+impl<T> From<T> for Echoed<T> {
+    /// A plain value is a changed reply; `Unchanged` must be declared
+    /// explicitly.
+    #[inline]
+    fn from(v: T) -> Self {
+        Echoed::Changed(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_honours_the_contract() {
+        assert_eq!(Echoed::Unchanged.resolve(7), 7);
+        assert_eq!(Echoed::Changed(9).resolve(7), 9);
+    }
+
+    #[test]
+    fn changed_extracts_only_mutations() {
+        assert_eq!(Echoed::<u32>::Unchanged.changed(), None);
+        assert_eq!(Echoed::Changed(3u32).changed(), Some(3));
+        assert!(Echoed::<u32>::Unchanged.is_unchanged());
+        assert_eq!(Echoed::from(5u32), Echoed::Changed(5));
+    }
+}

@@ -25,8 +25,8 @@ impl onc_bench::Server for Sink {
     fn send_dirents(&mut self, entries: Vec<onc_bench::Dirent>) {
         self.dirents += entries.len();
     }
-    fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
-        s
+    fn echo_stat(&mut self, _s: onc_bench::Stat) -> flick_runtime::Echoed<onc_bench::Stat> {
+        flick_runtime::Echoed::Unchanged
     }
 }
 

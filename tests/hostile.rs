@@ -34,9 +34,9 @@ impl onc_bench::Server for Sink {
     }
     fn send_rects(&mut self, _r: Vec<onc_bench::Rect>) {}
     fn send_dirents(&mut self, _e: Vec<onc_bench::Dirent>) {}
-    fn echo_stat(&mut self, s: onc_bench::Stat) -> onc_bench::Stat {
+    fn echo_stat(&mut self, _s: onc_bench::Stat) -> flick_runtime::Echoed<onc_bench::Stat> {
         self.echoes += 1;
-        s
+        flick_runtime::Echoed::Unchanged
     }
 }
 
