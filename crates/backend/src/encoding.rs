@@ -172,6 +172,21 @@ impl Encoding {
         }
     }
 
+    /// Looks an encoding up by its stable name (the `--transcode=SRC:DST`
+    /// vocabulary; `"cdr-native"` resolves to the host's order).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "xdr" => Self::xdr(),
+            "cdr-be" => Self::cdr_be(),
+            "cdr-le" => Self::cdr_le(),
+            "cdr-native" => Self::cdr_native(),
+            "mach3" => Self::mach3(),
+            "fluke" => Self::fluke(),
+            _ => return None,
+        })
+    }
+
     /// The wire form of a MINT atom.
     ///
     /// # Panics

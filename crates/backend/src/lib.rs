@@ -33,12 +33,14 @@ pub mod c_header;
 pub mod cache;
 pub mod emit_c;
 pub mod emit_rust;
+pub mod emit_transcode;
 pub mod encoding;
 pub mod layout;
 pub mod mir;
 pub mod opts;
 pub mod passes;
 pub mod plan;
+pub mod transcode;
 pub mod verify;
 
 pub use c_header::C_RUNTIME_HEADER;
@@ -48,8 +50,27 @@ pub use mir::{PlanStats, StubPlans};
 pub use opts::OptFlags;
 pub use passes::{MirDump, MirPass, PassPipeline, PassSpan, PASS_NAMES};
 pub use plan::Parallelism;
+pub use transcode::{TranscodePlan, TranscodePlans, XcOp, XcPart, XcStats};
 
 use flick_pres::PresC;
+
+/// Lowers `presc` into an encoding-pair rewrite (`src` → `dst`) and
+/// emits the generated transcoder module — the `--transcode=SRC:DST`
+/// path.  `fused` mirrors the `fuse-transcode` pass toggle; when off,
+/// the primary rewrites are the naive slot-wise ones.
+///
+/// # Errors
+/// Returns a message when an encoding or presentation construct cannot
+/// be transcoded (typed-descriptor encodings, non-atomic scalars).
+pub fn compile_transcode(
+    presc: &PresC,
+    src: &Encoding,
+    dst: &Encoding,
+    fused: bool,
+) -> Result<String, String> {
+    let plans = transcode::plan(presc, src, dst, fused)?;
+    Ok(emit_transcode::emit(&plans))
+}
 
 /// Which transport family a back end serves (paper: CORBA IIOP/TCP,
 /// ONC/XDR over TCP or UDP, Mach 3 typed messages, Fluke kernel IPC).

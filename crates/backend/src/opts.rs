@@ -41,6 +41,12 @@ pub struct OptFlags {
     /// request storage reuse the request bytes (one coalesced copy)
     /// instead of re-marshaling.
     pub reply_alias: bool,
+    /// Gateway transcode fusion: encoding-pair rewrites collapse runs
+    /// whose source and target layouts agree into bulk copies.  Off ⇒
+    /// the generated transcoder re-reads and re-writes slot by slot
+    /// (decode-to-presentation-then-re-encode shape).  No effect on
+    /// endpoint stubs.
+    pub fuse_transcode: bool,
     /// Variable-but-bounded threshold (bytes): bounded regions no
     /// larger than this get a single hoisted check (paper: 8 KB).
     pub bounded_threshold: u64,
@@ -60,6 +66,7 @@ impl OptFlags {
             reuse_slots: true,
             merge_prefix: true,
             reply_alias: true,
+            fuse_transcode: true,
             bounded_threshold: 8 * 1024,
         }
     }
@@ -77,6 +84,7 @@ impl OptFlags {
             reuse_slots: false,
             merge_prefix: false,
             reply_alias: false,
+            fuse_transcode: false,
             bounded_threshold: 8 * 1024,
         }
     }
@@ -97,9 +105,11 @@ mod tests {
         let a = OptFlags::all();
         assert!(a.hoist_checks && a.chunking && a.memcpy && a.inline_marshal && a.param_mgmt);
         assert!(a.dead_slot && a.reuse_slots && a.merge_prefix && a.reply_alias);
+        assert!(a.fuse_transcode);
         let n = OptFlags::none();
         assert!(!(n.hoist_checks || n.chunking || n.memcpy || n.inline_marshal || n.param_mgmt));
         assert!(!(n.dead_slot || n.reuse_slots || n.merge_prefix || n.reply_alias));
+        assert!(!n.fuse_transcode);
         assert_eq!(OptFlags::default(), OptFlags::all());
     }
 }

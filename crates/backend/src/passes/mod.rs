@@ -13,10 +13,16 @@
 //! | 4     | `hoist-checks`    | §3.1  | one up-front `ensure` per message     |
 //! | 5     | `form-chunks`     | §3.2  | packed constant-offset regions        |
 //! | 6     | `coalesce-memcpy` | §3.2  | scalar arrays become block copies     |
-//! | 7     | `inline-marshal`  | §3.3  | absorb out-of-line marshal calls      |
-//! | 8     | `reply-alias`     | §3.2  | echoed replies reuse request bytes    |
-//! | 9     | `demux-switch`    | §3.4  | word-wise server demultiplex trie     |
-//! | 10    | `merge-prefix`    | §3.4  | shared unmarshal prefix above the trie|
+//! | 7     | `fuse-transcode`  | §4    | encoding-pair runs become bulk copies |
+//! | 8     | `inline-marshal`  | §3.3  | absorb out-of-line marshal calls      |
+//! | 9     | `reply-alias`     | §3.2  | echoed replies reuse request bytes    |
+//! | 10    | `demux-switch`    | §3.4  | word-wise server demultiplex trie     |
+//! | 11    | `merge-prefix`    | §3.4  | shared unmarshal prefix above the trie|
+//!
+//! `fuse-transcode` is special: its decision applies when an
+//! encoding-*pair* (gateway) plan is built, not to endpoint MIR — see
+//! [`fuse`] — but it lives in the shared vocabulary so `--disable-pass`
+//! validation, pipeline fingerprints, and ablations treat it uniformly.
 //!
 //! The pipeline times each pass, counts its decisions, optionally runs
 //! the MIR verifier between passes (debug/test builds), and finishes
@@ -37,7 +43,8 @@ use crate::verify::verify;
 mod chunks;
 mod classify;
 mod dead_slot;
-mod demux;
+pub(crate) mod demux;
+mod fuse;
 mod hoist;
 mod inline;
 mod memcpy;
@@ -49,6 +56,7 @@ pub use chunks::FormChunks;
 pub use classify::ClassifyStorage;
 pub use dead_slot::DeadSlot;
 pub use demux::DemuxSwitch;
+pub use fuse::FuseTranscode;
 pub use hoist::HoistChecks;
 pub use inline::InlineMarshal;
 pub use memcpy::CoalesceMemcpy;
@@ -57,14 +65,16 @@ pub(crate) use reply_alias::position_independent as reply_alias_position_indepen
 pub use reply_alias::ReplyAlias;
 pub use reuse::ReuseSlots;
 
-/// The ten §3 passes in pipeline order.
-pub const PASS_NAMES: [&str; 10] = [
+/// The eleven passes in pipeline order (the §3 endpoint optimizations
+/// plus the gateway's transcode fusion).
+pub const PASS_NAMES: [&str; 11] = [
     "dead-slot",
     "classify-storage",
     "reuse-slots",
     "hoist-checks",
     "form-chunks",
     "coalesce-memcpy",
+    "fuse-transcode",
     "inline-marshal",
     "reply-alias",
     "demux-switch",
@@ -206,6 +216,9 @@ impl PassPipeline {
         }
         if opts.memcpy {
             passes.push(Box::new(CoalesceMemcpy));
+        }
+        if opts.fuse_transcode {
+            passes.push(Box::new(FuseTranscode));
         }
         if opts.inline_marshal {
             passes.push(Box::new(InlineMarshal));
@@ -555,7 +568,7 @@ mod tests {
     ";
 
     #[test]
-    fn default_pipeline_schedules_all_ten_passes_in_order() {
+    fn default_pipeline_schedules_all_eleven_passes_in_order() {
         let pipe = PassPipeline::from_opts(&OptFlags::all());
         assert_eq!(pipe.pass_names(), PASS_NAMES.to_vec());
     }

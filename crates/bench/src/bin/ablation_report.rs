@@ -389,6 +389,36 @@ fn main() {
         );
     }
 
+    // fuse-transcode: the gateway's encoding-pair rewrites.  Fused,
+    // agreeing runs cross as block copies and strings re-prefix as
+    // borrows; ablated, every slot is read, materialized (strings are
+    // heap-allocated), and re-written.  Measured on the request leg of
+    // the generated XDR→CDR `send_dirents` rewrite.
+    {
+        use flick_bench::generated::transcode_bench;
+        let mut req = MarshalBuf::new();
+        onc_bench::encode_send_dirents_request(&mut req, &data::onc::dirents(n(1024)));
+        let body = req.as_slice().to_vec();
+        let mut dst = MarshalBuf::new();
+        let on = time_one(|| {
+            dst.clear();
+            transcode_bench::transcode_send_dirents_request(&body, &mut dst).expect("transcodes");
+            std::hint::black_box(dst.len());
+        });
+        let off = time_one(|| {
+            dst.clear();
+            transcode_bench::transcode_send_dirents_request_naive(&body, &mut dst)
+                .expect("transcodes");
+            std::hint::black_box(dst.len());
+        });
+        report(
+            "fuse-transcode (gw)",
+            "block-copied encoding-pair rewrites",
+            on,
+            off,
+        );
+    }
+
     // Everything together vs everything off.
     let on = time_encode!(
         onc_bench::encode_send_dirents_request,

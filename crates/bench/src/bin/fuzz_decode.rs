@@ -18,7 +18,7 @@ use std::panic::{self, AssertUnwindSafe};
 
 use flick_bench::allocwatch::{self, PeakAlloc};
 use flick_bench::data;
-use flick_bench::generated::{fluke_bench, iiop_bench, mach_bench, onc_bench};
+use flick_bench::generated::{fluke_bench, iiop_bench, mach_bench, onc_bench, transcode_bench};
 use flick_runtime::cdr::ByteOrder;
 use flick_runtime::giop::{self, MsgType};
 use flick_runtime::oncrpc::CallHeader;
@@ -118,6 +118,10 @@ type Encoder<'a> = &'a dyn Fn(&mut MarshalBuf);
 /// A decode entry point: true when the mutated bytes were accepted
 /// (or answered), false when they were rejected.
 type Entry<'a> = &'a dyn Fn(&[u8]) -> bool;
+/// One transcode path (fused or naive): proc number, source bytes, sink.
+type XcPath<'a> = &'a dyn Fn(u32, &[u8], &mut MarshalBuf) -> Result<(), flick_runtime::DecodeError>;
+/// One equivalence leg: name, seed corpus, fused path, naive path.
+type XcLeg<'a> = (&'a str, &'a [(u32, Vec<u8>)], XcPath<'a>, XcPath<'a>);
 
 /// Complete GIOP request messages for every operation.
 fn giop_seeds() -> Vec<Vec<u8>> {
@@ -266,6 +270,98 @@ fn fuzz_encoding(
     t
 }
 
+// ---- transcode equivalence (fuse-transcode ablation property) ----
+
+/// Fuzzes the generated gateway rewrites for equivalence: on every
+/// mutated body, the fused path and the slot-by-slot (`fuse-transcode`
+/// ablated) path must agree on accept/reject, and accepted inputs must
+/// produce byte-identical output.  Rejections must match exactly too,
+/// except that a fused block copy may observe a truncation at a
+/// different offset than the per-slot loop — there, agreeing that the
+/// input is truncated is the contract.
+fn fuzz_transcode(
+    name: &str,
+    seed: u64,
+    iters: u64,
+    seeds: &[(u32, Vec<u8>)],
+    fused: XcPath,
+    naive: XcPath,
+) -> (Tally, u64) {
+    let mut rng = SplitMix64::new(seed ^ 0xfced ^ name.len() as u64);
+    let mut t = Tally {
+        ok: 0,
+        rejected: 0,
+        panics: 0,
+        alloc_violations: 0,
+    };
+    let mut divergences = 0u64;
+    let mut fused_out = MarshalBuf::new();
+    let mut naive_out = MarshalBuf::new();
+    for i in 0..iters {
+        let (proc, golden) = &seeds[(i % seeds.len() as u64) as usize];
+        let mutated = mutate(&mut rng, golden);
+        let live = allocwatch::live();
+        allocwatch::reset_peak();
+        let verdict = panic::catch_unwind(AssertUnwindSafe(|| {
+            fused_out.clear();
+            naive_out.clear();
+            let a = fused(*proc, &mutated, &mut fused_out);
+            let b = naive(*proc, &mutated, &mut naive_out);
+            match (a, b) {
+                (Ok(()), Ok(())) => {
+                    if fused_out.as_slice() == naive_out.as_slice() {
+                        Ok(true)
+                    } else {
+                        eprintln!(
+                            "DIVERGED (bytes): dir={name} seed={seed} iteration={i} \
+                             fused={}B naive={}B",
+                            fused_out.len(),
+                            naive_out.len()
+                        );
+                        Err(())
+                    }
+                }
+                (Err(ea), Err(eb)) => {
+                    let truncated = |e: &flick_runtime::DecodeError| {
+                        matches!(e.root(), flick_runtime::DecodeError::Truncated { .. })
+                    };
+                    if ea == eb || (truncated(&ea) && truncated(&eb)) {
+                        Ok(false)
+                    } else {
+                        eprintln!(
+                            "DIVERGED (errors): dir={name} seed={seed} iteration={i} \
+                             fused={ea:?} naive={eb:?}"
+                        );
+                        Err(())
+                    }
+                }
+                (a, b) => {
+                    eprintln!(
+                        "DIVERGED (accept/reject): dir={name} seed={seed} iteration={i} \
+                         fused={a:?} naive={b:?}"
+                    );
+                    Err(())
+                }
+            }
+        }));
+        match verdict {
+            Ok(Ok(true)) => t.ok += 1,
+            Ok(Ok(false)) => t.rejected += 1,
+            Ok(Err(())) => divergences += 1,
+            Err(_) => {
+                t.panics += 1;
+                eprintln!("PANIC: dir={name} seed={seed} iteration={i}");
+            }
+        }
+        let delta = allocwatch::peak_delta(live);
+        if delta > ALLOC_BOUND {
+            t.alloc_violations += 1;
+            eprintln!("ALLOC BOUND: dir={name} seed={seed} iteration={i} peak={delta} bytes");
+        }
+    }
+    (t, divergences)
+}
+
 fn main() {
     let mut seed = 0x5eed_f11c_u64;
     let mut iters = 10_000u64;
@@ -337,6 +433,54 @@ fn main() {
             failed = true;
         }
     }
+    // Gateway rewrites: fused vs slot-by-slot equivalence over mutated
+    // bodies, both legs.  The request corpus reuses the ONC records
+    // with their call headers stripped; the reply corpus is the CDR
+    // bodies the IIOP server would answer with (echo_stat's stat; the
+    // send_* replies are empty).
+    let req_seeds: Vec<(u32, Vec<u8>)> = onc
+        .iter()
+        .enumerate()
+        .map(|(i, rec)| {
+            (
+                i as u32 + 1,
+                rec[flick_runtime::oncrpc::CALL_HEADER_BYTES..].to_vec(),
+            )
+        })
+        .collect();
+    let mut reply_seeds: Vec<(u32, Vec<u8>)> =
+        vec![(1, Vec::new()), (2, Vec::new()), (3, Vec::new())];
+    {
+        let mut b = MarshalBuf::new();
+        iiop_bench::encode_echo_stat_request(&mut b, &data::iiop::stat());
+        reply_seeds.push((4, b.into_vec()));
+    }
+    let legs: [XcLeg; 2] = [
+        (
+            "xdr->cdr",
+            &req_seeds,
+            &|p, s, d| transcode_bench::transcode_request(p, s, d).map(|_| ()),
+            &|p, s, d| transcode_bench::transcode_request_naive(p, s, d).map(|_| ()),
+        ),
+        (
+            "cdr->xdr",
+            &reply_seeds,
+            &|p, s, d| transcode_bench::transcode_reply(p, s, d),
+            &|p, s, d| transcode_bench::transcode_reply_naive(p, s, d),
+        ),
+    ];
+    for (name, seeds, fused, naive) in legs {
+        let (t, divergences) = fuzz_transcode(name, seed, iters, seeds, fused, naive);
+        println!(
+            "  transcode {name:<9} ok={:<6} rejected={:<6} panics={} alloc_violations={} \
+             divergences={divergences}",
+            t.ok, t.rejected, t.panics, t.alloc_violations
+        );
+        if t.panics > 0 || t.alloc_violations > 0 || divergences > 0 {
+            failed = true;
+        }
+    }
+
     let _ = panic::take_hook();
     if failed {
         eprintln!("fuzz_decode: FAILED");

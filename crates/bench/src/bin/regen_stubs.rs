@@ -13,7 +13,9 @@ fn main() {
     let dir = flick_bench::regen::generated_dir();
     std::fs::create_dir_all(&dir).expect("create generated dir");
     let mut drift = false;
-    for (name, source) in flick_bench::regen::generate_all() {
+    let mut modules = flick_bench::regen::generate_all();
+    modules.extend(flick_bench::regen::generate_transcode());
+    for (name, source) in modules {
         let path = dir.join(name);
         let existing = std::fs::read_to_string(&path).unwrap_or_default();
         if existing == source {

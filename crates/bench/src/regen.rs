@@ -298,6 +298,33 @@ pub fn generate_all() -> Vec<(&'static str, String)> {
         .collect()
 }
 
+/// Generates the transcoding gateway module: the `Bench` interface's
+/// fused XDR→CDR(native) rewrites, exercised by the `flick-bridge`
+/// binary, the hostile-proxy tests, and the `transcode` ablation row.
+///
+/// Deliberately not a [`Job`]: gateway modules emit encoding-pair
+/// rewrites rather than stubs, so they contribute no stub hashes to
+/// the golden manifest.
+///
+/// # Panics
+/// Panics if the committed IDL fails to compile or plan.
+#[must_use]
+pub fn generate_transcode() -> Vec<(&'static str, String)> {
+    let out = Compiler::new(Frontend::Corba, Style::RpcgenC, Transport::OncTcp)
+        .compile_source(
+            "bench.idl",
+            include_str!("../../../testdata/bench.idl"),
+            "Bench",
+            Side::Server,
+        )
+        .expect("bench.idl compiles");
+    let src = flick_backend::Encoding::xdr();
+    let dst = flick_backend::Encoding::cdr_native();
+    let module =
+        flick_backend::compile_transcode(&out.presc, &src, &dst, true).expect("transcode plans");
+    vec![("transcode_bench.rs", module)]
+}
+
 /// The golden stub-hash manifest: one `module stub hash` line per
 /// generated stub, in job order.  Checked in at
 /// `testdata/golden_hashes.txt`, this pins [`flick_pres::stub_hash`]

@@ -442,7 +442,9 @@ fn generated_in_sync() {
     // MIR verifier on, so drift can never come from a malformed
     // intermediate.
     let dir = flick_bench::regen::generated_dir();
-    for (name, fresh) in flick_bench::regen::generate_all() {
+    let mut modules = flick_bench::regen::generate_all();
+    modules.extend(flick_bench::regen::generate_transcode());
+    for (name, fresh) in modules {
         let committed = std::fs::read_to_string(dir.join(name)).unwrap_or_else(|_| String::new());
         assert_eq!(
             committed, fresh,

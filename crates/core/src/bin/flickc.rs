@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use flick::{CompileSession, Compiler, Frontend, MirDump, OptFlags, Style, Transport, PASS_NAMES};
+use flick_backend::Encoding;
 use flick_pres::Side;
 
 struct Args {
@@ -32,6 +33,7 @@ struct Args {
     pass_budget_ms: Option<u64>,
     cache_dir: Option<PathBuf>,
     explain_cache: bool,
+    transcode: Option<(Encoding, Encoding)>,
     out_dir: Option<PathBuf>,
     timings: bool,
     stats: bool,
@@ -58,6 +60,11 @@ usage: flickc [options] <input.idl|.x|.defs>
   --no-hoist --no-chunk --no-memcpy --no-inline   disable one each
   --passes                     list the MIR optimization passes and exit
   --disable-pass=NAME          drop one pass from the pipeline (repeatable)
+  --transcode=SRC:DST          emit a fused SRC-to-DST transcoding gateway
+                               module instead of stubs (encodings: xdr,
+                               cdr-be, cdr-le, cdr-native, mach3, fluke);
+                               --disable-pass=fuse-transcode falls back to
+                               the slot-by-slot rewrites
   --dump-mir[=PASS]            dump the MIR to stderr (final, or after
                                PASS; `lower` dumps the unoptimized MIR)
   --pass-budget N              cap each optimization pass at N decisions;
@@ -90,6 +97,7 @@ fn parse_args() -> Result<ParsedArgs, String> {
     let mut pass_budget_ms = None;
     let mut cache_dir = None;
     let mut explain_cache = false;
+    let mut transcode = None;
     let mut out_dir = None;
     let mut timings = false;
     let mut stats = false;
@@ -178,6 +186,10 @@ fn parse_args() -> Result<ParsedArgs, String> {
                 );
             }
             "--cache-dir" => cache_dir = Some(PathBuf::from(val("--cache-dir")?)),
+            "--transcode" => transcode = Some(parse_transcode(&val("--transcode")?)?),
+            other if other.starts_with("--transcode=") => {
+                transcode = Some(parse_transcode(&other["--transcode=".len()..])?);
+            }
             "--explain-cache" => explain_cache = true,
             other if other.starts_with("--disable-pass=") => {
                 let name = &other["--disable-pass=".len()..];
@@ -230,12 +242,29 @@ fn parse_args() -> Result<ParsedArgs, String> {
         pass_budget_ms,
         cache_dir,
         explain_cache,
+        transcode,
         out_dir,
         timings,
         stats,
         stats_json,
         input,
     })))
+}
+
+/// Parses a `--transcode` SRC:DST encoding pair.
+fn parse_transcode(spec: &str) -> Result<(Encoding, Encoding), String> {
+    let Some((src, dst)) = spec.split_once(':') else {
+        return Err(format!("--transcode needs SRC:DST, got `{spec}`"));
+    };
+    let enc = |name: &str| {
+        Encoding::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown encoding `{name}` \
+                 (known encodings: xdr, cdr-be, cdr-le, cdr-native, mach3, fluke)"
+            )
+        })
+    };
+    Ok((enc(src)?, enc(dst)?))
 }
 
 /// Rejects pass names `--disable-pass` cannot address.
@@ -381,6 +410,37 @@ fn main() -> ExitCode {
                 eprintln!("{name:<32} {v}");
             }
         }
+    }
+
+    if let Some((src, dst)) = &args.transcode {
+        // Gateway mode: emit the SRC→DST transcoding module instead of
+        // stubs.  Ablating `fuse-transcode` (or --no-opt) switches the
+        // generated dispatchers to the slot-by-slot rewrites.
+        let fused =
+            args.opts.fuse_transcode && !args.disabled_passes.iter().any(|p| p == "fuse-transcode");
+        let source = match flick_backend::compile_transcode(&out.presc, src, dst, fused) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("flickc: transcode: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match &args.out_dir {
+            None => print!("{source}"),
+            Some(dir) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("flickc: cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let p = dir.join(format!("{}_transcode.rs", iface.replace("::", "_")));
+                if let Err(e) = std::fs::write(&p, &source) {
+                    eprintln!("flickc: cannot write {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     match &args.out_dir {

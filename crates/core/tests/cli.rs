@@ -147,7 +147,8 @@ fn passes_flag_lists_pipeline_in_order() {
     assert_eq!(
         text,
         "dead-slot\nclassify-storage\nreuse-slots\nhoist-checks\nform-chunks\n\
-         coalesce-memcpy\ninline-marshal\nreply-alias\ndemux-switch\nmerge-prefix\n"
+         coalesce-memcpy\nfuse-transcode\ninline-marshal\nreply-alias\ndemux-switch\n\
+         merge-prefix\n"
     );
 }
 
@@ -364,6 +365,60 @@ fn explain_cache_reports_the_fingerprint_change() {
     let err = String::from_utf8_lossy(&warm.stderr);
     assert!(err.contains("pass pipeline changed (fingerprint "), "{err}");
     assert!(err.contains(" -> "), "old -> new fingerprints: {err}");
+}
+
+#[test]
+fn transcode_mode_emits_a_gateway_module() {
+    let dir = scratch("transcode");
+    write_input(&dir);
+    let out = flickc(&["--transcode=xdr:cdr-le", "mail.idl"], &dir);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("`xdr` → `cdr-le`"), "{text}");
+    assert!(text.contains("pub const FUSED: bool = true;"), "{text}");
+    assert!(text.contains("BRIDGE_OPS"), "{text}");
+    assert!(!text.contains("void Mail_send"), "stubs suppressed: {text}");
+
+    // Ablating the fusion pass flips the generated module to the
+    // slot-by-slot rewrites.
+    let naive = flickc(
+        &[
+            "--transcode=xdr:cdr-le",
+            "--disable-pass=fuse-transcode",
+            "mail.idl",
+        ],
+        &dir,
+    );
+    assert!(naive.status.success(), "{naive:?}");
+    let text = String::from_utf8_lossy(&naive.stdout);
+    assert!(text.contains("pub const FUSED: bool = false;"), "{text}");
+
+    // -o writes <iface>_transcode.rs instead of stubs.
+    let written = flickc(&["--transcode=xdr:cdr-le", "-o", "gen", "mail.idl"], &dir);
+    assert!(written.status.success(), "{written:?}");
+    assert!(dir.join("gen/Mail_transcode.rs").is_file());
+    assert!(!dir.join("gen/Mail.rs").exists(), "stub files suppressed");
+}
+
+#[test]
+fn transcode_rejects_unknown_and_malformed_pairs() {
+    let dir = scratch("transcodebad");
+    write_input(&dir);
+    let out = flickc(&["--transcode=xdr:ebcdic", "mail.idl"], &dir);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown encoding `ebcdic`"), "{err}");
+    assert!(err.contains("known encodings:"), "{err}");
+
+    let out = flickc(&["--transcode=xdr", "mail.idl"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs SRC:DST"));
+
+    // Typed encodings carry per-item descriptors; there is no fused
+    // byte rewrite for them, and the planner must say so.
+    let out = flickc(&["--transcode=xdr:mach3", "mail.idl"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("flickc: transcode:"));
 }
 
 #[test]

@@ -1,0 +1,414 @@
+//! The transcoding gateway: ONC RPC on one side, GIOP on the other,
+//! bytes rewritten encoding-to-encoding without ever materializing the
+//! presentation.
+//!
+//! A [`Bridge`] accepts one ONC call record, validates its header with
+//! the same [`crate::oncrpc::accept_call`] path a generated server
+//! uses, rewrites the XDR argument bytes into a CDR GIOP request via a
+//! generated transcode function (see `flick-backend`'s
+//! `--transcode=SRC:DST` emission), forwards the request over a
+//! caller-supplied link, and rewrites the GIOP reply body back into an
+//! ONC reply.  Buffers come from the [`crate::pool`], so the warm
+//! gateway path allocates nothing per call; a live trace context rides
+//! both legs (ONC credential in, GIOP service context out) through the
+//! existing [`crate::trace`] plumbing.
+//!
+//! Error policy mirrors a generated endpoint server: arguments that do
+//! not transcode answer `GARBAGE_ARGS`; an upstream that fails, replies
+//! in an unexpected byte order, or raises an exception answers
+//! `SYSTEM_ERR`; records too mangled to carry an xid stay silent.
+
+use crate::buf::{MarshalBuf, MsgReader};
+use crate::cdr::{ByteOrder, CdrIn, CdrOut};
+use crate::error::DecodeError;
+use crate::giop;
+use crate::oncrpc::{self, ReplyOutcome};
+
+/// A generated body rewrite: source-encoding bytes in, target-encoding
+/// bytes appended to `dst`.
+pub type TranscodeFn = fn(&[u8], &mut MarshalBuf) -> Result<(), DecodeError>;
+
+/// One operation's entry in a generated gateway table (`BRIDGE_OPS` in
+/// a `--transcode` module).
+#[derive(Clone, Copy)]
+pub struct BridgeOp {
+    /// ONC procedure number (the source-side discriminator).
+    pub proc_num: u32,
+    /// Wire operation name (the target-side discriminator).
+    pub name: &'static str,
+    /// True when the operation expects no reply.
+    pub oneway: bool,
+    /// Fused request rewrite (source → target).
+    pub request: TranscodeFn,
+    /// Fused reply rewrite (target → source).
+    pub reply: TranscodeFn,
+    /// Slot-wise request rewrite — the `fuse-transcode` ablation path.
+    pub request_naive: TranscodeFn,
+    /// Slot-wise reply rewrite.
+    pub reply_naive: TranscodeFn,
+}
+
+/// What [`Bridge::handle_record`] did with one inbound record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BridgeOutcome {
+    /// `reply` holds a complete ONC reply to send back.
+    Replied,
+    /// Nothing to send: the record was not answerable (no xid, not a
+    /// call) or the operation is oneway.
+    Silent,
+}
+
+/// Monotonic counters for one bridge instance.  The same events also
+/// feed the process-wide `bridge.{forwarded,rejected,fallback}`
+/// telemetry counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BridgeCounters {
+    /// Requests rewritten and forwarded end-to-end.
+    pub forwarded: u64,
+    /// Requests refused: hostile or malformed bytes on either leg, an
+    /// unknown procedure, or a failed upstream.
+    pub rejected: u64,
+    /// Requests served through the naive decode-and-re-encode path.
+    pub fallback: u64,
+}
+
+/// A configured one-direction gateway: ONC clients in, a GIOP server
+/// out.
+pub struct Bridge {
+    ops: &'static [BridgeOp],
+    prog: u32,
+    vers: u32,
+    object_key: Vec<u8>,
+    order: ByteOrder,
+    naive: bool,
+    counters: BridgeCounters,
+}
+
+impl Bridge {
+    /// A bridge serving `ops` for ONC program `prog` version `vers`,
+    /// addressing the upstream object `object_key` in byte order
+    /// `order` (a generated module's `DST_LITTLE_ENDIAN`).  `naive`
+    /// routes every body through the slot-wise rewrites — the
+    /// `--disable-pass=fuse-transcode` fallback.
+    #[must_use]
+    pub fn new(
+        ops: &'static [BridgeOp],
+        prog: u32,
+        vers: u32,
+        object_key: &[u8],
+        order: ByteOrder,
+        naive: bool,
+    ) -> Self {
+        Bridge {
+            ops,
+            prog,
+            vers,
+            object_key: object_key.to_vec(),
+            order,
+            naive,
+            counters: BridgeCounters::default(),
+        }
+    }
+
+    /// This bridge's counters so far.
+    #[must_use]
+    pub fn counters(&self) -> BridgeCounters {
+        self.counters
+    }
+
+    fn reject(&mut self) {
+        self.counters.rejected += 1;
+        crate::metrics::bridge_rejected();
+    }
+
+    /// Handles one unframed ONC call record.  `forward` carries a
+    /// complete GIOP request message to the upstream and returns its
+    /// complete GIOP reply message (`None` on a dead link).  On
+    /// [`BridgeOutcome::Replied`], `reply` holds the unframed ONC reply.
+    pub fn handle_record<F>(
+        &mut self,
+        record: &[u8],
+        reply: &mut MarshalBuf,
+        mut forward: F,
+    ) -> BridgeOutcome
+    where
+        F: FnMut(&[u8]) -> Option<Vec<u8>>,
+    {
+        let (header, args) = match oncrpc::accept_call(record, self.prog, self.vers, reply) {
+            Ok(ok) => ok,
+            Err(answered) => {
+                self.reject();
+                return if answered {
+                    BridgeOutcome::Replied
+                } else {
+                    BridgeOutcome::Silent
+                };
+            }
+        };
+        let Some(op) = self.ops.iter().find(|o| o.proc_num == header.proc) else {
+            self.reject();
+            oncrpc::write_reply(reply, header.xid, ReplyOutcome::ProcUnavail);
+            return BridgeOutcome::Replied;
+        };
+
+        // Rewrite the request leg into a pooled GIOP message.
+        let mut out = crate::pool::checkout();
+        let size_at = giop::begin_message(&mut out, self.order, giop::MsgType::Request);
+        let cdr = CdrOut::begin(&out, self.order);
+        giop::put_request_header(
+            &mut out,
+            &cdr,
+            header.xid,
+            !op.oneway,
+            &self.object_key,
+            op.name,
+        );
+        let rewrite = if self.naive {
+            op.request_naive
+        } else {
+            op.request
+        };
+        if rewrite(args, &mut out).is_err() {
+            self.reject();
+            crate::metrics::reject(crate::metrics::Codec::Xdr);
+            oncrpc::write_reply(reply, header.xid, ReplyOutcome::GarbageArgs);
+            return BridgeOutcome::Replied;
+        }
+        giop::finish_message(&mut out, size_at, self.order);
+
+        let response = forward(out.as_slice());
+        if op.oneway {
+            if response.is_some() {
+                self.forwarded();
+            } else {
+                self.reject();
+            }
+            return BridgeOutcome::Silent;
+        }
+        let Some(response) = response else {
+            self.reject();
+            oncrpc::write_reply(reply, header.xid, ReplyOutcome::SystemErr);
+            return BridgeOutcome::Replied;
+        };
+
+        // Rewrite the reply leg back.  Anything unexpected — parse
+        // failure, a byte order this pair was not compiled for, an
+        // exception — is a SYSTEM_ERR toward the ONC client.
+        match self.transcode_reply(op, &response, header.xid, reply) {
+            Ok(()) => {
+                self.forwarded();
+            }
+            Err(()) => {
+                self.reject();
+                reply.clear();
+                oncrpc::write_reply(reply, header.xid, ReplyOutcome::SystemErr);
+            }
+        }
+        BridgeOutcome::Replied
+    }
+
+    fn forwarded(&mut self) {
+        self.counters.forwarded += 1;
+        crate::metrics::bridge_forwarded();
+        if self.naive {
+            self.counters.fallback += 1;
+            crate::metrics::bridge_fallback();
+        }
+    }
+
+    /// Parses one GIOP reply message and writes the full ONC success
+    /// reply (header + rewritten body) into `reply`.
+    fn transcode_reply(
+        &self,
+        op: &BridgeOp,
+        response: &[u8],
+        xid: u32,
+        reply: &mut MarshalBuf,
+    ) -> Result<(), ()> {
+        let mut r = MsgReader::new(response);
+        let h = giop::read_header(&mut r).map_err(|_| ())?;
+        if h.msg_type != giop::MsgType::Reply || h.order != self.order {
+            return Err(());
+        }
+        let cdr = CdrIn::begin(&r, h.order);
+        let rh = giop::get_reply_header(&mut r, &cdr).map_err(|_| ())?;
+        if rh.request_id != xid || rh.status != giop::ReplyStatus::NoException {
+            return Err(());
+        }
+        reply.clear();
+        oncrpc::write_reply(reply, xid, ReplyOutcome::Success);
+        let rewrite = if self.naive { op.reply_naive } else { op.reply };
+        rewrite(&response[r.pos()..], reply).map_err(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oncrpc::{CallHeader, ReplyVerdict};
+
+    // A toy pair: one u32 argument and one u32 result, byte-swapped
+    // between the legs (XDR big-endian ↔ CDR little-endian).
+    fn req_fused(src: &[u8], dst: &mut MarshalBuf) -> Result<(), DecodeError> {
+        let mut r = MsgReader::new(src);
+        let _db = dst.len();
+        let v = r.get_u32_be()?;
+        dst.align_from(_db, 4);
+        dst.put_u32_le(v);
+        Ok(())
+    }
+
+    fn rep_fused(src: &[u8], dst: &mut MarshalBuf) -> Result<(), DecodeError> {
+        let mut r = MsgReader::new(src);
+        let _sb = r.pos();
+        r.align_from(_sb, 4)?;
+        let v = r.get_u32_le()?;
+        dst.put_u32_be(v);
+        Ok(())
+    }
+
+    static OPS: &[BridgeOp] = &[BridgeOp {
+        proc_num: 1,
+        name: "bump",
+        oneway: false,
+        request: req_fused,
+        reply: rep_fused,
+        request_naive: req_fused,
+        reply_naive: rep_fused,
+    }];
+
+    fn call_record(proc_num: u32, arg: u32) -> Vec<u8> {
+        let mut b = MarshalBuf::new();
+        CallHeader {
+            xid: 7,
+            prog: 0x2000_0001,
+            vers: 1,
+            proc: proc_num,
+        }
+        .write(&mut b);
+        b.put_u32_be(arg);
+        b.into_vec()
+    }
+
+    /// A GIOP echo-ish upstream: decodes the request, replies with the
+    /// argument + 1.
+    fn upstream(msg: &[u8]) -> Option<Vec<u8>> {
+        let mut r = MsgReader::new(msg);
+        let h = giop::read_header(&mut r).ok()?;
+        let cdr = CdrIn::begin(&r, h.order);
+        let rh = giop::get_request_header_ref(&mut r, &cdr).ok()?;
+        assert_eq!(rh.operation, "bump");
+        let base = r.pos();
+        r.align_from(base, 4).ok()?;
+        let v = cdr.get_u32(&mut r).ok()?;
+        let mut out = MarshalBuf::new();
+        let at = giop::begin_message(&mut out, h.order, giop::MsgType::Reply);
+        let co = CdrOut::begin(&out, h.order);
+        giop::put_reply_header(&mut out, &co, rh.request_id, giop::ReplyStatus::NoException);
+        co.put_u32(&mut out, v + 1);
+        giop::finish_message(&mut out, at, h.order);
+        Some(out.into_vec())
+    }
+
+    fn bridge(naive: bool) -> Bridge {
+        Bridge::new(OPS, 0x2000_0001, 1, b"obj", ByteOrder::Little, naive)
+    }
+
+    #[test]
+    fn forwards_and_rewrites_both_legs() {
+        let mut b = bridge(false);
+        let mut reply = MarshalBuf::new();
+        let out = b.handle_record(&call_record(1, 41), &mut reply, upstream);
+        assert_eq!(out, BridgeOutcome::Replied);
+        let data = reply.as_slice();
+        let mut r = MsgReader::new(data);
+        let (xid, verdict) = oncrpc::read_reply_verdict(&mut r).expect("reply parses");
+        assert_eq!((xid, verdict), (7, ReplyVerdict::Success));
+        assert_eq!(r.get_u32_be().unwrap(), 42, "result re-encoded as XDR");
+        assert!(r.is_exhausted());
+        assert_eq!(
+            b.counters(),
+            BridgeCounters {
+                forwarded: 1,
+                rejected: 0,
+                fallback: 0
+            }
+        );
+    }
+
+    #[test]
+    fn naive_mode_counts_fallbacks() {
+        let mut b = bridge(true);
+        let mut reply = MarshalBuf::new();
+        b.handle_record(&call_record(1, 1), &mut reply, upstream);
+        assert_eq!(
+            b.counters(),
+            BridgeCounters {
+                forwarded: 1,
+                rejected: 0,
+                fallback: 1
+            }
+        );
+    }
+
+    #[test]
+    fn hostile_args_answer_garbage_args_without_forwarding() {
+        let mut b = bridge(false);
+        let mut reply = MarshalBuf::new();
+        let mut rec = call_record(1, 1);
+        rec.truncate(rec.len() - 2); // argument word cut short
+        let out = b.handle_record(&rec, &mut reply, |_| panic!("must not forward"));
+        assert_eq!(out, BridgeOutcome::Replied);
+        let mut r = MsgReader::new(reply.as_slice());
+        let (_, verdict) = oncrpc::read_reply_verdict(&mut r).unwrap();
+        assert_eq!(verdict, ReplyVerdict::GarbageArgs);
+        assert_eq!(b.counters().rejected, 1);
+    }
+
+    #[test]
+    fn dead_or_lying_upstream_answers_system_err() {
+        let mut b = bridge(false);
+        let mut reply = MarshalBuf::new();
+        b.handle_record(&call_record(1, 1), &mut reply, |_| None);
+        let mut r = MsgReader::new(reply.as_slice());
+        assert_eq!(
+            oncrpc::read_reply_verdict(&mut r).unwrap().1,
+            ReplyVerdict::SystemErr
+        );
+
+        // Garbage reply bytes: also SYSTEM_ERR, not a crash.
+        let mut reply = MarshalBuf::new();
+        b.handle_record(&call_record(1, 1), &mut reply, |_| Some(vec![0xff; 6]));
+        let mut r = MsgReader::new(reply.as_slice());
+        assert_eq!(
+            oncrpc::read_reply_verdict(&mut r).unwrap().1,
+            ReplyVerdict::SystemErr
+        );
+        assert_eq!(b.counters().rejected, 2);
+    }
+
+    #[test]
+    fn unknown_procedure_and_wrong_program_refuse() {
+        let mut b = bridge(false);
+        let mut reply = MarshalBuf::new();
+        b.handle_record(&call_record(9, 1), &mut reply, |_| {
+            panic!("must not forward")
+        });
+        let mut r = MsgReader::new(reply.as_slice());
+        assert_eq!(
+            oncrpc::read_reply_verdict(&mut r).unwrap().1,
+            ReplyVerdict::ProcUnavail
+        );
+
+        let mut wrong = Bridge::new(OPS, 77, 1, b"obj", ByteOrder::Little, false);
+        let mut reply = MarshalBuf::new();
+        wrong.handle_record(&call_record(1, 1), &mut reply, |_| {
+            panic!("must not forward")
+        });
+        let mut r = MsgReader::new(reply.as_slice());
+        assert_eq!(
+            oncrpc::read_reply_verdict(&mut r).unwrap().1,
+            ReplyVerdict::ProgUnavail
+        );
+    }
+}

@@ -272,15 +272,21 @@ pub fn get_request_header_ref<'a>(
     crate::trace::note_wire_context(None);
     let trace = read_service_contexts(r, cdr)?;
     crate::trace::note_wire_context(trace);
-    let request_id = cdr.get_u32(r)?;
-    let response_expected = cdr.get_u8(r)? != 0;
+    // Every field carries its offset so a gateway (or server) refusing
+    // the message can report where the bytes went wrong — the borrowed
+    // fast path reports exactly like the owned one.
     let at = r.pos();
-    let klen = cdr.get_u32(r)? as usize;
+    let request_id = cdr.get_u32(r).map_err(|e| e.at(at))?;
+    let at = r.pos();
+    let response_expected = cdr.get_u8(r).map_err(|e| e.at(at))? != 0;
+    let at = r.pos();
+    let klen = cdr.get_u32(r).map_err(|e| e.at(at))? as usize;
     let object_key = r.bytes(klen).map_err(|e| e.at(at))?;
     let at = r.pos();
     let operation = std::str::from_utf8(cdr.get_string(r).map_err(|e| e.at(at))?)
         .map_err(|_| DecodeError::BadValue("operation name is not UTF-8").at(at))?;
-    let _principal = cdr.get_u32(r)?;
+    let at = r.pos();
+    let _principal = cdr.get_u32(r).map_err(|e| e.at(at))?;
     Ok(RequestHeaderRef {
         request_id,
         response_expected,
@@ -532,6 +538,45 @@ mod tests {
         assert!(span.contains(&rh.operation.as_ptr()));
         // The owned facade sees the same header.
         assert_eq!(rh.to_owned().operation, "send");
+    }
+
+    #[test]
+    fn borrowed_header_rejects_carry_offsets() {
+        let order = ByteOrder::Big;
+        // A request whose body ends right after the (empty) service
+        // context list: the request-id read fails, and the borrowed
+        // path must say where.
+        let mut buf = MarshalBuf::new();
+        let at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        cdr.put_u32(&mut buf, 0); // empty context list, then nothing
+        finish_message(&mut buf, at, order);
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let err = get_request_header_ref(&mut r, &cin).unwrap_err();
+        assert_eq!(err.offset(), Some(HEADER_BYTES + 4));
+        assert!(matches!(err.root(), DecodeError::Truncated { .. }));
+
+        // Truncation inside the operation name reports the name's
+        // offset, matching the owned path byte for byte.
+        let mut buf = MarshalBuf::new();
+        let at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        put_request_header(&mut buf, &cdr, 4, true, b"k", "send");
+        finish_message(&mut buf, at, order);
+        let data = buf.into_vec();
+        let cut = data.len() - 3; // mid-operation-name
+        let mut r = MsgReader::new(&data[..cut]);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let borrowed = get_request_header_ref(&mut r, &cin).unwrap_err();
+        let mut r = MsgReader::new(&data[..cut]);
+        read_header(&mut r).unwrap();
+        let owned = get_request_header(&mut r, &cin).unwrap_err();
+        assert_eq!(borrowed.offset(), owned.offset());
+        assert!(borrowed.offset().is_some());
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   without a runtime compare;
 //! * [`client`] — client-side deadlines, retransmission, and the
 //!   structured [`client::RpcError`] for datagram calls;
+//! * [`bridge`] — the transcoding gateway: accepts ONC call records,
+//!   rewrites their bytes encoding-to-encoding through generated
+//!   transcode tables, and forwards them as GIOP requests (and the
+//!   replies back) without materializing the presentation;
 //! * [`metrics`] — marshal metrics hooks for the codec hot paths.
 //!   They compile to empty inline functions unless the `telemetry`
 //!   cargo feature is enabled, and record lock-free when it is;
@@ -40,6 +44,7 @@
 //! Everything here is deliberately `no_std`-shaped (no I/O): transports
 //! live in `flick-transport`.
 
+pub mod bridge;
 pub mod buf;
 pub mod cdr;
 pub mod client;

@@ -116,6 +116,23 @@ mod imp {
         }
     }
 
+    fn bridge_handles() -> &'static [&'static Counter; 3] {
+        static HANDLES: OnceLock<[&'static Counter; 3]> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            [
+                global().counter("bridge.forwarded"),
+                global().counter("bridge.rejected"),
+                global().counter("bridge.fallback"),
+            ]
+        })
+    }
+
+    pub fn bridge(outcome: usize) {
+        if flick_telemetry::enabled() {
+            bridge_handles()[outcome].inc();
+        }
+    }
+
     // Per-thread stopwatches: encode in slots 0..4, decode in 4..8.
     thread_local! {
         static STARTS: RefCell<[Option<Instant>; 8]> = const { RefCell::new([None; 8]) };
@@ -213,6 +230,30 @@ pub fn rpc_timeout() {
     imp::rpc_timeout();
 }
 
+/// Records one request the transcoding gateway forwarded end-to-end
+/// (`bridge.forwarded`).
+#[inline]
+pub fn bridge_forwarded() {
+    #[cfg(feature = "telemetry")]
+    imp::bridge(0);
+}
+
+/// Records one request the gateway rejected — hostile or malformed
+/// bytes on either leg (`bridge.rejected`).
+#[inline]
+pub fn bridge_rejected() {
+    #[cfg(feature = "telemetry")]
+    imp::bridge(1);
+}
+
+/// Records one request served through the naive decode-and-re-encode
+/// path instead of the fused rewrites (`bridge.fallback`).
+#[inline]
+pub fn bridge_fallback() {
+    #[cfg(feature = "telemetry")]
+    imp::bridge(2);
+}
+
 #[cfg(all(test, feature = "telemetry"))]
 mod tests {
     use super::*;
@@ -258,10 +299,16 @@ mod tests {
         reject(Codec::Xdr);
         rpc_retry();
         rpc_timeout();
+        bridge_forwarded();
+        bridge_rejected();
+        bridge_fallback();
         let s = flick_telemetry::global().snapshot();
         assert!(s.counter("decode.reject.xdr").unwrap() >= 1);
         assert!(s.counter("rpc.retry").unwrap() >= 1);
         assert!(s.counter("rpc.timeout").unwrap() >= 1);
+        assert!(s.counter("bridge.forwarded").unwrap() >= 1);
+        assert!(s.counter("bridge.rejected").unwrap() >= 1);
+        assert!(s.counter("bridge.fallback").unwrap() >= 1);
         flick_telemetry::set_enabled(false);
     }
 }

@@ -162,6 +162,9 @@ pub enum ReplyOutcome {
     ProcUnavail,
     /// Arguments could not be decoded.
     GarbageArgs,
+    /// The server (or a gateway acting for it) failed internally after
+    /// accepting the call — RFC 1831's `SYSTEM_ERR`.
+    SystemErr,
     /// The call was rejected outright (auth/version mismatch).
     Denied,
 }
@@ -174,6 +177,7 @@ impl ReplyOutcome {
             ReplyOutcome::ProgMismatch { .. } => 2,
             ReplyOutcome::ProcUnavail => 3,
             ReplyOutcome::GarbageArgs => 4,
+            ReplyOutcome::SystemErr => 5,
             ReplyOutcome::Denied => unreachable!("denied is not an accept_stat"),
         }
     }
@@ -526,6 +530,7 @@ mod tests {
             ReplyOutcome::ProgMismatch { low: 1, high: 2 },
             ReplyOutcome::ProcUnavail,
             ReplyOutcome::GarbageArgs,
+            ReplyOutcome::SystemErr,
             ReplyOutcome::Denied,
         ] {
             let mut b = MarshalBuf::new();
@@ -580,6 +585,7 @@ mod tests {
             ),
             (ReplyOutcome::ProcUnavail, ReplyVerdict::ProcUnavail),
             (ReplyOutcome::GarbageArgs, ReplyVerdict::GarbageArgs),
+            (ReplyOutcome::SystemErr, ReplyVerdict::SystemErr),
             (
                 ReplyOutcome::Denied,
                 ReplyVerdict::RpcMismatch {
