@@ -1,0 +1,92 @@
+//! The fan-in fabric benchmark: N pipelined simulated clients against
+//! one fabric-hosted `onc_bench` server, plus a single-connection
+//! baseline row.
+//!
+//! ```text
+//! fanin_bench [--clients N] [--calls N] [--depth N] [--workers N]
+//!             [--json PATH] [--check]
+//! ```
+//!
+//! `--json PATH` writes the machine-readable report (the CI lane uses
+//! `BENCH_fabric.json`); `--check` exits nonzero unless every call
+//! completed and the multiplexed run out-throughputs the baseline —
+//! the smoke-lane acceptance gate.
+
+use flick_bench::fanin::{run, FaninConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fanin_bench [--clients N] [--calls N] [--depth N] \
+         [--workers N] [--json PATH] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(it: &mut std::env::Args, flag: &str) -> usize {
+    let Some(v) = it.next() else { usage() };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: expected a number, got {v:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut cfg = FaninConfig::headline();
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+
+    let mut it = std::env::args();
+    let _argv0 = it.next();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--clients" => cfg.clients = parse_num(&mut it, "--clients"),
+            "--calls" => cfg.calls_per_client = parse_num(&mut it, "--calls"),
+            "--depth" => cfg.pipeline_depth = parse_num(&mut it, "--depth").max(1),
+            "--workers" => cfg.workers = parse_num(&mut it, "--workers").max(1),
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--check" => check = true,
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "fan-in: {} clients x {} calls, pipeline depth {}, {} fabric workers",
+        cfg.clients, cfg.calls_per_client, cfg.pipeline_depth, cfg.workers
+    );
+    let report = run(&cfg);
+    print!("{}", report.to_text());
+    flick_bench::bin_common::emit_telemetry_snapshot();
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+
+    if check {
+        let expected = (cfg.clients * cfg.calls_per_client) as u64;
+        let multi = &report.rows[0];
+        let base = &report.rows[1];
+        if multi.calls != expected || base.calls != expected {
+            eprintln!(
+                "CHECK FAILED: dropped calls (multiplexed {}, baseline {}, expected {expected})",
+                multi.calls, base.calls
+            );
+            std::process::exit(1);
+        }
+        if multi.throughput_cps <= base.throughput_cps {
+            eprintln!(
+                "CHECK FAILED: multiplexed throughput {:.0} c/s does not beat \
+                 single-connection baseline {:.0} c/s",
+                multi.throughput_cps, base.throughput_cps
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "CHECK OK: {expected} calls completed on both rows; multiplexed {:.0} c/s > baseline {:.0} c/s",
+            multi.throughput_cps, base.throughput_cps
+        );
+    }
+}

@@ -99,6 +99,11 @@ pub fn emit_telemetry_snapshot() {
                 println!("\n== per-operation RPC latency ==");
                 print!("{ops}");
             }
+            let bridged = flick_runtime::stats::bridge_op_table();
+            if !bridged.is_empty() {
+                println!("\n== per-operation bridge outcomes ==");
+                print!("{bridged}");
+            }
         }
     }
 }

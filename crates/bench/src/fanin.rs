@@ -1,0 +1,463 @@
+//! The fan-in scenario: thousands of simulated clients against one
+//! fabric-hosted server.
+//!
+//! Each simulated client is a small state machine over its own bounded
+//! in-process link ([`flick_transport::listener`]): it keeps up to
+//! `pipeline_depth` xid-tagged `send_ints` calls outstanding, matches
+//! replies by xid, and records per-call latency into a shared
+//! flick-telemetry pow2 histogram.  A handful of driver threads pump
+//! many clients each — the clients are *simulated*, the fabric under
+//! test is not.
+//!
+//! Per-call latency = measured in-process round trip + the scenario's
+//! [`NetModel`] analytic costs (two wire crossings plus the per-RTT
+//! overhead), the same decomposition the figure benches use.  The
+//! single-connection baseline row pushes the identical call volume
+//! through one connection, so the multiplexing win is an honest
+//! ablation, not a workload change.
+
+use std::time::{Duration, Instant};
+
+use flick_runtime::fabric::{service_handler, Fabric, FrameHandler, Framing, ReadStatus};
+use flick_runtime::limits::Limits;
+use flick_runtime::oncrpc::{self, CallHeader, RecordScan};
+use flick_runtime::{Echoed, MarshalBuf};
+use flick_telemetry::Histogram;
+use flick_transport::listener::{listen, FabricAcceptor, StreamConnector};
+use flick_transport::stream::StreamEnd;
+use flick_transport::NetModel;
+
+use crate::generated::onc_bench;
+
+/// Program/version the fan-in server answers for.
+pub const PROG: u32 = 0x2000_00FA;
+/// See [`PROG`].
+pub const VERS: u32 = 1;
+
+struct Srv;
+
+impl onc_bench::Server for Srv {
+    fn send_ints(&mut self, _vals: Vec<i32>) {}
+    fn send_rects(&mut self, _rects: Vec<onc_bench::Rect>) {}
+    fn send_dirents(&mut self, _entries: Vec<onc_bench::Dirent>) {}
+    fn echo_stat(&mut self, _s: onc_bench::Stat) -> Echoed<onc_bench::Stat> {
+        Echoed::Unchanged
+    }
+}
+
+/// One fan-in run's shape.
+#[derive(Clone, Copy, Debug)]
+pub struct FaninConfig {
+    /// Concurrent simulated clients (= connections).
+    pub clients: usize,
+    /// Calls each client completes.
+    pub calls_per_client: usize,
+    /// Client-side pipelining window (outstanding xids per client).
+    pub pipeline_depth: usize,
+    /// `send_ints` payload element count per call.
+    pub payload_ints: usize,
+    /// Fabric worker threads.
+    pub workers: usize,
+    /// Threads pumping the simulated clients.
+    pub client_threads: usize,
+    /// Fabric resource limits.
+    pub limits: Limits,
+    /// Per-direction byte cap on each dialed link.
+    pub link_cap: usize,
+    /// Link model whose analytic costs fold into reported latency.
+    pub net: NetModel,
+}
+
+impl FaninConfig {
+    /// The headline configuration: 1000 pipelined clients in a
+    /// tight-memory fabric over the host-scaled Myrinet model.
+    #[must_use]
+    pub fn headline() -> Self {
+        FaninConfig {
+            clients: 1000,
+            calls_per_client: 100,
+            pipeline_depth: 8,
+            payload_ints: 16,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            client_threads: 4,
+            limits: Limits::tight(),
+            link_cap: 64 * 1024,
+            net: NetModel::myrinet_640(),
+        }
+    }
+}
+
+/// One report row: a config's measured outcome.
+#[derive(Clone, Debug)]
+pub struct FaninRow {
+    /// Row label ("multiplexed", "single-connection baseline").
+    pub label: String,
+    /// Connections driven.
+    pub clients: usize,
+    /// Calls completed.
+    pub calls: u64,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// Completed calls per second.
+    pub throughput_cps: f64,
+    /// Latency percentiles in nanoseconds (measured + modeled).
+    pub p50_ns: u64,
+    /// 99th percentile, same units.
+    pub p99_ns: u64,
+    /// 99.9th percentile, same units.
+    pub p999_ns: u64,
+}
+
+impl FaninRow {
+    fn table_line(&self) -> String {
+        format!(
+            "{:<28} {:>7} {:>9} {:>10.0} {:>10.1} {:>10.1} {:>10.1}",
+            self.label,
+            self.clients,
+            self.calls,
+            self.throughput_cps,
+            self.p50_ns as f64 / 1000.0,
+            self.p99_ns as f64 / 1000.0,
+            self.p999_ns as f64 / 1000.0,
+        )
+    }
+
+    fn json_object(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"clients\":{},\"calls\":{},\"throughput_cps\":{:.1},\
+             \"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3}}}",
+            self.label,
+            self.clients,
+            self.calls,
+            self.throughput_cps,
+            self.p50_ns as f64 / 1000.0,
+            self.p99_ns as f64 / 1000.0,
+            self.p999_ns as f64 / 1000.0,
+        )
+    }
+}
+
+/// A full fan-in report: the multiplexed run plus its baseline.
+#[derive(Clone, Debug)]
+pub struct FaninReport {
+    /// The link model named in the header.
+    pub net_name: &'static str,
+    /// All rows, multiplexed first.
+    pub rows: Vec<FaninRow>,
+}
+
+impl FaninReport {
+    /// Human-readable table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "fan-in over {} (latency = measured + modeled wire/RTT)\n{:<28} {:>7} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+            self.net_name, "scenario", "conns", "calls", "calls/s", "p50(us)", "p99(us)", "p99.9(us)"
+        );
+        for r in &self.rows {
+            out.push_str(&r.table_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The `BENCH_fabric.json` artifact body.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(FaninRow::json_object).collect();
+        format!(
+            "{{\"bench\":\"fanin\",\"net\":\"{}\",\"rows\":[{}]}}",
+            self.net_name,
+            rows.join(",")
+        )
+    }
+}
+
+/// One simulated client: a non-blocking state machine over its link.
+struct ClientSim {
+    conn: StreamEnd,
+    /// Framed request template; bytes 4..8 are the xid slot.
+    template: Vec<u8>,
+    pending_out: MarshalBuf,
+    rx: MarshalBuf,
+    inflight: Vec<(u32, Instant)>,
+    next_xid: u32,
+    sent: usize,
+    done: usize,
+    calls: usize,
+    depth: usize,
+}
+
+impl ClientSim {
+    fn new(conn: StreamEnd, template: Vec<u8>, calls: usize, depth: usize, seed: u32) -> Self {
+        ClientSim {
+            conn,
+            template,
+            pending_out: MarshalBuf::new(),
+            rx: MarshalBuf::new(),
+            inflight: Vec::with_capacity(depth),
+            next_xid: seed,
+            sent: 0,
+            done: 0,
+            calls,
+            depth,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.done >= self.calls
+    }
+
+    /// One non-blocking step; returns true if any progress was made.
+    fn step(&mut self, hist: &Histogram, model_ns: u64) -> bool {
+        let mut progress = false;
+
+        // Enqueue new calls up to the pipeline window.
+        while self.sent < self.calls
+            && self.inflight.len() < self.depth
+            && self.pending_out.len() < self.template.len() * self.depth
+        {
+            let xid = self.next_xid;
+            self.next_xid = self.next_xid.wrapping_add(1);
+            let at = self.pending_out.len();
+            self.pending_out.put_bytes(&self.template);
+            self.pending_out.patch_u32_be(at + 4, xid);
+            self.inflight.push((xid, Instant::now()));
+            self.sent += 1;
+            progress = true;
+        }
+
+        // Push queued bytes (partial writes fine — bounded link).
+        if !self.pending_out.is_empty() {
+            if let flick_runtime::fabric::WriteStatus::Wrote(n) =
+                self.conn.try_write(self.pending_out.as_slice())
+            {
+                if n > 0 {
+                    self.pending_out.drain_front(n);
+                    progress = true;
+                }
+            }
+        }
+
+        // Pull reply bytes and settle xids.
+        if let ReadStatus::Read(_) = self.conn.read_available(&mut self.rx, 64 * 1024) {
+            progress = true;
+        }
+        let mut consumed = 0;
+        loop {
+            let stream = &self.rx.as_slice()[consumed..];
+            match oncrpc::scan_record_limited(stream, oncrpc::MAX_RECORD_BYTES) {
+                Ok(RecordScan::Complete(record, used)) if record.len() >= 4 => {
+                    let xid = u32::from_be_bytes(record[..4].try_into().expect("len 4"));
+                    if let Some(i) = self.inflight.iter().position(|&(x, _)| x == xid) {
+                        let (_, t0) = self.inflight.swap_remove(i);
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        hist.record(ns.saturating_add(model_ns));
+                        self.done += 1;
+                    }
+                    consumed += used;
+                    progress = true;
+                }
+                _ => break,
+            }
+        }
+        if consumed > 0 {
+            self.rx.drain_front(consumed);
+        }
+        progress
+    }
+}
+
+fn request_template(payload_ints: usize) -> Vec<u8> {
+    let vals: Vec<i32> = (0..payload_ints as i32).collect();
+    let mut b = MarshalBuf::new();
+    CallHeader {
+        xid: 0,
+        prog: PROG,
+        vers: VERS,
+        proc: 1,
+    }
+    .write(&mut b);
+    onc_bench::encode_send_ints_request(&mut b, &vals);
+    oncrpc::frame_record(b.as_slice())
+}
+
+/// A handler serving the fan-in program — also used by the hostile
+/// suite to point fault injection at a fabric-hosted server.
+#[must_use]
+pub fn server_handler() -> Box<dyn FrameHandler> {
+    let mut srv = Srv;
+    Box::new(service_handler(
+        move |record: &[u8], reply: &mut MarshalBuf| {
+            onc_bench::handle_call(record, PROG, VERS, reply, &mut srv)
+        },
+    ))
+}
+
+fn drive_clients(
+    connector: &StreamConnector,
+    cfg: &FaninConfig,
+    clients: usize,
+    calls_per_client: usize,
+) -> (u64, Duration, Histogram) {
+    let template = request_template(cfg.payload_ints);
+    // Reply = verdict-only success record; request = template minus mark.
+    let reply_wire = 24 + 4;
+    let model_ns = u64::try_from(
+        (cfg.net.per_rtt_overhead
+            + cfg.net.wire_time(template.len())
+            + cfg.net.wire_time(reply_wire))
+        .as_nanos(),
+    )
+    .unwrap_or(u64::MAX);
+
+    let hist = Histogram::new();
+    let mut sims: Vec<ClientSim> = (0..clients)
+        .map(|i| {
+            ClientSim::new(
+                connector.connect(),
+                template.clone(),
+                calls_per_client,
+                cfg.pipeline_depth,
+                (i as u32) << 16,
+            )
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let threads = cfg.client_threads.max(1).min(sims.len().max(1));
+    std::thread::scope(|scope| {
+        let hist = &hist;
+        let mut handles = Vec::new();
+        let chunk = sims.len().div_ceil(threads);
+        while !sims.is_empty() {
+            let batch: Vec<ClientSim> = sims.drain(..chunk.min(sims.len())).collect();
+            handles.push(scope.spawn(move || {
+                let mut batch = batch;
+                loop {
+                    let mut progress = false;
+                    let mut unfinished = 0;
+                    for sim in &mut batch {
+                        if sim.finished() {
+                            continue;
+                        }
+                        unfinished += 1;
+                        if sim.step(hist, model_ns) {
+                            progress = true;
+                        }
+                    }
+                    if unfinished == 0 {
+                        // Drop connections so the fabric sees close.
+                        for sim in &batch {
+                            sim.conn.close();
+                        }
+                        return;
+                    }
+                    if !progress {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client driver panicked");
+        }
+    });
+    let wall = t0.elapsed();
+    let total = (clients * calls_per_client) as u64;
+    (total, wall, hist)
+}
+
+fn row_from(label: &str, clients: usize, total: u64, wall: Duration, hist: &Histogram) -> FaninRow {
+    let snap = hist.snapshot();
+    FaninRow {
+        label: label.to_string(),
+        clients,
+        calls: snap.count,
+        wall,
+        throughput_cps: total as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ns: snap.percentile(0.50),
+        p99_ns: snap.percentile(0.99),
+        p999_ns: snap.percentile(0.999),
+    }
+}
+
+/// Runs the fan-in scenario: the multiplexed fleet, then the
+/// single-connection baseline pushing the same call volume.
+#[must_use]
+pub fn run(cfg: &FaninConfig) -> FaninReport {
+    let mut rows = Vec::new();
+
+    // Multiplexed: `clients` connections across the fabric's workers.
+    {
+        let (listener, connector) = listen(cfg.link_cap);
+        let fabric = Fabric::new(cfg.limits).workers(cfg.workers);
+        let server = std::thread::spawn({
+            let acceptor = FabricAcceptor::new(listener, Framing::OncRecord, server_handler);
+            move || fabric.serve(acceptor)
+        });
+        let (total, wall, hist) = drive_clients(&connector, cfg, cfg.clients, cfg.calls_per_client);
+        drop(connector);
+        let stats = server.join().expect("fabric panicked");
+        assert_eq!(
+            stats.accepted(),
+            cfg.clients as u64,
+            "every client accepted"
+        );
+        rows.push(row_from("multiplexed", cfg.clients, total, wall, &hist));
+    }
+
+    // Baseline: the same call volume over one connection.
+    {
+        let (listener, connector) = listen(cfg.link_cap);
+        let fabric = Fabric::new(cfg.limits).workers(cfg.workers);
+        let server = std::thread::spawn({
+            let acceptor = FabricAcceptor::new(listener, Framing::OncRecord, server_handler);
+            move || fabric.serve(acceptor)
+        });
+        let total_calls = cfg.clients * cfg.calls_per_client;
+        let (total, wall, hist) = drive_clients(&connector, cfg, 1, total_calls);
+        drop(connector);
+        server.join().expect("fabric panicked");
+        rows.push(row_from(
+            "single-connection baseline",
+            1,
+            total,
+            wall,
+            &hist,
+        ));
+    }
+
+    FaninReport {
+        net_name: cfg.net.name,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fanin_completes_every_call() {
+        let cfg = FaninConfig {
+            clients: 32,
+            calls_per_client: 4,
+            client_threads: 2,
+            workers: 2,
+            ..FaninConfig::headline()
+        };
+        let report = run(&cfg);
+        assert_eq!(report.rows.len(), 2);
+        let multi = &report.rows[0];
+        assert_eq!(multi.calls, 32 * 4);
+        assert!(multi.p50_ns > 0);
+        assert!(multi.p999_ns >= multi.p99_ns && multi.p99_ns >= multi.p50_ns);
+        let base = &report.rows[1];
+        assert_eq!(base.calls, 32 * 4);
+        assert!(report.to_json().contains("\"rows\""));
+        assert!(report.to_text().contains("multiplexed"));
+    }
+}

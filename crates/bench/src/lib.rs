@@ -10,7 +10,10 @@
 //! * [`hostcal`] — host memory-bandwidth calibration for scaling the
 //!   1997 network models (see `flick_transport::netmodel`);
 //! * [`allocwatch`] — peak-tracking global allocator shared by the
-//!   fuzz allocation bound and the zero-allocation steady-state test.
+//!   fuzz allocation bound and the zero-allocation steady-state test;
+//! * [`fanin`] — the connection-fabric fan-in scenario: thousands of
+//!   pipelined simulated clients against one fabric-hosted server,
+//!   with a single-connection baseline (`BENCH_fabric.json`).
 //!
 //! Figure/table binaries live in `src/bin/`; micro-benchmarks (built
 //! on [`microbench`]) in `benches/`.
@@ -19,6 +22,7 @@ pub mod allocwatch;
 pub mod bin_common;
 pub mod data;
 pub mod endtoend;
+pub mod fanin;
 pub mod figures;
 pub mod generated;
 pub mod hostcal;

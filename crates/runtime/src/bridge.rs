@@ -116,9 +116,12 @@ impl Bridge {
         self.counters
     }
 
-    fn reject(&mut self) {
+    fn reject(&mut self, op: Option<&str>) {
         self.counters.rejected += 1;
         crate::metrics::bridge_rejected();
+        if let Some(op) = op {
+            crate::metrics::bridge_op_rejected(op);
+        }
     }
 
     /// Handles one unframed ONC call record.  `forward` carries a
@@ -137,7 +140,7 @@ impl Bridge {
         let (header, args) = match oncrpc::accept_call(record, self.prog, self.vers, reply) {
             Ok(ok) => ok,
             Err(answered) => {
-                self.reject();
+                self.reject(None);
                 return if answered {
                     BridgeOutcome::Replied
                 } else {
@@ -146,7 +149,7 @@ impl Bridge {
             }
         };
         let Some(op) = self.ops.iter().find(|o| o.proc_num == header.proc) else {
-            self.reject();
+            self.reject(None);
             oncrpc::write_reply(reply, header.xid, ReplyOutcome::ProcUnavail);
             return BridgeOutcome::Replied;
         };
@@ -169,7 +172,7 @@ impl Bridge {
             op.request
         };
         if rewrite(args, &mut out).is_err() {
-            self.reject();
+            self.reject(Some(op.name));
             crate::metrics::reject(crate::metrics::Codec::Xdr);
             oncrpc::write_reply(reply, header.xid, ReplyOutcome::GarbageArgs);
             return BridgeOutcome::Replied;
@@ -179,14 +182,14 @@ impl Bridge {
         let response = forward(out.as_slice());
         if op.oneway {
             if response.is_some() {
-                self.forwarded();
+                self.forwarded(op.name);
             } else {
-                self.reject();
+                self.reject(Some(op.name));
             }
             return BridgeOutcome::Silent;
         }
         let Some(response) = response else {
-            self.reject();
+            self.reject(Some(op.name));
             oncrpc::write_reply(reply, header.xid, ReplyOutcome::SystemErr);
             return BridgeOutcome::Replied;
         };
@@ -196,10 +199,10 @@ impl Bridge {
         // exception — is a SYSTEM_ERR toward the ONC client.
         match self.transcode_reply(op, &response, header.xid, reply) {
             Ok(()) => {
-                self.forwarded();
+                self.forwarded(op.name);
             }
             Err(()) => {
-                self.reject();
+                self.reject(Some(op.name));
                 reply.clear();
                 oncrpc::write_reply(reply, header.xid, ReplyOutcome::SystemErr);
             }
@@ -207,12 +210,14 @@ impl Bridge {
         BridgeOutcome::Replied
     }
 
-    fn forwarded(&mut self) {
+    fn forwarded(&mut self, op: &str) {
         self.counters.forwarded += 1;
         crate::metrics::bridge_forwarded();
+        crate::metrics::bridge_op_forwarded(op);
         if self.naive {
             self.counters.fallback += 1;
             crate::metrics::bridge_fallback();
+            crate::metrics::bridge_op_fallback(op);
         }
     }
 

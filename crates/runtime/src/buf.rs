@@ -76,6 +76,18 @@ impl MarshalBuf {
         self.data.is_empty()
     }
 
+    /// Removes the first `n` bytes, shifting the remainder down in
+    /// place (no reallocation).  The connection fabric consumes parsed
+    /// frames and flushed reply bytes from the front of its pooled
+    /// per-connection buffers this way.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the current length.
+    #[inline]
+    pub fn drain_front(&mut self, n: usize) {
+        self.data.drain(..n);
+    }
+
     /// The encoded bytes.
     #[inline]
     #[must_use]

@@ -1,0 +1,1040 @@
+//! The connection fabric: a multiplexed serving runtime for generated
+//! stubs.
+//!
+//! Flick's generated stubs win on per-call marshal throughput, but a
+//! server that drains one connection at a time squanders that speed
+//! under concurrent load.  The fabric drives *many* connections per
+//! process: an accept loop distributes connections round-robin to
+//! thread-per-core workers, and each worker pumps a set of
+//! per-connection state machines ([`ConnDriver`]) through
+//! read → parse → dispatch → batch → flush rounds.
+//!
+//! The contract, per connection:
+//!
+//! * **Pipelining** — up to [`Limits::max_pipeline`] frames may be
+//!   outstanding (parsed and dispatched, reply not yet produced) at
+//!   once.  Frames carry protocol-level ids (ONC xid, GIOP
+//!   request-id), so replies completed out of order by a
+//!   [`FrameHandler`] still reach the right requester; the fabric
+//!   imposes no head-of-line blocking between requests on one link.
+//! * **Batching** — every reply completed in one pump round is framed
+//!   into the connection's output buffer and flushed together — one
+//!   writev-style write per round, not one per reply
+//!   (`fabric.batch.{flush,records}`).
+//! * **Backpressure** — a connection whose queued replies exceed
+//!   [`Limits::reply_buf_bytes`] is not *read* until the queue drains
+//!   (`fabric.backpressure`).  Combined with the framing caps, per-
+//!   connection memory is bounded by
+//!   [`Limits::per_conn_buffer_bound`]; a slow reader stalls itself,
+//!   never the process.
+//! * **Eviction** — a framing violation (oversized frame, bad magic)
+//!   closes the connection immediately (`fabric.conn.evicted`).
+//!
+//! Buffers come from [`crate::pool`], so a warm fabric serves its
+//! steady state without per-call allocation.  The byte-oriented
+//! [`Conn`] trait is implemented by `flick-transport` (this crate
+//! stays I/O-free); [`service_handler`] adapts the generated
+//! `handle_call` / `handle_message` entry points unchanged, and
+//! [`BridgeHandler`] folds the transcoding gateway in as just another
+//! connection handler.
+
+use crate::bridge::{Bridge, BridgeOutcome};
+use crate::buf::{MarshalBuf, MsgReader};
+use crate::error::DecodeError;
+use crate::limits::Limits;
+use crate::oncrpc::{self, RecordScan};
+use crate::{giop, metrics, pool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Result of one non-blocking read on a [`Conn`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// `n` bytes were appended to the buffer.
+    Read(usize),
+    /// No bytes available right now; the peer may send more later.
+    Empty,
+    /// The peer closed its sending side; no more bytes will arrive.
+    Closed,
+}
+
+/// Result of one non-blocking write on a [`Conn`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// `n` bytes were accepted (possibly fewer than offered).
+    Wrote(usize),
+    /// No room right now; retry after the peer drains.
+    Full,
+    /// The peer is gone; nothing more can be written.
+    Closed,
+}
+
+/// A byte-oriented, non-blocking connection the fabric can pump.
+///
+/// Implemented by `flick-transport`'s stream/datagram endpoints; the
+/// runtime defines the trait (not the transports) so the dependency
+/// arrow keeps pointing transport → runtime.
+pub trait Conn: Send {
+    /// Appends at most `max` available bytes to `buf`.
+    fn read_into(&mut self, buf: &mut MarshalBuf, max: usize) -> ReadStatus;
+    /// Writes a prefix of `bytes`, as much as fits right now.
+    fn write_some(&mut self, bytes: &[u8]) -> WriteStatus;
+    /// Tears the connection down (both directions).
+    fn close(&mut self);
+}
+
+/// The wire framing spoken on one connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Framing {
+    /// ONC RPC TCP record marking (fragment headers).
+    OncRecord,
+    /// GIOP messages (self-delimiting 12-byte header).
+    Giop,
+}
+
+/// Identifies one frame within its connection: frames are numbered in
+/// arrival order, and replies may complete in any order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u64);
+
+/// Where a [`FrameHandler`] deposits completed replies.
+///
+/// Replies accumulate in one pooled buffer (no per-reply allocation);
+/// the driver frames and flushes them as a batch after the handler
+/// returns.  A handler may answer a frame immediately in `on_frame`
+/// or hold it and answer from a later `poll` — that is what makes the
+/// pipelining window real.
+#[derive(Debug, Default)]
+pub struct ReplySink {
+    buf: MarshalBuf,
+    /// `(frame, start..end)` spans into `buf`.
+    entries: Vec<(FrameId, usize, usize)>,
+    /// Frames consumed without a reply (oneway, garbage dropped).
+    silent: Vec<FrameId>,
+}
+
+impl ReplySink {
+    /// Completes `id` with an unframed reply (an ONC reply record or a
+    /// complete GIOP message, matching the connection's framing).
+    pub fn reply(&mut self, id: FrameId, bytes: &[u8]) {
+        let start = self.buf.len();
+        self.buf.put_bytes(bytes);
+        self.entries.push((id, start, self.buf.len()));
+    }
+
+    /// Completes `id` with no reply on the wire.
+    pub fn silent(&mut self, id: FrameId) {
+        self.silent.push(id);
+    }
+
+    fn completed(&self) -> usize {
+        self.entries.len() + self.silent.len()
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.entries.clear();
+        self.silent.clear();
+    }
+}
+
+/// Per-connection request processing plugged into a [`ConnDriver`].
+pub trait FrameHandler: Send {
+    /// Handles one complete inbound frame (an unframed ONC record or a
+    /// complete GIOP message).  Every frame must *eventually* be
+    /// completed via `sink` — here or from a later [`poll`].
+    ///
+    /// [`poll`]: FrameHandler::poll
+    fn on_frame(&mut self, id: FrameId, frame: &[u8], sink: &mut ReplySink);
+
+    /// Called once per pump round before reading: deliver any replies
+    /// that completed asynchronously since the last round.  The
+    /// default does nothing (fully synchronous handlers).
+    fn poll(&mut self, sink: &mut ReplySink) {
+        let _ = sink;
+    }
+}
+
+/// Adapts a synchronous request→reply function — the shape of the
+/// generated `handle_call`/`handle_message` entry points — into a
+/// [`FrameHandler`].  The closure writes its reply into the provided
+/// buffer and returns whether one should go out.
+///
+/// ```ignore
+/// let h = service_handler(move |frame, reply| {
+///     onc_bench::handle_call(frame, PROG, VERS, reply, &mut srv)
+/// });
+/// ```
+pub fn service_handler<F>(f: F) -> impl FrameHandler
+where
+    F: FnMut(&[u8], &mut MarshalBuf) -> bool + Send,
+{
+    struct Sync<F> {
+        f: F,
+        scratch: MarshalBuf,
+    }
+    impl<F> FrameHandler for Sync<F>
+    where
+        F: FnMut(&[u8], &mut MarshalBuf) -> bool + Send,
+    {
+        fn on_frame(&mut self, id: FrameId, frame: &[u8], sink: &mut ReplySink) {
+            self.scratch.clear();
+            if (self.f)(frame, &mut self.scratch) {
+                sink.reply(id, self.scratch.as_slice());
+            } else {
+                sink.silent(id);
+            }
+        }
+    }
+    Sync {
+        f,
+        scratch: MarshalBuf::new(),
+    }
+}
+
+/// The transcoding gateway as a fabric handler: each inbound ONC
+/// record is rewritten and forwarded upstream by the wrapped
+/// [`Bridge`], and the rewritten reply completes the frame.  One
+/// fabric process can host many of these, proxying many ONC→GIOP
+/// links alongside ordinary served connections.
+pub struct BridgeHandler<F> {
+    bridge: Bridge,
+    forward: F,
+    scratch: MarshalBuf,
+}
+
+impl<F> BridgeHandler<F>
+where
+    F: FnMut(&[u8]) -> Option<Vec<u8>> + Send,
+{
+    /// Wraps `bridge`, forwarding upstream via `forward` (a complete
+    /// GIOP request in, the complete GIOP reply out, `None` on a dead
+    /// upstream).
+    pub fn new(bridge: Bridge, forward: F) -> Self {
+        BridgeHandler {
+            bridge,
+            forward,
+            scratch: MarshalBuf::new(),
+        }
+    }
+
+    /// The wrapped bridge's counters so far.
+    #[must_use]
+    pub fn counters(&self) -> crate::bridge::BridgeCounters {
+        self.bridge.counters()
+    }
+}
+
+impl<F> FrameHandler for BridgeHandler<F>
+where
+    F: FnMut(&[u8]) -> Option<Vec<u8>> + Send,
+{
+    fn on_frame(&mut self, id: FrameId, frame: &[u8], sink: &mut ReplySink) {
+        self.scratch.clear();
+        match self
+            .bridge
+            .handle_record(frame, &mut self.scratch, &mut self.forward)
+        {
+            BridgeOutcome::Replied => sink.reply(id, self.scratch.as_slice()),
+            BridgeOutcome::Silent => sink.silent(id),
+        }
+    }
+}
+
+/// What one [`ConnDriver::pump`] round accomplished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pump {
+    /// Bytes moved or frames completed; pump again soon.
+    Progress,
+    /// Nothing to do right now; the connection is waiting on its peer.
+    Idle,
+    /// The connection is finished (drained and closed, or evicted).
+    Done,
+}
+
+/// How a finished connection ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ending {
+    Closed,
+    Evicted,
+}
+
+/// The per-connection state machine: owns the connection, its framing,
+/// its handler, and two pooled buffers (inbound bytes, outbound
+/// framed replies).
+pub struct ConnDriver {
+    conn: Box<dyn Conn>,
+    framing: Framing,
+    handler: Box<dyn FrameHandler>,
+    limits: Limits,
+    inbuf: pool::PooledBuf,
+    outbuf: pool::PooledBuf,
+    sink: ReplySink,
+    next_id: u64,
+    /// Frames dispatched whose replies have not yet been completed.
+    outstanding: usize,
+    read_closed: bool,
+    ending: Option<Ending>,
+}
+
+impl ConnDriver {
+    /// A driver over `conn`, speaking `framing`, dispatching to
+    /// `handler`, bounded by `limits`.
+    #[must_use]
+    pub fn new(
+        conn: Box<dyn Conn>,
+        framing: Framing,
+        handler: Box<dyn FrameHandler>,
+        limits: Limits,
+    ) -> Self {
+        metrics::fabric_conn_open();
+        ConnDriver {
+            conn,
+            framing,
+            handler,
+            limits,
+            inbuf: pool::checkout(),
+            outbuf: pool::checkout(),
+            sink: ReplySink::default(),
+            next_id: 0,
+            outstanding: 0,
+            read_closed: false,
+            ending: None,
+        }
+    }
+
+    /// Replies queued but not yet accepted by the connection.
+    #[must_use]
+    pub fn queued_reply_bytes(&self) -> usize {
+        self.outbuf.len()
+    }
+
+    /// Frames dispatched whose replies are still pending.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    fn finish(&mut self, ending: Ending) -> Pump {
+        if self.ending.is_none() {
+            self.ending = Some(ending);
+            self.conn.close();
+            match ending {
+                Ending::Closed => metrics::fabric_conn_closed(),
+                Ending::Evicted => metrics::fabric_conn_evicted(),
+            }
+        }
+        Pump::Done
+    }
+
+    /// Frames one completed reply into `outbuf` according to the
+    /// connection's framing.
+    fn frame_reply(&mut self, start: usize, end: usize) {
+        // Split-borrow: the span lives in `sink.buf`, the frame goes
+        // into `outbuf`.
+        let bytes = &self.sink.buf.as_slice()[start..end];
+        match self.framing {
+            Framing::OncRecord => oncrpc::frame_record_into(bytes, &mut self.outbuf),
+            // GIOP messages are self-delimiting; append as-is.
+            Framing::Giop => self.outbuf.put_bytes(bytes),
+        }
+    }
+
+    /// Drains the sink: frames every completed reply into `outbuf` as
+    /// one batch and settles the outstanding accounting.
+    fn drain_sink(&mut self) -> usize {
+        let completed = self.sink.completed();
+        if completed == 0 {
+            return 0;
+        }
+        debug_assert!(
+            completed <= self.outstanding,
+            "handler completed frames it was never given"
+        );
+        self.outstanding = self.outstanding.saturating_sub(completed);
+        let records = self.sink.entries.len();
+        for i in 0..records {
+            let (_, start, end) = self.sink.entries[i];
+            self.frame_reply(start, end);
+        }
+        if records > 0 {
+            metrics::fabric_batch_flush(records as u64);
+        }
+        self.sink.clear();
+        completed
+    }
+
+    /// Reply bytes committed but not yet on the wire: queued framed
+    /// output plus replies still sitting in the sink.  This is the
+    /// quantity the backpressure threshold compares against.
+    fn pending_reply_bytes(&self) -> usize {
+        self.outbuf.len() + self.sink.buf.len()
+    }
+
+    /// Writes as much queued output as the connection will take.
+    /// Returns bytes written, or `None` if the peer is gone.
+    fn flush(&mut self) -> Option<usize> {
+        let mut written = 0;
+        while !self.outbuf.is_empty() {
+            match self.conn.write_some(self.outbuf.as_slice()) {
+                WriteStatus::Wrote(n) => {
+                    self.outbuf.drain_front(n);
+                    written += n;
+                }
+                WriteStatus::Full => break,
+                WriteStatus::Closed => return None,
+            }
+        }
+        Some(written)
+    }
+
+    /// Parses frames off the front of `inbuf` and dispatches them,
+    /// respecting the pipelining window.  Returns frames dispatched,
+    /// or `Err` on a framing violation (the connection must be
+    /// evicted).
+    fn dispatch_frames(&mut self) -> Result<usize, DecodeError> {
+        let mut consumed = 0;
+        let mut dispatched = 0;
+        loop {
+            // Both the pipelining window and the reply queue gate
+            // dispatch: consuming a frame commits us to buffering its
+            // reply, so a full queue must stop consumption too.
+            if self.outstanding >= self.limits.max_pipeline
+                || self.pending_reply_bytes() >= self.limits.reply_buf_bytes
+            {
+                break;
+            }
+            let stream = &self.inbuf.as_slice()[consumed..];
+            if stream.is_empty() {
+                break;
+            }
+            let frame_len = match self.framing {
+                Framing::OncRecord => {
+                    match oncrpc::scan_record_limited(stream, self.limits.max_record_bytes)? {
+                        RecordScan::Complete(payload, used) => {
+                            let id = FrameId(self.next_id);
+                            self.next_id += 1;
+                            self.outstanding += 1;
+                            self.handler.on_frame(id, payload, &mut self.sink);
+                            dispatched += 1;
+                            used
+                        }
+                        RecordScan::Partial => break,
+                        RecordScan::Fragmented => {
+                            // Multi-fragment record: assemble (bounded).
+                            match oncrpc::deframe_record_limited(
+                                stream,
+                                self.limits.max_record_bytes,
+                            ) {
+                                Ok((record, used)) => {
+                                    let id = FrameId(self.next_id);
+                                    self.next_id += 1;
+                                    self.outstanding += 1;
+                                    self.handler.on_frame(id, &record, &mut self.sink);
+                                    dispatched += 1;
+                                    used
+                                }
+                                Err(e) if matches!(e.root(), DecodeError::Truncated { .. }) => {
+                                    break
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                }
+                Framing::Giop => match scan_giop(stream, self.limits.max_message_bytes) {
+                    Ok(Some(total)) => {
+                        let id = FrameId(self.next_id);
+                        self.next_id += 1;
+                        self.outstanding += 1;
+                        self.handler.on_frame(id, &stream[..total], &mut self.sink);
+                        dispatched += 1;
+                        total
+                    }
+                    Ok(None) => break,
+                    Err(e) => return Err(e),
+                },
+            };
+            consumed += frame_len;
+        }
+        if consumed > 0 {
+            self.inbuf.drain_front(consumed);
+        }
+        Ok(dispatched)
+    }
+
+    /// One pump round: flush queued replies, poll the handler for
+    /// deferred completions, read (unless backpressured), parse and
+    /// dispatch new frames, then flush the round's batch.
+    pub fn pump(&mut self) -> Pump {
+        if self.ending.is_some() {
+            return Pump::Done;
+        }
+        let mut progress = 0usize;
+
+        // 1. Move queued output first: draining the reply queue is
+        //    what lifts backpressure.
+        match self.flush() {
+            Some(n) => progress += n,
+            None => return self.finish(Ending::Closed),
+        }
+
+        // 2. Deferred completions from a pipelining handler.
+        self.handler.poll(&mut self.sink);
+        progress += self.drain_sink();
+
+        // 3. Read, unless the reply queue says stop.  The window
+        //    check also pauses reading once the pipeline is full —
+        //    bytes already buffered keep their place in `inbuf`.
+        let backpressured = self.pending_reply_bytes() >= self.limits.reply_buf_bytes;
+        if backpressured {
+            metrics::fabric_backpressure();
+        } else if !self.read_closed && self.outstanding < self.limits.max_pipeline {
+            match self
+                .conn
+                .read_into(&mut self.inbuf, self.limits.read_chunk_bytes)
+            {
+                ReadStatus::Read(n) => progress += n,
+                ReadStatus::Empty => {}
+                ReadStatus::Closed => self.read_closed = true,
+            }
+        }
+
+        // 4. Parse + dispatch; a framing violation evicts.
+        match self.dispatch_frames() {
+            Ok(n) => progress += n,
+            Err(_) => return self.finish(Ending::Evicted),
+        }
+
+        // 5. Batch-flush everything completed this round.
+        progress += self.drain_sink();
+        match self.flush() {
+            Some(n) => progress += n,
+            None => return self.finish(Ending::Closed),
+        }
+
+        // A closed, drained, settled connection is finished.  Bytes
+        // left in `inbuf` after close are a truncated frame: dropped,
+        // as a real socket would.
+        if self.read_closed && self.outstanding == 0 && self.outbuf.is_empty() {
+            return self.finish(Ending::Closed);
+        }
+        if progress > 0 {
+            Pump::Progress
+        } else {
+            Pump::Idle
+        }
+    }
+}
+
+/// Scans for one complete GIOP message at the front of `stream`:
+/// `Ok(Some(total_len))` when complete, `Ok(None)` when more bytes are
+/// needed, `Err` on a framing violation.
+fn scan_giop(stream: &[u8], max_bytes: usize) -> Result<Option<usize>, DecodeError> {
+    if stream.len() < giop::HEADER_BYTES {
+        return Ok(None);
+    }
+    let mut r = MsgReader::new(stream);
+    let h = match giop::read_header_limited(&mut r, max_bytes) {
+        Ok(h) => h,
+        Err(e) if matches!(e.root(), DecodeError::Truncated { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let total = giop::HEADER_BYTES + h.size as usize;
+    if stream.len() < total {
+        return Ok(None);
+    }
+    Ok(Some(total))
+}
+
+/// One accepted connection, ready for a driver.
+pub struct Accepted {
+    /// The connection itself.
+    pub conn: Box<dyn Conn>,
+    /// The framing it speaks.
+    pub framing: Framing,
+    /// The handler serving it.
+    pub handler: Box<dyn FrameHandler>,
+}
+
+/// Produces connections for [`Fabric::serve`].  `accept` blocks until
+/// the next connection; `None` shuts the fabric down once existing
+/// connections drain.
+pub trait Acceptor: Send {
+    /// The next connection, or `None` at shutdown.
+    fn accept(&mut self) -> Option<Accepted>;
+}
+
+/// Aggregate counters from one [`Fabric::serve`] run.
+#[derive(Clone, Debug, Default)]
+pub struct FabricStats {
+    accepted: Arc<AtomicU64>,
+    closed: Arc<AtomicU64>,
+    evicted: Arc<AtomicU64>,
+}
+
+impl FabricStats {
+    /// Connections accepted.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections that ran to a clean close.
+    #[must_use]
+    pub fn closed(&self) -> u64 {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    /// Connections evicted for framing violations.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+/// The multiplexed serving runtime: accept loop + thread-per-core
+/// workers, each pumping its share of [`ConnDriver`]s.
+pub struct Fabric {
+    limits: Limits,
+    workers: usize,
+}
+
+impl Fabric {
+    /// A fabric with `limits` and one worker per available core.
+    #[must_use]
+    pub fn new(limits: Limits) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Fabric { limits, workers }
+    }
+
+    /// Overrides the worker count (tests and benches pin this).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Serves connections from `acceptor` until it returns `None` and
+    /// every accepted connection finishes.  The accept loop runs on
+    /// the calling thread; connections are distributed round-robin to
+    /// the workers.
+    pub fn serve<A: Acceptor>(&self, mut acceptor: A) -> FabricStats {
+        let stats = FabricStats::default();
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(self.workers);
+            for _ in 0..self.workers {
+                let (tx, rx) = mpsc::channel::<Accepted>();
+                senders.push(tx);
+                let limits = self.limits;
+                let stats = stats.clone();
+                scope.spawn(move || worker_loop(&rx, limits, &stats));
+            }
+            let mut next = 0usize;
+            while let Some(accepted) = acceptor.accept() {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                // A worker never exits while its sender lives, so the
+                // only send failure is a panicked worker — propagate.
+                senders[next % senders.len()]
+                    .send(accepted)
+                    .expect("fabric worker died");
+                next += 1;
+            }
+            drop(senders); // workers drain and exit
+        });
+        stats
+    }
+}
+
+fn worker_loop(rx: &mpsc::Receiver<Accepted>, limits: Limits, stats: &FabricStats) {
+    let mut drivers: Vec<ConnDriver> = Vec::new();
+    let mut accepting = true;
+    loop {
+        // Take on every connection queued for this worker.
+        while accepting {
+            match rx.try_recv() {
+                Ok(a) => drivers.push(ConnDriver::new(a.conn, a.framing, a.handler, limits)),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => accepting = false,
+            }
+        }
+        if drivers.is_empty() {
+            if !accepting {
+                return;
+            }
+            // Idle worker: block until the next connection arrives
+            // (or shutdown) instead of spinning.
+            match rx.recv() {
+                Ok(a) => drivers.push(ConnDriver::new(a.conn, a.framing, a.handler, limits)),
+                Err(_) => accepting = false,
+            }
+            continue;
+        }
+
+        let mut any_progress = false;
+        drivers.retain_mut(|d| match d.pump() {
+            Pump::Progress => {
+                any_progress = true;
+                true
+            }
+            Pump::Idle => true,
+            Pump::Done => {
+                match d.ending {
+                    Some(Ending::Evicted) => stats.evicted.fetch_add(1, Ordering::Relaxed),
+                    _ => stats.closed.fetch_add(1, Ordering::Relaxed),
+                };
+                any_progress = true;
+                false
+            }
+        });
+        if !any_progress {
+            // Every connection is waiting on its peer; yield rather
+            // than burn the core.
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oncrpc::CallHeader;
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An in-memory scripted connection: the test queues inbound
+    /// bytes and inspects what the driver wrote.
+    #[derive(Default)]
+    struct ScriptConn {
+        inbound: VecDeque<Vec<u8>>,
+        written: Arc<Mutex<Vec<u8>>>,
+        /// Bytes the "peer" will accept per write; `usize::MAX` = all.
+        accept_per_write: usize,
+        closed_after_input: bool,
+    }
+
+    impl ScriptConn {
+        fn new(chunks: Vec<Vec<u8>>) -> (Self, Arc<Mutex<Vec<u8>>>) {
+            let written = Arc::new(Mutex::new(Vec::new()));
+            (
+                ScriptConn {
+                    inbound: chunks.into(),
+                    written: written.clone(),
+                    accept_per_write: usize::MAX,
+                    closed_after_input: true,
+                },
+                written,
+            )
+        }
+    }
+
+    impl Conn for ScriptConn {
+        fn read_into(&mut self, buf: &mut MarshalBuf, max: usize) -> ReadStatus {
+            match self.inbound.front_mut() {
+                Some(chunk) => {
+                    let n = chunk.len().min(max);
+                    buf.put_bytes(&chunk[..n]);
+                    chunk.drain(..n);
+                    if chunk.is_empty() {
+                        self.inbound.pop_front();
+                    }
+                    ReadStatus::Read(n)
+                }
+                None if self.closed_after_input => ReadStatus::Closed,
+                None => ReadStatus::Empty,
+            }
+        }
+
+        fn write_some(&mut self, bytes: &[u8]) -> WriteStatus {
+            if self.accept_per_write == 0 {
+                return WriteStatus::Full;
+            }
+            let n = bytes.len().min(self.accept_per_write);
+            self.written.lock().unwrap().extend_from_slice(&bytes[..n]);
+            WriteStatus::Wrote(n)
+        }
+
+        fn close(&mut self) {}
+    }
+
+    /// Echoes each ONC record's payload back as the "reply record".
+    fn echo_handler() -> impl FrameHandler {
+        service_handler(|frame: &[u8], reply: &mut MarshalBuf| {
+            reply.put_bytes(frame);
+            true
+        })
+    }
+
+    fn onc_record(payload: &[u8]) -> Vec<u8> {
+        oncrpc::frame_record(payload)
+    }
+
+    fn run_to_done(d: &mut ConnDriver) {
+        for _ in 0..10_000 {
+            if d.pump() == Pump::Done {
+                return;
+            }
+        }
+        panic!("driver never finished");
+    }
+
+    #[test]
+    fn echoes_records_and_batches_replies() {
+        let (conn, written) = ScriptConn::new(vec![[
+            onc_record(b"alpha"),
+            onc_record(b"beta!"),
+            onc_record(b"gamma"),
+        ]
+        .concat()]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(echo_handler()),
+            Limits::default(),
+        );
+        run_to_done(&mut d);
+        let out = written.lock().unwrap().clone();
+        // Three framed reply records, coalesced into the output.
+        let (r1, used1) = oncrpc::deframe_record(&out).unwrap();
+        let (r2, used2) = oncrpc::deframe_record(&out[used1..]).unwrap();
+        let (r3, used3) = oncrpc::deframe_record(&out[used1 + used2..]).unwrap();
+        assert_eq!(
+            (&r1[..], &r2[..], &r3[..]),
+            (&b"alpha"[..], &b"beta!"[..], &b"gamma"[..])
+        );
+        assert_eq!(used1 + used2 + used3, out.len());
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let rec = onc_record(b"split-me-up");
+        let (a, b) = rec.split_at(6);
+        let (conn, written) = ScriptConn::new(vec![a.to_vec(), b.to_vec()]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(echo_handler()),
+            Limits::default(),
+        );
+        run_to_done(&mut d);
+        let out = written.lock().unwrap().clone();
+        let (r, _) = oncrpc::deframe_record(&out).unwrap();
+        assert_eq!(&r[..], b"split-me-up");
+    }
+
+    /// A handler that holds every frame and answers them all, in
+    /// reverse arrival order, only when polled after the last one —
+    /// an out-of-order pipelining server.
+    struct DeferredReverse {
+        pending: Vec<(FrameId, Vec<u8>)>,
+        expect: usize,
+    }
+
+    impl FrameHandler for DeferredReverse {
+        fn on_frame(&mut self, id: FrameId, frame: &[u8], _sink: &mut ReplySink) {
+            self.pending.push((id, frame.to_vec()));
+        }
+        fn poll(&mut self, sink: &mut ReplySink) {
+            if self.pending.len() >= self.expect {
+                for (id, frame) in self.pending.drain(..).rev() {
+                    sink.reply(id, &frame);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_complete_out_of_order() {
+        // Three xid-tagged call records arrive back to back; the
+        // handler answers them newest-first.  The wire carries the
+        // replies in completion order and the xids keep them
+        // attributable — exactly the GIOP/ONC pipelining contract.
+        let recs: Vec<Vec<u8>> = (0..3u32)
+            .map(|i| {
+                let mut b = MarshalBuf::new();
+                b.put_u32_be(0xA000 + i); // stand-in xid
+                b.put_bytes(&[i as u8; 8]);
+                onc_record(b.as_slice())
+            })
+            .collect();
+        let (conn, written) = ScriptConn::new(vec![recs.concat()]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(DeferredReverse {
+                pending: Vec::new(),
+                expect: 3,
+            }),
+            Limits::default(),
+        );
+        // All three dispatch before any reply exists: that is the
+        // pipelining window in action.
+        while d.outstanding() < 3 {
+            assert_ne!(d.pump(), Pump::Done, "finished before pipeline filled");
+        }
+        assert_eq!(d.outstanding(), 3);
+        run_to_done(&mut d);
+
+        let out = written.lock().unwrap().clone();
+        let mut xids = Vec::new();
+        let mut at = 0;
+        while at < out.len() {
+            let (r, used) = oncrpc::deframe_record(&out[at..]).unwrap();
+            xids.push(u32::from_be_bytes(r[..4].try_into().unwrap()));
+            at += used;
+        }
+        assert_eq!(xids, vec![0xA002, 0xA001, 0xA000], "completion order");
+    }
+
+    #[test]
+    fn pipeline_window_caps_outstanding_frames() {
+        let limits = Limits {
+            max_pipeline: 2,
+            ..Limits::default()
+        };
+        let recs: Vec<u8> = (0..6u8).flat_map(|i| onc_record(&[i; 4])).collect();
+        let (conn, _written) = ScriptConn::new(vec![recs]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            // Never replies: the window must clamp dispatch.
+            Box::new(DeferredReverse {
+                pending: Vec::new(),
+                expect: usize::MAX,
+            }),
+            limits,
+        );
+        for _ in 0..50 {
+            d.pump();
+            assert!(d.outstanding() <= 2, "window exceeded: {}", d.outstanding());
+        }
+        assert_eq!(d.outstanding(), 2);
+    }
+
+    #[test]
+    fn backpressure_stops_reading_a_slow_consumer() {
+        let limits = Limits {
+            reply_buf_bytes: 512,
+            ..Limits::default()
+        };
+        // Plenty of requests, a peer that accepts nothing back.
+        let big: Vec<u8> = (0..100u8).flat_map(|i| onc_record(&[i; 64])).collect();
+        let (mut conn, _written) = ScriptConn::new(vec![big]);
+        conn.accept_per_write = 0;
+        conn.closed_after_input = false;
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(echo_handler()),
+            limits,
+        );
+        for _ in 0..1000 {
+            d.pump();
+        }
+        // The reply queue stalled at the threshold (plus at most the
+        // batch completed in the round that crossed it) instead of
+        // swallowing all 100 echoes.
+        let bound = limits.per_conn_buffer_bound();
+        assert!(d.queued_reply_bytes() > 0);
+        assert!(
+            d.queued_reply_bytes() <= bound,
+            "queued {} exceeds bound {}",
+            d.queued_reply_bytes(),
+            bound
+        );
+        assert!(
+            d.queued_reply_bytes() < 100 * 68,
+            "backpressure never engaged: {}",
+            d.queued_reply_bytes()
+        );
+    }
+
+    #[test]
+    fn oversized_record_evicts_the_connection() {
+        let limits = Limits {
+            max_record_bytes: 1024,
+            ..Limits::default()
+        };
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&(0x8000_0000u32 | 1_000_000).to_be_bytes());
+        hostile.extend_from_slice(&[0; 64]);
+        let (conn, _written) = ScriptConn::new(vec![hostile]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(echo_handler()),
+            limits,
+        );
+        run_to_done(&mut d);
+        assert_eq!(d.ending, Some(Ending::Evicted));
+    }
+
+    #[test]
+    fn giop_frames_are_scanned_whole() {
+        // A GIOP echo: the handler returns the inbound message bytes.
+        let mut msg = MarshalBuf::new();
+        let order = crate::cdr::ByteOrder::Big;
+        let at = giop::begin_message(&mut msg, order, giop::MsgType::Request);
+        let cdr = crate::cdr::CdrOut::begin(&msg, order);
+        giop::put_request_header(&mut msg, &cdr, 77, true, b"obj", "noop");
+        giop::finish_message(&mut msg, at, order);
+        let wire = msg.into_vec();
+
+        let (a, b) = wire.split_at(7); // split inside the header
+        let (conn, written) = ScriptConn::new(vec![a.to_vec(), b.to_vec()]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::Giop,
+            Box::new(service_handler(|frame: &[u8], reply: &mut MarshalBuf| {
+                reply.put_bytes(frame);
+                true
+            })),
+            Limits::default(),
+        );
+        run_to_done(&mut d);
+        assert_eq!(written.lock().unwrap().clone(), wire);
+    }
+
+    #[test]
+    fn fabric_serves_connections_across_workers() {
+        struct VecAcceptor(Vec<Accepted>);
+        impl Acceptor for VecAcceptor {
+            fn accept(&mut self) -> Option<Accepted> {
+                self.0.pop()
+            }
+        }
+
+        let mut outputs = Vec::new();
+        let mut accepted = Vec::new();
+        for i in 0..8u32 {
+            let mut b = MarshalBuf::new();
+            CallHeader {
+                xid: i,
+                prog: 7,
+                vers: 1,
+                proc: 1,
+            }
+            .write(&mut b);
+            let (conn, written) = ScriptConn::new(vec![onc_record(b.as_slice())]);
+            outputs.push(written);
+            accepted.push(Accepted {
+                conn: Box::new(conn),
+                framing: Framing::OncRecord,
+                handler: Box::new(echo_handler()),
+            });
+        }
+        let stats = Fabric::new(Limits::default())
+            .workers(3)
+            .serve(VecAcceptor(accepted));
+        assert_eq!(stats.accepted(), 8);
+        assert_eq!(stats.closed(), 8);
+        assert_eq!(stats.evicted(), 0);
+        for w in outputs {
+            let out = w.lock().unwrap().clone();
+            let (r, _) = oncrpc::deframe_record(&out).unwrap();
+            assert_eq!(r.len(), oncrpc::CALL_HEADER_BYTES);
+        }
+    }
+}

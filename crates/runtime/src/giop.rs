@@ -142,8 +142,19 @@ pub struct GiopHeader {
     pub size: u32,
 }
 
-/// Reads and validates a GIOP header.
+/// Reads and validates a GIOP header, bounding the announced body
+/// size by [`MAX_MESSAGE_BYTES`].
 pub fn read_header(r: &mut MsgReader<'_>) -> Result<GiopHeader, DecodeError> {
+    read_header_limited(r, MAX_MESSAGE_BYTES)
+}
+
+/// Reads and validates a GIOP header against a caller-chosen body
+/// cap — servers configured with a [`crate::limits::Limits`] pass
+/// their `max_message_bytes` here.
+pub fn read_header_limited(
+    r: &mut MsgReader<'_>,
+    max_bytes: usize,
+) -> Result<GiopHeader, DecodeError> {
     crate::metrics::decode_begin(crate::metrics::Codec::Cdr);
     let c = r.chunk(HEADER_BYTES)?;
     if c.bytes_at(0, 4) != b"GIOP" {
@@ -158,11 +169,11 @@ pub fn read_header(r: &mut MsgReader<'_>) -> Result<GiopHeader, DecodeError> {
         ByteOrder::Big => c.get_u32_be_at(8),
         ByteOrder::Little => c.get_u32_le_at(8),
     };
-    if size as usize > MAX_MESSAGE_BYTES {
+    if size as usize > max_bytes {
         crate::metrics::reject(crate::metrics::Codec::Cdr);
         return Err(DecodeError::BoundExceeded {
             got: u64::from(size),
-            bound: MAX_MESSAGE_BYTES as u64,
+            bound: max_bytes as u64,
         });
     }
     crate::metrics::decode_end(

@@ -31,6 +31,13 @@
 //!   rewrites their bytes encoding-to-encoding through generated
 //!   transcode tables, and forwards them as GIOP requests (and the
 //!   replies back) without materializing the presentation;
+//! * [`limits`] — per-server/per-fabric resource limits: the framing
+//!   caps (configurable, defaulting to the historical 16 MiB
+//!   constants) plus the fabric's pipelining and backpressure knobs;
+//! * [`fabric`] — the multiplexed serving runtime: per-connection
+//!   state machines with request pipelining, reply batching, and
+//!   explicit backpressure, driven by thread-per-core worker loops
+//!   over any transport implementing [`fabric::Conn`];
 //! * [`metrics`] — marshal metrics hooks for the codec hot paths.
 //!   They compile to empty inline functions unless the `telemetry`
 //!   cargo feature is enabled, and record lock-free when it is;
@@ -49,8 +56,10 @@ pub mod buf;
 pub mod cdr;
 pub mod client;
 pub mod error;
+pub mod fabric;
 pub mod fluke;
 pub mod giop;
+pub mod limits;
 pub mod mach;
 pub mod metrics;
 pub mod oncrpc;
@@ -63,6 +72,7 @@ pub mod xdr;
 
 pub use buf::{ChunkReader, ChunkWriter, MarshalBuf, MsgReader};
 pub use error::DecodeError;
+pub use limits::Limits;
 pub use pool::{checkout, PooledBuf};
 pub use reply::Echoed;
 

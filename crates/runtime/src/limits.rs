@@ -1,0 +1,105 @@
+//! Per-server / per-fabric resource limits.
+//!
+//! The hostile-wire hardening introduced hard framing caps —
+//! [`crate::oncrpc::MAX_RECORD_BYTES`] and
+//! [`crate::giop::MAX_MESSAGE_BYTES`], both 16 MiB — so a lying length
+//! field can never force a giant allocation.  Those constants remain
+//! the defaults, but a serving process wants them *configurable*: a
+//! tight-memory gateway hosting thousands of connections budgets a few
+//! KiB per link, while a bulk-transfer endpoint may need the full 16
+//! MiB.  [`Limits`] carries the framing caps together with the
+//! connection-fabric knobs (pipelining depth, reply-queue bound, batch
+//! size) as one value handed to a server loop or a
+//! [`crate::fabric::Fabric`].
+//!
+//! Every field defaults to today's behavior; [`Limits::tight`] is the
+//! small-footprint configuration the fan-in bench exercises.
+
+/// Resource limits for one server loop or fabric instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Cap on one assembled ONC record (and any single fragment).
+    /// Default: [`crate::oncrpc::MAX_RECORD_BYTES`].
+    pub max_record_bytes: usize,
+    /// Cap on one GIOP message body.  Default:
+    /// [`crate::giop::MAX_MESSAGE_BYTES`].
+    pub max_message_bytes: usize,
+    /// Maximum in-flight (decoded but unanswered) requests per
+    /// connection — the pipelining window.
+    pub max_pipeline: usize,
+    /// Backpressure threshold: once a connection's pending encoded
+    /// replies exceed this many bytes, the fabric stops *reading* that
+    /// connection until the queue drains.
+    pub reply_buf_bytes: usize,
+    /// Bytes pulled off a connection per pump round — the decode
+    /// granularity (and an input-side fairness bound).
+    pub read_chunk_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_record_bytes: crate::oncrpc::MAX_RECORD_BYTES,
+            max_message_bytes: crate::giop::MAX_MESSAGE_BYTES,
+            max_pipeline: 32,
+            reply_buf_bytes: 256 * 1024,
+            read_chunk_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl Limits {
+    /// Today's defaults — identical to the previously hard-coded caps.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tight-memory configuration: 64 KiB frames, a short pipeline,
+    /// and a small reply queue.  This is what the fan-in bench runs so
+    /// thousands of connections fit in a few MiB of buffers.
+    #[must_use]
+    pub fn tight() -> Self {
+        Limits {
+            max_record_bytes: 64 * 1024,
+            max_message_bytes: 64 * 1024,
+            max_pipeline: 16,
+            reply_buf_bytes: 16 * 1024,
+            read_chunk_bytes: 8 * 1024,
+        }
+    }
+
+    /// Worst-case bytes one connection's fabric buffers may hold:
+    /// a partially assembled inbound frame plus one read chunk, the
+    /// reply queue at its threshold, plus one maximal reply appended
+    /// after the threshold check.  The backpressure test asserts
+    /// against this bound.
+    #[must_use]
+    pub fn per_conn_buffer_bound(&self) -> usize {
+        let frame = self.max_record_bytes.max(self.max_message_bytes);
+        (frame + self.read_chunk_bytes) + (self.reply_buf_bytes + frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_hardcoded_caps() {
+        let l = Limits::default();
+        assert_eq!(l.max_record_bytes, crate::oncrpc::MAX_RECORD_BYTES);
+        assert_eq!(l.max_message_bytes, crate::giop::MAX_MESSAGE_BYTES);
+        assert_eq!(l.max_record_bytes, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tight_is_smaller_everywhere() {
+        let d = Limits::default();
+        let t = Limits::tight();
+        assert!(t.max_record_bytes < d.max_record_bytes);
+        assert!(t.max_message_bytes < d.max_message_bytes);
+        assert!(t.reply_buf_bytes < d.reply_buf_bytes);
+        assert!(t.per_conn_buffer_bound() < d.per_conn_buffer_bound());
+    }
+}

@@ -133,6 +133,44 @@ mod imp {
         }
     }
 
+    pub const BRIDGE_OUTCOMES: [&str; 3] = ["forwarded", "rejected", "fallback"];
+
+    pub fn bridge_op(op: &str, outcome: usize) {
+        if flick_telemetry::enabled() {
+            global()
+                .counter(&format!("bridge.{op}.{}", BRIDGE_OUTCOMES[outcome]))
+                .inc();
+        }
+    }
+
+    fn fabric_handles() -> &'static [&'static Counter; 6] {
+        static HANDLES: OnceLock<[&'static Counter; 6]> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            [
+                global().counter("fabric.conn.open"),
+                global().counter("fabric.conn.closed"),
+                global().counter("fabric.conn.evicted"),
+                global().counter("fabric.backpressure"),
+                global().counter("fabric.batch.flush"),
+                global().counter("fabric.batch.records"),
+            ]
+        })
+    }
+
+    pub fn fabric(event: usize) {
+        if flick_telemetry::enabled() {
+            fabric_handles()[event].inc();
+        }
+    }
+
+    pub fn fabric_batch(records: u64) {
+        if flick_telemetry::enabled() {
+            let h = fabric_handles();
+            h[4].inc();
+            h[5].add(records);
+        }
+    }
+
     // Per-thread stopwatches: encode in slots 0..4, decode in 4..8.
     thread_local! {
         static STARTS: RefCell<[Option<Instant>; 8]> = const { RefCell::new([None; 8]) };
@@ -254,6 +292,78 @@ pub fn bridge_fallback() {
     imp::bridge(2);
 }
 
+/// Per-operation twin of [`bridge_forwarded`]: also increments
+/// `bridge.<op>.forwarded`, so gateway stats line up with the
+/// `rpc.<op>.*` per-op table.
+#[inline]
+pub fn bridge_op_forwarded(op: &str) {
+    #[cfg(feature = "telemetry")]
+    imp::bridge_op(op, 0);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = op;
+}
+
+/// Per-operation twin of [`bridge_rejected`] (`bridge.<op>.rejected`).
+/// Rejections before the operation is identified (bad header, unknown
+/// procedure) only hit the global counter.
+#[inline]
+pub fn bridge_op_rejected(op: &str) {
+    #[cfg(feature = "telemetry")]
+    imp::bridge_op(op, 1);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = op;
+}
+
+/// Per-operation twin of [`bridge_fallback`] (`bridge.<op>.fallback`).
+#[inline]
+pub fn bridge_op_fallback(op: &str) {
+    #[cfg(feature = "telemetry")]
+    imp::bridge_op(op, 2);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = op;
+}
+
+/// Records one connection accepted into a fabric (`fabric.conn.open`).
+#[inline]
+pub fn fabric_conn_open() {
+    #[cfg(feature = "telemetry")]
+    imp::fabric(0);
+}
+
+/// Records one connection that closed normally (`fabric.conn.closed`).
+#[inline]
+pub fn fabric_conn_closed() {
+    #[cfg(feature = "telemetry")]
+    imp::fabric(1);
+}
+
+/// Records one connection the fabric evicted for a framing violation
+/// or oversized frame (`fabric.conn.evicted`).
+#[inline]
+pub fn fabric_conn_evicted() {
+    #[cfg(feature = "telemetry")]
+    imp::fabric(2);
+}
+
+/// Records one pump round in which the fabric stopped reading a
+/// connection because its reply queue was over the limit
+/// (`fabric.backpressure`).
+#[inline]
+pub fn fabric_backpressure() {
+    #[cfg(feature = "telemetry")]
+    imp::fabric(3);
+}
+
+/// Records one coalesced reply flush of `records` frames
+/// (`fabric.batch.flush` / `fabric.batch.records`).
+#[inline]
+pub fn fabric_batch_flush(records: u64) {
+    #[cfg(feature = "telemetry")]
+    imp::fabric_batch(records);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = records;
+}
+
 #[cfg(all(test, feature = "telemetry"))]
 mod tests {
     use super::*;
@@ -302,6 +412,12 @@ mod tests {
         bridge_forwarded();
         bridge_rejected();
         bridge_fallback();
+        bridge_op_forwarded("echo_stat");
+        bridge_op_fallback("echo_stat");
+        fabric_conn_open();
+        fabric_conn_evicted();
+        fabric_backpressure();
+        fabric_batch_flush(3);
         let s = flick_telemetry::global().snapshot();
         assert!(s.counter("decode.reject.xdr").unwrap() >= 1);
         assert!(s.counter("rpc.retry").unwrap() >= 1);
@@ -309,6 +425,13 @@ mod tests {
         assert!(s.counter("bridge.forwarded").unwrap() >= 1);
         assert!(s.counter("bridge.rejected").unwrap() >= 1);
         assert!(s.counter("bridge.fallback").unwrap() >= 1);
+        assert!(s.counter("bridge.echo_stat.forwarded").unwrap() >= 1);
+        assert!(s.counter("bridge.echo_stat.fallback").unwrap() >= 1);
+        assert!(s.counter("fabric.conn.open").unwrap() >= 1);
+        assert!(s.counter("fabric.conn.evicted").unwrap() >= 1);
+        assert!(s.counter("fabric.backpressure").unwrap() >= 1);
+        assert!(s.counter("fabric.batch.flush").unwrap() >= 1);
+        assert!(s.counter("fabric.batch.records").unwrap() >= 3);
         flick_telemetry::set_enabled(false);
     }
 }

@@ -437,6 +437,57 @@ pub fn frame_record(record: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Appends `record` with TCP record marking (single final fragment) to
+/// `out` — the allocation-free form of [`frame_record`].  The
+/// connection fabric uses it to coalesce several queued replies into
+/// one contiguous flush.
+pub fn frame_record_into(record: &[u8], out: &mut MarshalBuf) {
+    out.ensure(record.len() + 4);
+    out.put_u32_be(0x8000_0000u32 | record.len() as u32);
+    out.put_bytes(record);
+    crate::metrics::encode_end(crate::metrics::Codec::Xdr, record.len() as u64 + 4);
+}
+
+/// What scanning the front of a byte stream for one record found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordScan<'a> {
+    /// A complete single-fragment record: the payload, borrowed from
+    /// the stream, plus the total bytes consumed (mark + payload).
+    Complete(&'a [u8], usize),
+    /// The record starts with a non-final fragment; assemble it with
+    /// [`deframe_record_limited`] instead (it may still be truncated).
+    Fragmented,
+    /// Not enough bytes yet for the mark or the announced payload.
+    Partial,
+}
+
+/// Zero-copy scan for one record at the front of `stream`.  The common
+/// single-final-fragment case borrows the payload straight out of the
+/// receive buffer; a mark announcing more than `max_bytes` is an error
+/// before any allocation, exactly like [`deframe_record_limited`].
+pub fn scan_record_limited(stream: &[u8], max_bytes: usize) -> Result<RecordScan<'_>, DecodeError> {
+    if stream.len() < 4 {
+        return Ok(RecordScan::Partial);
+    }
+    let mark = u32::from_be_bytes(stream[..4].try_into().expect("len 4"));
+    let last = mark & 0x8000_0000 != 0;
+    let len = (mark & 0x7fff_ffff) as usize;
+    if len > max_bytes {
+        crate::metrics::reject(crate::metrics::Codec::Xdr);
+        return Err(DecodeError::BoundExceeded {
+            got: len as u64,
+            bound: max_bytes as u64,
+        });
+    }
+    if !last {
+        return Ok(RecordScan::Fragmented);
+    }
+    if stream.len() < 4 + len {
+        return Ok(RecordScan::Partial);
+    }
+    Ok(RecordScan::Complete(&stream[4..4 + len], 4 + len))
+}
+
 /// Default cap on a record (and on any one fragment): a hostile
 /// `0x7fffffff` record mark must not force a 2 GiB allocation before a
 /// single payload byte arrives.

@@ -54,17 +54,48 @@ fn trim_bound(high_water: usize) -> usize {
     high_water.saturating_mul(TRIM_SLACK).max(TRIM_FLOOR)
 }
 
+/// Recycles per high-water observation epoch: every this many
+/// recycles the windows rotate, so the trim target *decays* once a
+/// pathological burst is more than two epochs in the past.
+const EPOCH_RECYCLES: u32 = 64;
+
 struct Pool {
     free: Vec<MarshalBuf>,
-    /// Largest message length recycled so far — the trim target.
-    high_water: usize,
+    /// Largest message length recycled in the current epoch.
+    recent_hw: usize,
+    /// Largest message length recycled in the previous epoch.
+    prev_hw: usize,
+    /// Recycles counted toward the current epoch so far.
+    epoch_used: u32,
+}
+
+impl Pool {
+    /// The trim target: the largest message seen across the current
+    /// and previous epochs.  Two windows, not one, so the target never
+    /// drops to zero mid-burst just because an epoch boundary fell in
+    /// the middle of it.
+    fn high_water(&self) -> usize {
+        self.recent_hw.max(self.prev_hw)
+    }
+
+    fn observe(&mut self, len: usize) {
+        self.recent_hw = self.recent_hw.max(len);
+        self.epoch_used += 1;
+        if self.epoch_used >= EPOCH_RECYCLES {
+            self.prev_hw = self.recent_hw;
+            self.recent_hw = 0;
+            self.epoch_used = 0;
+        }
+    }
 }
 
 thread_local! {
     static POOL: RefCell<Pool> = const {
         RefCell::new(Pool {
             free: Vec::new(),
-            high_water: 0,
+            recent_hw: 0,
+            prev_hw: 0,
+            epoch_used: 0,
         })
     };
 }
@@ -113,12 +144,12 @@ impl Drop for PooledBuf {
 }
 
 fn recycle_into(pool: &mut Pool, mut buf: MarshalBuf) {
-    pool.high_water = pool.high_water.max(buf.len());
+    pool.observe(buf.len());
     if pool.free.len() >= pool_cap() {
         return; // full free list: let the allocation go
     }
     buf.clear();
-    let bound = trim_bound(pool.high_water);
+    let bound = trim_bound(pool.high_water());
     if buf.capacity() > bound {
         buf.shrink_to(bound);
     }
@@ -162,12 +193,14 @@ pub fn free_buffers() -> usize {
 }
 
 /// Drops every buffer in this thread's free list and resets the
-/// high-water mark.
+/// high-water windows.
 pub fn drain() {
     POOL.with(|p| {
         let mut p = p.borrow_mut();
         p.free.clear();
-        p.high_water = 0;
+        p.recent_hw = 0;
+        p.prev_hw = 0;
+        p.epoch_used = 0;
     });
 }
 
@@ -285,7 +318,9 @@ mod tests {
         drain();
         let mut pool = Pool {
             free: Vec::new(),
-            high_water: 64,
+            recent_hw: 64,
+            prev_hw: 0,
+            epoch_used: 0,
         };
         let mut big = MarshalBuf::with_capacity(1 << 20);
         big.put_bytes(&[1; 32]);
@@ -296,6 +331,43 @@ mod tests {
             "capacity {} not trimmed to {}",
             pool.free[0].capacity(),
             trim_bound(64)
+        );
+    }
+
+    #[test]
+    fn high_water_decays_after_a_pathological_burst() {
+        let mut pool = Pool {
+            free: Vec::new(),
+            recent_hw: 0,
+            prev_hw: 0,
+            epoch_used: 0,
+        };
+        // One 8 MiB message spikes the mark...
+        let mut huge = MarshalBuf::with_capacity(8 << 20);
+        huge.put_bytes(&[0; 8 << 20]);
+        recycle_into(&mut pool, huge);
+        assert!(trim_bound(pool.high_water()) >= 8 << 20);
+
+        // ...but two epochs of small traffic let it decay, so the next
+        // oversized recycle is trimmed back toward small-message size.
+        for _ in 0..2 * EPOCH_RECYCLES {
+            pool.free.clear(); // keep the free list from capping recycles
+            let mut small = MarshalBuf::new();
+            small.put_bytes(&[0; 256]);
+            recycle_into(&mut pool, small);
+        }
+        assert!(
+            pool.high_water() <= 256,
+            "high water {} still pinned by the old burst",
+            pool.high_water()
+        );
+        pool.free.clear();
+        let lingering = MarshalBuf::with_capacity(8 << 20);
+        recycle_into(&mut pool, lingering);
+        assert!(
+            pool.free[0].capacity() <= trim_bound(256),
+            "capacity {} not trimmed after decay",
+            pool.free[0].capacity()
         );
     }
 

@@ -94,9 +94,87 @@ pub fn per_op_table() -> String {
     }
 }
 
+/// A per-operation gateway table over every `bridge.<op>.{forwarded,
+/// rejected,fallback}` counter — the proxy-side companion to
+/// [`per_op_table`], so bridge traffic breaks down by operation the
+/// same way RPC latency does.  Empty when no per-op bridge counter has
+/// recorded or the `telemetry` feature is off.
+#[must_use]
+pub fn bridge_op_table() -> String {
+    #[cfg(feature = "telemetry")]
+    {
+        let snap = flick_telemetry::global().snapshot();
+        // op name -> [forwarded, rejected, fallback]
+        let mut ops: Vec<(String, [u64; 3])> = Vec::new();
+        for (name, value) in &snap.metrics {
+            let Some(rest) = name.strip_prefix("bridge.") else {
+                continue;
+            };
+            let Some((op, kind)) = rest.rsplit_once('.') else {
+                continue; // the global bridge.{forwarded,...} totals
+            };
+            let slot = match kind {
+                "forwarded" => 0,
+                "rejected" => 1,
+                "fallback" => 2,
+                _ => continue,
+            };
+            let flick_telemetry::MetricValue::Counter(n) = value else {
+                continue;
+            };
+            let row = match ops.iter_mut().find(|(o, _)| o == op) {
+                Some((_, counts)) => counts,
+                None => {
+                    ops.push((op.to_string(), [0; 3]));
+                    &mut ops.last_mut().expect("just pushed").1
+                }
+            };
+            row[slot] = *n;
+        }
+        ops.retain(|(_, c)| c.iter().any(|&n| n > 0));
+        if ops.is_empty() {
+            return String::new();
+        }
+        ops.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = format!(
+            "{:<24} {:>10} {:>10} {:>10}\n",
+            "op", "forwarded", "rejected", "fallback"
+        );
+        for (op, c) in ops {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>10} {:>10}\n",
+                op, c[0], c[1], c[2]
+            ));
+        }
+        out
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        String::new()
+    }
+}
+
 #[cfg(all(test, feature = "telemetry"))]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bridge_op_table_breaks_counters_down_by_operation() {
+        flick_telemetry::global()
+            .counter("bridge.stats_unit_send.forwarded")
+            .add(7);
+        flick_telemetry::global()
+            .counter("bridge.stats_unit_send.rejected")
+            .add(2);
+        let table = bridge_op_table();
+        assert!(table.contains("stats_unit_send"), "table: {table}");
+        assert!(table.starts_with("op "), "header row first: {table}");
+        let row = table
+            .lines()
+            .find(|l| l.contains("stats_unit_send"))
+            .unwrap();
+        assert!(row.contains('7') && row.contains('2'), "row: {row}");
+    }
 
     #[test]
     fn per_op_table_lists_rpc_histograms() {

@@ -103,6 +103,22 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeues the next message without blocking: `Msg` when one is
+    /// queued, `Closed` after disconnect, `TimedOut` when the queue is
+    /// momentarily empty — the polling shape fabric accept loops and
+    /// connection adapters need.
+    #[must_use]
+    pub fn try_recv(&self) -> Recv<T> {
+        let mut s = self.inner.state.lock().expect("channel poisoned");
+        if let Some(v) = s.queue.pop_front() {
+            return Recv::Msg(v);
+        }
+        if s.senders == 0 {
+            return Recv::Closed;
+        }
+        Recv::TimedOut
+    }
+
     /// Dequeues the next message, waiting at most `timeout` — the
     /// primitive under client call deadlines and retransmission.
     #[must_use]
@@ -208,6 +224,16 @@ mod tests {
             rx.recv_timeout(std::time::Duration::from_millis(5)),
             Recv::<i32>::Closed
         );
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Recv::<u8>::TimedOut);
+        tx.send(3);
+        assert_eq!(rx.try_recv(), Recv::Msg(3));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Recv::<u8>::Closed);
     }
 
     #[test]

@@ -101,6 +101,72 @@ impl flick_runtime::client::Endpoint for DatagramEnd {
     }
 }
 
+/// Adapts a [`DatagramEnd`] to the fabric's byte-oriented
+/// [`flick_runtime::fabric::Conn`]: inbound datagrams are surfaced as
+/// record-marked bytes (one datagram = one final-fragment ONC record),
+/// and outbound record-marked bytes are unframed back into one
+/// datagram per record.  Drive it with
+/// [`flick_runtime::fabric::Framing::OncRecord`].
+pub struct DatagramConn {
+    end: DatagramEnd,
+}
+
+impl DatagramConn {
+    /// Wraps `end` for fabric service.
+    #[must_use]
+    pub fn new(end: DatagramEnd) -> Self {
+        DatagramConn { end }
+    }
+}
+
+impl flick_runtime::fabric::Conn for DatagramConn {
+    fn read_into(
+        &mut self,
+        buf: &mut flick_runtime::MarshalBuf,
+        _max: usize,
+    ) -> flick_runtime::fabric::ReadStatus {
+        // Datagrams are indivisible: `max` bounds stream reads, but a
+        // whole datagram is appended or nothing (its size is already
+        // capped by the socket's own limit).
+        match self.end.rx.try_recv() {
+            crate::chan::Recv::Msg(payload) => {
+                crate::metrics::received(crate::metrics::Kind::Datagram, payload.len() as u64, 0);
+                buf.put_u32_be(0x8000_0000 | payload.len() as u32);
+                buf.put_bytes(&payload);
+                flick_runtime::fabric::ReadStatus::Read(payload.len() + 4)
+            }
+            crate::chan::Recv::TimedOut => flick_runtime::fabric::ReadStatus::Empty,
+            crate::chan::Recv::Closed => flick_runtime::fabric::ReadStatus::Closed,
+        }
+    }
+
+    fn write_some(&mut self, bytes: &[u8]) -> flick_runtime::fabric::WriteStatus {
+        use flick_runtime::oncrpc::{scan_record_limited, RecordScan};
+        let mut consumed = 0;
+        while consumed < bytes.len() {
+            match scan_record_limited(&bytes[consumed..], self.end.max) {
+                Ok(RecordScan::Complete(payload, used)) => {
+                    if self.end.send(payload).is_err() {
+                        return flick_runtime::fabric::WriteStatus::Closed;
+                    }
+                    consumed += used;
+                }
+                // Partial/fragmented/oversized tails wait in the
+                // driver's queue; a reply exceeding the datagram limit
+                // can never leave, so treat it as fatal.
+                Ok(_) if consumed > 0 => break,
+                Ok(RecordScan::Partial | RecordScan::Fragmented) => {
+                    return flick_runtime::fabric::WriteStatus::Full
+                }
+                Err(_) => return flick_runtime::fabric::WriteStatus::Closed,
+            }
+        }
+        flick_runtime::fabric::WriteStatus::Wrote(consumed)
+    }
+
+    fn close(&mut self) {}
+}
+
 /// The classic UDP practical limit the paper's failing stubs ran into.
 pub const DEFAULT_MAX_DATAGRAM: usize = 64 * 1024 - 8;
 
@@ -156,5 +222,32 @@ mod tests {
         let (a, b) = datagram_pair(64);
         drop(a);
         assert_eq!(b.recv(), None);
+    }
+
+    #[test]
+    fn datagram_conn_speaks_record_marked_bytes() {
+        use flick_runtime::fabric::{Conn, ReadStatus, WriteStatus};
+        use flick_runtime::MarshalBuf;
+
+        let (client, server) = datagram_pair(DEFAULT_MAX_DATAGRAM);
+        let mut conn = DatagramConn::new(server);
+
+        // Inbound datagram surfaces as one final-fragment record.
+        client.send(b"ping").unwrap();
+        let mut buf = MarshalBuf::new();
+        assert_eq!(conn.read_into(&mut buf, 1), ReadStatus::Read(8));
+        let (rec, used) = flick_runtime::oncrpc::deframe_record(buf.as_slice()).unwrap();
+        assert_eq!((rec.as_slice(), used), (&b"ping"[..], 8));
+        assert_eq!(conn.read_into(&mut buf, 1), ReadStatus::Empty);
+
+        // Outbound record-marked bytes become one datagram per record.
+        let two: Vec<u8> = [
+            flick_runtime::oncrpc::frame_record(b"pong"),
+            flick_runtime::oncrpc::frame_record(b"!"),
+        ]
+        .concat();
+        assert_eq!(conn.write_some(&two), WriteStatus::Wrote(two.len()));
+        assert_eq!(client.recv().unwrap(), b"pong");
+        assert_eq!(client.recv().unwrap(), b"!");
     }
 }

@@ -10,6 +10,9 @@
 //!   ports, Fluke-like register IPC) used by the examples and
 //!   integration tests to exercise complete request/reply exchanges
 //!   between threads;
+//! * [`listener`] — an in-process listen/connect rendezvous so many
+//!   client threads can dial one server, plus the adapter that feeds
+//!   accepted links to `flick_runtime::fabric`;
 //! * [`fault`] — a deterministic, seeded fault-injection layer that
 //!   wraps any of the above ends and perturbs the message stream
 //!   (drop, duplicate, reorder, truncate, bit-flip, virtual-time
@@ -24,6 +27,7 @@ pub mod chan;
 pub mod datagram;
 pub mod fault;
 pub mod fluke;
+pub mod listener;
 pub mod mach;
 pub mod metrics;
 pub mod netmodel;

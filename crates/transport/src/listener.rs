@@ -1,0 +1,131 @@
+//! An in-process listen/connect rendezvous for stream endpoints —
+//! the accept side of the connection fabric.
+//!
+//! [`listen`] yields a listener/connector pair: every
+//! [`StreamConnector::connect`] creates a bounded [`stream_pair`-like]
+//! link and queues the server end for [`StreamListener::accept`].
+//! Connectors clone freely, so thousands of client threads can dial
+//! one listener.  [`FabricAcceptor`] adapts a listener directly to
+//! [`flick_runtime::fabric::Acceptor`], minting one handler per
+//! accepted connection.
+//!
+//! [`stream_pair`-like]: crate::stream::stream_pair_bounded
+
+use crate::chan::{unbounded, Receiver, Sender};
+use crate::stream::{stream_pair_bounded, StreamEnd};
+use flick_runtime::fabric::{Accepted, Acceptor, FrameHandler, Framing};
+
+/// The accepting side: yields the server end of each dialed link.
+pub struct StreamListener {
+    rx: Receiver<StreamEnd>,
+}
+
+/// The dialing side; clone one per client.
+pub struct StreamConnector {
+    tx: Sender<StreamEnd>,
+    cap: usize,
+}
+
+impl Clone for StreamConnector {
+    fn clone(&self) -> Self {
+        StreamConnector {
+            tx: self.tx.clone(),
+            cap: self.cap,
+        }
+    }
+}
+
+/// Creates a listener and its connector.  Each dialed link buffers at
+/// most `cap` bytes per direction ([`stream_pair_bounded`]); pass
+/// `usize::MAX` for unbounded links.
+#[must_use]
+pub fn listen(cap: usize) -> (StreamListener, StreamConnector) {
+    let (tx, rx) = unbounded();
+    (StreamListener { rx }, StreamConnector { tx, cap })
+}
+
+impl StreamConnector {
+    /// Dials the listener, returning the client end of a fresh link.
+    #[must_use]
+    pub fn connect(&self) -> StreamEnd {
+        let (client, server) = stream_pair_bounded(self.cap);
+        self.tx.send(server);
+        client
+    }
+}
+
+impl StreamListener {
+    /// The next dialed connection, blocking.  `None` once every
+    /// connector is dropped and the backlog is drained.
+    #[must_use]
+    pub fn accept(&self) -> Option<StreamEnd> {
+        self.rx.recv()
+    }
+}
+
+/// Serves a [`StreamListener`] on a fabric: every accepted link gets
+/// `framing` and a fresh handler from the factory.
+pub struct FabricAcceptor<F> {
+    listener: StreamListener,
+    framing: Framing,
+    make: F,
+}
+
+impl<F> FabricAcceptor<F>
+where
+    F: FnMut() -> Box<dyn FrameHandler> + Send,
+{
+    /// Adapts `listener`; `make` mints one handler per connection.
+    #[must_use]
+    pub fn new(listener: StreamListener, framing: Framing, make: F) -> Self {
+        FabricAcceptor {
+            listener,
+            framing,
+            make,
+        }
+    }
+}
+
+impl<F> Acceptor for FabricAcceptor<F>
+where
+    F: FnMut() -> Box<dyn FrameHandler> + Send,
+{
+    fn accept(&mut self) -> Option<Accepted> {
+        let conn = self.listener.accept()?;
+        Some(Accepted {
+            conn: Box::new(conn),
+            framing: self.framing,
+            handler: (self.make)(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_accept_roundtrip() {
+        let (listener, connector) = listen(usize::MAX);
+        let c1 = connector.connect();
+        let c2 = connector.clone().connect();
+        c1.write(b"one");
+        c2.write(b"two");
+        let s1 = listener.accept().unwrap();
+        let s2 = listener.accept().unwrap();
+        assert_eq!(s1.read_exact(3).unwrap(), b"one");
+        assert_eq!(s2.read_exact(3).unwrap(), b"two");
+        drop(connector);
+        assert!(listener.accept().is_none(), "connectors gone = shutdown");
+    }
+
+    #[test]
+    fn dialed_links_honor_the_cap() {
+        use flick_runtime::fabric::WriteStatus;
+        let (listener, connector) = listen(4);
+        let c = connector.connect();
+        let _s = listener.accept().unwrap();
+        assert_eq!(c.try_write(&[1; 8]), WriteStatus::Wrote(4));
+        assert_eq!(c.try_write(&[1; 8]), WriteStatus::Full);
+    }
+}

@@ -5,6 +5,8 @@
 //! use record marking and GIOP to carry message sizes.  Blocking reads
 //! make thread-per-peer request/reply exchanges natural.
 
+use flick_runtime::fabric::{Conn, ReadStatus, WriteStatus};
+use flick_runtime::MarshalBuf;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -14,17 +16,67 @@ struct PipeState {
     closed: bool,
 }
 
-#[derive(Default)]
 struct Pipe {
     state: Mutex<PipeState>,
+    /// Signals bytes available (or close) to blocked readers.
     ready: Condvar,
+    /// Signals freed capacity (or close) to blocked writers.
+    space: Condvar,
+    /// Buffered-byte bound; `usize::MAX` = unbounded (historical
+    /// behavior).  A bounded pipe is what makes backpressure real:
+    /// when a fabric stops reading, the pipe fills, and the writing
+    /// client blocks.
+    cap: usize,
+}
+
+impl Default for Pipe {
+    fn default() -> Self {
+        Pipe::with_cap(usize::MAX)
+    }
 }
 
 impl Pipe {
+    fn with_cap(cap: usize) -> Self {
+        Pipe {
+            state: Mutex::new(PipeState::default()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
+        }
+    }
+
     fn write(&self, bytes: &[u8]) {
+        let mut done = 0;
         let mut s = self.state.lock().expect("pipe poisoned");
-        s.buf.extend(bytes.iter().copied());
+        while done < bytes.len() {
+            if s.closed {
+                return; // writing to a closed pipe discards, like a dead socket
+            }
+            let room = self.cap.saturating_sub(s.buf.len());
+            if room == 0 {
+                s = self.space.wait(s).expect("pipe poisoned");
+                continue;
+            }
+            let n = room.min(bytes.len() - done);
+            s.buf.extend(bytes[done..done + n].iter().copied());
+            done += n;
+            self.ready.notify_all();
+        }
+    }
+
+    fn try_write(&self, bytes: &[u8]) -> WriteStatus {
+        let mut s = self.state.lock().expect("pipe poisoned");
+        if s.closed {
+            return WriteStatus::Closed;
+        }
+        let room = self.cap.saturating_sub(s.buf.len());
+        if room == 0 {
+            return WriteStatus::Full;
+        }
+        let n = room.min(bytes.len());
+        s.buf.extend(bytes[..n].iter().copied());
         self.ready.notify_all();
+        WriteStatus::Wrote(n)
     }
 
     fn read_exact(&self, out: &mut [u8]) -> bool {
@@ -38,13 +90,37 @@ impl Pipe {
         for slot in out.iter_mut() {
             *slot = s.buf.pop_front().expect("length checked");
         }
+        self.space.notify_all();
         true
+    }
+
+    fn read_available(&self, out: &mut MarshalBuf, max: usize) -> ReadStatus {
+        let mut s = self.state.lock().expect("pipe poisoned");
+        if s.buf.is_empty() {
+            return if s.closed {
+                ReadStatus::Closed
+            } else {
+                ReadStatus::Empty
+            };
+        }
+        let n = s.buf.len().min(max);
+        let (a, b) = s.buf.as_slices();
+        if n <= a.len() {
+            out.put_bytes(&a[..n]);
+        } else {
+            out.put_bytes(a);
+            out.put_bytes(&b[..n - a.len()]);
+        }
+        s.buf.drain(..n);
+        self.space.notify_all();
+        ReadStatus::Read(n)
     }
 
     fn close(&self) {
         let mut s = self.state.lock().expect("pipe poisoned");
         s.closed = true;
         self.ready.notify_all();
+        self.space.notify_all();
     }
 }
 
@@ -79,6 +155,26 @@ impl StreamEnd {
         }
     }
 
+    /// Non-blocking write: accepts as much of `bytes` as the pipe's
+    /// capacity allows right now (possibly nothing).
+    pub fn try_write(&self, bytes: &[u8]) -> WriteStatus {
+        let st = self.tx.try_write(bytes);
+        if let WriteStatus::Wrote(n) = st {
+            crate::metrics::sent(crate::metrics::Kind::Stream, n as u64);
+        }
+        st
+    }
+
+    /// Non-blocking read: appends up to `max` available bytes to
+    /// `out`.
+    pub fn read_available(&self, out: &mut MarshalBuf, max: usize) -> ReadStatus {
+        let st = self.rx.read_available(out, max);
+        if let ReadStatus::Read(n) = st {
+            crate::metrics::received(crate::metrics::Kind::Stream, n as u64, 0);
+        }
+        st
+    }
+
     /// Closes this end; the peer's blocked reads return `None`.
     pub fn close(&self) {
         self.tx.close();
@@ -86,11 +182,50 @@ impl StreamEnd {
     }
 }
 
-/// Creates a connected pair of stream endpoints.
+/// Dropping an end closes it, like dropping a socket: the peer drains
+/// any buffered bytes and then observes `Closed` — without this a
+/// fabric would pump abandoned connections forever.
+impl Drop for StreamEnd {
+    fn drop(&mut self) {
+        StreamEnd::close(self);
+    }
+}
+
+/// A [`StreamEnd`] is a fabric connection as-is: the non-blocking
+/// read/write pair maps straight onto the pipe primitives.
+impl Conn for StreamEnd {
+    fn read_into(&mut self, buf: &mut MarshalBuf, max: usize) -> ReadStatus {
+        StreamEnd::read_available(self, buf, max)
+    }
+
+    fn write_some(&mut self, bytes: &[u8]) -> WriteStatus {
+        StreamEnd::try_write(self, bytes)
+    }
+
+    fn close(&mut self) {
+        StreamEnd::close(self);
+    }
+}
+
+/// Creates a connected pair of stream endpoints with unbounded
+/// buffering.
 #[must_use]
 pub fn stream_pair() -> (StreamEnd, StreamEnd) {
-    let a = Arc::new(Pipe::default());
-    let b = Arc::new(Pipe::default());
+    stream_pair_with(usize::MAX)
+}
+
+/// Creates a connected pair of stream endpoints whose pipes buffer at
+/// most `cap` bytes in each direction.  Blocking writes wait for
+/// space, so a peer that stops reading stalls its writer — the
+/// transport-level half of the fabric's backpressure contract.
+#[must_use]
+pub fn stream_pair_bounded(cap: usize) -> (StreamEnd, StreamEnd) {
+    stream_pair_with(cap)
+}
+
+fn stream_pair_with(cap: usize) -> (StreamEnd, StreamEnd) {
+    let a = Arc::new(Pipe::with_cap(cap));
+    let b = Arc::new(Pipe::with_cap(cap));
     (
         StreamEnd {
             tx: a.clone(),
@@ -150,9 +285,16 @@ pub fn write_giop(s: &StreamEnd, message: &[u8]) {
 /// framing violation.
 #[must_use]
 pub fn read_giop(s: &StreamEnd) -> Option<Vec<u8>> {
+    read_giop_limited(s, flick_runtime::giop::MAX_MESSAGE_BYTES)
+}
+
+/// [`read_giop`] with a caller-chosen cap on the announced body size
+/// (a [`flick_runtime::Limits::max_message_bytes`]).
+#[must_use]
+pub fn read_giop_limited(s: &StreamEnd, max_bytes: usize) -> Option<Vec<u8>> {
     let mut msg = s.read_exact(flick_runtime::giop::HEADER_BYTES)?;
     let mut r = flick_runtime::MsgReader::new(&msg);
-    let h = flick_runtime::giop::read_header(&mut r).ok()?;
+    let h = flick_runtime::giop::read_header_limited(&mut r, max_bytes).ok()?;
     let body = s.read_exact(h.size as usize)?;
     msg.extend_from_slice(&body);
     Some(msg)
@@ -230,6 +372,41 @@ mod tests {
         let (a, b) = stream_pair();
         write_record(&a, &[7u8; 64]);
         assert_eq!(read_record_limited(&b, 64).unwrap().len(), 64);
+    }
+
+    #[test]
+    fn bounded_pair_blocks_writer_until_reader_drains() {
+        let (a, b) = stream_pair_bounded(8);
+        // Non-blocking: fills the 8-byte pipe, then reports Full.
+        assert_eq!(a.try_write(&[1; 6]), WriteStatus::Wrote(6));
+        assert_eq!(a.try_write(&[2; 6]), WriteStatus::Wrote(2));
+        assert_eq!(a.try_write(&[3; 1]), WriteStatus::Full);
+
+        // Blocking write waits for the reader to make room.
+        let t = thread::spawn(move || {
+            a.write(&[4; 8]);
+            a.close();
+        });
+        let mut got = Vec::new();
+        while got.len() < 16 {
+            got.extend(b.read_exact(1).unwrap());
+        }
+        t.join().unwrap();
+        assert_eq!(&got[8..], &[4; 8]);
+    }
+
+    #[test]
+    fn read_available_is_nonblocking() {
+        use flick_runtime::MarshalBuf;
+        let (a, b) = stream_pair();
+        let mut buf = MarshalBuf::new();
+        assert_eq!(b.read_available(&mut buf, 16), ReadStatus::Empty);
+        a.write(b"abcdef");
+        assert_eq!(b.read_available(&mut buf, 4), ReadStatus::Read(4));
+        assert_eq!(b.read_available(&mut buf, 16), ReadStatus::Read(2));
+        assert_eq!(buf.as_slice(), b"abcdef");
+        a.close();
+        assert_eq!(b.read_available(&mut buf, 16), ReadStatus::Closed);
     }
 
     #[test]

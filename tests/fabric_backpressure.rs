@@ -1,0 +1,155 @@
+//! Memory bounds under hostile load, proven with the peak-tracking
+//! allocator from `flick_bench::allocwatch`:
+//!
+//! * a slow reader cannot make a fabric connection buffer unbounded
+//!   reply bytes — the backpressure contract
+//!   ([`flick_runtime::Limits::per_conn_buffer_bound`]) holds for the
+//!   whole process, not just per-field accounting;
+//! * one pathological large message cannot pin the thread-local buffer
+//!   pool's memory — the high-water trimmer decays after the burst.
+//!
+//! Both tests read the global allocator, so they serialize on a lock.
+
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use flick_bench::allocwatch::{self, PeakAlloc};
+use flick_runtime::fabric::{service_handler, Fabric, FrameHandler, Framing};
+use flick_runtime::{pool, Limits, MarshalBuf};
+use flick_transport::listener::{listen, FabricAcceptor};
+use flick_transport::stream::{read_record, write_record};
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// A handler echoing each inbound record verbatim — replies are as
+/// large as requests, so an unread reply stream would grow as fast as
+/// the client writes.
+fn echo_handler() -> Box<dyn FrameHandler> {
+    Box::new(service_handler(|rec: &[u8], reply: &mut MarshalBuf| {
+        reply.put_bytes(rec);
+        true
+    }))
+}
+
+/// A client floods 2 MiB of echo requests while reading nothing.  If
+/// the fabric buffered replies without bound, process memory would
+/// grow by megabytes; backpressure (stop reading → bounded pipes →
+/// blocked writer) keeps the growth under the per-connection bound
+/// plus the two link pipes.  Afterwards the reader drains and every
+/// reply arrives — backpressure stalls, it never drops.
+#[test]
+fn slow_reader_memory_stays_bounded() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let limits = Limits {
+        max_record_bytes: 16 * 1024,
+        max_message_bytes: 16 * 1024,
+        max_pipeline: 4,
+        reply_buf_bytes: 8 * 1024,
+        read_chunk_bytes: 4 * 1024,
+    };
+    let link_cap = 8 * 1024;
+    let (listener, connector) = listen(link_cap);
+    let fabric = Fabric::new(limits).workers(1);
+    let server = thread::spawn(move || {
+        fabric.serve(FabricAcceptor::new(
+            listener,
+            Framing::OncRecord,
+            echo_handler,
+        ))
+    });
+
+    let conn = connector.connect();
+    let payload = vec![0xEDu8; 512];
+    let calls = 4096usize; // 4096 * 516 B ≈ 2 MiB of replies if unbounded
+
+    // Warm one round trip so pools, thread-locals, and pipe buffers
+    // exist before the measurement starts.
+    write_record(&conn, &payload);
+    assert_eq!(read_record(&conn).expect("echo").len(), payload.len());
+
+    let live = allocwatch::live();
+    allocwatch::reset_peak();
+
+    thread::scope(|scope| {
+        let conn = &conn;
+        let payload = &payload;
+        scope.spawn(move || {
+            // Blocking writes: once the fabric stops reading, the
+            // bounded pipe fills and this thread stalls — that IS the
+            // backpressure reaching the client.
+            for _ in 0..calls {
+                write_record(conn, payload);
+            }
+        });
+
+        // Let the flood jam against the unread reply queue, then check
+        // the high-water mark before draining anything.
+        thread::sleep(Duration::from_millis(100));
+        let bound = limits.per_conn_buffer_bound() + 2 * link_cap + 64 * 1024;
+        let peak = allocwatch::peak_delta(live);
+        assert!(
+            peak < bound,
+            "slow reader grew process memory by {peak} bytes (bound {bound}); \
+             backpressure is not holding"
+        );
+
+        // Drain: every flooded call still completes.
+        for i in 0..calls {
+            let echoed = read_record(conn).unwrap_or_else(|| panic!("reply {i} lost"));
+            assert_eq!(echoed.len(), payload.len());
+        }
+    });
+
+    drop(conn);
+    drop(connector);
+    let stats = server.join().expect("fabric exits");
+    assert_eq!(stats.evicted(), 0, "backpressure must not evict");
+}
+
+/// One pathological 4 MiB message through the pooled-buffer path must
+/// not pin megabytes in the pool: after two epochs of small traffic
+/// the high-water trimmer shrinks the lingering capacity back down.
+#[test]
+fn pathological_message_does_not_pin_pool_memory() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    pool::drain();
+    // Small-message steady state.
+    for _ in 0..8 {
+        let mut b = pool::checkout();
+        b.put_bytes(&[7u8; 256]);
+    }
+    let live_small = allocwatch::live();
+
+    // The pathological message: 4 MiB marshaled through a pooled
+    // buffer, recycled like any other call.
+    {
+        let big = vec![9u8; 4 << 20];
+        let mut b = pool::checkout();
+        b.put_bytes(&big);
+    }
+    assert!(
+        allocwatch::live() > live_small + (4 << 20) - 4096,
+        "the burst capacity is momentarily retained (trim target is hot)"
+    );
+
+    // Two epochs of ordinary traffic decay the high-water mark; the
+    // lingering giant buffer is trimmed on recycle.
+    for _ in 0..2 * 64 + 8 {
+        let mut b = pool::checkout();
+        b.put_bytes(&[7u8; 256]);
+    }
+
+    let live_after = allocwatch::live();
+    assert!(
+        live_after < live_small + 64 * 1024,
+        "pool still pins {} bytes after the burst decayed (baseline {})",
+        live_after - live_small,
+        live_small
+    );
+}
