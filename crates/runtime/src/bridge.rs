@@ -76,6 +76,9 @@ pub struct BridgeCounters {
 /// out.
 pub struct Bridge {
     ops: &'static [BridgeOp],
+    /// Pre-registered `bridge.<op>.*` counter handles, parallel to
+    /// `ops`, so the per-record path does no metric-name formatting.
+    op_stats: Vec<crate::metrics::BridgeOpCounters>,
     prog: u32,
     vers: u32,
     object_key: Vec<u8>,
@@ -101,6 +104,10 @@ impl Bridge {
     ) -> Self {
         Bridge {
             ops,
+            op_stats: ops
+                .iter()
+                .map(|o| crate::metrics::BridgeOpCounters::register(o.name))
+                .collect(),
             prog,
             vers,
             object_key: object_key.to_vec(),
@@ -116,11 +123,11 @@ impl Bridge {
         self.counters
     }
 
-    fn reject(&mut self, op: Option<&str>) {
+    fn reject(&mut self, op: Option<usize>) {
         self.counters.rejected += 1;
         crate::metrics::bridge_rejected();
-        if let Some(op) = op {
-            crate::metrics::bridge_op_rejected(op);
+        if let Some(i) = op {
+            self.op_stats[i].rejected();
         }
     }
 
@@ -148,11 +155,12 @@ impl Bridge {
                 };
             }
         };
-        let Some(op) = self.ops.iter().find(|o| o.proc_num == header.proc) else {
+        let Some(op_idx) = self.ops.iter().position(|o| o.proc_num == header.proc) else {
             self.reject(None);
             oncrpc::write_reply(reply, header.xid, ReplyOutcome::ProcUnavail);
             return BridgeOutcome::Replied;
         };
+        let op = self.ops[op_idx];
 
         // Rewrite the request leg into a pooled GIOP message.
         let mut out = crate::pool::checkout();
@@ -172,7 +180,7 @@ impl Bridge {
             op.request
         };
         if rewrite(args, &mut out).is_err() {
-            self.reject(Some(op.name));
+            self.reject(Some(op_idx));
             crate::metrics::reject(crate::metrics::Codec::Xdr);
             oncrpc::write_reply(reply, header.xid, ReplyOutcome::GarbageArgs);
             return BridgeOutcome::Replied;
@@ -182,14 +190,14 @@ impl Bridge {
         let response = forward(out.as_slice());
         if op.oneway {
             if response.is_some() {
-                self.forwarded(op.name);
+                self.forwarded(op_idx);
             } else {
-                self.reject(Some(op.name));
+                self.reject(Some(op_idx));
             }
             return BridgeOutcome::Silent;
         }
         let Some(response) = response else {
-            self.reject(Some(op.name));
+            self.reject(Some(op_idx));
             oncrpc::write_reply(reply, header.xid, ReplyOutcome::SystemErr);
             return BridgeOutcome::Replied;
         };
@@ -197,12 +205,12 @@ impl Bridge {
         // Rewrite the reply leg back.  Anything unexpected — parse
         // failure, a byte order this pair was not compiled for, an
         // exception — is a SYSTEM_ERR toward the ONC client.
-        match self.transcode_reply(op, &response, header.xid, reply) {
+        match self.transcode_reply(&op, &response, header.xid, reply) {
             Ok(()) => {
-                self.forwarded(op.name);
+                self.forwarded(op_idx);
             }
             Err(()) => {
-                self.reject(Some(op.name));
+                self.reject(Some(op_idx));
                 reply.clear();
                 oncrpc::write_reply(reply, header.xid, ReplyOutcome::SystemErr);
             }
@@ -210,14 +218,14 @@ impl Bridge {
         BridgeOutcome::Replied
     }
 
-    fn forwarded(&mut self, op: &str) {
+    fn forwarded(&mut self, op: usize) {
         self.counters.forwarded += 1;
         crate::metrics::bridge_forwarded();
-        crate::metrics::bridge_op_forwarded(op);
+        self.op_stats[op].forwarded();
         if self.naive {
             self.counters.fallback += 1;
             crate::metrics::bridge_fallback();
-            crate::metrics::bridge_op_fallback(op);
+            self.op_stats[op].fallback();
         }
     }
 

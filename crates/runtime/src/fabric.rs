@@ -23,8 +23,11 @@
 //!   (`fabric.batch.{flush,records}`).
 //! * **Backpressure** — a connection whose queued replies exceed
 //!   [`Limits::reply_buf_bytes`] is not *read* until the queue drains
-//!   (`fabric.backpressure`).  Combined with the framing caps, per-
-//!   connection memory is bounded by
+//!   (`fabric.backpressure`), and a connection is never read while its
+//!   input buffer still holds a complete undispatched frame — so a
+//!   flood of tiny frames cannot outrun dispatch and grow the input
+//!   buffer.  Combined with the framing caps (enforced on replies as
+//!   well as requests), per-connection memory is bounded by
 //!   [`Limits::per_conn_buffer_bound`]; a slow reader stalls itself,
 //!   never the process.
 //! * **Eviction** — a framing violation (oversized frame, bad magic)
@@ -259,6 +262,17 @@ enum Ending {
     Evicted,
 }
 
+/// Outcome of one [`ConnDriver::dispatch_frames`] pass.
+#[derive(Clone, Copy, Debug)]
+struct Dispatched {
+    /// Frames parsed and handed to the handler.
+    frames: usize,
+    /// The pass stopped because `inbuf` holds no complete frame — as
+    /// opposed to stopping at the pipelining-window or reply-queue
+    /// gate — so reading more bytes is the only way to make progress.
+    starved: bool,
+}
+
 /// The per-connection state machine: owns the connection, its framing,
 /// its handler, and two pooled buffers (inbound bytes, outbound
 /// framed replies).
@@ -309,6 +323,14 @@ impl ConnDriver {
         self.outbuf.len()
     }
 
+    /// Inbound bytes buffered but not yet dispatched.  Bounded by one
+    /// partial frame plus one read chunk: the driver only reads when
+    /// the parser has no complete frame left to dispatch.
+    #[must_use]
+    pub fn buffered_input_bytes(&self) -> usize {
+        self.inbuf.len()
+    }
+
     /// Frames dispatched whose replies are still pending.
     #[must_use]
     pub fn outstanding(&self) -> usize {
@@ -340,18 +362,37 @@ impl ConnDriver {
         }
     }
 
+    /// The largest reply the connection's framing can carry: the same
+    /// cap enforced on inbound frames, so `per_conn_buffer_bound`'s
+    /// "+ one maximal reply" term holds on the outbound side too
+    /// (and, for ONC, the record mark's 31-bit length stays valid).
+    fn reply_cap(&self) -> usize {
+        let cap = match self.framing {
+            Framing::OncRecord => self.limits.max_record_bytes,
+            Framing::Giop => giop::HEADER_BYTES + self.limits.max_message_bytes,
+        };
+        cap.min(0x7fff_ffff)
+    }
+
     /// Drains the sink: frames every completed reply into `outbuf` as
-    /// one batch and settles the outstanding accounting.
-    fn drain_sink(&mut self) -> usize {
+    /// one batch and settles the outstanding accounting.  `Err` means
+    /// a handler produced a reply the framing cannot carry; the
+    /// connection must be evicted rather than put corrupt or
+    /// unbounded bytes on the wire.
+    fn drain_sink(&mut self) -> Result<usize, ()> {
         let completed = self.sink.completed();
         if completed == 0 {
-            return 0;
+            return Ok(0);
         }
         debug_assert!(
             completed <= self.outstanding,
             "handler completed frames it was never given"
         );
         self.outstanding = self.outstanding.saturating_sub(completed);
+        let cap = self.reply_cap();
+        if self.sink.entries.iter().any(|&(_, s, e)| e - s > cap) {
+            return Err(());
+        }
         let records = self.sink.entries.len();
         for i in 0..records {
             let (_, start, end) = self.sink.entries[i];
@@ -361,7 +402,7 @@ impl ConnDriver {
             metrics::fabric_batch_flush(records as u64);
         }
         self.sink.clear();
-        completed
+        Ok(completed)
     }
 
     /// Reply bytes committed but not yet on the wire: queued framed
@@ -389,12 +430,12 @@ impl ConnDriver {
     }
 
     /// Parses frames off the front of `inbuf` and dispatches them,
-    /// respecting the pipelining window.  Returns frames dispatched,
-    /// or `Err` on a framing violation (the connection must be
-    /// evicted).
-    fn dispatch_frames(&mut self) -> Result<usize, DecodeError> {
+    /// respecting the pipelining window.  Returns what happened, or
+    /// `Err` on a framing violation (the connection must be evicted).
+    fn dispatch_frames(&mut self) -> Result<Dispatched, DecodeError> {
         let mut consumed = 0;
-        let mut dispatched = 0;
+        let mut frames = 0;
+        let mut starved = false;
         loop {
             // Both the pipelining window and the reply queue gate
             // dispatch: consuming a frame commits us to buffering its
@@ -406,6 +447,7 @@ impl ConnDriver {
             }
             let stream = &self.inbuf.as_slice()[consumed..];
             if stream.is_empty() {
+                starved = true;
                 break;
             }
             let frame_len = match self.framing {
@@ -416,10 +458,13 @@ impl ConnDriver {
                             self.next_id += 1;
                             self.outstanding += 1;
                             self.handler.on_frame(id, payload, &mut self.sink);
-                            dispatched += 1;
+                            frames += 1;
                             used
                         }
-                        RecordScan::Partial => break,
+                        RecordScan::Partial => {
+                            starved = true;
+                            break;
+                        }
                         RecordScan::Fragmented => {
                             // Multi-fragment record: assemble (bounded).
                             match oncrpc::deframe_record_limited(
@@ -431,11 +476,12 @@ impl ConnDriver {
                                     self.next_id += 1;
                                     self.outstanding += 1;
                                     self.handler.on_frame(id, &record, &mut self.sink);
-                                    dispatched += 1;
+                                    frames += 1;
                                     used
                                 }
                                 Err(e) if matches!(e.root(), DecodeError::Truncated { .. }) => {
-                                    break
+                                    starved = true;
+                                    break;
                                 }
                                 Err(e) => return Err(e),
                             }
@@ -448,10 +494,13 @@ impl ConnDriver {
                         self.next_id += 1;
                         self.outstanding += 1;
                         self.handler.on_frame(id, &stream[..total], &mut self.sink);
-                        dispatched += 1;
+                        frames += 1;
                         total
                     }
-                    Ok(None) => break,
+                    Ok(None) => {
+                        starved = true;
+                        break;
+                    }
                     Err(e) => return Err(e),
                 },
             };
@@ -460,12 +509,31 @@ impl ConnDriver {
         if consumed > 0 {
             self.inbuf.drain_front(consumed);
         }
-        Ok(dispatched)
+        Ok(Dispatched { frames, starved })
+    }
+
+    /// Parses and dispatches the whole buffered backlog: alternates
+    /// dispatch passes with sink drains, so completions from a
+    /// synchronous handler reopen the pipelining window within the
+    /// round and buffered frames never pile up behind a stale gate.
+    /// Returns `(progress, starved)` — `starved` meaning `inbuf` holds
+    /// no complete frame and only reading can make further progress —
+    /// or `Err` when the connection must be evicted.
+    fn dispatch_backlog(&mut self) -> Result<(usize, bool), ()> {
+        let mut progress = 0;
+        loop {
+            let d = self.dispatch_frames().map_err(|_| ())?;
+            progress += d.frames + self.drain_sink()?;
+            if d.frames == 0 || d.starved {
+                return Ok((progress, d.starved));
+            }
+        }
     }
 
     /// One pump round: flush queued replies, poll the handler for
-    /// deferred completions, read (unless backpressured), parse and
-    /// dispatch new frames, then flush the round's batch.
+    /// deferred completions, dispatch the buffered backlog, read only
+    /// if the parser is starved for bytes (and not backpressured),
+    /// then flush the round's batch.
     pub fn pump(&mut self) -> Pump {
         if self.ending.is_some() {
             return Pump::Done;
@@ -481,33 +549,47 @@ impl ConnDriver {
 
         // 2. Deferred completions from a pipelining handler.
         self.handler.poll(&mut self.sink);
-        progress += self.drain_sink();
+        match self.drain_sink() {
+            Ok(n) => progress += n,
+            Err(()) => return self.finish(Ending::Evicted),
+        }
 
-        // 3. Read, unless the reply queue says stop.  The window
-        //    check also pauses reading once the pipeline is full —
-        //    bytes already buffered keep their place in `inbuf`.
+        // 3. Dispatch whatever is already buffered; a framing
+        //    violation (or an uncarriable reply) evicts.
+        let starved = match self.dispatch_backlog() {
+            Ok((n, starved)) => {
+                progress += n;
+                starved
+            }
+            Err(()) => return self.finish(Ending::Evicted),
+        };
+
+        // 4. Read only when dispatch is starved for bytes.  Skipping
+        //    the read while `inbuf` still holds a complete frame (the
+        //    window or the reply queue gated dispatch) is what bounds
+        //    `inbuf` to one partial frame plus one read chunk — a
+        //    flood of tiny frames cannot outrun dispatch.
         let backpressured = self.pending_reply_bytes() >= self.limits.reply_buf_bytes;
         if backpressured {
             metrics::fabric_backpressure();
-        } else if !self.read_closed && self.outstanding < self.limits.max_pipeline {
+        } else if starved && !self.read_closed {
             match self
                 .conn
                 .read_into(&mut self.inbuf, self.limits.read_chunk_bytes)
             {
-                ReadStatus::Read(n) => progress += n,
+                ReadStatus::Read(n) => {
+                    progress += n;
+                    match self.dispatch_backlog() {
+                        Ok((m, _)) => progress += m,
+                        Err(()) => return self.finish(Ending::Evicted),
+                    }
+                }
                 ReadStatus::Empty => {}
                 ReadStatus::Closed => self.read_closed = true,
             }
         }
 
-        // 4. Parse + dispatch; a framing violation evicts.
-        match self.dispatch_frames() {
-            Ok(n) => progress += n,
-            Err(_) => return self.finish(Ending::Evicted),
-        }
-
         // 5. Batch-flush everything completed this round.
-        progress += self.drain_sink();
         match self.flush() {
             Some(n) => progress += n,
             None => return self.finish(Ending::Closed),
@@ -651,6 +733,7 @@ impl Fabric {
 fn worker_loop(rx: &mpsc::Receiver<Accepted>, limits: Limits, stats: &FabricStats) {
     let mut drivers: Vec<ConnDriver> = Vec::new();
     let mut accepting = true;
+    let mut idle_rounds: u32 = 0;
     loop {
         // Take on every connection queued for this worker.
         while accepting {
@@ -689,10 +772,24 @@ fn worker_loop(rx: &mpsc::Receiver<Accepted>, limits: Limits, stats: &FabricStat
                 false
             }
         });
-        if !any_progress {
-            // Every connection is waiting on its peer; yield rather
-            // than burn the core.
-            std::thread::yield_now();
+        if any_progress {
+            idle_rounds = 0;
+        } else {
+            // Every connection is waiting on its peer.  Yield while
+            // the lull is short — under load, peers refill within a
+            // few scheduler passes, and a sleep here costs real
+            // throughput — then back off exponentially to ~1 ms
+            // sleeps so an open-but-quiet connection does not peg a
+            // core.  A genuinely idle worker burns through the yield
+            // budget in well under a millisecond (nothing else is
+            // runnable, so each round is microseconds) and parks.
+            idle_rounds += 1;
+            if idle_rounds <= 256 {
+                std::thread::yield_now();
+            } else {
+                let exp = (idle_rounds - 256).min(10);
+                std::thread::sleep(std::time::Duration::from_micros(1 << exp));
+            }
         }
     }
 }
@@ -949,6 +1046,94 @@ mod tests {
             "backpressure never engaged: {}",
             d.queued_reply_bytes()
         );
+    }
+
+    #[test]
+    fn tiny_frame_flood_cannot_outrun_a_stalled_pipeline() {
+        // Thousands of tiny frames arrive for a handler that never
+        // completes any of them: the pipeline window fills and stays
+        // full.  The driver must stop *reading* — not just stop
+        // dispatching — or `inbuf` grows by a chunk per round.
+        let limits = Limits {
+            max_pipeline: 4,
+            read_chunk_bytes: 256,
+            ..Limits::default()
+        };
+        let flood: Vec<u8> = (0..4096u32).flat_map(|_| onc_record(&[7u8; 4])).collect();
+        let (mut conn, _written) = ScriptConn::new(vec![flood]);
+        conn.closed_after_input = false;
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(DeferredReverse {
+                pending: Vec::new(),
+                expect: usize::MAX,
+            }),
+            limits,
+        );
+        for _ in 0..5_000 {
+            d.pump();
+            assert!(
+                d.buffered_input_bytes() <= 2 * limits.read_chunk_bytes,
+                "inbuf grew to {} with the pipeline stalled",
+                d.buffered_input_bytes()
+            );
+        }
+        assert_eq!(d.outstanding(), 4);
+    }
+
+    #[test]
+    fn silent_oneway_flood_keeps_inbuf_bounded() {
+        // Oneway frames never trip the reply-queue gate; each round
+        // must still consume the whole backlog before reading more.
+        let limits = Limits {
+            max_pipeline: 4,
+            read_chunk_bytes: 256,
+            ..Limits::default()
+        };
+        let flood: Vec<u8> = (0..4096u32).flat_map(|_| onc_record(&[9u8; 4])).collect();
+        let (conn, written) = ScriptConn::new(vec![flood]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(service_handler(|_: &[u8], _: &mut MarshalBuf| false)),
+            limits,
+        );
+        for _ in 0..100_000 {
+            if d.pump() == Pump::Done {
+                break;
+            }
+            assert!(
+                d.buffered_input_bytes() <= 2 * limits.read_chunk_bytes,
+                "inbuf grew to {} under a oneway flood",
+                d.buffered_input_bytes()
+            );
+        }
+        assert_eq!(d.ending, Some(Ending::Closed));
+        assert!(written.lock().unwrap().is_empty(), "oneways reply nothing");
+    }
+
+    #[test]
+    fn oversized_reply_evicts_the_connection() {
+        // The backpressure bound's "+ one maximal reply" term only
+        // holds if replies respect the framing cap; a handler that
+        // violates it loses the connection rather than the bound.
+        let limits = Limits {
+            max_record_bytes: 1024,
+            ..Limits::default()
+        };
+        let (conn, _written) = ScriptConn::new(vec![onc_record(b"hi")]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(service_handler(|_: &[u8], reply: &mut MarshalBuf| {
+                reply.put_bytes(&[0u8; 4096]);
+                true
+            })),
+            limits,
+        );
+        run_to_done(&mut d);
+        assert_eq!(d.ending, Some(Ending::Evicted));
     }
 
     #[test]

@@ -135,12 +135,9 @@ mod imp {
 
     pub const BRIDGE_OUTCOMES: [&str; 3] = ["forwarded", "rejected", "fallback"];
 
-    pub fn bridge_op(op: &str, outcome: usize) {
-        if flick_telemetry::enabled() {
-            global()
-                .counter(&format!("bridge.{op}.{}", BRIDGE_OUTCOMES[outcome]))
-                .inc();
-        }
+    pub fn bridge_op_handles(op: &str) -> [&'static Counter; 3] {
+        let r = global();
+        BRIDGE_OUTCOMES.map(|outcome| r.counter(&format!("bridge.{op}.{outcome}")))
     }
 
     fn fabric_handles() -> &'static [&'static Counter; 6] {
@@ -292,35 +289,65 @@ pub fn bridge_fallback() {
     imp::bridge(2);
 }
 
-/// Per-operation twin of [`bridge_forwarded`]: also increments
-/// `bridge.<op>.forwarded`, so gateway stats line up with the
-/// `rpc.<op>.*` per-op table.
-#[inline]
-pub fn bridge_op_forwarded(op: &str) {
+/// Pre-registered handles for one operation's
+/// `bridge.<op>.{forwarded,rejected,fallback}` counters — the
+/// per-operation twins of the global `bridge.*` counters, so gateway
+/// stats line up with the `rpc.<op>.*` per-op table.
+///
+/// Register once (at [`crate::bridge::Bridge`] construction) and
+/// increment the cached handles per record: the hot path does no name
+/// formatting or registry lookups.  Rejections before the operation is
+/// identified (bad header, unknown procedure) only hit the global
+/// counter.
+pub struct BridgeOpCounters {
     #[cfg(feature = "telemetry")]
-    imp::bridge_op(op, 0);
-    #[cfg(not(feature = "telemetry"))]
-    let _ = op;
+    handles: [&'static flick_telemetry::Counter; 3],
 }
 
-/// Per-operation twin of [`bridge_rejected`] (`bridge.<op>.rejected`).
-/// Rejections before the operation is identified (bad header, unknown
-/// procedure) only hit the global counter.
-#[inline]
-pub fn bridge_op_rejected(op: &str) {
-    #[cfg(feature = "telemetry")]
-    imp::bridge_op(op, 1);
-    #[cfg(not(feature = "telemetry"))]
-    let _ = op;
-}
+impl BridgeOpCounters {
+    /// Registers the three counters for `op`.
+    #[must_use]
+    pub fn register(op: &str) -> Self {
+        #[cfg(feature = "telemetry")]
+        {
+            BridgeOpCounters {
+                handles: imp::bridge_op_handles(op),
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = op;
+            BridgeOpCounters {}
+        }
+    }
 
-/// Per-operation twin of [`bridge_fallback`] (`bridge.<op>.fallback`).
-#[inline]
-pub fn bridge_op_fallback(op: &str) {
-    #[cfg(feature = "telemetry")]
-    imp::bridge_op(op, 2);
-    #[cfg(not(feature = "telemetry"))]
-    let _ = op;
+    /// Records one forwarded request (`bridge.<op>.forwarded`).
+    #[inline]
+    pub fn forwarded(&self) {
+        self.inc(0);
+    }
+
+    /// Records one rejected request (`bridge.<op>.rejected`).
+    #[inline]
+    pub fn rejected(&self) {
+        self.inc(1);
+    }
+
+    /// Records one naive-path request (`bridge.<op>.fallback`).
+    #[inline]
+    pub fn fallback(&self) {
+        self.inc(2);
+    }
+
+    #[inline]
+    fn inc(&self, outcome: usize) {
+        #[cfg(feature = "telemetry")]
+        if flick_telemetry::enabled() {
+            self.handles[outcome].inc();
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = outcome;
+    }
 }
 
 /// Records one connection accepted into a fabric (`fabric.conn.open`).
@@ -412,8 +439,9 @@ mod tests {
         bridge_forwarded();
         bridge_rejected();
         bridge_fallback();
-        bridge_op_forwarded("echo_stat");
-        bridge_op_fallback("echo_stat");
+        let per_op = BridgeOpCounters::register("echo_stat");
+        per_op.forwarded();
+        per_op.fallback();
         fabric_conn_open();
         fabric_conn_evicted();
         fabric_backpressure();

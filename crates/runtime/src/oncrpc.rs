@@ -442,6 +442,13 @@ pub fn frame_record(record: &[u8]) -> Vec<u8> {
 /// connection fabric uses it to coalesce several queued replies into
 /// one contiguous flush.
 pub fn frame_record_into(record: &[u8], out: &mut MarshalBuf) {
+    // The record mark carries a 31-bit length; a larger record would
+    // silently corrupt the final-fragment bit.
+    assert!(
+        record.len() < 0x8000_0000,
+        "record of {} bytes exceeds the 31-bit record-mark length",
+        record.len()
+    );
     out.ensure(record.len() + 4);
     out.put_u32_be(0x8000_0000u32 | record.len() as u32);
     out.put_bytes(record);

@@ -151,12 +151,16 @@ impl flick_runtime::fabric::Conn for DatagramConn {
                     }
                     consumed += used;
                 }
-                // Partial/fragmented/oversized tails wait in the
-                // driver's queue; a reply exceeding the datagram limit
-                // can never leave, so treat it as fatal.
+                // A partial or fragmented tail behind a sent record
+                // waits in the driver's queue for the next round.
                 Ok(_) if consumed > 0 => break,
+                // The fabric's output queue only ever holds whole
+                // single-fragment records, so a partial or multi-
+                // fragment record at the *front* can never become a
+                // datagram: fail fast rather than livelock on
+                // `Full` retries of the same unsendable bytes.
                 Ok(RecordScan::Partial | RecordScan::Fragmented) => {
-                    return flick_runtime::fabric::WriteStatus::Full
+                    return flick_runtime::fabric::WriteStatus::Closed
                 }
                 Err(_) => return flick_runtime::fabric::WriteStatus::Closed,
             }
@@ -249,5 +253,22 @@ mod tests {
         assert_eq!(conn.write_some(&two), WriteStatus::Wrote(two.len()));
         assert_eq!(client.recv().unwrap(), b"pong");
         assert_eq!(client.recv().unwrap(), b"!");
+    }
+
+    #[test]
+    fn unsendable_front_record_fails_fast() {
+        use flick_runtime::fabric::{Conn, WriteStatus};
+
+        let (_client, server) = datagram_pair(DEFAULT_MAX_DATAGRAM);
+        let mut conn = DatagramConn::new(server);
+
+        // A truncated record mark can never complete into a datagram:
+        // Closed, not an eternal Full.
+        assert_eq!(conn.write_some(&[0x80, 0, 0]), WriteStatus::Closed);
+
+        // Likewise a non-final (multi-fragment) record at the front.
+        let mut frag = vec![0x00, 0x00, 0x00, 0x02, 1, 2];
+        frag.extend_from_slice(&flick_runtime::oncrpc::frame_record(b"tail"));
+        assert_eq!(conn.write_some(&frag), WriteStatus::Closed);
     }
 }
