@@ -98,7 +98,7 @@ fn gateway_round_trips_the_bench_workload() {
     let mut b = bridge(false);
     let mut reply = MarshalBuf::new();
     for rec in workload_records() {
-        let out = b.handle_record(&rec, &mut reply, upstream);
+        let out = b.handle_record(&rec, &mut reply, &mut upstream);
         assert_eq!(out, BridgeOutcome::Replied);
         let (_, verdict) = verdict_of(reply.as_slice());
         assert_eq!(verdict, ReplyVerdict::Success, "op must forward cleanly");
@@ -112,7 +112,7 @@ fn gateway_round_trips_the_bench_workload() {
     let rec = record(4, |buf| {
         onc_bench::encode_echo_stat_request(buf, &data::onc::stat());
     });
-    b.handle_record(&rec, &mut reply, upstream);
+    b.handle_record(&rec, &mut reply, &mut upstream);
     let mut r = MsgReader::new(reply.as_slice());
     let (xid, verdict) = oncrpc::read_reply_verdict(&mut r).unwrap();
     assert_eq!((xid, verdict), (0x5eed_0004, ReplyVerdict::Success));
@@ -130,11 +130,11 @@ fn fused_path_is_byte_identical_to_naive_on_both_legs() {
         let mut sent_naive = Vec::new();
         let mut reply_fused = MarshalBuf::new();
         let mut reply_naive = MarshalBuf::new();
-        fused.handle_record(&rec, &mut reply_fused, |msg| {
+        fused.handle_record(&rec, &mut reply_fused, &mut |msg: &[u8]| {
             sent_fused = msg.to_vec();
             upstream(msg)
         });
-        naive.handle_record(&rec, &mut reply_naive, |msg| {
+        naive.handle_record(&rec, &mut reply_naive, &mut |msg: &[u8]| {
             sent_naive = msg.to_vec();
             upstream(msg)
         });
@@ -172,8 +172,8 @@ fn hostile_link_rejects_identically_on_fused_and_naive_paths() {
             delivered += 1;
             let mut reply_fused = MarshalBuf::new();
             let mut reply_naive = MarshalBuf::new();
-            let out_fused = fused.handle_record(&mutated, &mut reply_fused, upstream);
-            let out_naive = naive.handle_record(&mutated, &mut reply_naive, upstream);
+            let out_fused = fused.handle_record(&mutated, &mut reply_fused, &mut upstream);
+            let out_naive = naive.handle_record(&mutated, &mut reply_naive, &mut upstream);
             assert_eq!(out_fused, out_naive, "accept/reject must agree");
             assert_eq!(
                 reply_fused.as_slice(),

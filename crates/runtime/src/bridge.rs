@@ -17,12 +17,24 @@
 //! not transcode answer `GARBAGE_ARGS`; an upstream that fails, replies
 //! in an unexpected byte order, or raises an exception answers
 //! `SYSTEM_ERR`; records too mangled to carry an xid stay silent.
+//!
+//! The upstream leg is abstracted behind [`UpstreamLink`] (any
+//! `FnMut(&[u8]) -> Option<Vec<u8>>` qualifies), and [`Supervisor`]
+//! wraps a link in a circuit breaker: consecutive failures open the
+//! circuit, opens fail fast without touching the upstream, a
+//! jittered-exponential backoff schedules a single half-open probe,
+//! and idempotent operations get a bounded retry budget.  A gateway in
+//! front of a flapping upstream degrades to cheap `SYSTEM_ERR`s and
+//! heals itself when the upstream returns — no restart, no thundering
+//! herd of simultaneous probes.
 
 use crate::buf::{MarshalBuf, MsgReader};
 use crate::cdr::{ByteOrder, CdrIn, CdrOut};
 use crate::error::DecodeError;
 use crate::giop;
 use crate::oncrpc::{self, ReplyOutcome};
+use crate::rng::SplitMix64;
+use std::time::{Duration, Instant};
 
 /// A generated body rewrite: source-encoding bytes in, target-encoding
 /// bytes appended to `dst`.
@@ -38,6 +50,12 @@ pub struct BridgeOp {
     pub name: &'static str,
     /// True when the operation expects no reply.
     pub oneway: bool,
+    /// True when repeating the operation is safe — a retrying link
+    /// (see [`Supervisor`]) may resend it after an upstream failure.
+    /// Generated tables mark oneways idempotent (ONC datagram
+    /// semantics already permit duplicate delivery) and everything
+    /// else not, unless the IDL says otherwise.
+    pub idempotent: bool,
     /// Fused request rewrite (source → target).
     pub request: TranscodeFn,
     /// Fused reply rewrite (target → source).
@@ -46,6 +64,27 @@ pub struct BridgeOp {
     pub request_naive: TranscodeFn,
     /// Slot-wise reply rewrite.
     pub reply_naive: TranscodeFn,
+}
+
+/// The upstream side of a gateway: carries one complete GIOP request
+/// message and returns the complete GIOP reply message, or `None` when
+/// the upstream failed.  `idempotent` tells the link whether resending
+/// the request is safe (it must not retry otherwise).
+///
+/// Any `FnMut(&[u8]) -> Option<Vec<u8>>` is a link (ignoring the
+/// idempotence hint); [`Supervisor`] wraps one with failure handling.
+pub trait UpstreamLink {
+    /// Forwards `request` upstream, returning the reply bytes.
+    fn forward(&mut self, request: &[u8], idempotent: bool) -> Option<Vec<u8>>;
+}
+
+impl<F> UpstreamLink for F
+where
+    F: FnMut(&[u8]) -> Option<Vec<u8>>,
+{
+    fn forward(&mut self, request: &[u8], _idempotent: bool) -> Option<Vec<u8>> {
+        self(request)
+    }
 }
 
 /// What [`Bridge::handle_record`] did with one inbound record.
@@ -135,15 +174,12 @@ impl Bridge {
     /// complete GIOP request message to the upstream and returns its
     /// complete GIOP reply message (`None` on a dead link).  On
     /// [`BridgeOutcome::Replied`], `reply` holds the unframed ONC reply.
-    pub fn handle_record<F>(
+    pub fn handle_record(
         &mut self,
         record: &[u8],
         reply: &mut MarshalBuf,
-        mut forward: F,
-    ) -> BridgeOutcome
-    where
-        F: FnMut(&[u8]) -> Option<Vec<u8>>,
-    {
+        forward: &mut dyn UpstreamLink,
+    ) -> BridgeOutcome {
         let (header, args) = match oncrpc::accept_call(record, self.prog, self.vers, reply) {
             Ok(ok) => ok,
             Err(answered) => {
@@ -187,7 +223,7 @@ impl Bridge {
         }
         giop::finish_message(&mut out, size_at, self.order);
 
-        let response = forward(out.as_slice());
+        let response = forward.forward(out.as_slice(), op.idempotent);
         if op.oneway {
             if response.is_some() {
                 self.forwarded(op_idx);
@@ -255,6 +291,200 @@ impl Bridge {
     }
 }
 
+/// Tuning for a [`Supervisor`]'s circuit breaker.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerPolicy {
+    /// Consecutive upstream failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long the circuit stays open after the first trip; doubles
+    /// on every failed half-open probe.
+    pub backoff: Duration,
+    /// Ceiling on the doubled backoff.
+    pub backoff_cap: Duration,
+    /// Extra send attempts (beyond the first) granted to *idempotent*
+    /// operations while the circuit is closed.
+    pub retry_budget: u32,
+    /// Seed for the jitter stream.  Deterministic on purpose: chaos
+    /// runs replay the same schedule from the same seed.
+    pub seed: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 5,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(10),
+            retry_budget: 1,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Where a [`Supervisor`]'s circuit currently stands.
+#[derive(Clone, Copy, Debug)]
+enum BreakerState {
+    /// Healthy; counting consecutive failures toward the threshold.
+    Closed { consecutive_failures: u32 },
+    /// Tripped: fail fast until `until`, then probe.  `wait` is the
+    /// unjittered base delay the next reopen doubles from.
+    Open { until: Instant, wait: Duration },
+    /// One probe in flight decides: success closes, failure reopens
+    /// with a doubled wait.
+    HalfOpen { wait: Duration },
+}
+
+/// Local event counts for one [`Supervisor`] (the same events feed the
+/// process-wide `bridge.breaker.*` telemetry counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Times the circuit tripped open (including reopens).
+    pub opened: u64,
+    /// Times a half-open probe succeeded and closed the circuit.
+    pub closed: u64,
+    /// Requests answered failed without touching the upstream because
+    /// the circuit was open.
+    pub fast_failed: u64,
+    /// Idempotent resends after an upstream failure.
+    pub retried: u64,
+}
+
+/// A self-healing wrapper around an [`UpstreamLink`]: circuit breaker
+/// with jittered exponential backoff, plus a bounded retry budget for
+/// idempotent operations.
+///
+/// While open, every forward fails immediately (`None` — the bridge
+/// turns that into `SYSTEM_ERR` toward the caller) so a dead upstream
+/// costs callers a cheap error instead of a timeout each.  After the
+/// backoff elapses exactly one request probes the upstream; success
+/// closes the circuit, failure reopens it with the wait doubled (capped
+/// and jittered, so a fleet of gateways does not re-probe in lockstep).
+pub struct Supervisor<L> {
+    inner: L,
+    policy: BreakerPolicy,
+    state: BreakerState,
+    rng: SplitMix64,
+    stats: SupervisorStats,
+}
+
+impl<L: UpstreamLink> Supervisor<L> {
+    /// Wraps `inner` under `policy`.
+    #[must_use]
+    pub fn new(inner: L, policy: BreakerPolicy) -> Self {
+        Supervisor {
+            inner,
+            policy,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+            rng: SplitMix64::new(policy.seed),
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// This supervisor's event counts so far.
+    #[must_use]
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// True while the circuit is open (fast-failing).
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Equal-jitter delay: half the base wait guaranteed, the other
+    /// half uniformly random, so simultaneous trips spread their
+    /// probes instead of re-converging on the upstream together.
+    fn jittered(&mut self, wait: Duration) -> Duration {
+        let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+        let half = ns / 2;
+        Duration::from_nanos(half + self.rng.below(half + 1))
+    }
+
+    fn trip(&mut self, wait: Duration) {
+        let delay = self.jittered(wait);
+        self.state = BreakerState::Open {
+            until: Instant::now() + delay,
+            wait,
+        };
+        self.stats.opened += 1;
+        crate::metrics::breaker_open();
+    }
+
+    fn on_success(&mut self) {
+        if matches!(self.state, BreakerState::HalfOpen { .. }) {
+            self.stats.closed += 1;
+            crate::metrics::breaker_close();
+        }
+        self.state = BreakerState::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.policy.failure_threshold {
+                    self.trip(self.policy.backoff);
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: n,
+                    };
+                }
+            }
+            BreakerState::HalfOpen { wait } => {
+                // The probe failed: reopen, doubled and capped.
+                let doubled = wait
+                    .checked_mul(2)
+                    .unwrap_or(self.policy.backoff_cap)
+                    .min(self.policy.backoff_cap);
+                self.trip(doubled.max(self.policy.backoff));
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+impl<L: UpstreamLink> UpstreamLink for Supervisor<L> {
+    fn forward(&mut self, request: &[u8], idempotent: bool) -> Option<Vec<u8>> {
+        if let BreakerState::Open { until, wait } = self.state {
+            if Instant::now() < until {
+                self.stats.fast_failed += 1;
+                crate::metrics::breaker_fastfail();
+                return None;
+            }
+            self.state = BreakerState::HalfOpen { wait };
+        }
+        // Half-open grants exactly one probe; retries are for healthy
+        // circuits and idempotent operations only.
+        let attempts = if idempotent && matches!(self.state, BreakerState::Closed { .. }) {
+            1 + self.policy.retry_budget
+        } else {
+            1
+        };
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retried += 1;
+                crate::metrics::breaker_retry();
+            }
+            if let Some(response) = self.inner.forward(request, idempotent) {
+                self.on_success();
+                return Some(response);
+            }
+            self.on_failure();
+            if self.is_open() {
+                break;
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +514,7 @@ mod tests {
         proc_num: 1,
         name: "bump",
         oneway: false,
+        idempotent: false,
         request: req_fused,
         reply: rep_fused,
         request_naive: req_fused,
@@ -331,7 +562,7 @@ mod tests {
     fn forwards_and_rewrites_both_legs() {
         let mut b = bridge(false);
         let mut reply = MarshalBuf::new();
-        let out = b.handle_record(&call_record(1, 41), &mut reply, upstream);
+        let out = b.handle_record(&call_record(1, 41), &mut reply, &mut upstream);
         assert_eq!(out, BridgeOutcome::Replied);
         let data = reply.as_slice();
         let mut r = MsgReader::new(data);
@@ -353,7 +584,7 @@ mod tests {
     fn naive_mode_counts_fallbacks() {
         let mut b = bridge(true);
         let mut reply = MarshalBuf::new();
-        b.handle_record(&call_record(1, 1), &mut reply, upstream);
+        b.handle_record(&call_record(1, 1), &mut reply, &mut upstream);
         assert_eq!(
             b.counters(),
             BridgeCounters {
@@ -370,7 +601,7 @@ mod tests {
         let mut reply = MarshalBuf::new();
         let mut rec = call_record(1, 1);
         rec.truncate(rec.len() - 2); // argument word cut short
-        let out = b.handle_record(&rec, &mut reply, |_| panic!("must not forward"));
+        let out = b.handle_record(&rec, &mut reply, &mut |_: &[u8]| panic!("must not forward"));
         assert_eq!(out, BridgeOutcome::Replied);
         let mut r = MsgReader::new(reply.as_slice());
         let (_, verdict) = oncrpc::read_reply_verdict(&mut r).unwrap();
@@ -382,7 +613,7 @@ mod tests {
     fn dead_or_lying_upstream_answers_system_err() {
         let mut b = bridge(false);
         let mut reply = MarshalBuf::new();
-        b.handle_record(&call_record(1, 1), &mut reply, |_| None);
+        b.handle_record(&call_record(1, 1), &mut reply, &mut |_: &[u8]| None);
         let mut r = MsgReader::new(reply.as_slice());
         assert_eq!(
             oncrpc::read_reply_verdict(&mut r).unwrap().1,
@@ -391,7 +622,9 @@ mod tests {
 
         // Garbage reply bytes: also SYSTEM_ERR, not a crash.
         let mut reply = MarshalBuf::new();
-        b.handle_record(&call_record(1, 1), &mut reply, |_| Some(vec![0xff; 6]));
+        b.handle_record(&call_record(1, 1), &mut reply, &mut |_: &[u8]| {
+            Some(vec![0xff; 6])
+        });
         let mut r = MsgReader::new(reply.as_slice());
         assert_eq!(
             oncrpc::read_reply_verdict(&mut r).unwrap().1,
@@ -404,7 +637,7 @@ mod tests {
     fn unknown_procedure_and_wrong_program_refuse() {
         let mut b = bridge(false);
         let mut reply = MarshalBuf::new();
-        b.handle_record(&call_record(9, 1), &mut reply, |_| {
+        b.handle_record(&call_record(9, 1), &mut reply, &mut |_: &[u8]| {
             panic!("must not forward")
         });
         let mut r = MsgReader::new(reply.as_slice());
@@ -415,7 +648,7 @@ mod tests {
 
         let mut wrong = Bridge::new(OPS, 77, 1, b"obj", ByteOrder::Little, false);
         let mut reply = MarshalBuf::new();
-        wrong.handle_record(&call_record(1, 1), &mut reply, |_| {
+        wrong.handle_record(&call_record(1, 1), &mut reply, &mut |_: &[u8]| {
             panic!("must not forward")
         });
         let mut r = MsgReader::new(reply.as_slice());
@@ -423,5 +656,161 @@ mod tests {
             oncrpc::read_reply_verdict(&mut r).unwrap().1,
             ReplyVerdict::ProgUnavail
         );
+    }
+
+    /// A scriptable upstream: pops one result per call and counts how
+    /// often it was actually reached.
+    struct ScriptedUpstream {
+        script: std::collections::VecDeque<bool>,
+        calls: u64,
+    }
+    impl ScriptedUpstream {
+        fn new(script: &[bool]) -> Self {
+            ScriptedUpstream {
+                script: script.iter().copied().collect(),
+                calls: 0,
+            }
+        }
+    }
+    impl UpstreamLink for ScriptedUpstream {
+        fn forward(&mut self, _request: &[u8], _idempotent: bool) -> Option<Vec<u8>> {
+            self.calls += 1;
+            if self.script.pop_front().unwrap_or(false) {
+                Some(vec![1])
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_fast_fails() {
+        let policy = BreakerPolicy {
+            failure_threshold: 2,
+            backoff: Duration::from_secs(3600), // never elapses in-test
+            retry_budget: 0,
+            ..BreakerPolicy::default()
+        };
+        let mut s = Supervisor::new(ScriptedUpstream::new(&[false; 8]), policy);
+        assert!(s.forward(b"req", false).is_none());
+        assert!(!s.is_open(), "one failure is below the threshold");
+        assert!(s.forward(b"req", false).is_none());
+        assert!(s.is_open(), "second consecutive failure trips the circuit");
+        for _ in 0..5 {
+            assert!(s.forward(b"req", false).is_none());
+        }
+        assert_eq!(
+            s.inner.calls, 2,
+            "an open circuit must not touch the upstream"
+        );
+        assert_eq!(s.stats().opened, 1);
+        assert_eq!(s.stats().fast_failed, 5);
+    }
+
+    #[test]
+    fn breaker_recovers_through_a_half_open_probe() {
+        let policy = BreakerPolicy {
+            failure_threshold: 1,
+            backoff: Duration::ZERO, // elapses immediately: probe next call
+            retry_budget: 0,
+            ..BreakerPolicy::default()
+        };
+        // Fail once (trips), then the upstream comes back for good.
+        let mut s = Supervisor::new(ScriptedUpstream::new(&[false, true, true]), policy);
+        assert!(s.forward(b"req", false).is_none());
+        assert!(s.is_open());
+        // Backoff already elapsed: this call is the half-open probe,
+        // it succeeds, and the circuit closes without a restart.
+        assert!(s.forward(b"req", false).is_some());
+        assert!(!s.is_open());
+        assert!(s.forward(b"req", false).is_some());
+        assert_eq!(s.stats().opened, 1);
+        assert_eq!(s.stats().closed, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_doubled_wait() {
+        let policy = BreakerPolicy {
+            failure_threshold: 1,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::from_secs(3600),
+            retry_budget: 0,
+            ..BreakerPolicy::default()
+        };
+        let mut s = Supervisor::new(ScriptedUpstream::new(&[false, false, true]), policy);
+        assert!(s.forward(b"req", false).is_none()); // trips (wait 0)
+        assert!(s.forward(b"req", false).is_none()); // probe fails: reopen
+        assert_eq!(s.stats().opened, 2);
+        // The reopen escalated from zero to at least the base backoff
+        // floor; with a zero base that is still zero, so the next call
+        // probes again and heals.
+        assert!(s.forward(b"req", false).is_some());
+        assert_eq!(s.stats().closed, 1);
+    }
+
+    #[test]
+    fn retry_budget_applies_only_to_idempotent_ops() {
+        let policy = BreakerPolicy {
+            failure_threshold: 10,
+            retry_budget: 1,
+            ..BreakerPolicy::default()
+        };
+        // Fails once, then succeeds: an idempotent op absorbs the
+        // failure inside its retry budget.
+        let mut s = Supervisor::new(ScriptedUpstream::new(&[false, true]), policy);
+        assert!(s.forward(b"req", true).is_some());
+        assert_eq!(s.inner.calls, 2);
+        assert_eq!(s.stats().retried, 1);
+
+        // The same shape, not idempotent: one attempt, one failure.
+        let mut s = Supervisor::new(ScriptedUpstream::new(&[false, true]), policy);
+        assert!(s.forward(b"req", false).is_none());
+        assert_eq!(s.inner.calls, 1);
+        assert_eq!(s.stats().retried, 0);
+    }
+
+    #[test]
+    fn a_supervised_bridge_degrades_and_heals_end_to_end() {
+        // Dead upstream behind a supervisor: callers get SYSTEM_ERR
+        // (fast), and once the upstream returns the same bridge serves
+        // again — the self-healing contract, observed from the ONC side.
+        let policy = BreakerPolicy {
+            failure_threshold: 1,
+            backoff: Duration::ZERO,
+            retry_budget: 0,
+            ..BreakerPolicy::default()
+        };
+        struct Flapping {
+            healthy: bool,
+        }
+        impl UpstreamLink for Flapping {
+            fn forward(&mut self, request: &[u8], _idempotent: bool) -> Option<Vec<u8>> {
+                if self.healthy {
+                    upstream(request)
+                } else {
+                    None
+                }
+            }
+        }
+        let mut link = Supervisor::new(Flapping { healthy: false }, policy);
+        let mut b = bridge(false);
+        let mut reply = MarshalBuf::new();
+
+        b.handle_record(&call_record(1, 1), &mut reply, &mut link);
+        let mut r = MsgReader::new(reply.as_slice());
+        assert_eq!(
+            oncrpc::read_reply_verdict(&mut r).unwrap().1,
+            ReplyVerdict::SystemErr
+        );
+        assert!(link.is_open());
+
+        link.inner.healthy = true;
+        let mut reply = MarshalBuf::new();
+        b.handle_record(&call_record(1, 41), &mut reply, &mut link);
+        let mut r = MsgReader::new(reply.as_slice());
+        let (_, verdict) = oncrpc::read_reply_verdict(&mut r).unwrap();
+        assert_eq!(verdict, ReplyVerdict::Success);
+        assert_eq!(r.get_u32_be().unwrap(), 42);
+        assert!(!link.is_open(), "the probe healed the circuit");
     }
 }

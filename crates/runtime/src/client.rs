@@ -21,7 +21,12 @@ pub struct CallOptions {
     pub deadline: Duration,
     /// Retransmissions after the first send (0 = send once).
     pub retries: u32,
-    /// Wait before the first retransmission; doubles each retry.
+    /// Base wait before the first retransmission; doubles each retry.
+    /// The actual wait is equal-jittered — half the base guaranteed,
+    /// the other half uniformly random from a stream seeded by the
+    /// call's xid — so a fleet of clients that lost replies to the
+    /// same overload event does not retransmit in lockstep and
+    /// re-create it.
     pub backoff: Duration,
 }
 
@@ -113,6 +118,9 @@ pub fn call(
     opts: &CallOptions,
 ) -> Result<Vec<u8>, RpcError> {
     let started = Instant::now();
+    // Deterministic per-xid jitter stream: reproducible in seeded
+    // fault-plan runs, decorrelated across concurrent calls.
+    let mut rng = crate::rng::SplitMix64::new(0x726f_7574_655f_6a74 ^ u64::from(xid));
     let mut wait = if opts.backoff.is_zero() {
         Duration::from_millis(1)
     } else {
@@ -138,7 +146,10 @@ pub fn call(
                 + if attempt == opts.retries {
                     left // last attempt: use everything remaining
                 } else {
-                    wait.min(left)
+                    // Equal jitter: wait/2 guaranteed, wait/2 random.
+                    let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+                    let half = ns / 2;
+                    Duration::from_nanos(half + rng.below(half + 1)).min(left)
                 }
         };
         loop {
@@ -292,5 +303,52 @@ mod tests {
         };
         assert_eq!(call(&ep, 1, &request(1), &o), Err(RpcError::Timeout));
         assert_eq!(*ep.sends.borrow(), 3, "initial send + 2 retries");
+    }
+
+    /// Records every receive window the caller asked for.
+    struct WindowProbe {
+        windows: RefCell<Vec<Duration>>,
+    }
+
+    impl Endpoint for WindowProbe {
+        fn send(&self, _payload: &[u8]) -> Result<(), &'static str> {
+            Ok(())
+        }
+        fn recv_deadline(&self, timeout: Duration) -> RecvOutcome {
+            self.windows.borrow_mut().push(timeout);
+            RecvOutcome::TimedOut
+        }
+    }
+
+    #[test]
+    fn retransmit_waits_are_jittered_within_the_backoff_window() {
+        let backoff = Duration::from_millis(40);
+        let ep = WindowProbe {
+            windows: RefCell::new(Vec::new()),
+        };
+        let o = CallOptions {
+            deadline: Duration::from_secs(60),
+            retries: 3,
+            backoff,
+        };
+        // Every window times out instantly (no real sleeping), so the
+        // recorded durations are the jittered schedule itself.
+        assert_eq!(call(&ep, 42, &request(42), &o), Err(RpcError::Timeout));
+        let windows = ep.windows.borrow().clone();
+        assert_eq!(windows.len(), 4, "one window per attempt");
+        // Equal jitter: each non-final window lands in (base/2, base],
+        // with the base doubling per retry.
+        let mut base = backoff;
+        for (i, w) in windows[..3].iter().enumerate() {
+            // A hair of slack for the two Instant::now() reads between
+            // computing the window and handing it to recv.
+            let floor = base / 2 - Duration::from_millis(2);
+            let ceil = base + Duration::from_millis(1);
+            assert!(
+                *w >= floor && *w <= ceil,
+                "window {i} = {w:?} outside ({floor:?}, {ceil:?}]"
+            );
+            base *= 2;
+        }
     }
 }

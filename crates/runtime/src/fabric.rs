@@ -33,6 +33,25 @@
 //! * **Eviction** — a framing violation (oversized frame, bad magic)
 //!   closes the connection immediately (`fabric.conn.evicted`).
 //!
+//! And process-wide, across connections:
+//!
+//! * **Deadline enforcement** — a request whose propagated time budget
+//!   (see [`crate::deadline`]) arrived already spent is answered with
+//!   the protocol's cheap failure *before* any argument decode or
+//!   handler work — `SYSTEM_ERR` on ONC streams, a `TIMEOUT` system
+//!   exception on GIOP — and silently dropped on datagram transports
+//!   (`rpc.expired`).
+//! * **Load shedding** — once fabric-wide in-flight requests pass
+//!   [`Limits::shed_threshold`], new requests are refused with
+//!   `PROG_UNAVAIL` / `TRANSIENT` (`fabric.shed.*`); at
+//!   [`Limits::max_inflight_total`] workers stop consuming input
+//!   entirely.  Overload costs each refused caller one cheap error,
+//!   not the whole process its latency.
+//! * **Graceful drain** — [`FabricController::shutdown`] stops
+//!   accepting, lets in-flight work complete and flush, then closes;
+//!   connections still open past the grace period are force-closed
+//!   (`fabric.drained`).
+//!
 //! Buffers come from [`crate::pool`], so a warm fabric serves its
 //! steady state without per-call allocation.  The byte-oriented
 //! [`Conn`] trait is implemented by `flick-transport` (this crate
@@ -47,8 +66,9 @@ use crate::error::DecodeError;
 use crate::limits::Limits;
 use crate::oncrpc::{self, RecordScan};
 use crate::{giop, metrics, pool};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Result of one non-blocking read on a [`Conn`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +104,34 @@ pub trait Conn: Send {
     fn write_some(&mut self, bytes: &[u8]) -> WriteStatus;
     /// Tears the connection down (both directions).
     fn close(&mut self);
+    /// True for datagram-backed connections, where an expired request
+    /// is dropped silently (the sender's retransmit is the recovery
+    /// path) instead of answered with an error it no longer wants.
+    fn is_datagram(&self) -> bool {
+        false
+    }
+}
+
+/// Fabric-wide admission state, shared by every [`ConnDriver`] a
+/// [`Fabric`] runs: the in-flight gauge the shed threshold compares
+/// against, the overload counters, and the drain latch.
+#[derive(Debug, Default)]
+struct Shared {
+    /// Frames dispatched (or being refused) whose completions have not
+    /// yet drained, across all connections.
+    inflight: AtomicUsize,
+    /// Requests refused at admission because the fabric was over its
+    /// shed threshold.
+    shed: AtomicU64,
+    /// Requests refused (or dropped) because their propagated budget
+    /// was already spent on arrival.
+    expired: AtomicU64,
+    /// Set once by [`FabricController::shutdown`]: stop accepting,
+    /// finish what is in flight, flush, close.
+    draining: AtomicBool,
+    /// When draining, the instant after which workers force-close
+    /// connections that have not finished on their own.
+    force_close_at: Mutex<Option<Instant>>,
 }
 
 /// The wire framing spoken on one connection.
@@ -208,11 +256,13 @@ pub struct BridgeHandler<F> {
 
 impl<F> BridgeHandler<F>
 where
-    F: FnMut(&[u8]) -> Option<Vec<u8>> + Send,
+    F: crate::bridge::UpstreamLink + Send,
 {
-    /// Wraps `bridge`, forwarding upstream via `forward` (a complete
+    /// Wraps `bridge`, forwarding upstream via `forward` — any
+    /// [`crate::bridge::UpstreamLink`]: a plain closure (a complete
     /// GIOP request in, the complete GIOP reply out, `None` on a dead
-    /// upstream).
+    /// upstream) or a [`crate::bridge::Supervisor`] for a self-healing
+    /// link.
     pub fn new(bridge: Bridge, forward: F) -> Self {
         BridgeHandler {
             bridge,
@@ -226,11 +276,19 @@ where
     pub fn counters(&self) -> crate::bridge::BridgeCounters {
         self.bridge.counters()
     }
+
+    /// The wrapped upstream link — e.g. a [`crate::bridge::Supervisor`]
+    /// whose breaker stats a harness wants to read out when the
+    /// connection settles.
+    #[must_use]
+    pub fn upstream(&self) -> &F {
+        &self.forward
+    }
 }
 
 impl<F> FrameHandler for BridgeHandler<F>
 where
-    F: FnMut(&[u8]) -> Option<Vec<u8>> + Send,
+    F: crate::bridge::UpstreamLink + Send,
 {
     fn on_frame(&mut self, id: FrameId, frame: &[u8], sink: &mut ReplySink) {
         self.scratch.clear();
@@ -281,9 +339,13 @@ pub struct ConnDriver {
     framing: Framing,
     handler: Box<dyn FrameHandler>,
     limits: Limits,
+    shared: Arc<Shared>,
+    datagram: bool,
     inbuf: pool::PooledBuf,
     outbuf: pool::PooledBuf,
     sink: ReplySink,
+    /// Scratch for synthesized admission refusals.
+    refusal: MarshalBuf,
     next_id: u64,
     /// Frames dispatched whose replies have not yet been completed.
     outstanding: usize,
@@ -293,7 +355,9 @@ pub struct ConnDriver {
 
 impl ConnDriver {
     /// A driver over `conn`, speaking `framing`, dispatching to
-    /// `handler`, bounded by `limits`.
+    /// `handler`, bounded by `limits`.  A standalone driver gets its
+    /// own private admission state; drivers run by a [`Fabric`] share
+    /// the fabric's.
     #[must_use]
     pub fn new(
         conn: Box<dyn Conn>,
@@ -301,15 +365,29 @@ impl ConnDriver {
         handler: Box<dyn FrameHandler>,
         limits: Limits,
     ) -> Self {
+        Self::with_shared(conn, framing, handler, limits, Arc::default())
+    }
+
+    fn with_shared(
+        conn: Box<dyn Conn>,
+        framing: Framing,
+        handler: Box<dyn FrameHandler>,
+        limits: Limits,
+        shared: Arc<Shared>,
+    ) -> Self {
         metrics::fabric_conn_open();
+        let datagram = conn.is_datagram();
         ConnDriver {
             conn,
             framing,
             handler,
             limits,
+            shared,
+            datagram,
             inbuf: pool::checkout(),
             outbuf: pool::checkout(),
             sink: ReplySink::default(),
+            refusal: MarshalBuf::new(),
             next_id: 0,
             outstanding: 0,
             read_closed: false,
@@ -341,12 +419,36 @@ impl ConnDriver {
         if self.ending.is_none() {
             self.ending = Some(ending);
             self.conn.close();
+            // Whatever was still outstanding will never complete now;
+            // release it from the fabric-wide gauge so dead work
+            // cannot pin the shed threshold.
+            if self.outstanding > 0 {
+                self.shared
+                    .inflight
+                    .fetch_sub(self.outstanding, Ordering::Relaxed);
+                self.outstanding = 0;
+            }
             match ending {
                 Ending::Closed => metrics::fabric_conn_closed(),
                 Ending::Evicted => metrics::fabric_conn_evicted(),
             }
         }
         Pump::Done
+    }
+
+    /// Stops reading new requests: the driver finishes once in-flight
+    /// work completes and queued replies flush, exactly as if the peer
+    /// had half-closed.
+    fn begin_drain(&mut self) {
+        self.read_closed = true;
+    }
+
+    /// Drain grace expired: one last flush attempt, then close.
+    fn force_close(&mut self) {
+        if self.ending.is_none() {
+            let _ = self.flush();
+            self.finish(Ending::Closed);
+        }
     }
 
     /// Frames one completed reply into `outbuf` according to the
@@ -389,6 +491,7 @@ impl ConnDriver {
             "handler completed frames it was never given"
         );
         self.outstanding = self.outstanding.saturating_sub(completed);
+        self.shared.inflight.fetch_sub(completed, Ordering::Relaxed);
         let cap = self.reply_cap();
         if self.sink.entries.iter().any(|&(_, s, e)| e - s > cap) {
             return Err(());
@@ -437,11 +540,14 @@ impl ConnDriver {
         let mut frames = 0;
         let mut starved = false;
         loop {
-            // Both the pipelining window and the reply queue gate
-            // dispatch: consuming a frame commits us to buffering its
-            // reply, so a full queue must stop consumption too.
+            // The pipelining window, the reply queue, and the
+            // fabric-wide hard cap all gate dispatch: consuming a
+            // frame commits us to buffering its reply (and, past the
+            // hard cap, to work the whole process can no longer
+            // afford), so any of them stops consumption.
             if self.outstanding >= self.limits.max_pipeline
                 || self.pending_reply_bytes() >= self.limits.reply_buf_bytes
+                || self.shared.inflight.load(Ordering::Relaxed) >= self.limits.max_inflight_total
             {
                 break;
             }
@@ -457,7 +563,18 @@ impl ConnDriver {
                             let id = FrameId(self.next_id);
                             self.next_id += 1;
                             self.outstanding += 1;
-                            self.handler.on_frame(id, payload, &mut self.sink);
+                            self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+                            deliver_frame(
+                                self.framing,
+                                self.datagram,
+                                &self.limits,
+                                &self.shared,
+                                self.handler.as_mut(),
+                                &mut self.sink,
+                                &mut self.refusal,
+                                id,
+                                payload,
+                            );
                             frames += 1;
                             used
                         }
@@ -475,7 +592,18 @@ impl ConnDriver {
                                     let id = FrameId(self.next_id);
                                     self.next_id += 1;
                                     self.outstanding += 1;
-                                    self.handler.on_frame(id, &record, &mut self.sink);
+                                    self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+                                    deliver_frame(
+                                        self.framing,
+                                        self.datagram,
+                                        &self.limits,
+                                        &self.shared,
+                                        self.handler.as_mut(),
+                                        &mut self.sink,
+                                        &mut self.refusal,
+                                        id,
+                                        &record,
+                                    );
                                     frames += 1;
                                     used
                                 }
@@ -493,7 +621,18 @@ impl ConnDriver {
                         let id = FrameId(self.next_id);
                         self.next_id += 1;
                         self.outstanding += 1;
-                        self.handler.on_frame(id, &stream[..total], &mut self.sink);
+                        self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+                        deliver_frame(
+                            self.framing,
+                            self.datagram,
+                            &self.limits,
+                            &self.shared,
+                            self.handler.as_mut(),
+                            &mut self.sink,
+                            &mut self.refusal,
+                            id,
+                            &stream[..total],
+                        );
                         frames += 1;
                         total
                     }
@@ -609,6 +748,111 @@ impl ConnDriver {
     }
 }
 
+/// Admission control, then dispatch: every consumed frame lands here,
+/// already counted in the local window and the fabric-wide gauge, and
+/// is either refused cheaply — before any argument decode or handler
+/// work — or handed to the handler.
+///
+/// Two refusal classes, in priority order:
+///
+/// * **Expired** — the frame's propagated budget arrived already
+///   spent.  Answering with real work would burn server time on a
+///   reply the caller has stopped waiting for; instead a stream peer
+///   gets the protocol's cheap failure (`SYSTEM_ERR` / `TIMEOUT`
+///   system exception) and a datagram peer gets silence.
+/// * **Shed** — the fabric-wide in-flight count (excluding this
+///   frame) is at or past [`Limits::shed_threshold`].  The refusal is
+///   the protocol's "try elsewhere / later" signal: `PROG_UNAVAIL`
+///   for ONC, a `TRANSIENT` system exception for GIOP.
+///
+/// Refusals are synthesized with *no* trace context (the thread's
+/// ambient trace register belongs to whatever frame a handler last
+/// decoded, not this one) and complete through the ordinary sink path
+/// so batching, flushing, and accounting treat them like any reply.
+#[allow(clippy::too_many_arguments)]
+fn deliver_frame(
+    framing: Framing,
+    datagram: bool,
+    limits: &Limits,
+    shared: &Shared,
+    handler: &mut dyn FrameHandler,
+    sink: &mut ReplySink,
+    refusal: &mut MarshalBuf,
+    id: FrameId,
+    frame: &[u8],
+) {
+    // `inflight` includes this frame (counted by the caller), so
+    // "existing work >= threshold" is a strict comparison.
+    let overloaded = shared.inflight.load(Ordering::Relaxed) > limits.shed_threshold;
+    match framing {
+        Framing::OncRecord => {
+            if let Some(p) = oncrpc::peek_call(frame) {
+                if p.budget_ns == Some(0) {
+                    metrics::rpc_expired();
+                    shared.expired.fetch_add(1, Ordering::Relaxed);
+                    if datagram {
+                        sink.silent(id);
+                    } else {
+                        refusal.clear();
+                        oncrpc::write_reply_plain(refusal, p.xid, oncrpc::ReplyOutcome::SystemErr);
+                        sink.reply(id, refusal.as_slice());
+                    }
+                    return;
+                }
+                if overloaded {
+                    metrics::fabric_shed(false);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    refusal.clear();
+                    oncrpc::write_reply_plain(refusal, p.xid, oncrpc::ReplyOutcome::ProgUnavail);
+                    sink.reply(id, refusal.as_slice());
+                    return;
+                }
+            }
+        }
+        Framing::Giop => {
+            if let Some(p) = giop::peek_request(frame) {
+                if p.budget_ns == Some(0) {
+                    metrics::rpc_expired();
+                    shared.expired.fetch_add(1, Ordering::Relaxed);
+                    if p.response_expected {
+                        refusal.clear();
+                        giop::write_system_exception_reply(
+                            refusal,
+                            p.order,
+                            p.request_id,
+                            "IDL:omg.org/CORBA/TIMEOUT:1.0",
+                            0,
+                        );
+                        sink.reply(id, refusal.as_slice());
+                    } else {
+                        sink.silent(id);
+                    }
+                    return;
+                }
+                if overloaded {
+                    metrics::fabric_shed(true);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    if p.response_expected {
+                        refusal.clear();
+                        giop::write_system_exception_reply(
+                            refusal,
+                            p.order,
+                            p.request_id,
+                            "IDL:omg.org/CORBA/TRANSIENT:1.0",
+                            1,
+                        );
+                        sink.reply(id, refusal.as_slice());
+                    } else {
+                        sink.silent(id);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+    handler.on_frame(id, frame, sink);
+}
+
 /// Scans for one complete GIOP message at the front of `stream`:
 /// `Ok(Some(total_len))` when complete, `Ok(None)` when more bytes are
 /// needed, `Err` on a framing violation.
@@ -653,6 +897,7 @@ pub struct FabricStats {
     accepted: Arc<AtomicU64>,
     closed: Arc<AtomicU64>,
     evicted: Arc<AtomicU64>,
+    shared: Arc<Shared>,
 }
 
 impl FabricStats {
@@ -673,6 +918,63 @@ impl FabricStats {
     pub fn evicted(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
     }
+
+    /// Requests refused at admission because the fabric was over its
+    /// shed threshold.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused or dropped because their propagated budget was
+    /// already spent on arrival.
+    #[must_use]
+    pub fn expired(&self) -> u64 {
+        self.shared.expired.load(Ordering::Relaxed)
+    }
+
+    /// Current fabric-wide in-flight request count.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle for shutting a running [`Fabric::serve`] down from another
+/// thread.  Cloneable and cheap; obtained from [`Fabric::controller`]
+/// before calling `serve`.
+#[derive(Clone)]
+pub struct FabricController {
+    shared: Arc<Shared>,
+}
+
+impl FabricController {
+    /// Initiates a graceful drain: the fabric stops accepting new
+    /// connections, existing connections stop *reading* (as if the
+    /// peer half-closed), in-flight requests run to completion, their
+    /// replies flush, and each connection closes as it settles.
+    /// Connections still open after `grace` are force-closed.
+    ///
+    /// The accept loop learns about the drain the next time its
+    /// [`Acceptor`] yields (or returns `None`); a transport whose
+    /// accept blocks indefinitely should close its listener as part
+    /// of shutdown so the loop can exit promptly.
+    pub fn shutdown(&self, grace: Duration) {
+        // Deadline first: a worker that observes the flag must find
+        // the deadline already published.
+        *self
+            .shared
+            .force_close_at
+            .lock()
+            .expect("fabric drain lock poisoned") = Some(Instant::now() + grace);
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// True once [`shutdown`](Self::shutdown) has been called.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
 }
 
 /// The multiplexed serving runtime: accept loop + thread-per-core
@@ -680,16 +982,32 @@ impl FabricStats {
 pub struct Fabric {
     limits: Limits,
     workers: usize,
+    shared: Arc<Shared>,
 }
 
 impl Fabric {
     /// A fabric with `limits` and one worker per available core.
+    ///
+    /// # Panics
+    /// When `limits` fails [`Limits::validated`] — an incoherent
+    /// configuration (a zero cap, a reply queue smaller than one
+    /// frame, a shed threshold above the hard stop) would surface as
+    /// mysterious evictions or total refusal at runtime, so it is
+    /// refused at construction instead.
     #[must_use]
     pub fn new(limits: Limits) -> Self {
+        let limits = match limits.validated() {
+            Ok(l) => l,
+            Err(why) => panic!("incoherent fabric limits: {why}"),
+        };
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
-        Fabric { limits, workers }
+        Fabric {
+            limits,
+            workers,
+            shared: Arc::default(),
+        }
     }
 
     /// Overrides the worker count (tests and benches pin this).
@@ -699,12 +1017,26 @@ impl Fabric {
         self
     }
 
-    /// Serves connections from `acceptor` until it returns `None` and
-    /// every accepted connection finishes.  The accept loop runs on
-    /// the calling thread; connections are distributed round-robin to
-    /// the workers.
+    /// A shutdown handle for this fabric, usable from any thread while
+    /// [`serve`](Self::serve) runs.  A fabric that has been drained
+    /// stays drained; build a new one to serve again.
+    #[must_use]
+    pub fn controller(&self) -> FabricController {
+        FabricController {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serves connections from `acceptor` until it returns `None` (or
+    /// a [`FabricController::shutdown`] drain completes) and every
+    /// accepted connection finishes.  The accept loop runs on the
+    /// calling thread; connections are distributed round-robin to the
+    /// workers.
     pub fn serve<A: Acceptor>(&self, mut acceptor: A) -> FabricStats {
-        let stats = FabricStats::default();
+        let stats = FabricStats {
+            shared: self.shared.clone(),
+            ..FabricStats::default()
+        };
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(self.workers);
             for _ in 0..self.workers {
@@ -715,7 +1047,13 @@ impl Fabric {
                 scope.spawn(move || worker_loop(&rx, limits, &stats));
             }
             let mut next = 0usize;
-            while let Some(accepted) = acceptor.accept() {
+            while let Some(mut accepted) = acceptor.accept() {
+                if self.shared.draining.load(Ordering::Acquire) {
+                    // Draining: refuse the connection and stop
+                    // accepting altogether.
+                    accepted.conn.close();
+                    break;
+                }
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
                 // A worker never exits while its sender lives, so the
                 // only send failure is a panicked worker — propagate.
@@ -726,19 +1064,42 @@ impl Fabric {
             }
             drop(senders); // workers drain and exit
         });
+        if self.shared.draining.load(Ordering::Acquire) {
+            metrics::fabric_drained();
+        }
         stats
     }
 }
 
 fn worker_loop(rx: &mpsc::Receiver<Accepted>, limits: Limits, stats: &FabricStats) {
+    let shared = &stats.shared;
     let mut drivers: Vec<ConnDriver> = Vec::new();
     let mut accepting = true;
+    let mut draining = false;
     let mut idle_rounds: u32 = 0;
     loop {
+        if !draining && shared.draining.load(Ordering::Acquire) {
+            draining = true;
+            // Connections queued but never started get closed, not
+            // served; live ones stop reading and run down.
+            while let Ok(mut a) = rx.try_recv() {
+                a.conn.close();
+            }
+            accepting = false;
+            for d in &mut drivers {
+                d.begin_drain();
+            }
+        }
         // Take on every connection queued for this worker.
         while accepting {
             match rx.try_recv() {
-                Ok(a) => drivers.push(ConnDriver::new(a.conn, a.framing, a.handler, limits)),
+                Ok(a) => drivers.push(ConnDriver::with_shared(
+                    a.conn,
+                    a.framing,
+                    a.handler,
+                    limits,
+                    shared.clone(),
+                )),
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => accepting = false,
             }
@@ -747,13 +1108,35 @@ fn worker_loop(rx: &mpsc::Receiver<Accepted>, limits: Limits, stats: &FabricStat
             if !accepting {
                 return;
             }
-            // Idle worker: block until the next connection arrives
-            // (or shutdown) instead of spinning.
-            match rx.recv() {
-                Ok(a) => drivers.push(ConnDriver::new(a.conn, a.framing, a.handler, limits)),
-                Err(_) => accepting = false,
+            // Idle worker: park until the next connection arrives (or
+            // shutdown).  The wait is bounded so a drain initiated
+            // while the accept loop is still blocked in its acceptor
+            // is noticed promptly.
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(a) => drivers.push(ConnDriver::with_shared(
+                    a.conn,
+                    a.framing,
+                    a.handler,
+                    limits,
+                    shared.clone(),
+                )),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => accepting = false,
             }
             continue;
+        }
+
+        if draining {
+            let due = shared
+                .force_close_at
+                .lock()
+                .expect("fabric drain lock poisoned")
+                .is_some_and(|at| Instant::now() >= at);
+            if due {
+                for d in &mut drivers {
+                    d.force_close();
+                }
+            }
         }
 
         let mut any_progress = false;
@@ -1216,10 +1599,206 @@ mod tests {
         assert_eq!(stats.accepted(), 8);
         assert_eq!(stats.closed(), 8);
         assert_eq!(stats.evicted(), 0);
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(stats.expired(), 0);
+        assert_eq!(stats.inflight(), 0);
         for w in outputs {
             let out = w.lock().unwrap().clone();
             let (r, _) = oncrpc::deframe_record(&out).unwrap();
             assert_eq!(r.len(), oncrpc::CALL_HEADER_BYTES);
         }
+    }
+
+    fn budgeted_call(xid: u32, budget: Duration) -> Vec<u8> {
+        let _g = crate::deadline::stamp_outbound(budget);
+        let mut b = MarshalBuf::new();
+        CallHeader {
+            xid,
+            prog: 7,
+            vers: 1,
+            proc: 1,
+        }
+        .write(&mut b);
+        onc_record(b.as_slice())
+    }
+
+    /// Panics if the fabric lets a frame through to it.
+    fn unreachable_handler() -> impl FrameHandler {
+        service_handler(|_: &[u8], _: &mut MarshalBuf| {
+            panic!("an expired request reached the handler")
+        })
+    }
+
+    #[test]
+    fn expired_stream_requests_get_system_err_before_the_handler() {
+        let (conn, written) = ScriptConn::new(vec![budgeted_call(0xDEAD, Duration::ZERO)]);
+        let mut d = ConnDriver::new(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(unreachable_handler()),
+            Limits::default(),
+        );
+        run_to_done(&mut d);
+        let out = written.lock().unwrap().clone();
+        let (rec, _) = oncrpc::deframe_record(&out).unwrap();
+        let mut r = MsgReader::new(&rec);
+        let (xid, verdict) = oncrpc::read_reply_verdict(&mut r).unwrap();
+        assert_eq!(xid, 0xDEAD);
+        assert_eq!(verdict, oncrpc::ReplyVerdict::SystemErr);
+    }
+
+    /// A [`ScriptConn`] posing as a datagram transport.
+    struct DgramConn(ScriptConn);
+    impl Conn for DgramConn {
+        fn read_into(&mut self, buf: &mut MarshalBuf, max: usize) -> ReadStatus {
+            self.0.read_into(buf, max)
+        }
+        fn write_some(&mut self, bytes: &[u8]) -> WriteStatus {
+            self.0.write_some(bytes)
+        }
+        fn close(&mut self) {
+            self.0.close();
+        }
+        fn is_datagram(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn expired_datagram_requests_are_dropped_silently() {
+        let (conn, written) = ScriptConn::new(vec![budgeted_call(5, Duration::ZERO)]);
+        let mut d = ConnDriver::new(
+            Box::new(DgramConn(conn)),
+            Framing::OncRecord,
+            Box::new(unreachable_handler()),
+            Limits::default(),
+        );
+        run_to_done(&mut d);
+        assert_eq!(d.ending, Some(Ending::Closed));
+        assert!(
+            written.lock().unwrap().is_empty(),
+            "a datagram peer must get silence, not an error it no longer wants"
+        );
+    }
+
+    /// Holds every frame forever and counts what it was given.
+    struct CountingHold(Arc<AtomicU64>);
+    impl FrameHandler for CountingHold {
+        fn on_frame(&mut self, _id: FrameId, _frame: &[u8], _sink: &mut ReplySink) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn overload_sheds_new_calls_with_prog_unavail() {
+        let limits = Limits {
+            shed_threshold: 1,
+            max_inflight_total: 8,
+            ..Limits::default()
+        };
+        let recs: Vec<u8> = (1..=3u32)
+            .flat_map(|xid| {
+                let mut b = MarshalBuf::new();
+                CallHeader {
+                    xid,
+                    prog: 7,
+                    vers: 1,
+                    proc: 1,
+                }
+                .write(&mut b);
+                onc_record(b.as_slice())
+            })
+            .collect();
+        let (mut conn, written) = ScriptConn::new(vec![recs]);
+        conn.closed_after_input = false;
+        let handled = Arc::new(AtomicU64::new(0));
+        let shared = Arc::new(Shared::default());
+        let mut d = ConnDriver::with_shared(
+            Box::new(conn),
+            Framing::OncRecord,
+            Box::new(CountingHold(handled.clone())),
+            limits,
+            shared.clone(),
+        );
+        for _ in 0..100 {
+            d.pump();
+        }
+        // The first call is in flight; the other two were shed with a
+        // cheap protocol error, not queued behind it.
+        assert_eq!(handled.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.shed.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.inflight.load(Ordering::Relaxed), 1);
+        let out = written.lock().unwrap().clone();
+        let mut verdicts = Vec::new();
+        let mut at = 0;
+        while at < out.len() {
+            let (rec, used) = oncrpc::deframe_record(&out[at..]).unwrap();
+            let mut r = MsgReader::new(&rec);
+            verdicts.push(oncrpc::read_reply_verdict(&mut r).unwrap());
+            at += used;
+        }
+        assert_eq!(
+            verdicts,
+            vec![
+                (2, oncrpc::ReplyVerdict::ProgUnavail),
+                (3, oncrpc::ReplyVerdict::ProgUnavail),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incoherent fabric limits")]
+    fn incoherent_limits_refuse_to_build_a_fabric() {
+        let _ = Fabric::new(Limits {
+            shed_threshold: 0,
+            ..Limits::default()
+        });
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work_then_closes() {
+        struct ChanAcceptor(mpsc::Receiver<Accepted>);
+        impl Acceptor for ChanAcceptor {
+            fn accept(&mut self) -> Option<Accepted> {
+                self.0.recv().ok()
+            }
+        }
+
+        let (mut conn, written) = ScriptConn::new(vec![onc_record(b"ping")]);
+        conn.closed_after_input = false; // the peer keeps the link open
+        let observed = written.clone();
+        let (tx, rx) = mpsc::channel::<Accepted>();
+        let fabric = Fabric::new(Limits::default()).workers(1);
+        let controller = fabric.controller();
+        let driver = std::thread::spawn(move || {
+            tx.send(Accepted {
+                conn: Box::new(conn),
+                framing: Framing::OncRecord,
+                handler: Box::new(echo_handler()),
+            })
+            .unwrap();
+            // Wait for the echo: proof the in-flight request completed
+            // and flushed before the drain closed anything.
+            for _ in 0..1_000_000 {
+                if !observed.lock().unwrap().is_empty() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            assert!(
+                !observed.lock().unwrap().is_empty(),
+                "echo never flushed before shutdown"
+            );
+            controller.shutdown(Duration::from_millis(500));
+            drop(tx); // unblocks the accept loop
+        });
+        let stats = fabric.serve(ChanAcceptor(rx));
+        driver.join().unwrap();
+        assert_eq!(stats.accepted(), 1);
+        assert_eq!(stats.closed(), 1, "the idle connection drained cleanly");
+        assert_eq!(stats.evicted(), 0);
+        let out = written.lock().unwrap().clone();
+        let (rec, _) = oncrpc::deframe_record(&out).unwrap();
+        assert_eq!(&rec[..], b"ping");
     }
 }

@@ -10,9 +10,12 @@
 //! When a trace span is live (see [`crate::trace`]), the otherwise
 //! empty service-context list at the head of request and reply headers
 //! carries one entry: id [`crate::trace::GIOP_TRACE_CONTEXT_ID`], a
-//! 16-byte encapsulation of trace id + span id.  Readers capture the
-//! entry into [`RequestHeader::trace`] / [`ReplyHeader::trace`]; any
-//! other context id is skipped as before.
+//! 16-byte encapsulation of trace id + span id.  When a request also
+//! carries a time budget (see [`crate::deadline`]), the entry grows to
+//! the 24-byte trace + budget-nanoseconds form; replies only ever echo
+//! the trace.  Readers capture the entry into [`RequestHeader::trace`]
+//! / [`RequestHeader::budget_ns`] / [`ReplyHeader::trace`]; any other
+//! context id is skipped as before.
 
 use crate::buf::{MarshalBuf, MsgReader};
 use crate::cdr::{ByteOrder, CdrIn, CdrOut};
@@ -187,23 +190,38 @@ pub fn read_header_limited(
     })
 }
 
-/// Writes the service-context list: one trace entry when a context is
-/// live on this thread, the classic empty list otherwise.
-fn put_service_contexts(buf: &mut MarshalBuf, cdr: &CdrOut, trace: Option<TraceContext>) {
-    match trace {
-        None => cdr.put_u32(buf, 0), // empty service context list
-        Some(ctx) => {
+/// Writes the service-context list: one `FLKT` entry when a trace
+/// context and/or a time budget is live on this thread, the classic
+/// empty list otherwise.  With a budget the entry takes the 24-byte
+/// form even when untraced.
+fn put_service_contexts(
+    buf: &mut MarshalBuf,
+    cdr: &CdrOut,
+    trace: Option<TraceContext>,
+    budget_ns: Option<u64>,
+) {
+    match (trace, budget_ns) {
+        (None, None) => cdr.put_u32(buf, 0), // empty service context list
+        (Some(ctx), None) => {
             cdr.put_u32(buf, 1); // one service context
             cdr.put_u32(buf, crate::trace::GIOP_TRACE_CONTEXT_ID);
             cdr.put_u32(buf, crate::trace::TRACE_BLOB_BYTES as u32);
             buf.put_bytes(&ctx.encode());
+        }
+        (ctx, Some(ns)) => {
+            cdr.put_u32(buf, 1); // one service context
+            cdr.put_u32(buf, crate::trace::GIOP_TRACE_CONTEXT_ID);
+            cdr.put_u32(buf, crate::trace::TRACE_BUDGET_BLOB_BYTES as u32);
+            buf.put_bytes(&crate::trace::encode_budget_blob(ctx, ns));
         }
     }
 }
 
 /// Writes a GIOP 1.0 request header into an open CDR stream.  While a
 /// client trace span is open on this thread, the service-context list
-/// carries its context.
+/// carries its context; while a time budget is ambient (an explicit
+/// [`crate::deadline::stamp_outbound`], or the remainder of the budget
+/// the request being served brought in), the entry carries it too.
 pub fn put_request_header(
     buf: &mut MarshalBuf,
     cdr: &CdrOut,
@@ -212,7 +230,12 @@ pub fn put_request_header(
     object_key: &[u8],
     operation: &str,
 ) {
-    put_service_contexts(buf, cdr, crate::trace::wire_context());
+    put_service_contexts(
+        buf,
+        cdr,
+        crate::trace::wire_context(),
+        crate::deadline::outbound_budget_ns(),
+    );
     cdr.put_u32(buf, request_id);
     cdr.put_u8(buf, u8::from(response_expected));
     cdr.put_u32(buf, object_key.len() as u32);
@@ -235,6 +258,9 @@ pub struct RequestHeader {
     /// Trace context from the service-context list, if the client sent
     /// one.
     pub trace: Option<TraceContext>,
+    /// Time budget (nanoseconds) from the service-context list, if the
+    /// client sent one.
+    pub budget_ns: Option<u64>,
 }
 
 /// A request header presented in the marshal buffer: object key and
@@ -256,6 +282,9 @@ pub struct RequestHeaderRef<'a> {
     /// Trace context from the service-context list, if the client sent
     /// one.
     pub trace: Option<TraceContext>,
+    /// Time budget (nanoseconds) from the service-context list, if the
+    /// client sent one.
+    pub budget_ns: Option<u64>,
 }
 
 impl RequestHeaderRef<'_> {
@@ -268,21 +297,26 @@ impl RequestHeaderRef<'_> {
             object_key: self.object_key.to_vec(),
             operation: self.operation.to_string(),
             trace: self.trace,
+            budget_ns: self.budget_ns,
         }
     }
 }
 
 /// Reads a request header from an open CDR stream without allocating:
 /// the object key and operation name borrow from the message.  Notes
-/// the carried trace context (or its absence) for this thread's
-/// server spans and reply headers.
+/// the carried trace context and time budget (or their absence) for
+/// this thread's server spans, reply headers, and forwarded budgets.
 pub fn get_request_header_ref<'a>(
     r: &mut MsgReader<'a>,
     cdr: &CdrIn,
 ) -> Result<RequestHeaderRef<'a>, DecodeError> {
     crate::trace::note_wire_context(None);
-    let trace = read_service_contexts(r, cdr)?;
+    crate::deadline::clear_inbound();
+    let (trace, budget_ns) = read_service_contexts(r, cdr)?;
     crate::trace::note_wire_context(trace);
+    if let Some(ns) = budget_ns {
+        crate::deadline::note_inbound(std::time::Instant::now(), ns);
+    }
     // Every field carries its offset so a gateway (or server) refusing
     // the message can report where the bytes went wrong — the borrowed
     // fast path reports exactly like the owned one.
@@ -304,6 +338,7 @@ pub fn get_request_header_ref<'a>(
         object_key,
         operation,
         trace,
+        budget_ns,
     })
 }
 
@@ -316,15 +351,15 @@ pub fn get_request_header(
     Ok(get_request_header_ref(r, cdr)?.to_owned())
 }
 
-/// Walks a service-context list, capturing a well-formed trace entry
-/// and skipping everything else.  Counts whose minimum encoding
-/// (8 bytes per context) already exceeds the remaining message are
-/// rejected first — a hostile count must not buy `u32::MAX` loop
-/// iterations.
+/// Walks a service-context list, capturing a well-formed `FLKT` entry
+/// (trace-only or trace + budget, discriminated by length) and
+/// skipping everything else.  Counts whose minimum encoding (8 bytes
+/// per context) already exceeds the remaining message are rejected
+/// first — a hostile count must not buy `u32::MAX` loop iterations.
 fn read_service_contexts(
     r: &mut MsgReader<'_>,
     cdr: &CdrIn,
-) -> Result<Option<TraceContext>, DecodeError> {
+) -> Result<(Option<TraceContext>, Option<u64>), DecodeError> {
     let at = r.pos();
     let contexts = cdr.get_u32(r)?;
     if contexts as usize > r.remaining() / 8 {
@@ -335,27 +370,31 @@ fn read_service_contexts(
         }
         .at(at));
     }
-    let mut trace = None;
+    let mut captured = (None, None);
     for _ in 0..contexts {
         // Context id + encapsulated data.
         let id = cdr.get_u32(r)?;
         let at = r.pos();
         let len = cdr.get_u32(r)? as usize;
-        if id == crate::trace::GIOP_TRACE_CONTEXT_ID && len == crate::trace::TRACE_BLOB_BYTES {
+        if id == crate::trace::GIOP_TRACE_CONTEXT_ID
+            && (len == crate::trace::TRACE_BLOB_BYTES
+                || len == crate::trace::TRACE_BUDGET_BLOB_BYTES)
+        {
             let blob = r.bytes(len).map_err(|e| e.at(at))?;
-            trace = TraceContext::decode(blob); // malformed blob: untraced
+            captured = crate::trace::decode_wire_blob(blob); // malformed blob: neither
         } else {
             r.skip(len).map_err(|e| e.at(at))?;
         }
     }
-    Ok(trace)
+    Ok(captured)
 }
 
 /// Writes a GIOP 1.0 reply header into an open CDR stream, echoing the
 /// request's trace context (noted by [`get_request_header`]) in the
-/// service-context list.
+/// service-context list.  Replies never carry a budget — there is
+/// nothing downstream of a reply to spend it.
 pub fn put_reply_header(buf: &mut MarshalBuf, cdr: &CdrOut, request_id: u32, status: ReplyStatus) {
-    put_service_contexts(buf, cdr, crate::trace::reply_context());
+    put_service_contexts(buf, cdr, crate::trace::reply_context(), None);
     cdr.put_u32(buf, request_id);
     cdr.put_u32(buf, status.to_u32());
 }
@@ -373,7 +412,7 @@ pub struct ReplyHeader {
 
 /// Reads a reply header from an open CDR stream.
 pub fn get_reply_header(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<ReplyHeader, DecodeError> {
-    let trace = read_service_contexts(r, cdr)?;
+    let (trace, _budget) = read_service_contexts(r, cdr)?;
     let request_id = cdr.get_u32(r)?;
     let status = ReplyStatus::from_u32(cdr.get_u32(r)?)?;
     Ok(ReplyHeader {
@@ -387,6 +426,70 @@ pub fn get_reply_header(r: &mut MsgReader<'_>, cdr: &CdrIn) -> Result<ReplyHeade
 /// a request whose header could not be parsed.
 pub fn write_message_error(buf: &mut MarshalBuf, order: ByteOrder) {
     let at = begin_message(buf, order, MsgType::MessageError);
+    finish_message(buf, at, order);
+}
+
+/// What [`peek_request`] saw at the front of a GIOP message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestPeek {
+    /// Request id to echo in a synthesized refusal.
+    pub request_id: u32,
+    /// Body byte order, for encoding the refusal.
+    pub order: ByteOrder,
+    /// False for oneway requests — a refusal would have no reader.
+    pub response_expected: bool,
+    /// Budget nanoseconds, when the service-context list carried the
+    /// 24-byte budgeted blob.
+    pub budget_ns: Option<u64>,
+}
+
+/// Cheaply inspects a GIOP message for admission control: the request
+/// id, byte order, response flag, and propagated time budget, without
+/// touching the thread's trace or deadline registers and without
+/// validating the rest of the header.  `None` when the message is not
+/// a well-formed GIOP 1.x Request — such messages go through the full
+/// dispatch refusal logic instead.
+#[must_use]
+pub fn peek_request(msg: &[u8]) -> Option<RequestPeek> {
+    if msg.len() < HEADER_BYTES || &msg[..4] != b"GIOP" || msg[4] != 1 {
+        return None;
+    }
+    if MsgType::from_u8(msg[7]).ok()? != MsgType::Request {
+        return None;
+    }
+    let order = ByteOrder::from_giop_flag(msg[6]);
+    let mut r = MsgReader::new(msg);
+    r.skip(HEADER_BYTES).ok()?;
+    let cdr = CdrIn::begin(&r, order);
+    let (_, budget_ns) = read_service_contexts(&mut r, &cdr).ok()?;
+    let request_id = cdr.get_u32(&mut r).ok()?;
+    let response_expected = cdr.get_u8(&mut r).ok()? != 0;
+    Some(RequestPeek {
+        request_id,
+        order,
+        response_expected,
+        budget_ns,
+    })
+}
+
+/// Writes a complete system-exception Reply message with an *empty*
+/// service-context list.  The fabric's admission preflight uses it to
+/// synthesize shed/expired refusals before any header decode — at that
+/// point the thread-local trace context still belongs to some previous
+/// request and echoing it would mislabel the reply.
+pub fn write_system_exception_reply(
+    buf: &mut MarshalBuf,
+    order: ByteOrder,
+    request_id: u32,
+    repo_id: &str,
+    minor: u32,
+) {
+    let at = begin_message(buf, order, MsgType::Reply);
+    let cdr = CdrOut::begin(buf, order);
+    cdr.put_u32(buf, 0); // empty service-context list: no stale trace
+    cdr.put_u32(buf, request_id);
+    cdr.put_u32(buf, ReplyStatus::SystemException.to_u32());
+    put_system_exception(buf, &cdr, repo_id, minor);
     finish_message(buf, at, order);
 }
 
@@ -666,6 +769,91 @@ mod tests {
         let rh = get_request_header(&mut r, &cin).unwrap();
         assert_eq!(rh.request_id, 42);
         assert_eq!(rh.operation, "op");
+    }
+
+    #[test]
+    fn budgeted_request_roundtrips_and_peeks() {
+        crate::deadline::clear_inbound();
+        let order = ByteOrder::Little;
+        let mut buf = MarshalBuf::new();
+        let size_at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        {
+            let _g = crate::deadline::stamp_outbound(std::time::Duration::from_millis(125));
+            put_request_header(&mut buf, &cdr, 42, true, b"k", "send");
+        }
+        finish_message(&mut buf, size_at, order);
+        let data = buf.into_vec();
+
+        // The admission peek sees everything it needs, cheaply.
+        assert_eq!(
+            peek_request(&data),
+            Some(RequestPeek {
+                request_id: 42,
+                order,
+                response_expected: true,
+                budget_ns: Some(125_000_000),
+            })
+        );
+
+        // The full parse notes the inbound budget for this thread.
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_request_header(&mut r, &cin).unwrap();
+        assert_eq!(rh.request_id, 42);
+        assert_eq!(rh.budget_ns, Some(125_000_000));
+        let left = crate::deadline::inbound_remaining_ns().expect("budget noted");
+        assert!(left <= 125_000_000);
+
+        // A budgetless request clears the note again.  (Clear the
+        // thread first: a header written *while serving* a budgeted
+        // request would forward the remaining budget by design.)
+        crate::deadline::clear_inbound();
+        let mut buf = MarshalBuf::new();
+        let size_at = begin_message(&mut buf, order, MsgType::Request);
+        let cdr = CdrOut::begin(&buf, order);
+        put_request_header(&mut buf, &cdr, 43, true, b"k", "send");
+        finish_message(&mut buf, size_at, order);
+        let data = buf.into_vec();
+        assert_eq!(peek_request(&data).unwrap().budget_ns, None);
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_request_header(&mut r, &cin).unwrap();
+        assert_eq!(rh.budget_ns, None);
+        assert_eq!(crate::deadline::inbound_remaining_ns(), None);
+
+        // Peek refuses non-requests outright.
+        let mut buf = MarshalBuf::new();
+        write_message_error(&mut buf, order);
+        assert_eq!(peek_request(buf.as_slice()), None);
+        assert_eq!(peek_request(b"GIO"), None);
+    }
+
+    #[test]
+    fn synthesized_exception_reply_parses_clean() {
+        let order = ByteOrder::Big;
+        let mut buf = MarshalBuf::new();
+        write_system_exception_reply(&mut buf, order, 77, "IDL:omg.org/CORBA/TRANSIENT:1.0", 1);
+        let data = buf.into_vec();
+        let mut r = MsgReader::new(&data);
+        let h = read_header(&mut r).unwrap();
+        assert_eq!(h.msg_type, MsgType::Reply);
+        let cin = CdrIn::begin(&r, h.order);
+        let rh = get_reply_header(&mut r, &cin).unwrap();
+        assert_eq!(
+            rh,
+            ReplyHeader {
+                request_id: 77,
+                status: ReplyStatus::SystemException,
+                trace: None,
+            }
+        );
+        let ex = get_system_exception(&mut r, &cin).unwrap();
+        assert_eq!(ex.repo_id, "IDL:omg.org/CORBA/TRANSIENT:1.0");
+        assert_eq!(ex.minor, 1);
+        assert!(r.is_exhausted());
     }
 
     #[test]

@@ -22,11 +22,16 @@
 //! * [`pool`] — thread-local checkout/recycle of marshal buffers so
 //!   the warm call path allocates nothing per call, with a bounded
 //!   free list and high-water capacity trimming;
+//! * [`rng`] — the seeded SplitMix64 PRNG shared by fault injection,
+//!   fuzzing, and backoff jitter (the workspace carries no `rand`);
 //! * [`reply`] — the [`reply::Echoed`] copy-on-write reply contract
 //!   that lets `reply-alias`ed operations answer with request bytes
 //!   without a runtime compare;
-//! * [`client`] — client-side deadlines, retransmission, and the
-//!   structured [`client::RpcError`] for datagram calls;
+//! * [`client`] — client-side deadlines, jittered retransmission, and
+//!   the structured [`client::RpcError`] for datagram calls;
+//! * [`deadline`] — wire deadline propagation: the per-call time
+//!   budget a client stamps next to its trace context, decremented
+//!   per hop, that lets servers refuse already-expired work;
 //! * [`bridge`] — the transcoding gateway: accepts ONC call records,
 //!   rewrites their bytes encoding-to-encoding through generated
 //!   transcode tables, and forwards them as GIOP requests (and the
@@ -55,6 +60,7 @@ pub mod bridge;
 pub mod buf;
 pub mod cdr;
 pub mod client;
+pub mod deadline;
 pub mod error;
 pub mod fabric;
 pub mod fluke;
@@ -66,6 +72,7 @@ pub mod oncrpc;
 pub mod pod;
 pub mod pool;
 pub mod reply;
+pub mod rng;
 pub mod stats;
 pub mod trace;
 pub mod xdr;

@@ -140,8 +140,8 @@ mod imp {
         BRIDGE_OUTCOMES.map(|outcome| r.counter(&format!("bridge.{op}.{outcome}")))
     }
 
-    fn fabric_handles() -> &'static [&'static Counter; 6] {
-        static HANDLES: OnceLock<[&'static Counter; 6]> = OnceLock::new();
+    fn fabric_handles() -> &'static [&'static Counter; 10] {
+        static HANDLES: OnceLock<[&'static Counter; 10]> = OnceLock::new();
         HANDLES.get_or_init(|| {
             [
                 global().counter("fabric.conn.open"),
@@ -150,6 +150,10 @@ mod imp {
                 global().counter("fabric.backpressure"),
                 global().counter("fabric.batch.flush"),
                 global().counter("fabric.batch.records"),
+                global().counter("fabric.shed.onc"),
+                global().counter("fabric.shed.giop"),
+                global().counter("rpc.expired"),
+                global().counter("fabric.drained"),
             ]
         })
     }
@@ -165,6 +169,24 @@ mod imp {
             let h = fabric_handles();
             h[4].inc();
             h[5].add(records);
+        }
+    }
+
+    fn breaker_handles() -> &'static [&'static Counter; 4] {
+        static HANDLES: OnceLock<[&'static Counter; 4]> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            [
+                global().counter("bridge.breaker.open"),
+                global().counter("bridge.breaker.close"),
+                global().counter("bridge.breaker.fastfail"),
+                global().counter("bridge.breaker.retry"),
+            ]
+        })
+    }
+
+    pub fn breaker(event: usize) {
+        if flick_telemetry::enabled() {
+            breaker_handles()[event].inc();
         }
     }
 
@@ -391,6 +413,66 @@ pub fn fabric_batch_flush(records: u64) {
     let _ = records;
 }
 
+/// Records one request the fabric shed at admission because it was at
+/// or over its shed threshold (`fabric.shed.onc` / `fabric.shed.giop`,
+/// by refusal protocol).
+#[inline]
+pub fn fabric_shed(giop: bool) {
+    #[cfg(feature = "telemetry")]
+    imp::fabric(if giop { 7 } else { 6 });
+    #[cfg(not(feature = "telemetry"))]
+    let _ = giop;
+}
+
+/// Records one request refused (or silently dropped, on datagram ONC)
+/// because its propagated budget had already expired on arrival
+/// (`rpc.expired`).
+#[inline]
+pub fn rpc_expired() {
+    #[cfg(feature = "telemetry")]
+    imp::fabric(8);
+}
+
+/// Records one connection closed by a graceful drain
+/// (`fabric.drained`).
+#[inline]
+pub fn fabric_drained() {
+    #[cfg(feature = "telemetry")]
+    imp::fabric(9);
+}
+
+/// Records the bridge's upstream circuit breaker tripping open
+/// (`bridge.breaker.open`).
+#[inline]
+pub fn breaker_open() {
+    #[cfg(feature = "telemetry")]
+    imp::breaker(0);
+}
+
+/// Records the breaker closing again after a successful probe
+/// (`bridge.breaker.close`).
+#[inline]
+pub fn breaker_close() {
+    #[cfg(feature = "telemetry")]
+    imp::breaker(1);
+}
+
+/// Records one request failed fast while the breaker was open
+/// (`bridge.breaker.fastfail`).
+#[inline]
+pub fn breaker_fastfail() {
+    #[cfg(feature = "telemetry")]
+    imp::breaker(2);
+}
+
+/// Records one idempotent-operation retry spent against the upstream
+/// (`bridge.breaker.retry`).
+#[inline]
+pub fn breaker_retry() {
+    #[cfg(feature = "telemetry")]
+    imp::breaker(3);
+}
+
 #[cfg(all(test, feature = "telemetry"))]
 mod tests {
     use super::*;
@@ -446,6 +528,14 @@ mod tests {
         fabric_conn_evicted();
         fabric_backpressure();
         fabric_batch_flush(3);
+        fabric_shed(false);
+        fabric_shed(true);
+        rpc_expired();
+        fabric_drained();
+        breaker_open();
+        breaker_close();
+        breaker_fastfail();
+        breaker_retry();
         let s = flick_telemetry::global().snapshot();
         assert!(s.counter("decode.reject.xdr").unwrap() >= 1);
         assert!(s.counter("rpc.retry").unwrap() >= 1);
@@ -460,6 +550,14 @@ mod tests {
         assert!(s.counter("fabric.backpressure").unwrap() >= 1);
         assert!(s.counter("fabric.batch.flush").unwrap() >= 1);
         assert!(s.counter("fabric.batch.records").unwrap() >= 3);
+        assert!(s.counter("fabric.shed.onc").unwrap() >= 1);
+        assert!(s.counter("fabric.shed.giop").unwrap() >= 1);
+        assert!(s.counter("rpc.expired").unwrap() >= 1);
+        assert!(s.counter("fabric.drained").unwrap() >= 1);
+        assert!(s.counter("bridge.breaker.open").unwrap() >= 1);
+        assert!(s.counter("bridge.breaker.close").unwrap() >= 1);
+        assert!(s.counter("bridge.breaker.fastfail").unwrap() >= 1);
+        assert!(s.counter("bridge.breaker.retry").unwrap() >= 1);
         flick_telemetry::set_enabled(false);
     }
 }

@@ -9,9 +9,13 @@
 //! When a client trace span is open (see [`crate::trace`]), the call's
 //! credential slot carries the trace context instead of `AUTH_NONE`:
 //! flavor [`crate::trace::ONC_TRACE_AUTH_FLAVOR`], a 16-byte body of
-//! trace id + span id.  Servers that know the flavor extract it (and
-//! echo it in the reply verifier); everyone else skips it like any
-//! unknown credential, so traced and untraced peers interoperate.
+//! trace id + span id.  When the call carries a time budget (see
+//! [`crate::deadline`]), the same blob grows to 24 bytes: trace id +
+//! span id + budget nanoseconds, with an all-zero trace id meaning
+//! "untraced but budgeted".  Servers that know the flavor extract
+//! both (and echo the 16-byte trace form in the reply verifier);
+//! everyone else skips it like any unknown credential, so traced,
+//! budgeted, and plain peers all interoperate.
 
 use crate::buf::{MarshalBuf, MsgReader};
 use crate::error::DecodeError;
@@ -27,6 +31,12 @@ pub const CALL_HEADER_BYTES: usize = 40;
 /// Encoded size of a call header whose credential carries a trace
 /// context (the empty cred grows by 16 blob bytes).
 pub const TRACED_CALL_HEADER_BYTES: usize = CALL_HEADER_BYTES + crate::trace::TRACE_BLOB_BYTES;
+
+/// Encoded size of a call header whose credential carries a time
+/// budget (with or without a trace context): the blob grows to 24
+/// bytes.
+pub const BUDGET_CALL_HEADER_BYTES: usize =
+    CALL_HEADER_BYTES + crate::trace::TRACE_BUDGET_BLOB_BYTES;
 
 /// Encoded size of a success reply header (3 words + auth + stat).
 pub const REPLY_HEADER_BYTES: usize = 24;
@@ -51,15 +61,20 @@ pub struct CallHeader {
 impl CallHeader {
     /// Writes the header (fixed layout — a single chunk).  While a
     /// client trace span is open on this thread, the credential slot
-    /// carries its context instead of `AUTH_NONE`.
+    /// carries its context instead of `AUTH_NONE`; while a time budget
+    /// is ambient (a stub's [`crate::deadline::stamp_outbound`] guard,
+    /// or the remainder of the budget the request being served brought
+    /// in), the blob grows to its 24-byte budgeted form.
     pub fn write(&self, buf: &mut MarshalBuf) {
         crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
         let trace = crate::trace::wire_context();
-        let total = if trace.is_some() {
-            TRACED_CALL_HEADER_BYTES
-        } else {
-            CALL_HEADER_BYTES
+        let budget = crate::deadline::outbound_budget_ns();
+        let blob = match (trace, budget) {
+            (None, None) => 0,
+            (Some(_), None) => crate::trace::TRACE_BLOB_BYTES,
+            (_, Some(_)) => crate::trace::TRACE_BUDGET_BLOB_BYTES,
         };
+        let total = CALL_HEADER_BYTES + blob;
         buf.ensure(total);
         let mut c = buf.chunk(total);
         c.put_u32_be_at(0, self.xid);
@@ -68,21 +83,25 @@ impl CallHeader {
         c.put_u32_be_at(12, self.prog);
         c.put_u32_be_at(16, self.vers);
         c.put_u32_be_at(20, self.proc);
-        match trace {
-            None => {
-                c.put_u32_be_at(24, 0); // cred flavor AUTH_NONE
-                c.put_u32_be_at(28, 0); // cred length 0
-                c.put_u32_be_at(32, 0); // verf flavor AUTH_NONE
-                c.put_u32_be_at(36, 0); // verf length 0
-            }
-            Some(ctx) => {
-                c.put_u32_be_at(24, crate::trace::ONC_TRACE_AUTH_FLAVOR);
-                c.put_u32_be_at(28, crate::trace::TRACE_BLOB_BYTES as u32);
-                put_trace_blob_at(&mut c, 32, ctx);
-                c.put_u32_be_at(48, 0); // verf flavor AUTH_NONE
-                c.put_u32_be_at(52, 0); // verf length 0
+        if blob == 0 {
+            c.put_u32_be_at(24, 0); // cred flavor AUTH_NONE
+            c.put_u32_be_at(28, 0); // cred length 0
+        } else {
+            c.put_u32_be_at(24, crate::trace::ONC_TRACE_AUTH_FLAVOR);
+            c.put_u32_be_at(28, blob as u32);
+            let ctx = trace.unwrap_or(TraceContext {
+                trace_id: 0,
+                span_id: 0,
+            });
+            put_trace_blob_at(&mut c, 32, ctx);
+            if let Some(ns) = budget {
+                c.put_u32_be_at(48, (ns >> 32) as u32);
+                c.put_u32_be_at(52, ns as u32);
             }
         }
+        let verf = 32 + blob;
+        c.put_u32_be_at(verf, 0); // verf flavor AUTH_NONE
+        c.put_u32_be_at(verf + 4, 0); // verf length 0
     }
 
     /// Reads and validates a call header.
@@ -124,23 +143,30 @@ fn put_trace_blob_at(c: &mut crate::buf::ChunkWriter<'_>, off: usize, ctx: Trace
 }
 
 /// Reads one authenticator like [`skip_auth`], but captures a trace
-/// context when the flavor is [`crate::trace::ONC_TRACE_AUTH_FLAVOR`]
-/// with a well-formed 16-byte body.  Any other flavor (or a malformed
-/// blob length) is skipped and reads as untraced.
-fn read_auth_trace(r: &mut MsgReader<'_>) -> Result<Option<TraceContext>, DecodeError> {
+/// context (and, in the 24-byte budgeted form, a time budget) when the
+/// flavor is [`crate::trace::ONC_TRACE_AUTH_FLAVOR`] with a
+/// well-formed body.  Any other flavor (or a malformed blob length) is
+/// skipped and reads as untraced and unbudgeted.
+fn read_auth_trace(
+    r: &mut MsgReader<'_>,
+) -> Result<(Option<TraceContext>, Option<u64>), DecodeError> {
     let flavor = xdr::get_u32(r)?;
     let len = xdr::get_u32(r)? as usize;
-    if flavor == crate::trace::ONC_TRACE_AUTH_FLAVOR && len == crate::trace::TRACE_BLOB_BYTES {
-        let c = r.chunk(crate::trace::TRACE_BLOB_BYTES)?;
+    if flavor == crate::trace::ONC_TRACE_AUTH_FLAVOR
+        && (len == crate::trace::TRACE_BLOB_BYTES || len == crate::trace::TRACE_BUDGET_BLOB_BYTES)
+    {
+        let c = r.chunk(len)?;
         let trace_id = (u64::from(c.get_u32_be_at(0)) << 32) | u64::from(c.get_u32_be_at(4));
         let span_id = (u64::from(c.get_u32_be_at(8)) << 32) | u64::from(c.get_u32_be_at(12));
-        if trace_id == 0 {
-            return Ok(None); // hostile zero blob: untraced
-        }
-        return Ok(Some(TraceContext { trace_id, span_id }));
+        // A zero trace id is hostile in the 16-byte form but the
+        // legitimate "untraced but budgeted" case in the 24-byte one.
+        let ctx = (trace_id != 0).then_some(TraceContext { trace_id, span_id });
+        let budget = (len == crate::trace::TRACE_BUDGET_BLOB_BYTES)
+            .then(|| (u64::from(c.get_u32_be_at(16)) << 32) | u64::from(c.get_u32_be_at(20)));
+        return Ok((ctx, budget));
     }
     r.skip(crate::align_up(len, 4))?;
-    Ok(None)
+    Ok((None, None))
 }
 
 /// Why a reply did not carry results.
@@ -191,12 +217,30 @@ impl ReplyOutcome {
 /// already parses variable-length verifiers.  Denied replies have no
 /// verifier and never echo.
 pub fn write_reply(buf: &mut MarshalBuf, xid: u32, outcome: ReplyOutcome) {
-    crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
     let trace = if outcome == ReplyOutcome::Denied {
         None
     } else {
         crate::trace::reply_context()
     };
+    write_reply_with(buf, xid, outcome, trace);
+}
+
+/// [`write_reply`] that never echoes the thread's noted trace context.
+/// The fabric's admission preflight uses it to synthesize shed/expired
+/// replies *before* any header decode — at that point the thread-local
+/// context still belongs to some previous request and echoing it would
+/// mislabel the reply.
+pub fn write_reply_plain(buf: &mut MarshalBuf, xid: u32, outcome: ReplyOutcome) {
+    write_reply_with(buf, xid, outcome, None);
+}
+
+fn write_reply_with(
+    buf: &mut MarshalBuf,
+    xid: u32,
+    outcome: ReplyOutcome,
+    trace: Option<TraceContext>,
+) {
+    crate::metrics::encode_begin(crate::metrics::Codec::Xdr);
     buf.ensure(TRACED_REPLY_HEADER_BYTES + 8);
     {
         match trace {
@@ -306,8 +350,9 @@ pub fn read_reply_verdict_traced(
     let mut trace = None;
     let verdict = match c.get_u32_be_at(8) {
         0 => {
-            // MSG_ACCEPTED: verifier, then accept_stat.
-            trace = read_auth_trace(r).map_err(|e| e.at(at))?;
+            // MSG_ACCEPTED: verifier, then accept_stat (replies only
+            // ever echo the trace; a budget there is meaningless).
+            trace = read_auth_trace(r).map_err(|e| e.at(at))?.0;
             let stat_at = r.pos();
             let stat = xdr::get_u32(r).map_err(|e| e.at(stat_at))?;
             match stat {
@@ -378,10 +423,11 @@ pub fn accept_call<'a>(
     reply: &mut MarshalBuf,
 ) -> Result<(CallHeader, &'a [u8]), bool> {
     reply.clear();
-    // Every inbound call re-decides the thread's trace context; a
-    // stale one from the previous request must never leak into this
-    // request's spans or replies.
+    // Every inbound call re-decides the thread's trace context and
+    // deadline; stale ones from the previous request must never leak
+    // into this request's spans, replies, or forwarded budget.
     crate::trace::note_wire_context(None);
+    crate::deadline::clear_inbound();
     let mut r = MsgReader::new(record);
     let Ok(c) = r.chunk(24) else {
         return Err(false); // no xid to echo
@@ -401,7 +447,7 @@ pub fn accept_call<'a>(
         vers: c.get_u32_be_at(16),
         proc: c.get_u32_be_at(20),
     };
-    let trace = match read_auth_trace(&mut r) {
+    let (trace, budget) = match read_auth_trace(&mut r) {
         Ok(t) if skip_auth(&mut r).is_ok() => t,
         _ => {
             write_reply(reply, xid, ReplyOutcome::GarbageArgs);
@@ -409,6 +455,12 @@ pub fn accept_call<'a>(
         }
     };
     crate::trace::note_wire_context(trace);
+    // Same re-decide rule for the deadline register: a budget binds to
+    // this request only, a budgetless request clears any stale note.
+    match budget {
+        Some(ns) => crate::deadline::note_inbound(std::time::Instant::now(), ns),
+        None => crate::deadline::clear_inbound(),
+    }
     if h.prog != prog {
         write_reply(reply, xid, ReplyOutcome::ProgUnavail);
         return Err(true);
@@ -425,6 +477,44 @@ pub fn accept_call<'a>(
         return Err(true);
     }
     Ok((h, &record[r.pos()..]))
+}
+
+/// What [`peek_call`] saw at the front of a call record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallPeek {
+    /// Transaction id to echo in a synthesized refusal.
+    pub xid: u32,
+    /// Budget nanoseconds, when the credential carried the 24-byte
+    /// budgeted blob.
+    pub budget_ns: Option<u64>,
+}
+
+/// Cheaply inspects a call record for admission control: the xid and
+/// the propagated time budget, without touching the thread's trace or
+/// deadline registers and without validating the rest of the header.
+/// `None` when the record is too short or is not a CALL — such records
+/// go through [`accept_call`]'s full refusal logic instead.
+#[must_use]
+pub fn peek_call(record: &[u8]) -> Option<CallPeek> {
+    if record.len() < 32 {
+        return None;
+    }
+    let word =
+        |at: usize| u32::from_be_bytes(record[at..at + 4].try_into().expect("bounds checked"));
+    if word(4) != 0 {
+        return None; // not a CALL
+    }
+    let mut budget_ns = None;
+    if word(24) == crate::trace::ONC_TRACE_AUTH_FLAVOR
+        && word(28) as usize == crate::trace::TRACE_BUDGET_BLOB_BYTES
+        && record.len() >= 32 + crate::trace::TRACE_BUDGET_BLOB_BYTES
+    {
+        budget_ns = Some((u64::from(word(48)) << 32) | u64::from(word(52)));
+    }
+    Some(CallPeek {
+        xid: word(0),
+        budget_ns,
+    })
 }
 
 /// Prefixes `record` with TCP record marking (single final fragment).
@@ -828,6 +918,81 @@ mod tests {
         write_reply(&mut out, 78, ReplyOutcome::Success);
         assert_eq!(out.len(), REPLY_HEADER_BYTES);
         flick_telemetry::set_enabled(false);
+    }
+
+    #[test]
+    fn budgeted_call_header_roundtrips_and_propagates() {
+        crate::deadline::clear_inbound();
+        let h = CallHeader {
+            xid: 501,
+            prog: 9,
+            vers: 1,
+            proc: 2,
+        };
+        let mut b = MarshalBuf::new();
+        {
+            let _g = crate::deadline::stamp_outbound(std::time::Duration::from_millis(250));
+            h.write(&mut b);
+        }
+        assert_eq!(b.len(), BUDGET_CALL_HEADER_BYTES);
+        let record = b.into_vec();
+
+        // Untouched readers still parse the budgeted header.
+        let mut r = MsgReader::new(&record);
+        assert_eq!(CallHeader::read(&mut r).unwrap(), h);
+        assert!(r.is_exhausted());
+
+        // The admission peek sees the xid and budget without parsing.
+        assert_eq!(
+            peek_call(&record),
+            Some(CallPeek {
+                xid: 501,
+                budget_ns: Some(250_000_000),
+            })
+        );
+
+        // accept_call notes the inbound budget...
+        let mut reply = MarshalBuf::new();
+        let (got, body) = accept_call(&record, 9, 1, &mut reply).expect("accepted");
+        assert_eq!(got, h);
+        assert!(body.is_empty());
+        let left = crate::deadline::inbound_remaining_ns().expect("budget noted");
+        assert!(left <= 250_000_000);
+
+        // ...and a header written while serving it forwards what is
+        // left: the per-hop decrement, with no explicit stamp.
+        let mut fwd = MarshalBuf::new();
+        CallHeader { xid: 502, ..h }.write(&mut fwd);
+        assert_eq!(fwd.len(), BUDGET_CALL_HEADER_BYTES);
+        let peek = peek_call(fwd.as_slice()).expect("peeks");
+        let forwarded = peek.budget_ns.expect("budget forwarded");
+        assert!(forwarded <= left, "budget only ever shrinks per hop");
+
+        // Accepting a budgetless call clears the note; the next header
+        // is the classic 40 bytes again.
+        crate::deadline::clear_inbound();
+        let mut p = MarshalBuf::new();
+        CallHeader { xid: 504, ..h }.write(&mut p);
+        assert_eq!(p.len(), CALL_HEADER_BYTES);
+        let plain = p.into_vec();
+        assert_eq!(peek_call(&plain).unwrap().budget_ns, None);
+        crate::deadline::note_inbound(std::time::Instant::now(), 1_000_000);
+        accept_call(&plain, 9, 1, &mut reply).expect("accepted");
+        assert_eq!(crate::deadline::inbound_remaining_ns(), None);
+        let mut out = MarshalBuf::new();
+        CallHeader { xid: 505, ..h }.write(&mut out);
+        assert_eq!(out.len(), CALL_HEADER_BYTES);
+    }
+
+    #[test]
+    fn plain_reply_never_echoes_ambient_trace() {
+        let mut b = MarshalBuf::new();
+        write_reply_plain(&mut b, 77, ReplyOutcome::SystemErr);
+        assert_eq!(b.len(), REPLY_HEADER_BYTES);
+        let data = b.into_vec();
+        let mut r = MsgReader::new(&data);
+        let (xid, verdict, echoed) = read_reply_verdict_traced(&mut r).expect("parses");
+        assert_eq!((xid, verdict, echoed), (77, ReplyVerdict::SystemErr, None));
     }
 
     #[test]

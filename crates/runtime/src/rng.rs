@@ -1,0 +1,66 @@
+//! A tiny deterministic PRNG shared across the workspace.
+//!
+//! The workspace is offline and carries no `rand` dependency; the few
+//! places that need randomness — fault schedules, fuzz mutation
+//! choices, retransmit jitter, reconnect backoff jitter — all want the
+//! same property: seeded and replayable, so every test run with the
+//! same seed behaves byte-for-byte identically.  SplitMix64 delivers
+//! that in a dozen lines.
+
+/// SplitMix64 (Steele et al.): tiny, fast, and plenty random for fault
+/// schedules, fuzz mutation choices, and backoff jitter.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift; bias is negligible for the small `n` here.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+}

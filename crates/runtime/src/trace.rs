@@ -45,6 +45,12 @@ pub const GIOP_TRACE_CONTEXT_ID: u32 = 0x464C_4B54;
 /// Encoded size of a trace blob: two big-endian u64s.
 pub const TRACE_BLOB_BYTES: usize = 16;
 
+/// Encoded size of a trace blob extended with a time budget: the
+/// 16-byte trace blob plus big-endian budget nanoseconds.  The blob
+/// *length* discriminates the two request forms — old peers skip the
+/// unknown flavor either way, and readers accept both.
+pub const TRACE_BUDGET_BLOB_BYTES: usize = 24;
+
 impl TraceContext {
     /// A fresh root context (new trace id, new span id).
     #[must_use]
@@ -87,6 +93,41 @@ impl TraceContext {
             return None;
         }
         Some(TraceContext { trace_id, span_id })
+    }
+}
+
+/// Encodes the extended request blob: the trace context (all zeros
+/// when untraced) followed by big-endian budget nanoseconds.  Used by
+/// the header writers when [`crate::deadline::outbound_budget_ns`] has
+/// a budget to carry; without one they fall back to the 16-byte form.
+#[must_use]
+pub fn encode_budget_blob(
+    ctx: Option<TraceContext>,
+    budget_ns: u64,
+) -> [u8; TRACE_BUDGET_BLOB_BYTES] {
+    let mut out = [0u8; TRACE_BUDGET_BLOB_BYTES];
+    if let Some(ctx) = ctx {
+        out[..TRACE_BLOB_BYTES].copy_from_slice(&ctx.encode());
+    }
+    out[TRACE_BLOB_BYTES..].copy_from_slice(&budget_ns.to_be_bytes());
+    out
+}
+
+/// Parses an `FLKT` wire blob of either form: 16 bytes = trace only
+/// (legacy peers), 24 bytes = trace + budget nanoseconds.  In the
+/// 24-byte form an all-zero trace id decodes as "untraced but
+/// budgeted" — clients built without the `telemetry` feature still
+/// stamp deadlines.  Any other length is hostile and yields neither.
+#[must_use]
+pub fn decode_wire_blob(bytes: &[u8]) -> (Option<TraceContext>, Option<u64>) {
+    match bytes.len() {
+        TRACE_BLOB_BYTES => (TraceContext::decode(bytes), None),
+        TRACE_BUDGET_BLOB_BYTES => {
+            let ctx = TraceContext::decode(&bytes[..TRACE_BLOB_BYTES]);
+            let ns = u64::from_be_bytes(bytes[TRACE_BLOB_BYTES..].try_into().expect("len 8"));
+            (ctx, Some(ns))
+        }
+        _ => (None, None),
     }
 }
 
@@ -571,6 +612,25 @@ mod tests {
         assert_eq!(TraceContext::decode(&blob[..15]), None, "short blob");
         assert_eq!(TraceContext::decode(&[0u8; 16]), None, "zero trace id");
         assert_eq!(TraceContext::decode(&[]), None);
+    }
+
+    #[test]
+    fn budget_blob_roundtrip_in_both_forms() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            span_id: 9,
+        };
+        // Traced + budgeted.
+        let blob = encode_budget_blob(Some(ctx), 1_500_000);
+        assert_eq!(decode_wire_blob(&blob), (Some(ctx), Some(1_500_000)));
+        // Untraced but budgeted: zero trace id is legitimate here.
+        let blob = encode_budget_blob(None, 42);
+        assert_eq!(decode_wire_blob(&blob), (None, Some(42)));
+        // Legacy 16-byte form: trace only.
+        assert_eq!(decode_wire_blob(&ctx.encode()), (Some(ctx), None));
+        // Hostile lengths yield neither.
+        assert_eq!(decode_wire_blob(&blob[..23]), (None, None));
+        assert_eq!(decode_wire_blob(&[]), (None, None));
     }
 
     #[cfg(feature = "telemetry")]

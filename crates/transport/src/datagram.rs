@@ -169,6 +169,12 @@ impl flick_runtime::fabric::Conn for DatagramConn {
     }
 
     fn close(&mut self) {}
+
+    fn is_datagram(&self) -> bool {
+        // The fabric drops expired requests silently here: a datagram
+        // caller recovers by retransmitting, not by reading an error.
+        true
+    }
 }
 
 /// The classic UDP practical limit the paper's failing stubs ran into.

@@ -24,41 +24,10 @@ use crate::fluke::FlukeEnd;
 use crate::mach::{PortName, PortSpace};
 use crate::stream::StreamEnd;
 
-/// SplitMix64 (Steele et al.): tiny, fast, and plenty random for fault
-/// schedules and fuzz mutation choices.  Shared with the fuzz harness.
-#[derive(Clone, Debug)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Seeds the generator.
-    #[must_use]
-    pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next 64 random bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Next 32 random bits.
-    pub fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    /// Uniform value in `0..n` (`n` must be nonzero).
-    pub fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
-        // Multiply-shift; bias is negligible for the small `n` here.
-        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
-    }
-}
+/// The workspace PRNG, re-exported from the runtime (which also uses
+/// it for retransmit and reconnect jitter).  Shared with the fuzz
+/// harness.
+pub use flick_runtime::rng::SplitMix64;
 
 /// The kinds of fault a plan can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

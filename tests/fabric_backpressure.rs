@@ -49,8 +49,10 @@ fn slow_reader_memory_stays_bounded() {
         max_record_bytes: 16 * 1024,
         max_message_bytes: 16 * 1024,
         max_pipeline: 4,
-        reply_buf_bytes: 8 * 1024,
+        reply_buf_bytes: 16 * 1024,
         read_chunk_bytes: 4 * 1024,
+        max_inflight_total: 1024,
+        shed_threshold: 768,
     };
     let link_cap = 8 * 1024;
     let (listener, connector) = listen(link_cap);
